@@ -1,0 +1,161 @@
+//! Probability helpers used by the robustness analysis: KL divergence,
+//! Chernoff tail bounds, and Stirling-based log-binomials.
+//!
+//! These mirror the quantities appearing in the proofs of Theorems 2–4
+//! (Appendices B–D of the paper) so experiments can plot measured tails
+//! against the exact analytic expressions rather than re-derived
+//! approximations.
+
+/// Binary KL divergence `D(x‖p) = x·ln(x/p) + (1−x)·ln((1−x)/(1−p))`.
+///
+/// Conventions: terms with `x == 0` or `x == 1` contribute their limit
+/// (`0·ln0 = 0`). Returns `+∞` when the support mismatches (`p ∈ {0,1}` but
+/// `x` differs).
+pub fn kl_divergence(x: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&p));
+    let term = |num: f64, den: f64| -> f64 {
+        if num == 0.0 {
+            0.0
+        } else if den == 0.0 {
+            f64::INFINITY
+        } else {
+            num * (num / den).ln()
+        }
+    };
+    term(x, p) + term(1.0 - x, 1.0 - p)
+}
+
+/// Chernoff–Hoeffding upper tail for a Binomial(n, p):
+/// `Pr[X ≥ xn] ≤ exp(−n·D(x‖p))` for `x ≥ p`.
+pub fn chernoff_upper_tail(n: f64, p: f64, x: f64) -> f64 {
+    if x <= p {
+        return 1.0;
+    }
+    (-n * kl_divergence(x, p)).exp().min(1.0)
+}
+
+/// Lemma 2 of the paper: for `0 < p ≤ 1/5` and `5p ≤ x ≤ 1`,
+/// `D(x‖p) ≥ (x/2)·ln(x/p)`. Exposed for the verification test below and
+/// for the robustness experiment's analytic overlay.
+pub fn lemma2_lower_bound(x: f64, p: f64) -> f64 {
+    0.5 * x * (x / p).ln()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)` via `ln Γ`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Natural log of `n!` (exact summation below 256, Stirling series above).
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 256 {
+        (2..=n).map(|i| (i as f64).ln()).sum()
+    } else {
+        let n = n as f64;
+        // Stirling with the 1/(12n) correction — relative error < 1e-10 here.
+        n * n.ln() - n + 0.5 * (2.0 * std::f64::consts::PI * n).ln() + 1.0 / (12.0 * n)
+    }
+}
+
+/// The Stirling upper bound on `ln C(Ns, λNs)` used in Theorem 3's proof:
+/// `ln C(Ns,λNs) ≤ ln(e/2π) − Ns·ln(λ^λ(1−λ)^(1−λ))` (up to the √ factor
+/// the paper drops).
+pub fn ln_binomial_stirling_bound(n_s: f64, lambda: f64) -> f64 {
+    let entropy = -(lambda * lambda.ln() + (1.0 - lambda) * (1.0 - lambda).ln());
+    (std::f64::consts::E / (2.0 * std::f64::consts::PI)).ln() + n_s * entropy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_basic_properties() {
+        assert_eq!(kl_divergence(0.3, 0.3), 0.0);
+        assert!(kl_divergence(0.6, 0.3) > 0.0);
+        assert!(kl_divergence(0.1, 0.3) > 0.0);
+        assert_eq!(kl_divergence(0.0, 0.0), 0.0);
+        assert_eq!(kl_divergence(1.0, 1.0), 0.0);
+        assert_eq!(kl_divergence(0.5, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn lemma2_holds_on_grid() {
+        // Verify the paper's Lemma 2 numerically over its stated domain.
+        let mut p = 0.002;
+        while p <= 0.2 {
+            let mut x = 5.0 * p;
+            while x <= 1.0 {
+                let kl = kl_divergence(x, p);
+                let lb = lemma2_lower_bound(x, p);
+                assert!(
+                    kl >= lb - 1e-12,
+                    "lemma 2 violated at x={x}, p={p}: {kl} < {lb}"
+                );
+                x += 0.013;
+            }
+            p += 0.004;
+        }
+    }
+
+    #[test]
+    fn chernoff_tail_sane() {
+        // Binomial(1000, 0.5): Pr[X >= 600] is about 1.4e-10 analytically;
+        // the Chernoff bound must be above the truth but far below 1.
+        let b = chernoff_upper_tail(1000.0, 0.5, 0.6);
+        assert!(b > 1e-10 && b < 1e-3, "bound {b}");
+        assert_eq!(chernoff_upper_tail(100.0, 0.5, 0.4), 1.0);
+    }
+
+    #[test]
+    fn chernoff_dominates_monte_carlo_binomial() {
+        // Empirical Binomial(200, 0.3) tail frequencies must sit below the
+        // Chernoff bound (up to 3σ sampling noise).
+        let mut rng = fi_crypto::DetRng::from_seed_label(17, "chernoff-mc");
+        let (n, p, trials) = (200u32, 0.3f64, 20_000u32);
+        let mut counts = vec![0u32; (n + 1) as usize];
+        for _ in 0..trials {
+            let successes = (0..n).filter(|_| rng.bernoulli(p)).count();
+            counts[successes] += 1;
+        }
+        for threshold in [70u32, 80, 90, 100] {
+            let tail: u32 = counts[threshold as usize..].iter().sum();
+            let freq = tail as f64 / trials as f64;
+            let bound = chernoff_upper_tail(n as f64, p, threshold as f64 / n as f64);
+            let sigma = (bound.max(1.0 / trials as f64) / trials as f64).sqrt();
+            assert!(
+                freq <= bound + 3.0 * sigma,
+                "threshold {threshold}: freq {freq} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_exact_vs_stirling_continuity() {
+        // The switchover at 256 must be smooth to ~1e-9 relative.
+        let exact: f64 = (2..=255u64).map(|i| (i as f64).ln()).sum();
+        let next = exact + 256f64.ln();
+        assert!((ln_factorial(256) - next).abs() / next < 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_small_values() {
+        assert!((ln_binomial(5, 2) - (10f64).ln()).abs() < 1e-12);
+        assert!((ln_binomial(10, 0) - 0.0).abs() < 1e-12);
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn stirling_bound_dominates_truth() {
+        for (n, lam) in [(1000u64, 0.5f64), (2000, 0.25), (5000, 0.1)] {
+            let truth = ln_binomial(n, (lam * n as f64) as u64);
+            let bound = ln_binomial_stirling_bound(n as f64, lam);
+            assert!(bound >= truth, "n={n} λ={lam}: {bound} < {truth}");
+            // And not absurdly loose (within the dropped √n factor).
+            assert!(bound - truth < 0.5 * (n as f64).ln() + 2.0);
+        }
+    }
+}

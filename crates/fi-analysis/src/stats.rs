@@ -1,0 +1,123 @@
+//! Summary statistics for experiment reporting.
+
+/// Summary statistics of a sample: count, mean, variance, extremes and
+/// selected quantiles.
+///
+/// # Example
+///
+/// ```
+/// use fi_analysis::Summary;
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.quantile(0.5), 2.0); // nearest-rank convention
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 for a single observation).
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Computes statistics over `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of an empty sample");
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = if count > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Summary {
+            count,
+            mean,
+            variance,
+            min: sorted[0],
+            max: sorted[count - 1],
+            sorted,
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Empirical quantile (nearest-rank, `q` in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let rank = ((q * self.count as f64).ceil() as usize).clamp(1, self.count);
+        self.sorted[rank - 1]
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values outside
+/// the range are clamped into the edge buckets. Used for textual plots in
+/// experiment output.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo);
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in values {
+        let idx = (((v - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance - 4.571428571428571).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_slice(&[3.5]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.quantile(0.0), 3.5);
+        assert_eq!(s.quantile(1.0), 3.5);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.quantile(0.2), 1.0);
+        assert_eq!(s.quantile(0.21), 2.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let h = histogram(&[-1.0, 0.1, 0.5, 0.9, 2.0], 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 3]);
+    }
+}

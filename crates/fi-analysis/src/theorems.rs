@@ -1,0 +1,257 @@
+//! Theorems 1–4 of the FileInsurer paper as executable formulas.
+//!
+//! These are the analytic halves of every experiment: the harness measures a
+//! quantity by simulation and checks it against these bounds.
+//!
+//! Notation follows Table II of the paper:
+//!
+//! * `n_s` — "weighted" number of sectors (`Ns`); total network capacity is
+//!   `Ns × minCapacity`.
+//! * `n_v` — "weighted" number of files (`Nv`); total stored value is
+//!   `Nv × minValue`.
+//! * `n_v_max` — the maximum weighted number of files the network is designed
+//!   to carry (`Nm_v`).
+//! * `cap_para` — `capPara = Nm_v / Ns`.
+//! * `gamma_m_v` — `γm_v = Nv / Nm_v`, the fill ratio of value.
+//! * `k` — replicas of a `minValue` file.
+//! * `lambda` — fraction of total capacity the adversary corrupts.
+//! * `c` — security parameter (paper sets `1e-18`).
+
+/// The paper's default security parameter `c = 10^-18` (Table II).
+pub const SECURITY_PARAMETER: f64 = 1e-18;
+
+/// Inputs shared by the Theorem 3 / Theorem 4 bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessParams {
+    /// Weighted sector count `Ns`.
+    pub n_s: f64,
+    /// Replicas per `minValue` of file value (`k`).
+    pub k: f64,
+    /// `capPara = Nm_v / Ns`.
+    pub cap_para: f64,
+    /// Corrupted capacity fraction `λ`.
+    pub lambda: f64,
+    /// Security parameter `c`.
+    pub c: f64,
+}
+
+/// Theorem 1: the maximum total size of raw files storable in the network,
+/// `min(Ns·minCapacity / (2·r1·k), Ns·minCapacity / r2)`.
+///
+/// `r1` and `r2` are workload constants (eqs. (1) and (2)); compute them
+/// from a concrete workload with [`workload_r1`] / [`workload_r2`].
+pub fn theorem1_max_total_size(
+    n_s: f64,
+    min_capacity: f64,
+    k: f64,
+    r1: f64,
+    r2: f64,
+) -> f64 {
+    let by_capacity = n_s * min_capacity / (2.0 * r1 * k);
+    let by_value = n_s * min_capacity / r2;
+    by_capacity.min(by_value)
+}
+
+/// Eq. (1): `r1 = Σ f.size·f.value / (minValue · Σ f.size)` — the
+/// size-weighted average value in `minValue` units.
+pub fn workload_r1(sizes: &[f64], values: &[f64], min_value: f64) -> f64 {
+    let num: f64 = sizes.iter().zip(values).map(|(s, v)| s * v).sum();
+    let den: f64 = min_value * sizes.iter().sum::<f64>();
+    num / den
+}
+
+/// Eq. (2): `r2 = minCapacity · Σ f.value / (minValue · Σ f.size · capPara)`.
+pub fn workload_r2(
+    sizes: &[f64],
+    values: &[f64],
+    min_value: f64,
+    min_capacity: f64,
+    cap_para: f64,
+) -> f64 {
+    let num: f64 = min_capacity * values.iter().sum::<f64>();
+    let den: f64 = min_value * sizes.iter().sum::<f64>() * cap_para;
+    num / den
+}
+
+/// Theorem 2: `Pr[∃s: freeCap ≤ capacity/8] ≤ Ns · exp(−0.144·capacity/size)`
+/// when all files share one size and total replica size ≤ half the capacity.
+pub fn theorem2_collision_bound(n_s: f64, capacity_over_size: f64) -> f64 {
+    (n_s * (-0.144 * capacity_over_size).exp()).min(1.0)
+}
+
+/// Theorem 3: upper bound on `γ_lost`, the ratio of lost file value to total
+/// stored value, when `λ·Ns·minCapacity` of capacity is corrupted.
+///
+/// `gamma_m_v` is the value fill ratio `Nv / Nm_v`. Holds with probability
+/// ≥ 1 − c over the storage randomness.
+pub fn theorem3_gamma_lost_bound(p: &RobustnessParams, gamma_m_v: f64) -> f64 {
+    let t1 = 5.0 * p.lambda.powf(p.k);
+    let t2 = p.lambda.powf(p.k / 2.0);
+    let t3 = theorem3_third_term(p, gamma_m_v);
+    t1.max(t2).max(t3)
+}
+
+/// The third (union-bound / Stirling) term of Theorem 3:
+///
+/// `4·(log(e/2π)/Ns − log c/Ns − log(λ^λ(1−λ)^(1−λ))) / (γm_v·k·log(1/λ)·capPara)`
+///
+/// Logs are natural (the bound is scale-consistent as long as all logs share
+/// a base; the paper's derivation uses `log e` terms indicating ln).
+pub fn theorem3_third_term(p: &RobustnessParams, gamma_m_v: f64) -> f64 {
+    let lam = p.lambda;
+    // log(λ^λ (1-λ)^(1-λ)) = λ·lnλ + (1-λ)·ln(1-λ)  (negative, = −H(λ))
+    let entropy_term = if lam <= 0.0 || lam >= 1.0 {
+        0.0
+    } else {
+        lam * lam.ln() + (1.0 - lam) * (1.0 - lam).ln()
+    };
+    let numerator = 4.0
+        * ((std::f64::consts::E / (2.0 * std::f64::consts::PI)).ln() / p.n_s
+            - p.c.ln() / p.n_s
+            - entropy_term);
+    let denominator = gamma_m_v * p.k * (1.0 / lam).ln() * p.cap_para;
+    numerator / denominator
+}
+
+/// Theorem 4: minimum deposit ratio `γ_deposit` guaranteeing full
+/// compensation with probability ≥ 1 − c:
+///
+/// `max{ 5λ^(k−1), λ^(k/2−1), (4/(k·capPara))·(ln Ns/ln(1/λ) + ln(1/c)/ln Ns) }`
+pub fn theorem4_deposit_ratio_bound(p: &RobustnessParams) -> f64 {
+    let t1 = 5.0 * p.lambda.powf(p.k - 1.0);
+    let t2 = p.lambda.powf(p.k / 2.0 - 1.0);
+    let t3 = 4.0 / (p.k * p.cap_para)
+        * (p.n_s.ln() / (1.0 / p.lambda).ln() + (1.0 / p.c).ln() / p.n_s.ln());
+    t1.max(t2).max(t3)
+}
+
+/// The per-sector deposit for a sector of `capacity`, §IV-B:
+/// `capacity · γ_deposit · capPara · minValue / minCapacity`.
+pub fn sector_deposit(
+    capacity: f64,
+    gamma_deposit: f64,
+    cap_para: f64,
+    min_value: f64,
+    min_capacity: f64,
+) -> f64 {
+    capacity * gamma_deposit * cap_para * min_value / min_capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> RobustnessParams {
+        RobustnessParams {
+            n_s: 1e6,
+            k: 20.0,
+            cap_para: 1e3,
+            lambda: 0.5,
+            c: SECURITY_PARAMETER,
+        }
+    }
+
+    #[test]
+    fn theorem3_paper_example() {
+        // Paper §V-B.3 example: k=20, Ns=1e6, capPara=1e3, λ=0.5. The first
+        // two terms match the paper exactly: 5λ^k ≈ 5e-6 and λ^(k/2) ≈ 1e-3.
+        assert!((5.0 * 0.5f64.powi(20) - 4.768e-6).abs() < 1e-8);
+        assert!((0.5f64.powi(10) - 9.766e-4).abs() < 1e-6);
+
+        // Reproduction note (recorded in EXPERIMENTS.md): evaluating the
+        // *printed* third term at γm_v = 0.005 yields ≈ 0.040, whereas the
+        // paper's prose claims (1/γm_v)·5e-6 = 1e-3. Both scale as 1/γm_v;
+        // the constants differ. We implement the formula as printed.
+        let p = paper_example();
+        let t3 = theorem3_third_term(&p, 0.005);
+        assert!((t3 - 0.040).abs() < 0.002, "third term {t3}");
+        // The bound is the max of the three; here the third term binds.
+        let b = theorem3_gamma_lost_bound(&p, 0.005);
+        assert!((b - t3).abs() < 1e-12);
+        // At full fill (γm_v = 1) the third term is ~2e-4, so the headline
+        // "≤ 0.1% lost when half the storage collapses" holds per the
+        // printed formula whenever γm_v ≳ 0.2 (and empirically always —
+        // see the thm3_robustness experiment).
+        let b_full = theorem3_gamma_lost_bound(&p, 1.0);
+        assert!(b_full <= 0.001, "bound at full fill {b_full}");
+    }
+
+    #[test]
+    fn theorem3_third_term_scales_inverse_with_fill() {
+        let p = paper_example();
+        let lo = theorem3_third_term(&p, 0.001);
+        let hi = theorem3_third_term(&p, 0.01);
+        assert!((lo / hi - 10.0).abs() < 1e-9, "inverse proportional to γm_v");
+    }
+
+    #[test]
+    fn theorem4_paper_example() {
+        // Paper §V-B.4: the same parameters give γ_deposit ≈ 0.0046.
+        let p = paper_example();
+        let b = theorem4_deposit_ratio_bound(&p);
+        assert!(
+            (0.003..0.006).contains(&b),
+            "expected about 0.0046, got {b}"
+        );
+        // The binding term is the third one.
+        let t3 = 4.0 / (20.0 * 1e3) * (1e6f64.ln() / 2.0f64.ln() + 1e18f64.ln() / 1e6f64.ln());
+        assert!((b - t3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem4_dominates_required_compensation() {
+        // The deposit bound must always be at least the loss bound scaled by
+        // 1/λ at the design point (full fill, γm_v = 1): deposits collected
+        // over λ capacity must cover γ_lost of value.
+        for lambda in [0.1, 0.3, 0.5, 0.7] {
+            for k in [4.0, 10.0, 20.0] {
+                let p = RobustnessParams {
+                    n_s: 1e6,
+                    k,
+                    cap_para: 1e3,
+                    lambda,
+                    c: SECURITY_PARAMETER,
+                };
+                let dep = theorem4_deposit_ratio_bound(&p);
+                let lost = theorem3_gamma_lost_bound(&p, 1.0);
+                assert!(
+                    dep * lambda >= lost * 0.99,
+                    "λ={lambda} k={k}: dep·λ={} < lost={}",
+                    dep * lambda,
+                    lost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_matches_paper_numeric_claim() {
+        // Paper: capacity/size ≥ 1000 and Ns ≤ 1e12 ⇒ bound < 1e-50.
+        let b = theorem2_collision_bound(1e12, 1000.0);
+        assert!(b < 1e-50, "bound {b}");
+        // Small ratios give a vacuous bound (capped at 1).
+        assert_eq!(theorem2_collision_bound(10.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn theorem1_capacity_and_value_restrictions() {
+        // Homogeneous workload: every file size 1, value = minValue.
+        let sizes = vec![1.0; 100];
+        let values = vec![1.0; 100];
+        let r1 = workload_r1(&sizes, &values, 1.0);
+        assert!((r1 - 1.0).abs() < 1e-12);
+        let r2 = workload_r2(&sizes, &values, 1.0, 64.0, 1000.0);
+        assert!((r2 - 64.0 / 1000.0).abs() < 1e-12);
+        let cap = theorem1_max_total_size(1e6, 64.0, 20.0, r1, r2);
+        // capacity-bound term: 64e6/(2·1·20) = 1.6e6; value-bound term:
+        // 64e6/0.064 = 1e9 — capacity binds.
+        assert!((cap - 1.6e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn sector_deposit_formula() {
+        // §IV-B: deposit depends only on capacity and constants.
+        let d = sector_deposit(128.0, 0.0046, 1000.0, 1.0, 64.0);
+        assert!((d - 128.0 * 0.0046 * 1000.0 / 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Arweave baseline model.
+//!
+//! §II-C.3: Arweave's Proof of Access makes miners store as many files as
+//! possible — effectively a high, miner-driven replication factor paid by
+//! a single upfront fee. We model each file replicated onto
+//! `replication_factor` capacity-weighted miners (Proof of Access rewards
+//! scale with stored data, so bigger miners hold more). Files are
+//! "permanent": no deletion, no refresh, and no compensation if every
+//! replica-holding miner disappears.
+
+use fi_crypto::DetRng;
+
+use crate::common::{sample_capacity_weighted, FileSpec, NetworkSpec, Placement};
+use crate::{Compensation, DsnModel};
+
+/// Arweave at placement granularity.
+#[derive(Debug, Clone)]
+pub struct ArweaveModel {
+    /// Replicas per file (miner-driven; higher than deal-based systems).
+    replication_factor: u32,
+}
+
+impl ArweaveModel {
+    /// Creates the model with the given replication factor.
+    pub fn new(replication_factor: u32) -> Self {
+        assert!(replication_factor > 0);
+        ArweaveModel { replication_factor }
+    }
+}
+
+impl DsnModel for ArweaveModel {
+    fn name(&self) -> &'static str {
+        "Arweave"
+    }
+
+    fn place(&self, net: &NetworkSpec, files: &[FileSpec], rng: &mut DetRng) -> Placement {
+        let locations = files
+            .iter()
+            .map(|_| sample_capacity_weighted(net, self.replication_factor as usize, rng))
+            .collect();
+        Placement {
+            locations,
+            survivors_needed: vec![1; files.len()],
+        }
+    }
+
+    fn sybil_vulnerable(&self) -> bool {
+        false // Proof of Access ties rewards to actually held data
+    }
+
+    fn provable_robustness(&self) -> bool {
+        false // no adversary-capacity loss bound is proven
+    }
+
+    fn compensation(&self) -> Compensation {
+        Compensation::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{corrupt_nodes, evaluate_loss, AdversaryStrategy};
+
+    #[test]
+    fn placement_matches_replication_factor() {
+        let m = ArweaveModel::new(6);
+        let net = NetworkSpec::uniform(30, 64);
+        let files = vec![FileSpec { size: 1, value: 1.0 }; 10];
+        let mut rng = DetRng::from_seed_label(95, "ar");
+        let p = m.place(&net, &files, &mut rng);
+        assert!(p.locations.iter().all(|l| l.len() == 6));
+        assert!(p.survivors_needed.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn loss_possible_without_compensation() {
+        let m = ArweaveModel::new(3);
+        let net = NetworkSpec::uniform(40, 64);
+        let files = vec![FileSpec { size: 1, value: 1.0 }; 300];
+        let mut rng = DetRng::from_seed_label(96, "ar-loss");
+        let p = m.place(&net, &files, &mut rng);
+        let corrupted = corrupt_nodes(
+            &net, &p, &files, 0.8, AdversaryStrategy::Random, false, &mut rng,
+        );
+        let report = evaluate_loss(&net, &p, &files, &corrupted);
+        assert!(report.lost_files > 0);
+        assert_eq!(m.compensate(report.lost_value, 1e9), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Filecoin baseline model.
+//!
+//! The aspects that matter for the Table IV comparison (§II-B):
+//!
+//! * **Deal-based placement.** Clients negotiate storage deals with miners
+//!   they choose — in practice heavily skewed toward a few large, cheap,
+//!   well-known miners. We model miner choice as Zipf-weighted rather than
+//!   capacity-proportional: popular miners accumulate correlated deals.
+//!   This is exactly the correlation that breaks provable robustness: an
+//!   adversary corrupting the popular miners kills disproportionate value.
+//! * **Static placement.** Deals pin a file to its miners for the deal
+//!   lifetime — no refresh — so the correlation persists (contrast
+//!   FileInsurer's `Auto_Refresh`).
+//! * **Burned deposits.** Miners pledge collateral, but on fault it is
+//!   *burned*, not paid to the client (§II-B.2: "that deposit is burnt
+//!   other than used for compensating the file loss"). Clients recover at
+//!   most unspent storage fees; we model a small constant recovered
+//!   fraction.
+//! * **PoRep/PoSt**: Sybil attacks are prevented (same machinery
+//!   FileInsurer reuses).
+
+use fi_crypto::DetRng;
+
+use crate::common::{FileSpec, NetworkSpec, Placement};
+use crate::{Compensation, DsnModel};
+
+/// Filecoin at placement granularity.
+#[derive(Debug, Clone)]
+pub struct FilecoinModel {
+    /// Replicas (deals) per file.
+    deals_per_file: u32,
+    /// Zipf exponent for miner popularity (0 = uniform choice).
+    zipf_s: f64,
+    /// Fraction of lost value recovered via fee refunds.
+    refund_fraction: f64,
+}
+
+impl FilecoinModel {
+    /// Creates the model with `deals_per_file` replicas per file and the
+    /// default popularity skew.
+    pub fn new(deals_per_file: u32) -> Self {
+        assert!(deals_per_file > 0);
+        FilecoinModel {
+            deals_per_file,
+            zipf_s: 1.0,
+            refund_fraction: 0.05,
+        }
+    }
+
+    /// Overrides the popularity skew (0.0 = uniform miner choice).
+    pub fn with_zipf(mut self, s: f64) -> Self {
+        self.zipf_s = s;
+        self
+    }
+}
+
+impl DsnModel for FilecoinModel {
+    fn name(&self) -> &'static str {
+        "Filecoin"
+    }
+
+    fn place(&self, net: &NetworkSpec, files: &[FileSpec], rng: &mut DetRng) -> Placement {
+        // Popularity weights: miner i gets weight 1/(i+1)^s (node order
+        // stands in for market rank).
+        let weights: Vec<f64> = (0..net.nodes.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.zipf_s))
+            .collect();
+        let mut prefix: Vec<f64> = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            prefix.push(acc);
+        }
+        let total = acc;
+        let pick = |rng: &mut DetRng| -> usize {
+            let t = rng.f64() * total;
+            prefix.partition_point(|&p| p <= t).min(weights.len() - 1)
+        };
+        let locations = files
+            .iter()
+            .map(|_| {
+                (0..self.deals_per_file)
+                    .map(|_| pick(rng))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Placement {
+            locations,
+            survivors_needed: vec![1; files.len()],
+        }
+    }
+
+    fn sybil_vulnerable(&self) -> bool {
+        false // PoRep + WindowPoSt
+    }
+
+    fn provable_robustness(&self) -> bool {
+        false // client-chosen, correlated, static placement
+    }
+
+    fn compensation(&self) -> Compensation {
+        Compensation::Limited {
+            recovered_fraction: self.refund_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{corrupt_nodes, evaluate_loss, AdversaryStrategy};
+    use crate::fileinsurer::FileInsurerModel;
+
+    #[test]
+    fn popular_miners_attract_correlated_deals() {
+        let m = FilecoinModel::new(5);
+        let net = NetworkSpec::uniform(100, 64);
+        let files: Vec<FileSpec> = (0..500)
+            .map(|_| FileSpec { size: 1, value: 1.0 })
+            .collect();
+        let mut rng = DetRng::from_seed_label(71, "fc");
+        let placement = m.place(&net, &files, &mut rng);
+        // Count load on the top-10 miners vs the bottom-10.
+        let mut load = vec![0usize; 100];
+        for locs in &placement.locations {
+            for &n in locs {
+                load[n] += 1;
+            }
+        }
+        let top: usize = load[..10].iter().sum();
+        let bottom: usize = load[90..].iter().sum();
+        assert!(top > bottom * 5, "zipf skew: top={top} bottom={bottom}");
+    }
+
+    #[test]
+    fn correlated_placement_loses_more_than_fileinsurer() {
+        // The comparison behind Table IV's "Provable Robustness" row: under
+        // a greedy adversary with the same replica budget, Filecoin's
+        // correlated placement loses far more value.
+        let net = NetworkSpec::uniform(200, 64);
+        let files: Vec<FileSpec> = (0..1000)
+            .map(|_| FileSpec { size: 1, value: 1.0 })
+            .collect();
+        let k = 5;
+        let fi = FileInsurerModel::new(k, 0.0046);
+        let fc = FilecoinModel::new(k);
+        let mut rng = DetRng::from_seed_label(72, "cmp");
+        let p_fi = fi.place(&net, &files, &mut rng);
+        let p_fc = fc.place(&net, &files, &mut rng);
+        let lambda = 0.3;
+        let mut rng_a = DetRng::from_seed_label(73, "a");
+        let mut rng_b = DetRng::from_seed_label(73, "b");
+        let c_fi = corrupt_nodes(
+            &net, &p_fi, &files, lambda, AdversaryStrategy::GreedyKill, false, &mut rng_a,
+        );
+        let c_fc = corrupt_nodes(
+            &net, &p_fc, &files, lambda, AdversaryStrategy::GreedyKill, false, &mut rng_b,
+        );
+        let loss_fi = evaluate_loss(&net, &p_fi, &files, &c_fi);
+        let loss_fc = evaluate_loss(&net, &p_fc, &files, &c_fc);
+        assert!(
+            loss_fc.lost_value > loss_fi.lost_value,
+            "filecoin {} vs fileinsurer {}",
+            loss_fc.lost_value,
+            loss_fi.lost_value
+        );
+    }
+
+    #[test]
+    fn refund_is_partial() {
+        let m = FilecoinModel::new(3);
+        let refunded = m.compensate(100.0, 1_000_000.0);
+        assert!(refunded > 0.0 && refunded < 10.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Sia baseline model.
+//!
+//! §II-C.2: Sia forms **storage contracts** between a renter and hosts the
+//! renter selects; hosts post periodic storage proofs per contract. Two
+//! properties distinguish it in Table IV:
+//!
+//! * **No Sybil prevention** (Table IV row 2: "Preventing Sybil Attacks —
+//!   No"): Sia's storage proofs prove *possession of data under a
+//!   contract*, not that distinct contracts live on distinct hardware. One
+//!   physical operator can present many host identities backed by one
+//!   disk; corrupting that operator kills every such "independent" host.
+//!   We model this with entity groups: each physical entity backs
+//!   `sybil_factor` logical hosts.
+//! * **No loss compensation**: host collateral is burned/kept, renters are
+//!   not made whole.
+
+use fi_crypto::DetRng;
+
+use crate::common::{FileSpec, NetworkSpec, Placement};
+use crate::{Compensation, DsnModel};
+
+/// Sia at placement granularity.
+#[derive(Debug, Clone)]
+pub struct SiaModel {
+    /// Hosts per file contract set.
+    hosts_per_file: u32,
+    /// Logical hosts per physical entity (the Sybil exposure).
+    sybil_factor: u32,
+}
+
+impl SiaModel {
+    /// Creates the model with `hosts_per_file` contracts per file and a
+    /// Sybil factor (logical hosts per physical entity).
+    pub fn new(hosts_per_file: u32, sybil_factor: u32) -> Self {
+        assert!(hosts_per_file > 0 && sybil_factor > 0);
+        SiaModel {
+            hosts_per_file,
+            sybil_factor,
+        }
+    }
+
+    /// Rewrites a network spec so that consecutive groups of
+    /// `sybil_factor` nodes share one physical entity — what the Sia
+    /// network *actually* looks like under Sybil identities, unbeknownst
+    /// to renters.
+    pub fn sybilize(&self, net: &NetworkSpec) -> NetworkSpec {
+        NetworkSpec {
+            nodes: net
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| crate::common::NodeSpec {
+                    capacity: n.capacity,
+                    entity: i / self.sybil_factor as usize,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl DsnModel for SiaModel {
+    fn name(&self) -> &'static str {
+        "Sia"
+    }
+
+    fn place(&self, net: &NetworkSpec, files: &[FileSpec], rng: &mut DetRng) -> Placement {
+        // Renters pick distinct-looking hosts uniformly.
+        let n = net.nodes.len();
+        let per_file = (self.hosts_per_file as usize).min(n);
+        let locations = files
+            .iter()
+            .map(|_| rng.sample_distinct(n, per_file))
+            .collect();
+        Placement {
+            locations,
+            survivors_needed: vec![1; files.len()],
+        }
+    }
+
+    fn sybil_vulnerable(&self) -> bool {
+        true
+    }
+
+    fn provable_robustness(&self) -> bool {
+        false
+    }
+
+    fn compensation(&self) -> Compensation {
+        Compensation::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{corrupt_nodes, evaluate_loss, AdversaryStrategy};
+
+    #[test]
+    fn sybilize_groups_entities() {
+        let m = SiaModel::new(3, 4);
+        let net = NetworkSpec::uniform(12, 64);
+        let sybil = m.sybilize(&net);
+        assert_eq!(sybil.nodes[0].entity, 0);
+        assert_eq!(sybil.nodes[3].entity, 0);
+        assert_eq!(sybil.nodes[4].entity, 1);
+        assert_eq!(sybil.nodes[11].entity, 2);
+    }
+
+    #[test]
+    fn sybil_attack_devastates_sia_but_not_honest_network() {
+        // Same placement, same λ budget; with Sybil collapse the adversary
+        // kills whole entity groups at one disk's cost.
+        let m = SiaModel::new(3, 8);
+        let net = NetworkSpec::uniform(64, 64);
+        let files = vec![FileSpec { size: 1, value: 1.0 }; 400];
+        let mut rng = DetRng::from_seed_label(91, "sia");
+        let placement = m.place(&net, &files, &mut rng);
+
+        let sybil_net = m.sybilize(&net);
+        let mut rng_a = DetRng::from_seed_label(92, "a");
+        let mut rng_b = DetRng::from_seed_label(92, "b");
+        let with_sybil = corrupt_nodes(
+            &sybil_net, &placement, &files, 0.2, AdversaryStrategy::GreedyKill, true, &mut rng_a,
+        );
+        let without = corrupt_nodes(
+            &net, &placement, &files, 0.2, AdversaryStrategy::GreedyKill, false, &mut rng_b,
+        );
+        let loss_sybil = evaluate_loss(&sybil_net, &placement, &files, &with_sybil);
+        let loss_honest = evaluate_loss(&net, &placement, &files, &without);
+        assert!(
+            loss_sybil.lost_value > loss_honest.lost_value * 2.0,
+            "sybil {} vs honest {}",
+            loss_sybil.lost_value,
+            loss_honest.lost_value
+        );
+        // And many more logical nodes fell than the budget "paid for".
+        assert!(with_sybil.len() > without.len());
+    }
+
+    #[test]
+    fn no_compensation() {
+        let m = SiaModel::new(3, 4);
+        assert_eq!(m.compensate(50.0, 1e9), 0.0);
+    }
+}

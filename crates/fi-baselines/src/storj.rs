@@ -1,0 +1,121 @@
+//! Storj baseline model.
+//!
+//! §II-C.1: Storj stores files as **encrypted, erasure-coded shards** —
+//! `data` shards suffice to rebuild a file out of `total` stored ones —
+//! placed on distinct uniformly chosen nodes. A file is lost when more
+//! than `total − data` shards vanish (§III-G: "a file is lost if enough
+//! shards of the file are not available beyond what can be recovered by
+//! erasure code"). Storage-node audits deter cheating, but lost files are
+//! not compensated from collateral.
+
+use fi_crypto::DetRng;
+
+use crate::common::{FileSpec, NetworkSpec, Placement};
+use crate::{Compensation, DsnModel};
+
+/// Storj at placement granularity.
+#[derive(Debug, Clone)]
+pub struct StorjModel {
+    /// Data shards needed to rebuild.
+    data_shards: u32,
+    /// Total shards stored.
+    total_shards: u32,
+}
+
+impl StorjModel {
+    /// Creates the model with a `(data, total)` erasure configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < data < total`.
+    pub fn new(data_shards: u32, total_shards: u32) -> Self {
+        assert!(data_shards > 0 && data_shards < total_shards);
+        StorjModel {
+            data_shards,
+            total_shards,
+        }
+    }
+}
+
+impl DsnModel for StorjModel {
+    fn name(&self) -> &'static str {
+        "Storj"
+    }
+
+    fn place(&self, net: &NetworkSpec, files: &[FileSpec], rng: &mut DetRng) -> Placement {
+        let n = net.nodes.len();
+        let shards = (self.total_shards as usize).min(n);
+        let locations = files
+            .iter()
+            .map(|_| rng.sample_distinct(n, shards))
+            .collect();
+        Placement {
+            locations,
+            survivors_needed: vec![self.data_shards; files.len()],
+        }
+    }
+
+    fn sybil_vulnerable(&self) -> bool {
+        false // node audits + identity vetting (Table IV credits Storj)
+    }
+
+    fn provable_robustness(&self) -> bool {
+        false
+    }
+
+    fn compensation(&self) -> Compensation {
+        Compensation::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{corrupt_nodes, evaluate_loss, AdversaryStrategy};
+
+    #[test]
+    fn shards_are_distinct_nodes() {
+        let m = StorjModel::new(4, 8);
+        let net = NetworkSpec::uniform(50, 64);
+        let files = vec![FileSpec { size: 1, value: 1.0 }; 100];
+        let mut rng = DetRng::from_seed_label(81, "storj");
+        let p = m.place(&net, &files, &mut rng);
+        for locs in &p.locations {
+            let set: std::collections::HashSet<_> = locs.iter().collect();
+            assert_eq!(set.len(), locs.len(), "shards on distinct nodes");
+            assert_eq!(locs.len(), 8);
+        }
+        assert!(p.survivors_needed.iter().all(|&s| s == 4));
+    }
+
+    #[test]
+    fn erasure_threshold_behaviour() {
+        // Losing exactly total-data shards is survivable; one more kills.
+        let m = StorjModel::new(2, 4);
+        let net = NetworkSpec::uniform(10, 64);
+        let files = vec![FileSpec { size: 1, value: 1.0 }];
+        let mut rng = DetRng::from_seed_label(82, "thr");
+        let p = m.place(&net, &files, &mut rng);
+        let locs = p.locations[0].clone();
+        let two: std::collections::HashSet<usize> = locs[..2].iter().copied().collect();
+        let three: std::collections::HashSet<usize> = locs[..3].iter().copied().collect();
+        assert!(p.survives(0, &two));
+        assert!(!p.survives(0, &three));
+    }
+
+    #[test]
+    fn mass_corruption_loses_files_without_compensation() {
+        let m = StorjModel::new(4, 8);
+        let net = NetworkSpec::uniform(100, 64);
+        let files = vec![FileSpec { size: 1, value: 1.0 }; 500];
+        let mut rng = DetRng::from_seed_label(83, "mass");
+        let p = m.place(&net, &files, &mut rng);
+        let corrupted = corrupt_nodes(
+            &net, &p, &files, 0.7, AdversaryStrategy::Random, false, &mut rng,
+        );
+        let report = evaluate_loss(&net, &p, &files, &corrupted);
+        // At λ=0.7 each shard dies wp ~0.7; P(≥5 of 8 dead) is high.
+        assert!(report.lost_files > 100, "lost {}", report.lost_files);
+        assert_eq!(m.compensate(report.lost_value, 1e9), 0.0);
+    }
+}

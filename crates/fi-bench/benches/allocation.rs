@@ -1,0 +1,86 @@
+//! Engine throughput: File_Add, proof checking, refresh cycles.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::Engine;
+use fi_core::params::ProtocolParams;
+use fi_crypto::sha256;
+
+const PROVIDER: AccountId = AccountId(100);
+const CLIENT: AccountId = AccountId(200);
+
+fn engine_with_sectors(sectors: usize) -> Engine {
+    let params = ProtocolParams {
+        k: 3,
+        avg_refresh: 1e9, // no spontaneous refresh during the bench
+        ..ProtocolParams::default()
+    };
+    let mut e = Engine::new(params).unwrap();
+    e.fund(PROVIDER, TokenAmount(u128::MAX / 4));
+    e.fund(CLIENT, TokenAmount(u128::MAX / 4));
+    for _ in 0..sectors {
+        e.sector_register(PROVIDER, 64 * 1024).unwrap();
+    }
+    e
+}
+
+fn bench_file_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/file_add");
+    for sectors in [10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(sectors), &sectors, |b, &s| {
+            let mut e = engine_with_sectors(s);
+            let root = sha256(b"bench file");
+            b.iter(|| {
+                black_box(
+                    e.file_add(CLIENT, 1, TokenAmount(1_000), root)
+                        .expect("capacity available"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_proof_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/proof-cycle");
+    group.sample_size(20);
+    for files in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(files), &files, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let mut e = engine_with_sectors(50);
+                    let root = sha256(b"bench file");
+                    for _ in 0..n {
+                        e.file_add(CLIENT, 1, TokenAmount(1_000), root).unwrap();
+                    }
+                    e.honest_providers_act();
+                    e.advance_to(e.now() + 1);
+                    e
+                },
+                |mut e| {
+                    // One full proof cycle: all providers prove, CheckProof runs.
+                    e.honest_providers_act();
+                    e.advance_to(e.now() + e.params().proof_cycle);
+                    black_box(e.stats().proofs_accepted)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_file_add, bench_proof_cycle
+}
+criterion_main!(benches);

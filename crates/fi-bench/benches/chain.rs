@@ -1,0 +1,60 @@
+//! Chain substrate: block production, ledger ops, pending list.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fi_chain::account::{AccountId, Ledger, TokenAmount};
+use fi_chain::block::BlockChain;
+use fi_chain::tasks::PendingList;
+use fi_crypto::Hash256;
+
+fn bench_blocks(c: &mut Criterion) {
+    c.bench_function("chain/advance-100-blocks", |b| {
+        b.iter_with_setup(
+            || BlockChain::new(1, 10),
+            |mut chain| {
+                chain.advance_time(1_000, Hash256::ZERO);
+                black_box(chain.height())
+            },
+        )
+    });
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    c.bench_function("chain/ledger/transfer", |b| {
+        let mut ledger = Ledger::new();
+        ledger.mint(AccountId(1), TokenAmount(u128::MAX / 2));
+        b.iter(|| {
+            ledger
+                .transfer(AccountId(1), AccountId(2), TokenAmount(1))
+                .unwrap();
+            black_box(ledger.balance(AccountId(2)))
+        })
+    });
+}
+
+fn bench_pending_list(c: &mut Criterion) {
+    c.bench_function("chain/pending/schedule+pop", |b| {
+        let mut pl: PendingList<u64> = PendingList::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            pl.schedule(t + 10, t);
+            black_box(pl.pop_due(t))
+        })
+    });
+}
+
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_blocks, bench_ledger, bench_pending_list
+}
+criterion_main!(benches);

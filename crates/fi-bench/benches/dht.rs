@@ -1,0 +1,56 @@
+//! DHT lookup cost as the network grows (expect ~log n hops).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fi_ipfs::dht::{node_id, Dht};
+use fi_crypto::sha256;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht/lookup");
+    group.sample_size(20);
+    for n in [64u64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut dht = Dht::new(16, 3);
+            for i in 0..n {
+                dht.join(node_id(i));
+            }
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                black_box(dht.lookup(node_id(k % n), sha256(&k.to_be_bytes())))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_provide_find(c: &mut Criterion) {
+    c.bench_function("dht/provide+find/256", |b| {
+        let mut dht = Dht::new(16, 3);
+        for i in 0..256 {
+            dht.join(node_id(i));
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let cid = sha256(&k.to_be_bytes());
+            dht.provide(node_id(k % 256), cid);
+            black_box(dht.find_providers(node_id((k + 7) % 256), cid))
+        })
+    });
+}
+
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_lookup, bench_provide_find
+}
+criterion_main!(benches);

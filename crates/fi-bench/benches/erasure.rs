@@ -1,0 +1,59 @@
+//! Reed–Solomon encode/reconstruct throughput (§VI-C machinery).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fi_erasure::ReedSolomon;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure/encode");
+    for (data, parity) in [(4usize, 2usize), (8, 8), (16, 16)] {
+        let rs = ReedSolomon::new(data, parity).unwrap();
+        let payload = vec![0x5Au8; 64 * 1024];
+        group.throughput(Throughput::Bytes(payload.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{data}+{parity}")),
+            &data,
+            |b, _| b.iter(|| black_box(rs.encode_bytes(&payload))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure/reconstruct");
+    for (data, parity) in [(8usize, 8usize), (16, 16)] {
+        let rs = ReedSolomon::new(data, parity).unwrap();
+        let payload = vec![0xC3u8; 64 * 1024];
+        let shards = rs.encode_bytes(&payload);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{data}+{parity}")),
+            &data,
+            |b, &d| {
+                b.iter(|| {
+                    let mut got: Vec<Option<Vec<u8>>> =
+                        shards.iter().cloned().map(Some).collect();
+                    for slot in got.iter_mut().take(d) {
+                        *slot = None; // lose all data shards
+                    }
+                    black_box(rs.reconstruct(&got).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_encode, bench_reconstruct
+}
+criterion_main!(benches);

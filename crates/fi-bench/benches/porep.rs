@@ -1,0 +1,78 @@
+//! Simulated PoRep seal/verify and WindowPoSt respond/verify.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fi_crypto::sha256;
+use fi_porep::post::{derive_challenges, WindowPost};
+use fi_porep::seal::{PorepProof, ReplicaId, SealedReplica};
+use fi_porep::CapacityReplica;
+
+fn rid() -> ReplicaId {
+    ReplicaId::derive(&sha256(b"data"), &sha256(b"sector"), 0)
+}
+
+fn bench_seal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("porep/seal");
+    for size in [1_024usize, 65_536] {
+        let data = vec![0x11u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(SealedReplica::seal(&data, rid())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_porep_proof(c: &mut Criterion) {
+    let data = vec![0x22u8; 16_384];
+    c.bench_function("porep/proof/create", |b| {
+        b.iter(|| black_box(PorepProof::create(&data, rid())))
+    });
+    let (_, proof) = PorepProof::create(&data, rid());
+    c.bench_function("porep/proof/verify", |b| b.iter(|| black_box(proof.verify())));
+}
+
+fn bench_window_post(c: &mut Criterion) {
+    let data = vec![0x33u8; 65_536];
+    let replica = SealedReplica::seal(&data, rid());
+    let beacon = sha256(b"round");
+    for challenges in [4usize, 16] {
+        let ch = derive_challenges(&beacon, &replica.comm_r(), challenges, replica.chunk_count());
+        c.bench_function(&format!("porep/post/respond/{challenges}"), |b| {
+            b.iter(|| black_box(WindowPost::respond(&replica, &ch)))
+        });
+        let post = WindowPost::respond(&replica, &ch);
+        c.bench_function(&format!("porep/post/verify/{challenges}"), |b| {
+            b.iter(|| black_box(post.verify(&replica.comm_r(), &ch)))
+        });
+    }
+}
+
+fn bench_capacity_replica(c: &mut Criterion) {
+    c.bench_function("porep/cr/generate-16KiB", |b| {
+        let tag = sha256(b"sector-tag");
+        let mut slot = 0u32;
+        b.iter(|| {
+            slot += 1;
+            black_box(CapacityReplica::generate(&tag, slot, 16_384))
+        })
+    });
+}
+
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_seal,
+    bench_porep_proof,
+    bench_window_post,
+    bench_capacity_replica
+}
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Weighted-sampler benchmarks + the DESIGN.md §5 ablation:
+//! Fenwick tree vs linear scan vs rebuilt alias table.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fi_core::sampler::WeightedSampler;
+use fi_crypto::DetRng;
+
+/// Linear-scan baseline: O(n) sample, O(1) update.
+struct LinearSampler {
+    weights: Vec<u64>,
+    total: u64,
+}
+
+impl LinearSampler {
+    fn new(weights: &[u64]) -> Self {
+        LinearSampler {
+            weights: weights.to_vec(),
+            total: weights.iter().sum(),
+        }
+    }
+    fn sample(&self, rng: &mut DetRng) -> usize {
+        let mut t = rng.below(self.total);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if t < w {
+                return i;
+            }
+            t -= w;
+        }
+        self.weights.len() - 1
+    }
+}
+
+/// Alias-table baseline: O(1) sample, O(n) rebuild on any update.
+struct AliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    fn new(weights: &[u64]) -> Self {
+        let n = weights.len();
+        let total: u64 = weights.iter().sum();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| w as f64 * n as f64 / total as f64)
+            .collect();
+        let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
+        let mut scaled = scaled;
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = scaled[l] + scaled[s] - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for l in large {
+            prob[l] = 1.0;
+        }
+        for s in small {
+            prob[s] = 1.0;
+        }
+        AliasSampler { prob, alias }
+    }
+    fn sample(&self, rng: &mut DetRng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+fn weights(n: usize) -> Vec<u64> {
+    (0..n).map(|i| 64 + (i as u64 % 7) * 64).collect()
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/sample");
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let w = weights(n);
+        let mut fenwick = WeightedSampler::new();
+        for (i, &wi) in w.iter().enumerate() {
+            fenwick.insert(i, wi);
+        }
+        let linear = LinearSampler::new(&w);
+        let alias = AliasSampler::new(&w);
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &n, |b, _| {
+            let mut rng = DetRng::from_seed_label(1, "bf");
+            b.iter(|| black_box(fenwick.sample(&mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut rng = DetRng::from_seed_label(1, "bl");
+            b.iter(|| black_box(linear.sample(&mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            let mut rng = DetRng::from_seed_label(1, "ba");
+            b.iter(|| black_box(alias.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    // Dynamic churn: the workload RandomSector actually faces — the alias
+    // table must fully rebuild, the Fenwick tree does an O(log n) update.
+    let mut group = c.benchmark_group("sampler/update-then-sample");
+    for n in [1_000usize, 10_000] {
+        let w = weights(n);
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &n, |b, _| {
+            let mut fenwick = WeightedSampler::new();
+            for (i, &wi) in w.iter().enumerate() {
+                fenwick.insert(i, wi);
+            }
+            let mut rng = DetRng::from_seed_label(2, "uf");
+            let mut k = 0usize;
+            b.iter(|| {
+                fenwick.insert(k % n, 64 + (k as u64 % 13) * 64);
+                k += 1;
+                black_box(fenwick.sample(&mut rng).copied())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alias-rebuild", n), &n, |b, _| {
+            let mut w = w.clone();
+            let mut rng = DetRng::from_seed_label(2, "ua");
+            let mut k = 0usize;
+            b.iter(|| {
+                w[k % n] = 64 + (k as u64 % 13) * 64;
+                k += 1;
+                let alias = AliasSampler::new(&w);
+                black_box(alias.sample(&mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_sample, bench_update
+}
+criterion_main!(benches);

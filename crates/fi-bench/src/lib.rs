@@ -1,0 +1,32 @@
+//! Benchmark and experiment-binary crate.
+//!
+//! * `src/bin/` — one binary per paper table/figure; each prints the
+//!   regenerated rows next to the paper's claims:
+//!   * `table3` — Table III (max sector capacity usage; `--full` = paper
+//!     scale),
+//!   * `table4` — Table IV (protocol comparison, measured),
+//!   * `thm1_scalability` — Theorem 1 capacity formula vs fill simulation,
+//!   * `thm2_collision` — Theorem 2 collision probabilities,
+//!   * `thm3_robustness` — Theorem 3 γ_lost sweep (the §V-B.3 headline),
+//!   * `thm4_deposit` — Theorem 4 deposit-ratio sufficiency.
+//! * `benches/` — criterion micro-benchmarks for the hot paths: weighted
+//!   sampling (with a Fenwick vs linear vs alias ablation), engine
+//!   allocation/refresh throughput, SHA-256/Merkle, Reed–Solomon, PoRep
+//!   seal/prove/verify, chain block production, and DHT lookups.
+
+/// Shared banner printed by the experiment binaries.
+pub fn banner(title: &str, paper_ref: &str) -> String {
+    format!(
+        "== {title} ==\nreproduces: {paper_ref}\n(seeded, deterministic; pass --full for paper-scale grids)\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_contains_title() {
+        let b = super::banner("Table III", "FileInsurer Table III");
+        assert!(b.contains("Table III"));
+        assert!(b.contains("--full"));
+    }
+}

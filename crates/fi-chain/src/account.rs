@@ -1,0 +1,337 @@
+//! Token ledger: accounts, balances, and conservation-audited flows.
+//!
+//! All FileInsurer money — deposits pledged per sector, storage rent,
+//! traffic fees, prepaid gas, compensation payouts — moves through this
+//! ledger. The ledger tracks total supply so tests can assert the
+//! conservation invariant: tokens are created only by explicit `mint`
+//! (client funding in simulations) and destroyed only by explicit `burn`
+//! (e.g. Filecoin-style deposit burning in the baseline comparison).
+
+use std::collections::HashMap;
+
+/// An account identifier.
+///
+/// Low ids are reserved by convention for system accounts (see
+/// [`AccountId::TREASURY`]); simulations hand out ids from
+/// [`AccountId::FIRST_USER`] upward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccountId(pub u64);
+
+impl AccountId {
+    /// The network treasury: holds confiscated deposits pending
+    /// compensation payouts, and collects rent before distribution.
+    pub const TREASURY: AccountId = AccountId(0);
+    /// First id available for ordinary participants.
+    pub const FIRST_USER: AccountId = AccountId(16);
+}
+
+impl std::fmt::Display for AccountId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "acct#{}", self.0)
+    }
+}
+
+/// A token amount in base units.
+///
+/// Arithmetic helpers are checked: protocol code uses
+/// [`TokenAmount::saturating_sub`] / [`TokenAmount::checked_sub`] rather
+/// than raw subtraction so accounting bugs surface as errors, not wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct TokenAmount(pub u128);
+
+impl TokenAmount {
+    /// Zero tokens.
+    pub const ZERO: TokenAmount = TokenAmount(0);
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: TokenAmount) -> Option<TokenAmount> {
+        self.0.checked_add(rhs.0).map(TokenAmount)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: TokenAmount) -> Option<TokenAmount> {
+        self.0.checked_sub(rhs.0).map(TokenAmount)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: TokenAmount) -> TokenAmount {
+        TokenAmount(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales by a ratio `num/den`, rounding down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn mul_ratio(self, num: u128, den: u128) -> TokenAmount {
+        assert!(den != 0, "zero denominator");
+        TokenAmount(self.0 * num / den)
+    }
+
+    /// `true` when zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::Add for TokenAmount {
+    type Output = TokenAmount;
+    fn add(self, rhs: TokenAmount) -> TokenAmount {
+        TokenAmount(self.0.checked_add(rhs.0).expect("token overflow"))
+    }
+}
+
+impl std::ops::AddAssign for TokenAmount {
+    fn add_assign(&mut self, rhs: TokenAmount) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for TokenAmount {
+    type Output = TokenAmount;
+    fn sub(self, rhs: TokenAmount) -> TokenAmount {
+        TokenAmount(self.0.checked_sub(rhs.0).expect("token underflow"))
+    }
+}
+
+impl std::iter::Sum for TokenAmount {
+    fn sum<I: Iterator<Item = TokenAmount>>(iter: I) -> TokenAmount {
+        iter.fold(TokenAmount::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for TokenAmount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}tok", self.0)
+    }
+}
+
+/// Errors from ledger operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The source account lacks the funds.
+    InsufficientFunds {
+        /// Account that was debited.
+        account: AccountId,
+        /// Requested amount.
+        requested: TokenAmount,
+        /// Available balance.
+        available: TokenAmount,
+    },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::InsufficientFunds {
+                account,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient funds in {account}: requested {requested}, available {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The token ledger.
+///
+/// # Example
+///
+/// ```
+/// use fi_chain::account::{AccountId, Ledger, TokenAmount};
+/// let mut l = Ledger::new();
+/// l.mint(AccountId(20), TokenAmount(10));
+/// assert!(l.transfer(AccountId(20), AccountId(21), TokenAmount(20)).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    balances: HashMap<AccountId, TokenAmount>,
+    total_supply: TokenAmount,
+    total_burned: TokenAmount,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Balance of `account` (zero for unknown accounts).
+    pub fn balance(&self, account: AccountId) -> TokenAmount {
+        self.balances.get(&account).copied().unwrap_or_default()
+    }
+
+    /// Tokens currently in circulation.
+    pub fn total_supply(&self) -> TokenAmount {
+        self.total_supply
+    }
+
+    /// Cumulative tokens destroyed by [`Ledger::burn`].
+    pub fn total_burned(&self) -> TokenAmount {
+        self.total_burned
+    }
+
+    /// Creates `amount` new tokens in `account`.
+    pub fn mint(&mut self, account: AccountId, amount: TokenAmount) {
+        *self.balances.entry(account).or_default() += amount;
+        self.total_supply += amount;
+    }
+
+    /// Destroys up to `amount` tokens from `account`.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::InsufficientFunds`] if the balance is too small;
+    /// nothing is burned in that case.
+    pub fn burn(&mut self, account: AccountId, amount: TokenAmount) -> Result<(), LedgerError> {
+        self.debit(account, amount)?;
+        self.total_supply = self.total_supply - amount;
+        self.total_burned += amount;
+        Ok(())
+    }
+
+    /// Moves `amount` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::InsufficientFunds`] if `from` lacks the funds; the
+    /// ledger is unchanged in that case.
+    pub fn transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: TokenAmount,
+    ) -> Result<(), LedgerError> {
+        self.debit(from, amount)?;
+        *self.balances.entry(to).or_default() += amount;
+        Ok(())
+    }
+
+    /// Transfers as much of `amount` as `from` can afford; returns the
+    /// amount actually moved. Used for best-effort compensation payouts.
+    pub fn transfer_up_to(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: TokenAmount,
+    ) -> TokenAmount {
+        let moved = self.balance(from).min(amount);
+        if !moved.is_zero() {
+            self.transfer(from, to, moved).expect("bounded by balance");
+        }
+        moved
+    }
+
+    fn debit(&mut self, account: AccountId, amount: TokenAmount) -> Result<(), LedgerError> {
+        let balance = self.balance(account);
+        match balance.checked_sub(amount) {
+            Some(rest) => {
+                self.balances.insert(account, rest);
+                Ok(())
+            }
+            None => Err(LedgerError::InsufficientFunds {
+                account,
+                requested: amount,
+                available: balance,
+            }),
+        }
+    }
+
+    /// Iterates over `(account, balance)` pairs with non-zero balance.
+    pub fn iter(&self) -> impl Iterator<Item = (AccountId, TokenAmount)> + '_ {
+        self.balances
+            .iter()
+            .filter(|(_, b)| !b.is_zero())
+            .map(|(a, b)| (*a, *b))
+    }
+
+    /// Audits conservation: the sum of all balances must equal the total
+    /// supply. Called by tests after every scenario.
+    pub fn audit(&self) -> bool {
+        let sum: TokenAmount = self.balances.values().copied().sum();
+        sum == self.total_supply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_transfer_burn_flow() {
+        let mut l = Ledger::new();
+        let (a, b) = (AccountId(20), AccountId(21));
+        l.mint(a, TokenAmount(100));
+        l.transfer(a, b, TokenAmount(40)).unwrap();
+        assert_eq!(l.balance(a), TokenAmount(60));
+        assert_eq!(l.balance(b), TokenAmount(40));
+        l.burn(b, TokenAmount(10)).unwrap();
+        assert_eq!(l.total_supply(), TokenAmount(90));
+        assert_eq!(l.total_burned(), TokenAmount(10));
+        assert!(l.audit());
+    }
+
+    #[test]
+    fn insufficient_funds_leaves_state_unchanged() {
+        let mut l = Ledger::new();
+        let (a, b) = (AccountId(20), AccountId(21));
+        l.mint(a, TokenAmount(5));
+        let err = l.transfer(a, b, TokenAmount(6)).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::InsufficientFunds {
+                account: a,
+                requested: TokenAmount(6),
+                available: TokenAmount(5)
+            }
+        );
+        assert_eq!(l.balance(a), TokenAmount(5));
+        assert_eq!(l.balance(b), TokenAmount::ZERO);
+        assert!(l.burn(a, TokenAmount(6)).is_err());
+        assert!(l.audit());
+    }
+
+    #[test]
+    fn transfer_up_to_caps_at_balance() {
+        let mut l = Ledger::new();
+        let (a, b) = (AccountId(20), AccountId(21));
+        l.mint(a, TokenAmount(30));
+        let moved = l.transfer_up_to(a, b, TokenAmount(100));
+        assert_eq!(moved, TokenAmount(30));
+        assert_eq!(l.balance(a), TokenAmount::ZERO);
+        let moved = l.transfer_up_to(a, b, TokenAmount(100));
+        assert_eq!(moved, TokenAmount::ZERO);
+    }
+
+    #[test]
+    fn self_transfer_is_identity() {
+        let mut l = Ledger::new();
+        let a = AccountId(20);
+        l.mint(a, TokenAmount(10));
+        l.transfer(a, a, TokenAmount(10)).unwrap();
+        assert_eq!(l.balance(a), TokenAmount(10));
+        assert!(l.audit());
+    }
+
+    #[test]
+    fn token_amount_arithmetic() {
+        assert_eq!(TokenAmount(7).mul_ratio(2, 3), TokenAmount(4));
+        assert_eq!(
+            TokenAmount(5).saturating_sub(TokenAmount(9)),
+            TokenAmount::ZERO
+        );
+        assert_eq!(TokenAmount(5).checked_sub(TokenAmount(9)), None);
+        let sum: TokenAmount = [TokenAmount(1), TokenAmount(2)].into_iter().sum();
+        assert_eq!(sum, TokenAmount(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "token underflow")]
+    fn raw_subtraction_panics_on_underflow() {
+        let _ = TokenAmount(1) - TokenAmount(2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Gas metering and the prepaid-gas mechanism.
+//!
+//! Paper §IV-A.3: periodic proof checks and refreshes *"use the consensus
+//! space and thus incur a gas fee. The gas fee for these operations should
+//! be prepaid by the user as these operations are performed automatically"*;
+//! and §III-B.4: *"tasks that are placed in the pending list must have a
+//! clear gas used upper bound"*.
+//!
+//! [`GasSchedule`] prices operations, [`GasMeter`] accumulates usage within
+//! a request, and prepaid balances are ordinary ledger escrow handled by the
+//! protocol layer. The schedule values are abstract units — only relative
+//! magnitudes matter in simulation.
+
+use crate::account::TokenAmount;
+
+/// Chargeable operation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Fixed per-request base cost (anti-spam; §IV-A.3 "anyone who submits
+    /// requests to the network must pay a gas fee").
+    RequestBase,
+    /// Writing one allocation-table entry.
+    AllocWrite,
+    /// Reading/validating one allocation-table entry.
+    AllocRead,
+    /// Verifying one storage proof (WindowPoSt response).
+    ProofVerify,
+    /// Scheduling a pending-list task.
+    TaskSchedule,
+    /// Executing a pending-list task (base).
+    TaskExecute,
+    /// Ledger transfer.
+    Transfer,
+    /// Registering or disabling a sector.
+    SectorAdmin,
+}
+
+/// Gas prices per operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GasSchedule {
+    request_base: u64,
+    alloc_write: u64,
+    alloc_read: u64,
+    proof_verify: u64,
+    task_schedule: u64,
+    task_execute: u64,
+    transfer: u64,
+    sector_admin: u64,
+    /// Token price of one gas unit.
+    pub token_per_gas: TokenAmount,
+}
+
+impl Default for GasSchedule {
+    fn default() -> Self {
+        GasSchedule {
+            request_base: 10,
+            alloc_write: 5,
+            alloc_read: 1,
+            proof_verify: 20,
+            task_schedule: 2,
+            task_execute: 5,
+            transfer: 3,
+            sector_admin: 25,
+            token_per_gas: TokenAmount(1),
+        }
+    }
+}
+
+impl GasSchedule {
+    /// A schedule with every price at zero — for experiments that want to
+    /// observe pure protocol money flows without gas noise.
+    pub fn free() -> Self {
+        GasSchedule {
+            request_base: 0,
+            alloc_write: 0,
+            alloc_read: 0,
+            proof_verify: 0,
+            task_schedule: 0,
+            task_execute: 0,
+            transfer: 0,
+            sector_admin: 0,
+            token_per_gas: TokenAmount(0),
+        }
+    }
+
+    /// Gas units charged for `op`.
+    pub fn price(&self, op: Op) -> u64 {
+        match op {
+            Op::RequestBase => self.request_base,
+            Op::AllocWrite => self.alloc_write,
+            Op::AllocRead => self.alloc_read,
+            Op::ProofVerify => self.proof_verify,
+            Op::TaskSchedule => self.task_schedule,
+            Op::TaskExecute => self.task_execute,
+            Op::Transfer => self.transfer,
+            Op::SectorAdmin => self.sector_admin,
+        }
+    }
+
+    /// Token cost of `gas` units.
+    pub fn to_tokens(&self, gas: u64) -> TokenAmount {
+        TokenAmount(self.token_per_gas.0 * gas as u128)
+    }
+
+    /// Upper bound (in gas) of one `Auto_CheckProof` execution over a file
+    /// with `cp` replicas: task base + per-replica read + proof verify +
+    /// a reschedule. Pending-list tasks must declare such a bound (§III-B.4).
+    pub fn check_proof_bound(&self, cp: u32) -> u64 {
+        self.task_execute
+            + cp as u64 * (self.alloc_read + self.proof_verify)
+            + self.task_schedule
+            + self.transfer
+    }
+
+    /// Upper bound (in gas) of one `Auto_Refresh` + `Auto_CheckRefresh`
+    /// pair for a file with `cp` replicas.
+    pub fn refresh_bound(&self, cp: u32) -> u64 {
+        2 * self.task_execute + 2 * self.alloc_write + cp as u64 * self.alloc_read
+            + self.task_schedule
+    }
+}
+
+/// Errors from gas accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GasError {
+    /// The meter's limit was exceeded.
+    OutOfGas {
+        /// Gas limit for the request/task.
+        limit: u64,
+        /// Gas that would have been used.
+        needed: u64,
+    },
+}
+
+impl std::fmt::Display for GasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GasError::OutOfGas { limit, needed } => {
+                write!(f, "out of gas: limit {limit}, needed {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GasError {}
+
+/// Accumulates gas within one request or task execution.
+///
+/// # Example
+///
+/// ```
+/// use fi_chain::gas::{GasMeter, GasSchedule, Op};
+/// let schedule = GasSchedule::default();
+/// let mut meter = GasMeter::new(100);
+/// meter.charge(&schedule, Op::RequestBase).unwrap();
+/// meter.charge(&schedule, Op::AllocWrite).unwrap();
+/// assert_eq!(meter.used(), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GasMeter {
+    limit: u64,
+    used: u64,
+}
+
+impl GasMeter {
+    /// A meter that aborts past `limit` gas.
+    pub fn new(limit: u64) -> Self {
+        GasMeter { limit, used: 0 }
+    }
+
+    /// An effectively unlimited meter (consensus-internal bookkeeping).
+    pub fn unlimited() -> Self {
+        GasMeter {
+            limit: u64::MAX,
+            used: 0,
+        }
+    }
+
+    /// Charges one operation.
+    ///
+    /// # Errors
+    ///
+    /// [`GasError::OutOfGas`] when the charge would exceed the limit; the
+    /// meter records the limit as fully used in that case (failed requests
+    /// still consume their gas).
+    pub fn charge(&mut self, schedule: &GasSchedule, op: Op) -> Result<(), GasError> {
+        let price = schedule.price(op);
+        let needed = self.used.saturating_add(price);
+        if needed > self.limit {
+            self.used = self.limit;
+            return Err(GasError::OutOfGas {
+                limit: self.limit,
+                needed,
+            });
+        }
+        self.used = needed;
+        Ok(())
+    }
+
+    /// Gas used so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Gas remaining under the limit.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let s = GasSchedule::default();
+        let mut m = GasMeter::new(1000);
+        m.charge(&s, Op::RequestBase).unwrap();
+        m.charge(&s, Op::SectorAdmin).unwrap();
+        assert_eq!(m.used(), 35);
+        assert_eq!(m.remaining(), 965);
+    }
+
+    #[test]
+    fn out_of_gas_consumes_limit() {
+        let s = GasSchedule::default();
+        let mut m = GasMeter::new(12);
+        m.charge(&s, Op::RequestBase).unwrap(); // 10
+        let err = m.charge(&s, Op::ProofVerify).unwrap_err(); // +20 > 12
+        assert_eq!(err, GasError::OutOfGas { limit: 12, needed: 30 });
+        assert_eq!(m.used(), 12);
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn task_bounds_dominate_actual_usage() {
+        // The declared bounds must be valid upper bounds for the op mix the
+        // engine actually performs (checked against fi-core in integration
+        // tests; here against a representative mix).
+        let s = GasSchedule::default();
+        for cp in [1u32, 5, 20, 100] {
+            let mut m = GasMeter::unlimited();
+            m.charge(&s, Op::TaskExecute).unwrap();
+            for _ in 0..cp {
+                m.charge(&s, Op::AllocRead).unwrap();
+                m.charge(&s, Op::ProofVerify).unwrap();
+            }
+            m.charge(&s, Op::TaskSchedule).unwrap();
+            m.charge(&s, Op::Transfer).unwrap();
+            assert!(m.used() <= s.check_proof_bound(cp), "cp={cp}");
+        }
+    }
+
+    #[test]
+    fn tokens_conversion() {
+        let mut s = GasSchedule::default();
+        s.token_per_gas = TokenAmount(3);
+        assert_eq!(s.to_tokens(7), TokenAmount(21));
+    }
+}

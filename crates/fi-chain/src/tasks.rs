@@ -1,0 +1,194 @@
+//! The pending list: consensus-scheduled future tasks.
+//!
+//! Paper Fig. 1: `pendingList: {time → [task, task, ...]}` — *"When a new
+//! time point t is reached, the tasks in the pending list whose timestamp is
+//! t will be automatically executed by the network"*. Tasks are generated
+//! only through network consensus and must have a prepaid gas bound
+//! (§III-B.4); the gas side lives in [`crate::gas`], the scheduling side
+//! here.
+//!
+//! Generic over the task type so `fi-core` can schedule its `Auto_*`
+//! variants and tests can schedule plain markers.
+
+use std::collections::BTreeMap;
+
+/// Discrete consensus time (block timestamp units).
+pub type Time = u64;
+
+/// A time-ordered task queue with stable FIFO order within a timestamp.
+///
+/// # Example
+///
+/// ```
+/// use fi_chain::PendingList;
+/// let mut pl = PendingList::new();
+/// pl.schedule(10, "check-proof");
+/// pl.schedule(5, "check-alloc");
+/// pl.schedule(10, "refresh");
+/// assert_eq!(pl.pop_due(9), vec![(5, "check-alloc")]);
+/// assert_eq!(pl.pop_due(10), vec![(10, "check-proof"), (10, "refresh")]);
+/// assert!(pl.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PendingList<T> {
+    queue: BTreeMap<Time, Vec<T>>,
+    len: usize,
+}
+
+impl<T> Default for PendingList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PendingList<T> {
+    /// Creates an empty pending list.
+    pub fn new() -> Self {
+        PendingList {
+            queue: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Schedules `task` for execution at `time`.
+    pub fn schedule(&mut self, time: Time, task: T) {
+        self.queue.entry(time).or_default().push(task);
+        self.len += 1;
+    }
+
+    /// Removes and returns every task due at or before `now`, in
+    /// `(time, insertion)` order.
+    pub fn pop_due(&mut self, now: Time) -> Vec<(Time, T)> {
+        let mut due = Vec::new();
+        // split_off keeps keys > now in the original map.
+        let mut later = self.queue.split_off(&(now + 1));
+        std::mem::swap(&mut self.queue, &mut later);
+        for (time, tasks) in later {
+            for task in tasks {
+                due.push((time, task));
+            }
+        }
+        self.len -= due.len();
+        due
+    }
+
+    /// Earliest scheduled time, if any.
+    pub fn next_time(&self) -> Option<Time> {
+        self.queue.keys().next().copied()
+    }
+
+    /// Number of scheduled tasks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no tasks are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(time, task)` without removing.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, &T)> {
+        self.queue
+            .iter()
+            .flat_map(|(t, tasks)| tasks.iter().map(move |task| (*t, task)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_timestamp() {
+        let mut pl = PendingList::new();
+        for i in 0..5 {
+            pl.schedule(7, i);
+        }
+        let due: Vec<i32> = pl.pop_due(7).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(due, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_due_is_inclusive_and_ordered() {
+        let mut pl = PendingList::new();
+        pl.schedule(30, "c");
+        pl.schedule(10, "a");
+        pl.schedule(20, "b");
+        let due = pl.pop_due(20);
+        assert_eq!(due, vec![(10, "a"), (20, "b")]);
+        assert_eq!(pl.len(), 1);
+        assert_eq!(pl.next_time(), Some(30));
+    }
+
+    #[test]
+    fn pop_before_everything_returns_empty() {
+        let mut pl = PendingList::new();
+        pl.schedule(10, ());
+        assert!(pl.pop_due(9).is_empty());
+        assert_eq!(pl.len(), 1);
+    }
+
+    #[test]
+    fn time_zero_tasks() {
+        let mut pl = PendingList::new();
+        pl.schedule(0, "genesis");
+        assert_eq!(pl.pop_due(0), vec![(0, "genesis")]);
+    }
+
+    #[test]
+    fn iter_does_not_consume() {
+        let mut pl = PendingList::new();
+        pl.schedule(1, "x");
+        pl.schedule(2, "y");
+        let seen: Vec<_> = pl.iter().map(|(t, s)| (t, *s)).collect();
+        assert_eq!(seen, vec![(1, "x"), (2, "y")]);
+        assert_eq!(pl.len(), 2);
+    }
+
+    #[test]
+    fn property_pop_due_ordered_and_conserving() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(128), |(
+            schedule in prop::collection::vec((0u64..100, 0u32..1000), 0..80),
+            checkpoints in prop::collection::vec(0u64..120, 1..10),
+        )| {
+            let mut pl = PendingList::new();
+            for &(t, task) in &schedule {
+                pl.schedule(t, task);
+            }
+            let mut sorted_checkpoints = checkpoints.clone();
+            sorted_checkpoints.sort_unstable();
+            let mut popped = Vec::new();
+            for &cp in &sorted_checkpoints {
+                for (t, task) in pl.pop_due(cp) {
+                    prop_assert!(t <= cp, "late pop");
+                    popped.push((t, task));
+                }
+            }
+            // Time-ordered overall.
+            for pair in popped.windows(2) {
+                prop_assert!(pair[0].0 <= pair[1].0);
+            }
+            // Conservation: popped + remaining = scheduled.
+            prop_assert_eq!(popped.len() + pl.len(), schedule.len());
+            // Everything still queued is after the last checkpoint.
+            let last = *sorted_checkpoints.last().unwrap();
+            for (t, _) in pl.iter() {
+                prop_assert!(t > last);
+            }
+        });
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut pl = PendingList::new();
+        pl.schedule(10, 1);
+        assert_eq!(pl.pop_due(10), vec![(10, 1)]);
+        // Re-arming at a later time after popping (the CheckProof cycle).
+        pl.schedule(20, 2);
+        pl.schedule(15, 3);
+        assert_eq!(pl.pop_due(25), vec![(15, 3), (20, 2)]);
+        assert!(pl.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! Dynamic Replication (DRep): Capacity-Replica accounting per sector.
+//!
+//! Paper §III-D and Fig. 2: a sector is registered *full of Capacity
+//! Replicas* (CRs — sealings of zeros). As files arrive, CRs are discarded
+//! to make room; as files leave, CRs are **regenerated** (cheaply, from
+//! nothing, because their raw data is zeros and their commitments were
+//! verified at registration). The invariant maintained is:
+//!
+//! > "The sector is requested to contain as many CRs as possible while
+//! > storing files. Therefore, the unsealed space of a sector is smaller
+//! > than the size of a CR."
+//!
+//! Two levels are provided:
+//!
+//! * [`CrAccounting`] — O(1) bookkeeping used by the protocol engine for
+//!   every sector (no crypto executed);
+//! * [`MaterializedSector`] — a sector with real sealed CRs and file
+//!   replicas, used by integration tests and the Fig. 2 lifecycle example
+//!   to demonstrate that every byte of claimed space is provable.
+
+use std::collections::HashMap;
+
+use fi_crypto::Hash256;
+use fi_porep::{CapacityReplica, SealedReplica};
+
+/// O(1) Capacity-Replica bookkeeping for one sector.
+///
+/// # Example
+///
+/// ```
+/// use fi_core::drep::CrAccounting;
+/// let mut acct = CrAccounting::new(600, 100); // capacity 600, CR size 100
+/// assert_eq!(acct.cr_count(), 6);             // Fig. 2(a)
+/// acct.add_file(250);
+/// assert_eq!(acct.cr_count(), 3);             // 350 free -> 3 CRs + 50 unsealed
+/// acct.remove_file(250);
+/// assert_eq!(acct.cr_count(), 6);             // Fig. 2(c): CRs regenerated
+/// assert!(acct.unsealed() < 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrAccounting {
+    capacity: u64,
+    cr_size: u64,
+    file_bytes: u64,
+    /// Cumulative CRs regenerated (Fig. 2(c) events) — a cost metric for
+    /// the DRep-vs-naive ablation.
+    regenerated: u64,
+    /// Cumulative CRs discarded to admit files.
+    discarded: u64,
+}
+
+impl CrAccounting {
+    /// A freshly registered sector: filled with CRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cr_size == 0` or `cr_size > capacity`.
+    pub fn new(capacity: u64, cr_size: u64) -> Self {
+        assert!(cr_size > 0 && cr_size <= capacity, "invalid CR size");
+        CrAccounting {
+            capacity,
+            cr_size,
+            file_bytes: 0,
+            regenerated: 0,
+            discarded: 0,
+        }
+    }
+
+    /// Current number of whole CRs held.
+    pub fn cr_count(&self) -> u64 {
+        (self.capacity - self.file_bytes) / self.cr_size
+    }
+
+    /// Unsealed (neither file nor CR) space; always `< cr_size`.
+    pub fn unsealed(&self) -> u64 {
+        (self.capacity - self.file_bytes) % self.cr_size
+    }
+
+    /// Bytes occupied by file replicas.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Free capacity from the allocator's point of view.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.file_bytes
+    }
+
+    /// Total CRs regenerated over this sector's life.
+    pub fn total_regenerated(&self) -> u64 {
+        self.regenerated
+    }
+
+    /// Total CRs discarded over this sector's life.
+    pub fn total_discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Admits a file of `size`, discarding as few CRs as needed. Returns
+    /// the number of CRs discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` exceeds the free capacity — the allocator must
+    /// check `free()` first (the engine does; Fig. 4's `while` loop).
+    pub fn add_file(&mut self, size: u64) -> u64 {
+        assert!(size <= self.free(), "sector overfull");
+        let before = self.cr_count();
+        self.file_bytes += size;
+        let dropped = before - self.cr_count();
+        self.discarded += dropped;
+        dropped
+    }
+
+    /// Releases a file of `size`, regenerating CRs into the freed space.
+    /// Returns the number of CRs regenerated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` exceeds the current file bytes.
+    pub fn remove_file(&mut self, size: u64) -> u64 {
+        assert!(size <= self.file_bytes, "removing more than stored");
+        let before = self.cr_count();
+        self.file_bytes -= size;
+        let regen = self.cr_count() - before;
+        self.regenerated += regen;
+        regen
+    }
+
+    /// The DRep invariant (§III-D): unsealed space strictly below one CR.
+    pub fn invariant_holds(&self) -> bool {
+        self.unsealed() < self.cr_size
+    }
+}
+
+/// A sector with *materialized* sealed content: real CRs and real file
+/// replicas, able to answer PoSt challenges for every committed root.
+///
+/// Used at small scale (tests, examples); the engine keeps only
+/// [`CrAccounting`] per sector.
+#[derive(Debug)]
+pub struct MaterializedSector {
+    /// Tag deriving CR replica ids (unique per sector).
+    sector_tag: Hash256,
+    accounting: CrAccounting,
+    /// Live CRs by slot.
+    crs: HashMap<u32, CapacityReplica>,
+    /// Next never-used CR slot.
+    next_slot: u32,
+    /// Stored file replicas keyed by an opaque handle.
+    files: HashMap<u64, SealedReplica>,
+    next_handle: u64,
+}
+
+impl MaterializedSector {
+    /// Registers the sector: capacity fully covered by fresh CRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cr_size` is zero or exceeds `capacity`.
+    pub fn register(sector_tag: Hash256, capacity: u64, cr_size: u64) -> Self {
+        let accounting = CrAccounting::new(capacity, cr_size);
+        let mut crs = HashMap::new();
+        for slot in 0..accounting.cr_count() as u32 {
+            crs.insert(
+                slot,
+                CapacityReplica::generate(&sector_tag, slot, cr_size as usize),
+            );
+        }
+        let next_slot = accounting.cr_count() as u32;
+        MaterializedSector {
+            sector_tag,
+            accounting,
+            crs,
+            next_slot,
+            files: HashMap::new(),
+            next_handle: 0,
+        }
+    }
+
+    /// The bookkeeping view.
+    pub fn accounting(&self) -> &CrAccounting {
+        &self.accounting
+    }
+
+    /// Commitments of all live CRs (registered on chain at setup; §III-D).
+    pub fn cr_commitments(&self) -> Vec<Hash256> {
+        let mut slots: Vec<_> = self.crs.keys().copied().collect();
+        slots.sort_unstable();
+        slots.iter().map(|s| self.crs[s].comm_r()).collect()
+    }
+
+    /// Stores a sealed file replica, discarding CRs as needed. Returns an
+    /// opaque handle for later removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica does not fit in the free space.
+    pub fn store_file(&mut self, replica: SealedReplica) -> u64 {
+        let size = replica.original_len() as u64;
+        let dropped = self.accounting.add_file(size);
+        // Discard the highest-numbered CRs first (Fig. 2(b)).
+        for _ in 0..dropped {
+            let &max_slot = self.crs.keys().max().expect("CRs available to drop");
+            self.crs.remove(&max_slot);
+        }
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.files.insert(handle, replica);
+        handle
+    }
+
+    /// Removes a file replica by handle, regenerating CRs into the freed
+    /// space (Fig. 2(c)). Returns the replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is unknown.
+    pub fn remove_file(&mut self, handle: u64) -> SealedReplica {
+        let replica = self.files.remove(&handle).expect("unknown file handle");
+        let regen = self.accounting.remove_file(replica.original_len() as u64);
+        for _ in 0..regen {
+            // Regeneration reuses fresh slots; commitments are deterministic
+            // per (sector_tag, slot) so re-verification is unnecessary for
+            // previously seen slots and cheap for new ones.
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.crs.insert(
+                slot,
+                CapacityReplica::generate(
+                    &self.sector_tag,
+                    slot,
+                    self.accounting.cr_size as usize,
+                ),
+            );
+        }
+        replica
+    }
+
+    /// A stored file replica by handle.
+    pub fn file(&self, handle: u64) -> Option<&SealedReplica> {
+        self.files.get(&handle)
+    }
+
+    /// All live CRs.
+    pub fn crs(&self) -> impl Iterator<Item = &CapacityReplica> {
+        self.crs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_crypto::sha256;
+    use fi_porep::seal::ReplicaId;
+    use fi_porep::post::{derive_challenges, WindowPost};
+
+    #[test]
+    fn fig2_lifecycle() {
+        // Fig. 2: six CRs -> files displace CRs -> removal regenerates CR3.
+        let mut acct = CrAccounting::new(600, 100);
+        assert_eq!(acct.cr_count(), 6);
+        assert_eq!(acct.unsealed(), 0);
+
+        // (b): files totalling 370 leave 230 free = 2 CRs + 30 unsealed.
+        acct.add_file(200);
+        acct.add_file(170);
+        assert_eq!(acct.cr_count(), 2);
+        assert_eq!(acct.unsealed(), 30);
+        assert!(acct.invariant_holds());
+
+        // (c): dropping the 170 file frees 400 = 4 CRs + 0 unsealed.
+        acct.remove_file(170);
+        assert_eq!(acct.cr_count(), 4);
+        assert_eq!(acct.total_regenerated(), 2);
+        assert!(acct.invariant_holds());
+    }
+
+    #[test]
+    fn invariant_under_random_churn() {
+        let mut acct = CrAccounting::new(10_000, 64);
+        let mut stored: Vec<u64> = Vec::new();
+        let mut rng = fi_crypto::DetRng::from_seed_label(31, "churn");
+        for _ in 0..2000 {
+            if rng.bernoulli(0.6) {
+                let size = 1 + rng.below(300);
+                if size <= acct.free() {
+                    acct.add_file(size);
+                    stored.push(size);
+                }
+            } else if !stored.is_empty() {
+                let idx = rng.index(stored.len());
+                let size = stored.swap_remove(idx);
+                acct.remove_file(size);
+            }
+            assert!(acct.invariant_holds());
+            assert_eq!(
+                acct.file_bytes(),
+                stored.iter().sum::<u64>(),
+                "accounting drift"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sector overfull")]
+    fn overfull_rejected() {
+        let mut acct = CrAccounting::new(100, 10);
+        acct.add_file(101);
+    }
+
+    #[test]
+    fn materialized_sector_serves_posts_for_all_content() {
+        let tag = sha256(b"mat-sector");
+        let mut sector = MaterializedSector::register(tag, 640, 64);
+        assert_eq!(sector.cr_commitments().len(), 10);
+
+        // Store a file replica.
+        let data = vec![9u8; 100];
+        let rid = ReplicaId::derive(&sha256(b"f"), &tag, 0);
+        let replica = SealedReplica::seal(&data, rid);
+        let handle = sector.store_file(replica);
+        assert_eq!(sector.accounting().cr_count(), 8); // 540 free -> 8 CRs
+        assert!(sector.accounting().invariant_holds());
+
+        // Every live CR answers challenges.
+        let beacon = sha256(b"b1");
+        for cr in sector.crs() {
+            let ch = derive_challenges(&beacon, &cr.comm_r(), 2, cr.replica().chunk_count());
+            let post = WindowPost::respond(cr.replica(), &ch);
+            assert!(post.verify(&cr.comm_r(), &ch));
+        }
+        // And so does the file replica.
+        let file = sector.file(handle).unwrap();
+        let ch = derive_challenges(&beacon, &file.comm_r(), 2, file.chunk_count());
+        assert!(WindowPost::respond(file, &ch).verify(&file.comm_r(), &ch));
+
+        // Removing the file regenerates CRs deterministically.
+        let removed = sector.remove_file(handle);
+        assert_eq!(removed.unseal(), data);
+        assert_eq!(sector.accounting().cr_count(), 10);
+    }
+
+    #[test]
+    fn regenerated_crs_do_not_collide_with_live_ones() {
+        let tag = sha256(b"regen-sector");
+        let mut sector = MaterializedSector::register(tag, 300, 100);
+        let rid = ReplicaId::derive(&sha256(b"g"), &tag, 0);
+        let h1 = sector.store_file(SealedReplica::seal(&[1u8; 150], rid));
+        sector.remove_file(h1);
+        let roots = sector.cr_commitments();
+        let unique: std::collections::HashSet<_> = roots.iter().collect();
+        assert_eq!(unique.len(), roots.len(), "all CR commitments distinct");
+    }
+}

@@ -1,0 +1,1414 @@
+//! The FileInsurer protocol engine: request handlers, `Auto_*` tasks, fee
+//! flows, deposits and compensation — the consensus state machine of §IV.
+//!
+//! The engine is a deterministic state machine over consensus time. Client
+//! and provider requests ([`Engine::file_add`], [`Engine::file_confirm`],
+//! [`Engine::file_prove`], [`Engine::sector_register`], …) mutate state
+//! immediately; `Auto_` tasks (Fig. 7–9: `CheckAlloc`, `CheckProof`,
+//! `Refresh`, `CheckRefresh`) execute from the consensus pending list when
+//! [`Engine::advance_to`] moves time past their deadline.
+//!
+//! Money flows exactly as §IV-A/§IV-B prescribe:
+//!
+//! * **deposits** — pledged at `Sector_Register` into a deposit escrow;
+//!   refunded on safe exit; confiscated into the compensation pool when a
+//!   sector misses `ProofDeadline` or is corrupted;
+//! * **storage rent + prepaid gas** — deducted from the client every
+//!   `ProofCycle` by `Auto_CheckProof`; rent accumulates in a pool paid out
+//!   to live sectors pro rata capacity each rent period; the gas share is
+//!   burned (consensus space);
+//! * **traffic fees** — escrowed at `File_Add`, released to each provider
+//!   upon `File_Confirm`;
+//! * **compensation** — on loss of all replicas, the client receives the
+//!   declared file value from confiscated deposits (Fig. 8).
+
+use std::collections::{BTreeSet, HashMap};
+
+use fi_chain::account::{AccountId, Ledger, TokenAmount};
+use fi_chain::block::{BlockChain, ChainEvent};
+use fi_chain::gas::{GasSchedule, Op};
+use fi_chain::tasks::{PendingList, Time};
+use fi_crypto::{keyed_hash, DetRng, Hash256};
+
+use crate::drep::CrAccounting;
+use crate::params::{ParamError, ProtocolParams};
+use crate::sampler::WeightedSampler;
+use crate::types::{
+    AllocEntry, AllocState, FileDescriptor, FileId, FileState, ProtocolEvent, RemovalReason,
+    Sector, SectorId, SectorState,
+};
+
+/// Deposit escrow: holds pledged sector deposits.
+pub const DEPOSIT_ESCROW: AccountId = AccountId(1);
+/// Compensation pool: confiscated deposits awaiting payout.
+pub const COMPENSATION_POOL: AccountId = AccountId(2);
+/// Rent pool: rent accrued during the current period.
+pub const RENT_POOL: AccountId = AccountId(3);
+/// Traffic-fee escrow: prepaid transfer fees awaiting confirms.
+pub const TRAFFIC_ESCROW: AccountId = AccountId(4);
+
+/// Errors returned by engine request handlers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Unknown file id.
+    UnknownFile(FileId),
+    /// Unknown sector id.
+    UnknownSector(SectorId),
+    /// The caller does not own the object it is operating on.
+    NotOwner,
+    /// The object is in the wrong state for the request.
+    InvalidState(&'static str),
+    /// Parameter/argument validation failed.
+    Param(ParamError),
+    /// The caller cannot cover a required payment.
+    InsufficientFunds,
+    /// No sector with enough free space could be sampled
+    /// (`collision_retry_limit` exceeded — "almost never happens").
+    NoCapacity,
+    /// File exceeds `sizeLimit`; segment it first (§VI-C, [`crate::segment`]).
+    FileTooLarge {
+        /// Requested size.
+        size: u64,
+        /// The configured `sizeLimit`.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownFile(id) => write!(f, "unknown {id}"),
+            EngineError::UnknownSector(id) => write!(f, "unknown {id}"),
+            EngineError::NotOwner => write!(f, "caller does not own the target"),
+            EngineError::InvalidState(what) => write!(f, "invalid state: {what}"),
+            EngineError::Param(e) => write!(f, "{e}"),
+            EngineError::InsufficientFunds => write!(f, "insufficient funds"),
+            EngineError::NoCapacity => write!(f, "no sector with sufficient free space"),
+            EngineError::FileTooLarge { size, limit } => {
+                write!(f, "file size {size} exceeds sizeLimit {limit}; erasure-segment it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParamError> for EngineError {
+    fn from(e: ParamError) -> Self {
+        EngineError::Param(e)
+    }
+}
+
+/// Consensus-scheduled tasks (the `Auto_` protocols).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Task {
+    CheckAlloc(FileId),
+    CheckProof(FileId),
+    CheckRefresh(FileId, u32),
+    DistributeRent,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `File_Add` sampling retries that hit an over-full sector.
+    pub add_collisions: u64,
+    /// `Auto_Refresh` attempts aborted because the target lacked space.
+    pub refresh_collisions: u64,
+    /// Refresh transfers started.
+    pub refreshes_started: u64,
+    /// Refresh transfers completed.
+    pub refreshes_completed: u64,
+    /// Storage proofs accepted.
+    pub proofs_accepted: u64,
+    /// Late-proof / failed-transfer punishments applied.
+    pub punishments: u64,
+    /// Sectors corrupted (deadline misses + injected corruption).
+    pub sectors_corrupted: u64,
+    /// Files lost (all replicas destroyed).
+    pub files_lost: u64,
+    /// Total declared value of lost files.
+    pub value_lost: TokenAmount,
+    /// Compensation actually paid out.
+    pub compensation_paid: TokenAmount,
+    /// Compensation shortfall (pool ran dry) — must stay zero in any run
+    /// within Theorem 4's deposit regime.
+    pub compensation_shortfall: TokenAmount,
+}
+
+/// The FileInsurer consensus engine.
+///
+/// # Example
+///
+/// ```
+/// use fi_core::engine::Engine;
+/// use fi_core::params::ProtocolParams;
+/// use fi_chain::account::{AccountId, TokenAmount};
+///
+/// let mut params = ProtocolParams::default();
+/// params.k = 2; // 2 replicas per minValue file in this tiny demo
+/// let mut engine = Engine::new(params).unwrap();
+///
+/// let provider = AccountId(100);
+/// let client = AccountId(200);
+/// engine.fund(provider, TokenAmount(1_000_000_000));
+/// engine.fund(client, TokenAmount(1_000_000));
+///
+/// let sector = engine.sector_register(provider, 640).unwrap();
+/// let root = fi_crypto::sha256(b"my file");
+/// let file = engine
+///     .file_add(client, 10, engine.params().min_value, root)
+///     .unwrap();
+///
+/// // The provider confirms both replicas, then time advances past the
+/// // transfer window and Auto_CheckAlloc finalises the placement.
+/// for (idx, s) in engine.pending_confirms(file) {
+///     assert_eq!(s, sector);
+///     engine.file_confirm(provider, file, idx, s).unwrap();
+/// }
+/// let deadline = engine.now() + engine.params().transfer_window(10);
+/// engine.advance_to(deadline);
+/// assert!(engine.file(file).is_some());
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    params: ProtocolParams,
+    chain: BlockChain,
+    ledger: Ledger,
+    gas: GasSchedule,
+    pending: PendingList<Task>,
+    sectors: HashMap<SectorId, Sector>,
+    cr: HashMap<SectorId, CrAccounting>,
+    files: HashMap<FileId, FileDescriptor>,
+    alloc: HashMap<(FileId, u32), AllocEntry>,
+    /// `(file, index)` pairs touching each sector (as holder or as
+    /// reservation target). Kept consistent with `alloc`.
+    sector_replicas: HashMap<SectorId, BTreeSet<(FileId, u32)>>,
+    sampler: WeightedSampler<SectorId>,
+    rng: DetRng,
+    next_file_id: u64,
+    next_sector_id: u64,
+    events: Vec<ProtocolEvent>,
+    stats: EngineStats,
+    discard_reasons: HashMap<FileId, RemovalReason>,
+    op_counter: u64,
+}
+
+impl Engine {
+    /// Creates an engine with validated parameters at time 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated parameter constraint.
+    pub fn new(params: ProtocolParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        let chain = BlockChain::new(params.seed, params.block_interval);
+        let rng = chain.beacon().rng_at(0, "fileinsurer/engine");
+        let mut engine = Engine {
+            chain,
+            ledger: Ledger::new(),
+            gas: GasSchedule::default(),
+            pending: PendingList::new(),
+            sectors: HashMap::new(),
+            cr: HashMap::new(),
+            files: HashMap::new(),
+            alloc: HashMap::new(),
+            sector_replicas: HashMap::new(),
+            sampler: WeightedSampler::new(),
+            rng,
+            next_file_id: 0,
+            next_sector_id: 0,
+            events: Vec::new(),
+            stats: EngineStats::default(),
+            discard_reasons: HashMap::new(),
+            op_counter: 0,
+            params,
+        };
+        let period = engine.rent_period();
+        engine.pending.schedule(period, Task::DistributeRent);
+        Ok(engine)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Current consensus time.
+    pub fn now(&self) -> Time {
+        self.chain.now()
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    /// The token ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &BlockChain {
+        &self.chain
+    }
+
+    /// Counters for tests and experiments.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// A file descriptor, if the file is live.
+    pub fn file(&self, id: FileId) -> Option<&FileDescriptor> {
+        self.files.get(&id)
+    }
+
+    /// A sector, if registered and not removed.
+    pub fn sector(&self, id: SectorId) -> Option<&Sector> {
+        self.sectors.get(&id)
+    }
+
+    /// DRep accounting for a sector.
+    pub fn cr_accounting(&self, id: SectorId) -> Option<&CrAccounting> {
+        self.cr.get(&id)
+    }
+
+    /// An allocation entry.
+    pub fn alloc_entry(&self, file: FileId, index: u32) -> Option<&AllocEntry> {
+        self.alloc.get(&(file, index))
+    }
+
+    /// Live files (ids).
+    pub fn file_ids(&self) -> Vec<FileId> {
+        let mut ids: Vec<_> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Live sectors (ids).
+    pub fn sector_ids(&self) -> Vec<SectorId> {
+        let mut ids: Vec<_> = self.sectors.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Protocol events logged so far (in order).
+    pub fn events(&self) -> &[ProtocolEvent] {
+        &self.events
+    }
+
+    /// Removes and returns the logged events.
+    pub fn drain_events(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Sum of deposits currently pledged by live sectors.
+    pub fn total_pledged_deposits(&self) -> TokenAmount {
+        self.sectors.values().map(|s| s.deposit).sum()
+    }
+
+    /// A commitment over the engine state, folded into sealed blocks.
+    pub fn state_root(&self) -> Hash256 {
+        keyed_hash(
+            "fileinsurer/state",
+            &[
+                &self.chain.now().to_be_bytes(),
+                &(self.files.len() as u64).to_be_bytes(),
+                &(self.sectors.len() as u64).to_be_bytes(),
+                &self.ledger.total_supply().0.to_be_bytes(),
+                &self.op_counter.to_be_bytes(),
+            ],
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation conveniences
+    // ------------------------------------------------------------------
+
+    /// Mints tokens into an account (simulation funding).
+    pub fn fund(&mut self, account: AccountId, amount: TokenAmount) {
+        self.ledger.mint(account, amount);
+    }
+
+    /// Burns tokens from an account (simulation counterpart of [`Engine::fund`],
+    /// e.g. to model a client going broke).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the account lacks the balance.
+    pub fn burn_for_test(&mut self, account: AccountId, amount: TokenAmount) {
+        self.ledger
+            .burn(account, amount)
+            .expect("burn_for_test within balance");
+    }
+
+    /// Replaces the gas fee schedule (e.g. [`GasSchedule::free`] for
+    /// experiments isolating protocol money flows from gas noise).
+    pub fn set_gas_schedule(&mut self, schedule: GasSchedule) {
+        self.gas = schedule;
+    }
+
+    /// Replica placements awaiting a `File_Confirm`, as
+    /// `(index, target sector)` pairs — what an honest provider would
+    /// confirm next for `file`.
+    pub fn pending_confirms(&self, file: FileId) -> Vec<(u32, SectorId)> {
+        let Some(desc) = self.files.get(&file) else {
+            return Vec::new();
+        };
+        (0..desc.cp)
+            .filter_map(|i| {
+                let e = self.alloc.get(&(file, i))?;
+                if e.state == AllocState::Alloc {
+                    e.next.map(|s| (i, s))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Simulates every honest provider: confirms all pending placements on
+    /// non-failed sectors and submits storage proofs for all held replicas.
+    /// Returns `(confirms, proofs)` counts.
+    pub fn honest_providers_act(&mut self) -> (u64, u64) {
+        let mut confirms = 0u64;
+        let mut proofs = 0u64;
+        // Confirms.
+        let pending: Vec<(FileId, u32, SectorId)> = self
+            .alloc
+            .iter()
+            .filter(|(_, e)| e.state == AllocState::Alloc)
+            .filter_map(|(&(f, i), e)| e.next.map(|s| (f, i, s)))
+            .collect();
+        let mut ordered = pending;
+        ordered.sort_unstable();
+        for (f, i, s) in ordered {
+            let Some(sector) = self.sectors.get(&s) else { continue };
+            if sector.physically_failed {
+                continue;
+            }
+            let owner = sector.owner;
+            if self.file_confirm(owner, f, i, s).is_ok() {
+                confirms += 1;
+            }
+        }
+        // Proofs.
+        let held: Vec<(FileId, u32, SectorId)> = self
+            .alloc
+            .iter()
+            .filter(|(_, e)| {
+                matches!(
+                    e.state,
+                    AllocState::Normal | AllocState::Alloc | AllocState::Confirm
+                )
+            })
+            .filter_map(|(&(f, i), e)| e.prev.map(|s| (f, i, s)))
+            .collect();
+        let mut ordered = held;
+        ordered.sort_unstable();
+        for (f, i, s) in ordered {
+            let Some(sector) = self.sectors.get(&s) else { continue };
+            if sector.physically_failed || sector.state == SectorState::Corrupted {
+                continue;
+            }
+            let owner = sector.owner;
+            if self.file_prove(owner, f, i, s).is_ok() {
+                proofs += 1;
+            }
+        }
+        (confirms, proofs)
+    }
+
+    // ------------------------------------------------------------------
+    // Sector requests (Fig. 6)
+    // ------------------------------------------------------------------
+
+    /// `Sector_Register`: pledges the deposit and registers a sector filled
+    /// with Capacity Replicas.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Param`] — capacity not a multiple of `minCapacity`;
+    /// * [`EngineError::InsufficientFunds`] — owner cannot cover deposit.
+    pub fn sector_register(
+        &mut self,
+        owner: AccountId,
+        capacity: u64,
+    ) -> Result<SectorId, EngineError> {
+        self.params.validate_capacity(capacity)?;
+        self.charge_gas(owner, &[Op::RequestBase, Op::SectorAdmin])?;
+        let deposit = self.params.sector_deposit(capacity);
+        self.ledger
+            .transfer(owner, DEPOSIT_ESCROW, deposit)
+            .map_err(|_| EngineError::InsufficientFunds)?;
+        let id = SectorId(self.next_sector_id);
+        self.next_sector_id += 1;
+        self.sectors.insert(
+            id,
+            Sector {
+                owner,
+                id,
+                capacity,
+                free_cap: capacity,
+                state: SectorState::Normal,
+                deposit,
+                replica_count: 0,
+                physically_failed: false,
+            },
+        );
+        self.cr
+            .insert(id, CrAccounting::new(capacity, self.params.min_capacity));
+        self.sampler.insert(id, capacity);
+        self.sector_replicas.insert(id, BTreeSet::new());
+        self.log(ProtocolEvent::SectorRegistered { sector: id, owner, deposit });
+        if self.params.poisson_rebalance {
+            self.poisson_swap_in(id);
+        }
+        Ok(id)
+    }
+
+    /// `Sector_Disable`: the sector stops accepting new files and drains
+    /// via refreshes; the deposit returns once it is empty.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::UnknownSector`] / [`EngineError::NotOwner`];
+    /// * [`EngineError::InvalidState`] if already disabled or corrupted.
+    pub fn sector_disable(
+        &mut self,
+        caller: AccountId,
+        sector: SectorId,
+    ) -> Result<(), EngineError> {
+        self.charge_gas(caller, &[Op::RequestBase, Op::SectorAdmin])?;
+        let s = self
+            .sectors
+            .get_mut(&sector)
+            .ok_or(EngineError::UnknownSector(sector))?;
+        if s.owner != caller {
+            return Err(EngineError::NotOwner);
+        }
+        if s.state != SectorState::Normal {
+            return Err(EngineError::InvalidState("sector not in normal state"));
+        }
+        s.state = SectorState::Disabled;
+        self.sampler.remove(&sector);
+        self.log(ProtocolEvent::SectorDisabled { sector });
+        self.op_counter += 1;
+        self.maybe_remove_drained(sector);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // File requests (Figs. 4–5)
+    // ------------------------------------------------------------------
+
+    /// `File_Add`: samples `cp = k·value/minValue` capacity-weighted
+    /// sectors, reserves space, escrows traffic fees, and schedules
+    /// `Auto_CheckAlloc` after the transfer window.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::FileTooLarge`] — must be erasure-segmented (§VI-C);
+    /// * [`EngineError::Param`] — value not a multiple of `minValue`;
+    /// * [`EngineError::NoCapacity`] — sampling kept hitting full sectors;
+    /// * [`EngineError::InsufficientFunds`] — traffic-fee escrow failed.
+    pub fn file_add(
+        &mut self,
+        client: AccountId,
+        size: u64,
+        value: TokenAmount,
+        merkle_root: Hash256,
+    ) -> Result<FileId, EngineError> {
+        if size == 0 {
+            return Err(EngineError::InvalidState("file size must be positive"));
+        }
+        if size > self.params.size_limit {
+            return Err(EngineError::FileTooLarge {
+                size,
+                limit: self.params.size_limit,
+            });
+        }
+        let cp = self.params.backup_count(value)?;
+        self.charge_gas(client, &[Op::RequestBase, Op::AllocWrite, Op::TaskSchedule])?;
+
+        // Escrow traffic fees for all replicas up front (§IV-A.1: committed
+        // before transmission).
+        let escrow = TokenAmount(self.params.traffic_fee(size).0 * cp as u128);
+        self.ledger
+            .transfer(client, TRAFFIC_ESCROW, escrow)
+            .map_err(|_| EngineError::InsufficientFunds)?;
+
+        // Sample cp sectors i.i.d. proportional to capacity, re-sampling on
+        // insufficient free space (Fig. 4's "almost never happens" loop).
+        let mut targets = Vec::with_capacity(cp as usize);
+        for _ in 0..cp {
+            match self.sample_sector_with_space(size) {
+                Some(s) => {
+                    // Reserve immediately so later draws see reduced space.
+                    self.reserve(s, size);
+                    targets.push(s);
+                }
+                None => {
+                    // Roll back reservations and the escrow.
+                    for &s in &targets {
+                        self.release_reservation(s, size);
+                    }
+                    self.ledger
+                        .transfer(TRAFFIC_ESCROW, client, escrow)
+                        .expect("escrow refund");
+                    return Err(EngineError::NoCapacity);
+                }
+            }
+        }
+
+        let id = FileId(self.next_file_id);
+        self.next_file_id += 1;
+        self.files.insert(
+            id,
+            FileDescriptor {
+                id,
+                owner: client,
+                size,
+                value,
+                merkle_root,
+                cp,
+                cntdown: -1,
+                state: FileState::Allocating,
+            },
+        );
+        for (i, &s) in targets.iter().enumerate() {
+            self.alloc.insert((id, i as u32), AllocEntry::allocating(s));
+            self.sector_replicas
+                .get_mut(&s)
+                .expect("sector index")
+                .insert((id, i as u32));
+        }
+        let deadline = self.now() + self.params.transfer_window(size);
+        self.pending.schedule(deadline, Task::CheckAlloc(id));
+        self.log(ProtocolEvent::FileAdded { file: id, cp });
+        Ok(id)
+    }
+
+    /// `File_Discard`: marks the file for removal at its next
+    /// `Auto_CheckProof` (Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownFile`] / [`EngineError::NotOwner`].
+    pub fn file_discard(&mut self, caller: AccountId, file: FileId) -> Result<(), EngineError> {
+        self.charge_gas(caller, &[Op::RequestBase])?;
+        let f = self
+            .files
+            .get_mut(&file)
+            .ok_or(EngineError::UnknownFile(file))?;
+        if f.owner != caller {
+            return Err(EngineError::NotOwner);
+        }
+        f.state = FileState::Discarded;
+        self.discard_reasons.insert(file, RemovalReason::ClientDiscard);
+        self.op_counter += 1;
+        Ok(())
+    }
+
+    /// `File_Confirm` (Fig. 5): the provider of the target sector
+    /// acknowledges receiving replica `index` of `file`; the traffic fee
+    /// for this replica is released to the provider.
+    ///
+    /// # Errors
+    ///
+    /// Ownership/state violations per Fig. 5's checks.
+    pub fn file_confirm(
+        &mut self,
+        caller: AccountId,
+        file: FileId,
+        index: u32,
+        sector: SectorId,
+    ) -> Result<(), EngineError> {
+        self.charge_gas(caller, &[Op::RequestBase, Op::AllocRead])?;
+        let s = self
+            .sectors
+            .get(&sector)
+            .ok_or(EngineError::UnknownSector(sector))?;
+        if s.owner != caller {
+            return Err(EngineError::NotOwner);
+        }
+        let size = self
+            .files
+            .get(&file)
+            .ok_or(EngineError::UnknownFile(file))?
+            .size;
+        let e = self
+            .alloc
+            .get_mut(&(file, index))
+            .ok_or(EngineError::UnknownFile(file))?;
+        if e.next != Some(sector) || e.state != AllocState::Alloc {
+            return Err(EngineError::InvalidState(
+                "allocation is not awaiting this sector's confirm",
+            ));
+        }
+        e.state = AllocState::Confirm;
+        let fee = self.params.traffic_fee(size);
+        self.ledger
+            .transfer_up_to(TRAFFIC_ESCROW, caller, fee);
+        self.op_counter += 1;
+        Ok(())
+    }
+
+    /// `File_Prove` (Fig. 5): records a storage proof for replica `index`
+    /// held by `sector`. The proof itself is the simulated WindowPoSt: it
+    /// is accepted iff the sector still physically holds its content.
+    ///
+    /// # Errors
+    ///
+    /// Ownership/state violations, or [`EngineError::InvalidState`] when
+    /// the sector's content is physically gone (a real prover could not
+    /// produce a valid proof).
+    pub fn file_prove(
+        &mut self,
+        caller: AccountId,
+        file: FileId,
+        index: u32,
+        sector: SectorId,
+    ) -> Result<(), EngineError> {
+        self.charge_gas(caller, &[Op::RequestBase, Op::ProofVerify])?;
+        let s = self
+            .sectors
+            .get(&sector)
+            .ok_or(EngineError::UnknownSector(sector))?;
+        if s.owner != caller {
+            return Err(EngineError::NotOwner);
+        }
+        if s.physically_failed || s.state == SectorState::Corrupted {
+            return Err(EngineError::InvalidState("sector cannot produce proofs"));
+        }
+        let e = self
+            .alloc
+            .get_mut(&(file, index))
+            .ok_or(EngineError::UnknownFile(file))?;
+        if e.prev != Some(sector) {
+            return Err(EngineError::InvalidState("sector does not hold this replica"));
+        }
+        e.last = Some(self.chain.now());
+        self.stats.proofs_accepted += 1;
+        self.op_counter += 1;
+        Ok(())
+    }
+
+    /// `File_Get`: returns the live holders of `file` — the retrieval
+    /// market then proceeds off-chain (§III-E).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownFile`] for unknown ids.
+    pub fn file_get(
+        &mut self,
+        caller: AccountId,
+        file: FileId,
+    ) -> Result<Vec<(SectorId, AccountId)>, EngineError> {
+        self.charge_gas(caller, &[Op::RequestBase, Op::AllocRead])?;
+        let f = self.files.get(&file).ok_or(EngineError::UnknownFile(file))?;
+        let mut holders = Vec::new();
+        for i in 0..f.cp {
+            if let Some(e) = self.alloc.get(&(file, i)) {
+                if e.state == AllocState::Normal || e.state == AllocState::Alloc {
+                    if let Some(sid) = e.prev {
+                        if let Some(s) = self.sectors.get(&sid) {
+                            if s.state != SectorState::Corrupted && !s.physically_failed {
+                                holders.push((sid, s.owner));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(holders)
+    }
+
+    // ------------------------------------------------------------------
+    // Adversary / fault injection
+    // ------------------------------------------------------------------
+
+    /// Injects a *silent* physical failure: the provider can no longer
+    /// produce storage proofs; the network discovers it via the
+    /// `ProofDeadline` machinery (the realistic path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown sector.
+    pub fn fail_sector_silently(&mut self, sector: SectorId) {
+        self.sectors
+            .get_mut(&sector)
+            .expect("unknown sector")
+            .physically_failed = true;
+        self.op_counter += 1;
+    }
+
+    /// Corrupts a sector *with immediate detection*: deposit confiscated,
+    /// replicas voided, mid-refresh transfers resolved (used by
+    /// experiments that don't simulate the proof timeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown sector.
+    pub fn corrupt_sector_now(&mut self, sector: SectorId) {
+        let s = self.sectors.get_mut(&sector).expect("unknown sector");
+        if s.state == SectorState::Corrupted {
+            return;
+        }
+        s.state = SectorState::Corrupted;
+        s.physically_failed = true;
+        let confiscated = s.deposit;
+        s.deposit = TokenAmount::ZERO;
+        self.sampler.remove(&sector);
+        self.ledger
+            .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, confiscated)
+            .expect("deposit escrow covers pledged deposits");
+        self.stats.sectors_corrupted += 1;
+        self.log(ProtocolEvent::SectorCorrupted { sector, confiscated });
+        self.void_sector_content(sector);
+        self.op_counter += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Time & Auto tasks
+    // ------------------------------------------------------------------
+
+    /// Advances consensus time to `target`, executing every `Auto_*` task
+    /// that falls due, in timestamp order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is in the past.
+    pub fn advance_to(&mut self, target: Time) {
+        assert!(target >= self.now(), "time cannot rewind");
+        while let Some(t) = self.pending.next_time() {
+            if t > target {
+                break;
+            }
+            let root = self.state_root();
+            self.chain.advance_time(t, root);
+            for (_, task) in self.pending.pop_due(t) {
+                self.execute(task);
+            }
+        }
+        let root = self.state_root();
+        self.chain.advance_time(target, root);
+    }
+
+    /// Advances by one block interval.
+    pub fn tick(&mut self) {
+        self.advance_to(self.now() + self.params.block_interval);
+    }
+
+    fn execute(&mut self, task: Task) {
+        match task {
+            Task::CheckAlloc(f) => self.auto_check_alloc(f),
+            Task::CheckProof(f) => self.auto_check_proof(f),
+            Task::CheckRefresh(f, i) => self.auto_check_refresh(f, i),
+            Task::DistributeRent => self.auto_distribute_rent(),
+        }
+        self.op_counter += 1;
+    }
+
+    /// `Auto_CheckAlloc` (Fig. 7).
+    fn auto_check_alloc(&mut self, file: FileId) {
+        let Some(desc) = self.files.get(&file) else { return };
+        let cp = desc.cp;
+        let owner = desc.owner;
+
+        // First pass: all entries must be Confirm or Corrupted.
+        let all_ok = (0..cp).all(|i| {
+            matches!(
+                self.alloc.get(&(file, i)).map(|e| e.state),
+                Some(AllocState::Confirm) | Some(AllocState::Corrupted)
+            )
+        });
+        if !all_ok {
+            // Upload failed: refund outstanding traffic escrow for
+            // unconfirmed replicas, release reservations, drop the file.
+            let size = self.files[&file].size;
+            let unconfirmed = (0..cp)
+                .filter(|&i| {
+                    self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Alloc)
+                })
+                .count() as u128;
+            let refund = TokenAmount(self.params.traffic_fee(size).0 * unconfirmed);
+            self.ledger.transfer_up_to(TRAFFIC_ESCROW, owner, refund);
+            self.remove_file_completely(file, RemovalReason::UploadFailed);
+            return;
+        }
+
+        // Second pass: finalise.
+        let now = self.now();
+        for i in 0..cp {
+            let e = self.alloc.get_mut(&(file, i)).expect("entry exists");
+            match e.state {
+                AllocState::Confirm => {
+                    e.prev = e.next.take();
+                    e.last = Some(now);
+                    e.state = AllocState::Normal;
+                }
+                AllocState::Corrupted => {
+                    e.prev = None;
+                    e.next = None;
+                    e.last = None;
+                }
+                _ => unreachable!("checked above"),
+            }
+        }
+        let desc = self.files.get_mut(&file).expect("file exists");
+        desc.state = FileState::Normal;
+        desc.cntdown = Self::sample_cntdown(&mut self.rng, self.params.avg_refresh);
+        self.pending
+            .schedule(now + self.params.proof_cycle, Task::CheckProof(file));
+        self.log(ProtocolEvent::FileStored { file });
+    }
+
+    /// `Auto_CheckProof` (Fig. 8).
+    fn auto_check_proof(&mut self, file: FileId) {
+        let Some(desc) = self.files.get(&file) else { return };
+        let owner = desc.owner;
+        let size = desc.size;
+        let cp = desc.cp;
+        let now = self.now();
+
+        // 1. Charge the next cycle (rent + prepaid gas) or force-discard.
+        if desc.state == FileState::Normal {
+            let cost = self.params.cycle_cost(size, cp);
+            if self.ledger.balance(owner) < cost {
+                let desc = self.files.get_mut(&file).expect("file exists");
+                desc.state = FileState::Discarded;
+                self.discard_reasons
+                    .insert(file, RemovalReason::InsufficientFunds);
+            } else {
+                let rent = TokenAmount(self.params.unit_rent.0 * size as u128 * cp as u128);
+                let gas = cost - rent;
+                self.ledger
+                    .transfer(owner, RENT_POOL, rent)
+                    .expect("balance checked");
+                self.ledger.burn(owner, gas).expect("balance checked");
+            }
+        }
+
+        // 2. Late-proof checks per entry.
+        for i in 0..cp {
+            let Some(e) = self.alloc.get(&(file, i)) else { continue };
+            if e.state == AllocState::Corrupted {
+                continue;
+            }
+            let Some(holder) = e.prev else { continue };
+            let holder_corrupted = self
+                .sectors
+                .get(&holder)
+                .map(|s| s.state == SectorState::Corrupted)
+                .unwrap_or(true);
+            if holder_corrupted {
+                continue;
+            }
+            let last = e.last.unwrap_or(0);
+            if now >= last + self.params.proof_deadline {
+                self.confiscate_and_corrupt(holder);
+            } else if now >= last + self.params.proof_due {
+                self.punish(holder);
+            }
+        }
+
+        // 3. Removal / loss / reschedule.
+        let state = self.files.get(&file).map(|f| f.state);
+        if state == Some(FileState::Discarded) {
+            let reason = self
+                .discard_reasons
+                .remove(&file)
+                .unwrap_or(RemovalReason::ClientDiscard);
+            self.remove_file_completely(file, reason);
+            return;
+        }
+        let all_corrupted = (0..cp).all(|i| {
+            self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Corrupted)
+        });
+        if all_corrupted {
+            self.compensate_loss(file);
+            return;
+        }
+        self.pending
+            .schedule(now + self.params.proof_cycle, Task::CheckProof(file));
+        let desc = self.files.get_mut(&file).expect("file exists");
+        desc.cntdown -= 1;
+        if desc.cntdown <= 0 {
+            let i = self.rng.below(cp as u64) as u32; // RandomIndex(f)
+            self.auto_refresh(file, i);
+        }
+    }
+
+    /// `Auto_Refresh` (Fig. 9).
+    fn auto_refresh(&mut self, file: FileId, index: u32) {
+        let Some(desc) = self.files.get(&file) else { return };
+        let size = desc.size;
+        let entry_state = self.alloc.get(&(file, index)).map(|e| e.state);
+        if entry_state != Some(AllocState::Normal) {
+            // The chosen replica is corrupted or already mid-move; re-arm.
+            let avg = self.params.avg_refresh;
+            if let Some(d) = self.files.get_mut(&file) {
+                d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+            }
+            return;
+        }
+
+        let target = {
+            let mut rng = self.rng.clone();
+            let choice = self.sampler.sample(&mut rng).copied();
+            self.rng = rng;
+            choice
+        };
+        let fits = target
+            .and_then(|s| self.sectors.get(&s))
+            .map(|s| s.free_cap >= size)
+            .unwrap_or(false);
+        if !fits {
+            // Collision — "almost never happens" (Fig. 9 else-branch).
+            self.stats.refresh_collisions += 1;
+            self.log(ProtocolEvent::RefreshCollision { file, index });
+            let avg = self.params.avg_refresh;
+            if let Some(d) = self.files.get_mut(&file) {
+                d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+            }
+            return;
+        }
+        let target = target.expect("fits implies some");
+        self.reserve(target, size);
+        self.sector_replicas
+            .get_mut(&target)
+            .expect("sector index")
+            .insert((file, index));
+        let e = self.alloc.get_mut(&(file, index)).expect("entry exists");
+        let from = e.prev;
+        e.next = Some(target);
+        e.state = AllocState::Alloc;
+        let deadline = self.now() + self.params.transfer_window(size);
+        self.pending
+            .schedule(deadline, Task::CheckRefresh(file, index));
+        self.stats.refreshes_started += 1;
+        self.log(ProtocolEvent::ReplicaSwap { file, index, from, to: target });
+    }
+
+    /// `Auto_CheckRefresh` (Fig. 9).
+    fn auto_check_refresh(&mut self, file: FileId, index: u32) {
+        let Some(desc) = self.files.get(&file) else { return };
+        let size = desc.size;
+        let cp = desc.cp;
+        let avg = self.params.avg_refresh;
+        let now = self.now();
+        let Some(entry) = self.alloc.get(&(file, index)) else { return };
+        let (state, prev, next) = (entry.state, entry.prev, entry.next);
+
+        match state {
+            AllocState::Confirm => {
+                // Transfer succeeded: release the old holder, flip over.
+                let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                e.prev = next;
+                e.next = None;
+                e.last = Some(now);
+                e.state = AllocState::Normal;
+                if let Some(old_sector) = prev {
+                    if prev == next {
+                        // Self-move: free the transient second copy but keep
+                        // the replica's membership in the sector index.
+                        self.release_reservation(old_sector, size);
+                    } else {
+                        self.release_replica(old_sector, file, index, size);
+                    }
+                }
+                self.stats.refreshes_completed += 1;
+                if let Some(d) = self.files.get_mut(&file) {
+                    d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+                }
+            }
+            AllocState::Alloc => {
+                // Not confirmed in time: punish the tardy target and every
+                // current holder (Fig. 9: "punish entry.next; for j ∈ [f.cp]
+                // punish allocTable[f,j].prev"), then retry the refresh.
+                if let Some(t) = next {
+                    self.punish(t);
+                    self.release_reservation_indexed(t, file, index, size);
+                }
+                let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                e.next = None;
+                e.state = AllocState::Normal;
+                let mut holders = Vec::new();
+                for j in 0..cp {
+                    if let Some(other) = self.alloc.get(&(file, j)) {
+                        if other.state != AllocState::Corrupted {
+                            if let Some(h) = other.prev {
+                                holders.push(h);
+                            }
+                        }
+                    }
+                }
+                for h in holders {
+                    self.punish(h);
+                }
+                self.auto_refresh(file, index);
+            }
+            // Resolved by corruption handling in the meantime.
+            AllocState::Normal | AllocState::Corrupted => {}
+        }
+    }
+
+    /// Rent distribution at period end (§IV-A.2): pro rata capacity over
+    /// sectors functioning this period.
+    fn auto_distribute_rent(&mut self) {
+        let pool = self.ledger.balance(RENT_POOL);
+        let live: Vec<(SectorId, AccountId, u64)> = {
+            let mut v: Vec<_> = self
+                .sectors
+                .values()
+                .filter(|s| s.state != SectorState::Corrupted)
+                .map(|s| (s.id, s.owner, s.capacity))
+                .collect();
+            v.sort_unstable_by_key(|(id, _, _)| *id);
+            v
+        };
+        let total_capacity: u64 = live.iter().map(|(_, _, c)| c).sum();
+        let mut paid = TokenAmount::ZERO;
+        if !pool.is_zero() && total_capacity > 0 {
+            for (_, owner, capacity) in &live {
+                let share = pool.mul_ratio(*capacity as u128, total_capacity as u128);
+                if !share.is_zero() {
+                    self.ledger
+                        .transfer(RENT_POOL, *owner, share)
+                        .expect("pool covers shares");
+                    paid += share;
+                }
+            }
+        }
+        self.log(ProtocolEvent::RentDistributed { total: paid });
+        let next = self.now() + self.rent_period();
+        self.pending.schedule(next, Task::DistributeRent);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn rent_period(&self) -> Time {
+        self.params.proof_cycle * self.params.rent_period_cycles as Time
+    }
+
+    fn log(&mut self, event: ProtocolEvent) {
+        self.chain
+            .log(ChainEvent::new(event.kind(), format!("{event:?}").into_bytes()));
+        self.events.push(event);
+        self.op_counter += 1;
+    }
+
+    fn charge_gas(&mut self, account: AccountId, ops: &[Op]) -> Result<(), EngineError> {
+        let gas: u64 = ops.iter().map(|&op| self.gas.price(op)).sum();
+        let fee = self.gas.to_tokens(gas);
+        self.ledger
+            .burn(account, fee)
+            .map_err(|_| EngineError::InsufficientFunds)
+    }
+
+    fn sample_cntdown(rng: &mut DetRng, avg_refresh: f64) -> i64 {
+        (rng.sample_exp(avg_refresh).ceil() as i64).max(1)
+    }
+
+    /// Samples a sector with at least `size` free capacity, re-sampling up
+    /// to the collision retry limit.
+    fn sample_sector_with_space(&mut self, size: u64) -> Option<SectorId> {
+        let mut rng = self.rng.clone();
+        let mut result = None;
+        for _ in 0..=self.params.collision_retry_limit {
+            let Some(&candidate) = self.sampler.sample(&mut rng) else { break };
+            let ok = self
+                .sectors
+                .get(&candidate)
+                .map(|s| s.free_cap >= size)
+                .unwrap_or(false);
+            if ok {
+                result = Some(candidate);
+                break;
+            }
+            self.stats.add_collisions += 1;
+        }
+        self.rng = rng;
+        result
+    }
+
+    fn reserve(&mut self, sector: SectorId, size: u64) {
+        let s = self.sectors.get_mut(&sector).expect("sector exists");
+        debug_assert!(s.free_cap >= size, "reservation exceeds free space");
+        s.free_cap -= size;
+        s.replica_count += 1;
+        self.cr.get_mut(&sector).expect("cr accounting").add_file(size);
+    }
+
+    fn release_reservation(&mut self, sector: SectorId, size: u64) {
+        if let Some(s) = self.sectors.get_mut(&sector) {
+            if s.state == SectorState::Corrupted {
+                return;
+            }
+            s.free_cap += size;
+            s.replica_count -= 1;
+            self.cr
+                .get_mut(&sector)
+                .expect("cr accounting")
+                .remove_file(size);
+            self.maybe_remove_drained(sector);
+        }
+    }
+
+    fn release_reservation_indexed(
+        &mut self,
+        sector: SectorId,
+        file: FileId,
+        index: u32,
+        size: u64,
+    ) {
+        if let Some(set) = self.sector_replicas.get_mut(&sector) {
+            set.remove(&(file, index));
+        }
+        self.release_reservation(sector, size);
+    }
+
+    /// Releases a stored replica (same as a reservation plus index upkeep).
+    fn release_replica(&mut self, sector: SectorId, file: FileId, index: u32, size: u64) {
+        self.release_reservation_indexed(sector, file, index, size);
+    }
+
+    /// Removes a drained disabled sector and refunds its deposit.
+    fn maybe_remove_drained(&mut self, sector: SectorId) {
+        let remove = self
+            .sectors
+            .get(&sector)
+            .map(|s| s.state == SectorState::Disabled && s.replica_count == 0)
+            .unwrap_or(false);
+        if remove {
+            let s = self.sectors.remove(&sector).expect("checked");
+            self.cr.remove(&sector);
+            self.sector_replicas.remove(&sector);
+            self.ledger
+                .transfer(DEPOSIT_ESCROW, s.owner, s.deposit)
+                .expect("escrow covers deposit");
+            self.log(ProtocolEvent::SectorRemoved {
+                sector,
+                refunded: s.deposit,
+            });
+        }
+    }
+
+    fn punish(&mut self, sector: SectorId) {
+        let Some(s) = self.sectors.get_mut(&sector) else { return };
+        if s.state == SectorState::Corrupted {
+            return;
+        }
+        let amount = self.params.punishment(s.deposit).min(s.deposit);
+        if amount.is_zero() {
+            return;
+        }
+        s.deposit = s.deposit - amount;
+        self.ledger
+            .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, amount)
+            .expect("escrow covers punishment");
+        self.stats.punishments += 1;
+        self.log(ProtocolEvent::ProviderPunished { sector, amount });
+    }
+
+    /// Deadline miss: confiscate the whole deposit and void the sector.
+    fn confiscate_and_corrupt(&mut self, sector: SectorId) {
+        let Some(s) = self.sectors.get_mut(&sector) else { return };
+        if s.state == SectorState::Corrupted {
+            return;
+        }
+        s.state = SectorState::Corrupted;
+        s.physically_failed = true;
+        let confiscated = s.deposit;
+        s.deposit = TokenAmount::ZERO;
+        self.sampler.remove(&sector);
+        self.ledger
+            .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, confiscated)
+            .expect("escrow covers deposit");
+        self.stats.sectors_corrupted += 1;
+        self.log(ProtocolEvent::SectorCorrupted { sector, confiscated });
+        self.void_sector_content(sector);
+    }
+
+    /// Resolves every allocation entry touching a newly corrupted sector.
+    fn void_sector_content(&mut self, sector: SectorId) {
+        let touched: Vec<(FileId, u32)> = self
+            .sector_replicas
+            .get(&sector)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        let now = self.now();
+        for (file, index) in touched {
+            let size = self.files.get(&file).map(|f| f.size).unwrap_or(0);
+            let Some(e) = self.alloc.get(&(file, index)) else { continue };
+            let (prev, next, state) = (e.prev, e.next, e.state);
+            let incoming = next == Some(sector);
+            let holding = prev == Some(sector);
+
+            if incoming && holding {
+                // Self-move inside the corrupted sector: everything gone.
+                let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                e.state = AllocState::Corrupted;
+                e.next = None;
+                continue;
+            }
+            if incoming {
+                // Reservation on the dead sector; the replica (if any)
+                // still lives at prev.
+                let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                e.next = None;
+                if prev.is_some() && state != AllocState::Corrupted {
+                    e.state = AllocState::Normal; // revert the move
+                } else if prev.is_none() {
+                    e.state = AllocState::Corrupted; // initial placement died
+                }
+                continue;
+            }
+            if holding {
+                match state {
+                    AllocState::Normal => {
+                        let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                        e.state = AllocState::Corrupted;
+                    }
+                    AllocState::Alloc => {
+                        // Mid-refresh, source destroyed before handoff: the
+                        // pending copy at `next` is unverified raw space —
+                        // release it and mark the replica lost.
+                        if let Some(n) = next {
+                            self.release_reservation_indexed(n, file, index, size);
+                        }
+                        let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                        e.next = None;
+                        e.state = AllocState::Corrupted;
+                    }
+                    AllocState::Confirm => {
+                        // The new sector already confirmed holding the
+                        // replica: finalise the move early.
+                        let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                        e.prev = next;
+                        e.next = None;
+                        e.last = Some(now);
+                        e.state = AllocState::Normal;
+                        self.stats.refreshes_completed += 1;
+                    }
+                    AllocState::Corrupted => {}
+                }
+            }
+        }
+        self.sector_replicas.remove(&sector);
+    }
+
+    /// Full compensation on loss (Fig. 8, §IV-B).
+    fn compensate_loss(&mut self, file: FileId) {
+        let Some(desc) = self.files.get(&file) else { return };
+        let owner = desc.owner;
+        let value = desc.value;
+        let paid = self
+            .ledger
+            .transfer_up_to(COMPENSATION_POOL, owner, value);
+        self.stats.files_lost += 1;
+        self.stats.value_lost += value;
+        self.stats.compensation_paid += paid;
+        self.stats.compensation_shortfall += value - paid;
+        self.log(ProtocolEvent::FileLost {
+            file,
+            value,
+            compensated: paid,
+        });
+        self.remove_file_completely(file, RemovalReason::Lost);
+    }
+
+    /// Removes a file and releases everything it holds.
+    fn remove_file_completely(&mut self, file: FileId, reason: RemovalReason) {
+        let Some(desc) = self.files.remove(&file) else { return };
+        self.discard_reasons.remove(&file);
+        for i in 0..desc.cp {
+            let Some(e) = self.alloc.remove(&(file, i)) else { continue };
+            match e.state {
+                AllocState::Normal => {
+                    if let Some(s) = e.prev {
+                        self.release_replica(s, file, i, desc.size);
+                    }
+                }
+                AllocState::Alloc | AllocState::Confirm => {
+                    if let Some(s) = e.next {
+                        self.release_reservation_indexed(s, file, i, desc.size);
+                    }
+                    if let Some(s) = e.prev {
+                        self.release_replica(s, file, i, desc.size);
+                    }
+                }
+                AllocState::Corrupted => {}
+            }
+        }
+        self.log(ProtocolEvent::FileRemoved { file, reason });
+    }
+
+    /// §VI-B swap-in: move a Poisson-distributed number of existing
+    /// replicas into a freshly registered sector so the allocation
+    /// distribution stays i.i.d. capacity-proportional.
+    fn poisson_swap_in(&mut self, sector: SectorId) {
+        let capacity = self.sectors[&sector].capacity;
+        let total: u64 = self.sampler.total_weight();
+        if total == 0 {
+            return;
+        }
+        // Count replicas currently placed (Normal entries only).
+        let placed: Vec<(FileId, u32)> = {
+            let mut v: Vec<_> = self
+                .alloc
+                .iter()
+                .filter(|(_, e)| e.state == AllocState::Normal)
+                .map(|(&k, _)| k)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        if placed.is_empty() {
+            return;
+        }
+        let mean = placed.len() as f64 * capacity as f64 / total as f64;
+        let count = (self.rng.sample_poisson(mean) as usize).min(placed.len());
+        if count == 0 {
+            return;
+        }
+        let chosen = self.rng.sample_distinct(placed.len(), count);
+        for idx in chosen {
+            let (file, i) = placed[idx];
+            self.forced_refresh_to(file, i, sector);
+        }
+    }
+
+    /// Starts a refresh of `(file, index)` targeted at `sector` (used by
+    /// the §VI-B swap-in; ordinary refreshes sample their target).
+    fn forced_refresh_to(&mut self, file: FileId, index: u32, sector: SectorId) {
+        let Some(desc) = self.files.get(&file) else { return };
+        let size = desc.size;
+        let ok = self.alloc.get(&(file, index)).map(|e| e.state) == Some(AllocState::Normal)
+            && self
+                .sectors
+                .get(&sector)
+                .map(|s| s.state == SectorState::Normal && s.free_cap >= size)
+                .unwrap_or(false);
+        if !ok {
+            return;
+        }
+        self.reserve(sector, size);
+        self.sector_replicas
+            .get_mut(&sector)
+            .expect("sector index")
+            .insert((file, index));
+        let e = self.alloc.get_mut(&(file, index)).expect("entry");
+        let from = e.prev;
+        e.next = Some(sector);
+        e.state = AllocState::Alloc;
+        let deadline = self.now() + self.params.transfer_window(size);
+        self.pending
+            .schedule(deadline, Task::CheckRefresh(file, index));
+        self.stats.refreshes_started += 1;
+        self.log(ProtocolEvent::ReplicaSwap { file, index, from, to: sector });
+    }
+}

@@ -1,0 +1,354 @@
+//! Capacity-proportional weighted sampling — the `RandomSector()` primitive.
+//!
+//! Table I: *"Sample a random sector. The probability of selecting each
+//! sector is proportional to its capacity."* The sector set is dynamic
+//! (registrations, disables, removals), and `File_Add` plus the continuous
+//! refresh stream make sampling the hottest consensus operation, so the
+//! implementation must support O(log n) insert / remove / re-weight /
+//! sample. We use a Fenwick (binary indexed) tree over weights with slot
+//! recycling; sampling descends the tree bit by bit.
+//!
+//! The ablation benchmark `fi-bench/benches/sampler.rs` compares this
+//! against a linear scan and a rebuilt alias table to justify the choice
+//! (see DESIGN.md §5).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use fi_crypto::DetRng;
+
+/// A dynamic weighted sampler over keys of type `K`.
+///
+/// # Example
+///
+/// ```
+/// use fi_core::sampler::WeightedSampler;
+/// use fi_crypto::DetRng;
+///
+/// let mut s = WeightedSampler::new();
+/// s.insert("small", 1);
+/// s.insert("big", 99);
+/// let mut rng = DetRng::from_seed_label(1, "doc");
+/// let mut bigs = 0;
+/// for _ in 0..1000 {
+///     if *s.sample(&mut rng).unwrap() == "big" { bigs += 1; }
+/// }
+/// assert!(bigs > 950); // ∝ weight
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedSampler<K> {
+    /// Fenwick tree: `tree[i]` covers a range of slots; 1-based internally.
+    tree: Vec<u64>,
+    /// Per-slot weight (0 for free slots).
+    weights: Vec<u64>,
+    /// Per-slot key.
+    keys: Vec<Option<K>>,
+    /// Key → slot.
+    index_of: HashMap<K, usize>,
+    /// Recycled slots.
+    free_slots: Vec<usize>,
+    /// Sum of all weights.
+    total: u64,
+}
+
+impl<K> Default for WeightedSampler<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> WeightedSampler<K> {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        WeightedSampler {
+            tree: vec![0; 1],
+            weights: Vec::new(),
+            keys: Vec::new(),
+            index_of: HashMap::new(),
+            free_slots: Vec::new(),
+            total: 0,
+        }
+    }
+}
+
+impl<K: Copy + Eq + Hash> WeightedSampler<K> {
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.index_of.len()
+    }
+
+    /// `true` when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.index_of.is_empty()
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// Current weight of `key`, if present.
+    pub fn weight(&self, key: &K) -> Option<u64> {
+        self.index_of.get(key).map(|&slot| self.weights[slot])
+    }
+
+    /// Inserts `key` with `weight`, or updates its weight if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight == 0`; zero-weight keys are unsampleable — remove
+    /// them instead.
+    pub fn insert(&mut self, key: K, weight: u64) {
+        assert!(weight > 0, "weight must be positive");
+        if let Some(&slot) = self.index_of.get(&key) {
+            self.set_slot_weight(slot, weight);
+            return;
+        }
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.weights.push(0);
+                self.keys.push(None);
+                let s = self.weights.len() - 1;
+                if self.weights.len() >= self.tree.len() {
+                    self.rebuild_tree();
+                }
+                s
+            }
+        };
+        self.keys[slot] = Some(key);
+        self.index_of.insert(key, slot);
+        self.set_slot_weight(slot, weight);
+    }
+
+    /// Removes `key`, returning its weight if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<u64> {
+        let slot = self.index_of.remove(key)?;
+        let w = self.weights[slot];
+        self.set_slot_weight(slot, 0);
+        self.keys[slot] = None;
+        self.free_slots.push(slot);
+        Some(w)
+    }
+
+    /// Samples a key with probability proportional to its weight, or `None`
+    /// when empty.
+    pub fn sample(&self, rng: &mut DetRng) -> Option<&K> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = rng.below(self.total);
+        let slot = self.find_slot(target);
+        self.keys[slot].as_ref()
+    }
+
+    /// Iterates over `(key, weight)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.keys
+            .iter()
+            .zip(&self.weights)
+            .filter_map(|(k, &w)| k.as_ref().map(|key| (key, w)))
+    }
+
+    /// Sets the weight stored at `slot`, updating the tree and total.
+    fn set_slot_weight(&mut self, slot: usize, weight: u64) {
+        let old = self.weights[slot];
+        self.weights[slot] = weight;
+        self.total = self.total - old + weight;
+        // Fenwick point update (1-based).
+        let mut i = slot + 1;
+        let (add, sub) = if weight >= old {
+            (weight - old, 0)
+        } else {
+            (0, old - weight)
+        };
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i] + add - sub;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Rebuilds the Fenwick tree with doubled capacity.
+    fn rebuild_tree(&mut self) {
+        let cap = (self.weights.len() + 1).next_power_of_two().max(2);
+        self.tree = vec![0; cap * 2];
+        for (slot, &w) in self.weights.iter().enumerate() {
+            if w > 0 {
+                let mut i = slot + 1;
+                while i < self.tree.len() {
+                    self.tree[i] += w;
+                    i += i & i.wrapping_neg();
+                }
+            }
+        }
+    }
+
+    /// Finds the slot holding the `target`-th unit of weight: the smallest
+    /// slot whose prefix sum exceeds `target`. Standard Fenwick descend.
+    fn find_slot(&self, mut target: u64) -> usize {
+        debug_assert!(target < self.total);
+        let mut pos = 0usize;
+        let mut step = self.tree.len().next_power_of_two() / 2;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        // pos is 1-based index of the last slot with prefix <= target;
+        // the answer is the following slot (0-based = pos).
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chi_square_ok(observed: &[u64], expected: &[f64]) -> bool {
+        let chi2: f64 = observed
+            .iter()
+            .zip(expected)
+            .filter(|(_, &e)| e > 0.0)
+            .map(|(&o, &e)| {
+                let d = o as f64 - e;
+                d * d / e
+            })
+            .sum();
+        // Generous threshold for <= 20 dof at far-tail significance.
+        chi2 < 60.0
+    }
+
+    #[test]
+    fn sampling_proportional_to_weight() {
+        let mut s = WeightedSampler::new();
+        let weights = [5u64, 10, 1, 100, 42, 7];
+        for (i, &w) in weights.iter().enumerate() {
+            s.insert(i, w);
+        }
+        let total: u64 = weights.iter().sum();
+        let mut rng = DetRng::from_seed_label(21, "prop");
+        let n = 200_000u64;
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..n {
+            counts[*s.sample(&mut rng).unwrap()] += 1;
+        }
+        let expected: Vec<f64> = weights
+            .iter()
+            .map(|&w| n as f64 * w as f64 / total as f64)
+            .collect();
+        assert!(chi_square_ok(&counts, &expected), "{counts:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut s: WeightedSampler<u32> = WeightedSampler::new();
+        let mut rng = DetRng::from_seed_label(22, "one");
+        assert!(s.sample(&mut rng).is_none());
+        s.insert(9, 3);
+        for _ in 0..10 {
+            assert_eq!(*s.sample(&mut rng).unwrap(), 9);
+        }
+    }
+
+    #[test]
+    fn remove_redirects_mass() {
+        let mut s = WeightedSampler::new();
+        s.insert("a", 50);
+        s.insert("b", 50);
+        assert_eq!(s.remove(&"a"), Some(50));
+        assert_eq!(s.remove(&"a"), None);
+        assert_eq!(s.total_weight(), 50);
+        let mut rng = DetRng::from_seed_label(23, "rm");
+        for _ in 0..100 {
+            assert_eq!(*s.sample(&mut rng).unwrap(), "b");
+        }
+    }
+
+    #[test]
+    fn update_weight_in_place() {
+        let mut s = WeightedSampler::new();
+        s.insert(1u32, 10);
+        s.insert(2u32, 10);
+        s.insert(1u32, 1000); // update, not duplicate
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_weight(), 1010);
+        assert_eq!(s.weight(&1), Some(1000));
+        let mut rng = DetRng::from_seed_label(24, "upd");
+        let ones = (0..1000)
+            .filter(|_| *s.sample(&mut rng).unwrap() == 1)
+            .count();
+        assert!(ones > 950, "ones={ones}");
+    }
+
+    #[test]
+    fn slot_recycling_after_churn() {
+        let mut s = WeightedSampler::new();
+        for i in 0..100u32 {
+            s.insert(i, (i + 1) as u64);
+        }
+        for i in 0..50u32 {
+            s.remove(&i);
+        }
+        for i in 100..150u32 {
+            s.insert(i, 5);
+        }
+        assert_eq!(s.len(), 100);
+        let expect_total: u64 = (51..=100).sum::<u64>() + 50 * 5;
+        assert_eq!(s.total_weight(), expect_total);
+        // All sampled keys must be live ones.
+        let mut rng = DetRng::from_seed_label(25, "churn");
+        for _ in 0..2000 {
+            let k = *s.sample(&mut rng).unwrap();
+            assert!((50..150).contains(&k), "sampled dead key {k}");
+        }
+    }
+
+    #[test]
+    fn growth_across_rebuilds() {
+        let mut s = WeightedSampler::new();
+        for i in 0..10_000u64 {
+            s.insert(i, 1 + i % 7);
+        }
+        let expect: u64 = (0..10_000u64).map(|i| 1 + i % 7).sum();
+        assert_eq!(s.total_weight(), expect);
+        // Prefix integrity: sampling never returns a free/invalid slot.
+        let mut rng = DetRng::from_seed_label(26, "grow");
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn iter_lists_live_entries() {
+        let mut s = WeightedSampler::new();
+        s.insert("x", 1);
+        s.insert("y", 2);
+        s.remove(&"x");
+        let entries: Vec<_> = s.iter().collect();
+        assert_eq!(entries, vec![(&"y", 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let mut s = WeightedSampler::new();
+        s.insert(1u8, 0);
+    }
+
+    #[test]
+    fn two_key_distribution_exact_bounds() {
+        // With weights 1 and 3, P(key=1) = 0.75; check tight empirically.
+        let mut s = WeightedSampler::new();
+        s.insert(0u8, 1);
+        s.insert(1u8, 3);
+        let mut rng = DetRng::from_seed_label(27, "twokey");
+        let n = 100_000;
+        let hits = (0..n).filter(|_| *s.sample(&mut rng).unwrap() == 1).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Large-file segmentation via erasure coding (paper §VI-C).
+//!
+//! Files bigger than `sizeLimit` would break storage randomness (their
+//! allocations might not find space in one draw), so the network requires
+//! them to be split: *"we can convert it to a collection of segments by the
+//! erasure code, such that each segment's size is upper bounded by
+//! sizeLimit. By this operation, the file can still be recovered even if
+//! half of the segments are lost. Therefore, we can simply regard each
+//! segment as an individual file with value 2·value/k"* (with `k` the
+//! number of segments).
+//!
+//! We use a Reed–Solomon code with `data = parity` shards so any half of
+//! the segments reconstructs the file, and assign each segment the value
+//! `2·value/segments` rounded up to a `minValue` multiple — so losing the
+//! file (≥ half the segments gone) pays out at least the original value.
+
+use fi_chain::account::TokenAmount;
+use fi_erasure::{ReedSolomon, RsError};
+
+use crate::params::ProtocolParams;
+
+/// A segmentation plan plus the encoded segment payloads.
+#[derive(Debug, Clone)]
+pub struct SegmentedFile {
+    /// Per-segment payloads (all equal length ≤ `sizeLimit`).
+    pub segments: Vec<Vec<u8>>,
+    /// Value to declare for each segment (a `minValue` multiple).
+    pub segment_value: TokenAmount,
+    /// Number of data shards (= parity shards).
+    pub data_shards: usize,
+    /// Original payload length (needed to strip padding on decode).
+    pub original_len: usize,
+}
+
+/// Errors from segmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The file is small enough to store directly — segmentation refused
+    /// to avoid silently doubling storage cost.
+    NotNeeded {
+        /// File size.
+        size: u64,
+        /// The configured limit it does not exceed.
+        limit: u64,
+    },
+    /// The file is too large for the maximum shard count (255 for RS over
+    /// GF(2^8)).
+    TooLarge,
+    /// Underlying erasure-code failure.
+    Erasure(RsError),
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::NotNeeded { size, limit } => {
+                write!(f, "file of size {size} fits the size limit {limit}; store directly")
+            }
+            SegmentError::TooLarge => write!(f, "file exceeds 127 x sizeLimit; cannot segment"),
+            SegmentError::Erasure(e) => write!(f, "erasure failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<RsError> for SegmentError {
+    fn from(e: RsError) -> Self {
+        SegmentError::Erasure(e)
+    }
+}
+
+/// Splits `payload` (declared `value`) into erasure-coded segments per
+/// §VI-C.
+///
+/// # Errors
+///
+/// * [`SegmentError::NotNeeded`] if the payload already fits `sizeLimit`;
+/// * [`SegmentError::TooLarge`] if more than 127 data shards would be
+///   needed (RS over GF(2^8) caps total shards at 255).
+pub fn segment_file(
+    payload: &[u8],
+    value: TokenAmount,
+    params: &ProtocolParams,
+) -> Result<SegmentedFile, SegmentError> {
+    let size = payload.len() as u64;
+    let limit = params.size_limit;
+    if size <= limit {
+        return Err(SegmentError::NotNeeded { size, limit });
+    }
+    let data_shards = size.div_ceil(limit) as usize;
+    if data_shards > 127 {
+        return Err(SegmentError::TooLarge);
+    }
+    let rs = ReedSolomon::new(data_shards, data_shards).expect("shard counts validated");
+    let segments = rs.encode_bytes(payload);
+    let total = segments.len() as u128; // = 2 × data_shards
+
+    // Segment value: 2·value/k rounded UP to a minValue multiple so the
+    // insurance property (loss ⇒ payout ≥ value) survives rounding.
+    let raw = (2 * value.0).div_ceil(total);
+    let min_value = params.min_value.0;
+    let segment_value = TokenAmount(raw.div_ceil(min_value) * min_value);
+
+    Ok(SegmentedFile {
+        segments,
+        segment_value,
+        data_shards,
+        original_len: payload.len(),
+    })
+}
+
+/// Reassembles the original payload from surviving segments (`None` =
+/// lost). Succeeds whenever at least half the segments survive.
+///
+/// # Errors
+///
+/// [`SegmentError::Erasure`] when fewer than `data_shards` survive.
+pub fn reassemble_file(
+    segmented: &SegmentedFile,
+    received: &[Option<Vec<u8>>],
+) -> Result<Vec<u8>, SegmentError> {
+    let rs = ReedSolomon::new(segmented.data_shards, segmented.data_shards)
+        .expect("shard counts validated at segmentation");
+    Ok(rs.decode_bytes(received, segmented.original_len)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ProtocolParams {
+        ProtocolParams {
+            size_limit: 100,
+            ..ProtocolParams::default()
+        }
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 13 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn small_files_rejected() {
+        let p = params();
+        let err = segment_file(&payload(100), TokenAmount(1_000), &p).unwrap_err();
+        assert_eq!(err, SegmentError::NotNeeded { size: 100, limit: 100 });
+    }
+
+    #[test]
+    fn segments_respect_size_limit() {
+        let p = params();
+        let seg = segment_file(&payload(950), TokenAmount(10_000), &p).unwrap();
+        assert_eq!(seg.data_shards, 10);
+        assert_eq!(seg.segments.len(), 20);
+        for s in &seg.segments {
+            assert!(s.len() as u64 <= p.size_limit);
+        }
+    }
+
+    #[test]
+    fn survives_loss_of_any_half() {
+        let p = params();
+        let data = payload(500);
+        let seg = segment_file(&data, TokenAmount(10_000), &p).unwrap();
+        let n = seg.segments.len();
+        // Lose the first half; recover from the second.
+        let mut received: Vec<Option<Vec<u8>>> =
+            seg.segments.iter().cloned().map(Some).collect();
+        for slot in received.iter_mut().take(n / 2) {
+            *slot = None;
+        }
+        assert_eq!(reassemble_file(&seg, &received).unwrap(), data);
+
+        // One more loss and recovery fails.
+        received[n / 2] = None;
+        assert!(matches!(
+            reassemble_file(&seg, &received),
+            Err(SegmentError::Erasure(_))
+        ));
+    }
+
+    #[test]
+    fn insurance_value_preserved() {
+        // Losing the file means ≥ half the segments are gone; their summed
+        // compensation must be at least the original value.
+        let p = params();
+        for (size, value) in [(201usize, 7_000u128), (999, 123_000), (150, 1_000)] {
+            let seg = segment_file(&payload(size), TokenAmount(value), &p).unwrap();
+            let half = seg.segments.len() as u128 / 2;
+            let payout_when_lost = half * seg.segment_value.0;
+            assert!(
+                payout_when_lost >= value,
+                "size={size} value={value}: payout {payout_when_lost}"
+            );
+            // Value is a minValue multiple (File_Add requirement).
+            assert_eq!(seg.segment_value.0 % p.min_value.0, 0);
+        }
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let p = params();
+        let huge = vec![0u8; (127 * 100 + 1) as usize];
+        assert_eq!(
+            segment_file(&huge, TokenAmount(1_000), &p).unwrap_err(),
+            SegmentError::TooLarge
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! 32-byte digest newtype and domain-separated keyed hashing.
+
+use std::fmt;
+
+use crate::sha256::Sha256;
+
+/// A 32-byte digest (SHA-256 output).
+///
+/// Used throughout the workspace as file Merkle roots, content identifiers,
+/// replica commitments, beacon outputs, and block hashes.
+///
+/// # Example
+///
+/// ```
+/// use fi_crypto::{sha256, Hash256};
+///
+/// let h = sha256(b"file contents");
+/// let restored = Hash256::from_hex(&h.to_hex()).unwrap();
+/// assert_eq!(h, restored);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hash256([u8; 32]);
+
+impl Hash256 {
+    /// The all-zero digest. Used as a sentinel (e.g. the parent of a genesis
+    /// block) — never produced by hashing real data.
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Wraps raw digest bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Hash256(bytes)
+    }
+
+    /// Borrows the digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning its bytes.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Lowercase hex encoding (64 characters).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string.
+    ///
+    /// Returns `None` if the string is not exactly 64 hex digits.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        let bytes = s.as_bytes();
+        for i in 0..32 {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Hash256(out))
+    }
+
+    /// First 8 bytes interpreted as a big-endian `u64`.
+    ///
+    /// Handy for deriving integer seeds from digests.
+    pub fn to_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().unwrap())
+    }
+
+    /// XOR distance between two digests (Kademlia metric), returned as the
+    /// number of leading zero bits of the XOR (larger = closer).
+    pub fn xor_leading_zeros(&self, other: &Hash256) -> u32 {
+        let mut zeros = 0u32;
+        for i in 0..32 {
+            let x = self.0[i] ^ other.0[i];
+            if x == 0 {
+                zeros += 8;
+            } else {
+                zeros += x.leading_zeros();
+                break;
+            }
+        }
+        zeros
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Hash256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Hash256 {
+    fn from(bytes: [u8; 32]) -> Self {
+        Hash256(bytes)
+    }
+}
+
+/// Domain-separated keyed hash: `SHA-256(len(domain) || domain || data...)`.
+///
+/// Each variadic part is length-prefixed so that concatenation ambiguity is
+/// impossible (`("ab","c")` never collides with `("a","bc")`).
+///
+/// # Example
+///
+/// ```
+/// use fi_crypto::keyed_hash;
+/// let a = keyed_hash("replica", &[b"file", b"sector-1"]);
+/// let b = keyed_hash("replica", &[b"files", b"ector-1"]);
+/// assert_ne!(a, b);
+/// ```
+pub fn keyed_hash(domain: &str, parts: &[&[u8]]) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&(domain.len() as u64).to_be_bytes());
+    h.update(domain.as_bytes());
+    for part in parts {
+        h.update(&(part.len() as u64).to_be_bytes());
+        h.update(part);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    #[test]
+    fn hex_round_trip() {
+        let h = sha256(b"round trip");
+        assert_eq!(Hash256::from_hex(&h.to_hex()), Some(h));
+        assert_eq!(Hash256::from_hex("xyz"), None);
+        assert_eq!(Hash256::from_hex(&"g".repeat(64)), None);
+    }
+
+    #[test]
+    fn zero_is_sentinel() {
+        assert_eq!(Hash256::ZERO.to_hex(), "0".repeat(64));
+        assert_ne!(sha256(b""), Hash256::ZERO);
+    }
+
+    #[test]
+    fn keyed_hash_domain_separation() {
+        assert_ne!(
+            keyed_hash("a", &[b"payload"]),
+            keyed_hash("b", &[b"payload"])
+        );
+        // Length prefixing prevents concatenation ambiguity.
+        assert_ne!(keyed_hash("d", &[b"ab", b"c"]), keyed_hash("d", &[b"a", b"bc"]));
+        assert_ne!(keyed_hash("d", &[b"abc"]), keyed_hash("d", &[b"ab", b"c"]));
+    }
+
+    #[test]
+    fn xor_leading_zeros_basics() {
+        let a = Hash256::from_bytes([0u8; 32]);
+        assert_eq!(a.xor_leading_zeros(&a), 256);
+        let mut b = [0u8; 32];
+        b[0] = 0x80;
+        assert_eq!(a.xor_leading_zeros(&Hash256::from_bytes(b)), 0);
+        let mut c = [0u8; 32];
+        c[1] = 0x01;
+        assert_eq!(a.xor_leading_zeros(&Hash256::from_bytes(c)), 15);
+    }
+
+    #[test]
+    fn to_u64_is_prefix() {
+        let mut raw = [0u8; 32];
+        raw[..8].copy_from_slice(&0xDEAD_BEEF_CAFE_F00Du64.to_be_bytes());
+        assert_eq!(Hash256::from_bytes(raw).to_u64(), 0xDEAD_BEEF_CAFE_F00D);
+    }
+}

@@ -1,0 +1,48 @@
+//! Cryptographic substrate for the FileInsurer reproduction.
+//!
+//! FileInsurer (ICDCS 2022) relies on a handful of cryptographic primitives
+//! that, in a production deployment, would come from a hardened library:
+//!
+//! * a collision-resistant hash for file Merkle roots and content IDs
+//!   (we implement **SHA-256** from the FIPS 180-4 specification),
+//! * **Merkle trees** with inclusion proofs, used by file commitments and by
+//!   the simulated Proof-of-Spacetime challenge/response in `fi-porep`,
+//! * a **deterministic pseudorandom generator** seeded from a short random
+//!   beacon (paper §III-F): we implement the ChaCha20 block function and wrap
+//!   it as [`rng::DetRng`], and
+//! * a **random beacon** abstraction ([`beacon::RandomBeacon`]) producing one
+//!   unpredictable-but-agreed 32-byte value per consensus round.
+//!
+//! Everything here is deterministic and dependency-free so that whole-network
+//! simulations are reproducible bit-for-bit from a single seed.
+//!
+//! # Example
+//!
+//! ```
+//! use fi_crypto::{sha256, merkle::MerkleTree, rng::DetRng};
+//!
+//! let digest = sha256(b"hello world");
+//! assert_eq!(digest.to_hex().len(), 64);
+//!
+//! let leaves: Vec<&[u8]> = vec![b"a", b"b", b"c"];
+//! let tree = MerkleTree::from_leaves(leaves.iter());
+//! let proof = tree.prove(2).unwrap();
+//! assert!(proof.verify(&tree.root(), b"c"));
+//!
+//! let mut rng = DetRng::from_seed_label(42, "docs");
+//! let x = rng.next_u64();
+//! let y = DetRng::from_seed_label(42, "docs").next_u64();
+//! assert_eq!(x, y); // fully deterministic
+//! ```
+
+pub mod beacon;
+pub mod hash;
+pub mod merkle;
+pub mod rng;
+pub mod sha256;
+
+pub use beacon::RandomBeacon;
+pub use hash::{keyed_hash, Hash256};
+pub use merkle::{MerkleProof, MerkleTree};
+pub use rng::DetRng;
+pub use sha256::sha256;

@@ -1,0 +1,255 @@
+//! Merkle trees with inclusion proofs.
+//!
+//! FileInsurer commits to every file with a Merkle root (`f.merkleRoot`,
+//! Fig. 1) and the simulated Proof-of-Spacetime answers beacon-derived
+//! challenges with Merkle inclusion proofs over sealed replica chunks.
+//!
+//! Leaves and internal nodes are hashed with distinct domain prefixes so a
+//! leaf can never be confused with an internal node (second-preimage
+//! hardening). Odd nodes at any level are *promoted* (carried up unchanged),
+//! not duplicated, so the tree is well-defined for any leaf count ≥ 1.
+
+use crate::hash::Hash256;
+use crate::sha256::Sha256;
+
+/// Hashes a leaf with domain separation.
+pub fn leaf_hash(data: &[u8]) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes an internal node with domain separation.
+pub fn node_hash(left: &Hash256, right: &Hash256) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left.as_ref());
+    h.update(right.as_ref());
+    h.finalize()
+}
+
+/// A Merkle tree over a sequence of byte-string leaves.
+///
+/// The full level structure is retained so that proofs for any leaf can be
+/// produced in O(log n) time without re-hashing.
+///
+/// # Example
+///
+/// ```
+/// use fi_crypto::merkle::MerkleTree;
+///
+/// let chunks: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 8]).collect();
+/// let tree = MerkleTree::from_leaves(chunks.iter());
+/// let proof = tree.prove(7).unwrap();
+/// assert!(proof.verify(&tree.root(), &chunks[7]));
+/// assert!(!proof.verify(&tree.root(), b"tampered"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, last level = `[root]`.
+    levels: Vec<Vec<Hash256>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from leaf payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty; an empty commitment is meaningless
+    /// in the protocol (files have at least one chunk).
+    pub fn from_leaves<I, T>(leaves: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u8]>,
+    {
+        let leaf_hashes: Vec<Hash256> = leaves.into_iter().map(|l| leaf_hash(l.as_ref())).collect();
+        Self::from_leaf_hashes(leaf_hashes)
+    }
+
+    /// Builds a tree from already-hashed leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_hashes` is empty.
+    pub fn from_leaf_hashes(leaf_hashes: Vec<Hash256>) -> Self {
+        assert!(!leaf_hashes.is_empty(), "a Merkle tree needs >= 1 leaf");
+        let mut levels = vec![leaf_hashes];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < prev.len() {
+                next.push(node_hash(&prev[i], &prev[i + 1]));
+                i += 2;
+            }
+            if i < prev.len() {
+                // Odd node promoted unchanged.
+                next.push(prev[i]);
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root commitment.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Hash of leaf `index`, if in bounds.
+    pub fn leaf(&self, index: usize) -> Option<Hash256> {
+        self.levels[0].get(index).copied()
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    ///
+    /// Returns `None` if `index` is out of bounds.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            if sibling_idx < level.len() {
+                siblings.push(ProofStep {
+                    sibling: level[sibling_idx],
+                    sibling_on_left: sibling_idx < idx,
+                });
+            }
+            // When the sibling is missing the node was promoted: no step.
+            idx /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            steps: siblings,
+        })
+    }
+}
+
+/// One step of a Merkle inclusion proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProofStep {
+    sibling: Hash256,
+    sibling_on_left: bool,
+}
+
+/// An inclusion proof binding a leaf payload to a Merkle root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    leaf_index: usize,
+    steps: Vec<ProofStep>,
+}
+
+impl MerkleProof {
+    /// Index of the proven leaf.
+    pub fn leaf_index(&self) -> usize {
+        self.leaf_index
+    }
+
+    /// Proof length in hashes (≈ log2 of the leaf count).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the proof has no steps (single-leaf tree).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Verifies the proof for `payload` against `root`.
+    pub fn verify(&self, root: &Hash256, payload: &[u8]) -> bool {
+        self.verify_leaf_hash(root, leaf_hash(payload))
+    }
+
+    /// Verifies the proof for an already-hashed leaf against `root`.
+    pub fn verify_leaf_hash(&self, root: &Hash256, leaf: Hash256) -> bool {
+        let mut acc = leaf;
+        for step in &self.steps {
+            acc = if step.sibling_on_left {
+                node_hash(&step.sibling, &acc)
+            } else {
+                node_hash(&acc, &step.sibling)
+            };
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("chunk-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = MerkleTree::from_leaves([b"only"]);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.root(), leaf_hash(b"only"));
+        let proof = tree.prove(0).unwrap();
+        assert!(proof.is_empty());
+        assert!(proof.verify(&tree.root(), b"only"));
+        assert!(!proof.verify(&tree.root(), b"other"));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaf_counts() {
+        for n in 1..=33 {
+            let data = chunks(n);
+            let tree = MerkleTree::from_leaves(data.iter());
+            for (i, leaf) in data.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(&tree.root(), leaf), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_payload_or_index_rejected() {
+        let data = chunks(9);
+        let tree = MerkleTree::from_leaves(data.iter());
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&tree.root(), &data[4]));
+        assert!(tree.prove(9).is_none());
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let data = chunks(8);
+        let base = MerkleTree::from_leaves(data.iter()).root();
+        for i in 0..8 {
+            let mut mutated = data.clone();
+            mutated[i].push(b'!');
+            assert_ne!(MerkleTree::from_leaves(mutated.iter()).root(), base);
+        }
+    }
+
+    #[test]
+    fn leaf_node_domain_separation() {
+        // An internal-node preimage must not validate as a leaf.
+        let a = leaf_hash(b"a");
+        let b = leaf_hash(b"b");
+        let n = node_hash(&a, &b);
+        let mut preimage = vec![0x01];
+        preimage.extend_from_slice(a.as_ref());
+        preimage.extend_from_slice(b.as_ref());
+        assert_ne!(leaf_hash(&preimage[1..]), n);
+    }
+
+    #[test]
+    fn order_matters() {
+        let t1 = MerkleTree::from_leaves([b"a", b"b"]);
+        let t2 = MerkleTree::from_leaves([b"b", b"a"]);
+        assert_ne!(t1.root(), t2.root());
+    }
+}

@@ -1,0 +1,452 @@
+//! Deterministic pseudorandom generator built on the ChaCha20 block function.
+//!
+//! Paper §III-F: *"we use a pseudorandom number generator to generate long
+//! pseudo-random bits based on a short random beacon"*. Every stochastic
+//! decision in the protocol (sector sampling, refresh countdowns, PoSt
+//! challenges) must be reproducible by all consensus participants, so the
+//! generator is keyed by a 32-byte seed and is fully deterministic.
+//!
+//! [`DetRng`] exposes the small set of sampling primitives the protocol and
+//! the experiment harness need: uniform integers, floats, exponential
+//! deviates (for `SampleExp(AvgRefresh)`), normal deviates (for the Table III
+//! workloads), Poisson deviates (for the §VI-B swap-in approximation) and
+//! Fisher–Yates shuffling.
+
+use crate::hash::Hash256;
+use crate::sha256::Sha256;
+
+/// The ChaCha20 quarter round.
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block (RFC 8439 layout).
+///
+/// `key` is 8 words, `counter` is the 32-bit block counter, `nonce` is 3
+/// words. Used both by [`DetRng`] and by the simulated PoRep "sealing"
+/// transform in `fi-porep`.
+pub fn chacha20_block(key: &[u32; 8], counter: u32, nonce: &[u32; 3]) -> [u8; 64] {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter;
+    state[13..16].copy_from_slice(nonce);
+
+    let initial = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Deterministic, seedable pseudorandom generator (ChaCha20 keystream).
+///
+/// Not an implementation of `rand::Rng`: the protocol needs a tiny, stable,
+/// consensus-reproducible surface, so the API is intentionally small and
+/// self-contained.
+///
+/// # Example
+///
+/// ```
+/// use fi_crypto::DetRng;
+///
+/// let mut rng = DetRng::from_seed_label(7, "example");
+/// let die = rng.range_u64(1..=6);
+/// assert!((1..=6).contains(&die));
+/// let wait = rng.sample_exp(10.0); // mean-10 exponential deviate
+/// assert!(wait >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+    buf: [u8; 64],
+    /// Next unread offset in `buf`; 64 means "exhausted".
+    offset: usize,
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl DetRng {
+    /// Creates a generator from a full 32-byte seed.
+    pub fn from_hash(seed: Hash256) -> Self {
+        let bytes = seed.into_bytes();
+        let mut key = [0u32; 8];
+        for i in 0..8 {
+            key[i] = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        DetRng {
+            key,
+            nonce: [0; 3],
+            counter: 0,
+            buf: [0u8; 64],
+            offset: 64,
+            gauss_spare: None,
+        }
+    }
+
+    /// Creates a generator from an integer seed and a purpose label.
+    ///
+    /// Distinct labels yield statistically independent streams, which keeps
+    /// experiment components (workload generation, adversary choices,
+    /// protocol randomness) decorrelated even when sharing one master seed.
+    pub fn from_seed_label(seed: u64, label: &str) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"fi-detrng/v1");
+        h.update(&seed.to_be_bytes());
+        h.update(label.as_bytes());
+        Self::from_hash(h.finalize())
+    }
+
+    /// Derives an independent child generator identified by `label`.
+    pub fn fork(&self, label: &str) -> DetRng {
+        let mut h = Sha256::new();
+        h.update(b"fi-detrng/fork");
+        for w in self.key {
+            h.update(&w.to_le_bytes());
+        }
+        h.update(label.as_bytes());
+        DetRng::from_hash(h.finalize())
+    }
+
+    fn refill(&mut self) {
+        self.buf = chacha20_block(&self.key, self.counter, &self.nonce);
+        self.counter = self.counter.wrapping_add(1);
+        if self.counter == 0 {
+            // 256 GiB of keystream consumed; roll the nonce to stay distinct.
+            self.nonce[0] = self.nonce[0].wrapping_add(1);
+        }
+        self.offset = 0;
+    }
+
+    /// Next uniformly random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        if self.offset + 8 > 64 {
+            self.refill();
+        }
+        let v = u64::from_le_bytes(self.buf[self.offset..self.offset + 8].try_into().unwrap());
+        self.offset += 8;
+        v
+    }
+
+    /// Next uniformly random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Uniform value in `[0, bound)` without modulo bias (Lemire rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Widening-multiply rejection sampling.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform value within an inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u64(&mut self, range: std::ops::RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty range");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential deviate with the given mean (`SampleExp` in the paper,
+    /// Table I). Inverse-CDF method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn sample_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        // 1 - f64() is in (0, 1], so ln is finite.
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal deviate via the Box–Muller transform.
+    pub fn sample_standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid u == 0.
+        let u = 1.0 - self.f64();
+        let v = self.f64();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * v;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with mean `mu` and standard deviation `sigma`.
+    pub fn sample_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.sample_standard_normal()
+    }
+
+    /// Poisson deviate with the given mean.
+    ///
+    /// Knuth's product method for small means; for large means (> 30) uses
+    /// the normal approximation with continuity correction, which is accurate
+    /// to well under the experiment noise floor and O(1).
+    pub fn sample_poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean.is_finite() && mean >= 0.0, "mean must be non-negative");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            let z = self.sample_standard_normal();
+            let v = mean + mean.sqrt() * z + 0.5;
+            return if v < 0.0 { 0 } else { v as u64 };
+        }
+        let limit = (-mean).exp();
+        let mut product = self.f64();
+        let mut count = 0u64;
+        while product > limit {
+            product *= self.f64();
+            count += 1;
+        }
+        count
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (floyd's algorithm),
+    /// returned in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct from {n}");
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in n - k..n {
+            let t = self.index(j + 1);
+            if chosen.insert(t) {
+                out.push(t);
+            } else {
+                chosen.insert(j);
+                out.push(j);
+            }
+        }
+        self.shuffle(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector.
+        let key: [u32; 8] = [
+            0x03020100, 0x07060504, 0x0b0a0908, 0x0f0e0d0c, 0x13121110, 0x17161514, 0x1b1a1918,
+            0x1f1e1d1c,
+        ];
+        let nonce: [u32; 3] = [0x09000000, 0x4a000000, 0x00000000];
+        let block = chacha20_block(&key, 1, &nonce);
+        let expect_first16: [u8; 16] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4,
+        ];
+        assert_eq!(&block[..16], &expect_first16);
+    }
+
+    #[test]
+    fn determinism_and_stream_independence() {
+        let mut a = DetRng::from_seed_label(1, "x");
+        let mut b = DetRng::from_seed_label(1, "x");
+        let mut c = DetRng::from_seed_label(1, "y");
+        let va: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn fork_independence() {
+        let parent = DetRng::from_seed_label(9, "p");
+        let mut f1 = parent.fork("a");
+        let mut f2 = parent.fork("b");
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = DetRng::from_seed_label(2, "below");
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = DetRng::from_seed_label(3, "f64");
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = DetRng::from_seed_label(4, "exp");
+        let n = 200_000;
+        let mean = 8.0;
+        let sum: f64 = (0..n).map(|_| rng.sample_exp(mean)).sum();
+        let measured = sum / n as f64;
+        assert!(
+            (measured - mean).abs() < 0.1,
+            "measured {measured} expected {mean}"
+        );
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = DetRng::from_seed_label(5, "norm");
+        let n = 200_000;
+        let (mu, sigma) = (3.0, 2.0);
+        let xs: Vec<f64> = (0..n).map(|_| rng.sample_normal(mu, sigma)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - mu).abs() < 0.05, "mean {mean}");
+        assert!((var - sigma * sigma).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_close_small_and_large() {
+        let mut rng = DetRng::from_seed_label(6, "pois");
+        for mean in [0.5, 4.0, 50.0] {
+            let n = 100_000;
+            let sum: u64 = (0..n).map(|_| rng.sample_poisson(mean)).sum();
+            let measured = sum as f64 / n as f64;
+            assert!(
+                (measured - mean).abs() / mean < 0.05,
+                "measured {measured} expected {mean}"
+            );
+        }
+        assert_eq!(rng.sample_poisson(0.0), 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::from_seed_label(7, "shuf");
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = DetRng::from_seed_label(8, "dist");
+        for _ in 0..50 {
+            let got = rng.sample_distinct(20, 5);
+            assert_eq!(got.len(), 5);
+            let set: std::collections::HashSet<_> = got.iter().collect();
+            assert_eq!(set.len(), 5, "must be distinct");
+            assert!(got.iter().all(|&i| i < 20));
+        }
+        // Edge: k == n yields a permutation.
+        let got = rng.sample_distinct(5, 5);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uniformity_chi_square() {
+        // Coarse chi-square test on 16 buckets; threshold is generous (the
+        // 99.9th percentile of chi2 with 15 dof is ~37.7).
+        let mut rng = DetRng::from_seed_label(10, "chi");
+        let n = 160_000u64;
+        let mut buckets = [0u64; 16];
+        for _ in 0..n {
+            buckets[rng.below(16) as usize] += 1;
+        }
+        let expect = n as f64 / 16.0;
+        let chi2: f64 = buckets
+            .iter()
+            .map(|&o| {
+                let d = o as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        assert!(chi2 < 45.0, "chi2 {chi2}");
+    }
+}

@@ -1,0 +1,223 @@
+//! The Galois field GF(2^8) with the AES reduction polynomial.
+//!
+//! Elements are bytes; addition is XOR; multiplication is polynomial
+//! multiplication modulo `x^8 + x^4 + x^3 + x + 1` (0x11B). Multiplication
+//! and division go through log/antilog tables with generator `0x03`, the
+//! standard construction.
+
+/// Precomputed log/antilog tables for GF(2^8).
+///
+/// Construct once (cheap: 255 field multiplications) and share. All
+/// arithmetic on field elements is then table lookups.
+///
+/// # Example
+///
+/// ```
+/// use fi_erasure::Gf256;
+/// let gf = Gf256::new();
+/// let a = 0x57;
+/// let b = 0x83;
+/// let prod = gf.mul(a, b);
+/// assert_eq!(prod, 0xc1); // AES reference value
+/// assert_eq!(gf.div(prod, b), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gf256 {
+    /// `exp[i] = g^i` for generator g = 0x03; doubled length avoids a mod.
+    exp: [u8; 512],
+    /// `log[x]` for x != 0; `log[0]` is unused.
+    log: [u16; 256],
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Carry-less multiply modulo 0x11B, used only to build the tables.
+fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1B; // reduce by x^8 + x^4 + x^3 + x + 1
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+impl Gf256 {
+    /// Builds the log/antilog tables.
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x = 1u8;
+        for i in 0..255 {
+            exp[i] = x;
+            log[x as usize] = i as u16;
+            x = slow_mul(x, 0x03);
+        }
+        debug_assert_eq!(x, 1, "generator order must be 255");
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// Field addition (= subtraction = XOR).
+    #[inline(always)]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline(always)]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline(always)]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            self.exp[255 + self.log[a as usize] as usize - self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline(always)]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no inverse in GF(256)");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// `a^n` by table arithmetic.
+    pub fn pow(&self, a: u8, n: u32) -> u8 {
+        if n == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let e = (self.log[a as usize] as u64 * n as u64) % 255;
+        self.exp[e as usize]
+    }
+
+    /// In-place `dst ^= coeff * src` over byte slices — the inner loop of
+    /// Reed–Solomon encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn mul_acc(&self, dst: &mut [u8], src: &[u8], coeff: u8) {
+        assert_eq!(dst.len(), src.len(), "length mismatch");
+        if coeff == 0 {
+            return;
+        }
+        if coeff == 1 {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= s;
+            }
+            return;
+        }
+        let log_c = self.log[coeff as usize] as usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s != 0 {
+                *d ^= self.exp[log_c + self.log[*s as usize] as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_reference_product() {
+        let gf = Gf256::new();
+        assert_eq!(gf.mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf.mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn field_axioms_exhaustive_spot() {
+        let gf = Gf256::new();
+        // Identity, zero, commutativity & associativity on a grid.
+        for a in (0u16..256).step_by(7) {
+            let a = a as u8;
+            assert_eq!(gf.mul(a, 1), a);
+            assert_eq!(gf.mul(a, 0), 0);
+            for b in (0u16..256).step_by(11) {
+                let b = b as u8;
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                for c in (0u16..256).step_by(29) {
+                    let c = c as u8;
+                    assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                    // Distributivity.
+                    assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_invertible() {
+        let gf = Gf256::new();
+        for a in 1..=255u8 {
+            let inv = gf.inv(a);
+            assert_eq!(gf.mul(a, inv), 1, "a={a}");
+            assert_eq!(gf.div(1, a), inv);
+            assert_eq!(gf.div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = Gf256::new();
+        for a in [0u8, 1, 2, 3, 0x53, 0xFF] {
+            let mut acc = 1u8;
+            for n in 0..20u32 {
+                assert_eq!(gf.pow(a, n), acc, "a={a} n={n}");
+                acc = gf.mul(acc, a);
+            }
+        }
+        assert_eq!(gf.pow(0, 0), 1); // convention 0^0 = 1
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_loop() {
+        let gf = Gf256::new();
+        let src: Vec<u8> = (0..=255).collect();
+        for coeff in [0u8, 1, 2, 0x1D, 0xFF] {
+            let mut dst = vec![0xAAu8; 256];
+            let mut expect = dst.clone();
+            gf.mul_acc(&mut dst, &src, coeff);
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= gf.mul(coeff, *s);
+            }
+            assert_eq!(dst, expect, "coeff={coeff}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Erasure-coding substrate: GF(2^8) arithmetic and Reed–Solomon codes.
+//!
+//! Paper §VI-C ("Adjusting to Extremely Large Files"): a file larger than
+//! `sizeLimit` is converted *"to a collection of segments by the erasure
+//! code, such that each segment's size is upper bounded by sizeLimit. By this
+//! operation, the file can still be recovered even if half of the segments
+//! are lost. In practice, we can apply the common erasure code such as
+//! Reed–Solomon code"*. Each segment is then stored as an individual file
+//! with value `2·value/k`.
+//!
+//! The same machinery powers the Storj baseline model (`fi-baselines`),
+//! which stores files as erasure-coded shards.
+//!
+//! This crate implements, from scratch:
+//!
+//! * [`gf256`] — the field GF(2^8) with the AES polynomial `x^8+x^4+x^3+x+1`,
+//!   log/antilog tables built at construction time;
+//! * [`rs`] — a systematic Reed–Solomon encoder/decoder over GF(2^8) using a
+//!   Vandermonde-derived generator matrix and Gaussian-elimination recovery,
+//!   supporting any `(data, parity)` with `data + parity <= 255`.
+//!
+//! # Example
+//!
+//! ```
+//! use fi_erasure::rs::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(4, 2).unwrap();          // tolerate any 2 losses
+//! let shards = rs.encode_bytes(b"hello erasure world!");
+//! let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+//! received[0] = None;                                 // lose two shards
+//! received[5] = None;
+//! let recovered = rs.decode_bytes(&received, 20).unwrap();
+//! assert_eq!(recovered, b"hello erasure world!");
+//! ```
+
+pub mod gf256;
+pub mod rs;
+
+pub use gf256::Gf256;
+pub use rs::{ReedSolomon, RsError};

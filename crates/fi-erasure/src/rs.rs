@@ -1,0 +1,466 @@
+//! Systematic Reed–Solomon erasure codes over GF(2^8).
+//!
+//! Construction: start from a `(data+parity) × data` Vandermonde matrix
+//! (rows are powers of distinct evaluation points, hence any `data` rows are
+//! linearly independent), then right-multiply by the inverse of the top
+//! square so the first `data` rows become the identity. Encoding is then
+//! *systematic* — data shards pass through unchanged, parity rows are dense
+//! linear combinations — and **any** `data` surviving shards suffice to
+//! recover, exactly the "recover from any half of the segments" property the
+//! paper uses in §VI-C.
+
+use crate::gf256::Gf256;
+
+/// Errors returned by [`ReedSolomon`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// `data == 0`, `parity == 0`, or `data + parity > 255`.
+    BadParameters {
+        /// Requested number of data shards.
+        data: usize,
+        /// Requested number of parity shards.
+        parity: usize,
+    },
+    /// Fewer than `data` shards available for reconstruction.
+    NotEnoughShards {
+        /// How many shards were present.
+        available: usize,
+        /// How many are required.
+        required: usize,
+    },
+    /// Shards have inconsistent lengths or the shard vector has wrong arity.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::BadParameters { data, parity } => {
+                write!(f, "invalid reed-solomon parameters ({data} data, {parity} parity)")
+            }
+            RsError::NotEnoughShards { available, required } => {
+                write!(f, "not enough shards: {available} available, {required} required")
+            }
+            RsError::ShapeMismatch => write!(f, "shard shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A dense matrix over GF(2^8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    fn zero(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    #[inline]
+    fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    fn mul(&self, gf: &Gf256, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = Matrix::zero(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) ^ gf.mul(a, other.get(k, j));
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Gauss–Jordan inversion. Returns `None` when singular.
+    fn inverse(&self, gf: &Gf256) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                for j in 0..n {
+                    let (x, y) = (a.get(col, j), a.get(pivot, j));
+                    a.set(col, j, y);
+                    a.set(pivot, j, x);
+                    let (x, y) = (inv.get(col, j), inv.get(pivot, j));
+                    inv.set(col, j, y);
+                    inv.set(pivot, j, x);
+                }
+            }
+            // Normalise pivot row.
+            let p = a.get(col, col);
+            let p_inv = gf.inv(p);
+            for j in 0..n {
+                a.set(col, j, gf.mul(a.get(col, j), p_inv));
+                inv.set(col, j, gf.mul(inv.get(col, j), p_inv));
+            }
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor == 0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = a.get(r, j) ^ gf.mul(factor, a.get(col, j));
+                    a.set(r, j, v);
+                    let v = inv.get(r, j) ^ gf.mul(factor, inv.get(col, j));
+                    inv.set(r, j, v);
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+/// A systematic Reed–Solomon erasure code with `data` data shards and
+/// `parity` parity shards.
+///
+/// Any `data` of the `data + parity` shards reconstruct the original.
+///
+/// # Example
+///
+/// ```
+/// use fi_erasure::ReedSolomon;
+///
+/// let rs = ReedSolomon::new(3, 3).unwrap(); // paper §VI-C: survive half lost
+/// let data_shards = vec![vec![1u8, 2], vec![3, 4], vec![5, 6]];
+/// let all = rs.encode(&data_shards).unwrap();
+/// assert_eq!(all.len(), 6);
+/// // Drop all three data shards; recover from parity alone.
+/// let mut got: Vec<Option<Vec<u8>>> = all.into_iter().map(Some).collect();
+/// got[0] = None; got[1] = None; got[2] = None;
+/// let recovered = rs.reconstruct(&got).unwrap();
+/// assert_eq!(recovered[..3], data_shards[..]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data: usize,
+    parity: usize,
+    gf: Gf256,
+    /// `(data+parity) × data` systematic encoding matrix.
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a code with the given shard counts.
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::BadParameters`] when `data == 0`, `parity == 0`, or
+    /// `data + parity > 255` (GF(2^8) supports at most 255 distinct rows).
+    pub fn new(data: usize, parity: usize) -> Result<Self, RsError> {
+        if data == 0 || parity == 0 || data + parity > 255 {
+            return Err(RsError::BadParameters { data, parity });
+        }
+        let gf = Gf256::new();
+        let total = data + parity;
+        // Vandermonde rows: row i = [i^0, i^1, ..., i^(data-1)] for distinct
+        // evaluation points i = 1..=total (skip 0 so no all-but-first-zero row
+        // degeneracy; any `data` distinct points give an invertible minor).
+        let mut vand = Matrix::zero(total, data);
+        for (r, point) in (1..=total as u32).enumerate() {
+            for c in 0..data {
+                vand.set(r, c, gf.pow(point as u8, c as u32));
+            }
+        }
+        // Normalise: top square -> identity.
+        let mut top = Matrix::zero(data, data);
+        for r in 0..data {
+            for c in 0..data {
+                top.set(r, c, vand.get(r, c));
+            }
+        }
+        let top_inv = top
+            .inverse(&gf)
+            .expect("vandermonde top square is invertible");
+        let encode_matrix = vand.mul(&gf, &top_inv);
+        Ok(ReedSolomon { data, parity, gf, encode_matrix })
+    }
+
+    /// Number of data shards.
+    pub fn data_shards(&self) -> usize {
+        self.data
+    }
+
+    /// Number of parity shards.
+    pub fn parity_shards(&self) -> usize {
+        self.parity
+    }
+
+    /// Total shard count.
+    pub fn total_shards(&self) -> usize {
+        self.data + self.parity
+    }
+
+    /// Encodes `data` shards into `data + parity` shards (data first).
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::ShapeMismatch`] if the number of input shards differs from
+    /// `data_shards()` or the shards have unequal lengths.
+    pub fn encode(&self, data_shards: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data_shards.len() != self.data {
+            return Err(RsError::ShapeMismatch);
+        }
+        let len = data_shards[0].len();
+        if data_shards.iter().any(|s| s.len() != len) {
+            return Err(RsError::ShapeMismatch);
+        }
+        let mut out: Vec<Vec<u8>> = data_shards.to_vec();
+        for p in 0..self.parity {
+            let row = self.encode_matrix.row(self.data + p).to_vec();
+            let mut shard = vec![0u8; len];
+            for (c, &coeff) in row.iter().enumerate() {
+                self.gf.mul_acc(&mut shard, &data_shards[c], coeff);
+            }
+            out.push(shard);
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs **all** shards from any `data` present shards.
+    ///
+    /// Input is one `Option<Vec<u8>>` per shard position (length
+    /// `total_shards()`); `None` marks an erased shard.
+    ///
+    /// # Errors
+    ///
+    /// * [`RsError::ShapeMismatch`] — wrong arity or inconsistent lengths.
+    /// * [`RsError::NotEnoughShards`] — fewer than `data_shards()` present.
+    pub fn reconstruct(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<Vec<u8>>, RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::ShapeMismatch);
+        }
+        let available: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        if available.len() < self.data {
+            return Err(RsError::NotEnoughShards {
+                available: available.len(),
+                required: self.data,
+            });
+        }
+        let len = shards[available[0]].as_ref().unwrap().len();
+        if available.iter().any(|&i| shards[i].as_ref().unwrap().len() != len) {
+            return Err(RsError::ShapeMismatch);
+        }
+
+        // Fast path: all data shards present.
+        let data_present = (0..self.data).all(|i| shards[i].is_some());
+        let data_shards: Vec<Vec<u8>> = if data_present {
+            (0..self.data)
+                .map(|i| shards[i].as_ref().unwrap().clone())
+                .collect()
+        } else {
+            // Take the first `data` available rows; the corresponding
+            // sub-matrix of the encoding matrix is invertible by design.
+            let chosen = &available[..self.data];
+            let mut sub = Matrix::zero(self.data, self.data);
+            for (r, &shard_idx) in chosen.iter().enumerate() {
+                for c in 0..self.data {
+                    sub.set(r, c, self.encode_matrix.get(shard_idx, c));
+                }
+            }
+            let inv = sub.inverse(&self.gf).expect("any data rows are invertible");
+            (0..self.data)
+                .map(|d| {
+                    let mut shard = vec![0u8; len];
+                    for (r, &shard_idx) in chosen.iter().enumerate() {
+                        let coeff = inv.get(d, r);
+                        self.gf
+                            .mul_acc(&mut shard, shards[shard_idx].as_ref().unwrap(), coeff);
+                    }
+                    shard
+                })
+                .collect()
+        };
+
+        self.encode(&data_shards)
+    }
+
+    /// Convenience: splits `payload` into `data` equal shards (zero-padded)
+    /// and encodes. Shard size is `ceil(len / data)`.
+    pub fn encode_bytes(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = payload.len().div_ceil(self.data).max(1);
+        let mut data_shards = vec![vec![0u8; shard_len]; self.data];
+        for (i, &b) in payload.iter().enumerate() {
+            data_shards[i / shard_len][i % shard_len] = b;
+        }
+        self.encode(&data_shards).expect("shape is valid by construction")
+    }
+
+    /// Convenience: inverse of [`ReedSolomon::encode_bytes`], truncating the
+    /// zero padding to `original_len`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReedSolomon::reconstruct`] errors.
+    pub fn decode_bytes(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        original_len: usize,
+    ) -> Result<Vec<u8>, RsError> {
+        let all = self.reconstruct(shards)?;
+        let mut out = Vec::with_capacity(original_len);
+        'outer: for shard in &all[..self.data] {
+            for &b in shard {
+                if out.len() == original_len {
+                    break 'outer;
+                }
+                out.push(b);
+            }
+        }
+        if out.len() < original_len {
+            return Err(RsError::ShapeMismatch);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::new(0, 1).is_err());
+        assert!(ReedSolomon::new(1, 0).is_err());
+        assert!(ReedSolomon::new(200, 56).is_err());
+        assert!(ReedSolomon::new(200, 55).is_ok());
+    }
+
+    #[test]
+    fn systematic_prefix() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 16]).collect();
+        let all = rs.encode(&data).unwrap();
+        assert_eq!(&all[..4], &data[..]);
+    }
+
+    #[test]
+    fn recovers_from_every_loss_pattern_up_to_parity() {
+        let rs = ReedSolomon::new(4, 3).unwrap();
+        let payload = sample_payload(57);
+        let encoded = rs.encode_bytes(&payload);
+        let total = rs.total_shards();
+        // All loss patterns of exactly `parity` erasures.
+        for a in 0..total {
+            for b in a + 1..total {
+                for c in b + 1..total {
+                    let mut got: Vec<Option<Vec<u8>>> =
+                        encoded.iter().cloned().map(Some).collect();
+                    got[a] = None;
+                    got[b] = None;
+                    got[c] = None;
+                    let rec = rs.decode_bytes(&got, payload.len()).unwrap();
+                    assert_eq!(rec, payload, "pattern ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fails_beyond_parity() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let encoded = rs.encode_bytes(&sample_payload(20));
+        let mut got: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        got[0] = None;
+        got[1] = None;
+        got[2] = None;
+        assert_eq!(
+            rs.reconstruct(&got),
+            Err(RsError::NotEnoughShards { available: 3, required: 4 })
+        );
+    }
+
+    #[test]
+    fn half_segments_lost_recoverable() {
+        // The paper's §VI-C configuration: recoverable when half the
+        // segments are lost => data == parity.
+        let rs = ReedSolomon::new(8, 8).unwrap();
+        let payload = sample_payload(1000);
+        let encoded = rs.encode_bytes(&payload);
+        let mut got: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        for i in 0..8 {
+            got[i * 2] = None; // lose every other shard = exactly half
+        }
+        assert_eq!(rs.decode_bytes(&got, payload.len()).unwrap(), payload);
+    }
+
+    #[test]
+    fn parity_shards_also_reconstructed() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let encoded = rs.encode_bytes(&sample_payload(30));
+        let mut got: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+        got[3] = None; // lose one parity shard
+        let rec = rs.reconstruct(&got).unwrap();
+        assert_eq!(rec, encoded);
+    }
+
+    #[test]
+    fn empty_and_tiny_payloads() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        for n in [0usize, 1, 2, 3, 4] {
+            let payload = sample_payload(n);
+            let encoded = rs.encode_bytes(&payload);
+            let got: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+            assert_eq!(rs.decode_bytes(&got, n).unwrap(), payload, "n={n}");
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        assert_eq!(
+            rs.encode(&[vec![1, 2], vec![3]]),
+            Err(RsError::ShapeMismatch)
+        );
+        assert_eq!(rs.encode(&[vec![1, 2]]), Err(RsError::ShapeMismatch));
+        let bad = vec![Some(vec![1u8, 2]), Some(vec![3u8]), None];
+        assert_eq!(rs.reconstruct(&bad), Err(RsError::ShapeMismatch));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RsError::NotEnoughShards { available: 1, required: 4 };
+        assert!(e.to_string().contains("1 available"));
+    }
+}

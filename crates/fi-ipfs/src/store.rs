@@ -1,0 +1,145 @@
+//! Content-addressed block storage.
+
+use std::collections::{HashMap, HashSet};
+
+use fi_crypto::{sha256, Hash256};
+
+/// A content identifier: the SHA-256 digest of a block's bytes.
+pub type Cid = Hash256;
+
+/// An in-memory content-addressed block store.
+///
+/// Blocks are immutable and keyed by their hash; `put` returns the CID and
+/// is idempotent. Pinning protects blocks from [`BlockStore::gc`].
+///
+/// # Example
+///
+/// ```
+/// use fi_ipfs::store::BlockStore;
+///
+/// let mut store = BlockStore::new();
+/// let cid = store.put(b"hello".to_vec());
+/// assert_eq!(store.get(&cid).unwrap(), b"hello");
+/// store.pin(cid);
+/// store.gc();
+/// assert!(store.has(&cid));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    blocks: HashMap<Cid, Vec<u8>>,
+    pins: HashSet<Cid>,
+    bytes_stored: u64,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        BlockStore::default()
+    }
+
+    /// Stores a block, returning its CID. Idempotent.
+    pub fn put(&mut self, block: Vec<u8>) -> Cid {
+        let cid = sha256(&block);
+        if self.blocks.insert(cid, block).is_none() {
+            let len = self.blocks[&cid].len() as u64;
+            self.bytes_stored += len;
+        }
+        cid
+    }
+
+    /// Retrieves a block by CID.
+    pub fn get(&self, cid: &Cid) -> Option<&[u8]> {
+        self.blocks.get(cid).map(|b| b.as_slice())
+    }
+
+    /// `true` when the block is present.
+    pub fn has(&self, cid: &Cid) -> bool {
+        self.blocks.contains_key(cid)
+    }
+
+    /// Number of blocks held.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when no blocks are held.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total payload bytes held.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// Pins a CID, protecting it (and only it — pinning is per-block here;
+    /// DAG-wide pinning is done by the importer) from [`BlockStore::gc`].
+    pub fn pin(&mut self, cid: Cid) {
+        self.pins.insert(cid);
+    }
+
+    /// Removes a pin.
+    pub fn unpin(&mut self, cid: &Cid) {
+        self.pins.remove(cid);
+    }
+
+    /// Drops all unpinned blocks; returns how many were collected.
+    pub fn gc(&mut self) -> usize {
+        let before = self.blocks.len();
+        let pins = &self.pins;
+        self.blocks.retain(|cid, _| pins.contains(cid));
+        self.bytes_stored = self.blocks.values().map(|b| b.len() as u64).sum();
+        before - self.blocks.len()
+    }
+
+    /// Verifies every block hashes to its key (corruption audit).
+    pub fn verify_integrity(&self) -> bool {
+        self.blocks.iter().all(|(cid, block)| sha256(block) == *cid)
+    }
+
+    /// Iterates over stored CIDs.
+    pub fn cids(&self) -> impl Iterator<Item = &Cid> {
+        self.blocks.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip_and_idempotence() {
+        let mut s = BlockStore::new();
+        let cid1 = s.put(b"block".to_vec());
+        let cid2 = s.put(b"block".to_vec());
+        assert_eq!(cid1, cid2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bytes_stored(), 5);
+        assert_eq!(s.get(&cid1).unwrap(), b"block");
+        assert!(s.get(&sha256(b"other")).is_none());
+    }
+
+    #[test]
+    fn gc_respects_pins() {
+        let mut s = BlockStore::new();
+        let keep = s.put(b"keep".to_vec());
+        let drop1 = s.put(b"drop1".to_vec());
+        let drop2 = s.put(b"drop2".to_vec());
+        s.pin(keep);
+        assert_eq!(s.gc(), 2);
+        assert!(s.has(&keep));
+        assert!(!s.has(&drop1) && !s.has(&drop2));
+        assert_eq!(s.bytes_stored(), 4);
+        s.unpin(&keep);
+        assert_eq!(s.gc(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn integrity_audit() {
+        let mut s = BlockStore::new();
+        s.put(b"a".to_vec());
+        s.put(b"bb".to_vec());
+        assert!(s.verify_integrity());
+    }
+}

@@ -1,0 +1,124 @@
+//! Link models: deterministic latency, bandwidth, jitter and loss.
+
+use fi_crypto::DetRng;
+
+use crate::sim::SimTime;
+
+/// Parameters of a point-to-point link.
+///
+/// Delivery delay for a `bytes`-sized message is
+/// `base_latency + bytes·ticks_per_byte + jitter`, where jitter is uniform
+/// in `[0, max_jitter]` drawn from the caller's deterministic RNG. The
+/// message is lost entirely with probability `loss`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Propagation delay in ticks.
+    pub base_latency: SimTime,
+    /// Serialisation delay per byte, in ticks (fixed-point friendly: use
+    /// fractional values below 1 via `bytes / bytes_per_tick` semantics).
+    pub ticks_per_byte: f64,
+    /// Maximum uniform jitter added per message.
+    pub max_jitter: SimTime,
+    /// Probability a message is silently dropped.
+    pub loss: f64,
+}
+
+impl LinkModel {
+    /// A fast, reliable LAN-ish link.
+    pub fn lan() -> Self {
+        LinkModel {
+            base_latency: 1,
+            ticks_per_byte: 0.001,
+            max_jitter: 1,
+            loss: 0.0,
+        }
+    }
+
+    /// A WAN-ish link with moderate latency and jitter.
+    pub fn wan() -> Self {
+        LinkModel {
+            base_latency: 20,
+            ticks_per_byte: 0.01,
+            max_jitter: 10,
+            loss: 0.0,
+        }
+    }
+
+    /// A lossy link for failure-injection experiments.
+    pub fn lossy(loss: f64) -> Self {
+        LinkModel {
+            loss,
+            ..LinkModel::wan()
+        }
+    }
+
+    /// Draws the delivery delay for a message of `bytes`, or `None` when
+    /// the message is lost.
+    pub fn delivery_delay(&self, rng: &mut DetRng, bytes: u64) -> Option<SimTime> {
+        if self.loss > 0.0 && rng.bernoulli(self.loss) {
+            return None;
+        }
+        let jitter = if self.max_jitter > 0 {
+            rng.below(self.max_jitter + 1)
+        } else {
+            0
+        };
+        let serial = (bytes as f64 * self.ticks_per_byte).ceil() as SimTime;
+        Some(self.base_latency + serial + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_monotone_in_size() {
+        let link = LinkModel {
+            base_latency: 5,
+            ticks_per_byte: 0.5,
+            max_jitter: 0,
+            loss: 0.0,
+        };
+        let mut rng = DetRng::from_seed_label(41, "link");
+        let d_small = link.delivery_delay(&mut rng, 10).unwrap();
+        let d_big = link.delivery_delay(&mut rng, 1000).unwrap();
+        assert_eq!(d_small, 5 + 5);
+        assert_eq!(d_big, 5 + 500);
+        assert!(d_big > d_small);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let link = LinkModel {
+            base_latency: 10,
+            ticks_per_byte: 0.0,
+            max_jitter: 4,
+            loss: 0.0,
+        };
+        let mut rng = DetRng::from_seed_label(42, "jit");
+        for _ in 0..1000 {
+            let d = link.delivery_delay(&mut rng, 1).unwrap();
+            assert!((10..=14).contains(&d));
+        }
+    }
+
+    #[test]
+    fn loss_rate_approximate() {
+        let link = LinkModel::lossy(0.3);
+        let mut rng = DetRng::from_seed_label(43, "loss");
+        let n = 20_000;
+        let lost = (0..n)
+            .filter(|_| link.delivery_delay(&mut rng, 100).is_none())
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn reliable_links_never_drop() {
+        let link = LinkModel::lan();
+        let mut rng = DetRng::from_seed_label(44, "rel");
+        assert!((0..1000).all(|_| link.delivery_delay(&mut rng, 64).is_some()));
+    }
+}

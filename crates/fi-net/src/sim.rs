@@ -1,0 +1,214 @@
+//! The event queue: virtual time plus a stable priority queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in abstract ticks.
+pub type SimTime = u64;
+
+/// A deterministic discrete-event queue.
+///
+/// Events with equal timestamps pop in scheduling order (stable FIFO), so
+/// runs are reproducible regardless of payload contents.
+///
+/// # Example
+///
+/// ```
+/// use fi_net::sim::Simulator;
+/// let mut sim = Simulator::new();
+/// sim.schedule(10, "b");
+/// sim.schedule_at(5, "a");
+/// assert_eq!(sim.next(), Some((5, "a")));
+/// assert_eq!(sim.now(), 5);
+/// assert_eq!(sim.next(), Some((10, "b")));
+/// ```
+#[derive(Debug)]
+pub struct Simulator<E> {
+    queue: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        Simulator {
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `event` after `delay` ticks.
+    pub fn schedule(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Pops the next event, advancing time to it.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.queue.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Pops the next event only if it is due at or before `deadline`.
+    pub fn next_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek() {
+            Some(Reverse(entry)) if entry.time <= deadline => self.next(),
+            _ => None,
+        }
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Advances the clock without processing (e.g. to an external sync
+    /// point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn advance_clock(&mut self, time: SimTime) {
+        assert!(time >= self.now, "cannot rewind");
+        self.now = time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(10, "t10-first");
+        sim.schedule_at(5, "t5");
+        sim.schedule_at(10, "t10-second");
+        assert_eq!(sim.next(), Some((5, "t5")));
+        assert_eq!(sim.next(), Some((10, "t10-first")));
+        assert_eq!(sim.next(), Some((10, "t10-second")));
+        assert_eq!(sim.next(), None);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut sim = Simulator::new();
+        sim.schedule(5, 1u8);
+        sim.next();
+        sim.schedule(5, 2u8);
+        assert_eq!(sim.next(), Some((10, 2)));
+    }
+
+    #[test]
+    fn next_before_respects_deadline() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(7, ());
+        assert_eq!(sim.next_before(6), None);
+        assert_eq!(sim.next_before(7), Some((7, ())));
+        assert!(sim.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn past_scheduling_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(10, ());
+        sim.next();
+        sim.schedule_at(5, ());
+    }
+
+    #[test]
+    fn property_events_pop_in_time_then_fifo_order() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(128), |(
+            times in prop::collection::vec(0u64..50, 0..60),
+        )| {
+            let mut sim = Simulator::new();
+            for (seq, &t) in times.iter().enumerate() {
+                sim.schedule_at(t, seq);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            let mut count = 0;
+            while let Some((t, seq)) = sim.next() {
+                if let Some((lt, lseq)) = last {
+                    prop_assert!(t > lt || (t == lt && seq > lseq), "order violated");
+                }
+                prop_assert_eq!(times[seq], t, "event fires at its time");
+                last = Some((t, seq));
+                count += 1;
+            }
+            prop_assert_eq!(count, times.len());
+        });
+    }
+
+    #[test]
+    fn clock_advance() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.advance_clock(42);
+        assert_eq!(sim.now(), 42);
+        assert_eq!(sim.peek_time(), None);
+        assert_eq!(sim.len(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The process framework: nodes, typed messages, timers.
+//!
+//! A [`World`] owns a set of nodes (each a [`Process`] implementation), a
+//! shared [`LinkModel`], and the event queue. Nodes interact only through
+//! their [`Ctx`] handle — sending messages (subject to link delay/loss) and
+//! arming timers — so every run is a deterministic function of the seed.
+
+use fi_crypto::DetRng;
+
+use crate::link::LinkModel;
+use crate::sim::{SimTime, Simulator};
+
+/// Index of a node within its world.
+pub type NodeIdx = usize;
+
+/// Events processed by the world.
+#[derive(Debug)]
+enum Event<M> {
+    Deliver { from: NodeIdx, to: NodeIdx, msg: M },
+    Timer { node: NodeIdx, tag: u64 },
+}
+
+/// A node's behaviour.
+///
+/// All callbacks receive a [`Ctx`] for sending messages and arming timers.
+/// Default implementations do nothing, so simple nodes implement only what
+/// they need.
+pub trait Process<M> {
+    /// Called once when the world starts running.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeIdx, msg: M);
+
+    /// Called when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// Per-callback handle: scheduling and randomness for one node.
+pub struct Ctx<'a, M> {
+    me: NodeIdx,
+    now: SimTime,
+    sim: &'a mut Simulator<Event<M>>,
+    link: &'a LinkModel,
+    rng: &'a mut DetRng,
+    messages_sent: &'a mut u64,
+    messages_lost: &'a mut u64,
+}
+
+impl<M> Ctx<'_, M> {
+    /// This node's index.
+    pub fn me(&self) -> NodeIdx {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic randomness scoped to the world.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Sends `msg` (`bytes` long on the wire) to `to`; it arrives after the
+    /// link delay, or never (lossy links).
+    pub fn send(&mut self, to: NodeIdx, msg: M, bytes: u64) {
+        *self.messages_sent += 1;
+        match self.link.delivery_delay(self.rng, bytes) {
+            Some(delay) => {
+                let from = self.me;
+                self.sim.schedule(delay, Event::Deliver { from, to, msg });
+            }
+            None => *self.messages_lost += 1,
+        }
+    }
+
+    /// Arms a timer that fires on this node after `delay` ticks with `tag`.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        let node = self.me;
+        self.sim.schedule(delay, Event::Timer { node, tag });
+    }
+}
+
+/// A simulated network of processes.
+pub struct World<M> {
+    nodes: Vec<Option<Box<dyn Process<M>>>>,
+    sim: Simulator<Event<M>>,
+    link: LinkModel,
+    rng: DetRng,
+    started: bool,
+    messages_sent: u64,
+    messages_lost: u64,
+}
+
+impl<M> std::fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.sim.now())
+            .field("queued", &self.sim.len())
+            .finish()
+    }
+}
+
+impl<M> World<M> {
+    /// Creates a world with one shared link model and a master seed.
+    pub fn new(link: LinkModel, seed: u64) -> Self {
+        World {
+            nodes: Vec::new(),
+            sim: Simulator::new(),
+            link,
+            rng: DetRng::from_seed_label(seed, "fi-net/world"),
+            started: false,
+            messages_sent: 0,
+            messages_lost: 0,
+        }
+    }
+
+    /// Adds a node; returns its index.
+    pub fn add(&mut self, node: impl Process<M> + 'static) -> NodeIdx {
+        self.nodes.push(Some(Box::new(node)));
+        self.nodes.len() - 1
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Total messages sent (including lost ones).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Messages dropped by the link model.
+    pub fn messages_lost(&self) -> u64 {
+        self.messages_lost
+    }
+
+    /// Runs until the queue drains or `deadline` passes, whichever first.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.with_node(i, |node, ctx| node.on_start(ctx));
+            }
+        }
+        let mut processed = 0;
+        while let Some((_, event)) = self.sim.next_before(deadline) {
+            match event {
+                Event::Deliver { from, to, msg } => {
+                    self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+                }
+                Event::Timer { node, tag } => {
+                    self.with_node(node, |n, ctx| n.on_timer(ctx, tag));
+                }
+            }
+            processed += 1;
+        }
+        if self.sim.now() < deadline {
+            self.sim.advance_clock(deadline);
+        }
+        processed
+    }
+
+    /// Borrow of node `idx` for inspection after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn node(&self, idx: NodeIdx) -> &dyn Process<M> {
+        self.nodes[idx].as_deref().expect("node present")
+    }
+
+    /// Temporarily extracts a node, builds a `Ctx`, runs `f`.
+    fn with_node<F>(&mut self, idx: NodeIdx, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Process<M>>, &mut Ctx<'_, M>),
+    {
+        let Some(slot) = self.nodes.get_mut(idx) else { return };
+        let Some(mut node) = slot.take() else { return };
+        let mut ctx = Ctx {
+            me: idx,
+            now: self.sim.now(),
+            sim: &mut self.sim,
+            link: &self.link,
+            rng: &mut self.rng,
+            messages_sent: &mut self.messages_sent,
+            messages_lost: &mut self.messages_lost,
+        };
+        f(&mut node, &mut ctx);
+        self.nodes[idx] = Some(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts messages; replies until a hop budget is exhausted.
+    struct Echo {
+        received: Vec<(NodeIdx, u64)>,
+        timers: Vec<u64>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                received: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+    }
+
+    impl Process<u64> for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if ctx.me() == 0 {
+                ctx.send(1, 3, 100); // 3 hops left
+                ctx.set_timer(50, 99);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeIdx, msg: u64) {
+            self.received.push((from, msg));
+            if msg > 0 {
+                ctx.send(from, msg - 1, 100);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64>, tag: u64) {
+            self.timers.push(tag);
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut world = World::new(LinkModel::lan(), 1);
+        world.add(Echo::new());
+        world.add(Echo::new());
+        let processed = world.run_until(10_000);
+        // 4 deliveries (3,2,1,0) + 1 timer = 5 events.
+        assert_eq!(processed, 5);
+        assert_eq!(world.messages_sent(), 4);
+        assert_eq!(world.messages_lost(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut world = World::new(LinkModel::wan(), 9);
+            world.add(Echo::new());
+            world.add(Echo::new());
+            world.run_until(5_000);
+            (world.now(), world.messages_sent())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lossy_link_drops_some() {
+        let mut world = World::new(LinkModel::lossy(0.5), 3);
+        // Node 0 sprays messages at node 1 via timers.
+        struct Sprayer;
+        impl Process<u64> for Sprayer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == 0 {
+                    for _ in 0..200 {
+                        ctx.send(1, 0, 10);
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeIdx, _: u64) {}
+        }
+        world.add(Sprayer);
+        world.add(Sprayer);
+        world.run_until(100_000);
+        assert_eq!(world.messages_sent(), 200);
+        assert!(world.messages_lost() > 50 && world.messages_lost() < 150);
+    }
+
+    #[test]
+    fn run_until_deadline_stops_early() {
+        let mut world = World::new(LinkModel::lan(), 4);
+        struct Clock;
+        impl Process<u64> for Clock {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.set_timer(10, 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeIdx, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, tag: u64) {
+                ctx.set_timer(10, tag + 1); // re-arm forever
+            }
+        }
+        world.add(Clock);
+        let processed = world.run_until(100);
+        assert_eq!(processed, 10); // timers at 10,20,...,100
+        assert_eq!(world.now(), 100);
+    }
+}

@@ -1,0 +1,208 @@
+//! Proof-of-Spacetime: beacon-challenged storage proofs (WindowPoSt).
+//!
+//! Each `ProofCycle`, the chain derives chunk challenges for every stored
+//! replica from the round's beacon value; the provider answers with the
+//! challenged chunks plus Merkle inclusion proofs against `comm_r`. Missing
+//! the `ProofDue` window incurs punishment; missing `ProofDeadline` marks
+//! the sector corrupted and confiscates its deposit (paper Fig. 8).
+//!
+//! WinningPoSt — the variant used for block election in Filecoin's Expected
+//! Consensus — is the same response over a single challenge; we expose it
+//! as [`winning_post_eligible`] for completeness since the paper notes
+//! *"WinningPoSt can be easily achieved"* (§IV).
+
+use fi_crypto::merkle::MerkleProof;
+use fi_crypto::rng::DetRng;
+use fi_crypto::{keyed_hash, Hash256};
+
+use crate::seal::SealedReplica;
+
+/// Derives `count` chunk challenges for the replica committed by `comm_r`
+/// from a beacon value. Deterministic: every consensus participant derives
+/// the same challenges.
+pub fn derive_challenges(
+    beacon: &Hash256,
+    comm_r: &Hash256,
+    count: usize,
+    chunk_count: usize,
+) -> Vec<usize> {
+    assert!(chunk_count > 0, "replica must have at least one chunk");
+    let seed = keyed_hash("post/challenges", &[beacon.as_ref(), comm_r.as_ref()]);
+    let mut rng = DetRng::from_hash(seed);
+    (0..count).map(|_| rng.index(chunk_count)).collect()
+}
+
+/// One challenged chunk with its inclusion proof.
+#[derive(Debug, Clone)]
+pub struct ChallengeResponse {
+    /// The challenged chunk index.
+    pub index: usize,
+    /// The chunk payload as stored.
+    pub chunk: Vec<u8>,
+    /// Inclusion proof against `comm_r`.
+    pub proof: MerkleProof,
+}
+
+/// A WindowPoSt response: answers to all challenges of one cycle.
+#[derive(Debug, Clone)]
+pub struct WindowPost {
+    responses: Vec<ChallengeResponse>,
+}
+
+impl WindowPost {
+    /// Produces a response from the sealed replica (prover side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a challenge index is out of range for the replica — the
+    /// challenges must come from [`derive_challenges`] with the right
+    /// `chunk_count`.
+    pub fn respond(replica: &SealedReplica, challenges: &[usize]) -> Self {
+        let responses = challenges
+            .iter()
+            .map(|&index| {
+                let chunk = replica
+                    .chunk(index)
+                    .expect("challenge index within replica")
+                    .to_vec();
+                let proof = replica.tree().prove(index).expect("index proven");
+                ChallengeResponse { index, chunk, proof }
+            })
+            .collect();
+        WindowPost { responses }
+    }
+
+    /// Verifies the response against the on-chain commitment and the
+    /// expected challenge set (verifier side).
+    pub fn verify(&self, comm_r: &Hash256, challenges: &[usize]) -> bool {
+        if self.responses.len() != challenges.len() {
+            return false;
+        }
+        self.responses.iter().zip(challenges).all(|(resp, &want)| {
+            resp.index == want
+                && resp.proof.leaf_index() == want
+                && resp.proof.verify(comm_r, &resp.chunk)
+        })
+    }
+
+    /// The individual challenge responses.
+    pub fn responses(&self) -> &[ChallengeResponse] {
+        &self.responses
+    }
+}
+
+/// WinningPoSt eligibility check: a single beacon challenge whose response
+/// hash falls under `target` (higher target = easier election). Returns the
+/// proof when eligible.
+pub fn winning_post_eligible(
+    replica: &SealedReplica,
+    beacon: &Hash256,
+    target_leading_zero_bits: u32,
+) -> Option<WindowPost> {
+    let challenges = derive_challenges(beacon, &replica.comm_r(), 1, replica.chunk_count());
+    let post = WindowPost::respond(replica, &challenges);
+    let ticket = keyed_hash(
+        "post/winning-ticket",
+        &[beacon.as_ref(), &post.responses[0].chunk],
+    );
+    if ticket.xor_leading_zeros(&Hash256::ZERO) >= target_leading_zero_bits {
+        Some(post)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seal::ReplicaId;
+    use fi_crypto::sha256;
+
+    fn replica(len: usize, salt: u32) -> SealedReplica {
+        let data: Vec<u8> = (0..len).map(|i| (i % 233) as u8).collect();
+        let rid = ReplicaId::derive(&sha256(b"post-data"), &sha256(b"post-sector"), salt);
+        SealedReplica::seal(&data, rid)
+    }
+
+    #[test]
+    fn honest_prover_passes() {
+        let rep = replica(1000, 0);
+        let beacon = sha256(b"round-1");
+        let ch = derive_challenges(&beacon, &rep.comm_r(), 8, rep.chunk_count());
+        let post = WindowPost::respond(&rep, &ch);
+        assert!(post.verify(&rep.comm_r(), &ch));
+    }
+
+    #[test]
+    fn challenges_deterministic_and_beacon_sensitive() {
+        let rep = replica(1000, 0);
+        let b1 = sha256(b"round-1");
+        let b2 = sha256(b"round-2");
+        let c1a = derive_challenges(&b1, &rep.comm_r(), 16, rep.chunk_count());
+        let c1b = derive_challenges(&b1, &rep.comm_r(), 16, rep.chunk_count());
+        let c2 = derive_challenges(&b2, &rep.comm_r(), 16, rep.chunk_count());
+        assert_eq!(c1a, c1b);
+        assert_ne!(c1a, c2);
+    }
+
+    #[test]
+    fn wrong_replica_fails() {
+        // A provider storing a different sealing (e.g. a Sybil reusing one
+        // copy for two commitments) cannot answer the other's challenges.
+        let rep_a = replica(1000, 0);
+        let rep_b = replica(1000, 1); // same data, different replica id
+        let beacon = sha256(b"round-3");
+        let ch = derive_challenges(&beacon, &rep_a.comm_r(), 8, rep_a.chunk_count());
+        let forged = WindowPost::respond(&rep_b, &ch);
+        assert!(!forged.verify(&rep_a.comm_r(), &ch));
+    }
+
+    #[test]
+    fn tampered_chunk_fails() {
+        let rep = replica(500, 2);
+        let beacon = sha256(b"round-4");
+        let ch = derive_challenges(&beacon, &rep.comm_r(), 4, rep.chunk_count());
+        let mut post = WindowPost::respond(&rep, &ch);
+        post.responses[2].chunk[0] ^= 0xFF;
+        assert!(!post.verify(&rep.comm_r(), &ch));
+    }
+
+    #[test]
+    fn mismatched_challenge_set_fails() {
+        let rep = replica(500, 3);
+        let beacon = sha256(b"round-5");
+        let ch = derive_challenges(&beacon, &rep.comm_r(), 4, rep.chunk_count());
+        let post = WindowPost::respond(&rep, &ch);
+        let other = derive_challenges(&sha256(b"round-6"), &rep.comm_r(), 4, rep.chunk_count());
+        if ch != other {
+            assert!(!post.verify(&rep.comm_r(), &other));
+        }
+        let fewer = &ch[..3];
+        assert!(!post.verify(&rep.comm_r(), fewer));
+    }
+
+    #[test]
+    fn single_chunk_replica() {
+        let rep = replica(10, 4);
+        assert_eq!(rep.chunk_count(), 1);
+        let beacon = sha256(b"round-7");
+        let ch = derive_challenges(&beacon, &rep.comm_r(), 2, rep.chunk_count());
+        assert!(ch.iter().all(|&i| i == 0));
+        let post = WindowPost::respond(&rep, &ch);
+        assert!(post.verify(&rep.comm_r(), &ch));
+    }
+
+    #[test]
+    fn winning_post_threshold_behaviour() {
+        let rep = replica(4000, 5);
+        // Target 0 bits: always eligible.
+        assert!(winning_post_eligible(&rep, &sha256(b"r"), 0).is_some());
+        // Target 256 bits: never eligible.
+        assert!(winning_post_eligible(&rep, &sha256(b"r"), 256).is_none());
+        // Some beacon should win at a very easy 1-bit target.
+        let won = (0u32..64).any(|i| {
+            winning_post_eligible(&rep, &sha256(&i.to_be_bytes()), 1).is_some()
+        });
+        assert!(won);
+    }
+}

@@ -1,0 +1,178 @@
+//! Design-choice ablations (DESIGN.md §5).
+//!
+//! 1. **Refresh pacing** — the paper samples the per-file refresh countdown
+//!    from `Exp(AvgRefresh)` (Fig. 7). Why not a deterministic period? The
+//!    exponential keeps refresh *times unpredictable and desynchronised*;
+//!    a fixed period makes all files refresh in lockstep, producing
+//!    synchronized transfer bursts. The ablation measures the peak number
+//!    of concurrent transfers under both policies at equal mean pacing.
+//!
+//! 2. **Value-level subnets (§VI-D)** — replica-count cost of storing a
+//!    value-heterogeneous workload with and without subnet routing.
+
+use fi_crypto::DetRng;
+
+use crate::report::TextTable;
+
+/// Outcome of the refresh-pacing ablation.
+#[derive(Debug, Clone)]
+pub struct PacingOutcome {
+    /// Mean transfers in flight per tick.
+    pub mean_in_flight: f64,
+    /// Peak transfers in flight (burstiness — the quantity that hurts).
+    pub peak_in_flight: u64,
+}
+
+/// Simulates `files` files refreshing with mean period `mean_period` over
+/// `horizon` ticks, each transfer occupying `transfer_time` ticks.
+/// `exponential` selects the paper's pacing; `false` uses a fixed period
+/// (files start in phase, as they do after a mass onboarding).
+pub fn refresh_pacing(
+    files: usize,
+    mean_period: f64,
+    transfer_time: u64,
+    horizon: u64,
+    exponential: bool,
+    seed: u64,
+) -> PacingOutcome {
+    let mut rng = DetRng::from_seed_label(seed, "pacing");
+    // Next refresh time per file.
+    let mut next: Vec<u64> = (0..files)
+        .map(|_| {
+            if exponential {
+                rng.sample_exp(mean_period) as u64
+            } else {
+                mean_period as u64 // lockstep: everyone at t = period
+            }
+        })
+        .collect();
+    let mut in_flight_until: Vec<u64> = vec![0; files];
+    let mut total_in_flight: u64 = 0;
+    let mut peak: u64 = 0;
+    for t in 0..horizon {
+        let mut current = 0u64;
+        for i in 0..files {
+            if next[i] == t {
+                in_flight_until[i] = t + transfer_time;
+                next[i] = t + if exponential {
+                    rng.sample_exp(mean_period).max(1.0) as u64
+                } else {
+                    mean_period as u64
+                };
+            }
+            if in_flight_until[i] > t {
+                current += 1;
+            }
+        }
+        total_in_flight += current;
+        peak = peak.max(current);
+    }
+    PacingOutcome {
+        mean_in_flight: total_in_flight as f64 / horizon as f64,
+        peak_in_flight: peak,
+    }
+}
+
+/// Renders the pacing ablation.
+pub fn render_pacing(files: usize, seed: u64) -> String {
+    let mut table = TextTable::new(vec![
+        "policy",
+        "mean transfers in flight",
+        "peak transfers in flight",
+    ]);
+    let exp = refresh_pacing(files, 200.0, 10, 2_000, true, seed);
+    let fixed = refresh_pacing(files, 200.0, 10, 2_000, false, seed);
+    table.row(vec![
+        "Exp(AvgRefresh) (paper)".into(),
+        format!("{:.1}", exp.mean_in_flight),
+        exp.peak_in_flight.to_string(),
+    ]);
+    table.row(vec![
+        "fixed period".into(),
+        format!("{:.1}", fixed.mean_in_flight),
+        fixed.peak_in_flight.to_string(),
+    ]);
+    table.render()
+}
+
+/// Outcome of the subnet ablation: replicas needed for a workload.
+#[derive(Debug, Clone)]
+pub struct SubnetOutcome {
+    /// Total replicas without subnets (`k·value/minValue` each).
+    pub replicas_flat: u64,
+    /// Total replicas with §VI-D level routing.
+    pub replicas_subnets: u64,
+}
+
+/// Computes replica counts for a Zipf-value workload with and without
+/// value-level subnets (`levels` levels, factor 10).
+pub fn subnet_replicas(
+    files: usize,
+    k: u32,
+    levels: u32,
+    seed: u64,
+) -> SubnetOutcome {
+    let mut rng = DetRng::from_seed_label(seed, "subnet-workload");
+    let mut flat = 0u64;
+    let mut routed = 0u64;
+    for _ in 0..files {
+        // Zipf-ish value in minValue units: 10^(levels·u²) truncated.
+        let exponent = (levels as f64) * rng.f64() * rng.f64();
+        let value_units = 10f64.powf(exponent).round().max(1.0) as u64;
+        flat += k as u64 * value_units;
+        // Route to the highest level with minValue_level ≤ value.
+        let level = (value_units as f64).log10().floor().min((levels - 1) as f64) as u32;
+        let level_unit = 10u64.pow(level);
+        routed += k as u64 * value_units.div_ceil(level_unit);
+    }
+    SubnetOutcome {
+        replicas_flat: flat,
+        replicas_subnets: routed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_pacing_kills_bursts() {
+        let exp = refresh_pacing(2_000, 200.0, 10, 2_000, true, 9);
+        let fixed = refresh_pacing(2_000, 200.0, 10, 2_000, false, 9);
+        // Same mean load…
+        assert!(
+            (exp.mean_in_flight - fixed.mean_in_flight).abs()
+                < 0.5 * fixed.mean_in_flight.max(1.0),
+            "means {} vs {}",
+            exp.mean_in_flight,
+            fixed.mean_in_flight
+        );
+        // …but lockstep pacing bursts the whole fleet at once.
+        assert_eq!(fixed.peak_in_flight, 2_000);
+        assert!(
+            exp.peak_in_flight < 400,
+            "exp peak {}",
+            exp.peak_in_flight
+        );
+    }
+
+    #[test]
+    fn subnets_cut_replica_cost() {
+        let out = subnet_replicas(5_000, 10, 3, 10);
+        assert!(
+            out.replicas_subnets * 3 < out.replicas_flat,
+            "subnets {} vs flat {}",
+            out.replicas_subnets,
+            out.replicas_flat
+        );
+        // And never below k per file.
+        assert!(out.replicas_subnets >= 5_000 * 10);
+    }
+
+    #[test]
+    fn render_pacing_has_both_rows() {
+        let text = render_pacing(500, 11);
+        assert!(text.contains("Exp(AvgRefresh)"));
+        assert!(text.contains("fixed period"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Full-protocol scenario harness: drives an `fi-core` [`Engine`] with
+//! configurable provider behaviours over simulated time (the Fig. 3
+//! timelines, with faults).
+//!
+//! Providers follow a [`ProviderBehavior`]: honest ones confirm transfers
+//! and submit proofs each cycle; lazy ones skip proofs with some
+//! probability (earning punishments); failing ones go dark at a set time
+//! (exercising the `ProofDeadline` → confiscation → compensation path).
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::Engine;
+use fi_core::params::ProtocolParams;
+use fi_core::types::{FileId, SectorId};
+use fi_crypto::{sha256, DetRng};
+
+/// How a provider behaves over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProviderBehavior {
+    /// Confirms and proves promptly, forever.
+    Honest,
+    /// Skips each proof round with probability `skip_prob`.
+    Lazy {
+        /// Probability of skipping a given proof round.
+        skip_prob: f64,
+    },
+    /// Honest until `at`, then permanently dark (disk failure).
+    FailsAt {
+        /// Failure time.
+        at: u64,
+    },
+}
+
+/// One provider in the scenario.
+#[derive(Debug, Clone)]
+pub struct ProviderSpec {
+    /// Ledger account.
+    pub account: AccountId,
+    /// Sector capacities to register.
+    pub sectors: Vec<u64>,
+    /// Behaviour.
+    pub behavior: ProviderBehavior,
+}
+
+/// A scripted protocol scenario.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The engine under test.
+    pub engine: Engine,
+    providers: Vec<(ProviderSpec, Vec<SectorId>)>,
+    rng: DetRng,
+    /// Action cadence (ticks between provider action sweeps).
+    step: u64,
+}
+
+impl Scenario {
+    /// Builds a scenario: registers every provider's sectors and funds the
+    /// given client account.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters or if a registration fails.
+    pub fn new(params: ProtocolParams, providers: Vec<ProviderSpec>, client: AccountId) -> Self {
+        let step = (params.proof_cycle / 2).max(1);
+        let seed = params.seed;
+        let mut engine = Engine::new(params).expect("valid parameters");
+        engine.fund(client, TokenAmount(1_000_000_000));
+        let mut registered = Vec::new();
+        for spec in providers {
+            engine.fund(spec.account, TokenAmount(1_000_000_000_000));
+            let mut ids = Vec::new();
+            for &capacity in &spec.sectors {
+                ids.push(
+                    engine
+                        .sector_register(spec.account, capacity)
+                        .expect("registration succeeds"),
+                );
+            }
+            registered.push((spec, ids));
+        }
+        Scenario {
+            engine,
+            providers: registered,
+            rng: DetRng::from_seed_label(seed, "scenario"),
+            step,
+        }
+    }
+
+    /// Stores a file owned by `client`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the add is rejected.
+    pub fn add_file(&mut self, client: AccountId, size: u64, value: TokenAmount) -> FileId {
+        let root = sha256(format!("scenario-file-{}", self.engine.now()).as_bytes());
+        self.engine
+            .file_add(client, size, value, root)
+            .expect("file add accepted")
+    }
+
+    /// Runs until `until`, sweeping provider actions every half proof
+    /// cycle according to their behaviours.
+    pub fn run_until(&mut self, until: u64) {
+        while self.engine.now() < until {
+            self.act_providers();
+            let next = (self.engine.now() + self.step).min(until);
+            self.engine.advance_to(next);
+        }
+        self.act_providers();
+    }
+
+    fn act_providers(&mut self) {
+        let now = self.engine.now();
+        // Confirms: every live provider confirms pending transfers to its
+        // sectors (failing/dark providers don't).
+        let pending: Vec<(FileId, u32, SectorId)> = self
+            .engine
+            .file_ids()
+            .into_iter()
+            .flat_map(|f| {
+                self.engine
+                    .pending_confirms(f)
+                    .into_iter()
+                    .map(move |(i, s)| (f, i, s))
+            })
+            .collect();
+        for (f, i, s) in pending {
+            let Some((spec, _)) = self
+                .providers
+                .iter()
+                .find(|(_, ids)| ids.contains(&s))
+            else {
+                continue;
+            };
+            if self.is_dark(spec.behavior, now) {
+                continue;
+            }
+            let account = spec.account;
+            let _ = self.engine.file_confirm(account, f, i, s);
+        }
+        // Proofs.
+        let held: Vec<(FileId, u32, SectorId, AccountId, ProviderBehavior)> = self
+            .engine
+            .file_ids()
+            .into_iter()
+            .flat_map(|f| {
+                let cp = self.engine.file(f).map(|d| d.cp).unwrap_or(0);
+                (0..cp).filter_map(move |i| Some((f, i)))
+            })
+            .filter_map(|(f, i)| {
+                let e = self.engine.alloc_entry(f, i)?;
+                let s = e.prev?;
+                let (spec, _) = self.providers.iter().find(|(_, ids)| ids.contains(&s))?;
+                Some((f, i, s, spec.account, spec.behavior))
+            })
+            .collect();
+        for (f, i, s, account, behavior) in held {
+            if self.is_dark(behavior, now) {
+                continue;
+            }
+            if let ProviderBehavior::Lazy { skip_prob } = behavior {
+                if self.rng.bernoulli(skip_prob) {
+                    continue;
+                }
+            }
+            let _ = self.engine.file_prove(account, f, i, s);
+        }
+        // Propagate physical failures into the engine (so honest helpers
+        // and File_Get treat them correctly).
+        let failing: Vec<SectorId> = self
+            .providers
+            .iter()
+            .filter(|(spec, _)| self.is_dark(spec.behavior, now))
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        for s in failing {
+            if let Some(sector) = self.engine.sector(s) {
+                if !sector.physically_failed {
+                    self.engine.fail_sector_silently(s);
+                }
+            }
+        }
+    }
+
+    fn is_dark(&self, behavior: ProviderBehavior, now: u64) -> bool {
+        matches!(behavior, ProviderBehavior::FailsAt { at } if now >= at)
+    }
+
+    /// Sector ids registered for provider `idx` (insertion order).
+    pub fn sectors_of(&self, idx: usize) -> &[SectorId] {
+        &self.providers[idx].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_core::types::{ProtocolEvent, RemovalReason};
+
+    const CLIENT: AccountId = AccountId(900);
+
+    fn params(k: u32) -> ProtocolParams {
+        ProtocolParams {
+            k,
+            delay_per_size: 6,
+            avg_refresh: 6.0,
+            ..ProtocolParams::default()
+        }
+    }
+
+    #[test]
+    fn honest_network_keeps_files_forever() {
+        let mut scenario = Scenario::new(
+            params(3),
+            vec![
+                ProviderSpec {
+                    account: AccountId(700),
+                    sectors: vec![640, 640],
+                    behavior: ProviderBehavior::Honest,
+                },
+                ProviderSpec {
+                    account: AccountId(701),
+                    sectors: vec![1280],
+                    behavior: ProviderBehavior::Honest,
+                },
+            ],
+            CLIENT,
+        );
+        let f = scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+        scenario.run_until(5_000);
+        assert!(scenario.engine.file(f).is_some());
+        assert_eq!(scenario.engine.stats().files_lost, 0);
+    }
+
+    #[test]
+    fn total_provider_failure_triggers_compensation() {
+        let mut scenario = Scenario::new(
+            params(2),
+            vec![ProviderSpec {
+                account: AccountId(700),
+                sectors: vec![640, 640],
+                behavior: ProviderBehavior::FailsAt { at: 500 },
+            }],
+            CLIENT,
+        );
+        let f = scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+        scenario.run_until(2_000);
+        assert!(scenario.engine.file(f).is_none());
+        assert_eq!(scenario.engine.stats().files_lost, 1);
+        assert_eq!(
+            scenario.engine.stats().compensation_paid,
+            TokenAmount(1_000),
+            "full compensation"
+        );
+        assert!(scenario.engine.events().iter().any(|e| matches!(
+            e,
+            ProtocolEvent::FileRemoved { reason: RemovalReason::Lost, .. }
+        )));
+    }
+
+    #[test]
+    fn lazy_provider_gets_punished_but_file_survives() {
+        let mut scenario = Scenario::new(
+            params(3),
+            vec![
+                ProviderSpec {
+                    account: AccountId(700),
+                    sectors: vec![640],
+                    behavior: ProviderBehavior::Lazy { skip_prob: 0.7 },
+                },
+                ProviderSpec {
+                    account: AccountId(701),
+                    sectors: vec![640, 640],
+                    behavior: ProviderBehavior::Honest,
+                },
+            ],
+            CLIENT,
+        );
+        let f = scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+        scenario.run_until(4_000);
+        assert!(
+            scenario.engine.stats().punishments > 0,
+            "lazy proofs punished: {:?}",
+            scenario.engine.stats()
+        );
+        assert!(scenario.engine.file(f).is_some(), "file survives laziness");
+    }
+
+    #[test]
+    fn partial_failure_keeps_file_alive_via_survivors() {
+        let mut scenario = Scenario::new(
+            params(3),
+            vec![
+                ProviderSpec {
+                    account: AccountId(700),
+                    sectors: vec![640],
+                    behavior: ProviderBehavior::FailsAt { at: 300 },
+                },
+                ProviderSpec {
+                    account: AccountId(701),
+                    sectors: vec![640, 640, 640],
+                    behavior: ProviderBehavior::Honest,
+                },
+            ],
+            CLIENT,
+        );
+        let f = scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+        scenario.run_until(3_000);
+        // The failing provider's sector is corrupted, its deposit gone…
+        let failed = scenario.sectors_of(0)[0];
+        let sector = scenario.engine.sector(failed).unwrap();
+        assert_eq!(sector.state, fi_core::types::SectorState::Corrupted);
+        // …but unless every replica sat there, the file lives.
+        if scenario.engine.stats().files_lost == 0 {
+            assert!(scenario.engine.file(f).is_some());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Theorem 1 experiment: how much raw file data the network can carry.
+//!
+//! Theorem 1: the total raw size storable is
+//! `min( Ns·minCapacity / (2·r1·k), Ns·minCapacity / r2 )` — the first
+//! term is the **capacity restriction** (every file stores `k·value`
+//! replicas and total replica size may use at most half the capacity), the
+//! second the **value restriction** (total value ≤ Nm_v·minValue).
+//!
+//! The experiment draws a workload from a size/value distribution, fills
+//! the network file by file until either restriction trips, and compares
+//! the stored raw size with the formula.
+
+use fi_analysis::theorems::{theorem1_max_total_size, workload_r1, workload_r2};
+use fi_crypto::DetRng;
+
+use crate::report::{sci, TextTable};
+
+/// A workload generator for the scalability experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Every file: size 1, value `minValue`.
+    Homogeneous,
+    /// Sizes exponential(4), values uniform in {1,2,3} × minValue.
+    Mixed,
+    /// Sizes uniform in the interval 1..8, all values `minValue` (size-heavy).
+    SizeHeavy,
+    /// Sizes 1, values uniform {1..10} × minValue (value-heavy).
+    ValueHeavy,
+}
+
+impl Workload {
+    /// All workloads.
+    pub const ALL: [Workload; 4] = [
+        Workload::Homogeneous,
+        Workload::Mixed,
+        Workload::SizeHeavy,
+        Workload::ValueHeavy,
+    ];
+
+    /// Label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Homogeneous => "homogeneous",
+            Workload::Mixed => "mixed",
+            Workload::SizeHeavy => "size-heavy",
+            Workload::ValueHeavy => "value-heavy",
+        }
+    }
+
+    /// Draws one `(size, value)` pair (minValue = 1 units).
+    pub fn sample(&self, rng: &mut DetRng) -> (f64, f64) {
+        match self {
+            Workload::Homogeneous => (1.0, 1.0),
+            Workload::Mixed => (rng.sample_exp(4.0).max(0.01), (1 + rng.below(3)) as f64),
+            Workload::SizeHeavy => (1.0 + 7.0 * rng.f64(), 1.0),
+            Workload::ValueHeavy => (1.0, (1 + rng.below(10)) as f64),
+        }
+    }
+}
+
+/// One scalability row.
+#[derive(Debug, Clone)]
+pub struct ScalabilityRow {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Workload constant r1 (eq. 1).
+    pub r1: f64,
+    /// Workload constant r2 (eq. 2).
+    pub r2: f64,
+    /// Theorem 1 prediction for total storable raw size.
+    pub predicted: f64,
+    /// Raw size actually stored before a restriction tripped.
+    pub measured: f64,
+    /// Which restriction bound first ("capacity" or "value").
+    pub binding: &'static str,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalabilityConfig {
+    /// Sector count.
+    pub ns: u64,
+    /// `minCapacity` (size units per sector).
+    pub min_capacity: u64,
+    /// Replicas per `minValue` of value.
+    pub k: u32,
+    /// `capPara`.
+    pub cap_para: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ScalabilityConfig {
+    fn default() -> Self {
+        ScalabilityConfig {
+            ns: 1_000,
+            min_capacity: 64,
+            k: 10,
+            cap_para: 2,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// Fills the network under `workload` until a restriction trips.
+pub fn run_one(workload: Workload, config: &ScalabilityConfig) -> ScalabilityRow {
+    let mut rng = DetRng::from_seed_label(config.seed, workload.label());
+    let total_capacity = (config.ns * config.min_capacity) as f64;
+    let max_value = (config.cap_para * config.ns) as f64; // Nm_v·minValue
+    let mut stored_size = 0.0f64;
+    let mut replica_size = 0.0f64;
+    let mut stored_value = 0.0f64;
+    let mut sizes = Vec::new();
+    let mut values = Vec::new();
+    let binding;
+    loop {
+        let (size, value) = workload.sample(&mut rng);
+        let cp = config.k as f64 * value;
+        if replica_size + size * cp > total_capacity / 2.0 {
+            binding = "capacity";
+            break;
+        }
+        if stored_value + value > max_value {
+            binding = "value";
+            break;
+        }
+        replica_size += size * cp;
+        stored_value += value;
+        stored_size += size;
+        sizes.push(size);
+        values.push(value);
+    }
+    let r1 = workload_r1(&sizes, &values, 1.0);
+    let r2 = workload_r2(
+        &sizes,
+        &values,
+        1.0,
+        config.min_capacity as f64,
+        config.cap_para as f64,
+    );
+    let predicted =
+        theorem1_max_total_size(config.ns as f64, config.min_capacity as f64, config.k as f64, r1, r2);
+    ScalabilityRow {
+        workload: workload.label(),
+        r1,
+        r2,
+        predicted,
+        measured: stored_size,
+        binding,
+    }
+}
+
+/// Runs all workloads.
+pub fn run_all(config: &ScalabilityConfig) -> Vec<ScalabilityRow> {
+    Workload::ALL
+        .iter()
+        .map(|w| run_one(*w, config))
+        .collect()
+}
+
+/// Renders rows.
+pub fn render(rows: &[ScalabilityRow]) -> String {
+    let mut table = TextTable::new(vec![
+        "workload",
+        "r1",
+        "r2",
+        "predicted max size",
+        "measured stored size",
+        "measured/predicted",
+        "binding restriction",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.workload.to_string(),
+            format!("{:.3}", r.r1),
+            format!("{:.4}", r.r2),
+            sci(r.predicted),
+            sci(r.measured),
+            format!("{:.3}", r.measured / r.predicted),
+            r.binding.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_matches_formula_closely() {
+        let row = run_one(Workload::Homogeneous, &ScalabilityConfig::default());
+        // r1 = 1, so capacity term = Ns·minCap/(2k) = 64_000/20 = 3200;
+        // value term = Ns·minCap/r2 with r2 = 64/2 = 32 ⇒ 2000. Value binds.
+        assert_eq!(row.binding, "value");
+        assert!((row.r1 - 1.0).abs() < 1e-9);
+        let ratio = row.measured / row.predicted;
+        assert!((0.98..=1.02).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn measured_never_exceeds_prediction_materially() {
+        for row in run_all(&ScalabilityConfig::default()) {
+            let ratio = row.measured / row.predicted;
+            assert!(
+                ratio < 1.05,
+                "{}: stored {} vs predicted {}",
+                row.workload,
+                row.measured,
+                row.predicted
+            );
+            assert!(ratio > 0.5, "{}: ratio {ratio} suspiciously low", row.workload);
+        }
+    }
+
+    #[test]
+    fn capacity_binds_when_value_cap_is_loose() {
+        let config = ScalabilityConfig {
+            cap_para: 1_000_000,
+            ..ScalabilityConfig::default()
+        };
+        let row = run_one(Workload::Homogeneous, &config);
+        assert_eq!(row.binding, "capacity");
+    }
+}

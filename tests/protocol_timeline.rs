@@ -1,0 +1,223 @@
+//! Integration: the Fig. 3 protocol timeline over the scenario harness —
+//! storing, proving, refreshing, disabling, failing — with event-order
+//! assertions.
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::params::ProtocolParams;
+use fi_core::types::{ProtocolEvent, RemovalReason, SectorState};
+use fi_sim::harness::{ProviderBehavior, ProviderSpec, Scenario};
+
+const CLIENT: AccountId = AccountId(900);
+
+fn params(k: u32) -> ProtocolParams {
+    ProtocolParams {
+        k,
+        delay_per_size: 6,
+        avg_refresh: 5.0,
+        ..ProtocolParams::default()
+    }
+}
+
+#[test]
+fn fig3_happy_path_event_order() {
+    let mut scenario = Scenario::new(
+        params(3),
+        vec![ProviderSpec {
+            account: AccountId(700),
+            sectors: vec![640, 640, 640],
+            behavior: ProviderBehavior::Honest,
+        }],
+        CLIENT,
+    );
+    let file = scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+    scenario.run_until(3_000);
+
+    let events = scenario.engine.events();
+    let pos = |pred: &dyn Fn(&ProtocolEvent) -> bool| events.iter().position(|e| pred(e));
+
+    // Register happens before the file is added, which precedes storage
+    // confirmation, which precedes the first replica swap.
+    let registered = pos(&|e| matches!(e, ProtocolEvent::SectorRegistered { .. })).unwrap();
+    let added = pos(&|e| matches!(e, ProtocolEvent::FileAdded { file: f, .. } if *f == file))
+        .unwrap();
+    let stored =
+        pos(&|e| matches!(e, ProtocolEvent::FileStored { file: f } if *f == file)).unwrap();
+    assert!(registered < added && added < stored);
+
+    if let Some(swap) =
+        pos(&|e| matches!(e, ProtocolEvent::ReplicaSwap { file: f, .. } if *f == file))
+    {
+        assert!(swap > stored, "refreshes only after storage");
+    }
+    assert!(scenario.engine.file(file).is_some());
+    assert!(scenario.engine.ledger().audit());
+}
+
+#[test]
+fn rent_flows_from_client_to_providers_over_time() {
+    let provider = AccountId(700);
+    let mut scenario = Scenario::new(
+        params(2),
+        vec![ProviderSpec {
+            account: provider,
+            sectors: vec![1280],
+            behavior: ProviderBehavior::Honest,
+        }],
+        CLIENT,
+    );
+    scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+    scenario.run_until(100);
+    let client_start = scenario.engine.ledger().balance(CLIENT);
+    let period = scenario.engine.params().proof_cycle
+        * scenario.engine.params().rent_period_cycles as u64;
+    scenario.run_until(100 + 3 * period);
+
+    assert!(
+        scenario.engine.ledger().balance(CLIENT) < client_start,
+        "client pays rent continuously"
+    );
+    let distributed = scenario
+        .engine
+        .events()
+        .iter()
+        .filter(|e| matches!(e, ProtocolEvent::RentDistributed { total } if !total.is_zero()))
+        .count();
+    assert!(distributed >= 2, "rent distributed every period");
+}
+
+#[test]
+fn provider_failure_timeline_punish_then_corrupt_then_compensate() {
+    let mut scenario = Scenario::new(
+        params(2),
+        vec![ProviderSpec {
+            account: AccountId(700),
+            sectors: vec![640, 640],
+            behavior: ProviderBehavior::FailsAt { at: 450 },
+        }],
+        CLIENT,
+    );
+    let file = scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+    scenario.run_until(3_000);
+
+    let events = scenario.engine.events();
+    let punished = events
+        .iter()
+        .position(|e| matches!(e, ProtocolEvent::ProviderPunished { .. }));
+    let corrupted = events
+        .iter()
+        .position(|e| matches!(e, ProtocolEvent::SectorCorrupted { .. }))
+        .expect("sector corrupted after deadline");
+    let lost = events
+        .iter()
+        .position(|e| matches!(e, ProtocolEvent::FileLost { file: f, .. } if *f == file))
+        .expect("file lost after all replicas gone");
+
+    // Punishment (ProofDue) precedes corruption (ProofDeadline) precedes
+    // loss settlement.
+    if let Some(p) = punished {
+        assert!(p < corrupted, "punish before confiscation");
+    }
+    assert!(corrupted < lost);
+    assert_eq!(
+        scenario.engine.stats().compensation_paid,
+        TokenAmount(1_000)
+    );
+    assert!(scenario.engine.ledger().audit());
+}
+
+#[test]
+fn disabled_sector_drains_through_refreshes() {
+    let mut scenario = Scenario::new(
+        ProtocolParams {
+            k: 2,
+            delay_per_size: 6,
+            avg_refresh: 1.5,
+            ..ProtocolParams::default()
+        },
+        vec![
+            ProviderSpec {
+                account: AccountId(700),
+                sectors: vec![640],
+                behavior: ProviderBehavior::Honest,
+            },
+            ProviderSpec {
+                account: AccountId(701),
+                sectors: vec![640, 640],
+                behavior: ProviderBehavior::Honest,
+            },
+        ],
+        CLIENT,
+    );
+    let file = scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+    scenario.run_until(200);
+
+    let retiring = scenario.sectors_of(0)[0];
+    scenario
+        .engine
+        .sector_disable(AccountId(700), retiring)
+        .unwrap();
+    scenario.run_until(12_000);
+
+    assert!(
+        scenario.engine.sector(retiring).is_none(),
+        "disabled sector drained and removed"
+    );
+    assert!(scenario.engine.file(file).is_some(), "file survived the drain");
+    // No losses, no compensation.
+    assert_eq!(scenario.engine.stats().files_lost, 0);
+}
+
+#[test]
+fn mixed_behaviors_network_stays_consistent() {
+    let mut scenario = Scenario::new(
+        params(3),
+        vec![
+            ProviderSpec {
+                account: AccountId(700),
+                sectors: vec![640, 640],
+                behavior: ProviderBehavior::Honest,
+            },
+            ProviderSpec {
+                account: AccountId(701),
+                sectors: vec![640],
+                behavior: ProviderBehavior::Lazy { skip_prob: 0.5 },
+            },
+            ProviderSpec {
+                account: AccountId(702),
+                sectors: vec![1280],
+                behavior: ProviderBehavior::FailsAt { at: 1_500 },
+            },
+        ],
+        CLIENT,
+    );
+    let mut files = Vec::new();
+    for _ in 0..5 {
+        files.push(scenario.add_file(CLIENT, 8, TokenAmount(1_000)));
+        scenario.run_until(scenario.engine.now() + 60);
+    }
+    scenario.run_until(6_000);
+
+    // Conservation always holds; every lost file was fully compensated.
+    assert!(scenario.engine.ledger().audit());
+    let stats = scenario.engine.stats();
+    assert_eq!(
+        stats.compensation_shortfall,
+        TokenAmount::ZERO,
+        "{stats:?}"
+    );
+    // The failed provider's sectors are corrupted.
+    let failed = scenario.sectors_of(2)[0];
+    if let Some(s) = scenario.engine.sector(failed) {
+        assert_eq!(s.state, SectorState::Corrupted);
+    }
+    // Files either live or were compensated.
+    for f in files {
+        if scenario.engine.file(f).is_none() {
+            let lost_event = scenario.engine.events().iter().any(|e| {
+                matches!(e, ProtocolEvent::FileRemoved { file, reason } if *file == f
+                    && matches!(reason, RemovalReason::Lost | RemovalReason::UploadFailed))
+            });
+            assert!(lost_event, "{f} vanished without settlement");
+        }
+    }
+}

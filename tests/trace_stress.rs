@@ -1,0 +1,139 @@
+//! Stress integration: replay a generated workload trace (Poisson
+//! arrivals, Zipf retrievals, random discards) against a live network with
+//! provider churn, then audit every invariant.
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::Engine;
+use fi_core::params::ProtocolParams;
+use fi_core::FileId;
+use fi_crypto::{sha256, DetRng};
+use fi_sim::workload::{Trace, TraceConfig, TraceOp};
+
+const CLIENT: AccountId = AccountId(900);
+
+fn provisioned_engine(seed: u64) -> Engine {
+    let params = ProtocolParams {
+        k: 3,
+        delay_per_size: 2,
+        avg_refresh: 8.0,
+        seed,
+        ..ProtocolParams::default()
+    };
+    let mut e = Engine::new(params).unwrap();
+    e.fund(CLIENT, TokenAmount(10_000_000_000));
+    for i in 0..10u64 {
+        let p = AccountId(100 + i);
+        e.fund(p, TokenAmount(1_000_000_000));
+        e.sector_register(p, 1280).unwrap();
+    }
+    e
+}
+
+#[test]
+fn trace_replay_with_churn_keeps_invariants() {
+    let trace = Trace::generate(&TraceConfig {
+        horizon: 6_000,
+        mean_interarrival: 60.0,
+        ..TraceConfig::default()
+    });
+    let mut engine = provisioned_engine(0xACE);
+    let mut live: Vec<FileId> = Vec::new();
+    let mut churn_rng = DetRng::from_seed_label(5, "churn");
+    let mut gets = 0u64;
+    let mut got_holders = 0u64;
+
+    for event in &trace.events {
+        // Advance to the event time, with honest providers acting.
+        while engine.now() < event.at {
+            engine.honest_providers_act();
+            let next = (engine.now() + 50).min(event.at);
+            engine.advance_to(next);
+        }
+        live.retain(|f| engine.file(*f).is_some());
+        match event.op {
+            TraceOp::Add { size, value_units } => {
+                let value = TokenAmount(engine.params().min_value.0 * value_units as u128);
+                let root = sha256(&event.at.to_be_bytes());
+                if let Ok(f) = engine.file_add(CLIENT, size, value, root) {
+                    live.push(f);
+                }
+            }
+            TraceOp::Discard { nth } => {
+                if !live.is_empty() {
+                    let f = live[(nth % live.len() as u64) as usize];
+                    let _ = engine.file_discard(CLIENT, f);
+                }
+            }
+            TraceOp::Get { nth } => {
+                if !live.is_empty() {
+                    let f = live[(nth % live.len() as u64) as usize];
+                    gets += 1;
+                    if let Ok(holders) = engine.file_get(CLIENT, f) {
+                        if !holders.is_empty() {
+                            got_holders += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Occasional provider churn: one silent failure mid-trace.
+        if event.at > 3_000 && churn_rng.bernoulli(0.002) {
+            let sectors = engine.sector_ids();
+            if !sectors.is_empty() {
+                let sid = sectors[churn_rng.index(sectors.len())];
+                engine.fail_sector_silently(sid);
+            }
+        }
+    }
+    // Settle.
+    for _ in 0..8 {
+        engine.honest_providers_act();
+        engine.advance_to(engine.now() + engine.params().proof_cycle);
+    }
+
+    // Invariants after thousands of mixed operations.
+    assert!(engine.ledger().audit(), "token conservation");
+    assert_eq!(
+        engine.stats().compensation_shortfall,
+        TokenAmount::ZERO,
+        "full compensation always"
+    );
+    assert!(gets > 50, "trace exercised retrieval: {gets}");
+    assert!(
+        got_holders * 10 >= gets * 9,
+        "holders found for ≥90% of gets ({got_holders}/{gets})"
+    );
+    // Space accounting: every live sector's usage is consistent.
+    for sid in engine.sector_ids() {
+        let s = engine.sector(sid).unwrap();
+        if s.state != fi_core::SectorState::Corrupted {
+            let cr = engine.cr_accounting(sid).unwrap();
+            assert_eq!(cr.free(), s.free_cap, "{sid} accounting drift");
+            assert!(cr.invariant_holds(), "{sid} DRep invariant");
+        }
+    }
+}
+
+#[test]
+fn trace_replay_deterministic() {
+    let run = || {
+        let trace = Trace::generate(&TraceConfig {
+            horizon: 2_000,
+            ..TraceConfig::default()
+        });
+        let mut engine = provisioned_engine(7);
+        for event in &trace.events {
+            while engine.now() < event.at {
+                engine.honest_providers_act();
+                let next = (engine.now() + 50).min(event.at);
+                engine.advance_to(next);
+            }
+            if let TraceOp::Add { size, value_units } = event.op {
+                let value = TokenAmount(engine.params().min_value.0 * value_units as u128);
+                let _ = engine.file_add(CLIENT, size, value, sha256(&event.at.to_be_bytes()));
+            }
+        }
+        engine.state_root()
+    };
+    assert_eq!(run(), run());
+}
