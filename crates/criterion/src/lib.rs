@@ -1,0 +1,411 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real criterion cannot
+//! be fetched from crates.io. This shim implements the subset of its API that
+//! the `fi-bench` benchmarks use — `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Throughput`, `Bencher::{iter, iter_with_setup}`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a plain
+//! wall-clock harness: a timed warm-up, then `sample_size` batches whose
+//! median per-iteration time is reported.
+//!
+//! It is intentionally tiny and has no statistics beyond the median; if the
+//! environment ever gains registry access, deleting this crate and switching
+//! `fi-bench`'s dev-dependency back to crates.io criterion is a one-line
+//! change (the bench sources need no edits).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>` form.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { id: s.clone() }
+    }
+}
+
+/// Timing configuration plus the entry point handed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration (builder style, like real criterion).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// No-op for CLI-argument parity with real criterion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+            measurement: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample = run_bench(self.warm_up, self.measurement, self.sample_size, &mut f);
+        report(&id.id, &sample, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the measurement duration for this group (group-scoped,
+    /// like real criterion — it does not leak to later groups).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample = run_bench(
+            self.criterion.warm_up,
+            self.measurement.unwrap_or(self.criterion.measurement),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &mut f,
+        );
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &sample,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (purely cosmetic here).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    /// Median per-iteration time, filled in by `iter*`.
+    elapsed: Duration,
+}
+
+enum Mode {
+    /// Estimate a batch size from this duration of warm-up.
+    WarmUp(Duration),
+    /// Timed run: (batch size, samples to record).
+    Measure { batch: u64, samples: usize },
+}
+
+struct Sample {
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, excluding nothing (the common case).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp(budget) => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < budget || iters == 0 {
+                    std_black_box(routine());
+                    iters += 1;
+                }
+                self.elapsed = start.elapsed() / (iters as u32).max(1);
+            }
+            Mode::Measure { batch, samples } => {
+                let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std_black_box(routine());
+                    }
+                    per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+                }
+                self.elapsed = Duration::from_nanos(median(&mut per_iter) as u64);
+            }
+        }
+    }
+
+    /// Times `routine` only, re-running `setup` before every call.
+    pub fn iter_with_setup<S, O, FS, R>(&mut self, mut setup: FS, mut routine: R)
+    where
+        FS: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        match self.mode {
+            Mode::WarmUp(budget) => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                let mut busy = Duration::ZERO;
+                while start.elapsed() < budget || iters == 0 {
+                    let s = setup();
+                    let t = Instant::now();
+                    std_black_box(routine(s));
+                    busy += t.elapsed();
+                    iters += 1;
+                }
+                self.elapsed = busy / (iters as u32).max(1);
+            }
+            Mode::Measure { batch, samples } => {
+                let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let mut busy = Duration::ZERO;
+                    for _ in 0..batch {
+                        let s = setup();
+                        let t = Instant::now();
+                        std_black_box(routine(s));
+                        busy += t.elapsed();
+                    }
+                    per_iter.push(busy.as_nanos() as f64 / batch as f64);
+                }
+                self.elapsed = Duration::from_nanos(median(&mut per_iter) as u64);
+            }
+        }
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    xs[xs.len() / 2]
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    f: &mut F,
+) -> Sample {
+    // Warm-up pass estimates the per-iteration cost...
+    let mut b = Bencher {
+        mode: Mode::WarmUp(warm_up),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let est_ns = b.elapsed.as_nanos().max(1) as u64;
+    // ...which sizes batches so all samples fit the measurement budget.
+    let budget_ns = measurement.as_nanos() as u64 / sample_size.max(1) as u64;
+    let batch = (budget_ns / est_ns).clamp(1, 1_000_000_000);
+    let mut b = Bencher {
+        mode: Mode::Measure {
+            batch,
+            samples: sample_size,
+        },
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    Sample {
+        median_ns: b.elapsed.as_nanos() as f64,
+    }
+}
+
+fn report(id: &str, sample: &Sample, throughput: Option<Throughput>) {
+    let t = pretty_time(sample.median_ns);
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mib_s = n as f64 / (1024.0 * 1024.0) / (sample.median_ns / 1e9);
+            println!("{id:<48} time: {t:>12}  thrpt: {mib_s:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (sample.median_ns / 1e9);
+            println!("{id:<48} time: {t:>12}  thrpt: {elem_s:>10.0} elem/s");
+        }
+        None => println!("{id:<48} time: {t:>12}"),
+    }
+}
+
+fn pretty_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring criterion's
+/// two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("build", 64).id, "build/64");
+        assert_eq!(BenchmarkId::from_parameter("8+8").id, "8+8");
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+            b.iter_with_setup(|| vec![0u8; 64], |v| v.len())
+        });
+        group.finish();
+    }
+}

@@ -40,13 +40,7 @@ pub struct RobustnessParams {
 ///
 /// `r1` and `r2` are workload constants (eqs. (1) and (2)); compute them
 /// from a concrete workload with [`workload_r1`] / [`workload_r2`].
-pub fn theorem1_max_total_size(
-    n_s: f64,
-    min_capacity: f64,
-    k: f64,
-    r1: f64,
-    r2: f64,
-) -> f64 {
+pub fn theorem1_max_total_size(n_s: f64, min_capacity: f64, k: f64, r1: f64, r2: f64) -> f64 {
     let by_capacity = n_s * min_capacity / (2.0 * r1 * k);
     let by_value = n_s * min_capacity / r2;
     by_capacity.min(by_value)
@@ -181,7 +175,10 @@ mod tests {
         let p = paper_example();
         let lo = theorem3_third_term(&p, 0.001);
         let hi = theorem3_third_term(&p, 0.01);
-        assert!((lo / hi - 10.0).abs() < 1e-9, "inverse proportional to γm_v");
+        assert!(
+            (lo / hi - 10.0).abs() < 1e-9,
+            "inverse proportional to γm_v"
+        );
     }
 
     #[test]

@@ -66,7 +66,13 @@ mod tests {
     fn placement_matches_replication_factor() {
         let m = ArweaveModel::new(6);
         let net = NetworkSpec::uniform(30, 64);
-        let files = vec![FileSpec { size: 1, value: 1.0 }; 10];
+        let files = vec![
+            FileSpec {
+                size: 1,
+                value: 1.0
+            };
+            10
+        ];
         let mut rng = DetRng::from_seed_label(95, "ar");
         let p = m.place(&net, &files, &mut rng);
         assert!(p.locations.iter().all(|l| l.len() == 6));
@@ -77,11 +83,23 @@ mod tests {
     fn loss_possible_without_compensation() {
         let m = ArweaveModel::new(3);
         let net = NetworkSpec::uniform(40, 64);
-        let files = vec![FileSpec { size: 1, value: 1.0 }; 300];
+        let files = vec![
+            FileSpec {
+                size: 1,
+                value: 1.0
+            };
+            300
+        ];
         let mut rng = DetRng::from_seed_label(96, "ar-loss");
         let p = m.place(&net, &files, &mut rng);
         let corrupted = corrupt_nodes(
-            &net, &p, &files, 0.8, AdversaryStrategy::Random, false, &mut rng,
+            &net,
+            &p,
+            &files,
+            0.8,
+            AdversaryStrategy::Random,
+            false,
+            &mut rng,
         );
         let report = evaluate_loss(&net, &p, &files, &corrupted);
         assert!(report.lost_files > 0);

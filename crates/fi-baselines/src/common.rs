@@ -141,10 +141,7 @@ pub fn corrupt_nodes(
                 .max()
                 .unwrap_or(0)
         } else {
-            nodes
-                .iter()
-                .map(|&i| net.nodes[i].capacity as i128)
-                .sum()
+            nodes.iter().map(|&i| net.nodes[i].capacity as i128).sum()
         }
     };
 
@@ -199,8 +196,7 @@ pub fn corrupt_nodes(
                     let mut pressure = 0.0;
                     for &n in &entity_nodes[&e] {
                         for &f in &node_files[n] {
-                            let surplus =
-                                live[f] - placement.survivors_needed[f] as i64 + 1;
+                            let surplus = live[f] - placement.survivors_needed[f] as i64 + 1;
                             if surplus > 0 {
                                 pressure += files[f].value / surplus as f64;
                             }
@@ -262,9 +258,9 @@ pub fn evaluate_loss(
 ) -> LossReport {
     let mut lost_value = 0.0;
     let mut lost_files = 0;
-    for f in 0..files.len() {
+    for (f, spec) in files.iter().enumerate() {
         if !placement.survives(f, corrupted) {
-            lost_value += files[f].value;
+            lost_value += spec.value;
             lost_files += 1;
         }
     }
@@ -280,11 +276,7 @@ pub fn evaluate_loss(
 /// Samples `count` node indices i.i.d. proportional to capacity (the
 /// `RandomSector()` primitive at placement granularity). Shared by the
 /// FileInsurer and Arweave models.
-pub fn sample_capacity_weighted(
-    net: &NetworkSpec,
-    count: usize,
-    rng: &mut DetRng,
-) -> Vec<usize> {
+pub fn sample_capacity_weighted(net: &NetworkSpec, count: usize, rng: &mut DetRng) -> Vec<usize> {
     // Static prefix-sum table; placement is one-shot so no Fenwick needed.
     let mut prefix: Vec<u64> = Vec::with_capacity(net.nodes.len());
     let mut acc = 0u64;
@@ -308,8 +300,14 @@ mod tests {
     fn simple_placement() -> (NetworkSpec, Vec<FileSpec>, Placement) {
         let net = NetworkSpec::uniform(4, 100);
         let files = vec![
-            FileSpec { size: 1, value: 10.0 },
-            FileSpec { size: 1, value: 20.0 },
+            FileSpec {
+                size: 1,
+                value: 10.0,
+            },
+            FileSpec {
+                size: 1,
+                value: 20.0,
+            },
         ];
         let placement = Placement {
             locations: vec![vec![0, 1], vec![2, 3]],
@@ -346,7 +344,10 @@ mod tests {
     fn adversary_respects_budget() {
         let net = NetworkSpec::uniform(100, 64);
         let files: Vec<FileSpec> = (0..50)
-            .map(|_| FileSpec { size: 4, value: 1.0 })
+            .map(|_| FileSpec {
+                size: 4,
+                value: 1.0,
+            })
             .collect();
         let mut rng = DetRng::from_seed_label(51, "adv");
         let placement = Placement {
@@ -358,9 +359,8 @@ mod tests {
         };
         for strategy in AdversaryStrategy::ALL {
             for lambda in [0.1, 0.5, 0.9] {
-                let corrupted = corrupt_nodes(
-                    &net, &placement, &files, lambda, strategy, false, &mut rng,
-                );
+                let corrupted =
+                    corrupt_nodes(&net, &placement, &files, lambda, strategy, false, &mut rng);
                 let cap: u64 = corrupted.iter().map(|&n| net.nodes[n].capacity).sum();
                 assert!(
                     cap as f64 <= lambda * net.total_capacity() as f64 + 1e-9,
@@ -377,7 +377,10 @@ mod tests {
         let net = NetworkSpec::uniform(60, 64);
         let mut rng = DetRng::from_seed_label(52, "greedy");
         let files: Vec<FileSpec> = (0..200)
-            .map(|_| FileSpec { size: 2, value: 1.0 })
+            .map(|_| FileSpec {
+                size: 2,
+                value: 1.0,
+            })
             .collect();
         let placement = Placement {
             locations: files
@@ -389,10 +392,22 @@ mod tests {
         let mut rng_a = DetRng::from_seed_label(53, "a");
         let mut rng_b = DetRng::from_seed_label(53, "b");
         let random = corrupt_nodes(
-            &net, &placement, &files, 0.5, AdversaryStrategy::Random, false, &mut rng_a,
+            &net,
+            &placement,
+            &files,
+            0.5,
+            AdversaryStrategy::Random,
+            false,
+            &mut rng_a,
         );
         let greedy = corrupt_nodes(
-            &net, &placement, &files, 0.5, AdversaryStrategy::GreedyKill, false, &mut rng_b,
+            &net,
+            &placement,
+            &files,
+            0.5,
+            AdversaryStrategy::GreedyKill,
+            false,
+            &mut rng_b,
         );
         let loss_random = evaluate_loss(&net, &placement, &files, &random);
         let loss_greedy = evaluate_loss(&net, &placement, &files, &greedy);
@@ -410,10 +425,16 @@ mod tests {
         // the entity costs one node's capacity but kills all ten.
         let net = NetworkSpec {
             nodes: (0..10)
-                .map(|_| NodeSpec { capacity: 64, entity: 0 })
+                .map(|_| NodeSpec {
+                    capacity: 64,
+                    entity: 0,
+                })
                 .collect(),
         };
-        let files = vec![FileSpec { size: 1, value: 1.0 }];
+        let files = vec![FileSpec {
+            size: 1,
+            value: 1.0,
+        }];
         let placement = Placement {
             locations: vec![vec![0, 5, 9]],
             survivors_needed: vec![1],
@@ -421,7 +442,13 @@ mod tests {
         let mut rng = DetRng::from_seed_label(54, "sybil");
         // Budget = 0.15 of 640 = 96 ≥ one node (64) but < total (640).
         let corrupted = corrupt_nodes(
-            &net, &placement, &files, 0.15, AdversaryStrategy::LargestFirst, true, &mut rng,
+            &net,
+            &placement,
+            &files,
+            0.15,
+            AdversaryStrategy::LargestFirst,
+            true,
+            &mut rng,
         );
         assert_eq!(corrupted.len(), 10, "whole entity corrupted");
         assert!(!placement.survives(0, &corrupted));
@@ -429,7 +456,12 @@ mod tests {
         // single node.
         let honest_net = NetworkSpec::uniform(10, 64);
         let honest = corrupt_nodes(
-            &honest_net, &placement, &files, 0.15, AdversaryStrategy::LargestFirst, false,
+            &honest_net,
+            &placement,
+            &files,
+            0.15,
+            AdversaryStrategy::LargestFirst,
+            false,
             &mut rng,
         );
         assert_eq!(honest.len(), 1);
@@ -439,8 +471,14 @@ mod tests {
     fn capacity_weighted_sampling_is_proportional() {
         let net = NetworkSpec {
             nodes: vec![
-                NodeSpec { capacity: 10, entity: 0 },
-                NodeSpec { capacity: 90, entity: 1 },
+                NodeSpec {
+                    capacity: 10,
+                    entity: 0,
+                },
+                NodeSpec {
+                    capacity: 90,
+                    entity: 1,
+                },
             ],
         };
         let mut rng = DetRng::from_seed_label(55, "cw");

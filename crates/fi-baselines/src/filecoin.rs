@@ -116,7 +116,10 @@ mod tests {
         let m = FilecoinModel::new(5);
         let net = NetworkSpec::uniform(100, 64);
         let files: Vec<FileSpec> = (0..500)
-            .map(|_| FileSpec { size: 1, value: 1.0 })
+            .map(|_| FileSpec {
+                size: 1,
+                value: 1.0,
+            })
             .collect();
         let mut rng = DetRng::from_seed_label(71, "fc");
         let placement = m.place(&net, &files, &mut rng);
@@ -139,7 +142,10 @@ mod tests {
         // correlated placement loses far more value.
         let net = NetworkSpec::uniform(200, 64);
         let files: Vec<FileSpec> = (0..1000)
-            .map(|_| FileSpec { size: 1, value: 1.0 })
+            .map(|_| FileSpec {
+                size: 1,
+                value: 1.0,
+            })
             .collect();
         let k = 5;
         let fi = FileInsurerModel::new(k, 0.0046);
@@ -151,10 +157,22 @@ mod tests {
         let mut rng_a = DetRng::from_seed_label(73, "a");
         let mut rng_b = DetRng::from_seed_label(73, "b");
         let c_fi = corrupt_nodes(
-            &net, &p_fi, &files, lambda, AdversaryStrategy::GreedyKill, false, &mut rng_a,
+            &net,
+            &p_fi,
+            &files,
+            lambda,
+            AdversaryStrategy::GreedyKill,
+            false,
+            &mut rng_a,
         );
         let c_fc = corrupt_nodes(
-            &net, &p_fc, &files, lambda, AdversaryStrategy::GreedyKill, false, &mut rng_b,
+            &net,
+            &p_fc,
+            &files,
+            lambda,
+            AdversaryStrategy::GreedyKill,
+            false,
+            &mut rng_b,
         );
         let loss_fi = evaluate_loss(&net, &p_fi, &files, &c_fi);
         let loss_fc = evaluate_loss(&net, &p_fc, &files, &c_fc);

@@ -86,7 +86,10 @@ mod tests {
         let m = FileInsurerModel::new(20, 0.0046);
         let net = NetworkSpec::uniform(500, 64);
         let files: Vec<FileSpec> = (0..2000)
-            .map(|_| FileSpec { size: 1, value: 1.0 })
+            .map(|_| FileSpec {
+                size: 1,
+                value: 1.0,
+            })
             .collect();
         let mut rng = DetRng::from_seed_label(61, "fi-place");
         let placement = m.place(&net, &files, &mut rng);

@@ -112,7 +112,13 @@ mod tests {
         // kills whole entity groups at one disk's cost.
         let m = SiaModel::new(3, 8);
         let net = NetworkSpec::uniform(64, 64);
-        let files = vec![FileSpec { size: 1, value: 1.0 }; 400];
+        let files = vec![
+            FileSpec {
+                size: 1,
+                value: 1.0
+            };
+            400
+        ];
         let mut rng = DetRng::from_seed_label(91, "sia");
         let placement = m.place(&net, &files, &mut rng);
 
@@ -120,10 +126,22 @@ mod tests {
         let mut rng_a = DetRng::from_seed_label(92, "a");
         let mut rng_b = DetRng::from_seed_label(92, "b");
         let with_sybil = corrupt_nodes(
-            &sybil_net, &placement, &files, 0.2, AdversaryStrategy::GreedyKill, true, &mut rng_a,
+            &sybil_net,
+            &placement,
+            &files,
+            0.2,
+            AdversaryStrategy::GreedyKill,
+            true,
+            &mut rng_a,
         );
         let without = corrupt_nodes(
-            &net, &placement, &files, 0.2, AdversaryStrategy::GreedyKill, false, &mut rng_b,
+            &net,
+            &placement,
+            &files,
+            0.2,
+            AdversaryStrategy::GreedyKill,
+            false,
+            &mut rng_b,
         );
         let loss_sybil = evaluate_loss(&sybil_net, &placement, &files, &with_sybil);
         let loss_honest = evaluate_loss(&net, &placement, &files, &without);

@@ -77,7 +77,13 @@ mod tests {
     fn shards_are_distinct_nodes() {
         let m = StorjModel::new(4, 8);
         let net = NetworkSpec::uniform(50, 64);
-        let files = vec![FileSpec { size: 1, value: 1.0 }; 100];
+        let files = vec![
+            FileSpec {
+                size: 1,
+                value: 1.0
+            };
+            100
+        ];
         let mut rng = DetRng::from_seed_label(81, "storj");
         let p = m.place(&net, &files, &mut rng);
         for locs in &p.locations {
@@ -93,7 +99,10 @@ mod tests {
         // Losing exactly total-data shards is survivable; one more kills.
         let m = StorjModel::new(2, 4);
         let net = NetworkSpec::uniform(10, 64);
-        let files = vec![FileSpec { size: 1, value: 1.0 }];
+        let files = vec![FileSpec {
+            size: 1,
+            value: 1.0,
+        }];
         let mut rng = DetRng::from_seed_label(82, "thr");
         let p = m.place(&net, &files, &mut rng);
         let locs = p.locations[0].clone();
@@ -107,11 +116,23 @@ mod tests {
     fn mass_corruption_loses_files_without_compensation() {
         let m = StorjModel::new(4, 8);
         let net = NetworkSpec::uniform(100, 64);
-        let files = vec![FileSpec { size: 1, value: 1.0 }; 500];
+        let files = vec![
+            FileSpec {
+                size: 1,
+                value: 1.0
+            };
+            500
+        ];
         let mut rng = DetRng::from_seed_label(83, "mass");
         let p = m.place(&net, &files, &mut rng);
         let corrupted = corrupt_nodes(
-            &net, &p, &files, 0.7, AdversaryStrategy::Random, false, &mut rng,
+            &net,
+            &p,
+            &files,
+            0.7,
+            AdversaryStrategy::Random,
+            false,
+            &mut rng,
         );
         let report = evaluate_loss(&net, &p, &files, &corrupted);
         // At λ=0.7 each shard dies wp ~0.7; P(≥5 of 8 dead) is high.

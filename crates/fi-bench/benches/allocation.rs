@@ -71,7 +71,6 @@ fn bench_proof_cycle(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn quick() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -45,7 +45,6 @@ fn bench_pending_list(c: &mut Criterion) {
     });
 }
 
-
 fn quick() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -50,7 +50,6 @@ fn bench_detrng(c: &mut Criterion) {
     });
 }
 
-
 fn quick() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

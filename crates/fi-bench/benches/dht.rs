@@ -3,8 +3,8 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fi_ipfs::dht::{node_id, Dht};
 use fi_crypto::sha256;
+use fi_ipfs::dht::{node_id, Dht};
 
 fn bench_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("dht/lookup");
@@ -40,7 +40,6 @@ fn bench_provide_find(c: &mut Criterion) {
         })
     });
 }
-
 
 fn quick() -> Criterion {
     Criterion::default()

@@ -1,49 +1,135 @@
 //! Reed–Solomon encode/reconstruct throughput (§VI-C machinery).
+//!
+//! Every group measures the flat-buffer fast path (`*_flat` /
+//! `*_into`) next to the frozen seed implementation
+//! (`fi_erasure::reference`) so the speedup is measured, not asserted:
+//! `erasure/encode` vs `erasure/encode-seed`, `erasure/reconstruct` vs
+//! `erasure/reconstruct-seed`.
 
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fi_erasure::ReedSolomon;
+use fi_erasure::reference::RefReedSolomon;
+use fi_erasure::{ReedSolomon, ShardSet};
+
+const KIB: usize = 1024;
+const MIB: usize = 1024 * 1024;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 131 % 256) as u8).collect()
+}
+
+/// Geometry × payload grid: the paper's half-loss (8,8) point at 64 KiB is
+/// the acceptance-criteria configuration; 1 MiB / 16 MiB probe cache-miss
+/// behaviour on segment-scale payloads.
+const ENCODE_GRID: &[(usize, usize, usize)] = &[
+    (4, 2, 64 * KIB),
+    (8, 8, 64 * KIB),
+    (16, 16, 64 * KIB),
+    (8, 8, MIB),
+    (16, 16, MIB),
+    (8, 8, 16 * MIB),
+];
 
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("erasure/encode");
-    for (data, parity) in [(4usize, 2usize), (8, 8), (16, 16)] {
+    for &(data, parity, bytes) in ENCODE_GRID {
         let rs = ReedSolomon::new(data, parity).unwrap();
-        let payload = vec![0x5Au8; 64 * 1024];
-        group.throughput(Throughput::Bytes(payload.len() as u64));
+        let buf = payload(bytes);
+        group.throughput(Throughput::Bytes(bytes as u64));
+        // Steady-state shape: reuse one flat ShardSet, re-encode in place.
+        let mut set = ShardSet::from_payload(&buf, data, data + parity);
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{data}+{parity}")),
+            BenchmarkId::from_parameter(format!("{data}+{parity}/{}KiB", bytes / KIB)),
             &data,
-            |b, _| b.iter(|| black_box(rs.encode_bytes(&payload))),
+            |b, _| b.iter(|| rs.encode_into(black_box(&mut set)).unwrap()),
         );
     }
     group.finish();
+}
+
+fn bench_encode_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure/encode-seed");
+    group.sample_size(10);
+    for &(data, parity, bytes) in ENCODE_GRID {
+        if bytes > MIB {
+            continue; // the seed path is too slow to sample at 16 MiB
+        }
+        let rs = RefReedSolomon::new(data, parity);
+        let buf = payload(bytes);
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{data}+{parity}/{}KiB", bytes / KIB)),
+            &data,
+            |b, _| b.iter(|| black_box(rs.encode_bytes(&buf))),
+        );
+    }
+    group.finish();
+}
+
+/// Erasure patterns for the reconstruct benches: (label, erased indices).
+fn patterns(data: usize, parity: usize) -> Vec<(String, Vec<usize>)> {
+    let total = data + parity;
+    vec![
+        ("single-data".into(), vec![0]),
+        ("single-parity".into(), vec![data]),
+        (
+            format!("quarter-{}", total / 4),
+            (0..total / 4).map(|i| i * 2 % total).collect(),
+        ),
+        ("all-data".into(), (0..data).collect()),
+    ]
 }
 
 fn bench_reconstruct(c: &mut Criterion) {
     let mut group = c.benchmark_group("erasure/reconstruct");
-    for (data, parity) in [(8usize, 8usize), (16, 16)] {
+    for (data, parity, bytes) in [(8usize, 8usize, 64 * KIB), (16, 16, 64 * KIB), (8, 8, MIB)] {
         let rs = ReedSolomon::new(data, parity).unwrap();
-        let payload = vec![0xC3u8; 64 * 1024];
-        let shards = rs.encode_bytes(&payload);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{data}+{parity}")),
-            &data,
-            |b, &d| {
-                b.iter(|| {
-                    let mut got: Vec<Option<Vec<u8>>> =
-                        shards.iter().cloned().map(Some).collect();
-                    for slot in got.iter_mut().take(d) {
-                        *slot = None; // lose all data shards
-                    }
-                    black_box(rs.reconstruct(&got).unwrap())
-                })
-            },
-        );
+        let encoded = rs.encode_bytes_flat(&payload(bytes));
+        group.throughput(Throughput::Bytes(bytes as u64));
+        for (label, erased) in patterns(data, parity) {
+            let mut present = vec![true; data + parity];
+            for &i in &erased {
+                present[i] = false;
+            }
+            let mut set = encoded.clone();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{data}+{parity}/{}KiB/{label}", bytes / KIB)),
+                &data,
+                |b, _| {
+                    b.iter(|| {
+                        // In-place: only the erased rows are recomputed, so
+                        // no reset is needed between iterations.
+                        rs.reconstruct_into(black_box(&mut set), &present).unwrap()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
 
+fn bench_reconstruct_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure/reconstruct-seed");
+    group.sample_size(10);
+    for (data, parity, bytes) in [(8usize, 8usize, 64 * KIB), (16, 16, 64 * KIB)] {
+        let rs = RefReedSolomon::new(data, parity);
+        let encoded = rs.encode_bytes(&payload(bytes));
+        group.throughput(Throughput::Bytes(bytes as u64));
+        for (label, erased) in patterns(data, parity) {
+            let mut got: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+            for &i in &erased {
+                got[i] = None;
+            }
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{data}+{parity}/{}KiB/{label}", bytes / KIB)),
+                &data,
+                |b, _| b.iter(|| black_box(rs.reconstruct(&got))),
+            );
+        }
+    }
+    group.finish();
+}
 
 fn quick() -> Criterion {
     Criterion::default()
@@ -54,6 +140,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_encode, bench_reconstruct
+    targets = bench_encode, bench_encode_seed, bench_reconstruct, bench_reconstruct_seed
 }
 criterion_main!(benches);

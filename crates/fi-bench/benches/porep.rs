@@ -30,7 +30,9 @@ fn bench_porep_proof(c: &mut Criterion) {
         b.iter(|| black_box(PorepProof::create(&data, rid())))
     });
     let (_, proof) = PorepProof::create(&data, rid());
-    c.bench_function("porep/proof/verify", |b| b.iter(|| black_box(proof.verify())));
+    c.bench_function("porep/proof/verify", |b| {
+        b.iter(|| black_box(proof.verify()))
+    });
 }
 
 fn bench_window_post(c: &mut Criterion) {
@@ -38,12 +40,17 @@ fn bench_window_post(c: &mut Criterion) {
     let replica = SealedReplica::seal(&data, rid());
     let beacon = sha256(b"round");
     for challenges in [4usize, 16] {
-        let ch = derive_challenges(&beacon, &replica.comm_r(), challenges, replica.chunk_count());
-        c.bench_function(&format!("porep/post/respond/{challenges}"), |b| {
+        let ch = derive_challenges(
+            &beacon,
+            &replica.comm_r(),
+            challenges,
+            replica.chunk_count(),
+        );
+        c.bench_function(format!("porep/post/respond/{challenges}"), |b| {
             b.iter(|| black_box(WindowPost::respond(&replica, &ch)))
         });
         let post = WindowPost::respond(&replica, &ch);
-        c.bench_function(&format!("porep/post/verify/{challenges}"), |b| {
+        c.bench_function(format!("porep/post/verify/{challenges}"), |b| {
             b.iter(|| black_box(post.verify(&replica.comm_r(), &ch)))
         });
     }
@@ -59,7 +66,6 @@ fn bench_capacity_replica(c: &mut Criterion) {
         })
     });
 }
-
 
 fn quick() -> Criterion {
     Criterion::default()

@@ -143,7 +143,6 @@ fn bench_update(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn quick() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -1,0 +1,188 @@
+//! Writes a `BENCH_erasure.json` throughput snapshot: the flat-buffer fast
+//! path measured against the frozen seed implementation
+//! (`fi_erasure::reference`) on the acceptance-criteria cases.
+//!
+//! Usage: `cargo run --release -p fi-bench --bin erasure_snapshot [out.json]`
+//!
+//! The snapshot seeds the perf trajectory: CI runs it on every push so later
+//! PRs can compare against recorded numbers instead of folklore.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fi_erasure::reference::RefReedSolomon;
+use fi_erasure::ReedSolomon;
+
+const KIB: usize = 1024;
+const MIB: usize = 1024 * 1024;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 131 % 256) as u8).collect()
+}
+
+/// Median seconds per call over `reps` timed calls (after one warm-up).
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+struct Case {
+    name: String,
+    bytes: usize,
+    /// `(median seconds, reps used)` for the frozen seed path, if measured.
+    seed: Option<(f64, usize)>,
+    /// `(median seconds, reps used)` for the fast path.
+    fast: (f64, usize),
+}
+
+impl Case {
+    fn json(&self) -> String {
+        let (fast_s, fast_reps) = self.fast;
+        let fast_mib_s = self.bytes as f64 / MIB as f64 / fast_s;
+        let (seed_field, speedup_field) = match self.seed {
+            Some((s, seed_reps)) => (
+                format!("\"seed_ms\": {:.4}, \"seed_reps\": {seed_reps}, ", s * 1e3),
+                format!("\"speedup\": {:.2}, ", s / fast_s),
+            ),
+            None => (String::new(), String::new()),
+        };
+        format!(
+            "    {{\"case\": \"{}\", \"bytes\": {}, {}\"fast_ms\": {:.4}, \"fast_reps\": {}, {}\"fast_throughput_mib_s\": {:.1}}}",
+            self.name,
+            self.bytes,
+            seed_field,
+            fast_s * 1e3,
+            fast_reps,
+            speedup_field,
+            fast_mib_s
+        )
+    }
+}
+
+fn encode_case(data: usize, parity: usize, bytes: usize, reps: usize, with_seed: bool) -> Case {
+    let rs = ReedSolomon::new(data, parity).unwrap();
+    let buf = payload(bytes);
+    // Like-for-like with the seed's encode_bytes: the fast side also pays
+    // the payload split and the shard-buffer allocation, not just the
+    // parity kernel.
+    let fast_s = time_median(reps, || {
+        black_box(rs.encode_bytes_flat(&buf));
+    });
+    let seed_reps = reps.min(10); // the seed path is too slow for full reps
+    let seed = with_seed.then(|| {
+        let seed_rs = RefReedSolomon::new(data, parity);
+        (
+            time_median(seed_reps, || {
+                black_box(seed_rs.encode_bytes(&buf));
+            }),
+            seed_reps,
+        )
+    });
+    Case {
+        name: format!("encode/{data}+{parity}/{}KiB", bytes / KIB),
+        bytes,
+        seed,
+        fast: (fast_s, reps),
+    }
+}
+
+fn reconstruct_case(
+    data: usize,
+    parity: usize,
+    bytes: usize,
+    erased: &[usize],
+    label: &str,
+    reps: usize,
+) -> Case {
+    let rs = ReedSolomon::new(data, parity).unwrap();
+    let encoded = rs.encode_bytes_flat(&payload(bytes));
+    let mut present = vec![true; data + parity];
+    for &i in erased {
+        present[i] = false;
+    }
+
+    let mut set = encoded.clone();
+    let fast_s = time_median(reps, || {
+        rs.reconstruct_into(black_box(&mut set), &present).unwrap()
+    });
+
+    let seed_rs = RefReedSolomon::new(data, parity);
+    let got: Vec<Option<Vec<u8>>> = encoded
+        .iter()
+        .enumerate()
+        .map(|(i, s)| present[i].then(|| s.to_vec()))
+        .collect();
+    let seed_reps = reps.min(10);
+    let seed_s = time_median(seed_reps, || {
+        black_box(seed_rs.reconstruct(&got));
+    });
+
+    Case {
+        name: format!("reconstruct/{data}+{parity}/{}KiB/{label}", bytes / KIB),
+        bytes,
+        seed: Some((seed_s, seed_reps)),
+        fast: (fast_s, reps),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_erasure.json".into());
+    let reps = 30;
+
+    let cases = vec![
+        // Acceptance criterion: >= 5x encode at (8,8)/64 KiB.
+        encode_case(8, 8, 64 * KIB, reps, true),
+        encode_case(4, 2, 64 * KIB, reps, true),
+        encode_case(16, 16, 64 * KIB, reps, true),
+        encode_case(8, 8, MIB, reps, true),
+        encode_case(8, 8, 16 * MIB, 5, false),
+        // Acceptance criterion: >= 10x single-erasure reconstruct.
+        reconstruct_case(8, 8, 64 * KIB, &[0], "single-data", reps),
+        reconstruct_case(8, 8, 64 * KIB, &[8], "single-parity", reps),
+        reconstruct_case(8, 8, 64 * KIB, &[0, 1, 2, 3, 4, 5, 6, 7], "all-data", reps),
+        reconstruct_case(16, 16, 64 * KIB, &[3], "single-data", reps),
+    ];
+
+    let rows: Vec<String> = cases.iter().map(Case::json).collect();
+    let json = format!(
+        "{{\n  \"suite\": \"fi-erasure flat-buffer fast path vs seed scalar reference\",\n  \
+           \"unit_note\": \"per-case medians; rep counts recorded per result (seed = frozen pre-overhaul implementation; encode compared end-to-end incl. payload split and allocation)\",\n  \
+           \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    // Fail loudly if the headline numbers regress below the PR-1 acceptance
+    // bar, so CI catches erasure-path regressions without parsing JSON.
+    let by_name = |n: &str| {
+        cases
+            .iter()
+            .find(|c| c.name.contains(n))
+            .expect("case exists")
+    };
+    let enc = by_name("encode/8+8/64KiB");
+    let rec = by_name("reconstruct/8+8/64KiB/single-data");
+    let enc_speedup = enc.seed.unwrap().0 / enc.fast.0;
+    let rec_speedup = rec.seed.unwrap().0 / rec.fast.0;
+    println!("headline: encode(8,8)/64KiB {enc_speedup:.1}x, single-erasure reconstruct {rec_speedup:.1}x");
+    assert!(
+        enc_speedup >= 5.0,
+        "encode speedup {enc_speedup:.2}x fell below the 5x acceptance bar"
+    );
+    assert!(
+        rec_speedup >= 10.0,
+        "reconstruct speedup {rec_speedup:.2}x fell below the 10x acceptance bar"
+    );
+}

@@ -115,7 +115,9 @@ impl GasSchedule {
     /// Upper bound (in gas) of one `Auto_Refresh` + `Auto_CheckRefresh`
     /// pair for a file with `cp` replicas.
     pub fn refresh_bound(&self, cp: u32) -> u64 {
-        2 * self.task_execute + 2 * self.alloc_write + cp as u64 * self.alloc_read
+        2 * self.task_execute
+            + 2 * self.alloc_write
+            + cp as u64 * self.alloc_read
             + self.task_schedule
     }
 }
@@ -228,7 +230,13 @@ mod tests {
         let mut m = GasMeter::new(12);
         m.charge(&s, Op::RequestBase).unwrap(); // 10
         let err = m.charge(&s, Op::ProofVerify).unwrap_err(); // +20 > 12
-        assert_eq!(err, GasError::OutOfGas { limit: 12, needed: 30 });
+        assert_eq!(
+            err,
+            GasError::OutOfGas {
+                limit: 12,
+                needed: 30
+            }
+        );
         assert_eq!(m.used(), 12);
         assert_eq!(m.remaining(), 0);
     }
@@ -254,8 +262,10 @@ mod tests {
 
     #[test]
     fn tokens_conversion() {
-        let mut s = GasSchedule::default();
-        s.token_per_gas = TokenAmount(3);
+        let s = GasSchedule {
+            token_per_gas: TokenAmount(3),
+            ..GasSchedule::default()
+        };
         assert_eq!(s.to_tokens(7), TokenAmount(21));
     }
 }

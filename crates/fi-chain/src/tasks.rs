@@ -148,36 +148,37 @@ mod tests {
 
     #[test]
     fn property_pop_due_ordered_and_conserving() {
-        use proptest::prelude::*;
-        proptest!(ProptestConfig::with_cases(128), |(
-            schedule in prop::collection::vec((0u64..100, 0u32..1000), 0..80),
-            checkpoints in prop::collection::vec(0u64..120, 1..10),
-        )| {
+        // Seeded randomized cases (DetRng — no registry deps available).
+        for seed in 0..128u64 {
+            let mut rng = fi_crypto::DetRng::from_seed_label(seed, "tasks-prop");
+            let schedule: Vec<(u64, u32)> = (0..rng.below(80))
+                .map(|_| (rng.below(100), rng.below(1000) as u32))
+                .collect();
+            let mut checkpoints: Vec<u64> = (0..1 + rng.below(9)).map(|_| rng.below(120)).collect();
             let mut pl = PendingList::new();
             for &(t, task) in &schedule {
                 pl.schedule(t, task);
             }
-            let mut sorted_checkpoints = checkpoints.clone();
-            sorted_checkpoints.sort_unstable();
+            checkpoints.sort_unstable();
             let mut popped = Vec::new();
-            for &cp in &sorted_checkpoints {
+            for &cp in &checkpoints {
                 for (t, task) in pl.pop_due(cp) {
-                    prop_assert!(t <= cp, "late pop");
+                    assert!(t <= cp, "seed {seed}: late pop");
                     popped.push((t, task));
                 }
             }
             // Time-ordered overall.
             for pair in popped.windows(2) {
-                prop_assert!(pair[0].0 <= pair[1].0);
+                assert!(pair[0].0 <= pair[1].0, "seed {seed}");
             }
             // Conservation: popped + remaining = scheduled.
-            prop_assert_eq!(popped.len() + pl.len(), schedule.len());
+            assert_eq!(popped.len() + pl.len(), schedule.len(), "seed {seed}");
             // Everything still queued is after the last checkpoint.
-            let last = *sorted_checkpoints.last().unwrap();
+            let last = *checkpoints.last().unwrap();
             for (t, _) in pl.iter() {
-                prop_assert!(t > last);
+                assert!(t > last, "seed {seed}");
             }
-        });
+        }
     }
 
     #[test]

@@ -227,11 +227,7 @@ impl MaterializedSector {
             self.next_slot += 1;
             self.crs.insert(
                 slot,
-                CapacityReplica::generate(
-                    &self.sector_tag,
-                    slot,
-                    self.accounting.cr_size as usize,
-                ),
+                CapacityReplica::generate(&self.sector_tag, slot, self.accounting.cr_size as usize),
             );
         }
         replica
@@ -252,8 +248,8 @@ impl MaterializedSector {
 mod tests {
     use super::*;
     use fi_crypto::sha256;
-    use fi_porep::seal::ReplicaId;
     use fi_porep::post::{derive_challenges, WindowPost};
+    use fi_porep::seal::ReplicaId;
 
     #[test]
     fn fig2_lifecycle() {

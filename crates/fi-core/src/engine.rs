@@ -33,6 +33,7 @@ use fi_crypto::{keyed_hash, DetRng, Hash256};
 use crate::drep::CrAccounting;
 use crate::params::{ParamError, ProtocolParams};
 use crate::sampler::WeightedSampler;
+use crate::segment::{reassemble_file, segment_file, SegmentError, SegmentedFile};
 use crate::types::{
     AllocEntry, AllocState, FileDescriptor, FileId, FileState, ProtocolEvent, RemovalReason,
     Sector, SectorId, SectorState,
@@ -85,7 +86,10 @@ impl std::fmt::Display for EngineError {
             EngineError::InsufficientFunds => write!(f, "insufficient funds"),
             EngineError::NoCapacity => write!(f, "no sector with sufficient free space"),
             EngineError::FileTooLarge { size, limit } => {
-                write!(f, "file size {size} exceeds sizeLimit {limit}; erasure-segment it")
+                write!(
+                    f,
+                    "file size {size} exceeds sizeLimit {limit}; erasure-segment it"
+                )
             }
         }
     }
@@ -97,6 +101,17 @@ impl From<ParamError> for EngineError {
     fn from(e: ParamError) -> Self {
         EngineError::Param(e)
     }
+}
+
+/// The result of [`Engine::file_add_segmented`]: the per-segment file ids
+/// (data segments first, parity after — index `i` stores segment `i`) plus
+/// the segmentation plan with the encoded flat buffer.
+#[derive(Debug, Clone)]
+pub struct SegmentedUpload {
+    /// One file id per segment, in segment order.
+    pub files: Vec<FileId>,
+    /// The §VI-C plan: flat segment buffer, per-segment value, geometry.
+    pub segmented: SegmentedFile,
 }
 
 /// Consensus-scheduled tasks (the `Auto_` protocols).
@@ -383,7 +398,9 @@ impl Engine {
         let mut ordered = pending;
         ordered.sort_unstable();
         for (f, i, s) in ordered {
-            let Some(sector) = self.sectors.get(&s) else { continue };
+            let Some(sector) = self.sectors.get(&s) else {
+                continue;
+            };
             if sector.physically_failed {
                 continue;
             }
@@ -407,7 +424,9 @@ impl Engine {
         let mut ordered = held;
         ordered.sort_unstable();
         for (f, i, s) in ordered {
-            let Some(sector) = self.sectors.get(&s) else { continue };
+            let Some(sector) = self.sectors.get(&s) else {
+                continue;
+            };
             if sector.physically_failed || sector.state == SectorState::Corrupted {
                 continue;
             }
@@ -460,7 +479,11 @@ impl Engine {
             .insert(id, CrAccounting::new(capacity, self.params.min_capacity));
         self.sampler.insert(id, capacity);
         self.sector_replicas.insert(id, BTreeSet::new());
-        self.log(ProtocolEvent::SectorRegistered { sector: id, owner, deposit });
+        self.log(ProtocolEvent::SectorRegistered {
+            sector: id,
+            owner,
+            deposit,
+        });
         if self.params.poisson_rebalance {
             self.poisson_swap_in(id);
         }
@@ -589,6 +612,91 @@ impl Engine {
         Ok(id)
     }
 
+    /// §VI-C front door: erasure-segments an oversized `payload` through the
+    /// flat-buffer fast path and registers every segment as an individual
+    /// file, committing each one to a Merkle root hashed directly from the
+    /// shared segment buffer (no per-segment copies).
+    ///
+    /// On a mid-way failure (`NoCapacity`, funds), already-registered
+    /// segments are rolled back — marked discarded directly, with no gas
+    /// charge, so the rollback cannot itself fail when the client is out
+    /// of funds — before the error is returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::InvalidState`] — the payload already fits
+    ///   `sizeLimit` (use [`Engine::file_add`]) or needs more than 127 data
+    ///   shards;
+    /// * any [`Engine::file_add`] error for an individual segment.
+    pub fn file_add_segmented(
+        &mut self,
+        client: AccountId,
+        payload: &[u8],
+        value: TokenAmount,
+    ) -> Result<SegmentedUpload, EngineError> {
+        let segmented = segment_file(payload, value, &self.params).map_err(|e| match e {
+            SegmentError::NotNeeded { .. } => {
+                EngineError::InvalidState("payload fits sizeLimit; use file_add")
+            }
+            SegmentError::TooLarge => {
+                EngineError::InvalidState("file exceeds 127 x sizeLimit; cannot segment")
+            }
+            SegmentError::Erasure(_) => EngineError::InvalidState("erasure coding failed"),
+        })?;
+        let seg_size = segmented.segment_len() as u64;
+        let roots = segmented.segment_roots();
+        let mut files = Vec::with_capacity(roots.len());
+        for root in roots {
+            match self.file_add(client, seg_size, segmented.segment_value, root) {
+                Ok(id) => files.push(id),
+                Err(e) => {
+                    // Consensus-side rollback, not a client request: mark the
+                    // partial upload discarded without charging gas (the
+                    // usual failure here is the client running dry, so a
+                    // gas-charging discard would fail for the same reason
+                    // and orphan the segments).
+                    for &id in &files {
+                        if let Some(f) = self.files.get_mut(&id) {
+                            f.state = FileState::Discarded;
+                            self.discard_reasons
+                                .insert(id, RemovalReason::ClientDiscard);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(SegmentedUpload { files, segmented })
+    }
+
+    /// Recovery path for a segmented upload: looks up which segments still
+    /// have live holders ([`Engine::file_get`] per segment) and reassembles
+    /// the original payload from the surviving ones (read straight from the
+    /// upload's flat buffer), recomputing only what was lost.
+    ///
+    /// # Errors
+    ///
+    /// * [`Engine::file_get`] errors (gas);
+    /// * [`EngineError::InvalidState`] when fewer than half the segments
+    ///   survive — the insurance case: compensation, not recovery.
+    pub fn file_get_segmented(
+        &mut self,
+        caller: AccountId,
+        upload: &SegmentedUpload,
+    ) -> Result<Vec<u8>, EngineError> {
+        let mut received: Vec<Option<&[u8]>> = Vec::with_capacity(upload.files.len());
+        for (i, &file) in upload.files.iter().enumerate() {
+            let alive = match self.file_get(caller, file) {
+                Ok(holders) => !holders.is_empty(),
+                Err(EngineError::UnknownFile(_)) => false,
+                Err(e) => return Err(e),
+            };
+            received.push(alive.then(|| upload.segmented.segment(i)));
+        }
+        reassemble_file(&upload.segmented, &received)
+            .map_err(|_| EngineError::InvalidState("fewer than half the segments survive"))
+    }
+
     /// `File_Discard`: marks the file for removal at its next
     /// `Auto_CheckProof` (Fig. 4).
     ///
@@ -605,7 +713,8 @@ impl Engine {
             return Err(EngineError::NotOwner);
         }
         f.state = FileState::Discarded;
-        self.discard_reasons.insert(file, RemovalReason::ClientDiscard);
+        self.discard_reasons
+            .insert(file, RemovalReason::ClientDiscard);
         self.op_counter += 1;
         Ok(())
     }
@@ -648,8 +757,7 @@ impl Engine {
         }
         e.state = AllocState::Confirm;
         let fee = self.params.traffic_fee(size);
-        self.ledger
-            .transfer_up_to(TRAFFIC_ESCROW, caller, fee);
+        self.ledger.transfer_up_to(TRAFFIC_ESCROW, caller, fee);
         self.op_counter += 1;
         Ok(())
     }
@@ -686,7 +794,9 @@ impl Engine {
             .get_mut(&(file, index))
             .ok_or(EngineError::UnknownFile(file))?;
         if e.prev != Some(sector) {
-            return Err(EngineError::InvalidState("sector does not hold this replica"));
+            return Err(EngineError::InvalidState(
+                "sector does not hold this replica",
+            ));
         }
         e.last = Some(self.chain.now());
         self.stats.proofs_accepted += 1;
@@ -706,7 +816,10 @@ impl Engine {
         file: FileId,
     ) -> Result<Vec<(SectorId, AccountId)>, EngineError> {
         self.charge_gas(caller, &[Op::RequestBase, Op::AllocRead])?;
-        let f = self.files.get(&file).ok_or(EngineError::UnknownFile(file))?;
+        let f = self
+            .files
+            .get(&file)
+            .ok_or(EngineError::UnknownFile(file))?;
         let mut holders = Vec::new();
         for i in 0..f.cp {
             if let Some(e) = self.alloc.get(&(file, i)) {
@@ -764,7 +877,10 @@ impl Engine {
             .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, confiscated)
             .expect("deposit escrow covers pledged deposits");
         self.stats.sectors_corrupted += 1;
-        self.log(ProtocolEvent::SectorCorrupted { sector, confiscated });
+        self.log(ProtocolEvent::SectorCorrupted {
+            sector,
+            confiscated,
+        });
         self.void_sector_content(sector);
         self.op_counter += 1;
     }
@@ -812,7 +928,9 @@ impl Engine {
 
     /// `Auto_CheckAlloc` (Fig. 7).
     fn auto_check_alloc(&mut self, file: FileId) {
-        let Some(desc) = self.files.get(&file) else { return };
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
         let cp = desc.cp;
         let owner = desc.owner;
 
@@ -828,9 +946,7 @@ impl Engine {
             // unconfirmed replicas, release reservations, drop the file.
             let size = self.files[&file].size;
             let unconfirmed = (0..cp)
-                .filter(|&i| {
-                    self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Alloc)
-                })
+                .filter(|&i| self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Alloc))
                 .count() as u128;
             let refund = TokenAmount(self.params.traffic_fee(size).0 * unconfirmed);
             self.ledger.transfer_up_to(TRAFFIC_ESCROW, owner, refund);
@@ -857,7 +973,13 @@ impl Engine {
             }
         }
         let desc = self.files.get_mut(&file).expect("file exists");
-        desc.state = FileState::Normal;
+        // A discard issued during the transfer window (File_Discard, or the
+        // file_add_segmented rollback) must survive finalisation: keep the
+        // state so the first Auto_CheckProof removes the file instead of it
+        // silently reviving as Normal.
+        if desc.state != FileState::Discarded {
+            desc.state = FileState::Normal;
+        }
         desc.cntdown = Self::sample_cntdown(&mut self.rng, self.params.avg_refresh);
         self.pending
             .schedule(now + self.params.proof_cycle, Task::CheckProof(file));
@@ -866,7 +988,9 @@ impl Engine {
 
     /// `Auto_CheckProof` (Fig. 8).
     fn auto_check_proof(&mut self, file: FileId) {
-        let Some(desc) = self.files.get(&file) else { return };
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
         let owner = desc.owner;
         let size = desc.size;
         let cp = desc.cp;
@@ -892,7 +1016,9 @@ impl Engine {
 
         // 2. Late-proof checks per entry.
         for i in 0..cp {
-            let Some(e) = self.alloc.get(&(file, i)) else { continue };
+            let Some(e) = self.alloc.get(&(file, i)) else {
+                continue;
+            };
             if e.state == AllocState::Corrupted {
                 continue;
             }
@@ -923,9 +1049,8 @@ impl Engine {
             self.remove_file_completely(file, reason);
             return;
         }
-        let all_corrupted = (0..cp).all(|i| {
-            self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Corrupted)
-        });
+        let all_corrupted = (0..cp)
+            .all(|i| self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Corrupted));
         if all_corrupted {
             self.compensate_loss(file);
             return;
@@ -942,7 +1067,9 @@ impl Engine {
 
     /// `Auto_Refresh` (Fig. 9).
     fn auto_refresh(&mut self, file: FileId, index: u32) {
-        let Some(desc) = self.files.get(&file) else { return };
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
         let size = desc.size;
         let entry_state = self.alloc.get(&(file, index)).map(|e| e.state);
         if entry_state != Some(AllocState::Normal) {
@@ -988,17 +1115,26 @@ impl Engine {
         self.pending
             .schedule(deadline, Task::CheckRefresh(file, index));
         self.stats.refreshes_started += 1;
-        self.log(ProtocolEvent::ReplicaSwap { file, index, from, to: target });
+        self.log(ProtocolEvent::ReplicaSwap {
+            file,
+            index,
+            from,
+            to: target,
+        });
     }
 
     /// `Auto_CheckRefresh` (Fig. 9).
     fn auto_check_refresh(&mut self, file: FileId, index: u32) {
-        let Some(desc) = self.files.get(&file) else { return };
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
         let size = desc.size;
         let cp = desc.cp;
         let avg = self.params.avg_refresh;
         let now = self.now();
-        let Some(entry) = self.alloc.get(&(file, index)) else { return };
+        let Some(entry) = self.alloc.get(&(file, index)) else {
+            return;
+        };
         let (state, prev, next) = (entry.state, entry.prev, entry.next);
 
         match state {
@@ -1095,8 +1231,10 @@ impl Engine {
     }
 
     fn log(&mut self, event: ProtocolEvent) {
-        self.chain
-            .log(ChainEvent::new(event.kind(), format!("{event:?}").into_bytes()));
+        self.chain.log(ChainEvent::new(
+            event.kind(),
+            format!("{event:?}").into_bytes(),
+        ));
         self.events.push(event);
         self.op_counter += 1;
     }
@@ -1119,7 +1257,9 @@ impl Engine {
         let mut rng = self.rng.clone();
         let mut result = None;
         for _ in 0..=self.params.collision_retry_limit {
-            let Some(&candidate) = self.sampler.sample(&mut rng) else { break };
+            let Some(&candidate) = self.sampler.sample(&mut rng) else {
+                break;
+            };
             let ok = self
                 .sectors
                 .get(&candidate)
@@ -1140,7 +1280,10 @@ impl Engine {
         debug_assert!(s.free_cap >= size, "reservation exceeds free space");
         s.free_cap -= size;
         s.replica_count += 1;
-        self.cr.get_mut(&sector).expect("cr accounting").add_file(size);
+        self.cr
+            .get_mut(&sector)
+            .expect("cr accounting")
+            .add_file(size);
     }
 
     fn release_reservation(&mut self, sector: SectorId, size: u64) {
@@ -1198,7 +1341,9 @@ impl Engine {
     }
 
     fn punish(&mut self, sector: SectorId) {
-        let Some(s) = self.sectors.get_mut(&sector) else { return };
+        let Some(s) = self.sectors.get_mut(&sector) else {
+            return;
+        };
         if s.state == SectorState::Corrupted {
             return;
         }
@@ -1216,7 +1361,9 @@ impl Engine {
 
     /// Deadline miss: confiscate the whole deposit and void the sector.
     fn confiscate_and_corrupt(&mut self, sector: SectorId) {
-        let Some(s) = self.sectors.get_mut(&sector) else { return };
+        let Some(s) = self.sectors.get_mut(&sector) else {
+            return;
+        };
         if s.state == SectorState::Corrupted {
             return;
         }
@@ -1229,7 +1376,10 @@ impl Engine {
             .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, confiscated)
             .expect("escrow covers deposit");
         self.stats.sectors_corrupted += 1;
-        self.log(ProtocolEvent::SectorCorrupted { sector, confiscated });
+        self.log(ProtocolEvent::SectorCorrupted {
+            sector,
+            confiscated,
+        });
         self.void_sector_content(sector);
     }
 
@@ -1243,7 +1393,9 @@ impl Engine {
         let now = self.now();
         for (file, index) in touched {
             let size = self.files.get(&file).map(|f| f.size).unwrap_or(0);
-            let Some(e) = self.alloc.get(&(file, index)) else { continue };
+            let Some(e) = self.alloc.get(&(file, index)) else {
+                continue;
+            };
             let (prev, next, state) = (e.prev, e.next, e.state);
             let incoming = next == Some(sector);
             let holding = prev == Some(sector);
@@ -1303,12 +1455,12 @@ impl Engine {
 
     /// Full compensation on loss (Fig. 8, §IV-B).
     fn compensate_loss(&mut self, file: FileId) {
-        let Some(desc) = self.files.get(&file) else { return };
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
         let owner = desc.owner;
         let value = desc.value;
-        let paid = self
-            .ledger
-            .transfer_up_to(COMPENSATION_POOL, owner, value);
+        let paid = self.ledger.transfer_up_to(COMPENSATION_POOL, owner, value);
         self.stats.files_lost += 1;
         self.stats.value_lost += value;
         self.stats.compensation_paid += paid;
@@ -1323,10 +1475,14 @@ impl Engine {
 
     /// Removes a file and releases everything it holds.
     fn remove_file_completely(&mut self, file: FileId, reason: RemovalReason) {
-        let Some(desc) = self.files.remove(&file) else { return };
+        let Some(desc) = self.files.remove(&file) else {
+            return;
+        };
         self.discard_reasons.remove(&file);
         for i in 0..desc.cp {
-            let Some(e) = self.alloc.remove(&(file, i)) else { continue };
+            let Some(e) = self.alloc.remove(&(file, i)) else {
+                continue;
+            };
             match e.state {
                 AllocState::Normal => {
                     if let Some(s) = e.prev {
@@ -1385,7 +1541,9 @@ impl Engine {
     /// Starts a refresh of `(file, index)` targeted at `sector` (used by
     /// the §VI-B swap-in; ordinary refreshes sample their target).
     fn forced_refresh_to(&mut self, file: FileId, index: u32, sector: SectorId) {
-        let Some(desc) = self.files.get(&file) else { return };
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
         let size = desc.size;
         let ok = self.alloc.get(&(file, index)).map(|e| e.state) == Some(AllocState::Normal)
             && self
@@ -1409,6 +1567,11 @@ impl Engine {
         self.pending
             .schedule(deadline, Task::CheckRefresh(file, index));
         self.stats.refreshes_started += 1;
-        self.log(ProtocolEvent::ReplicaSwap { file, index, from, to: sector });
+        self.log(ProtocolEvent::ReplicaSwap {
+            file,
+            index,
+            from,
+            to: sector,
+        });
     }
 }

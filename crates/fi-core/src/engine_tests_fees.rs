@@ -200,11 +200,10 @@ fn refresh_collision_rearms_countdown() {
         e.advance_to(e.now() + e.params().proof_cycle);
     }
     assert!(e.stats().refresh_collisions > 0, "{:?}", e.stats());
-    assert!(
-        e.events()
-            .iter()
-            .any(|ev| matches!(ev, ProtocolEvent::RefreshCollision { file, .. } if *file == f)),
-    );
+    assert!(e
+        .events()
+        .iter()
+        .any(|ev| matches!(ev, ProtocolEvent::RefreshCollision { file, .. } if *file == f)),);
     assert!(e.file(f).is_some(), "collision is harmless");
 }
 

@@ -139,7 +139,9 @@ impl ProtocolParams {
     /// [`ParamError::OutOfRange`] naming the first violated constraint.
     pub fn validate(&self) -> Result<(), ParamError> {
         if self.min_capacity == 0 {
-            return Err(ParamError::OutOfRange { what: "min_capacity" });
+            return Err(ParamError::OutOfRange {
+                what: "min_capacity",
+            });
         }
         if self.min_value.is_zero() {
             return Err(ParamError::OutOfRange { what: "min_value" });
@@ -148,22 +150,34 @@ impl ProtocolParams {
             return Err(ParamError::OutOfRange { what: "k" });
         }
         if self.proof_cycle == 0 {
-            return Err(ParamError::OutOfRange { what: "proof_cycle" });
+            return Err(ParamError::OutOfRange {
+                what: "proof_cycle",
+            });
         }
         if self.proof_due < self.proof_cycle || self.proof_deadline <= self.proof_due {
-            return Err(ParamError::OutOfRange { what: "proof windows" });
+            return Err(ParamError::OutOfRange {
+                what: "proof windows",
+            });
         }
         if self.avg_refresh <= 0.0 {
-            return Err(ParamError::OutOfRange { what: "avg_refresh" });
+            return Err(ParamError::OutOfRange {
+                what: "avg_refresh",
+            });
         }
         if self.rent_period_cycles == 0 {
-            return Err(ParamError::OutOfRange { what: "rent_period_cycles" });
+            return Err(ParamError::OutOfRange {
+                what: "rent_period_cycles",
+            });
         }
         if self.block_interval == 0 {
-            return Err(ParamError::OutOfRange { what: "block_interval" });
+            return Err(ParamError::OutOfRange {
+                what: "block_interval",
+            });
         }
         if self.gamma_deposit_ppm == 0 {
-            return Err(ParamError::OutOfRange { what: "gamma_deposit_ppm" });
+            return Err(ParamError::OutOfRange {
+                what: "gamma_deposit_ppm",
+            });
         }
         Ok(())
     }
@@ -175,7 +189,7 @@ impl ProtocolParams {
     /// [`ParamError::NotAMultiple`] unless `value` is a positive multiple
     /// of `minValue` (§IV-C.1).
     pub fn backup_count(&self, value: TokenAmount) -> Result<u32, ParamError> {
-        if value.is_zero() || value.0 % self.min_value.0 != 0 {
+        if value.is_zero() || !value.0.is_multiple_of(self.min_value.0) {
             return Err(ParamError::NotAMultiple {
                 what: "file value",
                 value: value.0,
@@ -195,7 +209,7 @@ impl ProtocolParams {
     ///
     /// [`ParamError::NotAMultiple`] on violation.
     pub fn validate_capacity(&self, capacity: u64) -> Result<(), ParamError> {
-        if capacity == 0 || capacity % self.min_capacity != 0 {
+        if capacity == 0 || !capacity.is_multiple_of(self.min_capacity) {
             return Err(ParamError::NotAMultiple {
                 what: "sector capacity",
                 value: capacity as u128,
@@ -282,10 +296,14 @@ mod tests {
         p.proof_deadline = p.proof_due; // deadline must exceed due
         assert_eq!(
             p.validate(),
-            Err(ParamError::OutOfRange { what: "proof windows" })
+            Err(ParamError::OutOfRange {
+                what: "proof windows"
+            })
         );
-        let mut p = ProtocolParams::default();
-        p.k = 0;
+        let p = ProtocolParams {
+            k: 0,
+            ..ProtocolParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
@@ -301,7 +319,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ParamError::NotAMultiple { what: "file value", value: 1500, of: 1000 };
+        let e = ParamError::NotAMultiple {
+            what: "file value",
+            value: 1500,
+            of: 1000,
+        };
         assert!(e.to_string().contains("multiple of 1000"));
     }
 }

@@ -72,7 +72,6 @@ impl<K> WeightedSampler<K> {
 }
 
 impl<K: Copy + Eq + Hash> WeightedSampler<K> {
-
     /// Number of keys present.
     pub fn len(&self) -> usize {
         self.index_of.len()
@@ -240,7 +239,10 @@ mod tests {
             .iter()
             .map(|&w| n as f64 * w as f64 / total as f64)
             .collect();
-        assert!(chi_square_ok(&counts, &expected), "{counts:?} vs {expected:?}");
+        assert!(
+            chi_square_ok(&counts, &expected),
+            "{counts:?} vs {expected:?}"
+        );
     }
 
     #[test]

@@ -13,23 +13,66 @@
 //! the segments reconstructs the file, and assign each segment the value
 //! `2·value/segments` rounded up to a `minValue` multiple — so losing the
 //! file (≥ half the segments gone) pays out at least the original value.
+//!
+//! Segments live in a single contiguous [`ShardSet`] flat buffer: encoding
+//! writes parity in place, per-segment Merkle commitments hash borrowed
+//! slices of the buffer, and reassembly recomputes only the missing
+//! segments.
 
 use fi_chain::account::TokenAmount;
-use fi_erasure::{ReedSolomon, RsError};
+use fi_crypto::merkle::MerkleTree;
+use fi_crypto::Hash256;
+use fi_erasure::{ReedSolomon, RsError, ShardSet};
 
 use crate::params::ProtocolParams;
 
-/// A segmentation plan plus the encoded segment payloads.
+/// Leaf size used when committing to a segment's content (bytes).
+pub const SEGMENT_CHUNK_LEN: usize = 1024;
+
+/// A segmentation plan plus the encoded segment payloads, stored as one
+/// flat buffer (data segments first, then parity).
 #[derive(Debug, Clone)]
 pub struct SegmentedFile {
-    /// Per-segment payloads (all equal length ≤ `sizeLimit`).
-    pub segments: Vec<Vec<u8>>,
+    /// All segments, contiguous: segment `i` is `shards.shard(i)`.
+    pub shards: ShardSet,
     /// Value to declare for each segment (a `minValue` multiple).
     pub segment_value: TokenAmount,
     /// Number of data shards (= parity shards).
     pub data_shards: usize,
     /// Original payload length (needed to strip padding on decode).
     pub original_len: usize,
+}
+
+impl SegmentedFile {
+    /// Number of segments (`2 × data_shards`).
+    pub fn segment_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    /// Length of each segment in bytes.
+    pub fn segment_len(&self) -> usize {
+        self.shards.shard_len()
+    }
+
+    /// Segment `i` as a borrowed slice of the flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn segment(&self, i: usize) -> &[u8] {
+        self.shards.shard(i)
+    }
+
+    /// Iterates all segments as borrowed slices.
+    pub fn segments(&self) -> impl Iterator<Item = &[u8]> {
+        self.shards.iter()
+    }
+
+    /// Per-segment Merkle commitments (the `merkleRoot` each segment is
+    /// registered under), hashed directly from the flat buffer.
+    pub fn segment_roots(&self) -> Vec<Hash256> {
+        MerkleTree::shard_roots(self.shards.flat(), self.segment_len(), SEGMENT_CHUNK_LEN)
+    }
 }
 
 /// Errors from segmentation.
@@ -54,7 +97,10 @@ impl std::fmt::Display for SegmentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SegmentError::NotNeeded { size, limit } => {
-                write!(f, "file of size {size} fits the size limit {limit}; store directly")
+                write!(
+                    f,
+                    "file of size {size} fits the size limit {limit}; store directly"
+                )
             }
             SegmentError::TooLarge => write!(f, "file exceeds 127 x sizeLimit; cannot segment"),
             SegmentError::Erasure(e) => write!(f, "erasure failure: {e}"),
@@ -71,7 +117,7 @@ impl From<RsError> for SegmentError {
 }
 
 /// Splits `payload` (declared `value`) into erasure-coded segments per
-/// §VI-C.
+/// §VI-C, encoding in place in one flat allocation.
 ///
 /// # Errors
 ///
@@ -93,8 +139,8 @@ pub fn segment_file(
         return Err(SegmentError::TooLarge);
     }
     let rs = ReedSolomon::new(data_shards, data_shards).expect("shard counts validated");
-    let segments = rs.encode_bytes(payload);
-    let total = segments.len() as u128; // = 2 × data_shards
+    let shards = rs.encode_bytes_flat(payload);
+    let total = shards.shard_count() as u128; // = 2 × data_shards
 
     // Segment value: 2·value/k rounded UP to a minValue multiple so the
     // insurance property (loss ⇒ payout ≥ value) survives rounding.
@@ -103,7 +149,7 @@ pub fn segment_file(
     let segment_value = TokenAmount(raw.div_ceil(min_value) * min_value);
 
     Ok(SegmentedFile {
-        segments,
+        shards,
         segment_value,
         data_shards,
         original_len: payload.len(),
@@ -113,16 +159,38 @@ pub fn segment_file(
 /// Reassembles the original payload from surviving segments (`None` =
 /// lost). Succeeds whenever at least half the segments survive.
 ///
+/// Survivors are read through borrowed slices (callers keep ownership) and
+/// copied once into a contiguous working buffer; only the missing segments
+/// are then recomputed.
+///
 /// # Errors
 ///
-/// [`SegmentError::Erasure`] when fewer than `data_shards` survive.
+/// [`SegmentError::Erasure`] when fewer than `data_shards` survive or a
+/// survivor has the wrong length.
 pub fn reassemble_file(
     segmented: &SegmentedFile,
-    received: &[Option<Vec<u8>>],
+    received: &[Option<&[u8]>],
 ) -> Result<Vec<u8>, SegmentError> {
     let rs = ReedSolomon::new(segmented.data_shards, segmented.data_shards)
         .expect("shard counts validated at segmentation");
-    Ok(rs.decode_bytes(received, segmented.original_len)?)
+    let total = rs.total_shards();
+    if received.len() != total {
+        return Err(SegmentError::Erasure(RsError::ShapeMismatch));
+    }
+    let len = segmented.segment_len();
+    if received.iter().flatten().any(|s| s.len() != len) {
+        return Err(SegmentError::Erasure(RsError::ShapeMismatch));
+    }
+    let mut set = ShardSet::new(total, len);
+    let mut present = vec![false; total];
+    for (i, slot) in received.iter().enumerate() {
+        if let Some(s) = slot {
+            set.shard_mut(i).copy_from_slice(s);
+            present[i] = true;
+        }
+    }
+    let payload = rs.decode_bytes_flat(&mut set, &present, segmented.original_len)?;
+    Ok(payload.to_vec())
 }
 
 #[cfg(test)]
@@ -144,7 +212,13 @@ mod tests {
     fn small_files_rejected() {
         let p = params();
         let err = segment_file(&payload(100), TokenAmount(1_000), &p).unwrap_err();
-        assert_eq!(err, SegmentError::NotNeeded { size: 100, limit: 100 });
+        assert_eq!(
+            err,
+            SegmentError::NotNeeded {
+                size: 100,
+                limit: 100
+            }
+        );
     }
 
     #[test]
@@ -152,10 +226,12 @@ mod tests {
         let p = params();
         let seg = segment_file(&payload(950), TokenAmount(10_000), &p).unwrap();
         assert_eq!(seg.data_shards, 10);
-        assert_eq!(seg.segments.len(), 20);
-        for s in &seg.segments {
+        assert_eq!(seg.segment_count(), 20);
+        for s in seg.segments() {
             assert!(s.len() as u64 <= p.size_limit);
         }
+        // Flat layout: the data region reproduces the payload prefix.
+        assert_eq!(&seg.shards.flat()[..950], &payload(950)[..]);
     }
 
     #[test]
@@ -163,10 +239,9 @@ mod tests {
         let p = params();
         let data = payload(500);
         let seg = segment_file(&data, TokenAmount(10_000), &p).unwrap();
-        let n = seg.segments.len();
+        let n = seg.segment_count();
         // Lose the first half; recover from the second.
-        let mut received: Vec<Option<Vec<u8>>> =
-            seg.segments.iter().cloned().map(Some).collect();
+        let mut received: Vec<Option<&[u8]>> = seg.segments().map(Some).collect();
         for slot in received.iter_mut().take(n / 2) {
             *slot = None;
         }
@@ -187,7 +262,7 @@ mod tests {
         let p = params();
         for (size, value) in [(201usize, 7_000u128), (999, 123_000), (150, 1_000)] {
             let seg = segment_file(&payload(size), TokenAmount(value), &p).unwrap();
-            let half = seg.segments.len() as u128 / 2;
+            let half = seg.segment_count() as u128 / 2;
             let payout_when_lost = half * seg.segment_value.0;
             assert!(
                 payout_when_lost >= value,
@@ -205,6 +280,34 @@ mod tests {
         assert_eq!(
             segment_file(&huge, TokenAmount(1_000), &p).unwrap_err(),
             SegmentError::TooLarge
+        );
+    }
+
+    #[test]
+    fn segment_roots_commit_to_segment_content() {
+        let p = params();
+        let seg = segment_file(&payload(500), TokenAmount(10_000), &p).unwrap();
+        let roots = seg.segment_roots();
+        assert_eq!(roots.len(), seg.segment_count());
+        for (i, root) in roots.iter().enumerate() {
+            assert_eq!(
+                *root,
+                MerkleTree::from_flat_chunks(seg.segment(i), SEGMENT_CHUNK_LEN).root(),
+                "segment {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_length_survivor_rejected() {
+        let p = params();
+        let seg = segment_file(&payload(300), TokenAmount(5_000), &p).unwrap();
+        let short = vec![0u8; seg.segment_len() - 1];
+        let mut received: Vec<Option<&[u8]>> = seg.segments().map(Some).collect();
+        received[0] = Some(&short);
+        assert_eq!(
+            reassemble_file(&seg, &received).unwrap_err(),
+            SegmentError::Erasure(RsError::ShapeMismatch)
         );
     }
 }

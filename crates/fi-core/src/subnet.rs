@@ -69,11 +69,7 @@ impl SubnetRouter {
     /// # Errors
     ///
     /// Propagates parameter validation failures.
-    pub fn new(
-        base: ProtocolParams,
-        levels: usize,
-        level_factor: u64,
-    ) -> Result<Self, ParamError> {
+    pub fn new(base: ProtocolParams, levels: usize, level_factor: u64) -> Result<Self, ParamError> {
         assert!(levels > 0 && level_factor > 1, "need >=1 level, factor >1");
         let mut engines = Vec::with_capacity(levels);
         for i in 0..levels {
@@ -163,8 +159,10 @@ mod tests {
     use fi_crypto::sha256;
 
     fn router() -> SubnetRouter {
-        let mut base = ProtocolParams::default();
-        base.k = 4;
+        let base = ProtocolParams {
+            k: 4,
+            ..ProtocolParams::default()
+        };
         SubnetRouter::new(base, 3, 10).unwrap()
     }
 

@@ -297,9 +297,19 @@ mod tests {
     fn event_kinds_unique() {
         let events = [
             ProtocolEvent::FileStored { file: FileId(1) }.kind(),
-            ProtocolEvent::FileAdded { file: FileId(1), cp: 1 }.kind(),
-            ProtocolEvent::SectorDisabled { sector: SectorId(1) }.kind(),
-            ProtocolEvent::RentDistributed { total: TokenAmount(1) }.kind(),
+            ProtocolEvent::FileAdded {
+                file: FileId(1),
+                cp: 1,
+            }
+            .kind(),
+            ProtocolEvent::SectorDisabled {
+                sector: SectorId(1),
+            }
+            .kind(),
+            ProtocolEvent::RentDistributed {
+                total: TokenAmount(1),
+            }
+            .kind(),
         ];
         let set: std::collections::HashSet<_> = events.iter().collect();
         assert_eq!(set.len(), events.len());

@@ -41,7 +41,9 @@ impl RandomBeacon {
         let mut h = Sha256::new();
         h.update(b"fi-beacon/genesis");
         h.update(&seed.to_be_bytes());
-        RandomBeacon { genesis: h.finalize() }
+        RandomBeacon {
+            genesis: h.finalize(),
+        }
     }
 
     /// Creates a beacon from a full 32-byte genesis value.

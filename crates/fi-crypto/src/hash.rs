@@ -166,7 +166,10 @@ mod tests {
             keyed_hash("b", &[b"payload"])
         );
         // Length prefixing prevents concatenation ambiguity.
-        assert_ne!(keyed_hash("d", &[b"ab", b"c"]), keyed_hash("d", &[b"a", b"bc"]));
+        assert_ne!(
+            keyed_hash("d", &[b"ab", b"c"]),
+            keyed_hash("d", &[b"a", b"bc"])
+        );
         assert_ne!(keyed_hash("d", &[b"abc"]), keyed_hash("d", &[b"ab", b"c"]));
     }
 

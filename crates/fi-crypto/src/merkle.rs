@@ -67,6 +67,47 @@ impl MerkleTree {
         Self::from_leaf_hashes(leaf_hashes)
     }
 
+    /// Builds a tree over a contiguous buffer, one leaf per `chunk_len`
+    /// bytes (the final chunk may be shorter).
+    ///
+    /// This is the zero-copy commitment path for flat shard buffers
+    /// (`fi_erasure::ShardSet`): every leaf is hashed directly from a
+    /// borrowed sub-slice of `flat`, with no intermediate `Vec` per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is empty or `chunk_len == 0`.
+    pub fn from_flat_chunks(flat: &[u8], chunk_len: usize) -> Self {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        assert!(!flat.is_empty(), "a Merkle tree needs >= 1 leaf");
+        Self::from_leaves(flat.chunks(chunk_len))
+    }
+
+    /// One commitment root per equal-length shard laid out back-to-back in
+    /// `flat`, each shard hashed in `chunk_len`-byte leaves straight from
+    /// the buffer.
+    ///
+    /// FileInsurer stores each erasure segment as an individual file with
+    /// its own `merkleRoot` (§VI-C); this builds all of those commitments in
+    /// one pass over the encoded flat buffer without materialising any
+    /// per-segment copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_len == 0`, `chunk_len == 0`, or `flat.len()` is not
+    /// a multiple of `shard_len`.
+    pub fn shard_roots(flat: &[u8], shard_len: usize, chunk_len: usize) -> Vec<Hash256> {
+        assert!(shard_len > 0, "shard length must be positive");
+        assert_eq!(
+            flat.len() % shard_len,
+            0,
+            "flat buffer must divide into shards"
+        );
+        flat.chunks_exact(shard_len)
+            .map(|shard| Self::from_flat_chunks(shard, chunk_len).root())
+            .collect()
+    }
+
     /// Builds a tree from already-hashed leaves.
     ///
     /// # Panics
@@ -251,5 +292,35 @@ mod tests {
         let t1 = MerkleTree::from_leaves([b"a", b"b"]);
         let t2 = MerkleTree::from_leaves([b"b", b"a"]);
         assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn flat_chunks_equal_copied_leaves() {
+        let flat: Vec<u8> = (0..100u8).collect();
+        for chunk in [1usize, 7, 32, 100, 150] {
+            let copied: Vec<Vec<u8>> = flat.chunks(chunk).map(|c| c.to_vec()).collect();
+            assert_eq!(
+                MerkleTree::from_flat_chunks(&flat, chunk).root(),
+                MerkleTree::from_leaves(copied.iter()).root(),
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_roots_match_individual_trees() {
+        let flat: Vec<u8> = (0..120u8).collect();
+        let roots = MerkleTree::shard_roots(&flat, 40, 16);
+        assert_eq!(roots.len(), 3);
+        for (i, root) in roots.iter().enumerate() {
+            let shard = &flat[i * 40..(i + 1) * 40];
+            assert_eq!(
+                *root,
+                MerkleTree::from_flat_chunks(shard, 16).root(),
+                "shard {i}"
+            );
+        }
+        // Distinct shards commit to distinct roots.
+        assert_ne!(roots[0], roots[1]);
     }
 }

@@ -13,11 +13,18 @@
 //!
 //! This crate implements, from scratch:
 //!
-//! * [`gf256`] — the field GF(2^8) with the AES polynomial `x^8+x^4+x^3+x+1`,
-//!   log/antilog tables built at construction time;
+//! * [`gf256`] — the field GF(2^8) with the AES polynomial `x^8+x^4+x^3+x+1`;
+//!   log/antilog tables plus a 256×256 product table, built once per process
+//!   and shared (`OnceLock`), with a branch-free `u64`-wide `mul_acc` kernel;
+//! * [`shard_set`] — a contiguous flat shard buffer (one allocation for all
+//!   `total × shard_len` bytes) that the zero-copy fast path operates on;
 //! * [`rs`] — a systematic Reed–Solomon encoder/decoder over GF(2^8) using a
-//!   Vandermonde-derived generator matrix and Gaussian-elimination recovery,
-//!   supporting any `(data, parity)` with `data + parity <= 255`.
+//!   Vandermonde-derived generator matrix, supporting any `(data, parity)`
+//!   with `data + parity <= 255`; `encode_into`/`reconstruct_into` work in
+//!   place on a [`ShardSet`] and recompute only erased shards;
+//! * [`reference`] — a frozen copy of the seed scalar implementation, kept
+//!   for differential tests and honest old-vs-new benchmarks (see
+//!   DESIGN.md §5).
 //!
 //! # Example
 //!
@@ -34,7 +41,10 @@
 //! ```
 
 pub mod gf256;
+pub mod reference;
 pub mod rs;
+pub mod shard_set;
 
 pub use gf256::Gf256;
 pub use rs::{ReedSolomon, RsError};
+pub use shard_set::ShardSet;

@@ -8,8 +8,21 @@
 //! linear combinations — and **any** `data` surviving shards suffice to
 //! recover, exactly the "recover from any half of the segments" property the
 //! paper uses in §VI-C.
+//!
+//! Two API tiers:
+//!
+//! * the **flat-buffer fast path** — [`ReedSolomon::encode_into`] /
+//!   [`ReedSolomon::reconstruct_into`] operate in place on a [`ShardSet`]
+//!   (one contiguous allocation), never clone a data shard, and on
+//!   reconstruction recompute **only** the erased rows via the inverted
+//!   sub-matrix;
+//! * the seed-compatible **owning API** — [`ReedSolomon::encode`] /
+//!   [`ReedSolomon::reconstruct`] on `Vec<Vec<u8>>`, now thin wrappers over
+//!   the fast path (kept because the copies are inherent to returning owned
+//!   shards).
 
 use crate::gf256::Gf256;
+use crate::shard_set::ShardSet;
 
 /// Errors returned by [`ReedSolomon`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,10 +49,19 @@ impl std::fmt::Display for RsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RsError::BadParameters { data, parity } => {
-                write!(f, "invalid reed-solomon parameters ({data} data, {parity} parity)")
+                write!(
+                    f,
+                    "invalid reed-solomon parameters ({data} data, {parity} parity)"
+                )
             }
-            RsError::NotEnoughShards { available, required } => {
-                write!(f, "not enough shards: {available} available, {required} required")
+            RsError::NotEnoughShards {
+                available,
+                required,
+            } => {
+                write!(
+                    f,
+                    "not enough shards: {available} available, {required} required"
+                )
             }
             RsError::ShapeMismatch => write!(f, "shard shape mismatch"),
         }
@@ -58,7 +80,11 @@ struct Matrix {
 
 impl Matrix {
     fn zero(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     fn identity(n: usize) -> Self {
@@ -168,6 +194,21 @@ impl Matrix {
 /// let recovered = rs.reconstruct(&got).unwrap();
 /// assert_eq!(recovered[..3], data_shards[..]);
 /// ```
+///
+/// The zero-copy fast path works in place on a [`ShardSet`]:
+///
+/// ```
+/// use fi_erasure::{ReedSolomon, ShardSet};
+///
+/// let rs = ReedSolomon::new(4, 4).unwrap();
+/// let mut set = rs.encode_bytes_flat(b"the paper's half-loss property");
+/// let mut present = vec![true; 8];
+/// for i in [0, 2, 5, 7] {
+///     present[i] = false; // lose half the shards
+/// }
+/// rs.reconstruct_into(&mut set, &present).unwrap();
+/// assert_eq!(&set.flat()[..8], b"the pape");
+/// ```
 #[derive(Debug, Clone)]
 pub struct ReedSolomon {
     data: usize,
@@ -210,7 +251,12 @@ impl ReedSolomon {
             .inverse(&gf)
             .expect("vandermonde top square is invertible");
         let encode_matrix = vand.mul(&gf, &top_inv);
-        Ok(ReedSolomon { data, parity, gf, encode_matrix })
+        Ok(ReedSolomon {
+            data,
+            parity,
+            gf,
+            encode_matrix,
+        })
     }
 
     /// Number of data shards.
@@ -228,6 +274,144 @@ impl ReedSolomon {
         self.data + self.parity
     }
 
+    // ------------------------------------------------------------------
+    // Flat-buffer fast path
+    // ------------------------------------------------------------------
+
+    /// Fills the parity rows of `set` in place from its data rows.
+    ///
+    /// `set` must have `total_shards()` rows with the data shards already in
+    /// rows `0..data_shards()`. No shard is copied; each parity row is
+    /// accumulated directly in the flat buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::ShapeMismatch`] if `set` has the wrong number of rows.
+    pub fn encode_into(&self, set: &mut ShardSet) -> Result<(), RsError> {
+        if set.shard_count() != self.total_shards() {
+            return Err(RsError::ShapeMismatch);
+        }
+        let gf = self.gf;
+        for p in 0..self.parity {
+            let row_idx = self.data + p;
+            set.shard_mut(row_idx).fill(0);
+            for c in 0..self.data {
+                let coeff = self.encode_matrix.get(row_idx, c);
+                if coeff == 0 {
+                    continue;
+                }
+                set.with_rows(row_idx, c, |dst, src| gf.mul_acc(dst, src, coeff));
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores the erased rows of `set` in place; `present[i]` says whether
+    /// row `i` still holds its original content.
+    ///
+    /// Unlike the seed path (which decoded all data and re-derived **every**
+    /// parity shard), this recomputes **only** the erased rows: erased data
+    /// rows come from the inverted sub-matrix over the first `data` present
+    /// rows, erased parity rows are then re-encoded from the (now complete)
+    /// data rows. Rows marked present are never touched.
+    ///
+    /// # Errors
+    ///
+    /// * [`RsError::ShapeMismatch`] — wrong row count or `present` arity;
+    /// * [`RsError::NotEnoughShards`] — fewer than `data_shards()` present.
+    pub fn reconstruct_into(&self, set: &mut ShardSet, present: &[bool]) -> Result<(), RsError> {
+        let total = self.total_shards();
+        if set.shard_count() != total || present.len() != total {
+            return Err(RsError::ShapeMismatch);
+        }
+        let available: Vec<usize> = (0..total).filter(|&i| present[i]).collect();
+        if available.len() < self.data {
+            return Err(RsError::NotEnoughShards {
+                available: available.len(),
+                required: self.data,
+            });
+        }
+        let gf = self.gf;
+
+        let erased_data: Vec<usize> = (0..self.data).filter(|&i| !present[i]).collect();
+        if !erased_data.is_empty() {
+            // Take the first `data` available rows; the corresponding
+            // sub-matrix of the encoding matrix is invertible by design.
+            let chosen = &available[..self.data];
+            let mut sub = Matrix::zero(self.data, self.data);
+            for (r, &shard_idx) in chosen.iter().enumerate() {
+                for c in 0..self.data {
+                    sub.set(r, c, self.encode_matrix.get(shard_idx, c));
+                }
+            }
+            let inv = sub.inverse(&gf).expect("any data rows are invertible");
+            for &d in &erased_data {
+                set.shard_mut(d).fill(0);
+                for (r, &src) in chosen.iter().enumerate() {
+                    let coeff = inv.get(d, r);
+                    if coeff == 0 {
+                        continue;
+                    }
+                    // `d` is erased, `src` is present, so the rows differ.
+                    set.with_rows(d, src, |dst, s| gf.mul_acc(dst, s, coeff));
+                }
+            }
+        }
+
+        for p in 0..self.parity {
+            let row_idx = self.data + p;
+            if present[row_idx] {
+                continue;
+            }
+            set.shard_mut(row_idx).fill(0);
+            for c in 0..self.data {
+                let coeff = self.encode_matrix.get(row_idx, c);
+                if coeff == 0 {
+                    continue;
+                }
+                set.with_rows(row_idx, c, |dst, src| gf.mul_acc(dst, src, coeff));
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits `payload` across the data rows of a fresh [`ShardSet`]
+    /// (zero-padded, shard length `ceil(len / data)`, min 1) and encodes in
+    /// place — the zero-copy counterpart of [`ReedSolomon::encode_bytes`].
+    pub fn encode_bytes_flat(&self, payload: &[u8]) -> ShardSet {
+        let mut set = ShardSet::from_payload(payload, self.data, self.total_shards());
+        self.encode_into(&mut set)
+            .expect("shape is valid by construction");
+        set
+    }
+
+    /// Recovers the first `original_len` payload bytes in place and returns
+    /// them as a borrowed slice of `set`'s data region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReedSolomon::reconstruct_into`] errors, plus
+    /// [`RsError::ShapeMismatch`] when `original_len` exceeds the data
+    /// region.
+    pub fn decode_bytes_flat<'s>(
+        &self,
+        set: &'s mut ShardSet,
+        present: &[bool],
+        original_len: usize,
+    ) -> Result<&'s [u8], RsError> {
+        if original_len > self.data * set.shard_len() {
+            return Err(RsError::ShapeMismatch);
+        }
+        // Only the data region is needed; erased parity rows still get
+        // restored (cheaply) so `set` is left fully consistent.
+        self.reconstruct_into(set, present)?;
+        Ok(&set.flat()[..original_len])
+    }
+
+    // ------------------------------------------------------------------
+    // Owning (seed-compatible) API
+    // ------------------------------------------------------------------
+
     /// Encodes `data` shards into `data + parity` shards (data first).
     ///
     /// # Errors
@@ -242,12 +426,16 @@ impl ReedSolomon {
         if data_shards.iter().any(|s| s.len() != len) {
             return Err(RsError::ShapeMismatch);
         }
-        let mut out: Vec<Vec<u8>> = data_shards.to_vec();
+        let gf = self.gf;
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
+        out.extend_from_slice(data_shards);
         for p in 0..self.parity {
-            let row = self.encode_matrix.row(self.data + p).to_vec();
+            // Borrow the matrix row directly — the seed path `to_vec`ed it
+            // on every call.
+            let row = self.encode_matrix.row(self.data + p);
             let mut shard = vec![0u8; len];
             for (c, &coeff) in row.iter().enumerate() {
-                self.gf.mul_acc(&mut shard, &data_shards[c], coeff);
+                gf.mul_acc(&mut shard, &data_shards[c], coeff);
             }
             out.push(shard);
         }
@@ -264,63 +452,15 @@ impl ReedSolomon {
     /// * [`RsError::ShapeMismatch`] — wrong arity or inconsistent lengths.
     /// * [`RsError::NotEnoughShards`] — fewer than `data_shards()` present.
     pub fn reconstruct(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<Vec<u8>>, RsError> {
-        if shards.len() != self.total_shards() {
-            return Err(RsError::ShapeMismatch);
-        }
-        let available: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
-        if available.len() < self.data {
-            return Err(RsError::NotEnoughShards {
-                available: available.len(),
-                required: self.data,
-            });
-        }
-        let len = shards[available[0]].as_ref().unwrap().len();
-        if available.iter().any(|&i| shards[i].as_ref().unwrap().len() != len) {
-            return Err(RsError::ShapeMismatch);
-        }
-
-        // Fast path: all data shards present.
-        let data_present = (0..self.data).all(|i| shards[i].is_some());
-        let data_shards: Vec<Vec<u8>> = if data_present {
-            (0..self.data)
-                .map(|i| shards[i].as_ref().unwrap().clone())
-                .collect()
-        } else {
-            // Take the first `data` available rows; the corresponding
-            // sub-matrix of the encoding matrix is invertible by design.
-            let chosen = &available[..self.data];
-            let mut sub = Matrix::zero(self.data, self.data);
-            for (r, &shard_idx) in chosen.iter().enumerate() {
-                for c in 0..self.data {
-                    sub.set(r, c, self.encode_matrix.get(shard_idx, c));
-                }
-            }
-            let inv = sub.inverse(&self.gf).expect("any data rows are invertible");
-            (0..self.data)
-                .map(|d| {
-                    let mut shard = vec![0u8; len];
-                    for (r, &shard_idx) in chosen.iter().enumerate() {
-                        let coeff = inv.get(d, r);
-                        self.gf
-                            .mul_acc(&mut shard, shards[shard_idx].as_ref().unwrap(), coeff);
-                    }
-                    shard
-                })
-                .collect()
-        };
-
-        self.encode(&data_shards)
+        let (mut set, present) = self.gather(shards)?;
+        self.reconstruct_into(&mut set, &present)?;
+        Ok(set.to_vecs())
     }
 
     /// Convenience: splits `payload` into `data` equal shards (zero-padded)
     /// and encodes. Shard size is `ceil(len / data)`.
     pub fn encode_bytes(&self, payload: &[u8]) -> Vec<Vec<u8>> {
-        let shard_len = payload.len().div_ceil(self.data).max(1);
-        let mut data_shards = vec![vec![0u8; shard_len]; self.data];
-        for (i, &b) in payload.iter().enumerate() {
-            data_shards[i / shard_len][i % shard_len] = b;
-        }
-        self.encode(&data_shards).expect("shape is valid by construction")
+        self.encode_bytes_flat(payload).to_vecs()
     }
 
     /// Convenience: inverse of [`ReedSolomon::encode_bytes`], truncating the
@@ -334,20 +474,42 @@ impl ReedSolomon {
         shards: &[Option<Vec<u8>>],
         original_len: usize,
     ) -> Result<Vec<u8>, RsError> {
-        let all = self.reconstruct(shards)?;
-        let mut out = Vec::with_capacity(original_len);
-        'outer: for shard in &all[..self.data] {
-            for &b in shard {
-                if out.len() == original_len {
-                    break 'outer;
-                }
-                out.push(b);
-            }
-        }
-        if out.len() < original_len {
+        let (mut set, present) = self.gather(shards)?;
+        Ok(self
+            .decode_bytes_flat(&mut set, &present, original_len)?
+            .to_vec())
+    }
+
+    /// Validates an `Option<Vec<u8>>` shard vector and packs the present
+    /// shards into a flat [`ShardSet`] plus a presence mask.
+    fn gather(&self, shards: &[Option<Vec<u8>>]) -> Result<(ShardSet, Vec<bool>), RsError> {
+        let total = self.total_shards();
+        if shards.len() != total {
             return Err(RsError::ShapeMismatch);
         }
-        Ok(out)
+        let available: Vec<usize> = (0..total).filter(|&i| shards[i].is_some()).collect();
+        if available.is_empty() {
+            return Err(RsError::NotEnoughShards {
+                available: 0,
+                required: self.data,
+            });
+        }
+        let len = shards[available[0]].as_ref().unwrap().len();
+        if available
+            .iter()
+            .any(|&i| shards[i].as_ref().unwrap().len() != len)
+        {
+            return Err(RsError::ShapeMismatch);
+        }
+        let mut set = ShardSet::new(total, len);
+        let mut present = vec![false; total];
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(v) = s {
+                set.shard_mut(i).copy_from_slice(v);
+                present[i] = true;
+            }
+        }
+        Ok((set, present))
     }
 }
 
@@ -385,8 +547,7 @@ mod tests {
         for a in 0..total {
             for b in a + 1..total {
                 for c in b + 1..total {
-                    let mut got: Vec<Option<Vec<u8>>> =
-                        encoded.iter().cloned().map(Some).collect();
+                    let mut got: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
                     got[a] = None;
                     got[b] = None;
                     got[c] = None;
@@ -395,6 +556,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reconstruct_into_only_touches_erased_rows() {
+        let rs = ReedSolomon::new(4, 3).unwrap();
+        let payload = sample_payload(200);
+        let mut set = rs.encode_bytes_flat(&payload);
+        let pristine = set.clone();
+        // Poison one erased row; everything else must come back identical
+        // without being rewritten.
+        let mut present = vec![true; 7];
+        present[2] = false;
+        set.shard_mut(2).fill(0xEE);
+        rs.reconstruct_into(&mut set, &present).unwrap();
+        assert_eq!(set, pristine);
     }
 
     #[test]
@@ -407,7 +583,10 @@ mod tests {
         got[2] = None;
         assert_eq!(
             rs.reconstruct(&got),
-            Err(RsError::NotEnoughShards { available: 3, required: 4 })
+            Err(RsError::NotEnoughShards {
+                available: 3,
+                required: 4
+            })
         );
     }
 
@@ -447,6 +626,15 @@ mod tests {
     }
 
     #[test]
+    fn flat_and_owning_encodes_agree() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let payload = sample_payload(333);
+        let flat = rs.encode_bytes_flat(&payload);
+        let owned = rs.encode_bytes(&payload);
+        assert_eq!(flat.to_vecs(), owned);
+    }
+
+    #[test]
     fn shape_mismatch_detected() {
         let rs = ReedSolomon::new(2, 1).unwrap();
         assert_eq!(
@@ -456,11 +644,21 @@ mod tests {
         assert_eq!(rs.encode(&[vec![1, 2]]), Err(RsError::ShapeMismatch));
         let bad = vec![Some(vec![1u8, 2]), Some(vec![3u8]), None];
         assert_eq!(rs.reconstruct(&bad), Err(RsError::ShapeMismatch));
+        // Flat path: wrong row count.
+        let mut set = ShardSet::new(2, 4);
+        assert_eq!(rs.encode_into(&mut set), Err(RsError::ShapeMismatch));
+        assert_eq!(
+            rs.reconstruct_into(&mut set, &[true, true]),
+            Err(RsError::ShapeMismatch)
+        );
     }
 
     #[test]
     fn error_display() {
-        let e = RsError::NotEnoughShards { available: 1, required: 4 };
+        let e = RsError::NotEnoughShards {
+            available: 1,
+            required: 4,
+        };
         assert!(e.to_string().contains("1 available"));
     }
 }

@@ -1,0 +1,245 @@
+//! A contiguous, flat shard buffer.
+//!
+//! The seed erasure API moved `Vec<Vec<u8>>` everywhere: one heap allocation
+//! per shard, cloned on encode, cloned again on reconstruct. [`ShardSet`]
+//! replaces that with **one** allocation of `shards × shard_len` bytes laid
+//! out row-major, so
+//!
+//! * encode writes parity in place with zero copies of the data shards,
+//! * reconstruct recomputes only the erased rows,
+//! * consumers (segment commitments, hashing, network transfer) can read
+//!   each shard as a borrowed slice of the flat buffer — or the whole buffer
+//!   at once.
+
+/// A fixed-shape set of equal-length shards in one contiguous allocation.
+///
+/// Row `i` (shard `i`) occupies bytes `i*shard_len .. (i+1)*shard_len` of
+/// the flat buffer. Data shards conventionally come first, parity after,
+/// matching [`crate::ReedSolomon`]'s systematic layout.
+///
+/// # Example
+///
+/// ```
+/// use fi_erasure::ShardSet;
+///
+/// let mut set = ShardSet::new(3, 4);
+/// set.shard_mut(1).copy_from_slice(b"abcd");
+/// assert_eq!(set.shard(1), b"abcd");
+/// assert_eq!(set.flat().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSet {
+    shards: usize,
+    shard_len: usize,
+    buf: Vec<u8>,
+}
+
+impl ShardSet {
+    /// A zero-filled set of `shards` shards of `shard_len` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, shard_len: usize) -> Self {
+        assert!(shards > 0, "a shard set needs at least one shard");
+        ShardSet {
+            shards,
+            shard_len,
+            buf: vec![0u8; shards * shard_len],
+        }
+    }
+
+    /// Wraps an existing flat buffer (`shards` rows of equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `buf.len()` is not a multiple of `shards`.
+    pub fn from_flat(buf: Vec<u8>, shards: usize) -> Self {
+        assert!(shards > 0, "a shard set needs at least one shard");
+        assert_eq!(
+            buf.len() % shards,
+            0,
+            "flat buffer must divide into equal shards"
+        );
+        ShardSet {
+            shards,
+            shard_len: buf.len() / shards,
+            buf,
+        }
+    }
+
+    /// Lays `payload` out over the first `data_shards` rows of a new
+    /// `total_shards`-row set, zero-padding the tail. The shard length is
+    /// `ceil(payload.len() / data_shards)` (min 1), matching
+    /// [`crate::ReedSolomon::encode_bytes`].
+    ///
+    /// Unlike the seed path, this is a bulk `copy_from_slice` — no per-byte
+    /// division/modulo addressing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_shards == 0` or `total_shards < data_shards`.
+    pub fn from_payload(payload: &[u8], data_shards: usize, total_shards: usize) -> Self {
+        assert!(data_shards > 0, "need at least one data shard");
+        assert!(
+            total_shards >= data_shards,
+            "total must include the data shards"
+        );
+        let shard_len = payload.len().div_ceil(data_shards).max(1);
+        let mut set = ShardSet::new(total_shards, shard_len);
+        set.buf[..payload.len()].copy_from_slice(payload);
+        set
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Length of every shard.
+    pub fn shard_len(&self) -> usize {
+        self.shard_len
+    }
+
+    /// Shard `i` as a borrowed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn shard(&self, i: usize) -> &[u8] {
+        assert!(i < self.shards, "shard index {i} out of {}", self.shards);
+        &self.buf[i * self.shard_len..(i + 1) * self.shard_len]
+    }
+
+    /// Shard `i` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn shard_mut(&mut self, i: usize) -> &mut [u8] {
+        assert!(i < self.shards, "shard index {i} out of {}", self.shards);
+        &mut self.buf[i * self.shard_len..(i + 1) * self.shard_len]
+    }
+
+    /// The whole buffer, row-major.
+    pub fn flat(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// The whole buffer, mutably.
+    pub fn flat_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Consumes the set, returning the flat buffer.
+    pub fn into_flat(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Iterates the shards as borrowed slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.shards).map(move |i| self.shard(i))
+    }
+
+    /// Copies the shards out into the seed `Vec<Vec<u8>>` shape (for
+    /// interop with the owning API; the fast paths never call this).
+    pub fn to_vecs(&self) -> Vec<Vec<u8>> {
+        (0..self.shards).map(|i| self.shard(i).to_vec()).collect()
+    }
+
+    /// Borrows shard `target` mutably and shard `source` immutably at the
+    /// same time, passing both to `f` — the aliasing-safe primitive that
+    /// lets reconstruction accumulate into one row while streaming others.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target == source` or either index is out of bounds.
+    pub fn with_rows<R>(
+        &mut self,
+        target: usize,
+        source: usize,
+        f: impl FnOnce(&mut [u8], &[u8]) -> R,
+    ) -> R {
+        assert!(
+            target < self.shards && source < self.shards,
+            "row out of bounds"
+        );
+        assert_ne!(target, source, "target and source rows must differ");
+        let len = self.shard_len;
+        if target < source {
+            let (head, tail) = self.buf.split_at_mut(source * len);
+            f(&mut head[target * len..(target + 1) * len], &tail[..len])
+        } else {
+            let (head, tail) = self.buf.split_at_mut(target * len);
+            f(&mut tail[..len], &head[source * len..(source + 1) * len])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_accessors() {
+        let mut set = ShardSet::new(4, 3);
+        for i in 0..4 {
+            set.shard_mut(i).fill(i as u8);
+        }
+        assert_eq!(set.flat(), &[0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        assert_eq!(set.shard(2), &[2, 2, 2]);
+        let rows: Vec<&[u8]> = set.iter().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3], &[3, 3, 3]);
+        assert_eq!(set.to_vecs()[1], vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn from_payload_pads_and_places() {
+        let set = ShardSet::from_payload(b"abcdefg", 3, 5);
+        assert_eq!(set.shard_len(), 3); // ceil(7/3)
+        assert_eq!(set.shard_count(), 5);
+        assert_eq!(set.shard(0), b"abc");
+        assert_eq!(set.shard(1), b"def");
+        assert_eq!(set.shard(2), &[b'g', 0, 0]);
+        assert_eq!(set.shard(3), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_payload_gets_min_length_one() {
+        let set = ShardSet::from_payload(b"", 3, 6);
+        assert_eq!(set.shard_len(), 1);
+        assert_eq!(set.flat(), &[0u8; 6]);
+    }
+
+    #[test]
+    fn with_rows_borrows_disjoint_pairs_both_directions() {
+        let mut set = ShardSet::new(3, 2);
+        set.shard_mut(0).copy_from_slice(&[1, 2]);
+        set.shard_mut(2).copy_from_slice(&[10, 20]);
+        set.with_rows(1, 0, |dst, src| dst.copy_from_slice(src));
+        assert_eq!(set.shard(1), &[1, 2]);
+        set.with_rows(1, 2, |dst, src| {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= s;
+            }
+        });
+        assert_eq!(set.shard(1), &[11, 22]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target and source rows must differ")]
+    fn with_rows_rejects_aliasing() {
+        let mut set = ShardSet::new(2, 1);
+        set.with_rows(1, 1, |_, _| ());
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let set = ShardSet::from_flat(vec![9u8; 8], 2);
+        assert_eq!(set.shard_len(), 4);
+        assert_eq!(set.clone().into_flat(), vec![9u8; 8]);
+    }
+}

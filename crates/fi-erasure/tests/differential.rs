@@ -1,0 +1,245 @@
+//! Differential tests: the flat-buffer/table-accelerated fast path must be
+//! **byte-identical** to the frozen seed scalar implementation
+//! (`fi_erasure::reference`) on every input — random payloads, coefficients,
+//! shard geometries, and erasure patterns, plus the edges (empty payload,
+//! sub-word shard lengths, all parity lost, all data lost).
+//!
+//! A tiny xorshift generator keeps the suite deterministic without external
+//! dependencies.
+
+use fi_erasure::reference::{RefGf256, RefReedSolomon};
+use fi_erasure::{Gf256, ReedSolomon, ShardSet};
+
+/// Deterministic xorshift64* stream.
+struct Xs(u64);
+
+impl Xs {
+    fn new(seed: u64) -> Self {
+        Xs(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next() as u8).collect()
+    }
+}
+
+#[test]
+fn mul_matches_reference_exhaustively() {
+    let gf = Gf256::new();
+    let reference = RefGf256::new();
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            assert_eq!(gf.mul(a, b), reference.mul(a, b), "a={a} b={b}");
+        }
+    }
+}
+
+#[test]
+fn wide_mul_acc_matches_reference_all_coefficients() {
+    let gf = Gf256::new();
+    let reference = RefGf256::new();
+    let mut rng = Xs::new(7);
+    // Every coefficient, across lengths that straddle the u64 chunking.
+    for coeff in 0..=255u8 {
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let src = rng.bytes(len);
+            let mut fast = rng.bytes(len);
+            let mut slow = fast.clone();
+            gf.mul_acc(&mut fast, &src, coeff);
+            reference.mul_acc(&mut slow, &src, coeff);
+            assert_eq!(fast, slow, "coeff={coeff} len={len}");
+        }
+    }
+}
+
+#[test]
+fn wide_mul_acc_matches_reference_long_random_streams() {
+    let gf = Gf256::new();
+    let reference = RefGf256::new();
+    let mut rng = Xs::new(99);
+    for trial in 0..40 {
+        let len = 1 + rng.below(10_000) as usize;
+        let coeff = rng.next() as u8;
+        let src = rng.bytes(len);
+        let mut fast = rng.bytes(len);
+        let mut slow = fast.clone();
+        gf.mul_acc(&mut fast, &src, coeff);
+        reference.mul_acc(&mut slow, &src, coeff);
+        assert_eq!(fast, slow, "trial={trial} coeff={coeff} len={len}");
+    }
+}
+
+#[test]
+fn encode_matches_reference_across_geometries() {
+    let mut rng = Xs::new(1234);
+    for (data, parity) in [
+        (1usize, 1usize),
+        (2, 1),
+        (3, 3),
+        (4, 2),
+        (8, 8),
+        (16, 16),
+        (10, 3),
+    ] {
+        let rs = ReedSolomon::new(data, parity).unwrap();
+        let reference = RefReedSolomon::new(data, parity);
+        for payload_len in [0usize, 1, 5, 64, 1000, 4096 + 3] {
+            let payload = rng.bytes(payload_len);
+            let fast = rs.encode_bytes_flat(&payload);
+            let slow = reference.encode_bytes(&payload);
+            assert_eq!(
+                fast.to_vecs(),
+                slow,
+                "({data},{parity}) payload_len={payload_len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn reconstruct_matches_reference_random_erasure_patterns() {
+    let mut rng = Xs::new(4321);
+    for (data, parity) in [(2usize, 2usize), (4, 3), (8, 8), (5, 2)] {
+        let rs = ReedSolomon::new(data, parity).unwrap();
+        let reference = RefReedSolomon::new(data, parity);
+        let total = data + parity;
+        for trial in 0..30 {
+            let len = 1 + rng.below(2000) as usize;
+            let payload = rng.bytes(len);
+            let encoded = reference.encode_bytes(&payload);
+            // Erase a random subset of at most `parity` shards.
+            let mut present = vec![true; total];
+            let erasures = rng.below(parity as u64 + 1) as usize;
+            let mut erased = 0;
+            while erased < erasures {
+                let i = rng.below(total as u64) as usize;
+                if present[i] {
+                    present[i] = false;
+                    erased += 1;
+                }
+            }
+
+            // Reference: full reconstruct from Options.
+            let got: Vec<Option<Vec<u8>>> = encoded
+                .iter()
+                .enumerate()
+                .map(|(i, s)| present[i].then(|| s.clone()))
+                .collect();
+            let slow = reference.reconstruct(&got);
+
+            // Fast path: in-place on the flat buffer with erased rows
+            // poisoned to catch any row the kernel forgets to rewrite.
+            let shard_len = encoded[0].len();
+            let mut set = ShardSet::new(total, shard_len);
+            for (i, shard) in encoded.iter().enumerate() {
+                if present[i] {
+                    set.shard_mut(i).copy_from_slice(shard);
+                } else {
+                    set.shard_mut(i).fill(0xEE);
+                }
+            }
+            rs.reconstruct_into(&mut set, &present).unwrap();
+            assert_eq!(
+                set.to_vecs(),
+                slow,
+                "({data},{parity}) trial={trial} pattern={present:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn reconstruct_matches_reference_edge_patterns() {
+    // The adversarial edges: all data lost, all parity lost, exactly-half
+    // alternating loss, single erasure in every position.
+    let rs = ReedSolomon::new(8, 8).unwrap();
+    let reference = RefReedSolomon::new(8, 8);
+    let payload: Vec<u8> = (0..5000).map(|i| (i * 131 % 256) as u8).collect();
+    let encoded = reference.encode_bytes(&payload);
+    let total = 16;
+
+    let mut patterns: Vec<Vec<bool>> = vec![
+        (0..total).map(|i| i >= 8).collect(),     // all data lost
+        (0..total).map(|i| i < 8).collect(),      // all parity lost
+        (0..total).map(|i| i % 2 == 1).collect(), // alternating half
+    ];
+    for i in 0..total {
+        let mut p = vec![true; total];
+        p[i] = false; // single erasure at every position
+        patterns.push(p);
+    }
+
+    for present in patterns {
+        let got: Vec<Option<Vec<u8>>> = encoded
+            .iter()
+            .enumerate()
+            .map(|(i, s)| present[i].then(|| s.clone()))
+            .collect();
+        let slow = reference.reconstruct(&got);
+
+        let mut set = ShardSet::new(total, encoded[0].len());
+        for (i, shard) in encoded.iter().enumerate() {
+            if present[i] {
+                set.shard_mut(i).copy_from_slice(shard);
+            } else {
+                set.shard_mut(i).fill(0xEE);
+            }
+        }
+        rs.reconstruct_into(&mut set, &present).unwrap();
+        assert_eq!(set.to_vecs(), slow, "pattern={present:?}");
+    }
+}
+
+#[test]
+fn empty_payload_matches_reference() {
+    for (data, parity) in [(1usize, 1usize), (3, 2), (8, 8)] {
+        let rs = ReedSolomon::new(data, parity).unwrap();
+        let reference = RefReedSolomon::new(data, parity);
+        let fast = rs.encode_bytes_flat(b"");
+        let slow = reference.encode_bytes(b"");
+        assert_eq!(fast.to_vecs(), slow, "({data},{parity})");
+        assert_eq!(fast.shard_len(), 1, "empty payload pads to length-1 shards");
+    }
+}
+
+#[test]
+fn decode_bytes_flat_round_trips_with_reference_encoding() {
+    // Encode with the reference, decode with the fast path: proves the two
+    // implementations interoperate shard-for-shard, not merely agree with
+    // themselves.
+    let mut rng = Xs::new(555);
+    let rs = ReedSolomon::new(6, 6).unwrap();
+    let reference = RefReedSolomon::new(6, 6);
+    for _ in 0..10 {
+        let len = 1 + rng.below(3000) as usize;
+        let payload = rng.bytes(len);
+        let encoded = reference.encode_bytes(&payload);
+        let mut present = vec![true; 12];
+        for i in 0..6 {
+            present[(i * 2) % 12] = false; // lose half
+        }
+        let mut set = ShardSet::new(12, encoded[0].len());
+        for (i, shard) in encoded.iter().enumerate() {
+            if present[i] {
+                set.shard_mut(i).copy_from_slice(shard);
+            }
+        }
+        let decoded = rs
+            .decode_bytes_flat(&mut set, &present, payload.len())
+            .unwrap();
+        assert_eq!(decoded, payload);
+    }
+}

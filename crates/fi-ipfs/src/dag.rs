@@ -82,8 +82,7 @@ impl DagNode {
                 let mut links = Vec::with_capacity(count);
                 for i in 0..count {
                     let cid_bytes: [u8; 32] = body[i * 40..i * 40 + 32].try_into().ok()?;
-                    let size =
-                        u64::from_be_bytes(body[i * 40 + 32..i * 40 + 40].try_into().ok()?);
+                    let size = u64::from_be_bytes(body[i * 40 + 32..i * 40 + 40].try_into().ok()?);
                     links.push((Hash256::from_bytes(cid_bytes), size));
                 }
                 Some(DagNode::Branch(links))

@@ -320,10 +320,7 @@ mod tests {
             total_hops += res.hops;
         }
         let avg = total_hops as f64 / 20.0;
-        assert!(
-            avg < 64.0,
-            "average hops {avg} should be far below n=256"
-        );
+        assert!(avg < 64.0, "average hops {avg} should be far below n=256");
     }
 
     #[test]

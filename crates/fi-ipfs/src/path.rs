@@ -106,8 +106,7 @@ impl Directory {
         let mut entries = BTreeMap::new();
         let mut at = 5usize;
         for _ in 0..count {
-            let name_len =
-                u16::from_be_bytes(block.get(at..at + 2)?.try_into().ok()?) as usize;
+            let name_len = u16::from_be_bytes(block.get(at..at + 2)?.try_into().ok()?) as usize;
             at += 2;
             let name = std::str::from_utf8(block.get(at..at + name_len)?).ok()?;
             at += name_len;
@@ -210,10 +209,7 @@ mod tests {
             resolve_path(&store, "/notipfs/xyz"),
             Err(PathError::BadPrefix)
         );
-        assert_eq!(
-            resolve_path(&store, "/ipfs/zz"),
-            Err(PathError::BadCid)
-        );
+        assert_eq!(resolve_path(&store, "/ipfs/zz"), Err(PathError::BadCid));
         assert_eq!(
             resolve_path(&store, &format!("/ipfs/{hex}/docs/missing.txt")),
             Err(PathError::NotFound("missing.txt".into()))

@@ -184,7 +184,9 @@ impl<M> World<M> {
     where
         F: FnOnce(&mut Box<dyn Process<M>>, &mut Ctx<'_, M>),
     {
-        let Some(slot) = self.nodes.get_mut(idx) else { return };
+        let Some(slot) = self.nodes.get_mut(idx) else {
+            return;
+        };
         let Some(mut node) = slot.take() else { return };
         let mut ctx = Ctx {
             me: idx,

@@ -54,13 +54,13 @@
 //! ```
 
 pub mod capacity;
-pub mod election;
 pub mod cost;
+pub mod election;
 pub mod post;
 pub mod seal;
 
 pub use capacity::CapacityReplica;
-pub use election::{run_election, ElectionWin, MinerPower};
 pub use cost::CostModel;
+pub use election::{run_election, ElectionWin, MinerPower};
 pub use post::{derive_challenges, WindowPost};
 pub use seal::{PorepProof, ReplicaId, SealedReplica};

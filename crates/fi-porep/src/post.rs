@@ -66,7 +66,11 @@ impl WindowPost {
                     .expect("challenge index within replica")
                     .to_vec();
                 let proof = replica.tree().prove(index).expect("index proven");
-                ChallengeResponse { index, chunk, proof }
+                ChallengeResponse {
+                    index,
+                    chunk,
+                    proof,
+                }
             })
             .collect();
         WindowPost { responses }
@@ -200,9 +204,8 @@ mod tests {
         // Target 256 bits: never eligible.
         assert!(winning_post_eligible(&rep, &sha256(b"r"), 256).is_none());
         // Some beacon should win at a very easy 1-bit target.
-        let won = (0u32..64).any(|i| {
-            winning_post_eligible(&rep, &sha256(&i.to_be_bytes()), 1).is_some()
-        });
+        let won =
+            (0u32..64).any(|i| winning_post_eligible(&rep, &sha256(&i.to_be_bytes()), 1).is_some());
         assert!(won);
     }
 }

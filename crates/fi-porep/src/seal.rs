@@ -53,10 +53,8 @@ fn stream_xor(data: &[u8], rid: ReplicaId) -> Vec<u8> {
     let key = rid.stream_key();
     let nonce = [0x66697073u32, 0x6f726570, 0x7365616c]; // "fips","orep","seal"
     let mut out = Vec::with_capacity(data.len());
-    let mut counter = 0u32;
-    for block in data.chunks(64) {
-        let ks = chacha20_block(&key, counter, &nonce);
-        counter += 1;
+    for (counter, block) in data.chunks(64).enumerate() {
+        let ks = chacha20_block(&key, counter as u32, &nonce);
         for (i, &b) in block.iter().enumerate() {
             out.push(b ^ ks[i]);
         }
@@ -138,7 +136,11 @@ impl SealedReplica {
     /// Chunk `index` of the sealed payload, if in bounds.
     pub fn chunk(&self, index: usize) -> Option<&[u8]> {
         if self.sealed.is_empty() {
-            return if index == 0 { Some(b"porep/empty") } else { None };
+            return if index == 0 {
+                Some(b"porep/empty")
+            } else {
+                None
+            };
         }
         let start = index * CHUNK_SIZE;
         if start >= self.sealed.len() {

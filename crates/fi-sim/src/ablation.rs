@@ -106,12 +106,7 @@ pub struct SubnetOutcome {
 
 /// Computes replica counts for a Zipf-value workload with and without
 /// value-level subnets (`levels` levels, factor 10).
-pub fn subnet_replicas(
-    files: usize,
-    k: u32,
-    levels: u32,
-    seed: u64,
-) -> SubnetOutcome {
+pub fn subnet_replicas(files: usize, k: u32, levels: u32, seed: u64) -> SubnetOutcome {
     let mut rng = DetRng::from_seed_label(seed, "subnet-workload");
     let mut flat = 0u64;
     let mut routed = 0u64;
@@ -121,7 +116,10 @@ pub fn subnet_replicas(
         let value_units = 10f64.powf(exponent).round().max(1.0) as u64;
         flat += k as u64 * value_units;
         // Route to the highest level with minValue_level ≤ value.
-        let level = (value_units as f64).log10().floor().min((levels - 1) as f64) as u32;
+        let level = (value_units as f64)
+            .log10()
+            .floor()
+            .min((levels - 1) as f64) as u32;
         let level_unit = 10u64.pow(level);
         routed += k as u64 * value_units.div_ceil(level_unit);
     }
@@ -141,19 +139,14 @@ mod tests {
         let fixed = refresh_pacing(2_000, 200.0, 10, 2_000, false, 9);
         // Same mean load…
         assert!(
-            (exp.mean_in_flight - fixed.mean_in_flight).abs()
-                < 0.5 * fixed.mean_in_flight.max(1.0),
+            (exp.mean_in_flight - fixed.mean_in_flight).abs() < 0.5 * fixed.mean_in_flight.max(1.0),
             "means {} vs {}",
             exp.mean_in_flight,
             fixed.mean_in_flight
         );
         // …but lockstep pacing bursts the whole fleet at once.
         assert_eq!(fixed.peak_in_flight, 2_000);
-        assert!(
-            exp.peak_in_flight < 400,
-            "exp peak {}",
-            exp.peak_in_flight
-        );
+        assert!(exp.peak_in_flight < 400, "exp peak {}", exp.peak_in_flight);
     }
 
     #[test]

@@ -99,7 +99,12 @@ pub fn render(rows: &[CollisionRow]) -> String {
             r.hits.to_string(),
             sci(r.empirical),
             sci(r.bound),
-            if r.empirical <= r.bound + 1e-12 { "yes" } else { "NO" }.to_string(),
+            if r.empirical <= r.bound + 1e-12 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     let mut out = table.render();

@@ -15,7 +15,9 @@
 
 use fi_analysis::theorems::{theorem4_deposit_ratio_bound, RobustnessParams, SECURITY_PARAMETER};
 use fi_baselines::fileinsurer::FileInsurerModel;
-use fi_baselines::{corrupt_nodes, evaluate_loss, AdversaryStrategy, DsnModel, FileSpec, NetworkSpec};
+use fi_baselines::{
+    corrupt_nodes, evaluate_loss, AdversaryStrategy, DsnModel, FileSpec, NetworkSpec,
+};
 use fi_crypto::DetRng;
 
 use crate::report::{sci, TextTable};
@@ -46,7 +48,10 @@ pub struct DepositRow {
 pub fn run_sweep(config: &RobustnessConfig, ks: &[u32], lambdas: &[f64]) -> Vec<DepositRow> {
     let net = NetworkSpec::uniform(config.ns, 64);
     let files: Vec<FileSpec> = (0..config.nv)
-        .map(|_| FileSpec { size: 1, value: 1.0 })
+        .map(|_| FileSpec {
+            size: 1,
+            value: 1.0,
+        })
         .collect();
     // Nm_v · minValue in the file-value unit system (minValue = 1):
     let max_value = config.cap_para * config.ns as f64;
@@ -62,11 +67,16 @@ pub fn run_sweep(config: &RobustnessConfig, ks: &[u32], lambdas: &[f64]) -> Vec<
                     &format!("dep-adv/k{k}/l{lambda}/{}", strategy.label()),
                 );
                 let corrupted = corrupt_nodes(
-                    &net, &placement, &files, lambda, strategy, false, &mut adv_rng,
+                    &net,
+                    &placement,
+                    &files,
+                    lambda,
+                    strategy,
+                    false,
+                    &mut adv_rng,
                 );
                 let report = evaluate_loss(&net, &placement, &files, &corrupted);
-                let lambda_eff =
-                    report.corrupted_capacity as f64 / net.total_capacity() as f64;
+                let lambda_eff = report.corrupted_capacity as f64 / net.total_capacity() as f64;
                 let gamma_required = if lambda_eff > 0.0 {
                     report.lost_value / (lambda_eff * max_value)
                 } else {
@@ -172,7 +182,8 @@ mod tests {
         config.nv = 2_000;
         let rows = run_sweep(&config, &[2], &[0.7]);
         assert!(
-            rows.iter().any(|r| r.lost_value > 0.0 && r.gamma_required > 0.0),
+            rows.iter()
+                .any(|r| r.lost_value > 0.0 && r.gamma_required > 0.0),
             "k=2 λ=0.7 should produce measurable losses"
         );
     }

@@ -124,11 +124,7 @@ impl Scenario {
             })
             .collect();
         for (f, i, s) in pending {
-            let Some((spec, _)) = self
-                .providers
-                .iter()
-                .find(|(_, ids)| ids.contains(&s))
-            else {
+            let Some((spec, _)) = self.providers.iter().find(|(_, ids)| ids.contains(&s)) else {
                 continue;
             };
             if self.is_dark(spec.behavior, now) {
@@ -144,7 +140,7 @@ impl Scenario {
             .into_iter()
             .flat_map(|f| {
                 let cp = self.engine.file(f).map(|d| d.cp).unwrap_or(0);
-                (0..cp).filter_map(move |i| Some((f, i)))
+                (0..cp).map(move |i| (f, i))
             })
             .filter_map(|(f, i)| {
                 let e = self.engine.alloc_entry(f, i)?;
@@ -253,7 +249,10 @@ mod tests {
         );
         assert!(scenario.engine.events().iter().any(|e| matches!(
             e,
-            ProtocolEvent::FileRemoved { reason: RemovalReason::Lost, .. }
+            ProtocolEvent::FileRemoved {
+                reason: RemovalReason::Lost,
+                ..
+            }
         )));
     }
 

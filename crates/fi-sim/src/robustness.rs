@@ -15,7 +15,9 @@
 
 use fi_analysis::theorems::{theorem3_gamma_lost_bound, RobustnessParams, SECURITY_PARAMETER};
 use fi_baselines::fileinsurer::FileInsurerModel;
-use fi_baselines::{corrupt_nodes, evaluate_loss, AdversaryStrategy, DsnModel, FileSpec, NetworkSpec};
+use fi_baselines::{
+    corrupt_nodes, evaluate_loss, AdversaryStrategy, DsnModel, FileSpec, NetworkSpec,
+};
 use fi_crypto::DetRng;
 
 use crate::report::{sci, TextTable};
@@ -81,15 +83,14 @@ impl RobustnessConfig {
 }
 
 /// Runs the sweep over `k ∈ ks`, `λ ∈ lambdas`, all adversary strategies.
-pub fn run_sweep(
-    config: &RobustnessConfig,
-    ks: &[u32],
-    lambdas: &[f64],
-) -> Vec<RobustnessRow> {
+pub fn run_sweep(config: &RobustnessConfig, ks: &[u32], lambdas: &[f64]) -> Vec<RobustnessRow> {
     let mut rows = Vec::new();
     let net = NetworkSpec::uniform(config.ns, 64);
     let files: Vec<FileSpec> = (0..config.nv)
-        .map(|_| FileSpec { size: 1, value: 1.0 })
+        .map(|_| FileSpec {
+            size: 1,
+            value: 1.0,
+        })
         .collect();
     for &k in ks {
         let model = FileInsurerModel::new(k, 0.0046);
@@ -102,7 +103,13 @@ pub fn run_sweep(
                     &format!("adv/k{k}/l{lambda}/{}", strategy.label()),
                 );
                 let corrupted = corrupt_nodes(
-                    &net, &placement, &files, lambda, strategy, false, &mut adv_rng,
+                    &net,
+                    &placement,
+                    &files,
+                    lambda,
+                    strategy,
+                    false,
+                    &mut adv_rng,
                 );
                 let report = evaluate_loss(&net, &placement, &files, &corrupted);
                 let params = RobustnessParams {
@@ -151,7 +158,12 @@ pub fn render(rows: &[RobustnessRow]) -> String {
             format!("{}/{}", r.lost_files, r.total_files),
             sci(r.gamma_lost),
             sci(r.bound),
-            if r.gamma_lost <= r.bound + 1e-12 { "yes" } else { "NO" }.to_string(),
+            if r.gamma_lost <= r.bound + 1e-12 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     table.render()

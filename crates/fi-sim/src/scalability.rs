@@ -138,8 +138,13 @@ pub fn run_one(workload: Workload, config: &ScalabilityConfig) -> ScalabilityRow
         config.min_capacity as f64,
         config.cap_para as f64,
     );
-    let predicted =
-        theorem1_max_total_size(config.ns as f64, config.min_capacity as f64, config.k as f64, r1, r2);
+    let predicted = theorem1_max_total_size(
+        config.ns as f64,
+        config.min_capacity as f64,
+        config.k as f64,
+        r1,
+        r2,
+    );
     ScalabilityRow {
         workload: workload.label(),
         r1,
@@ -152,10 +157,7 @@ pub fn run_one(workload: Workload, config: &ScalabilityConfig) -> ScalabilityRow
 
 /// Runs all workloads.
 pub fn run_all(config: &ScalabilityConfig) -> Vec<ScalabilityRow> {
-    Workload::ALL
-        .iter()
-        .map(|w| run_one(*w, config))
-        .collect()
+    Workload::ALL.iter().map(|w| run_one(*w, config)).collect()
 }
 
 /// Renders rows.
@@ -209,7 +211,11 @@ mod tests {
                 row.measured,
                 row.predicted
             );
-            assert!(ratio > 0.5, "{}: ratio {ratio} suspiciously low", row.workload);
+            assert!(
+                ratio > 0.5,
+                "{}: ratio {ratio} suspiciously low",
+                row.workload
+            );
         }
     }
 

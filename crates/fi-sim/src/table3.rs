@@ -23,9 +23,9 @@
 //! statistic stays below ~0.01, preserving every qualitative comparison
 //! (see EXPERIMENTS.md).
 
-use crossbeam::thread;
 use fi_analysis::SizeDistribution;
 use fi_crypto::DetRng;
+use std::thread;
 
 use crate::report::{f3, TextTable};
 use crate::Scale;
@@ -41,14 +41,38 @@ pub struct GridPoint {
 
 /// The paper's eight grid points.
 pub const PAPER_GRID: [GridPoint; 8] = [
-    GridPoint { ncp: 100_000, ns: 20 },
-    GridPoint { ncp: 100_000, ns: 100 },
-    GridPoint { ncp: 1_000_000, ns: 200 },
-    GridPoint { ncp: 1_000_000, ns: 1_000 },
-    GridPoint { ncp: 10_000_000, ns: 2_000 },
-    GridPoint { ncp: 10_000_000, ns: 10_000 },
-    GridPoint { ncp: 100_000_000, ns: 20_000 },
-    GridPoint { ncp: 100_000_000, ns: 100_000 },
+    GridPoint {
+        ncp: 100_000,
+        ns: 20,
+    },
+    GridPoint {
+        ncp: 100_000,
+        ns: 100,
+    },
+    GridPoint {
+        ncp: 1_000_000,
+        ns: 200,
+    },
+    GridPoint {
+        ncp: 1_000_000,
+        ns: 1_000,
+    },
+    GridPoint {
+        ncp: 10_000_000,
+        ns: 2_000,
+    },
+    GridPoint {
+        ncp: 10_000_000,
+        ns: 10_000,
+    },
+    GridPoint {
+        ncp: 100_000_000,
+        ns: 20_000,
+    },
+    GridPoint {
+        ncp: 100_000_000,
+        ns: 100_000,
+    },
 ];
 
 /// Experiment configuration.
@@ -72,13 +96,13 @@ impl Table3Config {
                 realloc_rounds: 100,
                 refresh_multiplier: 100,
                 ncp_cap: u64::MAX,
-                seed: 0x7AB1E_3,
+                seed: 0x7A_B1E3,
             },
             Scale::Default => Table3Config {
                 realloc_rounds: 20,
                 refresh_multiplier: 10,
                 ncp_cap: 1_000_000,
-                seed: 0x7AB1E_3,
+                seed: 0x7A_B1E3,
             },
         }
     }
@@ -133,7 +157,9 @@ pub fn realloc_max_usage(
         let round_max = used.iter().cloned().fold(0.0, f64::max) / capacity;
         max_ratio = max_ratio.max(round_max);
     }
-    CellResult { max_usage: max_ratio }
+    CellResult {
+        max_usage: max_ratio,
+    }
 }
 
 /// Runs Setting B for one cell: place once, then refresh
@@ -194,7 +220,7 @@ pub struct Table3Results {
     pub grid: Vec<GridPoint>,
 }
 
-/// Runs the complete table, parallelising across cells with crossbeam.
+/// Runs the complete table, parallelising across cells with scoped threads.
 pub fn run_table3(scale: Scale) -> Table3Results {
     let config = Table3Config::for_scale(scale);
     let grid: Vec<GridPoint> = PAPER_GRID.to_vec();
@@ -219,7 +245,7 @@ pub fn run_table3(scale: Scale) -> Table3Results {
         for part in cells.chunks(chunk) {
             let grid = &grid;
             let config = &config;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 part.iter()
                     .map(|&(r, d, is_refresh)| {
                         let value = if is_refresh {
@@ -236,8 +262,7 @@ pub fn run_table3(scale: Scale) -> Table3Results {
             .into_iter()
             .flat_map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("scope");
+    });
 
     for (r, d, is_refresh, value) in results {
         if is_refresh {
@@ -265,7 +290,14 @@ pub fn render(results: &Table3Results) -> String {
     for (title, data) in blocks {
         out.push_str(&format!("{title}\n"));
         let mut table = TextTable::new(vec![
-            "Ncp", "Ns", "simulated", "[1]", "[2]", "[3]", "[4]", "[5]",
+            "Ncp",
+            "Ns",
+            "simulated",
+            "[1]",
+            "[2]",
+            "[3]",
+            "[4]",
+            "[5]",
         ]);
         for (row, point) in results.grid.iter().enumerate() {
             let eff = effective_point(*point, &results.config);
@@ -315,7 +347,10 @@ mod tests {
         // Expected fill 0.5; max-of-sectors must be above 0.5 but far from
         // 1.0 (the paper's central claim: never beyond ~0.64).
         let cfg = tiny_config();
-        let point = GridPoint { ncp: 50_000, ns: 20 };
+        let point = GridPoint {
+            ncp: 50_000,
+            ns: 20,
+        };
         for dist in SizeDistribution::ALL {
             let r = realloc_max_usage(point, dist, &cfg);
             assert!(
@@ -331,10 +366,18 @@ mod tests {
         // Running-max over many refresh steps stochastically dominates the
         // max over a few reallocation snapshots.
         let cfg = tiny_config();
-        let point = GridPoint { ncp: 20_000, ns: 20 };
+        let point = GridPoint {
+            ncp: 20_000,
+            ns: 20,
+        };
         let a = realloc_max_usage(point, SizeDistribution::Exponential, &cfg);
         let b = refresh_max_usage(point, SizeDistribution::Exponential, &cfg);
-        assert!(b.max_usage >= a.max_usage - 0.02, "{} vs {}", b.max_usage, a.max_usage);
+        assert!(
+            b.max_usage >= a.max_usage - 0.02,
+            "{} vs {}",
+            b.max_usage,
+            a.max_usage
+        );
         assert!(b.max_usage < 0.8);
     }
 
@@ -344,12 +387,18 @@ mod tests {
         // per sector) ⇒ larger max-usage ratio.
         let cfg = tiny_config();
         let few = realloc_max_usage(
-            GridPoint { ncp: 50_000, ns: 20 },
+            GridPoint {
+                ncp: 50_000,
+                ns: 20,
+            },
             SizeDistribution::Uniform01,
             &cfg,
         );
         let many = realloc_max_usage(
-            GridPoint { ncp: 50_000, ns: 200 },
+            GridPoint {
+                ncp: 50_000,
+                ns: 200,
+            },
             SizeDistribution::Uniform01,
             &cfg,
         );
@@ -364,7 +413,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let cfg = tiny_config();
-        let point = GridPoint { ncp: 10_000, ns: 50 };
+        let point = GridPoint {
+            ncp: 10_000,
+            ns: 50,
+        };
         let a = realloc_max_usage(point, SizeDistribution::NormalMuEqVar, &cfg);
         let b = realloc_max_usage(point, SizeDistribution::NormalMuEqVar, &cfg);
         assert_eq!(a, b);

@@ -17,8 +17,8 @@
 use fi_analysis::theorems::{theorem3_gamma_lost_bound, RobustnessParams, SECURITY_PARAMETER};
 use fi_baselines::sia::SiaModel;
 use fi_baselines::{
-    all_models, corrupt_nodes, evaluate_loss, AdversaryStrategy, Compensation, DsnModel,
-    FileSpec, NetworkSpec,
+    all_models, corrupt_nodes, evaluate_loss, AdversaryStrategy, Compensation, DsnModel, FileSpec,
+    NetworkSpec,
 };
 use fi_crypto::DetRng;
 
@@ -74,7 +74,7 @@ impl Table4Config {
                 k: 8,
                 sybil_factor: 8,
                 lambda: 0.5,
-                seed: 0x7AB1E_4,
+                seed: 0x7A_B1E4,
             },
             Scale::Default => Table4Config {
                 ns: 400,
@@ -82,22 +82,22 @@ impl Table4Config {
                 k: 8,
                 sybil_factor: 8,
                 lambda: 0.5,
-                seed: 0x7AB1E_4,
+                seed: 0x7A_B1E4,
             },
         }
     }
 }
 
 fn workload(nv: usize) -> Vec<FileSpec> {
-    (0..nv).map(|_| FileSpec { size: 1, value: 1.0 }).collect()
+    (0..nv)
+        .map(|_| FileSpec {
+            size: 1,
+            value: 1.0,
+        })
+        .collect()
 }
 
-fn per_node_share(
-    model: &dyn DsnModel,
-    ns: usize,
-    files: &[FileSpec],
-    seed: u64,
-) -> f64 {
+fn per_node_share(model: &dyn DsnModel, ns: usize, files: &[FileSpec], seed: u64) -> f64 {
     let net = NetworkSpec::uniform(ns, 64);
     let mut rng = DetRng::from_seed_label(seed, &format!("share/{}/{}", model.name(), ns));
     let placement = model.place(&net, files, &mut rng);
@@ -113,8 +113,7 @@ pub fn run(config: &Table4Config) -> Vec<ProtocolRow> {
     models
         .iter()
         .map(|model| {
-            let mut rng =
-                DetRng::from_seed_label(config.seed, &format!("t4/{}", model.name()));
+            let mut rng = DetRng::from_seed_label(config.seed, &format!("t4/{}", model.name()));
             let placement = model.place(&net, &files, &mut rng);
 
             // Honest-identity greedy corruption.
@@ -157,8 +156,7 @@ pub fn run(config: &Table4Config) -> Vec<ProtocolRow> {
                 Compensation::Full { deposit_ratio } => {
                     // Pool = confiscated deposits of corrupted capacity:
                     // λ' · γ_deposit · total value carried.
-                    let lambda_eff =
-                        honest.corrupted_capacity as f64 / net.total_capacity() as f64;
+                    let lambda_eff = honest.corrupted_capacity as f64 / net.total_capacity() as f64;
                     lambda_eff * deposit_ratio * (config.nv as f64) * 1_000.0
                 }
                 _ => 0.0,
@@ -306,7 +304,12 @@ mod tests {
         }
         // Everyone else compensates strictly less.
         for r in rows.iter().filter(|r| r.name != "FileInsurer") {
-            assert!(r.compensation_ratio < 0.999, "{}: {}", r.name, r.compensation_ratio);
+            assert!(
+                r.compensation_ratio < 0.999,
+                "{}: {}",
+                r.name,
+                r.compensation_ratio
+            );
         }
     }
 

@@ -100,8 +100,7 @@ impl Trace {
             if t >= config.horizon as f64 {
                 break;
             }
-            let size = (1.0 + rng.sample_exp(config.mean_size))
-                .min(config.max_size as f64) as u64;
+            let size = (1.0 + rng.sample_exp(config.mean_size)).min(config.max_size as f64) as u64;
             let value_units = if rng.bernoulli(config.high_value_prob) {
                 2 + rng.below(3) as u32
             } else {
@@ -109,7 +108,10 @@ impl Trace {
             };
             events.push(TraceEvent {
                 at: t as u64,
-                op: TraceOp::Add { size: size.max(1), value_units },
+                op: TraceOp::Add {
+                    size: size.max(1),
+                    value_units,
+                },
             });
         }
 
@@ -122,7 +124,9 @@ impl Trace {
             }
             events.push(TraceEvent {
                 at: t as u64,
-                op: TraceOp::Discard { nth: rng.next_u64() },
+                op: TraceOp::Discard {
+                    nth: rng.next_u64(),
+                },
             });
         }
 

@@ -12,10 +12,12 @@ use fi_core::segment::{reassemble_file, segment_file};
 use fileinsurer::prelude::*;
 
 fn main() {
-    let mut params = ProtocolParams::default();
-    params.k = 3;
-    params.size_limit = 32;
-    params.delay_per_size = 2;
+    let params = ProtocolParams {
+        k: 3,
+        size_limit: 32,
+        delay_per_size: 2,
+        ..ProtocolParams::default()
+    };
     let size_limit = params.size_limit;
 
     let mut net = Engine::new(params.clone()).expect("valid parameters");
@@ -41,19 +43,21 @@ fn main() {
         .unwrap_err();
     println!("  {err}\n");
 
-    // §VI-C: segment it. 300/32 -> 10 data shards + 10 parity shards.
+    // §VI-C: segment it. 300/32 -> 10 data shards + 10 parity shards,
+    // encoded in place in one flat buffer.
     let segmented = segment_file(&payload, value, &params).expect("needs segmentation");
     println!(
         "segmented into {} pieces of <= {} units, each insured at {} \
          (2·value/k rounded up to a minValue multiple)",
-        segmented.segments.len(),
+        segmented.segment_count(),
         size_limit,
         segmented.segment_value
     );
 
-    // Store every segment as an ordinary file.
+    // Store every segment as an ordinary file (borrowed straight from the
+    // flat buffer — no per-segment copies).
     let mut ids = Vec::new();
-    for seg in &segmented.segments {
+    for seg in segmented.segments() {
         let id = net
             .file_add(
                 client,
@@ -80,10 +84,10 @@ fn main() {
     }
 
     // Which segments survive? (A segment survives while any replica does.)
-    let received: Vec<Option<Vec<u8>>> = ids
+    let received: Vec<Option<&[u8]>> = ids
         .iter()
-        .zip(&segmented.segments)
-        .map(|(id, seg)| net.file(*id).map(|_| seg.clone()))
+        .zip(segmented.segments())
+        .map(|(id, seg)| net.file(*id).map(|_| seg))
         .collect();
     let alive = received.iter().filter(|r| r.is_some()).count();
     println!(

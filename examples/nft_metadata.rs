@@ -14,9 +14,12 @@
 use fileinsurer::prelude::*;
 
 fn main() {
-    let mut params = ProtocolParams::default();
-    params.k = 4; // 4 replicas per minValue of declared value
-    params.delay_per_size = 4;
+    // 4 replicas per minValue of declared value.
+    let params = ProtocolParams {
+        k: 4,
+        delay_per_size: 4,
+        ..ProtocolParams::default()
+    };
 
     let mut net = Engine::new(params).expect("valid parameters");
 
@@ -34,9 +37,7 @@ fn main() {
     net.fund(market, TokenAmount(100_000_000));
     let mv = net.params().min_value;
     let mut files = Vec::new();
-    for (name, value_units, count) in
-        [("commons", 1u128, 12), ("rares", 2, 6), ("grails", 4, 3)]
-    {
+    for (name, value_units, count) in [("commons", 1u128, 12), ("rares", 2, 6), ("grails", 4, 3)] {
         for i in 0..count {
             let root = sha256(format!("nft/{name}/{i}").as_bytes());
             let file = net

@@ -12,10 +12,12 @@ use fileinsurer::prelude::*;
 fn main() {
     // Paper-ratio parameters scaled to a demo: k = 3 replicas per
     // minValue, proof cycle of 100 ticks, refresh every ~4 cycles.
-    let mut params = ProtocolParams::default();
-    params.k = 3;
-    params.avg_refresh = 4.0;
-    params.delay_per_size = 2;
+    let params = ProtocolParams {
+        k: 3,
+        avg_refresh: 4.0,
+        delay_per_size: 2,
+        ..ProtocolParams::default()
+    };
 
     let mut net = Engine::new(params).expect("valid parameters");
 
@@ -40,7 +42,12 @@ fn main() {
 
     println!("\n== File_Add: carol stores a 16-unit file of value 1 minValue ==");
     let file = net
-        .file_add(carol, 16, net.params().min_value, sha256(b"carol's archive"))
+        .file_add(
+            carol,
+            16,
+            net.params().min_value,
+            sha256(b"carol's archive"),
+        )
         .unwrap();
     println!("  allocated {} replicas:", net.file(file).unwrap().cp);
     for (idx, sector) in net.pending_confirms(file) {
@@ -73,9 +80,19 @@ fn main() {
 
     println!("\n== event log (last 12 events) ==");
     let events = net.events();
-    for event in events.iter().rev().take(12).collect::<Vec<_>>().iter().rev() {
+    for event in events
+        .iter()
+        .rev()
+        .take(12)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!("  {event:?}");
     }
 
-    println!("\nledger audit: {}", if net.ledger().audit() { "ok" } else { "BROKEN" });
+    println!(
+        "\nledger audit: {}",
+        if net.ledger().audit() { "ok" } else { "BROKEN" }
+    );
 }

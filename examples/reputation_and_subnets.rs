@@ -10,8 +10,10 @@ use fileinsurer::prelude::*;
 fn main() {
     // ---- §VI-D: value-level subnetworks --------------------------------
     println!("== value-level subnetworks (§VI-D) ==");
-    let mut base = ProtocolParams::default();
-    base.k = 4;
+    let base = ProtocolParams {
+        k: 4,
+        ..ProtocolParams::default()
+    };
     let mut router = SubnetRouter::new(base, 3, 10).unwrap();
     let provider = AccountId(100);
     let client = AccountId(200);
@@ -20,10 +22,7 @@ fn main() {
         engine.fund(provider, TokenAmount(u128::MAX / 8));
         engine.fund(client, TokenAmount(10_000_000_000));
         engine.sector_register(provider, 6_400).unwrap();
-        println!(
-            "  level {level}: minValue = {}",
-            engine.params().min_value
-        );
+        println!("  level {level}: minValue = {}", engine.params().min_value);
     }
     for value in [1_000u128, 25_000, 3_000_000] {
         let (without, with) = router.replica_saving(TokenAmount(value));

@@ -9,13 +9,13 @@
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_core::engine::Engine;
 use fi_core::params::ProtocolParams;
+use fi_crypto::sha256;
 use fi_ipfs::bitswap::fetch_dag;
 use fi_ipfs::dag::{export_bytes, import_bytes};
 use fi_ipfs::dht::{node_id, Dht};
 use fi_ipfs::store::BlockStore;
-use fi_porep::seal::{commit_data, PorepProof, ReplicaId, SealedReplica};
 use fi_porep::post::{derive_challenges, WindowPost};
-use fi_crypto::sha256;
+use fi_porep::seal::{commit_data, PorepProof, ReplicaId, SealedReplica};
 
 const CLIENT: AccountId = AccountId(900);
 const PROVIDER_A: AccountId = AccountId(100);

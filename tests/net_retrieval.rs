@@ -98,8 +98,12 @@ fn run_retrieval(loss: f64, seed: u64) -> (bool, u64, u64) {
     let wanted = dag_cids(&origin, root).unwrap();
 
     let mut world: World<Msg> = World::new(LinkModel::lossy(loss), seed);
-    let p1 = world.add(ProviderNode { store: origin.clone() });
-    let p2 = world.add(ProviderNode { store: origin.clone() });
+    let p1 = world.add(ProviderNode {
+        store: origin.clone(),
+    });
+    let p2 = world.add(ProviderNode {
+        store: origin.clone(),
+    });
 
     let client_store = Rc::new(RefCell::new(BlockStore::new()));
     let done = Rc::new(RefCell::new(false));

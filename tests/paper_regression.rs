@@ -3,8 +3,7 @@
 //! versions of each experiment (seconds, not minutes).
 
 use fi_analysis::theorems::{
-    theorem2_collision_bound, theorem4_deposit_ratio_bound, RobustnessParams,
-    SECURITY_PARAMETER,
+    theorem2_collision_bound, theorem4_deposit_ratio_bound, RobustnessParams, SECURITY_PARAMETER,
 };
 use fi_analysis::SizeDistribution;
 use fi_baselines::AdversaryStrategy;
@@ -17,7 +16,7 @@ fn quick_t3() -> Table3Config {
         realloc_rounds: 10,
         refresh_multiplier: 5,
         ncp_cap: 100_000,
-        seed: 0x7AB1E_3,
+        seed: 0x7A_B1E3,
     }
 }
 
@@ -26,13 +25,27 @@ fn table3_first_rows_match_paper_band() {
     // Paper row (1e5, 20): 0.524–0.536 across distributions;
     // row (1e5, 100): 0.558–0.599. Allow ±0.03 for the reduced rounds.
     for dist in SizeDistribution::ALL {
-        let tight = realloc_max_usage(GridPoint { ncp: 100_000, ns: 20 }, dist, &quick_t3());
+        let tight = realloc_max_usage(
+            GridPoint {
+                ncp: 100_000,
+                ns: 20,
+            },
+            dist,
+            &quick_t3(),
+        );
         assert!(
             (0.50..0.57).contains(&tight.max_usage),
             "{dist:?} ns=20: {}",
             tight.max_usage
         );
-        let loose = realloc_max_usage(GridPoint { ncp: 100_000, ns: 100 }, dist, &quick_t3());
+        let loose = realloc_max_usage(
+            GridPoint {
+                ncp: 100_000,
+                ns: 100,
+            },
+            dist,
+            &quick_t3(),
+        );
         assert!(
             (0.53..0.63).contains(&loose.max_usage),
             "{dist:?} ns=100: {}",
@@ -45,7 +58,10 @@ fn table3_first_rows_match_paper_band() {
 #[test]
 fn table3_refresh_setting_same_band() {
     let r = refresh_max_usage(
-        GridPoint { ncp: 50_000, ns: 20 },
+        GridPoint {
+            ncp: 50_000,
+            ns: 20,
+        },
         SizeDistribution::Exponential,
         &quick_t3(),
     );
@@ -60,7 +76,7 @@ fn table4_qualitative_rows_locked() {
         k: 6,
         sybil_factor: 6,
         lambda: 0.5,
-        seed: 0x7AB1E_4,
+        seed: 0x7A_B1E4,
     });
     let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap();
 

@@ -33,13 +33,13 @@ fn fig3_happy_path_event_order() {
     scenario.run_until(3_000);
 
     let events = scenario.engine.events();
-    let pos = |pred: &dyn Fn(&ProtocolEvent) -> bool| events.iter().position(|e| pred(e));
+    let pos = |pred: &dyn Fn(&ProtocolEvent) -> bool| events.iter().position(pred);
 
     // Register happens before the file is added, which precedes storage
     // confirmation, which precedes the first replica swap.
     let registered = pos(&|e| matches!(e, ProtocolEvent::SectorRegistered { .. })).unwrap();
-    let added = pos(&|e| matches!(e, ProtocolEvent::FileAdded { file: f, .. } if *f == file))
-        .unwrap();
+    let added =
+        pos(&|e| matches!(e, ProtocolEvent::FileAdded { file: f, .. } if *f == file)).unwrap();
     let stored =
         pos(&|e| matches!(e, ProtocolEvent::FileStored { file: f } if *f == file)).unwrap();
     assert!(registered < added && added < stored);
@@ -68,8 +68,8 @@ fn rent_flows_from_client_to_providers_over_time() {
     scenario.add_file(CLIENT, 16, TokenAmount(1_000));
     scenario.run_until(100);
     let client_start = scenario.engine.ledger().balance(CLIENT);
-    let period = scenario.engine.params().proof_cycle
-        * scenario.engine.params().rent_period_cycles as u64;
+    let period =
+        scenario.engine.params().proof_cycle * scenario.engine.params().rent_period_cycles as u64;
     scenario.run_until(100 + 3 * period);
 
     assert!(
@@ -162,7 +162,10 @@ fn disabled_sector_drains_through_refreshes() {
         scenario.engine.sector(retiring).is_none(),
         "disabled sector drained and removed"
     );
-    assert!(scenario.engine.file(file).is_some(), "file survived the drain");
+    assert!(
+        scenario.engine.file(file).is_some(),
+        "file survived the drain"
+    );
     // No losses, no compensation.
     assert_eq!(scenario.engine.stats().files_lost, 0);
 }
@@ -200,11 +203,7 @@ fn mixed_behaviors_network_stays_consistent() {
     // Conservation always holds; every lost file was fully compensated.
     assert!(scenario.engine.ledger().audit());
     let stats = scenario.engine.stats();
-    assert_eq!(
-        stats.compensation_shortfall,
-        TokenAmount::ZERO,
-        "{stats:?}"
-    );
+    assert_eq!(stats.compensation_shortfall, TokenAmount::ZERO, "{stats:?}");
     // The failed provider's sectors are corrupted.
     let failed = scenario.sectors_of(2)[0];
     if let Some(s) = scenario.engine.sector(failed) {
