@@ -5,31 +5,16 @@
 //! (`fi_erasure::reference`) so the speedup is measured, not asserted:
 //! `erasure/encode` vs `erasure/encode-seed`, `erasure/reconstruct` vs
 //! `erasure/reconstruct-seed`.
+//!
+//! Payloads and case geometry are shared with the CI snapshot binary via
+//! [`fi_bench::erasure_cases`], so both report on identical inputs.
 
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fi_bench::erasure_cases::{patterns, payload, ENCODE_GRID, KIB, MIB, RECONSTRUCT_GRID};
 use fi_erasure::reference::RefReedSolomon;
 use fi_erasure::{ReedSolomon, ShardSet};
-
-const KIB: usize = 1024;
-const MIB: usize = 1024 * 1024;
-
-fn payload(n: usize) -> Vec<u8> {
-    (0..n).map(|i| (i * 131 % 256) as u8).collect()
-}
-
-/// Geometry × payload grid: the paper's half-loss (8,8) point at 64 KiB is
-/// the acceptance-criteria configuration; 1 MiB / 16 MiB probe cache-miss
-/// behaviour on segment-scale payloads.
-const ENCODE_GRID: &[(usize, usize, usize)] = &[
-    (4, 2, 64 * KIB),
-    (8, 8, 64 * KIB),
-    (16, 16, 64 * KIB),
-    (8, 8, MIB),
-    (16, 16, MIB),
-    (8, 8, 16 * MIB),
-];
 
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("erasure/encode");
@@ -67,23 +52,9 @@ fn bench_encode_seed(c: &mut Criterion) {
     group.finish();
 }
 
-/// Erasure patterns for the reconstruct benches: (label, erased indices).
-fn patterns(data: usize, parity: usize) -> Vec<(String, Vec<usize>)> {
-    let total = data + parity;
-    vec![
-        ("single-data".into(), vec![0]),
-        ("single-parity".into(), vec![data]),
-        (
-            format!("quarter-{}", total / 4),
-            (0..total / 4).map(|i| i * 2 % total).collect(),
-        ),
-        ("all-data".into(), (0..data).collect()),
-    ]
-}
-
 fn bench_reconstruct(c: &mut Criterion) {
     let mut group = c.benchmark_group("erasure/reconstruct");
-    for (data, parity, bytes) in [(8usize, 8usize, 64 * KIB), (16, 16, 64 * KIB), (8, 8, MIB)] {
+    for &(data, parity, bytes) in RECONSTRUCT_GRID {
         let rs = ReedSolomon::new(data, parity).unwrap();
         let encoded = rs.encode_bytes_flat(&payload(bytes));
         group.throughput(Throughput::Bytes(bytes as u64));
@@ -112,7 +83,8 @@ fn bench_reconstruct(c: &mut Criterion) {
 fn bench_reconstruct_seed(c: &mut Criterion) {
     let mut group = c.benchmark_group("erasure/reconstruct-seed");
     group.sample_size(10);
-    for (data, parity, bytes) in [(8usize, 8usize, 64 * KIB), (16, 16, 64 * KIB)] {
+    // The seed path is too slow to sample at MiB scale.
+    for &(data, parity, bytes) in RECONSTRUCT_GRID.iter().filter(|(_, _, b)| *b < MIB) {
         let rs = RefReedSolomon::new(data, parity);
         let encoded = rs.encode_bytes(&payload(bytes));
         group.throughput(Throughput::Bytes(bytes as u64));

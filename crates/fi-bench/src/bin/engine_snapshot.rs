@@ -1,0 +1,250 @@
+//! Writes a `BENCH_engine.json` op-layer throughput snapshot: `Engine::apply`
+//! ops/sec and `advance_to` cost at 1k/10k/100k live files, measured
+//! like-for-like under the epoch-bucketed [`fi_chain::tasks::TaskWheel`]
+//! and the pre-refactor per-file `BTreeMap` scheduler
+//! ([`fi_chain::tasks::PendingList`]).
+//!
+//! Usage: `cargo run --release -p fi-bench --bin engine_snapshot [out.json]`
+//!
+//! The workload is the per-file scheduling regime the refactor targets:
+//! one file added per tick over a proof cycle of `n` ticks, so every one
+//! of the `n` live files carries its own distinct `Auto_CheckProof`
+//! timestamp. Two `advance_to` measurements per scale:
+//!
+//! * **full engine** — one whole `ProofCycle` advance: every file's
+//!   `Auto_CheckProof` executes (rent, late checks, reschedule), so the
+//!   scheduler's share is diluted by protocol work;
+//! * **scheduler churn** — the same task population (`n` tasks, one per
+//!   timestamp across the cycle) popped in engine order (`next_time` →
+//!   `pop_due`) and rescheduled one cycle out, three cycles long, against
+//!   the bare scheduler. This isolates the scheduling cost the full-engine
+//!   number dilutes and is what the ≥3x acceptance bar applies to.
+//!
+//! Both engines must agree on every state root — asserted, which doubles
+//! as a wheel-vs-BTreeMap consensus-equivalence test at 100k-file scale.
+
+use std::time::Instant;
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_chain::tasks::{Scheduler, SchedulerKind};
+use fi_core::engine::Engine;
+use fi_core::params::ProtocolParams;
+use fi_crypto::sha256;
+
+const PROVIDER: AccountId = AccountId(42);
+const CLIENT: AccountId = AccountId(43);
+const SECTORS: u64 = 64;
+
+/// One tick per file: `n` files spread over a cycle of `n` ticks gives
+/// every file a distinct deadline (at least 1k ticks so the protocol's
+/// relative windows stay sane at small scales).
+fn proof_cycle_for(n: u64) -> u64 {
+    n.max(1_000)
+}
+
+fn bench_params(n: u64, kind: SchedulerKind) -> ProtocolParams {
+    let cycle = proof_cycle_for(n);
+    ProtocolParams {
+        // One replica per file: the scheduling layer is what varies with
+        // scale here, not replica fan-out.
+        k: 1,
+        proof_cycle: cycle,
+        proof_due: 2 * cycle,
+        proof_deadline: 4 * cycle,
+        // Refreshes are rare enough to not fire within the measured cycle
+        // (identical on both sides either way, but this keeps the numbers
+        // about scheduling + proof accounting).
+        avg_refresh: 1_000_000.0,
+        delay_per_size: 1,
+        scheduler: kind,
+        ..ProtocolParams::default()
+    }
+}
+
+struct EngineRun {
+    ops_per_sec: f64,
+    /// Seconds for `advance_to(now + ProofCycle)` over `n` live files.
+    advance_s: f64,
+    state_root: fi_crypto::Hash256,
+}
+
+/// Builds an engine with `n` live files, one added (and confirmed) per
+/// tick so every `Auto_CheckProof` lands on its own timestamp, then
+/// measures a whole-cycle `advance_to`. All actions go through the public
+/// wrappers, i.e. through `Engine::apply` — ops/sec is counted off the op
+/// log itself.
+fn run_engine(n: u64, kind: SchedulerKind) -> EngineRun {
+    let params = bench_params(n, kind);
+    let cycle = params.proof_cycle;
+    let min_value = params.min_value;
+    let mut engine = Engine::new(params).expect("valid parameters");
+    engine.fund(PROVIDER, TokenAmount(u128::MAX / 4));
+    engine.fund(CLIENT, TokenAmount(u128::MAX / 4));
+    // Capacity for n size-1 files plus slack, multiple of minCapacity.
+    let per_sector = (2 * n / SECTORS).div_ceil(64).max(1) * 64;
+    for _ in 0..SECTORS {
+        engine
+            .sector_register(PROVIDER, per_sector)
+            .expect("register sector");
+    }
+
+    let ops_before = engine.op_log().len();
+    let t_add = Instant::now();
+    for i in 0..n {
+        let root = sha256(&i.to_be_bytes());
+        let file = engine
+            .file_add(CLIENT, 1, min_value, root)
+            .expect("file add");
+        for (index, sector) in engine.pending_confirms(file) {
+            engine
+                .file_confirm(PROVIDER, file, index, sector)
+                .expect("confirm");
+        }
+        engine.advance_to(engine.now() + 1);
+    }
+    // Let the trailing CheckAllocs finalise so every file is live.
+    engine.advance_to(engine.now() + 2);
+    let applied = (engine.op_log().len() - ops_before) as u64;
+    let ops_per_sec = applied as f64 / t_add.elapsed().as_secs_f64();
+    assert_eq!(engine.file_ids().len() as u64, n, "all files live");
+
+    // The measured advance: one full proof cycle, n CheckProofs on n
+    // distinct timestamps.
+    let target = engine.now() + cycle;
+    let t_adv = Instant::now();
+    engine.advance_to(target);
+    let advance_s = t_adv.elapsed().as_secs_f64();
+    assert_eq!(engine.file_ids().len() as u64, n, "no file lost mid-bench");
+
+    EngineRun {
+        ops_per_sec,
+        advance_s,
+        state_root: engine.state_root(),
+    }
+}
+
+/// The scheduler-isolated trace: the same task population the engine run
+/// carries — `n` per-file tasks, one per timestamp across a `cycle`-tick
+/// proof cycle — popped in engine order (`next_time` → `pop_due`) and
+/// rescheduled one cycle out, for `cycles` cycles. Exactly the churn
+/// `advance_to` inflicts on the pending list, minus protocol work.
+fn run_scheduler_churn(n: u64, kind: SchedulerKind, cycles: u64) -> f64 {
+    let spread = proof_cycle_for(n); // one task per timestamp, like the engine
+    let mut sched: Scheduler<u64> = Scheduler::new(kind, 10);
+    for i in 0..n {
+        sched.schedule(i % spread, i);
+    }
+    let t = Instant::now();
+    let mut popped_total = 0u64;
+    for c in 1..=cycles {
+        let target = c * spread - 1; // covers timestamps [(c-1)·spread, c·spread)
+        while let Some(ts) = sched.next_time() {
+            if ts > target {
+                break;
+            }
+            for (time, task) in sched.pop_due(ts) {
+                sched.schedule(time + spread, task);
+                popped_total += 1;
+            }
+        }
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(popped_total, n * cycles, "every task fires every cycle");
+    elapsed
+}
+
+struct ScaleResult {
+    n: u64,
+    wheel: EngineRun,
+    btree: EngineRun,
+    churn_wheel_s: f64,
+    churn_btree_s: f64,
+}
+
+impl ScaleResult {
+    fn advance_speedup(&self) -> f64 {
+        self.btree.advance_s / self.wheel.advance_s
+    }
+
+    fn churn_speedup(&self) -> f64 {
+        self.churn_btree_s / self.churn_wheel_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"live_files\": {}, \"apply_ops_per_sec_wheel\": {:.0}, \"apply_ops_per_sec_btree\": {:.0}, \
+             \"advance_full_cycle_ms_wheel\": {:.3}, \"advance_full_cycle_ms_btree\": {:.3}, \"advance_full_cycle_speedup\": {:.2}, \
+             \"scheduler_churn_ms_wheel\": {:.3}, \"scheduler_churn_ms_btree\": {:.3}, \"scheduler_churn_speedup\": {:.2}}}",
+            self.n,
+            self.wheel.ops_per_sec,
+            self.btree.ops_per_sec,
+            self.wheel.advance_s * 1e3,
+            self.btree.advance_s * 1e3,
+            self.advance_speedup(),
+            self.churn_wheel_s * 1e3,
+            self.churn_btree_s * 1e3,
+            self.churn_speedup(),
+        )
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".into());
+
+    let mut results = Vec::new();
+    for n in [1_000u64, 10_000, 100_000] {
+        let wheel = run_engine(n, SchedulerKind::Wheel);
+        let btree = run_engine(n, SchedulerKind::BTree);
+        assert_eq!(
+            wheel.state_root, btree.state_root,
+            "wheel and BTreeMap schedulers must drive identical consensus at n={n}"
+        );
+        // Median of three for the bare-scheduler churn (it's fast).
+        let med = |kind: SchedulerKind| -> f64 {
+            let mut xs: Vec<f64> = (0..3).map(|_| run_scheduler_churn(n, kind, 3)).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs[1]
+        };
+        let churn_wheel_s = med(SchedulerKind::Wheel);
+        let churn_btree_s = med(SchedulerKind::BTree);
+        let r = ScaleResult {
+            n,
+            wheel,
+            btree,
+            churn_wheel_s,
+            churn_btree_s,
+        };
+        println!(
+            "n={n}: apply {:.0} ops/s, advance_to full-cycle {:.1} ms (wheel) vs {:.1} ms (btree) = {:.2}x, scheduler churn {:.2}x",
+            r.wheel.ops_per_sec,
+            r.wheel.advance_s * 1e3,
+            r.btree.advance_s * 1e3,
+            r.advance_speedup(),
+            r.churn_speedup()
+        );
+        results.push(r);
+    }
+
+    let rows: Vec<String> = results.iter().map(ScaleResult::json).collect();
+    let json = format!(
+        "{{\n  \"suite\": \"fi-core op-layer throughput: Engine::apply + advance_to, epoch wheel vs BTreeMap pending list\",\n  \
+           \"unit_note\": \"per-file regime: n live files, one Auto_CheckProof per timestamp across an n-tick proof cycle; advance_full_cycle = one ProofCycle advance executing every file's Auto_CheckProof (protocol work included); scheduler_churn = same task population against the bare scheduler (3 cycles, median of 3 runs) — the isolated like-for-like scheduling cost\",\n  \
+           \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    // Acceptance bar: at 100k live files the epoch wheel must beat the
+    // pre-refactor per-file BTreeMap scheduler by >= 3x like-for-like.
+    let top = results.last().expect("scales measured");
+    let churn = top.churn_speedup();
+    assert!(
+        churn >= 3.0,
+        "scheduler churn speedup {churn:.2}x at {}k files fell below the 3x acceptance bar",
+        top.n / 1_000
+    );
+}

@@ -6,19 +6,16 @@
 //!
 //! The snapshot seeds the perf trajectory: CI runs it on every push so later
 //! PRs can compare against recorded numbers instead of folklore.
+//!
+//! Payloads and case geometry are shared with the criterion bench via
+//! [`fi_bench::erasure_cases`], so both report on identical inputs.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use fi_bench::erasure_cases::{pattern, payload, KIB, MIB};
 use fi_erasure::reference::RefReedSolomon;
 use fi_erasure::ReedSolomon;
-
-const KIB: usize = 1024;
-const MIB: usize = 1024 * 1024;
-
-fn payload(n: usize) -> Vec<u8> {
-    (0..n).map(|i| (i * 131 % 256) as u8).collect()
-}
 
 /// Median seconds per call over `reps` timed calls (after one warm-up).
 fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -94,18 +91,12 @@ fn encode_case(data: usize, parity: usize, bytes: usize, reps: usize, with_seed:
     }
 }
 
-fn reconstruct_case(
-    data: usize,
-    parity: usize,
-    bytes: usize,
-    erased: &[usize],
-    label: &str,
-    reps: usize,
-) -> Case {
+fn reconstruct_case(data: usize, parity: usize, bytes: usize, label: &str, reps: usize) -> Case {
+    let erased = pattern(data, parity, label);
     let rs = ReedSolomon::new(data, parity).unwrap();
     let encoded = rs.encode_bytes_flat(&payload(bytes));
     let mut present = vec![true; data + parity];
-    for &i in erased {
+    for &i in &erased {
         present[i] = false;
     }
 
@@ -147,10 +138,10 @@ fn main() {
         encode_case(8, 8, MIB, reps, true),
         encode_case(8, 8, 16 * MIB, 5, false),
         // Acceptance criterion: >= 10x single-erasure reconstruct.
-        reconstruct_case(8, 8, 64 * KIB, &[0], "single-data", reps),
-        reconstruct_case(8, 8, 64 * KIB, &[8], "single-parity", reps),
-        reconstruct_case(8, 8, 64 * KIB, &[0, 1, 2, 3, 4, 5, 6, 7], "all-data", reps),
-        reconstruct_case(16, 16, 64 * KIB, &[3], "single-data", reps),
+        reconstruct_case(8, 8, 64 * KIB, "single-data", reps),
+        reconstruct_case(8, 8, 64 * KIB, "single-parity", reps),
+        reconstruct_case(8, 8, 64 * KIB, "all-data", reps),
+        reconstruct_case(16, 16, 64 * KIB, "single-data", reps),
     ];
 
     let rows: Vec<String> = cases.iter().map(Case::json).collect();

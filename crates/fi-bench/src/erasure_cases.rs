@@ -1,0 +1,82 @@
+//! Shared payload generator and case geometry for the erasure benchmarks:
+//! the criterion bench (`benches/erasure.rs`) and the CI throughput
+//! snapshot (`src/bin/erasure_snapshot.rs`) measure exactly the same
+//! inputs, so their numbers are comparable by construction.
+
+/// One kibibyte.
+pub const KIB: usize = 1024;
+/// One mebibyte.
+pub const MIB: usize = 1024 * 1024;
+
+/// Deterministic benchmark payload (byte `i` = `i·131 mod 256`).
+pub fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 131 % 256) as u8).collect()
+}
+
+/// Encode geometry × payload grid, as `(data, parity, bytes)`: the paper's
+/// half-loss (8,8) point at 64 KiB is the acceptance-criteria
+/// configuration; 1 MiB / 16 MiB probe cache-miss behaviour on
+/// segment-scale payloads.
+pub const ENCODE_GRID: &[(usize, usize, usize)] = &[
+    (4, 2, 64 * KIB),
+    (8, 8, 64 * KIB),
+    (16, 16, 64 * KIB),
+    (8, 8, MIB),
+    (16, 16, MIB),
+    (8, 8, 16 * MIB),
+];
+
+/// Reconstruct geometry × payload grid, as `(data, parity, bytes)`.
+pub const RECONSTRUCT_GRID: &[(usize, usize, usize)] =
+    &[(8, 8, 64 * KIB), (16, 16, 64 * KIB), (8, 8, MIB)];
+
+/// Erasure patterns for the reconstruct cases: `(label, erased indices)`.
+pub fn patterns(data: usize, parity: usize) -> Vec<(String, Vec<usize>)> {
+    let total = data + parity;
+    vec![
+        ("single-data".into(), vec![0]),
+        ("single-parity".into(), vec![data]),
+        (
+            format!("quarter-{}", total / 4),
+            (0..total / 4).map(|i| i * 2 % total).collect(),
+        ),
+        ("all-data".into(), (0..data).collect()),
+    ]
+}
+
+/// The erased indices for a named pattern of the `(data, parity)` code.
+///
+/// # Panics
+///
+/// Panics when the label names no pattern (a bench-config bug).
+pub fn pattern(data: usize, parity: usize, label: &str) -> Vec<usize> {
+    patterns(data, parity)
+        .into_iter()
+        .find(|(l, _)| l == label)
+        .unwrap_or_else(|| panic!("unknown erasure pattern {label}"))
+        .1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic_and_nontrivial() {
+        assert_eq!(payload(4), payload(4));
+        assert_eq!(payload(3), vec![0, 131, 6]);
+    }
+
+    #[test]
+    fn patterns_stay_within_bounds() {
+        for &(data, parity, _) in RECONSTRUCT_GRID {
+            for (label, erased) in patterns(data, parity) {
+                assert!(!erased.is_empty(), "{label}");
+                assert!(erased.iter().all(|&i| i < data + parity), "{label}");
+                assert!(erased.len() <= parity, "{label}: more erasures than parity");
+            }
+        }
+        assert_eq!(pattern(8, 8, "single-data"), vec![0]);
+        assert_eq!(pattern(8, 8, "single-parity"), vec![8]);
+    }
+}

@@ -14,6 +14,8 @@
 //!   allocation/refresh throughput, SHA-256/Merkle, Reed–Solomon, PoRep
 //!   seal/prove/verify, chain block production, and DHT lookups.
 
+pub mod erasure_cases;
+
 /// Shared banner printed by the experiment binaries.
 pub fn banner(title: &str, paper_ref: &str) -> String {
     format!(

@@ -52,10 +52,17 @@ pub struct Block {
     pub parent: Hash256,
     /// Beacon value of this height.
     pub beacon_value: Hash256,
-    /// Commitment over parent, events and declared state root.
+    /// Commitment over parent, events, op batch and declared state root.
     pub block_hash: Hash256,
     /// Events included in this block.
     pub events: Vec<ChainEvent>,
+    /// Digests of the protocol ops applied during this block's interval
+    /// (the transaction batch), in application order. The protocol layer
+    /// defines the op encoding; the chain commits to it opaquely.
+    pub op_digests: Vec<Hash256>,
+    /// Commitment over the receipts of this block's op batch
+    /// ([`Hash256::ZERO`] when the batch is empty).
+    pub receipt_root: Hash256,
 }
 
 /// The chain: produces blocks at a fixed cadence, exposes the beacon and
@@ -81,6 +88,8 @@ pub struct BlockChain {
     height: u64,
     head_hash: Hash256,
     open_events: Vec<ChainEvent>,
+    /// `(op digest, receipt digest)` pairs applied since the last seal.
+    open_ops: Vec<(Hash256, Hash256)>,
     blocks: Vec<Block>,
 }
 
@@ -102,6 +111,8 @@ impl BlockChain {
             beacon_value: genesis_beacon,
             block_hash: genesis_hash,
             events: Vec::new(),
+            op_digests: Vec::new(),
+            receipt_root: Hash256::ZERO,
         };
         BlockChain {
             beacon,
@@ -110,6 +121,7 @@ impl BlockChain {
             height: 0,
             head_hash: genesis_hash,
             open_events: Vec::new(),
+            open_ops: Vec::new(),
             blocks: vec![genesis],
         }
     }
@@ -137,6 +149,13 @@ impl BlockChain {
     /// Appends an event to the open block.
     pub fn log(&mut self, event: ChainEvent) {
         self.open_events.push(event);
+    }
+
+    /// Records one applied protocol op in the open block's batch: the op's
+    /// digest plus the digest of its receipt (success or failure — failed
+    /// ops still consume gas and belong to the batch).
+    pub fn log_op(&mut self, op_digest: Hash256, receipt_digest: Hash256) {
+        self.open_ops.push((op_digest, receipt_digest));
     }
 
     /// All sealed blocks, genesis first.
@@ -167,10 +186,22 @@ impl BlockChain {
             self.now = self.height * self.block_interval;
             let beacon_value = self.beacon.value_at(self.height);
             let events = std::mem::take(&mut self.open_events);
+            let ops = std::mem::take(&mut self.open_ops);
             let mut event_digests: Vec<u8> = Vec::new();
             for e in &events {
                 event_digests.extend_from_slice(e.digest().as_ref());
             }
+            let mut op_bytes: Vec<u8> = Vec::with_capacity(ops.len() * 32);
+            let mut receipt_bytes: Vec<u8> = Vec::with_capacity(ops.len() * 32);
+            for (op, receipt) in &ops {
+                op_bytes.extend_from_slice(op.as_ref());
+                receipt_bytes.extend_from_slice(receipt.as_ref());
+            }
+            let receipt_root = if ops.is_empty() {
+                Hash256::ZERO
+            } else {
+                keyed_hash("chain/receipts", &[&receipt_bytes])
+            };
             let block_hash = keyed_hash(
                 "chain/block",
                 &[
@@ -179,6 +210,8 @@ impl BlockChain {
                     &self.now.to_be_bytes(),
                     beacon_value.as_ref(),
                     &event_digests,
+                    &op_bytes,
+                    receipt_root.as_ref(),
                     state_root.as_ref(),
                 ],
             );
@@ -189,6 +222,8 @@ impl BlockChain {
                 beacon_value,
                 block_hash,
                 events,
+                op_digests: ops.into_iter().map(|(op, _)| op).collect(),
+                receipt_root,
             });
             self.head_hash = block_hash;
             sealed.push(self.height);
@@ -288,6 +323,26 @@ mod tests {
         // Rewriting history breaks the hash links.
         chain.blocks[1].parent = fi_crypto::sha256(b"forged parent");
         assert!(!chain.verify_chain());
+    }
+
+    #[test]
+    fn op_batch_lands_in_next_sealed_block_and_commits() {
+        let op = fi_crypto::sha256(b"op");
+        let receipt = fi_crypto::sha256(b"receipt");
+        let mut a = BlockChain::new(9, 10);
+        a.log_op(op, receipt);
+        a.advance_time(10, Hash256::ZERO);
+        a.advance_time(20, Hash256::ZERO);
+        assert_eq!(a.blocks()[1].op_digests, vec![op]);
+        assert_ne!(a.blocks()[1].receipt_root, Hash256::ZERO);
+        assert!(a.blocks()[2].op_digests.is_empty());
+        assert_eq!(a.blocks()[2].receipt_root, Hash256::ZERO);
+
+        // A different receipt changes the block commitment.
+        let mut b = BlockChain::new(9, 10);
+        b.log_op(op, fi_crypto::sha256(b"other receipt"));
+        b.advance_time(10, Hash256::ZERO);
+        assert_ne!(a.blocks()[1].block_hash, b.blocks()[1].block_hash);
     }
 
     #[test]

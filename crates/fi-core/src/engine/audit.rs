@@ -1,0 +1,449 @@
+//! The `Auto_*` consensus tasks (Figs. 7–9) and the punishment machinery:
+//! `Auto_CheckAlloc`, `Auto_CheckProof`, `Auto_Refresh`,
+//! `Auto_CheckRefresh`, rent distribution, deposit confiscation, and the
+//! adversarial fault-injection ops.
+//!
+//! These are *not* transactions: they run by consensus when
+//! [`Engine::advance_to`] moves time past their deadline, which is exactly
+//! why the op log stays replayable — the same `AdvanceTo` op deterministically
+//! re-executes the same task sequence.
+
+use fi_chain::account::TokenAmount;
+use fi_crypto::DetRng;
+
+use crate::types::{
+    AllocState, FileId, FileState, ProtocolEvent, RemovalReason, SectorId, SectorState,
+};
+
+use super::{Engine, Task, COMPENSATION_POOL, DEPOSIT_ESCROW, RENT_POOL, TRAFFIC_ESCROW};
+
+impl Engine {
+    // ------------------------------------------------------------------
+    // Adversary / fault injection
+    // ------------------------------------------------------------------
+
+    /// Injects a *silent* physical failure: the provider can no longer
+    /// produce storage proofs; the network discovers it via the
+    /// `ProofDeadline` machinery (the realistic path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown sector.
+    pub fn fail_sector_silently(&mut self, sector: SectorId) {
+        self.apply(crate::ops::Op::FailSector { sector })
+            .expect("fault injection is infallible");
+    }
+
+    pub(super) fn fail_sector_op(&mut self, sector: SectorId) {
+        self.sectors
+            .get_mut(&sector)
+            .expect("unknown sector")
+            .physically_failed = true;
+        self.op_counter += 1;
+    }
+
+    /// Corrupts a sector *with immediate detection*: deposit confiscated,
+    /// replicas voided, mid-refresh transfers resolved (used by
+    /// experiments that don't simulate the proof timeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown sector.
+    pub fn corrupt_sector_now(&mut self, sector: SectorId) {
+        self.apply(crate::ops::Op::CorruptSector { sector })
+            .expect("fault injection is infallible");
+    }
+
+    pub(super) fn corrupt_sector_op(&mut self, sector: SectorId) {
+        let s = self.sectors.get_mut(&sector).expect("unknown sector");
+        if s.state == SectorState::Corrupted {
+            return;
+        }
+        s.state = SectorState::Corrupted;
+        s.physically_failed = true;
+        let confiscated = s.deposit;
+        s.deposit = TokenAmount::ZERO;
+        self.sampler.remove(&sector);
+        self.ledger
+            .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, confiscated)
+            .expect("deposit escrow covers pledged deposits");
+        self.stats.sectors_corrupted += 1;
+        self.log(ProtocolEvent::SectorCorrupted {
+            sector,
+            confiscated,
+        });
+        self.void_sector_content(sector);
+        self.op_counter += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Auto tasks
+    // ------------------------------------------------------------------
+
+    /// `Auto_CheckAlloc` (Fig. 7).
+    pub(super) fn auto_check_alloc(&mut self, file: FileId) {
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
+        let cp = desc.cp;
+        let owner = desc.owner;
+
+        // First pass: all entries must be Confirm or Corrupted.
+        let all_ok = (0..cp).all(|i| {
+            matches!(
+                self.alloc.get(&(file, i)).map(|e| e.state),
+                Some(AllocState::Confirm) | Some(AllocState::Corrupted)
+            )
+        });
+        if !all_ok {
+            // Upload failed: refund outstanding traffic escrow for
+            // unconfirmed replicas, release reservations, drop the file.
+            let size = self.files[&file].size;
+            let unconfirmed = (0..cp)
+                .filter(|&i| self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Alloc))
+                .count() as u128;
+            let refund = TokenAmount(self.params.traffic_fee(size).0 * unconfirmed);
+            self.ledger.transfer_up_to(TRAFFIC_ESCROW, owner, refund);
+            self.remove_file_completely(file, RemovalReason::UploadFailed);
+            return;
+        }
+
+        // Second pass: finalise.
+        let now = self.now();
+        for i in 0..cp {
+            let e = self.alloc.get_mut(&(file, i)).expect("entry exists");
+            match e.state {
+                AllocState::Confirm => {
+                    e.prev = e.next.take();
+                    e.last = Some(now);
+                    e.state = AllocState::Normal;
+                }
+                AllocState::Corrupted => {
+                    e.prev = None;
+                    e.next = None;
+                    e.last = None;
+                }
+                _ => unreachable!("checked above"),
+            }
+        }
+        let desc = self.files.get_mut(&file).expect("file exists");
+        // A discard issued during the transfer window (File_Discard, or the
+        // file_add_segmented rollback) must survive finalisation: keep the
+        // state so the first Auto_CheckProof removes the file instead of it
+        // silently reviving as Normal.
+        if desc.state != FileState::Discarded {
+            desc.state = FileState::Normal;
+        }
+        desc.cntdown = Self::sample_cntdown(&mut self.rng, self.params.avg_refresh);
+        self.pending
+            .schedule(now + self.params.proof_cycle, Task::CheckProof(file));
+        self.log(ProtocolEvent::FileStored { file });
+    }
+
+    /// `Auto_CheckProof` (Fig. 8).
+    pub(super) fn auto_check_proof(&mut self, file: FileId) {
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
+        let owner = desc.owner;
+        let size = desc.size;
+        let cp = desc.cp;
+        let now = self.now();
+
+        // 1. Charge the next cycle (rent + prepaid gas) or force-discard.
+        if desc.state == FileState::Normal {
+            let cost = self.params.cycle_cost(size, cp);
+            if self.ledger.balance(owner) < cost {
+                let desc = self.files.get_mut(&file).expect("file exists");
+                desc.state = FileState::Discarded;
+                self.discard_reasons
+                    .insert(file, RemovalReason::InsufficientFunds);
+            } else {
+                let rent = TokenAmount(self.params.unit_rent.0 * size as u128 * cp as u128);
+                let gas = cost - rent;
+                self.ledger
+                    .transfer(owner, RENT_POOL, rent)
+                    .expect("balance checked");
+                self.ledger.burn(owner, gas).expect("balance checked");
+            }
+        }
+
+        // 2. Late-proof checks per entry.
+        for i in 0..cp {
+            let Some(e) = self.alloc.get(&(file, i)) else {
+                continue;
+            };
+            if e.state == AllocState::Corrupted {
+                continue;
+            }
+            let Some(holder) = e.prev else { continue };
+            let holder_corrupted = self
+                .sectors
+                .get(&holder)
+                .map(|s| s.state == SectorState::Corrupted)
+                .unwrap_or(true);
+            if holder_corrupted {
+                continue;
+            }
+            let last = e.last.unwrap_or(0);
+            if now >= last + self.params.proof_deadline {
+                self.confiscate_and_corrupt(holder);
+            } else if now >= last + self.params.proof_due {
+                self.punish(holder);
+            }
+        }
+
+        // 3. Removal / loss / reschedule.
+        let state = self.files.get(&file).map(|f| f.state);
+        if state == Some(FileState::Discarded) {
+            let reason = self
+                .discard_reasons
+                .remove(&file)
+                .unwrap_or(RemovalReason::ClientDiscard);
+            self.remove_file_completely(file, reason);
+            return;
+        }
+        let all_corrupted = (0..cp)
+            .all(|i| self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Corrupted));
+        if all_corrupted {
+            self.compensate_loss(file);
+            return;
+        }
+        self.pending
+            .schedule(now + self.params.proof_cycle, Task::CheckProof(file));
+        let desc = self.files.get_mut(&file).expect("file exists");
+        desc.cntdown -= 1;
+        if desc.cntdown <= 0 {
+            let i = self.rng.below(cp as u64) as u32; // RandomIndex(f)
+            self.auto_refresh(file, i);
+        }
+    }
+
+    /// `Auto_Refresh` (Fig. 9).
+    pub(super) fn auto_refresh(&mut self, file: FileId, index: u32) {
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
+        let size = desc.size;
+        let entry_state = self.alloc.get(&(file, index)).map(|e| e.state);
+        if entry_state != Some(AllocState::Normal) {
+            // The chosen replica is corrupted or already mid-move; re-arm.
+            let avg = self.params.avg_refresh;
+            if let Some(d) = self.files.get_mut(&file) {
+                d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+            }
+            return;
+        }
+
+        let target = {
+            let mut rng = self.rng.clone();
+            let choice = self.sampler.sample(&mut rng).copied();
+            self.rng = rng;
+            choice
+        };
+        let fits = target
+            .and_then(|s| self.sectors.get(&s))
+            .map(|s| s.free_cap >= size)
+            .unwrap_or(false);
+        if !fits {
+            // Collision — "almost never happens" (Fig. 9 else-branch).
+            self.stats.refresh_collisions += 1;
+            self.log(ProtocolEvent::RefreshCollision { file, index });
+            let avg = self.params.avg_refresh;
+            if let Some(d) = self.files.get_mut(&file) {
+                d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+            }
+            return;
+        }
+        let target = target.expect("fits implies some");
+        self.reserve(target, size);
+        self.sector_replicas
+            .get_mut(&target)
+            .expect("sector index")
+            .insert((file, index));
+        let e = self.alloc.get_mut(&(file, index)).expect("entry exists");
+        let from = e.prev;
+        e.next = Some(target);
+        e.state = AllocState::Alloc;
+        let deadline = self.now() + self.params.transfer_window(size);
+        self.pending
+            .schedule(deadline, Task::CheckRefresh(file, index));
+        self.stats.refreshes_started += 1;
+        self.log(ProtocolEvent::ReplicaSwap {
+            file,
+            index,
+            from,
+            to: target,
+        });
+    }
+
+    /// `Auto_CheckRefresh` (Fig. 9).
+    pub(super) fn auto_check_refresh(&mut self, file: FileId, index: u32) {
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
+        let size = desc.size;
+        let cp = desc.cp;
+        let avg = self.params.avg_refresh;
+        let now = self.now();
+        let Some(entry) = self.alloc.get(&(file, index)) else {
+            return;
+        };
+        let (state, prev, next) = (entry.state, entry.prev, entry.next);
+
+        match state {
+            AllocState::Confirm => {
+                // Transfer succeeded: release the old holder, flip over.
+                let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                e.prev = next;
+                e.next = None;
+                e.last = Some(now);
+                e.state = AllocState::Normal;
+                if let Some(old_sector) = prev {
+                    if prev == next {
+                        // Self-move: free the transient second copy but keep
+                        // the replica's membership in the sector index.
+                        self.release_reservation(old_sector, size);
+                    } else {
+                        self.release_replica(old_sector, file, index, size);
+                    }
+                }
+                self.stats.refreshes_completed += 1;
+                if let Some(d) = self.files.get_mut(&file) {
+                    d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+                }
+            }
+            AllocState::Alloc => {
+                // Not confirmed in time: punish the tardy target and every
+                // current holder (Fig. 9: "punish entry.next; for j ∈ [f.cp]
+                // punish allocTable[f,j].prev"), then retry the refresh.
+                if let Some(t) = next {
+                    self.punish(t);
+                    self.release_reservation_indexed(t, file, index, size);
+                }
+                let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                e.next = None;
+                e.state = AllocState::Normal;
+                let mut holders = Vec::new();
+                for j in 0..cp {
+                    if let Some(other) = self.alloc.get(&(file, j)) {
+                        if other.state != AllocState::Corrupted {
+                            if let Some(h) = other.prev {
+                                holders.push(h);
+                            }
+                        }
+                    }
+                }
+                for h in holders {
+                    self.punish(h);
+                }
+                self.auto_refresh(file, index);
+            }
+            // Resolved by corruption handling in the meantime.
+            AllocState::Normal | AllocState::Corrupted => {}
+        }
+    }
+
+    /// Rent distribution at period end (§IV-A.2): pro rata capacity over
+    /// sectors functioning this period.
+    pub(super) fn auto_distribute_rent(&mut self) {
+        let pool = self.ledger.balance(RENT_POOL);
+        let live: Vec<(SectorId, fi_chain::account::AccountId, u64)> = {
+            let mut v: Vec<_> = self
+                .sectors
+                .values()
+                .filter(|s| s.state != SectorState::Corrupted)
+                .map(|s| (s.id, s.owner, s.capacity))
+                .collect();
+            v.sort_unstable_by_key(|(id, _, _)| *id);
+            v
+        };
+        let total_capacity: u64 = live.iter().map(|(_, _, c)| c).sum();
+        let mut paid = TokenAmount::ZERO;
+        if !pool.is_zero() && total_capacity > 0 {
+            for (_, owner, capacity) in &live {
+                let share = pool.mul_ratio(*capacity as u128, total_capacity as u128);
+                if !share.is_zero() {
+                    self.ledger
+                        .transfer(RENT_POOL, *owner, share)
+                        .expect("pool covers shares");
+                    paid += share;
+                }
+            }
+        }
+        self.log(ProtocolEvent::RentDistributed { total: paid });
+        let next = self.now() + self.rent_period();
+        self.pending.schedule(next, Task::DistributeRent);
+    }
+
+    // ------------------------------------------------------------------
+    // Punishment & compensation
+    // ------------------------------------------------------------------
+
+    pub(super) fn sample_cntdown(rng: &mut DetRng, avg_refresh: f64) -> i64 {
+        (rng.sample_exp(avg_refresh).ceil() as i64).max(1)
+    }
+
+    pub(super) fn punish(&mut self, sector: SectorId) {
+        let Some(s) = self.sectors.get_mut(&sector) else {
+            return;
+        };
+        if s.state == SectorState::Corrupted {
+            return;
+        }
+        let amount = self.params.punishment(s.deposit).min(s.deposit);
+        if amount.is_zero() {
+            return;
+        }
+        s.deposit = s.deposit - amount;
+        self.ledger
+            .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, amount)
+            .expect("escrow covers punishment");
+        self.stats.punishments += 1;
+        self.log(ProtocolEvent::ProviderPunished { sector, amount });
+    }
+
+    /// Deadline miss: confiscate the whole deposit and void the sector.
+    pub(super) fn confiscate_and_corrupt(&mut self, sector: SectorId) {
+        let Some(s) = self.sectors.get_mut(&sector) else {
+            return;
+        };
+        if s.state == SectorState::Corrupted {
+            return;
+        }
+        s.state = SectorState::Corrupted;
+        s.physically_failed = true;
+        let confiscated = s.deposit;
+        s.deposit = TokenAmount::ZERO;
+        self.sampler.remove(&sector);
+        self.ledger
+            .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, confiscated)
+            .expect("escrow covers deposit");
+        self.stats.sectors_corrupted += 1;
+        self.log(ProtocolEvent::SectorCorrupted {
+            sector,
+            confiscated,
+        });
+        self.void_sector_content(sector);
+    }
+
+    /// Full compensation on loss (Fig. 8, §IV-B).
+    pub(super) fn compensate_loss(&mut self, file: FileId) {
+        let Some(desc) = self.files.get(&file) else {
+            return;
+        };
+        let owner = desc.owner;
+        let value = desc.value;
+        let paid = self.ledger.transfer_up_to(COMPENSATION_POOL, owner, value);
+        self.stats.files_lost += 1;
+        self.stats.value_lost += value;
+        self.stats.compensation_paid += paid;
+        self.stats.compensation_shortfall += value - paid;
+        self.log(ProtocolEvent::FileLost {
+            file,
+            value,
+            compensated: paid,
+        });
+        self.remove_file_completely(file, RemovalReason::Lost);
+    }
+}

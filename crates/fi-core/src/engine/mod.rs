@@ -1,0 +1,595 @@
+//! The FileInsurer protocol engine: the consensus state machine of §IV,
+//! organized as a typed transaction processor.
+//!
+//! Every state transition is an [`Op`](crate::ops::Op) applied through the
+//! single front door [`Engine::apply`], which returns a typed
+//! [`Receipt`](crate::ops::Receipt), commits the `(op, receipt)` pair into
+//! the open block's batch, and appends the op to a replayable log
+//! ([`Engine::op_log`], [`Engine::replay`]). The familiar method API
+//! ([`Engine::file_add`], [`Engine::sector_register`], …) survives as thin
+//! wrappers that construct ops.
+//!
+//! The engine is split by concern:
+//!
+//! * [`mod@self`] — state, dispatch, time advancement, gas, the op log;
+//! * `lifecycle` — client/provider requests (Figs. 4–6): add, confirm,
+//!   prove, get, discard, sector admin, segmented uploads;
+//! * `audit` — the `Auto_*` consensus tasks (Figs. 7–9): `CheckAlloc`,
+//!   `CheckProof`, `Refresh`, `CheckRefresh`, rent distribution,
+//!   punishment and confiscation, fault injection;
+//! * `alloc` — allocation bookkeeping: weighted sampling with collision
+//!   retry, reservations and rollback, sector draining, the §VI-B Poisson
+//!   swap-in.
+//!
+//! `Auto_` tasks execute from an epoch-bucketed pending wheel
+//! ([`fi_chain::tasks::TaskWheel`]) when [`Engine::advance_to`] moves time
+//! past their deadline — whole per-block buckets pop at once instead of
+//! churning a tree keyed by every live file's timestamp.
+//!
+//! Money flows exactly as §IV-A/§IV-B prescribe:
+//!
+//! * **deposits** — pledged at `Sector_Register` into a deposit escrow;
+//!   refunded on safe exit; confiscated into the compensation pool when a
+//!   sector misses `ProofDeadline` or is corrupted;
+//! * **storage rent + prepaid gas** — deducted from the client every
+//!   `ProofCycle` by `Auto_CheckProof`; rent accumulates in a pool paid out
+//!   to live sectors pro rata capacity each rent period; the gas share is
+//!   burned (consensus space);
+//! * **traffic fees** — escrowed at `File_Add`, released to each provider
+//!   upon `File_Confirm`;
+//! * **compensation** — on loss of all replicas, the client receives the
+//!   declared file value from confiscated deposits (Fig. 8).
+
+mod alloc;
+mod audit;
+mod lifecycle;
+
+use std::collections::{BTreeSet, HashMap};
+
+use fi_chain::account::{AccountId, Ledger, TokenAmount};
+use fi_chain::block::{BlockChain, ChainEvent};
+use fi_chain::gas::{GasSchedule, Op as GasOp};
+use fi_chain::tasks::{Scheduler, Time};
+use fi_crypto::{keyed_hash, DetRng, Hash256};
+
+use crate::drep::CrAccounting;
+use crate::ops::{Op, OpRecord, Receipt};
+use crate::params::{ParamError, ProtocolParams};
+use crate::sampler::WeightedSampler;
+use crate::segment::SegmentedFile;
+use crate::types::{
+    AllocEntry, FileDescriptor, FileId, ProtocolEvent, RemovalReason, Sector, SectorId,
+};
+
+/// Deposit escrow: holds pledged sector deposits.
+pub const DEPOSIT_ESCROW: AccountId = AccountId(1);
+/// Compensation pool: confiscated deposits awaiting payout.
+pub const COMPENSATION_POOL: AccountId = AccountId(2);
+/// Rent pool: rent accrued during the current period.
+pub const RENT_POOL: AccountId = AccountId(3);
+/// Traffic-fee escrow: prepaid transfer fees awaiting confirms.
+pub const TRAFFIC_ESCROW: AccountId = AccountId(4);
+
+/// Errors returned by engine request handlers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Unknown file id.
+    UnknownFile(FileId),
+    /// Unknown sector id.
+    UnknownSector(SectorId),
+    /// The caller does not own the object it is operating on.
+    NotOwner,
+    /// The object is in the wrong state for the request.
+    InvalidState(&'static str),
+    /// Parameter/argument validation failed.
+    Param(ParamError),
+    /// The caller cannot cover a required payment.
+    InsufficientFunds,
+    /// No sector with enough free space could be sampled
+    /// (`collision_retry_limit` exceeded — "almost never happens").
+    NoCapacity,
+    /// File exceeds `sizeLimit`; segment it first (§VI-C, [`crate::segment`]).
+    FileTooLarge {
+        /// Requested size.
+        size: u64,
+        /// The configured `sizeLimit`.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownFile(id) => write!(f, "unknown {id}"),
+            EngineError::UnknownSector(id) => write!(f, "unknown {id}"),
+            EngineError::NotOwner => write!(f, "caller does not own the target"),
+            EngineError::InvalidState(what) => write!(f, "invalid state: {what}"),
+            EngineError::Param(e) => write!(f, "{e}"),
+            EngineError::InsufficientFunds => write!(f, "insufficient funds"),
+            EngineError::NoCapacity => write!(f, "no sector with sufficient free space"),
+            EngineError::FileTooLarge { size, limit } => {
+                write!(
+                    f,
+                    "file size {size} exceeds sizeLimit {limit}; erasure-segment it"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParamError> for EngineError {
+    fn from(e: ParamError) -> Self {
+        EngineError::Param(e)
+    }
+}
+
+/// The result of [`Engine::file_add_segmented`]: the per-segment file ids
+/// (data segments first, parity after — index `i` stores segment `i`) plus
+/// the segmentation plan with the encoded flat buffer.
+#[derive(Debug, Clone)]
+pub struct SegmentedUpload {
+    /// One file id per segment, in segment order.
+    pub files: Vec<FileId>,
+    /// The §VI-C plan: flat segment buffer, per-segment value, geometry.
+    pub segmented: SegmentedFile,
+}
+
+/// Consensus-scheduled tasks (the `Auto_` protocols).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(super) enum Task {
+    CheckAlloc(FileId),
+    CheckProof(FileId),
+    CheckRefresh(FileId, u32),
+    DistributeRent,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `File_Add` sampling retries that hit an over-full sector.
+    pub add_collisions: u64,
+    /// `Auto_Refresh` attempts aborted because the target lacked space.
+    pub refresh_collisions: u64,
+    /// Refresh transfers started.
+    pub refreshes_started: u64,
+    /// Refresh transfers completed.
+    pub refreshes_completed: u64,
+    /// Storage proofs accepted.
+    pub proofs_accepted: u64,
+    /// Late-proof / failed-transfer punishments applied.
+    pub punishments: u64,
+    /// Sectors corrupted (deadline misses + injected corruption).
+    pub sectors_corrupted: u64,
+    /// Files lost (all replicas destroyed).
+    pub files_lost: u64,
+    /// Total declared value of lost files.
+    pub value_lost: TokenAmount,
+    /// Compensation actually paid out.
+    pub compensation_paid: TokenAmount,
+    /// Compensation shortfall (pool ran dry) — must stay zero in any run
+    /// within Theorem 4's deposit regime.
+    pub compensation_shortfall: TokenAmount,
+}
+
+/// The FileInsurer consensus engine.
+///
+/// # Example
+///
+/// ```
+/// use fi_core::engine::Engine;
+/// use fi_core::params::ProtocolParams;
+/// use fi_chain::account::{AccountId, TokenAmount};
+///
+/// let mut params = ProtocolParams::default();
+/// params.k = 2; // 2 replicas per minValue file in this tiny demo
+/// let mut engine = Engine::new(params).unwrap();
+///
+/// let provider = AccountId(100);
+/// let client = AccountId(200);
+/// engine.fund(provider, TokenAmount(1_000_000_000));
+/// engine.fund(client, TokenAmount(1_000_000));
+///
+/// let sector = engine.sector_register(provider, 640).unwrap();
+/// let root = fi_crypto::sha256(b"my file");
+/// let file = engine
+///     .file_add(client, 10, engine.params().min_value, root)
+///     .unwrap();
+///
+/// // The provider confirms both replicas, then time advances past the
+/// // transfer window and Auto_CheckAlloc finalises the placement.
+/// for (idx, s) in engine.pending_confirms(file) {
+///     assert_eq!(s, sector);
+///     engine.file_confirm(provider, file, idx, s).unwrap();
+/// }
+/// let deadline = engine.now() + engine.params().transfer_window(10);
+/// engine.advance_to(deadline);
+/// assert!(engine.file(file).is_some());
+///
+/// // Every action above went through the typed op layer:
+/// assert!(engine.op_log().iter().any(|r| r.op.kind() == "op.file_add"));
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    params: ProtocolParams,
+    chain: BlockChain,
+    ledger: Ledger,
+    gas: GasSchedule,
+    pending: Scheduler<Task>,
+    sectors: HashMap<SectorId, Sector>,
+    cr: HashMap<SectorId, CrAccounting>,
+    files: HashMap<FileId, FileDescriptor>,
+    alloc: HashMap<(FileId, u32), AllocEntry>,
+    /// `(file, index)` pairs touching each sector (as holder or as
+    /// reservation target). Kept consistent with `alloc`.
+    sector_replicas: HashMap<SectorId, BTreeSet<(FileId, u32)>>,
+    sampler: WeightedSampler<SectorId>,
+    rng: DetRng,
+    next_file_id: u64,
+    next_sector_id: u64,
+    events: Vec<ProtocolEvent>,
+    stats: EngineStats,
+    discard_reasons: HashMap<FileId, RemovalReason>,
+    op_counter: u64,
+    op_log: Vec<OpRecord>,
+}
+
+impl Engine {
+    /// Creates an engine with validated parameters at time 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated parameter constraint.
+    pub fn new(params: ProtocolParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        let chain = BlockChain::new(params.seed, params.block_interval);
+        let rng = chain.beacon().rng_at(0, "fileinsurer/engine");
+        let mut engine = Engine {
+            chain,
+            ledger: Ledger::new(),
+            gas: GasSchedule::default(),
+            pending: Scheduler::new(params.scheduler, params.block_interval),
+            sectors: HashMap::new(),
+            cr: HashMap::new(),
+            files: HashMap::new(),
+            alloc: HashMap::new(),
+            sector_replicas: HashMap::new(),
+            sampler: WeightedSampler::new(),
+            rng,
+            next_file_id: 0,
+            next_sector_id: 0,
+            events: Vec::new(),
+            stats: EngineStats::default(),
+            discard_reasons: HashMap::new(),
+            op_counter: 0,
+            op_log: Vec::new(),
+            params,
+        };
+        let period = engine.rent_period();
+        engine.pending.schedule(period, Task::DistributeRent);
+        Ok(engine)
+    }
+
+    // ------------------------------------------------------------------
+    // The typed transaction layer
+    // ------------------------------------------------------------------
+
+    /// Applies one typed protocol op — the single front door for every
+    /// state transition. The op and its receipt are committed into the
+    /// open block's batch and the op is appended to the replayable log,
+    /// whether it succeeded or not (failed requests still burn gas).
+    ///
+    /// # Errors
+    ///
+    /// The same errors the corresponding request handler reports (see each
+    /// [`Op`] variant's wrapper method).
+    pub fn apply(&mut self, op: Op) -> Result<Receipt, EngineError> {
+        let at = self.now();
+        let op_digest = op.digest();
+        let result = self.dispatch(&op);
+        let receipt_digest = match &result {
+            Ok(receipt) => receipt.digest(),
+            Err(err) => Receipt::error_digest(err),
+        };
+        self.chain.log_op(op_digest, receipt_digest);
+        self.op_log.push(OpRecord {
+            seq: self.op_log.len() as u64,
+            at,
+            op,
+            ok: result.is_ok(),
+        });
+        result
+    }
+
+    fn dispatch(&mut self, op: &Op) -> Result<Receipt, EngineError> {
+        match op {
+            Op::SectorRegister { owner, capacity } => self
+                .sector_register_op(*owner, *capacity)
+                .map(|sector| Receipt::SectorRegistered { sector }),
+            Op::SectorDisable { caller, sector } => self
+                .sector_disable_op(*caller, *sector)
+                .map(|()| Receipt::SectorDisabled { sector: *sector }),
+            Op::FileAdd {
+                client,
+                size,
+                value,
+                merkle_root,
+            } => self
+                .file_add_op(*client, *size, *value, *merkle_root)
+                .map(|(file, cp)| Receipt::FileAdded { file, cp }),
+            Op::FileConfirm {
+                caller,
+                file,
+                index,
+                sector,
+            } => self
+                .file_confirm_op(*caller, *file, *index, *sector)
+                .map(|()| Receipt::Confirmed {
+                    file: *file,
+                    index: *index,
+                }),
+            Op::FileProve {
+                caller,
+                file,
+                index,
+                sector,
+            } => self
+                .file_prove_op(*caller, *file, *index, *sector)
+                .map(|()| Receipt::Proved {
+                    file: *file,
+                    index: *index,
+                }),
+            Op::FileGet { caller, file } => self
+                .file_get_op(*caller, *file)
+                .map(|holders| Receipt::Holders { holders }),
+            Op::FileDiscard { caller, file } => self
+                .file_discard_op(*caller, *file)
+                .map(|()| Receipt::Discarded { file: *file }),
+            Op::ForceDiscard { file } => {
+                self.force_discard_op(*file);
+                Ok(Receipt::Discarded { file: *file })
+            }
+            Op::Fund { account, amount } => {
+                self.ledger.mint(*account, *amount);
+                Ok(Receipt::Balance {
+                    account: *account,
+                    balance: self.ledger.balance(*account),
+                })
+            }
+            Op::Burn { account, amount } => {
+                self.ledger
+                    .burn(*account, *amount)
+                    .map_err(|_| EngineError::InsufficientFunds)?;
+                Ok(Receipt::Balance {
+                    account: *account,
+                    balance: self.ledger.balance(*account),
+                })
+            }
+            Op::FailSector { sector } => {
+                self.fail_sector_op(*sector);
+                Ok(Receipt::Faulted { sector: *sector })
+            }
+            Op::CorruptSector { sector } => {
+                self.corrupt_sector_op(*sector);
+                Ok(Receipt::Faulted { sector: *sector })
+            }
+            Op::AdvanceTo { target } => {
+                self.advance_to_op(*target);
+                Ok(Receipt::TimeAdvanced {
+                    now: self.now(),
+                    height: self.chain.height(),
+                })
+            }
+        }
+    }
+
+    /// The op log: every applied op in order, successes and failures alike.
+    pub fn op_log(&self) -> &[OpRecord] {
+        &self.op_log
+    }
+
+    /// Rebuilds an engine by replaying an op log against fresh state. With
+    /// the same `params`, the result matches the original engine exactly —
+    /// same `state_root()`, same block hashes at every height (the replay
+    /// determinism tests assert this over random workloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated parameter constraint. Individual op
+    /// failures are *expected* to recur (failed ops are logged too); in
+    /// debug builds a divergence between logged and replayed outcomes
+    /// panics.
+    pub fn replay(params: ProtocolParams, log: &[OpRecord]) -> Result<Engine, ParamError> {
+        let mut engine = Engine::new(params)?;
+        for record in log {
+            let outcome = engine.apply(record.op.clone());
+            debug_assert_eq!(
+                outcome.is_ok(),
+                record.ok,
+                "replay diverged at op #{} ({})",
+                record.seq,
+                record.op.kind()
+            );
+        }
+        Ok(engine)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Current consensus time.
+    pub fn now(&self) -> Time {
+        self.chain.now()
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    /// The token ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &BlockChain {
+        &self.chain
+    }
+
+    /// Counters for tests and experiments.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// A file descriptor, if the file is live.
+    pub fn file(&self, id: FileId) -> Option<&FileDescriptor> {
+        self.files.get(&id)
+    }
+
+    /// A sector, if registered and not removed.
+    pub fn sector(&self, id: SectorId) -> Option<&Sector> {
+        self.sectors.get(&id)
+    }
+
+    /// DRep accounting for a sector.
+    pub fn cr_accounting(&self, id: SectorId) -> Option<&CrAccounting> {
+        self.cr.get(&id)
+    }
+
+    /// An allocation entry.
+    pub fn alloc_entry(&self, file: FileId, index: u32) -> Option<&AllocEntry> {
+        self.alloc.get(&(file, index))
+    }
+
+    /// Live files (ids).
+    pub fn file_ids(&self) -> Vec<FileId> {
+        let mut ids: Vec<_> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Live sectors (ids).
+    pub fn sector_ids(&self) -> Vec<SectorId> {
+        let mut ids: Vec<_> = self.sectors.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Protocol events logged so far (in order).
+    pub fn events(&self) -> &[ProtocolEvent] {
+        &self.events
+    }
+
+    /// Removes and returns the logged events.
+    pub fn drain_events(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Sum of deposits currently pledged by live sectors.
+    pub fn total_pledged_deposits(&self) -> TokenAmount {
+        self.sectors.values().map(|s| s.deposit).sum()
+    }
+
+    /// A commitment over the engine state, folded into sealed blocks.
+    pub fn state_root(&self) -> Hash256 {
+        keyed_hash(
+            "fileinsurer/state",
+            &[
+                &self.chain.now().to_be_bytes(),
+                &(self.files.len() as u64).to_be_bytes(),
+                &(self.sectors.len() as u64).to_be_bytes(),
+                &self.ledger.total_supply().0.to_be_bytes(),
+                &self.op_counter.to_be_bytes(),
+                &(self.op_log.len() as u64).to_be_bytes(),
+            ],
+        )
+    }
+
+    /// Replaces the gas fee schedule (e.g. [`GasSchedule::free`] for
+    /// experiments isolating protocol money flows from gas noise).
+    ///
+    /// This is deployment configuration, not a transaction: it is not
+    /// logged, so replays of an engine with a non-default schedule must
+    /// set the same schedule before feeding the log.
+    pub fn set_gas_schedule(&mut self, schedule: GasSchedule) {
+        self.gas = schedule;
+    }
+
+    // ------------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------------
+
+    /// Advances consensus time to `target`, executing every `Auto_*` task
+    /// that falls due, in timestamp order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is in the past.
+    pub fn advance_to(&mut self, target: Time) {
+        self.apply(Op::AdvanceTo { target })
+            .expect("AdvanceTo is infallible");
+    }
+
+    /// Advances by one block interval.
+    pub fn tick(&mut self) {
+        self.advance_to(self.now() + self.params.block_interval);
+    }
+
+    pub(super) fn advance_to_op(&mut self, target: Time) {
+        assert!(target >= self.now(), "time cannot rewind");
+        while let Some(t) = self.pending.next_time() {
+            if t > target {
+                break;
+            }
+            let root = self.state_root();
+            self.chain.advance_time(t, root);
+            for (_, task) in self.pending.pop_due(t) {
+                self.execute(task);
+            }
+        }
+        let root = self.state_root();
+        self.chain.advance_time(target, root);
+    }
+
+    fn execute(&mut self, task: Task) {
+        match task {
+            Task::CheckAlloc(f) => self.auto_check_alloc(f),
+            Task::CheckProof(f) => self.auto_check_proof(f),
+            Task::CheckRefresh(f, i) => self.auto_check_refresh(f, i),
+            Task::DistributeRent => self.auto_distribute_rent(),
+        }
+        self.op_counter += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Shared internals
+    // ------------------------------------------------------------------
+
+    pub(super) fn rent_period(&self) -> Time {
+        self.params.proof_cycle * self.params.rent_period_cycles as Time
+    }
+
+    pub(super) fn log(&mut self, event: ProtocolEvent) {
+        self.chain.log(ChainEvent::new(
+            event.kind(),
+            format!("{event:?}").into_bytes(),
+        ));
+        self.events.push(event);
+        self.op_counter += 1;
+    }
+
+    pub(super) fn charge_gas(
+        &mut self,
+        account: AccountId,
+        ops: &[GasOp],
+    ) -> Result<(), EngineError> {
+        let gas: u64 = ops.iter().map(|&op| self.gas.price(op)).sum();
+        let fee = self.gas.to_tokens(gas);
+        self.ledger
+            .burn(account, fee)
+            .map_err(|_| EngineError::InsufficientFunds)
+    }
+}

@@ -16,9 +16,10 @@
 //! |---|---|---|
 //! | [`params`] | Table I, §IV | protocol constants & derived formulas |
 //! | [`types`] | Fig. 1 | sectors, file descriptors, allocation entries, events |
+//! | [`ops`] | Figs. 4–6 | the typed transaction layer: `Op`, `Receipt`, op log |
 //! | [`sampler`] | Table I (`RandomSector`) | Fenwick-tree weighted sampling |
 //! | [`drep`] | §III-D, Fig. 2 | Dynamic Replication / Capacity Replicas |
-//! | [`engine`] | §IV, Figs. 4–9 | the consensus state machine |
+//! | [`engine`] | §IV, Figs. 4–9 | the consensus state machine (`Engine::apply`) |
 //! | [`segment`] | §VI-C | erasure-coded large-file segmentation |
 //! | [`subnet`] | §VI-D | value-level subnetworks |
 //! | [`reputation`] | §VII (future work) | softmax provider reputation prototype |
@@ -57,6 +58,7 @@
 
 pub mod drep;
 pub mod engine;
+pub mod ops;
 pub mod params;
 pub mod reputation;
 pub mod sampler;
@@ -70,6 +72,7 @@ mod engine_tests;
 mod engine_tests_fees;
 
 pub use engine::{Engine, EngineError, EngineStats};
+pub use ops::{Op, OpRecord, Receipt};
 pub use params::{ParamError, ProtocolParams};
 pub use sampler::WeightedSampler;
 pub use types::{

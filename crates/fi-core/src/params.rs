@@ -1,7 +1,7 @@
 //! Protocol parameters (Table I and §IV of the paper) and derived formulas.
 
 use fi_chain::account::TokenAmount;
-use fi_chain::tasks::Time;
+use fi_chain::tasks::{SchedulerKind, Time};
 
 /// All tunable constants of a FileInsurer deployment.
 ///
@@ -66,6 +66,11 @@ pub struct ProtocolParams {
     pub seed: u64,
     /// Consensus block interval in time ticks.
     pub block_interval: Time,
+    /// Pending-list implementation for `Auto_*` tasks. The epoch-bucketed
+    /// wheel is the default; the BTreeMap variant is kept for like-for-like
+    /// benchmarking and differential tests — consensus execution is
+    /// identical either way.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for ProtocolParams {
@@ -95,6 +100,7 @@ impl Default for ProtocolParams {
             poisson_rebalance: false,
             seed: 0xF11E_1245,
             block_interval: 10,
+            scheduler: SchedulerKind::Wheel,
         }
     }
 }

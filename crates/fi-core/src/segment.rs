@@ -173,22 +173,13 @@ pub fn reassemble_file(
 ) -> Result<Vec<u8>, SegmentError> {
     let rs = ReedSolomon::new(segmented.data_shards, segmented.data_shards)
         .expect("shard counts validated at segmentation");
-    let total = rs.total_shards();
-    if received.len() != total {
-        return Err(SegmentError::Erasure(RsError::ShapeMismatch));
-    }
+    // Survivors whose length disagrees with the plan are as useless as
+    // erasures (gather only checks consistency *among* survivors).
     let len = segmented.segment_len();
     if received.iter().flatten().any(|s| s.len() != len) {
         return Err(SegmentError::Erasure(RsError::ShapeMismatch));
     }
-    let mut set = ShardSet::new(total, len);
-    let mut present = vec![false; total];
-    for (i, slot) in received.iter().enumerate() {
-        if let Some(s) = slot {
-            set.shard_mut(i).copy_from_slice(s);
-            present[i] = true;
-        }
-    }
+    let (mut set, present) = rs.gather_slices(received)?;
     let payload = rs.decode_bytes_flat(&mut set, &present, segmented.original_len)?;
     Ok(payload.to_vec())
 }

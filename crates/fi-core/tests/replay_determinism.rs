@@ -1,0 +1,169 @@
+//! Op-log replay determinism: a random workload driven through the typed
+//! transaction layer, replayed from the log into a fresh engine, must
+//! reproduce the same `state_root()` at every block — the property that
+//! makes the op log the canonical ledger history.
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_chain::tasks::SchedulerKind;
+use fi_core::engine::Engine;
+use fi_core::params::ProtocolParams;
+use fi_core::types::SectorState;
+use fi_crypto::{sha256, DetRng};
+
+const CLIENT: AccountId = AccountId(900);
+const PROVIDERS: [AccountId; 3] = [AccountId(700), AccountId(701), AccountId(702)];
+
+fn random_workload(seed: u64, params: &ProtocolParams) -> Engine {
+    let mut engine = Engine::new(params.clone()).expect("valid params");
+    let mut rng = DetRng::from_seed_label(seed, "replay-workload");
+    engine.fund(CLIENT, TokenAmount(500_000_000));
+    for p in PROVIDERS {
+        engine.fund(p, TokenAmount(1_000_000_000_000));
+        for _ in 0..2 {
+            engine
+                .sector_register(p, 640 * (1 + rng.below(3)))
+                .expect("registration");
+        }
+    }
+    for step in 0..60u64 {
+        match rng.below(10) {
+            0..=3 => {
+                // File adds (sometimes unaffordable sizes → failed op,
+                // which must also replay identically).
+                let size = 1 + rng.below(40);
+                let root = sha256(&(seed ^ step).to_be_bytes());
+                let _ = engine.file_add(CLIENT, size, engine.params().min_value, root);
+            }
+            4..=6 => {
+                engine.honest_providers_act();
+            }
+            7 => {
+                // Discard a random live file (or fail on a bogus id).
+                let ids = engine.file_ids();
+                if !ids.is_empty() {
+                    let f = ids[(rng.below(ids.len() as u64)) as usize];
+                    let _ = engine.file_discard(CLIENT, f);
+                }
+            }
+            8 => {
+                // Fault injection.
+                let ids = engine.sector_ids();
+                if !ids.is_empty() {
+                    let s = ids[(rng.below(ids.len() as u64)) as usize];
+                    if engine.sector(s).map(|x| x.state) == Some(SectorState::Normal) {
+                        if rng.below(2) == 0 {
+                            engine.fail_sector_silently(s);
+                        } else {
+                            engine.corrupt_sector_now(s);
+                        }
+                    }
+                }
+            }
+            _ => {
+                engine.advance_to(engine.now() + 10 + rng.below(150));
+            }
+        }
+    }
+    engine.honest_providers_act();
+    engine.advance_to(engine.now() + engine.params().proof_cycle * 3);
+    engine
+}
+
+fn assert_replay_matches(original: &Engine, params: ProtocolParams) {
+    let replayed = Engine::replay(params, original.op_log()).expect("params valid");
+    // Same state root and chain head…
+    assert_eq!(replayed.state_root(), original.state_root());
+    assert_eq!(replayed.chain().head_hash(), original.chain().head_hash());
+    // …and block-by-block: every sealed block (whose hash folds in the
+    // state root declared at seal time, the event digests, and the op
+    // batch + receipt root) is identical.
+    let a = original.chain().blocks();
+    let b = replayed.chain().blocks();
+    assert_eq!(a.len(), b.len(), "block counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.block_hash, y.block_hash, "block {} diverged", x.height);
+        assert_eq!(x.op_digests, y.op_digests, "op batch {} diverged", x.height);
+        assert_eq!(
+            x.receipt_root, y.receipt_root,
+            "receipts {} diverged",
+            x.height
+        );
+    }
+    // Observable protocol outcomes match too.
+    assert_eq!(replayed.stats(), original.stats());
+    assert_eq!(replayed.file_ids(), original.file_ids());
+    assert_eq!(replayed.sector_ids(), original.sector_ids());
+    assert_eq!(
+        replayed.ledger().total_supply(),
+        original.ledger().total_supply()
+    );
+}
+
+#[test]
+fn random_workloads_replay_to_identical_chains() {
+    for seed in [1u64, 7, 42] {
+        let params = ProtocolParams {
+            k: 3,
+            delay_per_size: 6,
+            avg_refresh: 6.0,
+            ..ProtocolParams::default()
+        };
+        let engine = random_workload(seed, &params);
+        assert!(
+            engine.op_log().iter().any(|r| !r.ok),
+            "seed {seed}: workload should include failed ops (they replay too)"
+        );
+        assert_replay_matches(&engine, params);
+    }
+}
+
+#[test]
+fn replay_is_scheduler_agnostic() {
+    // The wheel and the BTreeMap scheduler execute tasks identically, so a
+    // log recorded under one replays to the same chain under the other.
+    let wheel_params = ProtocolParams {
+        k: 3,
+        delay_per_size: 6,
+        scheduler: SchedulerKind::Wheel,
+        ..ProtocolParams::default()
+    };
+    let btree_params = ProtocolParams {
+        scheduler: SchedulerKind::BTree,
+        ..wheel_params.clone()
+    };
+    let engine = random_workload(99, &wheel_params);
+    assert_replay_matches(&engine, btree_params);
+}
+
+#[test]
+fn segmented_upload_rollback_is_replayable() {
+    // The §VI-C rollback path issues consensus-side ForceDiscard ops; the
+    // log must capture them so replay reproduces the partial-upload state.
+    let params = ProtocolParams {
+        k: 2,
+        size_limit: 16,
+        ..ProtocolParams::default()
+    };
+    let mut engine = Engine::new(params.clone()).unwrap();
+    let provider = AccountId(100);
+    engine.fund(provider, TokenAmount(1_000_000_000));
+    engine.sector_register(provider, 640).unwrap();
+    // Fund the client with just enough for part of the upload so it fails
+    // midway and rolls back.
+    let client = AccountId(200);
+    engine.fund(client, TokenAmount(400));
+    let payload: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+    let err = engine
+        .file_add_segmented(client, &payload, TokenAmount(2_000))
+        .unwrap_err();
+    let _ = err;
+    assert!(
+        engine
+            .op_log()
+            .iter()
+            .any(|r| r.op.kind() == "op.force_discard"),
+        "rollback must be logged as ops"
+    );
+    engine.advance_to(engine.now() + 500);
+    assert_replay_matches(&engine, params);
+}

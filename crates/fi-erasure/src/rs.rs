@@ -291,19 +291,25 @@ impl ReedSolomon {
         if set.shard_count() != self.total_shards() {
             return Err(RsError::ShapeMismatch);
         }
-        let gf = self.gf;
         for p in 0..self.parity {
-            let row_idx = self.data + p;
-            set.shard_mut(row_idx).fill(0);
-            for c in 0..self.data {
-                let coeff = self.encode_matrix.get(row_idx, c);
-                if coeff == 0 {
-                    continue;
-                }
-                set.with_rows(row_idx, c, |dst, src| gf.mul_acc(dst, src, coeff));
-            }
+            self.derive_parity_row(set, self.data + p);
         }
         Ok(())
+    }
+
+    /// Recomputes parity row `row_idx` in place from the (complete) data
+    /// rows — the dense linear combination shared by encoding and by
+    /// restoring erased parity during reconstruction.
+    fn derive_parity_row(&self, set: &mut ShardSet, row_idx: usize) {
+        let gf = self.gf;
+        set.shard_mut(row_idx).fill(0);
+        for c in 0..self.data {
+            let coeff = self.encode_matrix.get(row_idx, c);
+            if coeff == 0 {
+                continue;
+            }
+            set.with_rows(row_idx, c, |dst, src| gf.mul_acc(dst, src, coeff));
+        }
     }
 
     /// Restores the erased rows of `set` in place; `present[i]` says whether
@@ -363,14 +369,7 @@ impl ReedSolomon {
             if present[row_idx] {
                 continue;
             }
-            set.shard_mut(row_idx).fill(0);
-            for c in 0..self.data {
-                let coeff = self.encode_matrix.get(row_idx, c);
-                if coeff == 0 {
-                    continue;
-                }
-                set.with_rows(row_idx, c, |dst, src| gf.mul_acc(dst, src, coeff));
-            }
+            self.derive_parity_row(set, row_idx);
         }
         Ok(())
     }
@@ -480,9 +479,22 @@ impl ReedSolomon {
             .to_vec())
     }
 
-    /// Validates an `Option<Vec<u8>>` shard vector and packs the present
-    /// shards into a flat [`ShardSet`] plus a presence mask.
-    fn gather(&self, shards: &[Option<Vec<u8>>]) -> Result<(ShardSet, Vec<bool>), RsError> {
+    /// Validates a vector of optional shard *slices* (`None` = erased) and
+    /// packs the present ones into a flat [`ShardSet`] plus a presence
+    /// mask — the standard prelude to [`ReedSolomon::reconstruct_into`] /
+    /// [`ReedSolomon::decode_bytes_flat`] for callers whose survivors live
+    /// in borrowed buffers (network receive paths, segment reassembly).
+    ///
+    /// # Errors
+    ///
+    /// * [`RsError::ShapeMismatch`] — wrong arity or inconsistent shard
+    ///   lengths among the survivors;
+    /// * [`RsError::NotEnoughShards`] — no shard present at all (later
+    ///   stages report the precise shortfall against `data_shards()`).
+    pub fn gather_slices(
+        &self,
+        shards: &[Option<&[u8]>],
+    ) -> Result<(ShardSet, Vec<bool>), RsError> {
         let total = self.total_shards();
         if shards.len() != total {
             return Err(RsError::ShapeMismatch);
@@ -494,11 +506,8 @@ impl ReedSolomon {
                 required: self.data,
             });
         }
-        let len = shards[available[0]].as_ref().unwrap().len();
-        if available
-            .iter()
-            .any(|&i| shards[i].as_ref().unwrap().len() != len)
-        {
+        let len = shards[available[0]].unwrap().len();
+        if available.iter().any(|&i| shards[i].unwrap().len() != len) {
             return Err(RsError::ShapeMismatch);
         }
         let mut set = ShardSet::new(total, len);
@@ -510,6 +519,12 @@ impl ReedSolomon {
             }
         }
         Ok((set, present))
+    }
+
+    /// Owning-API counterpart of [`ReedSolomon::gather_slices`].
+    fn gather(&self, shards: &[Option<Vec<u8>>]) -> Result<(ShardSet, Vec<bool>), RsError> {
+        let borrowed: Vec<Option<&[u8]>> = shards.iter().map(|s| s.as_deref()).collect();
+        self.gather_slices(&borrowed)
     }
 }
 
@@ -650,6 +665,36 @@ mod tests {
         assert_eq!(
             rs.reconstruct_into(&mut set, &[true, true]),
             Err(RsError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn gather_slices_packs_and_masks() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let encoded = rs.encode_bytes(&sample_payload(60));
+        let slices: Vec<Option<&[u8]>> = encoded
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i != 1).then_some(s.as_slice()))
+            .collect();
+        let (set, present) = rs.gather_slices(&slices).unwrap();
+        assert_eq!(present, vec![true, false, true, true, true]);
+        assert_eq!(set.shard(0), encoded[0].as_slice());
+        assert_eq!(set.shard(1), vec![0u8; set.shard_len()].as_slice());
+
+        // Arity and length mismatches are rejected.
+        assert_eq!(rs.gather_slices(&slices[..4]), Err(RsError::ShapeMismatch));
+        let short = vec![0u8; encoded[0].len() - 1];
+        let mut bad = slices.clone();
+        bad[2] = Some(&short);
+        assert_eq!(rs.gather_slices(&bad), Err(RsError::ShapeMismatch));
+        let none: Vec<Option<&[u8]>> = vec![None; 5];
+        assert_eq!(
+            rs.gather_slices(&none),
+            Err(RsError::NotEnoughShards {
+                available: 0,
+                required: 3
+            })
         );
     }
 

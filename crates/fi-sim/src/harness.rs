@@ -6,6 +6,11 @@
 //! and submit proofs each cycle; lazy ones skip proofs with some
 //! probability (earning punishments); failing ones go dark at a set time
 //! (exercising the `ProofDeadline` → confiscation → compensation path).
+//!
+//! Every engine method the harness calls is a thin wrapper over the typed
+//! transaction layer (`Engine::apply`), so whole scenario runs — faults,
+//! punishments, compensation included — are replayable from the op log via
+//! `Engine::replay` (asserted in the tests below).
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_core::engine::Engine;
@@ -282,6 +287,39 @@ mod tests {
             scenario.engine.stats()
         );
         assert!(scenario.engine.file(f).is_some(), "file survives laziness");
+    }
+
+    /// The harness drives everything through `Engine::apply`, so a whole
+    /// scenario — faults, punishments, compensation included — replays
+    /// from its op log to the identical state and chain head.
+    #[test]
+    fn scenario_runs_are_replayable_from_op_log() {
+        let p = params(3);
+        let mut scenario = Scenario::new(
+            p.clone(),
+            vec![
+                ProviderSpec {
+                    account: AccountId(700),
+                    sectors: vec![640],
+                    behavior: ProviderBehavior::FailsAt { at: 700 },
+                },
+                ProviderSpec {
+                    account: AccountId(701),
+                    sectors: vec![640, 1280],
+                    behavior: ProviderBehavior::Honest,
+                },
+            ],
+            CLIENT,
+        );
+        scenario.add_file(CLIENT, 16, TokenAmount(1_000));
+        scenario.run_until(2_500);
+        let replayed = Engine::replay(p, scenario.engine.op_log()).expect("params valid");
+        assert_eq!(replayed.state_root(), scenario.engine.state_root());
+        assert_eq!(
+            replayed.chain().head_hash(),
+            scenario.engine.chain().head_hash()
+        );
+        assert_eq!(replayed.stats(), scenario.engine.stats());
     }
 
     #[test]

@@ -9,9 +9,19 @@
 //! The experiment draws a workload from a size/value distribution, fills
 //! the network file by file until either restriction trips, and compares
 //! the stored raw size with the formula.
+//!
+//! Two variants: [`run_one`] fills against the formulas analytically, and
+//! [`run_engine_fill`] drives a real [`fi_core::Engine`] through the typed
+//! op layer (`Engine::apply` with `File_Add` transactions) until the
+//! allocator reports `NoCapacity` — the end-to-end check that the engine's
+//! capacity behaviour matches what Theorem 1 assumes.
 
 use fi_analysis::theorems::{theorem1_max_total_size, workload_r1, workload_r2};
-use fi_crypto::DetRng;
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::{Engine, EngineError};
+use fi_core::ops::{Op, Receipt};
+use fi_core::params::ProtocolParams;
+use fi_crypto::{sha256, DetRng};
 
 use crate::report::{sci, TextTable};
 
@@ -160,6 +170,101 @@ pub fn run_all(config: &ScalabilityConfig) -> Vec<ScalabilityRow> {
     Workload::ALL.iter().map(|w| run_one(*w, config)).collect()
 }
 
+/// Result of the engine-backed capacity fill ([`run_engine_fill`]).
+#[derive(Debug, Clone)]
+pub struct EngineFillRow {
+    /// Files the engine accepted before the first `NoCapacity`.
+    pub files_stored: u64,
+    /// Total replica size the engine reserved.
+    pub replica_size: u64,
+    /// Total raw capacity registered.
+    pub total_capacity: u64,
+    /// `replica_size / total_capacity` at the first rejection.
+    pub utilization: f64,
+    /// Theorem 1's prediction for storable raw size under this homogeneous
+    /// workload (with its factor-2 refresh headroom).
+    pub theorem1_predicted: f64,
+}
+
+/// Fills a real engine with homogeneous `minValue` files of size 1 through
+/// the typed op layer until `File_Add` returns `NoCapacity`, then reports
+/// how full the network got.
+///
+/// Theorem 1 budgets only half the raw capacity for replicas (the other
+/// half is headroom so `Auto_Refresh` keeps finding space); the engine
+/// itself accepts files until sampling can no longer find room, so the
+/// measured utilization must land well above the theorem's conservative
+/// bound and below 1.
+///
+/// # Panics
+///
+/// Panics if parameters are invalid or funding/registration ops fail.
+pub fn run_engine_fill(config: &ScalabilityConfig) -> EngineFillRow {
+    let params = ProtocolParams {
+        k: config.k,
+        min_capacity: config.min_capacity,
+        cap_para: config.cap_para,
+        seed: config.seed,
+        ..ProtocolParams::default()
+    };
+    let min_value = params.min_value;
+    let mut engine = Engine::new(params).expect("valid parameters");
+    let provider = AccountId(10_000);
+    let client = AccountId(10_001);
+    engine
+        .apply(Op::Fund {
+            account: provider,
+            amount: TokenAmount(u128::MAX / 4),
+        })
+        .expect("fund provider");
+    engine
+        .apply(Op::Fund {
+            account: client,
+            amount: TokenAmount(u128::MAX / 4),
+        })
+        .expect("fund client");
+    for _ in 0..config.ns {
+        engine
+            .apply(Op::SectorRegister {
+                owner: provider,
+                capacity: config.min_capacity,
+            })
+            .expect("register sector");
+    }
+    let total_capacity = config.ns * config.min_capacity;
+
+    let mut files_stored = 0u64;
+    loop {
+        let root = sha256(&files_stored.to_be_bytes());
+        match engine.apply(Op::FileAdd {
+            client,
+            size: 1,
+            value: min_value,
+            merkle_root: root,
+        }) {
+            Ok(Receipt::FileAdded { .. }) => files_stored += 1,
+            Ok(other) => unreachable!("FileAdd yields FileAdded, got {other:?}"),
+            Err(EngineError::NoCapacity) => break,
+            Err(e) => panic!("unexpected File_Add failure: {e}"),
+        }
+    }
+    let replica_size = files_stored * config.k as u64; // size 1 × cp replicas
+    let predicted = theorem1_max_total_size(
+        config.ns as f64,
+        config.min_capacity as f64,
+        config.k as f64,
+        1.0, // homogeneous workload: r1 = 1
+        config.min_capacity as f64 / config.cap_para as f64,
+    );
+    EngineFillRow {
+        files_stored,
+        replica_size,
+        total_capacity,
+        utilization: replica_size as f64 / total_capacity as f64,
+        theorem1_predicted: predicted,
+    }
+}
+
 /// Renders rows.
 pub fn render(rows: &[ScalabilityRow]) -> String {
     let mut table = TextTable::new(vec![
@@ -227,5 +332,35 @@ mod tests {
         };
         let row = run_one(Workload::Homogeneous, &config);
         assert_eq!(row.binding, "capacity");
+    }
+
+    #[test]
+    fn engine_fill_through_op_layer_beats_theorem_bound() {
+        // Small network: 40 sectors × 64 units, k = 4 replicas per file.
+        let config = ScalabilityConfig {
+            ns: 40,
+            min_capacity: 64,
+            k: 4,
+            cap_para: 2,
+            seed: 0xF111,
+        };
+        let row = run_engine_fill(&config);
+        assert!(row.files_stored > 0);
+        // The engine packs past Theorem 1's conservative half-capacity
+        // budget but can never exceed raw capacity.
+        assert!(
+            row.utilization > 0.5 && row.utilization <= 1.0,
+            "utilization {}",
+            row.utilization
+        );
+        assert!(
+            row.files_stored as f64
+                >= row
+                    .theorem1_predicted
+                    .min(row.total_capacity as f64 / (2.0 * config.k as f64)),
+            "stored {} vs predicted {}",
+            row.files_stored,
+            row.theorem1_predicted
+        );
     }
 }
