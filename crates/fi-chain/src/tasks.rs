@@ -30,6 +30,19 @@ use std::collections::{BTreeMap, VecDeque};
 /// Discrete consensus time (block timestamp units).
 pub type Time = u64;
 
+/// Stable-sorts a drained bucket by timestamp and appends it to `due` —
+/// the shared tail of every pop path that drains a *mixed-timestamp*
+/// bucket (the wheel's full-bucket and partial-bucket cases). The sort is
+/// stable and buckets hold insertion order, so the contract both
+/// pending-list implementations promise — `(time, insertion)` order —
+/// falls out here. [`PendingList::pop_due`] doesn't need it: a BTreeMap
+/// drain is already time-ordered, and re-sorting the benchmark baseline
+/// would pad the wheel's measured advantage.
+fn append_due<T>(due: &mut Vec<(Time, T)>, mut bucket: Vec<(Time, T)>) {
+    bucket.sort_by_key(|(t, _)| *t);
+    due.append(&mut bucket);
+}
+
 /// A time-ordered task queue with stable FIFO order within a timestamp.
 ///
 /// # Example
@@ -74,15 +87,15 @@ impl<T> PendingList<T> {
     /// Removes and returns every task due at or before `now`, in
     /// `(time, insertion)` order.
     pub fn pop_due(&mut self, now: Time) -> Vec<(Time, T)> {
-        let mut due = Vec::new();
-        // split_off keeps keys > now in the original map.
+        // split_off keeps keys > now in the original map. The drain walks
+        // keys in ascending time order, so the output is `(time,
+        // insertion)`-ordered by construction — no `append_due` sort here.
         let mut later = self.queue.split_off(&(now + 1));
         std::mem::swap(&mut self.queue, &mut later);
-        for (time, tasks) in later {
-            for task in tasks {
-                due.push((time, task));
-            }
-        }
+        let due: Vec<(Time, T)> = later
+            .into_iter()
+            .flat_map(|(time, tasks)| tasks.into_iter().map(move |task| (time, task)))
+            .collect();
         self.len -= due.len();
         due
     }
@@ -192,14 +205,13 @@ impl<T> TaskWheel<T> {
         let mut due: Vec<(Time, T)> = Vec::new();
         // Fully-due buckets: every timestamp in epoch e is < (e+1)·g ≤ now.
         while self.base_epoch < now_epoch {
-            let Some(mut bucket) = self.buckets.pop_front() else {
+            let Some(bucket) = self.buckets.pop_front() else {
                 self.base_epoch = now_epoch;
                 break;
             };
             self.base_epoch += 1;
             self.len -= bucket.len();
-            bucket.sort_by_key(|(t, _)| *t); // stable: FIFO within a timestamp
-            due.append(&mut bucket);
+            append_due(&mut due, bucket);
         }
         // Partial bucket: `now` falls inside it — or before it entirely, in
         // which case only clamped stale tasks (true time ≤ now) can be due,
@@ -218,8 +230,7 @@ impl<T> TaskWheel<T> {
                     }
                     *head = keep;
                     self.len -= taken.len();
-                    taken.sort_by_key(|(t, _)| *t);
-                    due.append(&mut taken);
+                    append_due(&mut due, taken);
                 }
             }
         }
@@ -325,6 +336,32 @@ impl<T> Scheduler<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+// ----------------------------------------------------------------------
+// Sharded drain: one scheduler per shard, popped as per-shard slices
+// ----------------------------------------------------------------------
+
+/// Earliest scheduled time across a set of per-shard schedulers — the
+/// sharded counterpart of [`Scheduler::next_time`]. Because sharding only
+/// partitions the task population, this equals what a single scheduler
+/// holding every task would report.
+pub fn next_time_across<T>(shards: &[Scheduler<T>]) -> Option<Time> {
+    shards.iter().filter_map(Scheduler::next_time).min()
+}
+
+/// Pops every task due at or before `now` from each scheduler, yielding
+/// one slice per shard (each in that shard's `(time, insertion)` order).
+///
+/// This is the standalone form of the bucket-drain contract the engine's
+/// sharded audit relies on (its shards embed one wheel each and drain
+/// them the same way): the slices can be verified concurrently (they
+/// partition disjoint state), then merged back into a single
+/// deterministic commit order by a shard-independent key the caller
+/// embedded in `T` (the engine uses a global schedule sequence number) —
+/// the randomized merge-equivalence test below pins that contract.
+pub fn pop_due_across<T>(shards: &mut [Scheduler<T>], now: Time) -> Vec<Vec<(Time, T)>> {
+    shards.iter_mut().map(|s| s.pop_due(now)).collect()
 }
 
 #[cfg(test)]
@@ -541,6 +578,50 @@ mod tests {
             assert_eq!(wheel.pop_due(u64::MAX / 2), list.pop_due(u64::MAX / 2));
             assert!(wheel.is_empty() && list.is_empty());
         }
+    }
+
+    /// Tasks spread round-robin over per-shard schedulers and tagged with a
+    /// global sequence number must, after a sharded drain + merge on
+    /// `(time, seq)`, reproduce exactly what one scheduler holding the whole
+    /// population pops — the invariant the engine's sharded commit phase
+    /// relies on.
+    #[test]
+    fn sharded_drain_merged_by_seq_matches_single_scheduler() {
+        for kind in [SchedulerKind::Wheel, SchedulerKind::BTree] {
+            for seed in 0..32u64 {
+                let mut rng = fi_crypto::DetRng::from_seed_label(seed, "shard-drain");
+                let nshards = 1 + rng.below(7) as usize;
+                let mut shards: Vec<Scheduler<(u64, u64)>> =
+                    (0..nshards).map(|_| Scheduler::new(kind, 10)).collect();
+                let mut single: Scheduler<(u64, u64)> = Scheduler::new(kind, 10);
+                let mut clock = 0u64;
+                let mut seq = 0u64;
+                for _ in 0..150 {
+                    if rng.below(3) < 2 {
+                        let t = clock + rng.below(90);
+                        let task = rng.below(1000);
+                        shards[(task % nshards as u64) as usize].schedule(t, (seq, task));
+                        single.schedule(t, (seq, task));
+                        seq += 1;
+                    } else {
+                        clock += rng.below(35);
+                        assert_eq!(next_time_across(&shards), single.next_time(), "seed {seed}");
+                        let slices = pop_due_across(&mut shards, clock);
+                        let mut merged: Vec<(Time, (u64, u64))> =
+                            slices.into_iter().flatten().collect();
+                        merged.sort_by_key(|&(t, (s, _))| (t, s));
+                        assert_eq!(merged, single.pop_due(clock), "seed {seed}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_drain_empty_set() {
+        let mut shards: Vec<Scheduler<u32>> = Vec::new();
+        assert_eq!(next_time_across(&shards), None);
+        assert!(pop_due_across(&mut shards, 100).is_empty());
     }
 
     #[test]

@@ -7,17 +7,116 @@
 //! [`Engine::advance_to`] moves time past their deadline, which is exactly
 //! why the op log stays replayable — the same `AdvanceTo` op deterministically
 //! re-executes the same task sequence.
+//!
+//! `Auto_CheckProof` is split in two phases. The **verify** phase
+//! ([`Engine::verify_bucket`]) cryptographically checks the storage proofs
+//! on record for a popped bucket — a modeled Merkle path walk per audited
+//! replica, the simulated WindowPoSt verification cost. It reads only the
+//! task's shard (files + alloc rows) and the parameters, so a bucket's
+//! slices verify concurrently across shards with scoped threads. The
+//! **commit** phase (the `auto_*` handlers below) then runs sequentially in
+//! canonical `(time, schedule-seq)` order, folding each audit digest into
+//! the engine's `audit_root` before applying rent, punishments and
+//! refreshes — bit-identical to a 1-shard engine.
+
+use std::thread;
 
 use fi_chain::account::TokenAmount;
-use fi_crypto::DetRng;
+use fi_chain::tasks::Time;
+use fi_crypto::{keyed_hash, DetRng, Hash256};
 
 use crate::types::{
     AllocState, FileId, FileState, ProtocolEvent, RemovalReason, SectorId, SectorState,
 };
 
+use super::shard::{Shard, ShardSlice};
 use super::{Engine, Task, COMPENSATION_POOL, DEPOSIT_ESCROW, RENT_POOL, TRAFFIC_ESCROW};
 
+/// The read-only verdict of auditing one `Auto_CheckProof` task: a
+/// commitment over every verified replica proof, later folded into the
+/// engine's `audit_root` by the commit phase, plus how many replicas were
+/// checked (surfaced as `EngineStats::proofs_audited`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(super) struct ProofAudit {
+    /// Fold of the per-replica verification digests, in replica order.
+    pub(super) digest: Hash256,
+    /// Replicas whose proof-on-record was verified.
+    pub(super) replicas_checked: u64,
+}
+
+/// Buckets with fewer `Auto_CheckProof` tasks than this verify inline:
+/// spawning a thread per shard costs more than walking a handful of Merkle
+/// paths. The outcome is identical either way — the verify phase is pure.
+const PARALLEL_VERIFY_THRESHOLD: usize = 64;
+
 impl Engine {
+    // ------------------------------------------------------------------
+    // Verify phase (read-only, parallel across shards)
+    // ------------------------------------------------------------------
+
+    /// Audits every `Auto_CheckProof` task in a popped bucket, one verdict
+    /// slot per popped task (non-audit tasks get `None`). Each shard's
+    /// slice touches only that shard's state, so large buckets fan out
+    /// across shards with `std::thread::scope`.
+    pub(super) fn verify_bucket(
+        &self,
+        slices: &[ShardSlice],
+        now: Time,
+    ) -> Vec<Vec<Option<ProofAudit>>> {
+        let path_len = self.params.audit_path_len;
+        let shards = &self.shards.shards;
+        // Count audit tasks only when fan-out is even possible: the
+        // single-shard engine (the default) skips this per-bucket scan on
+        // the hot `advance_to` path.
+        let audit_tasks = || -> usize {
+            slices
+                .iter()
+                .map(|slice| {
+                    slice
+                        .iter()
+                        .filter(|(_, (_, task))| matches!(task, Task::CheckProof(_)))
+                        .count()
+                })
+                .sum()
+        };
+        if shards.len() > 1 && audit_tasks() >= PARALLEL_VERIFY_THRESHOLD {
+            // Shards are chunked over at most `available_parallelism`
+            // workers — a 256-shard engine on a 4-core host gets 4 threads
+            // of 64 shards each, not 256 one-audit threads. Chunks are
+            // contiguous and rejoined in order, so the output is the same
+            // per-shard Vec the inline path produces.
+            let pairs: Vec<(&Shard, &ShardSlice)> = shards.iter().zip(slices.iter()).collect();
+            let workers = thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .clamp(1, pairs.len());
+            let chunk_len = pairs.len().div_ceil(workers);
+            thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .chunks(chunk_len)
+                    .map(|group| {
+                        scope.spawn(move || {
+                            group
+                                .iter()
+                                .map(|(shard, slice)| verify_slice(shard, slice, now, path_len))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("audit verify worker panicked"))
+                    .collect()
+            })
+        } else {
+            shards
+                .iter()
+                .zip(slices.iter())
+                .map(|(shard, slice)| verify_slice(shard, slice, now, path_len))
+                .collect()
+        }
+    }
+
     // ------------------------------------------------------------------
     // Adversary / fault injection
     // ------------------------------------------------------------------
@@ -67,7 +166,7 @@ impl Engine {
         self.ledger
             .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, confiscated)
             .expect("deposit escrow covers pledged deposits");
-        self.stats.sectors_corrupted += 1;
+        self.stats_global.sectors_corrupted += 1;
         self.log(ProtocolEvent::SectorCorrupted {
             sector,
             confiscated,
@@ -77,30 +176,30 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
-    // Auto tasks
+    // Auto tasks (the sequential commit phase)
     // ------------------------------------------------------------------
 
     /// `Auto_CheckAlloc` (Fig. 7).
     pub(super) fn auto_check_alloc(&mut self, file: FileId) {
-        let Some(desc) = self.files.get(&file) else {
+        let Some(desc) = self.shards.file(file) else {
             return;
         };
         let cp = desc.cp;
         let owner = desc.owner;
+        let size = desc.size;
 
         // First pass: all entries must be Confirm or Corrupted.
         let all_ok = (0..cp).all(|i| {
             matches!(
-                self.alloc.get(&(file, i)).map(|e| e.state),
+                self.shards.entry(file, i).map(|e| e.state),
                 Some(AllocState::Confirm) | Some(AllocState::Corrupted)
             )
         });
         if !all_ok {
             // Upload failed: refund outstanding traffic escrow for
             // unconfirmed replicas, release reservations, drop the file.
-            let size = self.files[&file].size;
             let unconfirmed = (0..cp)
-                .filter(|&i| self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Alloc))
+                .filter(|&i| self.shards.entry(file, i).map(|e| e.state) == Some(AllocState::Alloc))
                 .count() as u128;
             let refund = TokenAmount(self.params.traffic_fee(size).0 * unconfirmed);
             self.ledger.transfer_up_to(TRAFFIC_ESCROW, owner, refund);
@@ -111,7 +210,7 @@ impl Engine {
         // Second pass: finalise.
         let now = self.now();
         for i in 0..cp {
-            let e = self.alloc.get_mut(&(file, i)).expect("entry exists");
+            let e = self.shards.entry_mut(file, i).expect("entry exists");
             match e.state {
                 AllocState::Confirm => {
                     e.prev = e.next.take();
@@ -126,7 +225,9 @@ impl Engine {
                 _ => unreachable!("checked above"),
             }
         }
-        let desc = self.files.get_mut(&file).expect("file exists");
+        let avg_refresh = self.params.avg_refresh;
+        let cntdown = Self::sample_cntdown(&mut self.rng, avg_refresh);
+        let desc = self.shards.file_mut(file).expect("file exists");
         // A discard issued during the transfer window (File_Discard, or the
         // file_add_segmented rollback) must survive finalisation: keep the
         // state so the first Auto_CheckProof removes the file instead of it
@@ -134,15 +235,25 @@ impl Engine {
         if desc.state != FileState::Discarded {
             desc.state = FileState::Normal;
         }
-        desc.cntdown = Self::sample_cntdown(&mut self.rng, self.params.avg_refresh);
-        self.pending
-            .schedule(now + self.params.proof_cycle, Task::CheckProof(file));
+        desc.cntdown = cntdown;
+        self.schedule_task(now + self.params.proof_cycle, Task::CheckProof(file));
         self.log(ProtocolEvent::FileStored { file });
     }
 
-    /// `Auto_CheckProof` (Fig. 8).
-    pub(super) fn auto_check_proof(&mut self, file: FileId) {
-        let Some(desc) = self.files.get(&file) else {
+    /// `Auto_CheckProof` (Fig. 8) — the commit half. The cryptographic
+    /// verification of the proofs on record already happened in the
+    /// read-only phase; its digest arrives as `audit` and is folded into
+    /// the engine's audit root first, so the root pins the parallel
+    /// verification results in canonical order.
+    pub(super) fn auto_check_proof(&mut self, file: FileId, audit: Option<ProofAudit>) {
+        if let Some(a) = &audit {
+            self.audit_root = keyed_hash(
+                "fileinsurer/audit-root",
+                &[self.audit_root.as_bytes(), a.digest.as_bytes()],
+            );
+            self.shards.shard_mut(file).stats.proofs_audited += a.replicas_checked;
+        }
+        let Some(desc) = self.shards.file(file) else {
             return;
         };
         let owner = desc.owner;
@@ -154,10 +265,10 @@ impl Engine {
         if desc.state == FileState::Normal {
             let cost = self.params.cycle_cost(size, cp);
             if self.ledger.balance(owner) < cost {
-                let desc = self.files.get_mut(&file).expect("file exists");
+                let desc = self.shards.file_mut(file).expect("file exists");
                 desc.state = FileState::Discarded;
-                self.discard_reasons
-                    .insert(file, RemovalReason::InsufficientFunds);
+                self.shards
+                    .set_discard_reason(file, RemovalReason::InsufficientFunds);
             } else {
                 let rent = TokenAmount(self.params.unit_rent.0 * size as u128 * cp as u128);
                 let gas = cost - rent;
@@ -170,7 +281,7 @@ impl Engine {
 
         // 2. Late-proof checks per entry.
         for i in 0..cp {
-            let Some(e) = self.alloc.get(&(file, i)) else {
+            let Some(e) = self.shards.entry(file, i) else {
                 continue;
             };
             if e.state == AllocState::Corrupted {
@@ -194,24 +305,23 @@ impl Engine {
         }
 
         // 3. Removal / loss / reschedule.
-        let state = self.files.get(&file).map(|f| f.state);
+        let state = self.shards.file(file).map(|f| f.state);
         if state == Some(FileState::Discarded) {
             let reason = self
-                .discard_reasons
-                .remove(&file)
+                .shards
+                .take_discard_reason(file)
                 .unwrap_or(RemovalReason::ClientDiscard);
             self.remove_file_completely(file, reason);
             return;
         }
         let all_corrupted = (0..cp)
-            .all(|i| self.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Corrupted));
+            .all(|i| self.shards.entry(file, i).map(|e| e.state) == Some(AllocState::Corrupted));
         if all_corrupted {
             self.compensate_loss(file);
             return;
         }
-        self.pending
-            .schedule(now + self.params.proof_cycle, Task::CheckProof(file));
-        let desc = self.files.get_mut(&file).expect("file exists");
+        self.schedule_task(now + self.params.proof_cycle, Task::CheckProof(file));
+        let desc = self.shards.file_mut(file).expect("file exists");
         desc.cntdown -= 1;
         if desc.cntdown <= 0 {
             let i = self.rng.below(cp as u64) as u32; // RandomIndex(f)
@@ -221,16 +331,17 @@ impl Engine {
 
     /// `Auto_Refresh` (Fig. 9).
     pub(super) fn auto_refresh(&mut self, file: FileId, index: u32) {
-        let Some(desc) = self.files.get(&file) else {
+        let Some(desc) = self.shards.file(file) else {
             return;
         };
         let size = desc.size;
-        let entry_state = self.alloc.get(&(file, index)).map(|e| e.state);
+        let entry_state = self.shards.entry(file, index).map(|e| e.state);
         if entry_state != Some(AllocState::Normal) {
             // The chosen replica is corrupted or already mid-move; re-arm.
             let avg = self.params.avg_refresh;
-            if let Some(d) = self.files.get_mut(&file) {
-                d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+            let cntdown = Self::sample_cntdown(&mut self.rng, avg);
+            if let Some(d) = self.shards.file_mut(file) {
+                d.cntdown = cntdown;
             }
             return;
         }
@@ -247,11 +358,12 @@ impl Engine {
             .unwrap_or(false);
         if !fits {
             // Collision — "almost never happens" (Fig. 9 else-branch).
-            self.stats.refresh_collisions += 1;
+            self.shards.shard_mut(file).stats.refresh_collisions += 1;
             self.log(ProtocolEvent::RefreshCollision { file, index });
             let avg = self.params.avg_refresh;
-            if let Some(d) = self.files.get_mut(&file) {
-                d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+            let cntdown = Self::sample_cntdown(&mut self.rng, avg);
+            if let Some(d) = self.shards.file_mut(file) {
+                d.cntdown = cntdown;
             }
             return;
         }
@@ -261,14 +373,13 @@ impl Engine {
             .get_mut(&target)
             .expect("sector index")
             .insert((file, index));
-        let e = self.alloc.get_mut(&(file, index)).expect("entry exists");
+        let e = self.shards.entry_mut(file, index).expect("entry exists");
         let from = e.prev;
         e.next = Some(target);
         e.state = AllocState::Alloc;
         let deadline = self.now() + self.params.transfer_window(size);
-        self.pending
-            .schedule(deadline, Task::CheckRefresh(file, index));
-        self.stats.refreshes_started += 1;
+        self.schedule_task(deadline, Task::CheckRefresh(file, index));
+        self.shards.shard_mut(file).stats.refreshes_started += 1;
         self.log(ProtocolEvent::ReplicaSwap {
             file,
             index,
@@ -279,14 +390,14 @@ impl Engine {
 
     /// `Auto_CheckRefresh` (Fig. 9).
     pub(super) fn auto_check_refresh(&mut self, file: FileId, index: u32) {
-        let Some(desc) = self.files.get(&file) else {
+        let Some(desc) = self.shards.file(file) else {
             return;
         };
         let size = desc.size;
         let cp = desc.cp;
         let avg = self.params.avg_refresh;
         let now = self.now();
-        let Some(entry) = self.alloc.get(&(file, index)) else {
+        let Some(entry) = self.shards.entry(file, index) else {
             return;
         };
         let (state, prev, next) = (entry.state, entry.prev, entry.next);
@@ -294,7 +405,7 @@ impl Engine {
         match state {
             AllocState::Confirm => {
                 // Transfer succeeded: release the old holder, flip over.
-                let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                let e = self.shards.entry_mut(file, index).expect("entry");
                 e.prev = next;
                 e.next = None;
                 e.last = Some(now);
@@ -308,9 +419,10 @@ impl Engine {
                         self.release_replica(old_sector, file, index, size);
                     }
                 }
-                self.stats.refreshes_completed += 1;
-                if let Some(d) = self.files.get_mut(&file) {
-                    d.cntdown = Self::sample_cntdown(&mut self.rng, avg);
+                self.shards.shard_mut(file).stats.refreshes_completed += 1;
+                let cntdown = Self::sample_cntdown(&mut self.rng, avg);
+                if let Some(d) = self.shards.file_mut(file) {
+                    d.cntdown = cntdown;
                 }
             }
             AllocState::Alloc => {
@@ -321,12 +433,12 @@ impl Engine {
                     self.punish(t);
                     self.release_reservation_indexed(t, file, index, size);
                 }
-                let e = self.alloc.get_mut(&(file, index)).expect("entry");
+                let e = self.shards.entry_mut(file, index).expect("entry");
                 e.next = None;
                 e.state = AllocState::Normal;
                 let mut holders = Vec::new();
                 for j in 0..cp {
-                    if let Some(other) = self.alloc.get(&(file, j)) {
+                    if let Some(other) = self.shards.entry(file, j) {
                         if other.state != AllocState::Corrupted {
                             if let Some(h) = other.prev {
                                 holders.push(h);
@@ -373,7 +485,7 @@ impl Engine {
         }
         self.log(ProtocolEvent::RentDistributed { total: paid });
         let next = self.now() + self.rent_period();
-        self.pending.schedule(next, Task::DistributeRent);
+        self.schedule_task(next, Task::DistributeRent);
     }
 
     // ------------------------------------------------------------------
@@ -399,7 +511,7 @@ impl Engine {
         self.ledger
             .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, amount)
             .expect("escrow covers punishment");
-        self.stats.punishments += 1;
+        self.stats_global.punishments += 1;
         self.log(ProtocolEvent::ProviderPunished { sector, amount });
     }
 
@@ -419,7 +531,7 @@ impl Engine {
         self.ledger
             .transfer(DEPOSIT_ESCROW, COMPENSATION_POOL, confiscated)
             .expect("escrow covers deposit");
-        self.stats.sectors_corrupted += 1;
+        self.stats_global.sectors_corrupted += 1;
         self.log(ProtocolEvent::SectorCorrupted {
             sector,
             confiscated,
@@ -429,21 +541,92 @@ impl Engine {
 
     /// Full compensation on loss (Fig. 8, §IV-B).
     pub(super) fn compensate_loss(&mut self, file: FileId) {
-        let Some(desc) = self.files.get(&file) else {
+        let Some(desc) = self.shards.file(file) else {
             return;
         };
         let owner = desc.owner;
         let value = desc.value;
         let paid = self.ledger.transfer_up_to(COMPENSATION_POOL, owner, value);
-        self.stats.files_lost += 1;
-        self.stats.value_lost += value;
-        self.stats.compensation_paid += paid;
-        self.stats.compensation_shortfall += value - paid;
+        let stats = &mut self.shards.shard_mut(file).stats;
+        stats.files_lost += 1;
+        stats.value_lost += value;
+        stats.compensation_paid += paid;
+        stats.compensation_shortfall += value - paid;
         self.log(ProtocolEvent::FileLost {
             file,
             value,
             compensated: paid,
         });
         self.remove_file_completely(file, RemovalReason::Lost);
+    }
+}
+
+/// Verifies the storage proofs on record for every `Auto_CheckProof` task
+/// in one shard's slice. Pure and shard-local: it reads the shard's file
+/// descriptors and allocation rows, nothing else.
+fn verify_slice(
+    shard: &Shard,
+    slice: &ShardSlice,
+    now: Time,
+    path_len: u32,
+) -> Vec<Option<ProofAudit>> {
+    slice
+        .iter()
+        .map(|(_, (_, task))| match task {
+            Task::CheckProof(f) => Some(verify_check_proof(shard, *f, now, path_len)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The modeled WindowPoSt verification for one file: for each replica with
+/// a proof on record (a `last` timestamp and a non-corrupted entry), derive
+/// the challenged leaf from the file's Merkle commitment and the proof
+/// timestamp, then walk a `path_len`-node authentication path. The digests
+/// fold in replica order into one per-task commitment.
+fn verify_check_proof(shard: &Shard, file: FileId, now: Time, path_len: u32) -> ProofAudit {
+    let mut digest = keyed_hash(
+        "fileinsurer/audit-task",
+        &[&file.0.to_be_bytes(), &now.to_be_bytes()],
+    );
+    let mut replicas_checked = 0u64;
+    let Some(desc) = shard.files.get(&file) else {
+        return ProofAudit {
+            digest,
+            replicas_checked,
+        };
+    };
+    for i in 0..desc.cp {
+        let Some(e) = shard.alloc.get(&(file, i)) else {
+            continue;
+        };
+        if e.state == AllocState::Corrupted {
+            continue;
+        }
+        let Some(last) = e.last else { continue };
+        let mut node = keyed_hash(
+            "fileinsurer/audit-leaf",
+            &[
+                desc.merkle_root.as_bytes(),
+                &i.to_be_bytes(),
+                &last.to_be_bytes(),
+                &now.to_be_bytes(),
+            ],
+        );
+        for level in 0..path_len {
+            node = keyed_hash(
+                "fileinsurer/audit-node",
+                &[node.as_bytes(), &level.to_be_bytes()],
+            );
+        }
+        digest = keyed_hash(
+            "fileinsurer/audit-fold",
+            &[digest.as_bytes(), node.as_bytes()],
+        );
+        replicas_checked += 1;
+    }
+    ProofAudit {
+        digest,
+        replicas_checked,
     }
 }

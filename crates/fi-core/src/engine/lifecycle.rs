@@ -45,12 +45,12 @@ impl Engine {
     /// `(index, target sector)` pairs — what an honest provider would
     /// confirm next for `file`.
     pub fn pending_confirms(&self, file: FileId) -> Vec<(u32, SectorId)> {
-        let Some(desc) = self.files.get(&file) else {
+        let Some(desc) = self.shards.file(file) else {
             return Vec::new();
         };
         (0..desc.cp)
             .filter_map(|i| {
-                let e = self.alloc.get(&(file, i))?;
+                let e = self.shards.entry(file, i)?;
                 if e.state == AllocState::Alloc {
                     e.next.map(|s| (i, s))
                 } else {
@@ -68,8 +68,8 @@ impl Engine {
         let mut proofs = 0u64;
         // Confirms.
         let pending: Vec<(FileId, u32, SectorId)> = self
-            .alloc
-            .iter()
+            .shards
+            .alloc_iter()
             .filter(|(_, e)| e.state == AllocState::Alloc)
             .filter_map(|(&(f, i), e)| e.next.map(|s| (f, i, s)))
             .collect();
@@ -89,8 +89,8 @@ impl Engine {
         }
         // Proofs.
         let held: Vec<(FileId, u32, SectorId)> = self
-            .alloc
-            .iter()
+            .shards
+            .alloc_iter()
             .filter(|(_, e)| {
                 matches!(
                     e.state,
@@ -305,30 +305,32 @@ impl Engine {
             }
         }
 
+        // Ids come from one global counter, so with n shards the router
+        // (`id % n`) hands shard s exactly the strided ids s, s+n, s+2n, …
+        // — balanced by construction, and the id sequence (hence every op
+        // and receipt digest) is identical at every shard count.
         let id = FileId(self.next_file_id);
         self.next_file_id += 1;
-        self.files.insert(
+        self.shards.insert_file(FileDescriptor {
             id,
-            FileDescriptor {
-                id,
-                owner: client,
-                size,
-                value,
-                merkle_root,
-                cp,
-                cntdown: -1,
-                state: FileState::Allocating,
-            },
-        );
+            owner: client,
+            size,
+            value,
+            merkle_root,
+            cp,
+            cntdown: -1,
+            state: FileState::Allocating,
+        });
         for (i, &s) in targets.iter().enumerate() {
-            self.alloc.insert((id, i as u32), AllocEntry::allocating(s));
+            self.shards
+                .insert_entry(id, i as u32, AllocEntry::allocating(s));
             self.sector_replicas
                 .get_mut(&s)
                 .expect("sector index")
                 .insert((id, i as u32));
         }
         let deadline = self.now() + self.params.transfer_window(size);
-        self.pending.schedule(deadline, Task::CheckAlloc(id));
+        self.schedule_task(deadline, Task::CheckAlloc(id));
         self.log(ProtocolEvent::FileAdded { file: id, cp });
         Ok((id, cp))
     }
@@ -428,25 +430,25 @@ impl Engine {
     ) -> Result<(), EngineError> {
         self.charge_gas(caller, &[GasOp::RequestBase])?;
         let f = self
-            .files
-            .get_mut(&file)
+            .shards
+            .file_mut(file)
             .ok_or(EngineError::UnknownFile(file))?;
         if f.owner != caller {
             return Err(EngineError::NotOwner);
         }
         f.state = FileState::Discarded;
-        self.discard_reasons
-            .insert(file, RemovalReason::ClientDiscard);
+        self.shards
+            .set_discard_reason(file, RemovalReason::ClientDiscard);
         self.op_counter += 1;
         Ok(())
     }
 
     /// Consensus-side rollback discard (§VI-C): no ownership check, no gas.
     pub(super) fn force_discard_op(&mut self, file: FileId) {
-        if let Some(f) = self.files.get_mut(&file) {
+        if let Some(f) = self.shards.file_mut(file) {
             f.state = FileState::Discarded;
-            self.discard_reasons
-                .insert(file, RemovalReason::ClientDiscard);
+            self.shards
+                .set_discard_reason(file, RemovalReason::ClientDiscard);
         }
     }
 
@@ -489,13 +491,13 @@ impl Engine {
             return Err(EngineError::NotOwner);
         }
         let size = self
-            .files
-            .get(&file)
+            .shards
+            .file(file)
             .ok_or(EngineError::UnknownFile(file))?
             .size;
         let e = self
-            .alloc
-            .get_mut(&(file, index))
+            .shards
+            .entry_mut(file, index)
             .ok_or(EngineError::UnknownFile(file))?;
         if e.next != Some(sector) || e.state != AllocState::Alloc {
             return Err(EngineError::InvalidState(
@@ -552,17 +554,18 @@ impl Engine {
         if s.physically_failed || s.state == SectorState::Corrupted {
             return Err(EngineError::InvalidState("sector cannot produce proofs"));
         }
+        let now = self.chain.now();
         let e = self
-            .alloc
-            .get_mut(&(file, index))
+            .shards
+            .entry_mut(file, index)
             .ok_or(EngineError::UnknownFile(file))?;
         if e.prev != Some(sector) {
             return Err(EngineError::InvalidState(
                 "sector does not hold this replica",
             ));
         }
-        e.last = Some(self.chain.now());
-        self.stats.proofs_accepted += 1;
+        e.last = Some(now);
+        self.shards.shard_mut(file).stats.proofs_accepted += 1;
         self.op_counter += 1;
         Ok(())
     }
@@ -591,12 +594,12 @@ impl Engine {
     ) -> Result<Vec<(SectorId, AccountId)>, EngineError> {
         self.charge_gas(caller, &[GasOp::RequestBase, GasOp::AllocRead])?;
         let f = self
-            .files
-            .get(&file)
+            .shards
+            .file(file)
             .ok_or(EngineError::UnknownFile(file))?;
         let mut holders = Vec::new();
         for i in 0..f.cp {
-            if let Some(e) = self.alloc.get(&(file, i)) {
+            if let Some(e) = self.shards.entry(file, i) {
                 if e.state == AllocState::Normal || e.state == AllocState::Alloc {
                     if let Some(sid) = e.prev {
                         if let Some(s) = self.sectors.get(&sid) {

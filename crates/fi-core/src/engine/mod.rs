@@ -11,7 +11,12 @@
 //!
 //! The engine is split by concern:
 //!
-//! * [`mod@self`] — state, dispatch, time advancement, gas, the op log;
+//! * [`mod@self`] — dispatch, time advancement, gas, the op log,
+//!   checkpoints;
+//! * `shard` — the sharded per-file core: file descriptors, allocation
+//!   rows, discard reasons, per-shard task wheels and stats, routed by
+//!   `FileId % shards` (ids are allocated from one global counter, so
+//!   shard `s` owns the strided ids `s, s + n, s + 2n, …`);
 //! * `lifecycle` — client/provider requests (Figs. 4–6): add, confirm,
 //!   prove, get, discard, sector admin, segmented uploads;
 //! * `audit` — the `Auto_*` consensus tasks (Figs. 7–9): `CheckAlloc`,
@@ -21,10 +26,17 @@
 //!   retry, reservations and rollback, sector draining, the §VI-B Poisson
 //!   swap-in.
 //!
-//! `Auto_` tasks execute from an epoch-bucketed pending wheel
+//! `Auto_` tasks execute from per-shard epoch-bucketed wheels
 //! ([`fi_chain::tasks::TaskWheel`]) when [`Engine::advance_to`] moves time
-//! past their deadline — whole per-block buckets pop at once instead of
-//! churning a tree keyed by every live file's timestamp.
+//! past their deadline. Each due bucket runs in two phases: a read-only
+//! **verify** phase (the modeled Merkle storage-proof checks of
+//! `Auto_CheckProof`, fanned out across shards with scoped threads —
+//! audits are independent per (file, replica), the heart of the paper's
+//! scalability claim) and a sequential **commit** phase that merges the
+//! per-shard slices back into global `(time, schedule-seq)` order and
+//! applies rent, punishments and refreshes. The merge key is
+//! shard-count-invariant, so consensus state is bit-identical whether the
+//! engine runs 1 shard or 8 (see DESIGN.md §9).
 //!
 //! Money flows exactly as §IV-A/§IV-B prescribe:
 //!
@@ -43,13 +55,14 @@
 mod alloc;
 mod audit;
 mod lifecycle;
+mod shard;
 
 use std::collections::{BTreeSet, HashMap};
 
 use fi_chain::account::{AccountId, Ledger, TokenAmount};
 use fi_chain::block::{BlockChain, ChainEvent};
 use fi_chain::gas::{GasSchedule, Op as GasOp};
-use fi_chain::tasks::{Scheduler, Time};
+use fi_chain::tasks::Time;
 use fi_crypto::{keyed_hash, DetRng, Hash256};
 
 use crate::drep::CrAccounting;
@@ -57,9 +70,10 @@ use crate::ops::{Op, OpRecord, Receipt};
 use crate::params::{ParamError, ProtocolParams};
 use crate::sampler::WeightedSampler;
 use crate::segment::SegmentedFile;
-use crate::types::{
-    AllocEntry, FileDescriptor, FileId, ProtocolEvent, RemovalReason, Sector, SectorId,
-};
+use crate::types::{AllocEntry, FileDescriptor, FileId, ProtocolEvent, Sector, SectorId};
+
+use self::audit::ProofAudit;
+use self::shard::ShardedState;
 
 /// Deposit escrow: holds pledged sector deposits.
 pub const DEPOSIT_ESCROW: AccountId = AccountId(1);
@@ -146,6 +160,12 @@ pub(super) enum Task {
 }
 
 /// Counters exposed for experiments and tests.
+///
+/// The engine keeps one instance per shard (for file-attributable
+/// counters) plus one global instance (for sector-attributable counters
+/// incremented outside any file context); [`Engine::stats`] returns the
+/// [`EngineStats::merge`] of all of them, which equals what a 1-shard
+/// engine counts on the same workload.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// `File_Add` sampling retries that hit an over-full sector.
@@ -171,6 +191,47 @@ pub struct EngineStats {
     /// Compensation shortfall (pool ran dry) — must stay zero in any run
     /// within Theorem 4's deposit regime.
     pub compensation_shortfall: TokenAmount,
+    /// Replica storage proofs cryptographically checked by
+    /// `Auto_CheckProof`'s read-only verify phase.
+    pub proofs_audited: u64,
+}
+
+impl EngineStats {
+    /// Accumulates `other` into `self`, field by field. Counters are
+    /// disjoint across shards (every increment happens on exactly one
+    /// shard, or on the engine's global instance), so merging the
+    /// per-shard stats reproduces the unsharded totals exactly.
+    pub fn merge(&mut self, other: &EngineStats) {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // EngineStats without merging it is a compile error, not a
+        // silently under-reported counter at shards > 1.
+        let EngineStats {
+            add_collisions,
+            refresh_collisions,
+            refreshes_started,
+            refreshes_completed,
+            proofs_accepted,
+            punishments,
+            sectors_corrupted,
+            files_lost,
+            value_lost,
+            compensation_paid,
+            compensation_shortfall,
+            proofs_audited,
+        } = other;
+        self.add_collisions += add_collisions;
+        self.refresh_collisions += refresh_collisions;
+        self.refreshes_started += refreshes_started;
+        self.refreshes_completed += refreshes_completed;
+        self.proofs_accepted += proofs_accepted;
+        self.punishments += punishments;
+        self.sectors_corrupted += sectors_corrupted;
+        self.files_lost += files_lost;
+        self.value_lost += *value_lost;
+        self.compensation_paid += *compensation_paid;
+        self.compensation_shortfall += *compensation_shortfall;
+        self.proofs_audited += proofs_audited;
+    }
 }
 
 /// The FileInsurer consensus engine.
@@ -210,29 +271,59 @@ pub struct EngineStats {
 /// // Every action above went through the typed op layer:
 /// assert!(engine.op_log().iter().any(|r| r.op.kind() == "op.file_add"));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     params: ProtocolParams,
     chain: BlockChain,
     ledger: Ledger,
     gas: GasSchedule,
-    pending: Scheduler<Task>,
+    /// The per-file core, partitioned by `FileId % shards`: descriptors,
+    /// allocation rows, discard reasons, task wheels, per-shard stats.
+    shards: ShardedState,
     sectors: HashMap<SectorId, Sector>,
     cr: HashMap<SectorId, CrAccounting>,
-    files: HashMap<FileId, FileDescriptor>,
-    alloc: HashMap<(FileId, u32), AllocEntry>,
     /// `(file, index)` pairs touching each sector (as holder or as
-    /// reservation target). Kept consistent with `alloc`.
+    /// reservation target). Kept consistent with the shards' alloc tables.
     sector_replicas: HashMap<SectorId, BTreeSet<(FileId, u32)>>,
     sampler: WeightedSampler<SectorId>,
     rng: DetRng,
     next_file_id: u64,
     next_sector_id: u64,
     events: Vec<ProtocolEvent>,
-    stats: EngineStats,
-    discard_reasons: HashMap<FileId, RemovalReason>,
+    /// Sector-attributable counters with no file context; merged with the
+    /// per-shard stats by [`Engine::stats`].
+    stats_global: EngineStats,
     op_counter: u64,
+    /// Total ops ever applied — survives [`Engine::checkpoint`] op-log
+    /// truncation, so it (not `op_log.len()`) feeds `seq` and the state
+    /// root.
+    ops_applied: u64,
+    /// Global schedule sequence — the shard-count-invariant merge key for
+    /// the commit phase (assigned in apply order).
+    task_seq: u64,
+    /// Running commitment over every `Auto_CheckProof` verify-phase
+    /// digest, folded in commit order. Part of the state root: asserting
+    /// root equality across shard counts pins the parallel verification
+    /// results bit-for-bit.
+    audit_root: Hash256,
     op_log: Vec<OpRecord>,
+    last_checkpoint: Option<Checkpoint>,
+}
+
+/// A compact commitment to engine state at a block height, taken by
+/// [`Engine::checkpoint`] when the op log is truncated. A later
+/// [`Engine::replay_from`] validates its base engine against this before
+/// replaying the post-checkpoint suffix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Chain height at the checkpoint.
+    pub height: u64,
+    /// Consensus time at the checkpoint.
+    pub at: Time,
+    /// `state_root()` at the checkpoint.
+    pub state_root: Hash256,
+    /// Ops applied up to the checkpoint (the `seq` of the next op).
+    pub ops_applied: u64,
 }
 
 impl Engine {
@@ -249,25 +340,26 @@ impl Engine {
             chain,
             ledger: Ledger::new(),
             gas: GasSchedule::default(),
-            pending: Scheduler::new(params.scheduler, params.block_interval),
+            shards: ShardedState::new(params.shards, params.scheduler, params.block_interval),
             sectors: HashMap::new(),
             cr: HashMap::new(),
-            files: HashMap::new(),
-            alloc: HashMap::new(),
             sector_replicas: HashMap::new(),
             sampler: WeightedSampler::new(),
             rng,
             next_file_id: 0,
             next_sector_id: 0,
             events: Vec::new(),
-            stats: EngineStats::default(),
-            discard_reasons: HashMap::new(),
+            stats_global: EngineStats::default(),
             op_counter: 0,
+            ops_applied: 0,
+            task_seq: 0,
+            audit_root: Hash256::ZERO,
             op_log: Vec::new(),
+            last_checkpoint: None,
             params,
         };
         let period = engine.rent_period();
-        engine.pending.schedule(period, Task::DistributeRent);
+        engine.schedule_task(period, Task::DistributeRent);
         Ok(engine)
     }
 
@@ -294,11 +386,12 @@ impl Engine {
         };
         self.chain.log_op(op_digest, receipt_digest);
         self.op_log.push(OpRecord {
-            seq: self.op_log.len() as u64,
+            seq: self.ops_applied,
             at,
             op,
             ok: result.is_ok(),
         });
+        self.ops_applied += 1;
         result
     }
 
@@ -402,8 +495,73 @@ impl Engine {
     /// panics.
     pub fn replay(params: ProtocolParams, log: &[OpRecord]) -> Result<Engine, ParamError> {
         let mut engine = Engine::new(params)?;
+        engine.replay_records(log);
+        Ok(engine)
+    }
+
+    /// Bounds op-log growth: records a [`Checkpoint`] of the current
+    /// state (height, time, state root, ops applied) and truncates the op
+    /// log. `state_root()` is unchanged by checkpointing — it commits to
+    /// [`Checkpoint::ops_applied`], not the log length — so checkpoints
+    /// are invisible to consensus.
+    ///
+    /// To later reconstruct state past the checkpoint, keep a clone of
+    /// the engine (or a restored snapshot) from this moment and feed it
+    /// to [`Engine::replay_from`] together with the post-checkpoint log.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let cp = Checkpoint {
+            height: self.chain.height(),
+            at: self.now(),
+            state_root: self.state_root(),
+            ops_applied: self.ops_applied,
+        };
+        self.op_log.clear();
+        self.last_checkpoint = Some(cp.clone());
+        cp
+    }
+
+    /// The most recent [`Engine::checkpoint`], if any.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// Rebuilds an engine from a checkpoint base instead of genesis: clones
+    /// `base` (an engine snapshot taken at the checkpoint), verifies it
+    /// against the checkpoint commitment, and replays the post-checkpoint
+    /// `log` suffix. With the suffix an engine logged after
+    /// [`Engine::checkpoint`], the result matches that engine exactly —
+    /// same `state_root()`, same chain head (the replay-from-checkpoint
+    /// determinism test asserts this over random workloads).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidState`] when `base` does not match the
+    /// checkpoint (wrong state root, height, or op count).
+    pub fn replay_from(
+        base: &Engine,
+        checkpoint: &Checkpoint,
+        log: &[OpRecord],
+    ) -> Result<Engine, EngineError> {
+        if base.state_root() != checkpoint.state_root
+            || base.chain.height() != checkpoint.height
+            || base.ops_applied != checkpoint.ops_applied
+        {
+            return Err(EngineError::InvalidState(
+                "base engine does not match the checkpoint commitment",
+            ));
+        }
+        let mut engine = base.clone();
+        // Mirror the truncation the checkpointing engine performed, so the
+        // rebuilt op log equals the original's post-checkpoint log.
+        engine.op_log.clear();
+        engine.last_checkpoint = Some(checkpoint.clone());
+        engine.replay_records(log);
+        Ok(engine)
+    }
+
+    fn replay_records(&mut self, log: &[OpRecord]) {
         for record in log {
-            let outcome = engine.apply(record.op.clone());
+            let outcome = self.apply(record.op.clone());
             debug_assert_eq!(
                 outcome.is_ok(),
                 record.ok,
@@ -412,7 +570,6 @@ impl Engine {
                 record.op.kind()
             );
         }
-        Ok(engine)
     }
 
     // ------------------------------------------------------------------
@@ -439,14 +596,25 @@ impl Engine {
         &self.chain
     }
 
-    /// Counters for tests and experiments.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Counters for tests and experiments: the merge of the engine's
+    /// global (sector-attributable) counters with every shard's slice.
+    /// The merged totals are identical at every shard count.
+    pub fn stats(&self) -> EngineStats {
+        let mut merged = self.stats_global.clone();
+        for shard in &self.shards.shards {
+            merged.merge(&shard.stats);
+        }
+        merged
+    }
+
+    /// The configured shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shards.len()
     }
 
     /// A file descriptor, if the file is live.
     pub fn file(&self, id: FileId) -> Option<&FileDescriptor> {
-        self.files.get(&id)
+        self.shards.file(id)
     }
 
     /// A sector, if registered and not removed.
@@ -461,14 +629,17 @@ impl Engine {
 
     /// An allocation entry.
     pub fn alloc_entry(&self, file: FileId, index: u32) -> Option<&AllocEntry> {
-        self.alloc.get(&(file, index))
+        self.shards.entry(file, index)
     }
 
     /// Live files (ids).
     pub fn file_ids(&self) -> Vec<FileId> {
-        let mut ids: Vec<_> = self.files.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.shards.file_ids()
+    }
+
+    /// Scheduled `Auto_*` tasks across all shard wheels.
+    pub fn pending_task_count(&self) -> usize {
+        self.shards.pending_len()
     }
 
     /// Live sectors (ids).
@@ -494,16 +665,26 @@ impl Engine {
     }
 
     /// A commitment over the engine state, folded into sealed blocks.
+    ///
+    /// Every input is shard-count-invariant (the audit root is folded in
+    /// canonical commit order; op and task counters follow global apply
+    /// order), so engines differing only in `ProtocolParams::shards`
+    /// produce identical roots — asserted at scale by the sharding tests
+    /// and the `engine_snapshot` bench. Checkpoint truncation is likewise
+    /// invisible: the root commits to the monotonic ops-applied counter,
+    /// not the op log's length.
     pub fn state_root(&self) -> Hash256 {
         keyed_hash(
             "fileinsurer/state",
             &[
                 &self.chain.now().to_be_bytes(),
-                &(self.files.len() as u64).to_be_bytes(),
+                &(self.shards.files_len() as u64).to_be_bytes(),
                 &(self.sectors.len() as u64).to_be_bytes(),
                 &self.ledger.total_supply().0.to_be_bytes(),
                 &self.op_counter.to_be_bytes(),
-                &(self.op_log.len() as u64).to_be_bytes(),
+                &self.ops_applied.to_be_bytes(),
+                &self.task_seq.to_be_bytes(),
+                self.audit_root.as_bytes(),
             ],
         )
     }
@@ -540,24 +721,52 @@ impl Engine {
 
     pub(super) fn advance_to_op(&mut self, target: Time) {
         assert!(target >= self.now(), "time cannot rewind");
-        while let Some(t) = self.pending.next_time() {
+        while let Some(t) = self.shards.next_task_time() {
             if t > target {
                 break;
             }
             let root = self.state_root();
             self.chain.advance_time(t, root);
-            for (_, task) in self.pending.pop_due(t) {
-                self.execute(task);
-            }
+            self.run_due_bucket(t);
         }
         let root = self.state_root();
         self.chain.advance_time(target, root);
     }
 
-    fn execute(&mut self, task: Task) {
+    /// Executes every task due at `now` in two phases:
+    ///
+    /// 1. **verify** — the read-only `Auto_CheckProof` storage-proof
+    ///    checks, computed per shard over its popped slice (each touches
+    ///    only that shard's files/alloc rows), fanned out with scoped
+    ///    threads when the bucket is large enough to pay for them;
+    /// 2. **commit** — the per-shard slices merged back into global
+    ///    `(time, schedule-seq)` order — exactly the order a single
+    ///    unsharded wheel pops — and applied sequentially: audit digests
+    ///    fold into `audit_root`, then punishments, rent, refreshes and
+    ///    reschedules run as in the unsharded engine.
+    ///
+    /// Both phases are deterministic and shard-count-invariant, so the
+    /// resulting state is bit-identical for any `ProtocolParams::shards`.
+    fn run_due_bucket(&mut self, now: Time) {
+        let slices = self.shards.pop_due(now);
+        let audits = self.verify_bucket(&slices, now);
+
+        let mut batch: Vec<(Time, u64, Task, Option<ProofAudit>)> = Vec::new();
+        for (slice, shard_audits) in slices.into_iter().zip(audits) {
+            for ((time, (seq, task)), audit) in slice.into_iter().zip(shard_audits) {
+                batch.push((time, seq, task, audit));
+            }
+        }
+        batch.sort_by_key(|&(time, seq, _, _)| (time, seq));
+        for (_, _, task, audit) in batch {
+            self.execute(task, audit);
+        }
+    }
+
+    fn execute(&mut self, task: Task, audit: Option<ProofAudit>) {
         match task {
             Task::CheckAlloc(f) => self.auto_check_alloc(f),
-            Task::CheckProof(f) => self.auto_check_proof(f),
+            Task::CheckProof(f) => self.auto_check_proof(f, audit),
             Task::CheckRefresh(f, i) => self.auto_check_refresh(f, i),
             Task::DistributeRent => self.auto_distribute_rent(),
         }
@@ -567,6 +776,15 @@ impl Engine {
     // ------------------------------------------------------------------
     // Shared internals
     // ------------------------------------------------------------------
+
+    /// Schedules an `Auto_*` task on its shard's wheel, tagging it with
+    /// the global schedule sequence number that later reconstructs the
+    /// canonical commit order.
+    pub(super) fn schedule_task(&mut self, time: Time, task: Task) {
+        let seq = self.task_seq;
+        self.task_seq += 1;
+        self.shards.schedule(seq, time, task);
+    }
 
     pub(super) fn rent_period(&self) -> Time {
         self.params.proof_cycle * self.params.rent_period_cycles as Time

@@ -1,0 +1,217 @@
+//! The sharded per-file core of the engine.
+//!
+//! `Auto_CheckProof` audits are independent per (file, replica) — the
+//! paper's scalability claim rests on it — so all per-file state lives in
+//! a [`Shard`]: the file descriptors, the allocation table rows, the
+//! discard reasons, the shard's own `Auto_*` task wheel, and the shard's
+//! slice of the engine counters. [`ShardedState`] routes by
+//! `FileId % shards`; since file ids come from one global counter, shard
+//! `s` of `n` owns exactly the strided ids `s, s + n, s + 2n, …` — the
+//! population stays balanced and the id sequence (hence every op digest
+//! and receipt) is identical at every shard count.
+//!
+//! Global, cross-file state — the chain, the ledger, sectors and their
+//! capacity sampler, the protocol `DetRng` — stays in
+//! [`Engine`](super::Engine); shards never touch each other, which is what
+//! lets the audit verify phase borrow them immutably in parallel
+//! (`Shard` is `Sync`).
+
+use std::collections::HashMap;
+
+use fi_chain::tasks::{Scheduler, SchedulerKind, Time};
+
+use crate::types::{AllocEntry, FileDescriptor, FileId, RemovalReason};
+
+use super::{EngineStats, Task};
+
+/// A task tagged with its global schedule sequence number. The tag is
+/// assigned by the engine in apply order, which is shard-count-invariant,
+/// so sorting a merged bucket by `(time, seq)` reconstructs the exact
+/// order a single unsharded scheduler would pop.
+pub(super) type SeqTask = (u64, Task);
+
+/// One shard's drained slice of a due bucket.
+pub(super) type ShardSlice = Vec<(Time, SeqTask)>;
+
+/// Per-file engine state for one file-id stride.
+#[derive(Debug, Clone)]
+pub(super) struct Shard {
+    /// Live file descriptors owned by this shard.
+    pub(super) files: HashMap<FileId, FileDescriptor>,
+    /// Allocation table rows `(file, replica index)` for this shard's files.
+    pub(super) alloc: HashMap<(FileId, u32), AllocEntry>,
+    /// Pending removal reasons for this shard's files.
+    pub(super) discard_reasons: HashMap<FileId, RemovalReason>,
+    /// This shard's `Auto_*` task wheel.
+    pub(super) pending: Scheduler<SeqTask>,
+    /// This shard's slice of the engine counters (merged by
+    /// [`Engine::stats`](super::Engine::stats)).
+    pub(super) stats: EngineStats,
+}
+
+impl Shard {
+    fn new(kind: SchedulerKind, granularity: Time) -> Self {
+        Shard {
+            files: HashMap::new(),
+            alloc: HashMap::new(),
+            discard_reasons: HashMap::new(),
+            pending: Scheduler::new(kind, granularity),
+            stats: EngineStats::default(),
+        }
+    }
+}
+
+/// The engine's per-file state, partitioned by `FileId` range.
+#[derive(Debug, Clone)]
+pub(super) struct ShardedState {
+    pub(super) shards: Vec<Shard>,
+}
+
+impl ShardedState {
+    /// Creates `count` empty shards (validated ≥ 1 by `ProtocolParams`).
+    pub(super) fn new(count: usize, kind: SchedulerKind, granularity: Time) -> Self {
+        assert!(count >= 1, "shard count must be positive");
+        ShardedState {
+            shards: (0..count).map(|_| Shard::new(kind, granularity)).collect(),
+        }
+    }
+
+    /// The route-by-file-id invariant: everything about `file` lives in
+    /// shard `file % shards`, forever (files never migrate between shards).
+    #[inline]
+    pub(super) fn shard_of(&self, file: FileId) -> usize {
+        (file.0 % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
+    pub(super) fn shard(&self, file: FileId) -> &Shard {
+        &self.shards[self.shard_of(file)]
+    }
+
+    #[inline]
+    pub(super) fn shard_mut(&mut self, file: FileId) -> &mut Shard {
+        let idx = self.shard_of(file);
+        &mut self.shards[idx]
+    }
+
+    // ------------------------------------------------------------------
+    // File descriptors
+    // ------------------------------------------------------------------
+
+    pub(super) fn file(&self, file: FileId) -> Option<&FileDescriptor> {
+        self.shard(file).files.get(&file)
+    }
+
+    pub(super) fn file_mut(&mut self, file: FileId) -> Option<&mut FileDescriptor> {
+        self.shard_mut(file).files.get_mut(&file)
+    }
+
+    pub(super) fn insert_file(&mut self, desc: FileDescriptor) {
+        let id = desc.id;
+        self.shard_mut(id).files.insert(id, desc);
+    }
+
+    pub(super) fn remove_file(&mut self, file: FileId) -> Option<FileDescriptor> {
+        self.shard_mut(file).files.remove(&file)
+    }
+
+    pub(super) fn files_len(&self) -> usize {
+        self.shards.iter().map(|s| s.files.len()).sum()
+    }
+
+    /// Live file ids across all shards, sorted.
+    pub(super) fn file_ids(&self) -> Vec<FileId> {
+        let mut ids: Vec<FileId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.files.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation table
+    // ------------------------------------------------------------------
+
+    pub(super) fn entry(&self, file: FileId, index: u32) -> Option<&AllocEntry> {
+        self.shard(file).alloc.get(&(file, index))
+    }
+
+    pub(super) fn entry_mut(&mut self, file: FileId, index: u32) -> Option<&mut AllocEntry> {
+        self.shard_mut(file).alloc.get_mut(&(file, index))
+    }
+
+    pub(super) fn insert_entry(&mut self, file: FileId, index: u32, entry: AllocEntry) {
+        self.shard_mut(file).alloc.insert((file, index), entry);
+    }
+
+    pub(super) fn remove_entry(&mut self, file: FileId, index: u32) -> Option<AllocEntry> {
+        self.shard_mut(file).alloc.remove(&(file, index))
+    }
+
+    /// Iterates every allocation row across all shards (shard order —
+    /// callers that need a deterministic order sort the collected rows).
+    pub(super) fn alloc_iter(&self) -> impl Iterator<Item = (&(FileId, u32), &AllocEntry)> {
+        self.shards.iter().flat_map(|s| s.alloc.iter())
+    }
+
+    // ------------------------------------------------------------------
+    // Discard reasons
+    // ------------------------------------------------------------------
+
+    pub(super) fn set_discard_reason(&mut self, file: FileId, reason: RemovalReason) {
+        self.shard_mut(file).discard_reasons.insert(file, reason);
+    }
+
+    pub(super) fn take_discard_reason(&mut self, file: FileId) -> Option<RemovalReason> {
+        self.shard_mut(file).discard_reasons.remove(&file)
+    }
+
+    // ------------------------------------------------------------------
+    // Task wheels
+    // ------------------------------------------------------------------
+
+    /// Which shard executes a task: its file's shard; global tasks
+    /// (`DistributeRent`) live on shard 0.
+    fn task_shard(&self, task: &Task) -> usize {
+        match task {
+            Task::CheckAlloc(f) | Task::CheckProof(f) | Task::CheckRefresh(f, _) => {
+                self.shard_of(*f)
+            }
+            Task::DistributeRent => 0,
+        }
+    }
+
+    /// Schedules `task` at `time` on its shard's wheel, tagged with the
+    /// caller-assigned global sequence number.
+    pub(super) fn schedule(&mut self, seq: u64, time: Time, task: Task) {
+        let idx = self.task_shard(&task);
+        self.shards[idx].pending.schedule(time, (seq, task));
+    }
+
+    /// Earliest pending task time across all shards — the sharded
+    /// equivalent of [`Scheduler::next_time`] (see
+    /// [`fi_chain::tasks::next_time_across`] for the general form).
+    pub(super) fn next_task_time(&self) -> Option<Time> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.pending.next_time())
+            .min()
+    }
+
+    /// Drains every task due at or before `now`, one slice per shard —
+    /// the wheel-embedded equivalent of
+    /// [`fi_chain::tasks::pop_due_across`].
+    pub(super) fn pop_due(&mut self, now: Time) -> Vec<ShardSlice> {
+        self.shards
+            .iter_mut()
+            .map(|s| s.pending.pop_due(now))
+            .collect()
+    }
+
+    /// Total scheduled tasks across all shards.
+    pub(super) fn pending_len(&self) -> usize {
+        self.shards.iter().map(|s| s.pending.len()).sum()
+    }
+}

@@ -700,7 +700,7 @@ fn deterministic_replay() {
         add_one_file(&mut e, 16);
         add_one_file(&mut e, 8);
         run_honest(&mut e, 2_000);
-        (e.state_root(), e.stats().clone(), e.events().len())
+        (e.state_root(), e.stats(), e.events().len())
     };
     assert_eq!(run(), run(), "same seed, same trajectory");
 }

@@ -257,10 +257,15 @@ impl Receipt {
 /// One entry of the engine's op log: the op, when it was applied, and
 /// whether it succeeded. The log is the ledger's transaction history —
 /// [`crate::engine::Engine::replay`] reproduces the full engine state from
-/// it deterministically.
+/// it deterministically, and [`crate::engine::Engine::replay_from`] does
+/// the same from a [`crate::engine::Checkpoint`] base after the log has
+/// been truncated by [`crate::engine::Engine::checkpoint`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord {
-    /// Position in the log (0-based).
+    /// Global op sequence number (0-based, monotonic across the engine's
+    /// whole history — checkpoint truncation does not reset it, so a
+    /// truncated log's first record carries the checkpoint's
+    /// `ops_applied`).
     pub seq: u64,
     /// Consensus time when the op was applied (before any time advance the
     /// op itself performs).

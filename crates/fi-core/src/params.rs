@@ -71,6 +71,36 @@ pub struct ProtocolParams {
     /// benchmarking and differential tests — consensus execution is
     /// identical either way.
     pub scheduler: SchedulerKind,
+    /// Engine shard count: per-file state (descriptors, allocation entries,
+    /// task wheel) is partitioned by `FileId % shards`, and the read-only
+    /// verify phase of `Auto_CheckProof` fans out across shards. Consensus
+    /// results are bit-identical for every shard count (see DESIGN.md §9),
+    /// so this is a deployment/performance knob, not a consensus parameter.
+    ///
+    /// Defaults to `1`, or to the `FI_TEST_SHARDS` environment variable when
+    /// set (the CI matrix runs the whole test suite at 1 and 8 shards).
+    pub shards: usize,
+    /// Modeled Merkle path length of one storage-proof verification: the
+    /// number of path nodes `Auto_CheckProof`'s verify phase walks per
+    /// audited replica (the simulated WindowPoSt verification cost, the
+    /// parallelizable part of an audit).
+    pub audit_path_len: u32,
+}
+
+/// Largest permitted [`ProtocolParams::shards`] value.
+pub const MAX_SHARDS: usize = 256;
+
+/// `FI_TEST_SHARDS` override for `Default`. Any unusable value —
+/// non-numeric, zero, above [`MAX_SHARDS`] — falls back to 1, so
+/// `ProtocolParams::default()` always validates regardless of the
+/// environment (explicitly-set `shards` fields are still range-checked by
+/// `validate`).
+fn default_shards() -> usize {
+    std::env::var("FI_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|s| (1..=MAX_SHARDS).contains(s))
+        .unwrap_or(1)
 }
 
 impl Default for ProtocolParams {
@@ -101,6 +131,8 @@ impl Default for ProtocolParams {
             seed: 0xF11E_1245,
             block_interval: 10,
             scheduler: SchedulerKind::Wheel,
+            shards: default_shards(),
+            audit_path_len: 8,
         }
     }
 }
@@ -183,6 +215,14 @@ impl ProtocolParams {
         if self.gamma_deposit_ppm == 0 {
             return Err(ParamError::OutOfRange {
                 what: "gamma_deposit_ppm",
+            });
+        }
+        if self.shards == 0 || self.shards > MAX_SHARDS {
+            return Err(ParamError::OutOfRange { what: "shards" });
+        }
+        if self.audit_path_len == 0 {
+            return Err(ParamError::OutOfRange {
+                what: "audit_path_len",
             });
         }
         Ok(())
@@ -321,6 +361,37 @@ mod tests {
         assert_eq!(p.transfer_window(10), 10);
         assert_eq!(p.transfer_window(0), 1, "window never zero");
         assert_eq!(p.punishment(TokenAmount(1_000_000)), TokenAmount(10_000));
+    }
+
+    #[test]
+    fn shard_and_audit_params_validated() {
+        let p = ProtocolParams {
+            shards: 0,
+            ..ProtocolParams::default()
+        };
+        assert_eq!(p.validate(), Err(ParamError::OutOfRange { what: "shards" }));
+        let p = ProtocolParams {
+            shards: MAX_SHARDS + 1,
+            ..ProtocolParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = ProtocolParams {
+            audit_path_len: 0,
+            ..ProtocolParams::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ParamError::OutOfRange {
+                what: "audit_path_len"
+            })
+        );
+        for shards in [1, 4, 8, MAX_SHARDS] {
+            let p = ProtocolParams {
+                shards,
+                ..ProtocolParams::default()
+            };
+            p.validate().unwrap();
+        }
     }
 
     #[test]

@@ -135,6 +135,70 @@ fn replay_is_scheduler_agnostic() {
     assert_replay_matches(&engine, btree_params);
 }
 
+/// Checkpoint + truncate bounds op-log growth without losing replayability:
+/// a snapshot taken at the checkpoint plus the post-checkpoint log suffix
+/// rebuilds the exact engine — state root, chain head, stats — and the
+/// checkpoint itself is invisible to consensus (roots commit to the
+/// monotonic op counter, not the log length).
+#[test]
+fn replay_from_checkpoint_is_deterministic() {
+    for seed in [4u64, 19] {
+        let params = ProtocolParams {
+            k: 3,
+            delay_per_size: 6,
+            avg_refresh: 6.0,
+            ..ProtocolParams::default()
+        };
+        // Build the first half of the workload, snapshot + checkpoint.
+        let mut engine = random_workload(seed, &params);
+        let pre_truncate_root = engine.state_root();
+        let log_before = engine.op_log().len();
+        assert!(log_before > 0);
+        let base = engine.clone();
+        let cp = engine.checkpoint();
+        assert!(engine.op_log().is_empty(), "checkpoint truncates the log");
+        assert_eq!(engine.last_checkpoint(), Some(&cp));
+        assert_eq!(
+            engine.state_root(),
+            pre_truncate_root,
+            "truncation must not change consensus state"
+        );
+        assert_eq!(cp.state_root, pre_truncate_root);
+        assert_eq!(cp.ops_applied, log_before as u64);
+
+        // Second half: more traffic, faults, time.
+        let mut rng = DetRng::from_seed_label(seed, "checkpoint-tail");
+        for step in 0..30u64 {
+            match rng.below(4) {
+                0 => {
+                    let root = sha256(&(seed ^ (1 << 32) ^ step).to_be_bytes());
+                    let _ =
+                        engine.file_add(CLIENT, 1 + rng.below(20), engine.params().min_value, root);
+                }
+                1 => {
+                    engine.honest_providers_act();
+                }
+                _ => engine.advance_to(engine.now() + 10 + rng.below(100)),
+            }
+        }
+        // Post-checkpoint records continue the global seq numbering.
+        assert_eq!(engine.op_log()[0].seq, cp.ops_applied);
+
+        // Replay from the checkpoint base: identical engine.
+        let replayed = Engine::replay_from(&base, &cp, engine.op_log()).expect("base matches");
+        assert_eq!(replayed.state_root(), engine.state_root());
+        assert_eq!(replayed.chain().head_hash(), engine.chain().head_hash());
+        assert_eq!(replayed.stats(), engine.stats());
+        assert_eq!(replayed.file_ids(), engine.file_ids());
+        assert_eq!(replayed.op_log(), engine.op_log());
+
+        // A non-matching base is rejected, not silently replayed.
+        let mut wrong = base.clone();
+        wrong.tick();
+        assert!(Engine::replay_from(&wrong, &cp, engine.op_log()).is_err());
+    }
+}
+
 #[test]
 fn segmented_upload_rollback_is_replayable() {
     // The §VI-C rollback path issues consensus-side ForceDiscard ops; the

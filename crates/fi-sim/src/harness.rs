@@ -11,6 +11,10 @@
 //! transaction layer (`Engine::apply`), so whole scenario runs — faults,
 //! punishments, compensation included — are replayable from the op log via
 //! `Engine::replay` (asserted in the tests below).
+//!
+//! The engine's shard count is configured through
+//! [`ProtocolParams::shards`]; scenario outcomes are shard-count-invariant
+//! (asserted below), so scenarios can drive any shard configuration.
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_core::engine::Engine;
@@ -320,6 +324,51 @@ mod tests {
             scenario.engine.chain().head_hash()
         );
         assert_eq!(replayed.stats(), scenario.engine.stats());
+    }
+
+    /// A full scenario — lazy and failing providers, punishments,
+    /// compensation — reaches bit-identical consensus state at any shard
+    /// count: sharding is a performance knob, not a consensus parameter.
+    #[test]
+    fn scenario_outcomes_are_shard_count_invariant() {
+        let run = |shards: usize| {
+            let mut p = params(3);
+            p.shards = shards;
+            let mut scenario = Scenario::new(
+                p,
+                vec![
+                    ProviderSpec {
+                        account: AccountId(700),
+                        sectors: vec![640],
+                        behavior: ProviderBehavior::Lazy { skip_prob: 0.5 },
+                    },
+                    ProviderSpec {
+                        account: AccountId(701),
+                        sectors: vec![640, 1280],
+                        behavior: ProviderBehavior::FailsAt { at: 1_200 },
+                    },
+                    ProviderSpec {
+                        account: AccountId(702),
+                        sectors: vec![640, 640],
+                        behavior: ProviderBehavior::Honest,
+                    },
+                ],
+                CLIENT,
+            );
+            for i in 0..6 {
+                scenario.add_file(CLIENT, 8 + i, TokenAmount(1_000));
+            }
+            scenario.run_until(3_000);
+            scenario.engine
+        };
+        let one = run(1);
+        for shards in [4usize, 8] {
+            let sharded = run(shards);
+            assert_eq!(one.state_root(), sharded.state_root());
+            assert_eq!(one.chain().head_hash(), sharded.chain().head_hash());
+            assert_eq!(one.stats(), sharded.stats());
+            assert_eq!(one.file_ids(), sharded.file_ids());
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn half_capacity_corruption_fully_compensates_every_loss() {
     }
     settle(&mut engine, 6);
 
-    let stats = engine.stats().clone();
+    let stats = engine.stats();
     // Every loss fully compensated.
     assert_eq!(stats.compensation_shortfall, TokenAmount::ZERO);
     assert_eq!(stats.compensation_paid, stats.value_lost);
@@ -145,7 +145,7 @@ fn deterministic_disaster_replay() {
         }
         settle(&mut engine, 5);
         (
-            engine.stats().clone(),
+            engine.stats(),
             engine.ledger().total_supply(),
             engine.state_root(),
         )
