@@ -91,6 +91,10 @@ pub struct BlockChain {
     /// `(op digest, receipt digest)` pairs applied since the last seal.
     open_ops: Vec<(Hash256, Hash256)>,
     blocks: Vec<Block>,
+    /// Parent hash of `blocks[0]` — [`Hash256::ZERO`] for a chain built
+    /// from genesis; the restored head for a chain rebuilt from a snapshot
+    /// (whose `blocks` then only holds post-restore seals).
+    history_base_hash: Hash256,
 }
 
 impl BlockChain {
@@ -123,6 +127,49 @@ impl BlockChain {
             open_events: Vec::new(),
             open_ops: Vec::new(),
             blocks: vec![genesis],
+            history_base_hash: Hash256::ZERO,
+        }
+    }
+
+    /// Rebuilds a chain mid-flight from snapshot state: the beacon is
+    /// re-derived from `seed`, the head is pinned to `(height, head_hash)`,
+    /// and the open (not yet sealed) events and op batch are reinstated.
+    /// Sealed block *bodies* are not part of snapshots — [`Self::blocks`]
+    /// of a restored chain holds only blocks sealed after the restore, and
+    /// [`Self::verify_chain`] validates that suffix against the restored
+    /// head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_interval == 0` or `now` is inconsistent with
+    /// `height` (time before the last sealed boundary).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        seed: u64,
+        block_interval: Time,
+        now: Time,
+        height: u64,
+        head_hash: Hash256,
+        open_events: Vec<ChainEvent>,
+        open_ops: Vec<(Hash256, Hash256)>,
+    ) -> Self {
+        assert!(block_interval > 0, "block interval must be positive");
+        assert!(
+            height
+                .checked_mul(block_interval)
+                .is_some_and(|boundary| now >= boundary),
+            "time precedes the last sealed boundary"
+        );
+        BlockChain {
+            beacon: RandomBeacon::new(seed),
+            block_interval,
+            now,
+            height,
+            head_hash,
+            open_events,
+            open_ops,
+            blocks: Vec::new(),
+            history_base_hash: head_hash,
         }
     }
 
@@ -156,6 +203,27 @@ impl BlockChain {
     /// ops still consume gas and belong to the batch).
     pub fn log_op(&mut self, op_digest: Hash256, receipt_digest: Hash256) {
         self.open_ops.push((op_digest, receipt_digest));
+    }
+
+    /// Records a whole batch of applied ops at once — the block-batching
+    /// form of [`BlockChain::log_op`], used by pipelined ingest to commit a
+    /// segment's `(op, receipt)` digests in submission order.
+    pub fn log_ops(&mut self, pairs: impl IntoIterator<Item = (Hash256, Hash256)>) {
+        self.open_ops.extend(pairs);
+    }
+
+    /// The events logged into the currently open (unsealed) block, in
+    /// order. Part of the snapshot surface: they are folded into the next
+    /// sealed block's hash, so restoring a chain must reinstate them.
+    pub fn open_events(&self) -> &[ChainEvent] {
+        &self.open_events
+    }
+
+    /// The `(op digest, receipt digest)` pairs of the currently open
+    /// block's batch, in application order (snapshot surface, like
+    /// [`BlockChain::open_events`]).
+    pub fn open_ops(&self) -> &[(Hash256, Hash256)] {
+        &self.open_ops
     }
 
     /// All sealed blocks, genesis first.
@@ -233,10 +301,12 @@ impl BlockChain {
         sealed
     }
 
-    /// Verifies the hash chain from genesis to head (integrity audit used
-    /// in tests).
+    /// Verifies the hash chain over the blocks this instance holds: from
+    /// genesis for a chain built with [`BlockChain::new`], from the
+    /// restored head for one rebuilt with [`BlockChain::restore`]
+    /// (integrity audit used in tests).
     pub fn verify_chain(&self) -> bool {
-        let mut parent = Hash256::ZERO;
+        let mut parent = self.history_base_hash;
         for block in &self.blocks {
             if block.parent != parent {
                 return false;
@@ -343,6 +413,53 @@ mod tests {
         b.log_op(op, fi_crypto::sha256(b"other receipt"));
         b.advance_time(10, Hash256::ZERO);
         assert_ne!(a.blocks()[1].block_hash, b.blocks()[1].block_hash);
+    }
+
+    /// A chain restored from its own mid-flight state (head + open
+    /// events/ops) seals byte-identical future blocks: the snapshot surface
+    /// carries everything the next seal folds in.
+    #[test]
+    fn restored_chain_continues_identically() {
+        let mut live = BlockChain::new(11, 10);
+        live.log(ChainEvent::new("pre", b"1".to_vec()));
+        live.advance_time(25, Hash256::ZERO);
+        live.log(ChainEvent::new("open", b"2".to_vec()));
+        live.log_op(fi_crypto::sha256(b"op"), fi_crypto::sha256(b"rcpt"));
+
+        let mut restored = BlockChain::restore(
+            11,
+            10,
+            live.now(),
+            live.height(),
+            live.head_hash(),
+            live.open_events().to_vec(),
+            live.open_ops().to_vec(),
+        );
+        assert!(restored.verify_chain(), "empty suffix verifies");
+        live.advance_time(50, fi_crypto::sha256(b"root"));
+        restored.advance_time(50, fi_crypto::sha256(b"root"));
+        assert_eq!(live.head_hash(), restored.head_hash());
+        assert_eq!(live.height(), restored.height());
+        assert!(restored.verify_chain(), "post-restore suffix verifies");
+        // The restored instance only holds post-restore blocks.
+        assert_eq!(restored.blocks().len(), 3);
+        assert_eq!(live.blocks().len(), 6);
+    }
+
+    #[test]
+    fn log_ops_batches_like_repeated_log_op() {
+        let pairs: Vec<_> = (0..4u8)
+            .map(|i| (fi_crypto::sha256(&[i]), fi_crypto::sha256(&[i, i])))
+            .collect();
+        let mut a = BlockChain::new(13, 10);
+        let mut b = BlockChain::new(13, 10);
+        for &(op, rcpt) in &pairs {
+            a.log_op(op, rcpt);
+        }
+        b.log_ops(pairs);
+        a.advance_time(10, Hash256::ZERO);
+        b.advance_time(10, Hash256::ZERO);
+        assert_eq!(a.head_hash(), b.head_hash());
     }
 
     #[test]

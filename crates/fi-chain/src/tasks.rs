@@ -336,6 +336,21 @@ impl<T> Scheduler<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Iterates over `(time, task)` without removing, in the underlying
+    /// implementation's storage order (not globally time-sorted for the
+    /// wheel) — callers needing a canonical order sort the collected
+    /// pairs. Used by engine snapshots to enumerate pending tasks.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, &T)> {
+        let (wheel, list) = match self {
+            Scheduler::Wheel(w) => (Some(w.iter()), None),
+            Scheduler::BTree(p) => (None, Some(p.iter())),
+        };
+        wheel
+            .into_iter()
+            .flatten()
+            .chain(list.into_iter().flatten())
+    }
 }
 
 // ----------------------------------------------------------------------

@@ -131,6 +131,41 @@ impl CrAccounting {
     pub fn invariant_holds(&self) -> bool {
         self.unsealed() < self.cr_size
     }
+
+    /// The raw accounting fields for snapshots:
+    /// `(capacity, cr_size, file_bytes, regenerated, discarded)`.
+    pub fn snapshot_parts(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.capacity,
+            self.cr_size,
+            self.file_bytes,
+            self.regenerated,
+            self.discarded,
+        )
+    }
+
+    /// Rebuilds accounting from [`CrAccounting::snapshot_parts`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the fields violate the constructor
+    /// invariants (`0 < cr_size ≤ capacity`, `file_bytes ≤ capacity`).
+    pub fn from_parts(parts: (u64, u64, u64, u64, u64)) -> Result<Self, &'static str> {
+        let (capacity, cr_size, file_bytes, regenerated, discarded) = parts;
+        if cr_size == 0 || cr_size > capacity {
+            return Err("CR size must be positive and at most the capacity");
+        }
+        if file_bytes > capacity {
+            return Err("stored file bytes exceed the sector capacity");
+        }
+        Ok(CrAccounting {
+            capacity,
+            cr_size,
+            file_bytes,
+            regenerated,
+            discarded,
+        })
+    }
 }
 
 /// A sector with *materialized* sealed content: real CRs and real file

@@ -1,0 +1,786 @@
+//! The pipelined batch-ingest path: staged execution of shard-local ops.
+//!
+//! [`Engine::apply_batch`](super::Engine::apply_batch) splits a block's op
+//! batch into **segments** of consecutive *shard-local* ops (`File_Confirm`,
+//! `File_Prove`, `File_Get`, `File_Discard`, `ForceDiscard` — ops whose
+//! writes are confined to one file's shard plus the ledger) separated by
+//! **barrier** ops (everything else: sector admin, `File_Add`'s
+//! sampler/rng draws, funds, fault injection, `AdvanceTo`). Each segment is
+//! staged concurrently — one worker per group of shards, up to
+//! [`ProtocolParams::ingest_threads`] — and then committed sequentially in
+//! the original submission order, so consensus state is bit-identical to
+//! feeding the same ops one by one through `Engine::apply`.
+//!
+//! Determinism rests on three pillars:
+//!
+//! 1. **Single executor.** [`stage_shard_local`] is the *only*
+//!    implementation of the five shard-local ops; the sequential dispatch
+//!    path runs the same function against live state and applies its
+//!    effects immediately. There is no second copy of the op semantics
+//!    that could drift.
+//! 2. **Shard isolation.** A staging worker executes its shard's ops in
+//!    submission order against a [`ShardOverlay`] (base shard + staged
+//!    writes), while reading global state — sectors, params, gas prices,
+//!    consensus time — immutably. No shard-local op writes any of those,
+//!    so the only cross-shard data flow inside a segment is through the
+//!    ledger.
+//! 3. **Ledger validation at commit.** Staged balance checks are
+//!    *assumptions* against the pre-segment ledger. The commit phase
+//!    replays each op's [`LedgerStep`] program against the live ledger
+//!    first; if any assumed outcome flips (an earlier op in the segment
+//!    drained or credited an account past a threshold), the staged result
+//!    is discarded, the op re-executes sequentially, and the shard is
+//!    marked dirty for the rest of the segment (its later staged results
+//!    were computed against a stale overlay). The fallback is the normal
+//!    sequential path, so even the pathological interleavings are
+//!    bit-identical — they just don't get the speedup.
+//!
+//! The expensive parts of ingest — the modeled `File_Prove` WindowPoSt
+//! verification ([`prove_replica_digest`], `audit_path_len` Merkle nodes
+//! per proof, folded into the engine's audit root in commit order) and the
+//! canonical op/receipt digests — all happen in the parallel phase.
+
+use std::collections::HashMap;
+use std::thread;
+
+use fi_chain::account::{AccountId, Ledger, TokenAmount};
+use fi_chain::gas::{GasSchedule, Op as GasOp};
+use fi_chain::tasks::Time;
+use fi_crypto::{keyed_hash, Hash256};
+
+use crate::ops::{Op, Receipt};
+use crate::params::ProtocolParams;
+use crate::types::{
+    AllocEntry, AllocState, FileDescriptor, FileId, FileState, RemovalReason, Sector, SectorId,
+    SectorState,
+};
+
+use super::shard::Shard;
+use super::{Engine, EngineError, TRAFFIC_ESCROW};
+
+/// Segments with fewer shard-local ops than this commit through the plain
+/// sequential path: spawning staging workers costs more than a handful of
+/// map lookups and Merkle walks. The outcome is identical either way.
+pub(super) const PARALLEL_INGEST_THRESHOLD: usize = 64;
+
+/// The file a shard-local op targets, or `None` for barrier ops. This is
+/// the batch classifier: ops with a target stage concurrently on the
+/// target's shard; everything else serializes the pipeline.
+pub(super) fn shard_local_file(op: &Op) -> Option<FileId> {
+    match op {
+        Op::FileConfirm { file, .. }
+        | Op::FileProve { file, .. }
+        | Op::FileGet { file, .. }
+        | Op::FileDiscard { file, .. }
+        | Op::ForceDiscard { file } => Some(*file),
+        Op::SectorRegister { .. }
+        | Op::SectorDisable { .. }
+        | Op::FileAdd { .. }
+        | Op::Fund { .. }
+        | Op::Burn { .. }
+        | Op::FailSector { .. }
+        | Op::CorruptSector { .. }
+        | Op::AdvanceTo { .. } => None,
+    }
+}
+
+/// One recorded ledger operation of a staged op, in execution order.
+/// Balance-dependent steps carry the outcome the staging phase *assumed*;
+/// the commit phase replays the program and falls back to sequential
+/// execution when any assumption no longer holds.
+#[derive(Debug, Clone)]
+pub(super) enum LedgerStep {
+    /// A gas burn. `assumed_ok` is the balance check's staged outcome
+    /// (`false` = the op failed with `InsufficientFunds` here and recorded
+    /// no further steps).
+    Burn {
+        /// Account debited.
+        account: AccountId,
+        /// Fee burned.
+        amount: TokenAmount,
+        /// Whether the staging phase saw sufficient balance.
+        assumed_ok: bool,
+    },
+    /// A best-effort transfer (`Ledger::transfer_up_to`). Infallible, and
+    /// no shard-local op observes the moved amount, so it carries no
+    /// assumption — the commit replay computes the actual amount.
+    TransferUpTo {
+        /// Source account.
+        from: AccountId,
+        /// Destination account.
+        to: AccountId,
+        /// Upper bound on the amount moved.
+        cap: TokenAmount,
+    },
+}
+
+/// One staged mutation of the target shard. Writes carry whole cloned
+/// objects: the overlay the executor read from already contains every
+/// earlier same-segment write, so replacement at commit time is exact.
+#[derive(Debug, Clone)]
+pub(super) enum ShardWrite {
+    /// Replace an allocation entry.
+    Entry {
+        /// Target file.
+        file: FileId,
+        /// Replica index.
+        index: u32,
+        /// The new entry value.
+        entry: AllocEntry,
+    },
+    /// Replace a file descriptor.
+    File {
+        /// The new descriptor value (keyed by `desc.id`).
+        desc: FileDescriptor,
+    },
+    /// Record a pending removal reason.
+    DiscardReason {
+        /// Target file.
+        file: FileId,
+        /// Why it is being removed.
+        reason: RemovalReason,
+    },
+    /// Bump the shard's `proofs_accepted` counter.
+    ProofAccepted,
+}
+
+/// Everything one shard-local op does, staged: the typed outcome, the
+/// ledger program, the shard writes, the audit-root fold of a verified
+/// proof, and the op-counter increment. Applying these to live state (in
+/// submission order, after the ledger program revalidates) reproduces the
+/// sequential execution bit for bit.
+#[derive(Debug, Clone)]
+pub(super) struct StagedEffects {
+    /// The typed result the op returns.
+    pub(super) outcome: Result<Receipt, EngineError>,
+    /// Ledger operations in execution order.
+    pub(super) ledger: Vec<LedgerStep>,
+    /// Shard mutations in execution order.
+    pub(super) writes: Vec<ShardWrite>,
+    /// Digest of a verified `File_Prove` proof, folded into the engine's
+    /// audit root at commit (in submission order — the fold is part of the
+    /// state root, which pins the parallel verification results).
+    pub(super) audit_fold: Option<Hash256>,
+    /// `Engine::op_counter` increment.
+    pub(super) op_counter_inc: u64,
+}
+
+impl StagedEffects {
+    fn fail(sim: LedgerSim<'_>, err: EngineError) -> Self {
+        StagedEffects {
+            outcome: Err(err),
+            ledger: sim.steps,
+            writes: Vec::new(),
+            audit_fold: None,
+            op_counter_inc: 0,
+        }
+    }
+}
+
+/// A staged op ready for commit: the effects plus the canonical digests
+/// (both computed in the parallel phase — `Op::digest` formats and hashes
+/// the whole op, a meaningful share of ingest cost).
+#[derive(Debug, Clone)]
+pub(super) struct StagedOp {
+    /// Canonical digest of the op (block batch commitment).
+    pub(super) op_digest: Hash256,
+    /// Digest of the staged outcome (receipt root commitment).
+    pub(super) receipt_digest: Hash256,
+    /// The staged effects.
+    pub(super) effects: StagedEffects,
+}
+
+/// The immutable global context a staging worker reads: parameters, gas
+/// prices, the sector table, the pre-segment ledger, and consensus time.
+/// No shard-local op writes any of these, which is what makes the segment
+/// staging sound.
+pub(super) struct OpCtx<'a> {
+    pub(super) params: &'a ProtocolParams,
+    pub(super) gas: &'a GasSchedule,
+    pub(super) sectors: &'a HashMap<SectorId, Sector>,
+    pub(super) ledger: &'a Ledger,
+    pub(super) now: Time,
+}
+
+/// A shard read view: the live shard plus every staged write of earlier
+/// same-segment ops on this shard, so in-segment dependencies (a second
+/// confirm of the same replica, a prove after a discard) resolve exactly
+/// as they would sequentially.
+pub(super) struct ShardOverlay<'a> {
+    base: &'a Shard,
+    files: HashMap<FileId, FileDescriptor>,
+    entries: HashMap<(FileId, u32), AllocEntry>,
+}
+
+impl<'a> ShardOverlay<'a> {
+    pub(super) fn new(base: &'a Shard) -> Self {
+        ShardOverlay {
+            base,
+            files: HashMap::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    fn file(&self, file: FileId) -> Option<&FileDescriptor> {
+        self.files.get(&file).or_else(|| self.base.files.get(&file))
+    }
+
+    fn entry(&self, file: FileId, index: u32) -> Option<&AllocEntry> {
+        self.entries
+            .get(&(file, index))
+            .or_else(|| self.base.alloc.get(&(file, index)))
+    }
+
+    /// Mirrors a staged write into the overlay so later ops in the same
+    /// segment read it. Discard reasons and stats are write-only for
+    /// shard-local ops, so only files and entries need overlaying.
+    pub(super) fn note_write(&mut self, write: &ShardWrite) {
+        match write {
+            ShardWrite::Entry { file, index, entry } => {
+                self.entries.insert((*file, *index), entry.clone());
+            }
+            ShardWrite::File { desc } => {
+                self.files.insert(desc.id, desc.clone());
+            }
+            ShardWrite::DiscardReason { .. } | ShardWrite::ProofAccepted => {}
+        }
+    }
+}
+
+/// A tiny account→balance overlay for simulating one op's ledger program:
+/// an op touches at most a handful of accounts, so a linear-scan `Vec`
+/// beats a hash map on both allocation and lookup — this sits on the
+/// sequential dispatch path of every shard-local op.
+#[derive(Default)]
+struct BalanceScratch(Vec<(AccountId, TokenAmount)>);
+
+impl BalanceScratch {
+    fn get(&self, base: &Ledger, account: AccountId) -> TokenAmount {
+        self.0
+            .iter()
+            .find(|(a, _)| *a == account)
+            .map(|(_, b)| *b)
+            .unwrap_or_else(|| base.balance(account))
+    }
+
+    fn set(&mut self, account: AccountId, balance: TokenAmount) {
+        match self.0.iter_mut().find(|(a, _)| *a == account) {
+            Some(slot) => slot.1 = balance,
+            None => self.0.push((account, balance)),
+        }
+    }
+}
+
+/// A per-op ledger simulation over the frozen pre-segment ledger: records
+/// the op's [`LedgerStep`] program while tracking hypothetical balances so
+/// multi-step ops (gas burn then fee release) stay internally consistent.
+struct LedgerSim<'a> {
+    base: &'a Ledger,
+    local: BalanceScratch,
+    steps: Vec<LedgerStep>,
+}
+
+impl<'a> LedgerSim<'a> {
+    fn new(base: &'a Ledger) -> Self {
+        LedgerSim {
+            base,
+            local: BalanceScratch::default(),
+            steps: Vec::new(),
+        }
+    }
+
+    fn balance(&self, account: AccountId) -> TokenAmount {
+        self.local.get(self.base, account)
+    }
+
+    /// Records a burn; returns whether it (hypothetically) succeeded.
+    fn burn(&mut self, account: AccountId, amount: TokenAmount) -> bool {
+        let balance = self.balance(account);
+        let ok = balance >= amount;
+        self.steps.push(LedgerStep::Burn {
+            account,
+            amount,
+            assumed_ok: ok,
+        });
+        if ok {
+            self.local.set(account, balance - amount);
+        }
+        ok
+    }
+
+    /// Records a best-effort transfer and applies it hypothetically.
+    fn transfer_up_to(&mut self, from: AccountId, to: AccountId, cap: TokenAmount) {
+        self.steps.push(LedgerStep::TransferUpTo { from, to, cap });
+        let from_balance = self.balance(from);
+        let moved = from_balance.min(cap);
+        self.local.set(from, from_balance - moved);
+        let to_balance = self.balance(to);
+        self.local.set(to, to_balance + moved);
+    }
+
+    /// The staged counterpart of `Engine::charge_gas`.
+    fn charge_gas(&mut self, gas: &GasSchedule, account: AccountId, ops: &[GasOp]) -> bool {
+        let total: u64 = ops.iter().map(|&op| gas.price(op)).sum();
+        self.burn(account, gas.to_tokens(total))
+    }
+}
+
+/// Replays a staged op's ledger program against the live ledger *without
+/// mutating it*: returns `true` iff every balance-dependent step resolves
+/// exactly as the staging phase assumed. `false` means an earlier op in
+/// the segment moved money in a way this op's outcome depends on — the
+/// caller must discard the staged result and re-execute sequentially.
+pub(super) fn ledger_steps_match(ledger: &Ledger, steps: &[LedgerStep]) -> bool {
+    let mut local = BalanceScratch::default();
+    for step in steps {
+        match step {
+            LedgerStep::Burn {
+                account,
+                amount,
+                assumed_ok,
+            } => {
+                let b = local.get(ledger, *account);
+                let ok = b >= *amount;
+                if ok != *assumed_ok {
+                    return false;
+                }
+                if ok {
+                    local.set(*account, b - *amount);
+                }
+            }
+            LedgerStep::TransferUpTo { from, to, cap } => {
+                let from_balance = local.get(ledger, *from);
+                let moved = from_balance.min(*cap);
+                local.set(*from, from_balance - moved);
+                let to_balance = local.get(ledger, *to);
+                local.set(*to, to_balance + moved);
+            }
+        }
+    }
+    true
+}
+
+/// The modeled WindowPoSt verification a `File_Prove` carries: derive the
+/// challenged leaf from the file's Merkle commitment, the replica index,
+/// the holding sector and the proof time, then walk an
+/// `audit_path_len`-node authentication path. Pure — the digest is folded
+/// into the engine's audit root in commit order, so the state root pins
+/// every parallel verification bit-for-bit.
+fn prove_replica_digest(
+    merkle_root: &Hash256,
+    index: u32,
+    sector: SectorId,
+    now: Time,
+    path_len: u32,
+) -> Hash256 {
+    let mut node = keyed_hash(
+        "fileinsurer/prove-leaf",
+        &[
+            merkle_root.as_bytes(),
+            &index.to_be_bytes(),
+            &sector.0.to_be_bytes(),
+            &now.to_be_bytes(),
+        ],
+    );
+    for level in 0..path_len {
+        node = keyed_hash(
+            "fileinsurer/prove-node",
+            &[node.as_bytes(), &level.to_be_bytes()],
+        );
+    }
+    node
+}
+
+/// Executes one shard-local op against a shard view and the frozen global
+/// context, producing staged effects. This is the single implementation of
+/// the five ops' semantics: the sequential dispatch path runs it against
+/// the live shard and applies the effects immediately; the batch path runs
+/// it in a staging worker and commits later.
+pub(super) fn stage_shard_local(
+    op: &Op,
+    ctx: &OpCtx<'_>,
+    view: &ShardOverlay<'_>,
+) -> StagedEffects {
+    match op {
+        Op::FileConfirm {
+            caller,
+            file,
+            index,
+            sector,
+        } => stage_file_confirm(ctx, view, *caller, *file, *index, *sector),
+        Op::FileProve {
+            caller,
+            file,
+            index,
+            sector,
+        } => stage_file_prove(ctx, view, *caller, *file, *index, *sector),
+        Op::FileGet { caller, file } => stage_file_get(ctx, view, *caller, *file),
+        Op::FileDiscard { caller, file } => stage_file_discard(ctx, view, *caller, *file),
+        Op::ForceDiscard { file } => stage_force_discard(view, *file),
+        other => unreachable!("{} is not a shard-local op", other.kind()),
+    }
+}
+
+/// `File_Confirm` (Fig. 5): the provider of the target sector acknowledges
+/// receiving the replica; the traffic fee for it is released.
+fn stage_file_confirm(
+    ctx: &OpCtx<'_>,
+    view: &ShardOverlay<'_>,
+    caller: AccountId,
+    file: FileId,
+    index: u32,
+    sector: SectorId,
+) -> StagedEffects {
+    let mut sim = LedgerSim::new(ctx.ledger);
+    if !sim.charge_gas(ctx.gas, caller, &[GasOp::RequestBase, GasOp::AllocRead]) {
+        return StagedEffects::fail(sim, EngineError::InsufficientFunds);
+    }
+    let Some(s) = ctx.sectors.get(&sector) else {
+        return StagedEffects::fail(sim, EngineError::UnknownSector(sector));
+    };
+    if s.owner != caller {
+        return StagedEffects::fail(sim, EngineError::NotOwner);
+    }
+    let Some(size) = view.file(file).map(|f| f.size) else {
+        return StagedEffects::fail(sim, EngineError::UnknownFile(file));
+    };
+    let Some(e) = view.entry(file, index) else {
+        return StagedEffects::fail(sim, EngineError::UnknownFile(file));
+    };
+    if e.next != Some(sector) || e.state != AllocState::Alloc {
+        return StagedEffects::fail(
+            sim,
+            EngineError::InvalidState("allocation is not awaiting this sector's confirm"),
+        );
+    }
+    let mut entry = e.clone();
+    entry.state = AllocState::Confirm;
+    let fee = ctx.params.traffic_fee(size);
+    sim.transfer_up_to(TRAFFIC_ESCROW, caller, fee);
+    StagedEffects {
+        outcome: Ok(Receipt::Confirmed { file, index }),
+        ledger: sim.steps,
+        writes: vec![ShardWrite::Entry { file, index, entry }],
+        audit_fold: None,
+        op_counter_inc: 1,
+    }
+}
+
+/// `File_Prove` (Fig. 5): verify the modeled storage proof for a held
+/// replica and record its timestamp. The verification digest is folded
+/// into the engine's audit root at commit.
+fn stage_file_prove(
+    ctx: &OpCtx<'_>,
+    view: &ShardOverlay<'_>,
+    caller: AccountId,
+    file: FileId,
+    index: u32,
+    sector: SectorId,
+) -> StagedEffects {
+    let mut sim = LedgerSim::new(ctx.ledger);
+    if !sim.charge_gas(ctx.gas, caller, &[GasOp::RequestBase, GasOp::ProofVerify]) {
+        return StagedEffects::fail(sim, EngineError::InsufficientFunds);
+    }
+    let Some(s) = ctx.sectors.get(&sector) else {
+        return StagedEffects::fail(sim, EngineError::UnknownSector(sector));
+    };
+    if s.owner != caller {
+        return StagedEffects::fail(sim, EngineError::NotOwner);
+    }
+    if s.physically_failed || s.state == SectorState::Corrupted {
+        return StagedEffects::fail(
+            sim,
+            EngineError::InvalidState("sector cannot produce proofs"),
+        );
+    }
+    let Some(e) = view.entry(file, index) else {
+        return StagedEffects::fail(sim, EngineError::UnknownFile(file));
+    };
+    if e.prev != Some(sector) {
+        return StagedEffects::fail(
+            sim,
+            EngineError::InvalidState("sector does not hold this replica"),
+        );
+    }
+    let merkle_root = view
+        .file(file)
+        .map(|f| f.merkle_root)
+        .expect("allocation entries never outlive their descriptor");
+    let digest = prove_replica_digest(
+        &merkle_root,
+        index,
+        sector,
+        ctx.now,
+        ctx.params.audit_path_len,
+    );
+    let mut entry = e.clone();
+    entry.last = Some(ctx.now);
+    StagedEffects {
+        outcome: Ok(Receipt::Proved { file, index }),
+        ledger: sim.steps,
+        writes: vec![
+            ShardWrite::Entry { file, index, entry },
+            ShardWrite::ProofAccepted,
+        ],
+        audit_fold: Some(digest),
+        op_counter_inc: 1,
+    }
+}
+
+/// `File_Get` (§III-E): gas-charged live-holder lookup.
+fn stage_file_get(
+    ctx: &OpCtx<'_>,
+    view: &ShardOverlay<'_>,
+    caller: AccountId,
+    file: FileId,
+) -> StagedEffects {
+    let mut sim = LedgerSim::new(ctx.ledger);
+    if !sim.charge_gas(ctx.gas, caller, &[GasOp::RequestBase, GasOp::AllocRead]) {
+        return StagedEffects::fail(sim, EngineError::InsufficientFunds);
+    }
+    let Some(f) = view.file(file) else {
+        return StagedEffects::fail(sim, EngineError::UnknownFile(file));
+    };
+    let mut holders = Vec::new();
+    for i in 0..f.cp {
+        if let Some(e) = view.entry(file, i) {
+            if e.state == AllocState::Normal || e.state == AllocState::Alloc {
+                if let Some(sid) = e.prev {
+                    if let Some(s) = ctx.sectors.get(&sid) {
+                        if s.state != SectorState::Corrupted && !s.physically_failed {
+                            holders.push((sid, s.owner));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    StagedEffects {
+        outcome: Ok(Receipt::Holders { holders }),
+        ledger: sim.steps,
+        writes: Vec::new(),
+        audit_fold: None,
+        op_counter_inc: 0,
+    }
+}
+
+/// `File_Discard` (Fig. 4): the owner marks the file for removal at its
+/// next `Auto_CheckProof`.
+fn stage_file_discard(
+    ctx: &OpCtx<'_>,
+    view: &ShardOverlay<'_>,
+    caller: AccountId,
+    file: FileId,
+) -> StagedEffects {
+    let mut sim = LedgerSim::new(ctx.ledger);
+    if !sim.charge_gas(ctx.gas, caller, &[GasOp::RequestBase]) {
+        return StagedEffects::fail(sim, EngineError::InsufficientFunds);
+    }
+    let Some(f) = view.file(file) else {
+        return StagedEffects::fail(sim, EngineError::UnknownFile(file));
+    };
+    if f.owner != caller {
+        return StagedEffects::fail(sim, EngineError::NotOwner);
+    }
+    let mut desc = f.clone();
+    desc.state = FileState::Discarded;
+    StagedEffects {
+        outcome: Ok(Receipt::Discarded { file }),
+        ledger: sim.steps,
+        writes: vec![
+            ShardWrite::File { desc },
+            ShardWrite::DiscardReason {
+                file,
+                reason: RemovalReason::ClientDiscard,
+            },
+        ],
+        audit_fold: None,
+        op_counter_inc: 1,
+    }
+}
+
+/// Consensus-side rollback discard (§VI-C): no ownership check, no gas.
+fn stage_force_discard(view: &ShardOverlay<'_>, file: FileId) -> StagedEffects {
+    let writes = match view.file(file) {
+        Some(f) => {
+            let mut desc = f.clone();
+            desc.state = FileState::Discarded;
+            vec![
+                ShardWrite::File { desc },
+                ShardWrite::DiscardReason {
+                    file,
+                    reason: RemovalReason::ClientDiscard,
+                },
+            ]
+        }
+        None => Vec::new(),
+    };
+    StagedEffects {
+        outcome: Ok(Receipt::Discarded { file }),
+        ledger: Vec::new(),
+        writes,
+        audit_fold: None,
+        op_counter_inc: 0,
+    }
+}
+
+impl Engine {
+    /// Stages one shard-local op against *live* state (empty overlay, live
+    /// ledger). In this single-op setting every ledger assumption holds by
+    /// construction, so the staged effects are exact.
+    pub(super) fn stage_vs_live(&self, op: &Op) -> StagedEffects {
+        let file = shard_local_file(op).expect("shard-local op");
+        let shard_idx = self.shards.shard_of(file);
+        let ctx = OpCtx {
+            params: &self.params,
+            gas: &self.gas,
+            sectors: &self.sectors,
+            ledger: &self.ledger,
+            now: self.chain.now(),
+        };
+        let view = ShardOverlay::new(&self.shards.shards[shard_idx]);
+        stage_shard_local(op, &ctx, &view)
+    }
+
+    /// The sequential execution of a shard-local op — dispatch routes the
+    /// five ops here. Staging against live state plus an immediate commit
+    /// is exactly the pre-pipeline handler semantics.
+    pub(super) fn apply_shard_local(&mut self, op: &Op) -> Result<Receipt, EngineError> {
+        let file = shard_local_file(op).expect("shard-local op");
+        let shard_idx = self.shards.shard_of(file);
+        let effects = self.stage_vs_live(op);
+        debug_assert!(
+            ledger_steps_match(&self.ledger, &effects.ledger),
+            "live staging cannot mis-assume balances"
+        );
+        self.apply_effects(shard_idx, effects)
+    }
+
+    /// Applies staged effects to live state: the ledger program (with
+    /// assumptions already revalidated by the caller), the shard writes,
+    /// the audit-root fold, the op counter. Returns the staged outcome.
+    pub(super) fn apply_effects(
+        &mut self,
+        shard_idx: usize,
+        effects: StagedEffects,
+    ) -> Result<Receipt, EngineError> {
+        for step in &effects.ledger {
+            match step {
+                LedgerStep::Burn {
+                    account,
+                    amount,
+                    assumed_ok,
+                } => {
+                    if *assumed_ok {
+                        self.ledger
+                            .burn(*account, *amount)
+                            .expect("commit replay validated the balance");
+                    }
+                    // An assumed-failed burn mutates nothing, exactly like
+                    // the sequential path's rejected `Ledger::burn`.
+                }
+                LedgerStep::TransferUpTo { from, to, cap } => {
+                    self.ledger.transfer_up_to(*from, *to, *cap);
+                }
+            }
+        }
+        let shard = &mut self.shards.shards[shard_idx];
+        for write in effects.writes {
+            match write {
+                ShardWrite::Entry { file, index, entry } => {
+                    shard.alloc.insert((file, index), entry);
+                }
+                ShardWrite::File { desc } => {
+                    shard.files.insert(desc.id, desc);
+                }
+                ShardWrite::DiscardReason { file, reason } => {
+                    shard.discard_reasons.insert(file, reason);
+                }
+                ShardWrite::ProofAccepted => {
+                    shard.stats.proofs_accepted += 1;
+                }
+            }
+        }
+        if let Some(digest) = effects.audit_fold {
+            self.audit_root = keyed_hash(
+                "fileinsurer/prove-root",
+                &[self.audit_root.as_bytes(), digest.as_bytes()],
+            );
+        }
+        self.op_counter += effects.op_counter_inc;
+        effects.outcome
+    }
+
+    /// Stages a segment of shard-local ops concurrently: ops are grouped by
+    /// target shard, shard groups are chunked over up to
+    /// [`ProtocolParams::ingest_threads`] scoped workers, and each worker
+    /// executes its shards' ops in submission order against a
+    /// [`ShardOverlay`]. Pure with respect to the engine — all effects are
+    /// returned, none applied.
+    pub(super) fn stage_segment(&self, ops: &[Op]) -> Vec<StagedOp> {
+        let shard_count = self.shards.shards.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (i, op) in ops.iter().enumerate() {
+            let file = shard_local_file(op).expect("segment holds shard-local ops");
+            groups[self.shards.shard_of(file)].push(i);
+        }
+        let occupied: Vec<usize> = (0..shard_count)
+            .filter(|&s| !groups[s].is_empty())
+            .collect();
+        let workers = self.params.ingest_threads.clamp(1, occupied.len().max(1));
+        let chunk_len = occupied.len().div_ceil(workers).max(1);
+        let ctx = OpCtx {
+            params: &self.params,
+            gas: &self.gas,
+            sectors: &self.sectors,
+            ledger: &self.ledger,
+            now: self.chain.now(),
+        };
+        let shards = &self.shards.shards;
+        let groups = &groups;
+        let ctx = &ctx;
+
+        let mut out: Vec<Option<StagedOp>> = ops.iter().map(|_| None).collect();
+        thread::scope(|scope| {
+            let handles: Vec<_> = occupied
+                .chunks(chunk_len)
+                .map(|shard_ids| {
+                    scope.spawn(move || {
+                        let mut staged: Vec<(usize, StagedOp)> = Vec::new();
+                        for &s in shard_ids {
+                            let mut view = ShardOverlay::new(&shards[s]);
+                            for &i in &groups[s] {
+                                let op = &ops[i];
+                                let effects = stage_shard_local(op, ctx, &view);
+                                for write in &effects.writes {
+                                    view.note_write(write);
+                                }
+                                let receipt_digest = match &effects.outcome {
+                                    Ok(receipt) => receipt.digest(),
+                                    Err(err) => Receipt::error_digest(err),
+                                };
+                                staged.push((
+                                    i,
+                                    StagedOp {
+                                        op_digest: op.digest(),
+                                        receipt_digest,
+                                        effects,
+                                    },
+                                ));
+                            }
+                        }
+                        staged
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, staged) in handle.join().expect("ingest staging worker panicked") {
+                    out[i] = Some(staged);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|staged| staged.expect("every segment op staged exactly once"))
+            .collect()
+    }
+}

@@ -13,8 +13,8 @@ use fi_crypto::Hash256;
 use crate::ops::{Op, Receipt};
 use crate::segment::{reassemble_file, segment_file, SegmentError};
 use crate::types::{
-    AllocEntry, AllocState, FileDescriptor, FileId, FileState, ProtocolEvent, RemovalReason,
-    Sector, SectorId, SectorState,
+    AllocEntry, AllocState, FileDescriptor, FileId, FileState, ProtocolEvent, Sector, SectorId,
+    SectorState,
 };
 
 use super::{Engine, EngineError, SegmentedUpload, Task, DEPOSIT_ESCROW, TRAFFIC_ESCROW};
@@ -423,35 +423,6 @@ impl Engine {
         self.apply(Op::FileDiscard { caller, file }).map(|_| ())
     }
 
-    pub(super) fn file_discard_op(
-        &mut self,
-        caller: AccountId,
-        file: FileId,
-    ) -> Result<(), EngineError> {
-        self.charge_gas(caller, &[GasOp::RequestBase])?;
-        let f = self
-            .shards
-            .file_mut(file)
-            .ok_or(EngineError::UnknownFile(file))?;
-        if f.owner != caller {
-            return Err(EngineError::NotOwner);
-        }
-        f.state = FileState::Discarded;
-        self.shards
-            .set_discard_reason(file, RemovalReason::ClientDiscard);
-        self.op_counter += 1;
-        Ok(())
-    }
-
-    /// Consensus-side rollback discard (§VI-C): no ownership check, no gas.
-    pub(super) fn force_discard_op(&mut self, file: FileId) {
-        if let Some(f) = self.shards.file_mut(file) {
-            f.state = FileState::Discarded;
-            self.shards
-                .set_discard_reason(file, RemovalReason::ClientDiscard);
-        }
-    }
-
     /// `File_Confirm` (Fig. 5): the provider of the target sector
     /// acknowledges receiving replica `index` of `file`; the traffic fee
     /// for this replica is released to the provider.
@@ -475,45 +446,11 @@ impl Engine {
         .map(|_| ())
     }
 
-    pub(super) fn file_confirm_op(
-        &mut self,
-        caller: AccountId,
-        file: FileId,
-        index: u32,
-        sector: SectorId,
-    ) -> Result<(), EngineError> {
-        self.charge_gas(caller, &[GasOp::RequestBase, GasOp::AllocRead])?;
-        let s = self
-            .sectors
-            .get(&sector)
-            .ok_or(EngineError::UnknownSector(sector))?;
-        if s.owner != caller {
-            return Err(EngineError::NotOwner);
-        }
-        let size = self
-            .shards
-            .file(file)
-            .ok_or(EngineError::UnknownFile(file))?
-            .size;
-        let e = self
-            .shards
-            .entry_mut(file, index)
-            .ok_or(EngineError::UnknownFile(file))?;
-        if e.next != Some(sector) || e.state != AllocState::Alloc {
-            return Err(EngineError::InvalidState(
-                "allocation is not awaiting this sector's confirm",
-            ));
-        }
-        e.state = AllocState::Confirm;
-        let fee = self.params.traffic_fee(size);
-        self.ledger.transfer_up_to(TRAFFIC_ESCROW, caller, fee);
-        self.op_counter += 1;
-        Ok(())
-    }
-
     /// `File_Prove` (Fig. 5): records a storage proof for replica `index`
-    /// held by `sector`. The proof itself is the simulated WindowPoSt: it
-    /// is accepted iff the sector still physically holds its content.
+    /// held by `sector`. The proof itself is the simulated WindowPoSt —
+    /// a modeled `audit_path_len`-node Merkle authentication walk whose
+    /// digest folds into the engine's audit root — and it is accepted iff
+    /// the sector still physically holds its content.
     ///
     /// # Errors
     ///
@@ -536,40 +473,6 @@ impl Engine {
         .map(|_| ())
     }
 
-    pub(super) fn file_prove_op(
-        &mut self,
-        caller: AccountId,
-        file: FileId,
-        index: u32,
-        sector: SectorId,
-    ) -> Result<(), EngineError> {
-        self.charge_gas(caller, &[GasOp::RequestBase, GasOp::ProofVerify])?;
-        let s = self
-            .sectors
-            .get(&sector)
-            .ok_or(EngineError::UnknownSector(sector))?;
-        if s.owner != caller {
-            return Err(EngineError::NotOwner);
-        }
-        if s.physically_failed || s.state == SectorState::Corrupted {
-            return Err(EngineError::InvalidState("sector cannot produce proofs"));
-        }
-        let now = self.chain.now();
-        let e = self
-            .shards
-            .entry_mut(file, index)
-            .ok_or(EngineError::UnknownFile(file))?;
-        if e.prev != Some(sector) {
-            return Err(EngineError::InvalidState(
-                "sector does not hold this replica",
-            ));
-        }
-        e.last = Some(now);
-        self.shards.shard_mut(file).stats.proofs_accepted += 1;
-        self.op_counter += 1;
-        Ok(())
-    }
-
     /// `File_Get`: returns the live holders of `file` — the retrieval
     /// market then proceeds off-chain (§III-E).
     ///
@@ -585,32 +488,5 @@ impl Engine {
             Receipt::Holders { holders } => Ok(holders),
             other => unreachable!("FileGet yields Holders, got {other:?}"),
         }
-    }
-
-    pub(super) fn file_get_op(
-        &mut self,
-        caller: AccountId,
-        file: FileId,
-    ) -> Result<Vec<(SectorId, AccountId)>, EngineError> {
-        self.charge_gas(caller, &[GasOp::RequestBase, GasOp::AllocRead])?;
-        let f = self
-            .shards
-            .file(file)
-            .ok_or(EngineError::UnknownFile(file))?;
-        let mut holders = Vec::new();
-        for i in 0..f.cp {
-            if let Some(e) = self.shards.entry(file, i) {
-                if e.state == AllocState::Normal || e.state == AllocState::Alloc {
-                    if let Some(sid) = e.prev {
-                        if let Some(s) = self.sectors.get(&sid) {
-                            if s.state != SectorState::Corrupted && !s.physically_failed {
-                                holders.push((sid, s.owner));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(holders)
     }
 }

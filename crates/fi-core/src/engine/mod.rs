@@ -1,9 +1,9 @@
 //! The FileInsurer protocol engine: the consensus state machine of §IV,
 //! organized as a typed transaction processor.
 //!
-//! Every state transition is an [`Op`](crate::ops::Op) applied through the
+//! Every state transition is an [`Op`] applied through the
 //! single front door [`Engine::apply`], which returns a typed
-//! [`Receipt`](crate::ops::Receipt), commits the `(op, receipt)` pair into
+//! [`Receipt`], commits the `(op, receipt)` pair into
 //! the open block's batch, and appends the op to a replayable log
 //! ([`Engine::op_log`], [`Engine::replay`]). The familiar method API
 //! ([`Engine::file_add`], [`Engine::sector_register`], …) survives as thin
@@ -54,8 +54,10 @@
 
 mod alloc;
 mod audit;
+mod batch;
 mod lifecycle;
 mod shard;
+mod snapshot;
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -73,7 +75,10 @@ use crate::segment::SegmentedFile;
 use crate::types::{AllocEntry, FileDescriptor, FileId, ProtocolEvent, Sector, SectorId};
 
 use self::audit::ProofAudit;
+use self::batch::{ledger_steps_match, shard_local_file, PARALLEL_INGEST_THRESHOLD};
 use self::shard::ShardedState;
+
+pub use self::snapshot::SnapshotError;
 
 /// Deposit escrow: holds pledged sector deposits.
 pub const DEPOSIT_ESCROW: AccountId = AccountId(1);
@@ -301,10 +306,11 @@ pub struct Engine {
     /// Global schedule sequence — the shard-count-invariant merge key for
     /// the commit phase (assigned in apply order).
     task_seq: u64,
-    /// Running commitment over every `Auto_CheckProof` verify-phase
-    /// digest, folded in commit order. Part of the state root: asserting
-    /// root equality across shard counts pins the parallel verification
-    /// results bit-for-bit.
+    /// Running commitment over every verification digest — the
+    /// `Auto_CheckProof` verify-phase digests and the `File_Prove`
+    /// modeled-WindowPoSt digests — folded in commit order. Part of the
+    /// state root: asserting root equality across shard counts and
+    /// ingest paths pins the parallel verification results bit-for-bit.
     audit_root: Hash256,
     op_log: Vec<OpRecord>,
     last_checkpoint: Option<Checkpoint>,
@@ -411,38 +417,14 @@ impl Engine {
             } => self
                 .file_add_op(*client, *size, *value, *merkle_root)
                 .map(|(file, cp)| Receipt::FileAdded { file, cp }),
-            Op::FileConfirm {
-                caller,
-                file,
-                index,
-                sector,
-            } => self
-                .file_confirm_op(*caller, *file, *index, *sector)
-                .map(|()| Receipt::Confirmed {
-                    file: *file,
-                    index: *index,
-                }),
-            Op::FileProve {
-                caller,
-                file,
-                index,
-                sector,
-            } => self
-                .file_prove_op(*caller, *file, *index, *sector)
-                .map(|()| Receipt::Proved {
-                    file: *file,
-                    index: *index,
-                }),
-            Op::FileGet { caller, file } => self
-                .file_get_op(*caller, *file)
-                .map(|holders| Receipt::Holders { holders }),
-            Op::FileDiscard { caller, file } => self
-                .file_discard_op(*caller, *file)
-                .map(|()| Receipt::Discarded { file: *file }),
-            Op::ForceDiscard { file } => {
-                self.force_discard_op(*file);
-                Ok(Receipt::Discarded { file: *file })
-            }
+            // The five shard-local ops share one staged executor with the
+            // batch-ingest path (`engine/batch.rs`): sequential dispatch is
+            // staging against live state plus an immediate commit.
+            Op::FileConfirm { .. }
+            | Op::FileProve { .. }
+            | Op::FileGet { .. }
+            | Op::FileDiscard { .. }
+            | Op::ForceDiscard { .. } => self.apply_shard_local(op),
             Op::Fund { account, amount } => {
                 self.ledger.mint(*account, *amount);
                 Ok(Receipt::Balance {
@@ -473,6 +455,91 @@ impl Engine {
                     now: self.now(),
                     height: self.chain.height(),
                 })
+            }
+        }
+    }
+
+    /// Applies a whole block batch of ops through the pipelined ingest
+    /// path, returning one result per op in submission order.
+    ///
+    /// The batch is split into segments of consecutive **shard-local** ops
+    /// (`File_Confirm` / `File_Prove` / `File_Get` / `File_Discard` /
+    /// `ForceDiscard`) separated by **barrier** ops (sector admin,
+    /// `File_Add`, funds, fault injection, `AdvanceTo` — anything touching
+    /// global state beyond the ledger). Segments of at least 64 ops on a
+    /// multi-shard, multi-thread engine are *staged* concurrently — up to
+    /// [`ProtocolParams::ingest_threads`] scoped workers, one shard's ops
+    /// per overlay — and then *committed* sequentially in submission
+    /// order; smaller segments and barriers go through [`Engine::apply`]
+    /// directly.
+    ///
+    /// Consensus state after `apply_batch(ops)` is **bit-identical** to
+    /// `for op in ops { engine.apply(op); }` at every
+    /// `(shards, ingest_threads)` combination: same state root, same
+    /// receipts, same block hashes, same op log (see DESIGN.md §10 and the
+    /// randomized equivalence tests in `tests/batch_ingest.rs`).
+    pub fn apply_batch(&mut self, ops: Vec<Op>) -> Vec<Result<Receipt, EngineError>> {
+        let mut results = Vec::with_capacity(ops.len());
+        let mut segment: Vec<Op> = Vec::new();
+        for op in ops {
+            if shard_local_file(&op).is_some() {
+                segment.push(op);
+            } else {
+                self.commit_segment(&mut segment, &mut results);
+                results.push(self.apply(op));
+            }
+        }
+        self.commit_segment(&mut segment, &mut results);
+        results
+    }
+
+    /// Drains one pipeline segment: stages it in parallel when large
+    /// enough to pay for the fan-out, then commits in submission order.
+    /// Ops whose staged ledger assumptions no longer hold — or that target
+    /// a shard already invalidated this segment — re-execute sequentially,
+    /// which preserves bit-identical semantics in every interleaving.
+    fn commit_segment(
+        &mut self,
+        segment: &mut Vec<Op>,
+        results: &mut Vec<Result<Receipt, EngineError>>,
+    ) {
+        let ops = std::mem::take(segment);
+        if ops.is_empty() {
+            return;
+        }
+        if ops.len() < PARALLEL_INGEST_THRESHOLD
+            || self.params.ingest_threads <= 1
+            || self.shards.shards.len() <= 1
+        {
+            for op in ops {
+                results.push(self.apply(op));
+            }
+            return;
+        }
+        let staged = self.stage_segment(&ops);
+        let mut dirty = vec![false; self.shards.shards.len()];
+        for (op, staged_op) in ops.into_iter().zip(staged) {
+            let file = shard_local_file(&op).expect("segment holds shard-local ops");
+            let shard_idx = self.shards.shard_of(file);
+            if !dirty[shard_idx] && ledger_steps_match(&self.ledger, &staged_op.effects.ledger) {
+                let at = self.now();
+                let outcome = self.apply_effects(shard_idx, staged_op.effects);
+                self.chain
+                    .log_op(staged_op.op_digest, staged_op.receipt_digest);
+                self.op_log.push(OpRecord {
+                    seq: self.ops_applied,
+                    at,
+                    op,
+                    ok: outcome.is_ok(),
+                });
+                self.ops_applied += 1;
+                results.push(outcome);
+            } else {
+                // A same-segment op moved money past a threshold this op's
+                // staging assumed; its overlay (and every later staged op
+                // on this shard) is stale. Fall back to sequential apply.
+                dirty[shard_idx] = true;
+                results.push(self.apply(op));
             }
         }
     }

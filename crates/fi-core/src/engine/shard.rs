@@ -13,8 +13,9 @@
 //! Global, cross-file state — the chain, the ledger, sectors and their
 //! capacity sampler, the protocol `DetRng` — stays in
 //! [`Engine`](super::Engine); shards never touch each other, which is what
-//! lets the audit verify phase borrow them immutably in parallel
-//! (`Shard` is `Sync`).
+//! lets the audit verify phase *and* the batch-ingest staging phase
+//! (`engine/batch.rs`) borrow them immutably in parallel (`Shard` is
+//! `Sync`).
 
 use std::collections::HashMap;
 

@@ -26,6 +26,12 @@
 //! transaction exists for them). That is exactly what makes the log
 //! replayable: [`crate::engine::Engine::replay`] feeds the same ops to a
 //! fresh engine and reproduces the same `state_root()` block by block.
+//!
+//! Ops arrive one at a time through `apply` or as whole block batches
+//! through [`crate::engine::Engine::apply_batch`], which pipelines the
+//! shard-local variants (`FileConfirm`, `FileProve`, `FileGet`,
+//! `FileDiscard`, `ForceDiscard`) across shards and treats the rest as
+//! pipeline barriers; either path commits the identical op log.
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_chain::tasks::Time;

@@ -85,10 +85,25 @@ pub struct ProtocolParams {
     /// audited replica (the simulated WindowPoSt verification cost, the
     /// parallelizable part of an audit).
     pub audit_path_len: u32,
+    /// Worker threads for the pipelined batch-ingest path
+    /// ([`crate::engine::Engine::apply_batch`]): shard-local ops in a batch
+    /// are staged concurrently by up to this many scoped threads before the
+    /// sequential commit phase merges them back in submission order.
+    /// Consensus results are bit-identical at every thread count (see
+    /// DESIGN.md §10), so — like [`ProtocolParams::shards`] — this is a
+    /// deployment/performance knob, not a consensus parameter.
+    ///
+    /// Defaults to `1`, or to the `FI_TEST_INGEST_THREADS` environment
+    /// variable when set (the CI matrix runs the whole suite at 1 and 4
+    /// ingest threads crossed with 1 and 8 shards).
+    pub ingest_threads: usize,
 }
 
 /// Largest permitted [`ProtocolParams::shards`] value.
 pub const MAX_SHARDS: usize = 256;
+
+/// Largest permitted [`ProtocolParams::ingest_threads`] value.
+pub const MAX_INGEST_THREADS: usize = 64;
 
 /// `FI_TEST_SHARDS` override for `Default`. Any unusable value —
 /// non-numeric, zero, above [`MAX_SHARDS`] — falls back to 1, so
@@ -100,6 +115,16 @@ fn default_shards() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|s| (1..=MAX_SHARDS).contains(s))
+        .unwrap_or(1)
+}
+
+/// `FI_TEST_INGEST_THREADS` override for `Default`, with the same
+/// fall-back-to-1 contract as [`default_shards`].
+fn default_ingest_threads() -> usize {
+    std::env::var("FI_TEST_INGEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|t| (1..=MAX_INGEST_THREADS).contains(t))
         .unwrap_or(1)
 }
 
@@ -133,6 +158,7 @@ impl Default for ProtocolParams {
             scheduler: SchedulerKind::Wheel,
             shards: default_shards(),
             audit_path_len: 8,
+            ingest_threads: default_ingest_threads(),
         }
     }
 }
@@ -223,6 +249,11 @@ impl ProtocolParams {
         if self.audit_path_len == 0 {
             return Err(ParamError::OutOfRange {
                 what: "audit_path_len",
+            });
+        }
+        if self.ingest_threads == 0 || self.ingest_threads > MAX_INGEST_THREADS {
+            return Err(ParamError::OutOfRange {
+                what: "ingest_threads",
             });
         }
         Ok(())
@@ -388,6 +419,29 @@ mod tests {
         for shards in [1, 4, 8, MAX_SHARDS] {
             let p = ProtocolParams {
                 shards,
+                ..ProtocolParams::default()
+            };
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn ingest_thread_param_validated() {
+        for bad in [0usize, MAX_INGEST_THREADS + 1] {
+            let p = ProtocolParams {
+                ingest_threads: bad,
+                ..ProtocolParams::default()
+            };
+            assert_eq!(
+                p.validate(),
+                Err(ParamError::OutOfRange {
+                    what: "ingest_threads"
+                })
+            );
+        }
+        for threads in [1, 4, MAX_INGEST_THREADS] {
+            let p = ProtocolParams {
+                ingest_threads: threads,
                 ..ProtocolParams::default()
             };
             p.validate().unwrap();

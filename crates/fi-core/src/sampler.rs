@@ -17,6 +17,12 @@ use std::hash::Hash;
 
 use fi_crypto::DetRng;
 
+/// The sampler's serializable layout, as returned by
+/// [`WeightedSampler::snapshot_parts`]: the slot array (`(key, weight)`,
+/// free slots as `(None, 0)`), the free-slot stack, and the Fenwick tree
+/// length.
+pub type SamplerParts<K> = (Vec<(Option<K>, u64)>, Vec<usize>, usize);
+
 /// A dynamic weighted sampler over keys of type `K`.
 ///
 /// # Example
@@ -140,6 +146,99 @@ impl<K: Copy + Eq + Hash> WeightedSampler<K> {
         let target = rng.below(self.total);
         let slot = self.find_slot(target);
         self.keys[slot].as_ref()
+    }
+
+    /// The sampler's complete internal layout for snapshots: the slot
+    /// array as `(key, weight)` pairs (free slots are `(None, 0)`), the
+    /// free-slot stack (order matters — it drives future slot reuse), and
+    /// the Fenwick tree length (which pins the sampling descend's
+    /// geometry). Sampling walks slots, so restoring anything less
+    /// than the exact layout would perturb the consensus random stream.
+    pub fn snapshot_parts(&self) -> SamplerParts<K> {
+        let slots = self
+            .keys
+            .iter()
+            .zip(&self.weights)
+            .map(|(k, &w)| (*k, w))
+            .collect();
+        (slots, self.free_slots.clone(), self.tree.len())
+    }
+
+    /// Rebuilds a sampler from [`WeightedSampler::snapshot_parts`] output.
+    /// The Fenwick tree is recomputed from the weights (its values are a
+    /// pure function of weights and length), so only the length needs to
+    /// be carried.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the parts are inconsistent (free slots
+    /// not matching empty slots, occupied slot with zero weight, duplicate
+    /// keys, total weight overflowing `u64`, or a tree too short for the
+    /// slot count). Never panics: snapshot restoration feeds it untrusted
+    /// bytes.
+    pub fn from_parts(
+        slots: Vec<(Option<K>, u64)>,
+        free_slots: Vec<usize>,
+        tree_len: usize,
+    ) -> Result<Self, &'static str> {
+        // 1-based Fenwick indexing needs room for index `slots.len()`.
+        if tree_len <= slots.len() {
+            return Err("sampler tree shorter than the slot array");
+        }
+        let mut keys = Vec::with_capacity(slots.len());
+        let mut weights = Vec::with_capacity(slots.len());
+        let mut index_of = HashMap::with_capacity(slots.len());
+        let mut total = 0u64;
+        for (slot, (key, weight)) in slots.into_iter().enumerate() {
+            match key {
+                Some(k) => {
+                    if weight == 0 {
+                        return Err("sampler slot occupied with zero weight");
+                    }
+                    if index_of.insert(k, slot).is_some() {
+                        return Err("sampler key appears in two slots");
+                    }
+                }
+                None => {
+                    if weight != 0 {
+                        return Err("free sampler slot with non-zero weight");
+                    }
+                }
+            }
+            keys.push(key);
+            weights.push(weight);
+            // Untrusted input: the weights must fit u64 in aggregate, or
+            // the Fenwick partial sums below (all ≤ total) would overflow.
+            total = total
+                .checked_add(weight)
+                .ok_or("sampler weights overflow the total")?;
+        }
+        let free_ok = free_slots
+            .iter()
+            .all(|&s| s < keys.len() && keys[s].is_none());
+        let free_count = keys.iter().filter(|k| k.is_none()).count();
+        if !free_ok || free_slots.len() != free_count {
+            return Err("sampler free-slot stack does not match empty slots");
+        }
+        let mut sampler = WeightedSampler {
+            tree: vec![0; tree_len],
+            weights,
+            keys,
+            index_of,
+            free_slots,
+            total,
+        };
+        for slot in 0..sampler.weights.len() {
+            let w = sampler.weights[slot];
+            if w > 0 {
+                let mut i = slot + 1;
+                while i < sampler.tree.len() {
+                    sampler.tree[i] += w;
+                    i += i & i.wrapping_neg();
+                }
+            }
+        }
+        Ok(sampler)
     }
 
     /// Iterates over `(key, weight)` pairs in slot order.
@@ -332,6 +431,73 @@ mod tests {
         s.remove(&"x");
         let entries: Vec<_> = s.iter().collect();
         assert_eq!(entries, vec![(&"y", 2)]);
+    }
+
+    /// Snapshot round-trip must preserve the exact slot layout: the
+    /// restored sampler emits the identical sample stream (same rng) and
+    /// reuses slots in the same order on future churn.
+    #[test]
+    fn snapshot_parts_round_trip_preserves_sampling_stream() {
+        let mut s = WeightedSampler::new();
+        for i in 0..60u64 {
+            s.insert(i, 1 + i % 9);
+        }
+        for i in (0..60u64).step_by(3) {
+            s.remove(&i);
+        }
+        for i in 100..110u64 {
+            s.insert(i, 7);
+        }
+        let (slots, free, tree_len) = s.snapshot_parts();
+        let mut r = WeightedSampler::from_parts(slots, free, tree_len).expect("valid parts");
+        assert_eq!(r.total_weight(), s.total_weight());
+        assert_eq!(r.len(), s.len());
+        let mut rng_a = DetRng::from_seed_label(5, "snap");
+        let mut rng_b = rng_a.clone();
+        for _ in 0..500 {
+            assert_eq!(s.sample(&mut rng_a), r.sample(&mut rng_b));
+        }
+        // Future churn stays aligned too (free-slot stack order preserved).
+        s.insert(200, 3);
+        r.insert(200, 3);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng_a), r.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_layouts() {
+        let err = |r: Result<WeightedSampler<u64>, &'static str>| r.unwrap_err();
+        // Tree too short for the slot count.
+        assert!(err(WeightedSampler::from_parts(vec![(Some(1), 2)], vec![], 1)).contains("tree"));
+        // Occupied slot with zero weight.
+        assert!(
+            err(WeightedSampler::from_parts(vec![(Some(1), 0)], vec![], 4)).contains("zero weight")
+        );
+        // Free slot carrying weight.
+        assert!(err(WeightedSampler::from_parts(vec![(None, 5)], vec![0], 4)).contains("free"));
+        // Free stack not matching the empty slots.
+        assert!(err(WeightedSampler::from_parts(
+            vec![(Some(1), 2), (None, 0)],
+            vec![],
+            4
+        ))
+        .contains("free-slot"));
+        // Duplicate key.
+        assert!(err(WeightedSampler::from_parts(
+            vec![(Some(1), 2), (Some(1), 3)],
+            vec![],
+            4
+        ))
+        .contains("two slots"));
+        // Aggregate weight overflow (reachable from a crafted snapshot
+        // with a recomputed self-hash) — typed error, not a panic.
+        assert!(err(WeightedSampler::from_parts(
+            vec![(Some(1), u64::MAX), (Some(2), u64::MAX)],
+            vec![],
+            4
+        ))
+        .contains("overflow"));
     }
 
     #[test]

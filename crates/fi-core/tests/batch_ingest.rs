@@ -1,0 +1,296 @@
+//! Batch-ingest consensus equivalence: `Engine::apply_batch` must be
+//! **bit-identical** to feeding the same ops one by one through
+//! `Engine::apply` — same per-op results, same state root, same chain
+//! head, same op log — at every `(shards, ingest_threads)` combination.
+//! The parallel staging, the per-shard overlays, the barrier segmentation
+//! and the ledger-conflict fallback are all semantically invisible; only
+//! wall-clock time may differ (measured by `engine_snapshot`).
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::Engine;
+use fi_core::ops::Op;
+use fi_core::params::ProtocolParams;
+use fi_crypto::{sha256, DetRng};
+
+const CLIENT: AccountId = AccountId(900);
+const PROVIDER: AccountId = AccountId(700);
+/// An account funded with a shoestring balance to force mid-batch
+/// insufficient-funds flips (the staged-assumption fallback path).
+const PAUPER: AccountId = AccountId(901);
+
+fn params(shards: usize, ingest_threads: usize) -> ProtocolParams {
+    ProtocolParams {
+        k: 2,
+        delay_per_size: 6,
+        shards,
+        ingest_threads,
+        ..ProtocolParams::default()
+    }
+}
+
+/// Builds an engine with `n` live (confirmed, finalized) size-1 files and
+/// plenty of sector capacity. Deterministic: two engines built with the
+/// same parameters are consensus-identical afterwards.
+fn engine_with_files(p: ProtocolParams, n: u64) -> Engine {
+    let min_value = p.min_value;
+    let mut engine = Engine::new(p).expect("valid params");
+    engine.fund(PROVIDER, TokenAmount(u128::MAX / 4));
+    engine.fund(CLIENT, TokenAmount(u128::MAX / 4));
+    for _ in 0..8 {
+        engine
+            .sector_register(PROVIDER, (4 * n).div_ceil(64).max(1) * 64)
+            .expect("register");
+    }
+    for i in 0..n {
+        let root = sha256(&i.to_be_bytes());
+        let f = engine
+            .file_add(CLIENT, 1, min_value, root)
+            .expect("file add");
+        for (idx, s) in engine.pending_confirms(f) {
+            engine.file_confirm(PROVIDER, f, idx, s).expect("confirm");
+        }
+    }
+    // One CheckAlloc bucket finalises every placement.
+    engine.advance_to(engine.now() + engine.params().transfer_window(1) + 1);
+    assert_eq!(engine.file_ids().len() as u64, n, "all files live");
+    engine
+}
+
+/// Builds a mixed op batch from the engine's current state: large runs of
+/// shard-local ops (proves, gets, confirms-that-fail, discards) crossing
+/// the 64-op parallel threshold, salted with deliberate error cases and
+/// split by barrier ops (funds, adds, time advances). Deterministic given
+/// the seed, and state-identical engines produce identical batches.
+fn build_batch(engine: &Engine, seed: u64) -> Vec<Op> {
+    let mut rng = DetRng::from_seed_label(seed, "batch-ingest");
+    let mut ops = Vec::new();
+    let files = engine.file_ids();
+    // Every held replica proves once — the bulk shard-local run.
+    for &f in &files {
+        let cp = engine.file(f).map(|d| d.cp).unwrap_or(0);
+        for i in 0..cp {
+            if let Some(s) = engine.alloc_entry(f, i).and_then(|e| e.prev) {
+                let caller = engine.sector(s).map(|x| x.owner).unwrap_or(PROVIDER);
+                ops.push(Op::FileProve {
+                    caller,
+                    file: f,
+                    index: i,
+                    sector: s,
+                });
+            }
+        }
+    }
+    // Error cases: stale confirms, wrong-owner proves, unknown files.
+    for &f in files.iter().take(20) {
+        ops.push(Op::FileConfirm {
+            caller: PROVIDER,
+            file: f,
+            index: 0,
+            sector: engine.sector_ids()[0],
+        });
+        ops.push(Op::FileProve {
+            caller: CLIENT, // not the sector owner
+            file: f,
+            index: 0,
+            sector: engine.sector_ids()[0],
+        });
+    }
+    ops.push(Op::FileGet {
+        caller: CLIENT,
+        file: fi_core::types::FileId(u64::MAX / 2),
+    });
+    // Reads spread over the shards.
+    for _ in 0..80 {
+        let f = files[rng.below(files.len() as u64) as usize];
+        ops.push(Op::FileGet {
+            caller: CLIENT,
+            file: f,
+        });
+    }
+    // A barrier in the middle: new funds plus a fresh file add.
+    ops.push(Op::Fund {
+        account: CLIENT,
+        amount: TokenAmount(1_000_000),
+    });
+    ops.push(Op::FileAdd {
+        client: CLIENT,
+        size: 1,
+        value: engine.params().min_value,
+        merkle_root: sha256(&seed.to_be_bytes()),
+    });
+    // Post-barrier shard-local run: more gets and a few discards.
+    for _ in 0..70 {
+        let f = files[rng.below(files.len() as u64) as usize];
+        ops.push(Op::FileGet {
+            caller: CLIENT,
+            file: f,
+        });
+    }
+    for &f in files.iter().skip(files.len() - 5) {
+        ops.push(Op::FileDiscard {
+            caller: CLIENT,
+            file: f,
+        });
+        ops.push(Op::ForceDiscard { file: f }); // idempotent re-discard
+    }
+    // Advance-time barrier at the end so Auto_* tasks execute too.
+    ops.push(Op::AdvanceTo {
+        target: engine.now() + engine.params().proof_cycle,
+    });
+    ops
+}
+
+fn assert_bit_identical(a: &Engine, b: &Engine, what: &str) {
+    assert_eq!(a.state_root(), b.state_root(), "{what}: state roots");
+    assert_eq!(
+        a.chain().head_hash(),
+        b.chain().head_hash(),
+        "{what}: heads"
+    );
+    assert_eq!(a.stats(), b.stats(), "{what}: stats");
+    assert_eq!(a.op_log(), b.op_log(), "{what}: op logs");
+    assert_eq!(
+        a.ledger().total_supply(),
+        b.ledger().total_supply(),
+        "{what}: supply"
+    );
+}
+
+/// The tentpole invariant: randomized mixed batches through `apply_batch`
+/// reproduce the single-threaded `apply` path bit for bit at every
+/// `(shards, ingest_threads)` combination — including the configurations
+/// where staging actually fans out (8 shards × 4 threads over 64+-op
+/// segments).
+#[test]
+fn apply_batch_is_bit_identical_to_sequential_apply() {
+    for seed in [7u64, 42] {
+        // The sequential reference: 1 shard, 1 thread, op-by-op apply.
+        let mut reference = engine_with_files(params(1, 1), 120);
+        let ops = build_batch(&reference, seed);
+        let ref_results: Vec<bool> = ops
+            .iter()
+            .map(|op| reference.apply(op.clone()).is_ok())
+            .collect();
+        assert!(
+            ref_results.iter().any(|ok| !ok) && ref_results.iter().any(|ok| *ok),
+            "seed {seed}: batch must mix successes and failures"
+        );
+        for (shards, threads) in [(1, 4), (4, 1), (4, 4), (8, 1), (8, 4)] {
+            let mut batched = engine_with_files(params(shards, threads), 120);
+            let ops = build_batch(&batched, seed);
+            let results = batched.apply_batch(ops);
+            assert_eq!(
+                ref_results,
+                results.iter().map(|r| r.is_ok()).collect::<Vec<_>>(),
+                "seed {seed}: outcomes diverged at {shards} shards / {threads} threads"
+            );
+            assert_bit_identical(
+                &reference,
+                &batched,
+                &format!("seed {seed}, {shards} shards / {threads} threads"),
+            );
+        }
+    }
+}
+
+/// Same engine configuration, chunked differently: applying the batch as
+/// one call, in small chunks, or op-by-op must agree — segmentation is an
+/// internal detail.
+#[test]
+fn batch_chunking_is_invisible() {
+    let build = || engine_with_files(params(8, 4), 100);
+    let mut whole = build();
+    let ops = build_batch(&whole, 11);
+    whole.apply_batch(ops);
+
+    let mut chunked = build();
+    let ops = build_batch(&chunked, 11);
+    for chunk in ops.chunks(17) {
+        chunked.apply_batch(chunk.to_vec());
+    }
+    assert_bit_identical(&whole, &chunked, "chunked");
+
+    let mut one_by_one = build();
+    let ops = build_batch(&one_by_one, 11);
+    for op in ops {
+        let _ = one_by_one.apply(op);
+    }
+    assert_bit_identical(&whole, &one_by_one, "op-by-op");
+}
+
+/// The ledger-conflict fallback: a caller whose balance covers only part
+/// of a big same-segment op run. Staging (against the pre-segment ledger)
+/// assumes every gas burn succeeds; the sequential truth is that the
+/// account drains mid-segment and later ops fail with
+/// `InsufficientFunds`. The commit-phase replay must catch the flip and
+/// re-execute — results and state stay bit-identical.
+#[test]
+fn mid_batch_insolvency_falls_back_identically() {
+    let gets_affordable = 10u128;
+    let get_fee = 11u128; // RequestBase (10) + AllocRead (1) at default prices
+    let build = |shards, threads| {
+        let mut e = engine_with_files(params(shards, threads), 100);
+        e.fund(PAUPER, TokenAmount(gets_affordable * get_fee));
+        e
+    };
+    let ops_for = |e: &Engine| -> Vec<Op> {
+        e.file_ids()
+            .into_iter()
+            .map(|f| Op::FileGet {
+                caller: PAUPER,
+                file: f,
+            })
+            .collect()
+    };
+
+    let mut reference = build(1, 1);
+    let ops = ops_for(&reference);
+    let ref_results: Vec<bool> = ops
+        .iter()
+        .map(|op| reference.apply(op.clone()).is_ok())
+        .collect();
+    assert_eq!(
+        ref_results.iter().filter(|ok| **ok).count() as u128,
+        gets_affordable,
+        "exactly the affordable prefix succeeds"
+    );
+
+    for (shards, threads) in [(4, 4), (8, 4)] {
+        let mut batched = build(shards, threads);
+        let ops = ops_for(&batched);
+        let results = batched.apply_batch(ops);
+        assert_eq!(
+            ref_results,
+            results.iter().map(|r| r.is_ok()).collect::<Vec<_>>(),
+            "fallback outcomes diverged at {shards} shards / {threads} threads"
+        );
+        assert_bit_identical(&reference, &batched, "insolvency fallback");
+        assert_eq!(
+            batched.ledger().balance(PAUPER),
+            TokenAmount(0),
+            "the pauper account drained exactly"
+        );
+    }
+}
+
+/// Barrier ops inside a batch split the pipeline: state after a batch
+/// containing funds / adds / time advances interleaved with shard-local
+/// runs equals the sequential execution, and the op log records every op
+/// in submission order with monotonically increasing sequence numbers.
+#[test]
+fn barriers_preserve_submission_order_in_the_op_log() {
+    let mut engine = engine_with_files(params(8, 4), 80);
+    let ops = build_batch(&engine, 3);
+    let n = ops.len();
+    let before = engine.op_log().len();
+    engine.apply_batch(ops);
+    let log = engine.op_log();
+    assert_eq!(log.len(), before + n, "every batch op logged");
+    for pair in log.windows(2) {
+        assert_eq!(pair[1].seq, pair[0].seq + 1, "seq gap in op log");
+    }
+    // Replay the whole log: the batch path commits replay-compatible records.
+    let replayed = Engine::replay(engine.params().clone(), engine.op_log()).expect("valid params");
+    assert_eq!(replayed.state_root(), engine.state_root());
+    assert_eq!(replayed.chain().head_hash(), engine.chain().head_hash());
+}

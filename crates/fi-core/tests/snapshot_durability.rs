@@ -1,0 +1,240 @@
+//! Snapshot durability: `snapshot_save` → `snapshot_restore` must
+//! reproduce the live engine's consensus state exactly — same state root,
+//! same future receipts and block hashes — across shard counts, and
+//! corrupted bytes (truncated, bit-flipped, wrong version, foreign) must
+//! surface as typed `SnapshotError`s, never panics. Together with
+//! `Engine::checkpoint` / `Engine::replay_from`, snapshots replace the
+//! keep-a-live-clone pattern with bytes on disk.
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::{Engine, SnapshotError};
+use fi_core::params::ProtocolParams;
+use fi_core::types::SectorState;
+use fi_crypto::{sha256, DetRng};
+
+const CLIENT: AccountId = AccountId(900);
+const PROVIDERS: [AccountId; 3] = [AccountId(700), AccountId(701), AccountId(702)];
+
+fn snap_params(shards: usize) -> ProtocolParams {
+    ProtocolParams {
+        k: 3,
+        delay_per_size: 6,
+        avg_refresh: 6.0,
+        shards,
+        ..ProtocolParams::default()
+    }
+}
+
+/// The same randomized protocol workload the sharding tests use: adds,
+/// confirms, proofs, discards, faults, refreshes, punishments, losses —
+/// everything a snapshot has to carry.
+fn drive_workload(engine: &mut Engine, seed: u64, steps: u64) {
+    let mut rng = DetRng::from_seed_label(seed, "snapshot-workload");
+    engine.fund(CLIENT, TokenAmount(500_000_000));
+    for p in PROVIDERS {
+        engine.fund(p, TokenAmount(1_000_000_000_000));
+        for _ in 0..2 {
+            engine
+                .sector_register(p, 640 * (1 + rng.below(3)))
+                .expect("registration");
+        }
+    }
+    for step in 0..steps {
+        match rng.below(10) {
+            0..=3 => {
+                let size = 1 + rng.below(40);
+                let root = sha256(&(seed ^ step).to_be_bytes());
+                let _ = engine.file_add(CLIENT, size, engine.params().min_value, root);
+            }
+            4..=6 => {
+                engine.honest_providers_act();
+            }
+            7 => {
+                let ids = engine.file_ids();
+                if !ids.is_empty() {
+                    let f = ids[(rng.below(ids.len() as u64)) as usize];
+                    let _ = engine.file_discard(CLIENT, f);
+                }
+            }
+            8 => {
+                let ids = engine.sector_ids();
+                if !ids.is_empty() {
+                    let s = ids[(rng.below(ids.len() as u64)) as usize];
+                    if engine.sector(s).map(|x| x.state) == Some(SectorState::Normal) {
+                        if rng.below(2) == 0 {
+                            engine.fail_sector_silently(s);
+                        } else {
+                            engine.corrupt_sector_now(s);
+                        }
+                    }
+                }
+            }
+            _ => {
+                engine.advance_to(engine.now() + 10 + rng.below(150));
+            }
+        }
+    }
+}
+
+/// Drives both engines through the same post-restore future and asserts
+/// every consensus observable stays aligned: state roots, sealed block
+/// hashes, stats, files.
+fn assert_future_identical(live: &mut Engine, restored: &mut Engine, seed: u64) {
+    assert_eq!(live.state_root(), restored.state_root(), "roots at restore");
+    drive_workload(live, seed, 30);
+    drive_workload(restored, seed, 30);
+    assert_eq!(live.state_root(), restored.state_root(), "future roots");
+    assert_eq!(
+        live.chain().head_hash(),
+        restored.chain().head_hash(),
+        "future chain heads"
+    );
+    assert_eq!(live.stats(), restored.stats(), "future stats");
+    assert_eq!(live.file_ids(), restored.file_ids(), "future files");
+    assert!(restored.chain().verify_chain(), "restored suffix verifies");
+}
+
+/// Round trip at several shard counts: the restored engine carries the
+/// exact consensus state and behaves identically forever after.
+#[test]
+fn snapshot_round_trip_preserves_state_root_across_shard_counts() {
+    for shards in [1usize, 4, 8] {
+        let mut live = Engine::new(snap_params(shards)).expect("valid params");
+        drive_workload(&mut live, 17, 60);
+        let bytes = live.snapshot_save();
+        let mut restored = Engine::snapshot_restore(&bytes).expect("restore succeeds");
+        assert_eq!(restored.shard_count(), shards);
+        assert_future_identical(&mut live, &mut restored, 18);
+    }
+}
+
+/// The encoding is canonical: saving twice — or saving the restored
+/// engine — produces byte-identical snapshots.
+#[test]
+fn snapshot_encoding_is_deterministic() {
+    let mut live = Engine::new(snap_params(4)).expect("valid params");
+    drive_workload(&mut live, 23, 50);
+    let a = live.snapshot_save();
+    let b = live.snapshot_save();
+    assert_eq!(a, b, "same state, same bytes");
+    let restored = Engine::snapshot_restore(&a).expect("restore succeeds");
+    assert_eq!(a, restored.snapshot_save(), "restore then save is identity");
+}
+
+/// The durable checkpoint flow the snapshot layer exists for: checkpoint
+/// (truncating the op log), persist the snapshot bytes, keep logging ops,
+/// then rebuild from bytes + checkpoint + log suffix via `replay_from` —
+/// reproducing the live engine's state root and subsequent block hashes.
+#[test]
+fn snapshot_plus_replay_from_reconstructs_past_the_checkpoint() {
+    let mut live = Engine::new(snap_params(4)).expect("valid params");
+    drive_workload(&mut live, 29, 50);
+    let checkpoint = live.checkpoint();
+    let bytes = live.snapshot_save();
+
+    // Life goes on after the checkpoint; the op log accumulates the suffix.
+    drive_workload(&mut live, 31, 40);
+    let suffix = live.op_log().to_vec();
+    assert!(!suffix.is_empty(), "post-checkpoint ops logged");
+
+    let base = Engine::snapshot_restore(&bytes).expect("restore succeeds");
+    let rebuilt = Engine::replay_from(&base, &checkpoint, &suffix).expect("base matches");
+    assert_eq!(rebuilt.state_root(), live.state_root());
+    assert_eq!(rebuilt.chain().head_hash(), live.chain().head_hash());
+    assert_eq!(rebuilt.stats(), live.stats());
+
+    // A base that doesn't match the checkpoint is rejected.
+    let mut stale = Engine::snapshot_restore(&bytes).expect("restore succeeds");
+    stale.advance_to(stale.now() + 1);
+    assert!(Engine::replay_from(&stale, &checkpoint, &suffix).is_err());
+}
+
+/// Truncation at every prefix length must yield a typed error — the
+/// self-hash makes any missing tail detectable before field decoding.
+#[test]
+fn truncated_snapshots_fail_with_typed_errors() {
+    let mut live = Engine::new(snap_params(2)).expect("valid params");
+    drive_workload(&mut live, 41, 25);
+    let bytes = live.snapshot_save();
+    // A sweep of truncation points incl. inside magic, version, payload.
+    for cut in [
+        0,
+        5,
+        9,
+        10,
+        41,
+        bytes.len() / 2,
+        bytes.len() - 33,
+        bytes.len() - 1,
+    ] {
+        let err = Engine::snapshot_restore(&bytes[..cut]).expect_err("truncated must fail");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated | SnapshotError::CorruptPayload
+            ),
+            "cut at {cut}: unexpected {err:?}"
+        );
+    }
+}
+
+/// Any single flipped bit must be caught by the self-hash (or the magic
+/// check when the flip hits the magic bytes).
+#[test]
+fn bit_flipped_snapshots_fail_with_typed_errors() {
+    let mut live = Engine::new(snap_params(2)).expect("valid params");
+    drive_workload(&mut live, 43, 25);
+    let bytes = live.snapshot_save();
+    let mut rng = DetRng::from_seed_label(44, "bitflip");
+    for _ in 0..200 {
+        let byte = rng.below(bytes.len() as u64) as usize;
+        let bit = rng.below(8) as u8;
+        let mut corrupted = bytes.clone();
+        corrupted[byte] ^= 1 << bit;
+        let err = Engine::snapshot_restore(&corrupted).expect_err("flip must fail");
+        assert!(
+            matches!(err, SnapshotError::CorruptPayload | SnapshotError::BadMagic),
+            "flip at byte {byte} bit {bit}: unexpected {err:?}"
+        );
+    }
+}
+
+/// Version bumps (with a recomputed self-hash, i.e. a well-formed snapshot
+/// from a different format era), foreign magic, and trailing garbage each
+/// map to their own typed error.
+#[test]
+fn wrong_version_foreign_magic_and_trailing_bytes_are_typed() {
+    let mut live = Engine::new(snap_params(2)).expect("valid params");
+    drive_workload(&mut live, 47, 25);
+    let bytes = live.snapshot_save();
+
+    // Bump the version and re-seal with a fresh self-hash.
+    let mut wrong_version = bytes.clone();
+    wrong_version[8..10].copy_from_slice(&2u16.to_be_bytes());
+    let body_len = wrong_version.len() - 32;
+    let digest = fi_crypto::sha256(&wrong_version[..body_len]);
+    wrong_version[body_len..].copy_from_slice(digest.as_bytes());
+    assert_eq!(
+        Engine::snapshot_restore(&wrong_version).expect_err("wrong version"),
+        SnapshotError::UnsupportedVersion(2)
+    );
+
+    // Foreign magic.
+    let mut foreign = bytes.clone();
+    foreign[..8].copy_from_slice(b"NOTFISNP");
+    assert_eq!(
+        Engine::snapshot_restore(&foreign).expect_err("foreign magic"),
+        SnapshotError::BadMagic
+    );
+
+    // Trailing garbage breaks the self-hash (the hash must be the tail).
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(b"garbage");
+    assert_eq!(
+        Engine::snapshot_restore(&trailing).expect_err("trailing bytes"),
+        SnapshotError::CorruptPayload
+    );
+
+    // And the pristine bytes still restore.
+    assert!(Engine::snapshot_restore(&bytes).is_ok());
+}

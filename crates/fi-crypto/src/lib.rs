@@ -44,5 +44,5 @@ pub mod sha256;
 pub use beacon::RandomBeacon;
 pub use hash::{keyed_hash, Hash256};
 pub use merkle::{MerkleProof, MerkleTree};
-pub use rng::DetRng;
+pub use rng::{DetRng, DetRngState};
 pub use sha256::sha256;

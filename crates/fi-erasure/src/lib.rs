@@ -22,7 +22,7 @@
 //!   Vandermonde-derived generator matrix, supporting any `(data, parity)`
 //!   with `data + parity <= 255`; `encode_into`/`reconstruct_into` work in
 //!   place on a [`ShardSet`] and recompute only erased shards;
-//! * [`reference`] — a frozen copy of the seed scalar implementation, kept
+//! * [`mod@reference`] — a frozen copy of the seed scalar implementation, kept
 //!   for differential tests and honest old-vs-new benchmarks (see
 //!   DESIGN.md §5).
 //!

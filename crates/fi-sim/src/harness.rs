@@ -7,8 +7,10 @@
 //! probability (earning punishments); failing ones go dark at a set time
 //! (exercising the `ProofDeadline` → confiscation → compensation path).
 //!
-//! Every engine method the harness calls is a thin wrapper over the typed
-//! transaction layer (`Engine::apply`), so whole scenario runs — faults,
+//! Every engine action the harness takes goes through the typed
+//! transaction layer — the per-sweep confirm and proof batches through the
+//! pipelined `Engine::apply_batch` ingest path, the rest through the
+//! `Engine::apply` wrappers — so whole scenario runs — faults,
 //! punishments, compensation included — are replayable from the op log via
 //! `Engine::replay` (asserted in the tests below).
 //!
@@ -18,6 +20,7 @@
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_core::engine::Engine;
+use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
 use fi_core::types::{FileId, SectorId};
 use fi_crypto::{sha256, DetRng};
@@ -120,8 +123,11 @@ impl Scenario {
     fn act_providers(&mut self) {
         let now = self.engine.now();
         // Confirms: every live provider confirms pending transfers to its
-        // sectors (failing/dark providers don't).
-        let pending: Vec<(FileId, u32, SectorId)> = self
+        // sectors (failing/dark providers don't). The whole sweep goes
+        // through the pipelined ingest path — `File_Confirm` is
+        // shard-local, so a big sweep stages across shards concurrently
+        // while staying bit-identical to one-by-one application.
+        let confirms: Vec<Op> = self
             .engine
             .file_ids()
             .into_iter()
@@ -131,18 +137,21 @@ impl Scenario {
                     .into_iter()
                     .map(move |(i, s)| (f, i, s))
             })
+            .filter_map(|(f, i, s)| {
+                let (spec, _) = self.providers.iter().find(|(_, ids)| ids.contains(&s))?;
+                if self.is_dark(spec.behavior, now) {
+                    return None;
+                }
+                Some(Op::FileConfirm {
+                    caller: spec.account,
+                    file: f,
+                    index: i,
+                    sector: s,
+                })
+            })
             .collect();
-        for (f, i, s) in pending {
-            let Some((spec, _)) = self.providers.iter().find(|(_, ids)| ids.contains(&s)) else {
-                continue;
-            };
-            if self.is_dark(spec.behavior, now) {
-                continue;
-            }
-            let account = spec.account;
-            let _ = self.engine.file_confirm(account, f, i, s);
-        }
-        // Proofs.
+        self.engine.apply_batch(confirms);
+        // Proofs — likewise one shard-local batch.
         let held: Vec<(FileId, u32, SectorId, AccountId, ProviderBehavior)> = self
             .engine
             .file_ids()
@@ -158,6 +167,7 @@ impl Scenario {
                 Some((f, i, s, spec.account, spec.behavior))
             })
             .collect();
+        let mut proofs = Vec::with_capacity(held.len());
         for (f, i, s, account, behavior) in held {
             if self.is_dark(behavior, now) {
                 continue;
@@ -167,8 +177,14 @@ impl Scenario {
                     continue;
                 }
             }
-            let _ = self.engine.file_prove(account, f, i, s);
+            proofs.push(Op::FileProve {
+                caller: account,
+                file: f,
+                index: i,
+                sector: s,
+            });
         }
+        self.engine.apply_batch(proofs);
         // Propagate physical failures into the engine (so honest helpers
         // and File_Get treat them correctly).
         let failing: Vec<SectorId> = self
