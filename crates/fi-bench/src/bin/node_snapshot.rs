@@ -1,0 +1,366 @@
+//! Writes a `BENCH_node.json` end-to-end node-pipeline snapshot: whole
+//! simulated clusters (mempool → proposer → `apply_batch` → sealed blocks
+//! over a lossy `fi-net` link → follower replay) measured wall-clock, plus
+//! mempool admission/selection throughput and follower catch-up time from
+//! a durable snapshot.
+//!
+//! Usage: `cargo run --release -p fi-bench --bin node_snapshot [out.json]`
+//!
+//! Three sections:
+//!
+//! * **node** — one full cluster run (proposer, 3 verifying followers, a
+//!   chain-watching workload driver, 10% message loss) per
+//!   `(shards, ingest_threads)` configuration in the {1,8} × {1,4} cross.
+//!   Blocks/s and ops/s are end-to-end: they include mempool selection,
+//!   the engine commit, link simulation and every follower's replay. The
+//!   two knobs are performance-only, so all four configurations must
+//!   produce **bit-identical consensus** — same per-round state roots —
+//!   and every follower must verify every height; both are asserted, which
+//!   makes this bench the node-level instance of the DESIGN.md §9–10
+//!   invariance argument (and the reason the snapshot is CI-gated).
+//! * **mempool** — admission throughput (100k transactions across 64
+//!   accounts into one pool) and fee-ordered, gas-bounded selection
+//!   throughput draining that pool block by block.
+//! * **catchup** — a cold-starting follower's sync cost: restore a
+//!   checkpointed engine from `snapshot_save` bytes and `replay_from` the
+//!   post-checkpoint op-log suffix; the time to a bit-identical root is
+//!   what a mid-run joiner pays before it can verify live blocks.
+
+use std::time::Instant;
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_chain::gas::GasSchedule;
+use fi_core::engine::Engine;
+use fi_core::ops::Op;
+use fi_core::params::ProtocolParams;
+use fi_crypto::sha256;
+use fi_net::link::LinkModel;
+use fi_node::{run_cluster, ClusterConfig, Mempool, ReplayMode, Tx, WorkloadConfig};
+
+/// Rounds per measured cluster run (≥200: the multi-node determinism bar).
+const ROUNDS: u64 = 240;
+/// The `(shards, ingest_threads)` cross; the last entry is the gated row.
+const NODE_CONFIGS: [(usize, usize); 4] = [(1, 1), (1, 4), (8, 1), (8, 4)];
+/// Transactions for the mempool throughput section.
+const MEMPOOL_TXS: u64 = 100_000;
+/// Accounts the mempool transactions spread across.
+const MEMPOOL_ACCOUNTS: u64 = 64;
+
+struct NodeRun {
+    shards: usize,
+    threads: usize,
+    wall_s: f64,
+    blocks: u64,
+    ops: u64,
+    mempool_admitted: u64,
+    roots: Vec<(u64, fi_crypto::Hash256, fi_crypto::Hash256)>,
+}
+
+/// World seed: a fixed base offset by `FI_NODE_TEST_SEED` (the node-sim
+/// CI matrix), so each CI cell measures — and consensus-checks — the
+/// cluster under a different loss/jitter/reorder pattern. The committed
+/// snapshot is generated with the variable unset (offset 0).
+fn world_seed() -> u64 {
+    let offset = std::env::var("FI_NODE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    0xBE9C4 + 1_000 * offset
+}
+
+fn cluster_config(shards: usize, threads: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::small(world_seed(), ROUNDS);
+    cfg.params.shards = shards;
+    cfg.params.ingest_threads = threads;
+    cfg.params.delay_per_size = 25;
+    cfg.link = LinkModel {
+        base_latency: 5,
+        ticks_per_byte: 0.001,
+        max_jitter: 8,
+        loss: 0.1,
+    };
+    cfg.followers = vec![ReplayMode::OpByOp, ReplayMode::Batch, ReplayMode::OpByOp];
+    cfg.workload = WorkloadConfig {
+        add_every_rounds: 1,
+        max_files: 120,
+        file_size: 4,
+        prove_every_rounds: 10,
+        get_prob: 0.5,
+        discard_prob: 0.02,
+    };
+    cfg
+}
+
+fn run_node(shards: usize, threads: usize) -> NodeRun {
+    let cfg = cluster_config(shards, threads);
+    let t = Instant::now();
+    let (_world, reports) = run_cluster(&cfg);
+    let wall_s = t.elapsed().as_secs_f64();
+    let proposer = reports.proposer.borrow();
+    assert_eq!(
+        proposer.roots.len(),
+        ROUNDS as usize,
+        "({shards},{threads}): proposer produced every round"
+    );
+    for (i, report) in reports.followers.iter().enumerate() {
+        let report = report.borrow();
+        assert!(
+            report.mismatched_rounds.is_empty(),
+            "({shards},{threads}): follower {i} diverged at {:?}",
+            report.mismatched_rounds
+        );
+        assert_eq!(
+            report.verified_rounds, ROUNDS,
+            "({shards},{threads}): follower {i} verified every height"
+        );
+    }
+    let client = reports.client.borrow();
+    NodeRun {
+        shards,
+        threads,
+        wall_s,
+        blocks: ROUNDS,
+        ops: proposer.ops_committed,
+        mempool_admitted: client.txs_submitted,
+        roots: proposer.roots.clone(),
+    }
+}
+
+struct MempoolRun {
+    admit_s: f64,
+    select_s: f64,
+    admitted: u64,
+    selected: u64,
+    blocks: u64,
+}
+
+fn run_mempool() -> MempoolRun {
+    let params = ProtocolParams {
+        k: 1,
+        block_ops_limit: 1_024,
+        block_gas_limit: 200_000,
+        mempool_cap: MEMPOOL_TXS as usize,
+        ..ProtocolParams::default()
+    };
+    let mut ledger = fi_chain::account::Ledger::new();
+    for a in 0..MEMPOOL_ACCOUNTS {
+        ledger.mint(AccountId(a), TokenAmount(u128::MAX / 1_000));
+    }
+    let mut pool = Mempool::new(params, GasSchedule::default());
+    let t_admit = Instant::now();
+    for i in 0..MEMPOOL_TXS {
+        let from = AccountId(i % MEMPOOL_ACCOUNTS);
+        let tx = Tx {
+            from,
+            nonce: i / MEMPOOL_ACCOUNTS,
+            fee: TokenAmount((i % 97) as u128),
+            op: Op::FileProve {
+                caller: from,
+                file: fi_core::types::FileId(i),
+                index: 0,
+                sector: fi_core::types::SectorId(i % 512),
+            },
+        };
+        pool.admit(tx, &ledger).expect("admission succeeds");
+    }
+    let admit_s = t_admit.elapsed().as_secs_f64();
+    let admitted = pool.stats().admitted;
+    assert_eq!(admitted, MEMPOOL_TXS);
+
+    let t_select = Instant::now();
+    let mut selected = 0u64;
+    let mut blocks = 0u64;
+    while !pool.is_empty() {
+        let (txs, gas) = pool.select_block();
+        assert!(!txs.is_empty(), "pool drains monotonically");
+        assert!(gas <= 200_000, "gas bound respected");
+        selected += txs.len() as u64;
+        blocks += 1;
+    }
+    let select_s = t_select.elapsed().as_secs_f64();
+    assert_eq!(selected, MEMPOOL_TXS, "every admitted tx selected");
+
+    MempoolRun {
+        admit_s,
+        select_s,
+        admitted,
+        selected,
+        blocks,
+    }
+}
+
+struct CatchupRun {
+    snapshot_bytes: usize,
+    suffix_ops: usize,
+    restore_s: f64,
+    replay_s: f64,
+}
+
+/// Builds a loaded engine, checkpoints + snapshots it, keeps running, then
+/// measures a cold joiner's restore + suffix replay to the live root.
+fn run_catchup() -> CatchupRun {
+    let params = ProtocolParams {
+        k: 2,
+        delay_per_size: 25,
+        ..ProtocolParams::default()
+    };
+    let provider = AccountId(700);
+    let client = AccountId(900);
+    let mut engine = Engine::new(params).expect("valid params");
+    engine.fund(provider, TokenAmount(1_000_000_000_000));
+    engine.fund(client, TokenAmount(1_000_000_000));
+    for _ in 0..8 {
+        engine.sector_register(provider, 1_280).expect("sector");
+    }
+    // Load: files + confirms + a few proof cycles of Auto_* traffic.
+    for i in 0..500u64 {
+        let file = engine
+            .file_add(
+                client,
+                4,
+                engine.params().min_value,
+                sha256(&i.to_be_bytes()),
+            )
+            .expect("add");
+        for (idx, s) in engine.pending_confirms(file) {
+            engine
+                .file_confirm(provider, file, idx, s)
+                .expect("confirm");
+        }
+        if i.is_multiple_of(50) {
+            engine.advance_to(engine.now() + 10);
+        }
+    }
+    engine.advance_to(engine.now() + 200);
+
+    // The proposer's maintenance step: checkpoint (truncate) + snapshot.
+    let checkpoint = engine.checkpoint();
+    let snapshot = engine.snapshot_save();
+
+    // The chain keeps moving while the joiner is cold.
+    for i in 0..2_000u64 {
+        let files = engine.file_ids();
+        let file = files[(i % files.len() as u64) as usize];
+        let _ = engine.file_get(client, file);
+        if i.is_multiple_of(100) {
+            engine.advance_to(engine.now() + 10);
+        }
+    }
+    engine.advance_to(engine.now() + 100);
+    let suffix = engine.op_log().to_vec();
+    let live_root = engine.state_root();
+
+    // The joiner's bill: restore bytes, replay the suffix, verify.
+    let t_restore = Instant::now();
+    let restored = Engine::snapshot_restore(&snapshot).expect("snapshot restores");
+    let restore_s = t_restore.elapsed().as_secs_f64();
+    let t_replay = Instant::now();
+    let caught_up = Engine::replay_from(&restored, &checkpoint, &suffix).expect("suffix replays");
+    let replay_s = t_replay.elapsed().as_secs_f64();
+    assert_eq!(
+        caught_up.state_root(),
+        live_root,
+        "caught-up joiner matches the live engine bit-for-bit"
+    );
+    assert_eq!(caught_up.chain().head_hash(), engine.chain().head_hash());
+
+    CatchupRun {
+        snapshot_bytes: snapshot.len(),
+        suffix_ops: suffix.len(),
+        restore_s,
+        replay_s,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_node.json".into());
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let runs: Vec<NodeRun> = NODE_CONFIGS.iter().map(|&(s, t)| run_node(s, t)).collect();
+    // Shards and ingest threads are performance knobs: every configuration
+    // must reproduce the identical block-by-block consensus history.
+    for run in &runs[1..] {
+        assert_eq!(
+            run.roots, runs[0].roots,
+            "({}, {}) diverged from the (1,1) cluster history",
+            run.shards, run.threads
+        );
+    }
+    for run in &runs {
+        println!(
+            "node shards={} threads={}: {} blocks / {} ops in {:.2}s = {:.1} blocks/s, {:.0} ops/s ({} txs submitted)",
+            run.shards,
+            run.threads,
+            run.blocks,
+            run.ops,
+            run.wall_s,
+            run.blocks as f64 / run.wall_s,
+            run.ops as f64 / run.wall_s,
+            run.mempool_admitted,
+        );
+    }
+
+    let mempool = run_mempool();
+    println!(
+        "mempool: {} admits in {:.3}s = {:.0}/s; {} selected over {} blocks in {:.3}s = {:.0}/s",
+        mempool.admitted,
+        mempool.admit_s,
+        mempool.admitted as f64 / mempool.admit_s,
+        mempool.selected,
+        mempool.blocks,
+        mempool.select_s,
+        mempool.selected as f64 / mempool.select_s,
+    );
+
+    let catchup = run_catchup();
+    println!(
+        "catchup: {} snapshot bytes restored in {:.1}ms, {} suffix ops replayed in {:.1}ms",
+        catchup.snapshot_bytes,
+        catchup.restore_s * 1e3,
+        catchup.suffix_ops,
+        catchup.replay_s * 1e3,
+    );
+
+    let node_rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"shards\": {}, \"ingest_threads\": {}, \"blocks\": {}, \"ops_committed\": {}, \"wall_s\": {:.3}, \"blocks_per_sec\": {:.1}, \"ops_per_sec\": {:.0}, \"txs_submitted\": {}}}",
+                r.shards,
+                r.threads,
+                r.blocks,
+                r.ops,
+                r.wall_s,
+                r.blocks as f64 / r.wall_s,
+                r.ops as f64 / r.wall_s,
+                r.mempool_admitted,
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"suite\": \"fi-node end-to-end pipeline: mempool -> proposer -> apply_batch -> fi-net broadcast -> follower replay\",\n  \
+           \"unit_note\": \"node runs: one whole simulated cluster (proposer + 3 verifying followers incl. one apply_batch replayer + workload driver, 10% loss, jittered link) per (shards, ingest_threads) config; wall-clock covers mempool selection, engine commit, link simulation and every follower's replay; all configs asserted bit-identical per round and every follower verifies every height. mempool: admission + fee-ordered gas-bounded selection on one pool. catchup: snapshot_restore + replay_from to the live root, the cold-start joiner's sync bill\",\n  \
+           \"available_parallelism\": {parallelism},\n  \
+           \"node\": {{\n    \"rounds\": {ROUNDS},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
+           \"mempool\": {{\"txs\": {}, \"accounts\": {MEMPOOL_ACCOUNTS}, \"admit_per_sec\": {:.0}, \"select_per_sec\": {:.0}, \"blocks_selected\": {}}},\n  \
+           \"catchup\": {{\"snapshot_bytes\": {}, \"suffix_ops\": {}, \"restore_ms\": {:.3}, \"replay_ms\": {:.3}, \"total_ms\": {:.3}}}\n}}\n",
+        node_rows.join(",\n"),
+        mempool.admitted,
+        mempool.admitted as f64 / mempool.admit_s,
+        mempool.selected as f64 / mempool.select_s,
+        mempool.blocks,
+        catchup.snapshot_bytes,
+        catchup.suffix_ops,
+        catchup.restore_s * 1e3,
+        catchup.replay_s * 1e3,
+        (catchup.restore_s + catchup.replay_s) * 1e3,
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

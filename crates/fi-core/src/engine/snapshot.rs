@@ -27,7 +27,7 @@
 //!
 //! ```text
 //! magic   8 bytes  b"FISNAPSH"
-//! version u16      currently 1
+//! version u16      currently 2 (1 predates the PR 5 node/mempool params)
 //! payload ...      field-by-field engine state (see encode())
 //! hash    32 bytes sha256 over magic ‖ version ‖ payload
 //! ```
@@ -55,7 +55,7 @@ use super::shard::ShardedState;
 use super::{Checkpoint, Engine, EngineStats, Task};
 
 const MAGIC: &[u8; 8] = b"FISNAPSH";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 const HASH_LEN: usize = 32;
 
 /// Typed failures of [`Engine::snapshot_restore`]. Corrupted or
@@ -294,6 +294,9 @@ fn enc_params(e: &mut Enc, p: &ProtocolParams) {
     e.usize(p.shards);
     e.u32(p.audit_path_len);
     e.usize(p.ingest_threads);
+    e.usize(p.mempool_cap);
+    e.u64(p.block_gas_limit);
+    e.usize(p.block_ops_limit);
 }
 
 fn dec_params(d: &mut Dec<'_>) -> Result<ProtocolParams, SnapshotError> {
@@ -326,6 +329,9 @@ fn dec_params(d: &mut Dec<'_>) -> Result<ProtocolParams, SnapshotError> {
         shards: d.u64()? as usize,
         audit_path_len: d.u32()?,
         ingest_threads: d.u64()? as usize,
+        mempool_cap: d.u64()? as usize,
+        block_gas_limit: d.u64()?,
+        block_ops_limit: d.u64()? as usize,
     })
 }
 

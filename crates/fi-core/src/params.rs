@@ -97,6 +97,19 @@ pub struct ProtocolParams {
     /// variable when set (the CI matrix runs the whole suite at 1 and 4
     /// ingest threads crossed with 1 and 8 shards).
     pub ingest_threads: usize,
+    /// Maximum transactions a node's mempool holds; submissions beyond the
+    /// cap are rejected at admission. Node-local backpressure, not a
+    /// consensus parameter — two nodes with different caps still agree on
+    /// every sealed block they replay.
+    pub mempool_cap: usize,
+    /// Gas budget of one produced block: the proposer stops selecting
+    /// mempool transactions once their summed [`fi_chain::gas`] upper
+    /// bounds reach this limit (§III-B.4's "clear gas used upper bound"
+    /// applied to block building).
+    pub block_gas_limit: u64,
+    /// Maximum transactions selected into one produced block (the size
+    /// bound complementing [`ProtocolParams::block_gas_limit`]).
+    pub block_ops_limit: usize,
 }
 
 /// Largest permitted [`ProtocolParams::shards`] value.
@@ -159,6 +172,9 @@ impl Default for ProtocolParams {
             shards: default_shards(),
             audit_path_len: 8,
             ingest_threads: default_ingest_threads(),
+            mempool_cap: 8_192,
+            block_gas_limit: 1_000_000,
+            block_ops_limit: 4_096,
         }
     }
 }
@@ -254,6 +270,21 @@ impl ProtocolParams {
         if self.ingest_threads == 0 || self.ingest_threads > MAX_INGEST_THREADS {
             return Err(ParamError::OutOfRange {
                 what: "ingest_threads",
+            });
+        }
+        if self.mempool_cap == 0 {
+            return Err(ParamError::OutOfRange {
+                what: "mempool_cap",
+            });
+        }
+        if self.block_gas_limit == 0 {
+            return Err(ParamError::OutOfRange {
+                what: "block_gas_limit",
+            });
+        }
+        if self.block_ops_limit == 0 {
+            return Err(ParamError::OutOfRange {
+                what: "block_ops_limit",
             });
         }
         Ok(())
@@ -445,6 +476,35 @@ mod tests {
                 ..ProtocolParams::default()
             };
             p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn node_params_validated() {
+        for (field, p) in [
+            (
+                "mempool_cap",
+                ProtocolParams {
+                    mempool_cap: 0,
+                    ..ProtocolParams::default()
+                },
+            ),
+            (
+                "block_gas_limit",
+                ProtocolParams {
+                    block_gas_limit: 0,
+                    ..ProtocolParams::default()
+                },
+            ),
+            (
+                "block_ops_limit",
+                ProtocolParams {
+                    block_ops_limit: 0,
+                    ..ProtocolParams::default()
+                },
+            ),
+        ] {
+            assert_eq!(p.validate(), Err(ParamError::OutOfRange { what: field }));
         }
     }
 

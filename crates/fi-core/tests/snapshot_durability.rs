@@ -208,15 +208,26 @@ fn wrong_version_foreign_magic_and_trailing_bytes_are_typed() {
     drive_workload(&mut live, 47, 25);
     let bytes = live.snapshot_save();
 
-    // Bump the version and re-seal with a fresh self-hash.
+    // Bump the version past the current format (v2 — v1 predates the
+    // PR 5 node/mempool params) and re-seal with a fresh self-hash.
     let mut wrong_version = bytes.clone();
-    wrong_version[8..10].copy_from_slice(&2u16.to_be_bytes());
+    wrong_version[8..10].copy_from_slice(&99u16.to_be_bytes());
     let body_len = wrong_version.len() - 32;
     let digest = fi_crypto::sha256(&wrong_version[..body_len]);
     wrong_version[body_len..].copy_from_slice(digest.as_bytes());
     assert_eq!(
         Engine::snapshot_restore(&wrong_version).expect_err("wrong version"),
-        SnapshotError::UnsupportedVersion(2)
+        SnapshotError::UnsupportedVersion(99)
+    );
+    // A v1 snapshot (the pre-node-params layout) is likewise refused at
+    // the version gate rather than mis-decoded.
+    let mut old_version = bytes.clone();
+    old_version[8..10].copy_from_slice(&1u16.to_be_bytes());
+    let digest = fi_crypto::sha256(&old_version[..body_len]);
+    old_version[body_len..].copy_from_slice(digest.as_bytes());
+    assert_eq!(
+        Engine::snapshot_restore(&old_version).expect_err("old version"),
+        SnapshotError::UnsupportedVersion(1)
     );
 
     // Foreign magic.

@@ -47,4 +47,4 @@ pub mod world;
 
 pub use link::LinkModel;
 pub use sim::Simulator;
-pub use world::{Ctx, Process, World};
+pub use world::{Ctx, Process, Retransmitter, RetryEvent, World};

@@ -4,6 +4,14 @@
 //! shared [`LinkModel`], and the event queue. Nodes interact only through
 //! their [`Ctx`] handle — sending messages (subject to link delay/loss) and
 //! arming timers — so every run is a deterministic function of the seed.
+//!
+//! Links may drop messages ([`LinkModel::loss`]) with no built-in
+//! acknowledgement, so any protocol that needs at-least-once delivery has
+//! to retry. [`Retransmitter`] packages that pattern — send, arm a timer,
+//! resend on expiry up to a bound, stop on ack — so protocol actors don't
+//! each reimplement it.
+
+use std::collections::BTreeMap;
 
 use fi_crypto::DetRng;
 
@@ -202,6 +210,128 @@ impl<M> World<M> {
     }
 }
 
+/// What a [`Retransmitter`] timer expiry meant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryEvent {
+    /// The message was sent again; `attempt` transmissions have now been
+    /// made (the initial send counts as attempt 1).
+    Resent {
+        /// The caller's key for the in-flight message.
+        key: u64,
+        /// Total transmissions so far, including this one.
+        attempt: u32,
+    },
+    /// The retry budget is exhausted: the entry was dropped and delivery is
+    /// now the caller's problem (escalate, give up, re-route).
+    Exhausted {
+        /// The caller's key for the abandoned message.
+        key: u64,
+        /// The destination that never acknowledged.
+        to: NodeIdx,
+    },
+}
+
+/// Bounded at-least-once delivery over lossy links: sends a message, arms
+/// a timer, resends on expiry until acknowledged or a retry budget runs
+/// out.
+///
+/// The helper owns a contiguous timer-tag namespace starting at its
+/// `tag_base`: message `key` uses tag `tag_base + key`. Route every
+/// [`Process::on_timer`] tag through [`Retransmitter::handle_timer`]
+/// first — it returns `None` for tags outside its namespace, so it
+/// composes with the caller's own timers as long as those stay below
+/// `tag_base`.
+///
+/// Duplicate deliveries are inherent to retries (an ack can be lost while
+/// its message got through); receivers must dedup by key or sequence.
+#[derive(Debug)]
+pub struct Retransmitter<M> {
+    pending: BTreeMap<u64, PendingSend<M>>,
+    interval: SimTime,
+    max_attempts: u32,
+    tag_base: u64,
+}
+
+#[derive(Debug)]
+struct PendingSend<M> {
+    to: NodeIdx,
+    msg: M,
+    bytes: u64,
+    attempts: u32,
+}
+
+impl<M: Clone> Retransmitter<M> {
+    /// A retransmitter resending every `interval` ticks, giving up after
+    /// `max_attempts` total transmissions, owning timer tags
+    /// `tag_base..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0` or `max_attempts == 0`.
+    pub fn new(interval: SimTime, max_attempts: u32, tag_base: u64) -> Self {
+        assert!(interval > 0, "retransmit interval must be positive");
+        assert!(max_attempts > 0, "at least one attempt required");
+        Retransmitter {
+            pending: BTreeMap::new(),
+            interval,
+            max_attempts,
+            tag_base,
+        }
+    }
+
+    /// Sends `msg` to `to` and tracks it under `key` until
+    /// [`Retransmitter::ack`]. Keys must not be re-used while live: the
+    /// earlier send's timer stays armed, so both timers would resend the
+    /// replacement and burn its attempts budget about twice as fast.
+    /// Ack (or let exhaust) a key before assigning it again.
+    pub fn send(&mut self, ctx: &mut Ctx<'_, M>, to: NodeIdx, key: u64, msg: M, bytes: u64) {
+        ctx.send(to, msg.clone(), bytes);
+        self.pending.insert(
+            key,
+            PendingSend {
+                to,
+                msg,
+                bytes,
+                attempts: 1,
+            },
+        );
+        ctx.set_timer(self.interval, self.tag_base + key);
+    }
+
+    /// Stops retrying `key`. Returns `false` when the key was not in
+    /// flight (already acked, already exhausted, or never sent) — callers
+    /// routinely ignore that, since duplicate acks are normal on lossy
+    /// links.
+    pub fn ack(&mut self, key: u64) -> bool {
+        self.pending.remove(&key).is_some()
+    }
+
+    /// Routes a timer expiry. Tags below this instance's `tag_base` are
+    /// not ours: `None`. Tags for already-acked keys are spent timers:
+    /// also `None`. Otherwise resends and re-arms, or reports the budget
+    /// exhausted and drops the entry.
+    pub fn handle_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) -> Option<RetryEvent> {
+        let key = tag.checked_sub(self.tag_base)?;
+        let entry = self.pending.get_mut(&key)?;
+        if entry.attempts >= self.max_attempts {
+            let to = entry.to;
+            self.pending.remove(&key);
+            return Some(RetryEvent::Exhausted { key, to });
+        }
+        entry.attempts += 1;
+        let attempt = entry.attempts;
+        let (to, msg, bytes) = (entry.to, entry.msg.clone(), entry.bytes);
+        ctx.send(to, msg, bytes);
+        ctx.set_timer(self.interval, tag);
+        Some(RetryEvent::Resent { key, attempt })
+    }
+
+    /// Messages still awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +413,163 @@ mod tests {
         world.run_until(100_000);
         assert_eq!(world.messages_sent(), 200);
         assert!(world.messages_lost() > 50 && world.messages_lost() < 150);
+    }
+
+    /// Sender pushing `COUNT` keyed messages through a retransmitter;
+    /// receiver acks each delivery.
+    #[derive(Clone)]
+    struct RetryMsg {
+        key: u64,
+        ack: bool,
+    }
+
+    const RETRY_TAG_BASE: u64 = 1 << 32;
+
+    struct RetryReceiver {
+        seen: Vec<u64>,
+    }
+
+    impl Process<RetryMsg> for RetryReceiver {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, RetryMsg>, from: NodeIdx, msg: RetryMsg) {
+            if !self.seen.contains(&msg.key) {
+                self.seen.push(msg.key);
+            }
+            ctx.send(
+                from,
+                RetryMsg {
+                    key: msg.key,
+                    ack: true,
+                },
+                16,
+            );
+        }
+    }
+
+    #[test]
+    fn retransmitter_delivers_everything_under_heavy_loss() {
+        // Nodes are boxed trait objects the world owns, so the test tallies
+        // outcomes through thread_locals instead of downcasts.
+        use std::cell::RefCell;
+        thread_local! {
+            static ACKED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+            static EXHAUSTED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        }
+        struct TallySender {
+            retx: Retransmitter<RetryMsg>,
+        }
+        impl Process<RetryMsg> for TallySender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, RetryMsg>) {
+                for key in 0..20 {
+                    let msg = RetryMsg { key, ack: false };
+                    self.retx.send(ctx, 1, key, msg, 100);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, RetryMsg>, _: NodeIdx, msg: RetryMsg) {
+                assert!(msg.ack, "the sender only ever receives acks");
+                if self.retx.ack(msg.key) {
+                    ACKED.with(|a| a.borrow_mut().push(msg.key));
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, RetryMsg>, tag: u64) {
+                if let Some(RetryEvent::Exhausted { key, .. }) = self.retx.handle_timer(ctx, tag) {
+                    EXHAUSTED.with(|e| e.borrow_mut().push(key));
+                }
+            }
+        }
+        ACKED.with(|a| a.borrow_mut().clear());
+        EXHAUSTED.with(|e| e.borrow_mut().clear());
+        let mut world = World::new(LinkModel::lossy(0.4), 11);
+        world.add(TallySender {
+            retx: Retransmitter::new(50, 16, RETRY_TAG_BASE),
+        });
+        world.add(RetryReceiver { seen: Vec::new() });
+        world.run_until(1_000_000);
+        let acked = ACKED.with(|a| a.borrow().clone());
+        let exhausted = EXHAUSTED.with(|e| e.borrow().clone());
+        assert_eq!(acked.len(), 20, "all 20 keys acknowledged: {acked:?}");
+        assert!(
+            exhausted.is_empty(),
+            "budget of 16 never exhausted at 40% loss"
+        );
+        assert!(
+            world.messages_lost() > 0,
+            "the link actually dropped messages"
+        );
+    }
+
+    #[test]
+    fn retransmitter_gives_up_after_bounded_attempts() {
+        use std::cell::RefCell;
+        thread_local! {
+            static GAVE_UP: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        }
+        struct DoomedSender {
+            retx: Retransmitter<RetryMsg>,
+        }
+        impl Process<RetryMsg> for DoomedSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, RetryMsg>) {
+                let msg = RetryMsg { key: 7, ack: false };
+                self.retx.send(ctx, 1, 7, msg, 100);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, RetryMsg>, _: NodeIdx, _: RetryMsg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, RetryMsg>, tag: u64) {
+                if let Some(RetryEvent::Exhausted { key, to }) = self.retx.handle_timer(ctx, tag) {
+                    assert_eq!(to, 1);
+                    GAVE_UP.with(|g| g.borrow_mut().push(key));
+                }
+            }
+        }
+        GAVE_UP.with(|g| g.borrow_mut().clear());
+        let mut world = World::new(LinkModel::lossy(1.0), 5); // nothing gets through
+        world.add(DoomedSender {
+            retx: Retransmitter::new(10, 4, RETRY_TAG_BASE),
+        });
+        world.add(RetryReceiver { seen: Vec::new() });
+        world.run_until(10_000);
+        assert_eq!(GAVE_UP.with(|g| g.borrow().clone()), vec![7]);
+        // 4 attempts total: initial + 3 resends, then the exhausted timer.
+        assert_eq!(world.messages_sent(), 4);
+        assert_eq!(world.messages_lost(), 4);
+    }
+
+    #[test]
+    fn retransmitter_timer_routing_ignores_foreign_and_spent_tags() {
+        let mut world = World::new(LinkModel::lan(), 2);
+        struct Router {
+            retx: Retransmitter<u64>,
+        }
+        impl Process<u64> for Router {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == 0 {
+                    self.retx.send(ctx, 1, 3, 99, 8);
+                    ctx.set_timer(5, 1); // a tag below the base: ours, not the helper's
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeIdx, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, tag: u64) {
+                if tag == 1 {
+                    assert!(self.retx.handle_timer(ctx, tag).is_none(), "foreign tag");
+                    // Ack before the helper's timer expires: its later
+                    // expiry must be a spent no-op.
+                    assert!(self.retx.ack(3));
+                    assert_eq!(self.retx.in_flight(), 0);
+                } else {
+                    assert!(
+                        self.retx.handle_timer(ctx, tag).is_none(),
+                        "spent timer after ack"
+                    );
+                }
+            }
+        }
+        world.add(Router {
+            retx: Retransmitter::new(50, 3, RETRY_TAG_BASE),
+        });
+        world.add(Router {
+            retx: Retransmitter::new(50, 3, RETRY_TAG_BASE),
+        });
+        world.run_until(10_000);
+        // One data message sent; its spent retry timer fires as a no-op.
+        assert_eq!(world.messages_sent(), 1);
     }
 
     #[test]

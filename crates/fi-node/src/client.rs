@@ -1,0 +1,309 @@
+//! The workload driver: a chain-watching client/provider wallet.
+//!
+//! A [`ClientDriver`] is itself a replaying follower — it keeps a replica
+//! engine fed by the proposer's sealed blocks — and derives its next
+//! transactions from that view, exactly the way `fi_sim::harness` sweeps
+//! derive provider actions from engine state: pending replica transfers
+//! become `File_Confirm` submissions
+//! ([`fi_sim::harness::pending_confirm_candidates`]), held replicas become
+//! periodic `File_Prove`s ([`fi_sim::harness::held_replica_candidates`]),
+//! and the client account mixes in `File_Add`s, gas-charged `File_Get`
+//! reads and occasional discards. Every submission goes to the proposer's
+//! mempool over the lossy link with bounded retransmit, so the blocks the
+//! pipeline produces are realistic mixes of all five shard-local op kinds
+//! plus `File_Add`/`AdvanceTo` barriers.
+//!
+//! Because the replica view lags the chain by the network latency, the
+//! driver naturally produces the awkward traffic a real mempool sees:
+//! re-submissions of already-committed confirms (rejected as duplicates or
+//! failing at commit), proofs racing the proof cycle, and fee-ordered
+//! bursts.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::Engine;
+use fi_core::ops::Op;
+use fi_core::types::SectorId;
+use fi_crypto::{sha256, DetRng, Hash256};
+use fi_net::world::{Ctx, NodeIdx, Process, Retransmitter, RetryEvent};
+use fi_sim::harness::{held_replica_candidates, pending_confirm_candidates};
+
+use crate::node::{NodeMsg, ReplayMode, SealedBlock, RETX_TAG_BASE};
+
+/// Shape of the generated workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Submit a `File_Add` every this many rounds (0 disables adds).
+    pub add_every_rounds: u64,
+    /// Stop adding after this many files.
+    pub max_files: u64,
+    /// Size of each added file.
+    pub file_size: u64,
+    /// Sweep `File_Prove`s every this many rounds (match the proof cycle).
+    pub prove_every_rounds: u64,
+    /// Per-round probability of a `File_Get` on a random live file.
+    pub get_prob: f64,
+    /// Per-round probability of discarding a random live file.
+    pub discard_prob: f64,
+}
+
+/// Rounds before the driver may re-submit an identical op (see
+/// [`ClientDriver`]'s dedup field): longer than the view lag plus a
+/// round-trip, shorter than a proof cycle so recurring proofs re-admit.
+pub const DEDUP_WINDOW_ROUNDS: u64 = 8;
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            add_every_rounds: 2,
+            max_files: 40,
+            file_size: 4,
+            prove_every_rounds: 10,
+            get_prob: 0.3,
+            discard_prob: 0.02,
+        }
+    }
+}
+
+/// What the driver submitted, readable after a run.
+#[derive(Debug, Default)]
+pub struct ClientReport {
+    /// Transactions submitted (first transmissions, not retries).
+    pub txs_submitted: u64,
+    /// Submissions whose retransmit budget ran out unacknowledged.
+    pub txs_given_up: u64,
+    /// Blocks applied to the replica view.
+    pub blocks_applied: u64,
+}
+
+/// The chain-watching workload generator.
+pub struct ClientDriver {
+    replica: Engine,
+    proposer: NodeIdx,
+    retx: Retransmitter<NodeMsg>,
+    /// Provider account owning each sector (from the shared genesis).
+    sector_owner: HashMap<SectorId, AccountId>,
+    client: AccountId,
+    nonces: HashMap<AccountId, u64>,
+    /// Op digests submitted recently (digest → submission round). A
+    /// duplicate submission is rejected at admission and spends its nonce
+    /// as a mempool tombstone — harmless for liveness, but pure waste —
+    /// so the driver only re-submits an identical op after
+    /// [`DEDUP_WINDOW_ROUNDS`], by which time its earlier copy has either
+    /// committed (and left the pool) or been dropped.
+    recent: HashMap<Hash256, u64>,
+    next_key: u64,
+    next_round: u64,
+    buffer: std::collections::BTreeMap<u64, SealedBlock>,
+    rng: DetRng,
+    workload: WorkloadConfig,
+    files_added: u64,
+    report: Rc<RefCell<ClientReport>>,
+}
+
+impl ClientDriver {
+    /// A driver watching `proposer`, acting for `client` and every
+    /// provider in `sector_owner`, over its own `genesis` replica.
+    pub fn new(
+        genesis: Engine,
+        proposer: NodeIdx,
+        sector_owner: HashMap<SectorId, AccountId>,
+        client: AccountId,
+        seed: u64,
+        workload: WorkloadConfig,
+        report: Rc<RefCell<ClientReport>>,
+    ) -> Self {
+        let interval = genesis.params().block_interval;
+        ClientDriver {
+            replica: genesis,
+            proposer,
+            retx: Retransmitter::new(interval.max(2), 24, RETX_TAG_BASE),
+            sector_owner,
+            client,
+            nonces: HashMap::new(),
+            recent: HashMap::new(),
+            next_key: 0,
+            next_round: 1,
+            buffer: std::collections::BTreeMap::new(),
+            rng: DetRng::from_seed_label(seed, "fi-node/client"),
+            workload,
+            files_added: 0,
+            report,
+        }
+    }
+
+    /// Submits `op` unless an identical one is still inside the dedup
+    /// window (a duplicate would be rejected at admission, wasting the
+    /// nonce — see the `recent` field).
+    fn submit(&mut self, ctx: &mut Ctx<'_, NodeMsg>, round: u64, from: AccountId, op: Op) {
+        let digest = op.digest();
+        if let Some(&at) = self.recent.get(&digest) {
+            if round.saturating_sub(at) < DEDUP_WINDOW_ROUNDS {
+                return;
+            }
+        }
+        self.recent.insert(digest, round);
+        let nonce = self.nonces.entry(from).or_insert(0);
+        let tx = crate::mempool::Tx {
+            from,
+            nonce: *nonce,
+            fee: TokenAmount(1 + self.rng.below(1_000) as u128),
+            op,
+        };
+        *nonce += 1;
+        let key = self.next_key;
+        self.next_key += 1;
+        let bytes = tx.wire_bytes();
+        self.retx.send(
+            ctx,
+            self.proposer,
+            key,
+            NodeMsg::SubmitTx { key, tx },
+            bytes,
+        );
+        self.report.borrow_mut().txs_submitted += 1;
+    }
+
+    /// Derives this round's submissions from the freshly-advanced replica.
+    fn act(&mut self, ctx: &mut Ctx<'_, NodeMsg>, round: u64) {
+        // New files from the client account.
+        if self.workload.add_every_rounds > 0
+            && round.is_multiple_of(self.workload.add_every_rounds)
+            && self.files_added < self.workload.max_files
+        {
+            self.files_added += 1;
+            let op = Op::FileAdd {
+                client: self.client,
+                size: self.workload.file_size,
+                value: self.replica.params().min_value,
+                merkle_root: sha256(format!("node-file-{round}-{}", self.files_added).as_bytes()),
+            };
+            self.submit(ctx, round, self.client, op);
+        }
+        // Confirm every transfer the replica still shows pending. Some of
+        // these are already committed on-chain (the view lags); those fail
+        // admission as duplicates or fail at commit — realistic traffic.
+        let confirms: Vec<(AccountId, Op)> = pending_confirm_candidates(&self.replica)
+            .into_iter()
+            .filter_map(|(f, i, s)| {
+                let owner = *self.sector_owner.get(&s)?;
+                Some((
+                    owner,
+                    Op::FileConfirm {
+                        caller: owner,
+                        file: f,
+                        index: i,
+                        sector: s,
+                    },
+                ))
+            })
+            .collect();
+        for (owner, op) in confirms {
+            self.submit(ctx, round, owner, op);
+        }
+        // Periodic proofs for everything held.
+        if self.workload.prove_every_rounds > 0
+            && round.is_multiple_of(self.workload.prove_every_rounds)
+        {
+            let proofs: Vec<(AccountId, Op)> = held_replica_candidates(&self.replica)
+                .into_iter()
+                .filter_map(|(f, i, s)| {
+                    let owner = *self.sector_owner.get(&s)?;
+                    Some((
+                        owner,
+                        Op::FileProve {
+                            caller: owner,
+                            file: f,
+                            index: i,
+                            sector: s,
+                        },
+                    ))
+                })
+                .collect();
+            for (owner, op) in proofs {
+                self.submit(ctx, round, owner, op);
+            }
+        }
+        // Occasional reads and discards on random live files.
+        let live = self.replica.file_ids();
+        if !live.is_empty() {
+            if self.rng.bernoulli(self.workload.get_prob) {
+                let file = live[self.rng.index(live.len())];
+                self.submit(
+                    ctx,
+                    round,
+                    self.client,
+                    Op::FileGet {
+                        caller: self.client,
+                        file,
+                    },
+                );
+            }
+            if live.len() > 4 && self.rng.bernoulli(self.workload.discard_prob) {
+                let file = live[self.rng.index(live.len())];
+                self.submit(
+                    ctx,
+                    round,
+                    self.client,
+                    Op::FileDiscard {
+                        caller: self.client,
+                        file,
+                    },
+                );
+            }
+        }
+    }
+
+    fn apply_ready(&mut self, ctx: &mut Ctx<'_, NodeMsg>) {
+        while let Some(block) = self.buffer.remove(&self.next_round) {
+            for op in block.ops.iter().cloned() {
+                let _ = self.replica.apply(op);
+            }
+            debug_assert_eq!(self.replica.state_root(), block.state_root);
+            let round = block.round;
+            self.next_round += 1;
+            self.report.borrow_mut().blocks_applied += 1;
+            // Bound the dedup memory: anything past the window can go.
+            self.recent
+                .retain(|_, &mut at| round.saturating_sub(at) < DEDUP_WINDOW_ROUNDS);
+            self.act(ctx, round);
+        }
+    }
+
+    /// The replica engine, for post-run inspection.
+    pub fn replica(&self) -> &Engine {
+        &self.replica
+    }
+
+    /// The replay mode the driver's replica uses (always op-by-op).
+    pub fn mode(&self) -> ReplayMode {
+        ReplayMode::OpByOp
+    }
+}
+
+impl Process<NodeMsg> for ClientDriver {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NodeMsg>, _from: NodeIdx, msg: NodeMsg) {
+        match msg {
+            NodeMsg::Block(block) => {
+                ctx.send(self.proposer, NodeMsg::BlockAck { round: block.round }, 24);
+                if block.round >= self.next_round {
+                    self.buffer.entry(block.round).or_insert(block);
+                    self.apply_ready(ctx);
+                }
+            }
+            NodeMsg::TxAck { key } => {
+                self.retx.ack(key);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, NodeMsg>, tag: u64) {
+        if let Some(RetryEvent::Exhausted { .. }) = self.retx.handle_timer(ctx, tag) {
+            self.report.borrow_mut().txs_given_up += 1;
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Cluster assembly: identical genesis engines, one proposer, N verifying
+//! followers, a workload driver, and (optionally) a cold-start joiner,
+//! wired into one `fi_net::World`.
+//!
+//! Every online-from-genesis node builds its own copy of the same genesis
+//! engine (funding + sector registrations applied through the typed op
+//! layer), so consensus equality across nodes is meaningful from round 1.
+//! The cold-start joiner deliberately builds nothing: it syncs from the
+//! proposer's durable snapshot mid-run.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_chain::gas::GasSchedule;
+use fi_core::engine::Engine;
+use fi_core::params::ProtocolParams;
+use fi_core::types::SectorId;
+use fi_net::link::LinkModel;
+use fi_net::sim::SimTime;
+use fi_net::world::World;
+
+use crate::client::{ClientDriver, ClientReport, WorkloadConfig};
+use crate::mempool::Mempool;
+use crate::node::{
+    Follower, FollowerReport, FollowerStart, NodeMsg, Proposer, ProposerReport, ReplayMode,
+};
+
+/// Everything needed to assemble one simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Protocol parameters shared by every engine.
+    pub params: ProtocolParams,
+    /// Provider accounts and the sector capacities each registers at
+    /// genesis.
+    pub providers: Vec<(AccountId, Vec<u64>)>,
+    /// The client account adding/reading/discarding files.
+    pub client: AccountId,
+    /// The link model every node pair shares.
+    pub link: LinkModel,
+    /// World seed (link jitter/loss draws and the workload rng).
+    pub seed: u64,
+    /// Blocks the proposer produces before going quiet.
+    pub rounds: u64,
+    /// Rounds between the proposer's checkpoint→snapshot→truncate runs.
+    pub checkpoint_every: u64,
+    /// Replay mode of each online-from-genesis follower.
+    pub followers: Vec<ReplayMode>,
+    /// When set, one extra follower cold-starts at this time and syncs
+    /// from the proposer's snapshot.
+    pub cold_join_at: Option<SimTime>,
+    /// Workload shape for the client driver.
+    pub workload: WorkloadConfig,
+}
+
+impl ClusterConfig {
+    /// A small, fast default: 3 op-by-op followers, no joiner.
+    pub fn small(seed: u64, rounds: u64) -> Self {
+        ClusterConfig {
+            params: ProtocolParams {
+                k: 3,
+                ..ProtocolParams::default()
+            },
+            providers: vec![
+                (AccountId(700), vec![640, 640]),
+                (AccountId(701), vec![1_280]),
+                (AccountId(702), vec![640, 640, 640]),
+            ],
+            client: AccountId(900),
+            link: LinkModel::lossy(0.1),
+            seed,
+            rounds,
+            checkpoint_every: 25,
+            followers: vec![ReplayMode::OpByOp; 3],
+            cold_join_at: None,
+            workload: WorkloadConfig::default(),
+        }
+    }
+}
+
+/// Shared result handles for every node of a built cluster (the world owns
+/// the boxed processes; results surface through these).
+pub struct ClusterReports {
+    /// The proposer's per-round commitments and maintenance counters.
+    pub proposer: Rc<RefCell<ProposerReport>>,
+    /// One verification record per genesis follower, in config order.
+    pub followers: Vec<Rc<RefCell<FollowerReport>>>,
+    /// The cold-start joiner's record, when configured.
+    pub joiner: Option<Rc<RefCell<FollowerReport>>>,
+    /// The workload driver's submission counters.
+    pub client: Rc<RefCell<ClientReport>>,
+}
+
+/// Builds the shared genesis: every provider funded and its sectors
+/// registered, the client funded — all through the typed op layer so the
+/// resulting engines are bit-identical across nodes. Returns the engine
+/// and the sector→owner map the workload driver acts from.
+///
+/// # Panics
+///
+/// Panics on invalid parameters or a failed registration (genesis is
+/// scripted; failure is a configuration bug).
+pub fn genesis_engine(
+    params: &ProtocolParams,
+    providers: &[(AccountId, Vec<u64>)],
+    client: AccountId,
+) -> (Engine, HashMap<SectorId, AccountId>) {
+    let mut engine = Engine::new(params.clone()).expect("valid parameters");
+    engine.fund(client, TokenAmount(1_000_000_000));
+    let mut sector_owner = HashMap::new();
+    for (account, capacities) in providers {
+        engine.fund(*account, TokenAmount(1_000_000_000_000));
+        for &capacity in capacities {
+            let sector = engine
+                .sector_register(*account, capacity)
+                .expect("genesis registration succeeds");
+            sector_owner.insert(sector, *account);
+        }
+    }
+    (engine, sector_owner)
+}
+
+/// Assembles the world: node 0 is the proposer, nodes `1..=F` the genesis
+/// followers, node `F+1` the client driver, and (when configured) the last
+/// node the cold-start joiner. Run it with `world.run_until(...)` —
+/// [`ClusterConfig::rounds`] blocks take `rounds × block_interval` ticks
+/// plus retransmit drain.
+pub fn build_cluster(cfg: &ClusterConfig) -> (World<NodeMsg>, ClusterReports) {
+    let mut world = World::new(cfg.link, cfg.seed);
+    let (genesis, sector_owner) = genesis_engine(&cfg.params, &cfg.providers, cfg.client);
+
+    let proposer_report = Rc::new(RefCell::new(ProposerReport::default()));
+    let follower_reports: Vec<Rc<RefCell<FollowerReport>>> = cfg
+        .followers
+        .iter()
+        .map(|_| Rc::new(RefCell::new(FollowerReport::default())))
+        .collect();
+    let client_report = Rc::new(RefCell::new(ClientReport::default()));
+
+    // Node indices are assigned in add() order; the proposer must know its
+    // followers' indices up front, so lay them out deterministically.
+    let proposer_idx = 0;
+    let follower_idxs: Vec<usize> = (1..=cfg.followers.len()).collect();
+    let client_idx = cfg.followers.len() + 1;
+
+    let mempool = Mempool::new(cfg.params.clone(), GasSchedule::default());
+    // The client driver replays blocks too: it must receive them like any
+    // follower (the joiner is added on demand via its JoinRequest).
+    let mut broadcast_to = follower_idxs.clone();
+    broadcast_to.push(client_idx);
+    let proposer = Proposer::new(
+        genesis.clone(),
+        mempool,
+        broadcast_to,
+        cfg.rounds,
+        cfg.checkpoint_every,
+        Rc::clone(&proposer_report),
+    );
+    assert_eq!(world.add(proposer), proposer_idx);
+
+    for (mode, report) in cfg.followers.iter().zip(&follower_reports) {
+        let follower = Follower::new(
+            FollowerStart::Genesis(Box::new(genesis.clone())),
+            *mode,
+            proposer_idx,
+            Rc::clone(report),
+        );
+        world.add(follower);
+    }
+
+    let client = ClientDriver::new(
+        genesis,
+        proposer_idx,
+        sector_owner,
+        cfg.client,
+        cfg.seed,
+        cfg.workload.clone(),
+        Rc::clone(&client_report),
+    );
+    assert_eq!(world.add(client), client_idx);
+
+    let joiner = cfg.cold_join_at.map(|wake_at| {
+        let report = Rc::new(RefCell::new(FollowerReport::default()));
+        let follower = Follower::new(
+            FollowerStart::ColdJoin { wake_at },
+            ReplayMode::OpByOp,
+            proposer_idx,
+            Rc::clone(&report),
+        );
+        world.add(follower);
+        report
+    });
+
+    (
+        world,
+        ClusterReports {
+            proposer: proposer_report,
+            followers: follower_reports,
+            joiner,
+            client: client_report,
+        },
+    )
+}
+
+/// Runs a built cluster to completion: `rounds` of production plus a
+/// drain margin for in-flight retransmissions, returning the world for
+/// inspection.
+pub fn run_cluster(cfg: &ClusterConfig) -> (World<NodeMsg>, ClusterReports) {
+    let (mut world, reports) = build_cluster(cfg);
+    let horizon = (cfg.rounds + 50) * cfg.params.block_interval;
+    world.run_until(horizon);
+    (world, reports)
+}

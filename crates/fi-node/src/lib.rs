@@ -1,0 +1,43 @@
+//! The networked node layer: mempool → proposer → `apply_batch`, with
+//! follower replay over `fi-net`.
+//!
+//! PR 4 proved `Engine::apply_batch` bit-identical to op-by-op `apply` on
+//! synthetic batches; this crate closes the loop the paper's §III-D and §V
+//! claims actually live on — *network* block production:
+//!
+//! * [`mempool`] — deterministic admission (nonce, duplicate, funds,
+//!   capacity) and fee-ordered, gas-bounded block selection
+//!   ([`fi_core::params::ProtocolParams::block_gas_limit`] /
+//!   `block_ops_limit`, priced by the [`fi_chain::gas`] schedule);
+//! * [`node`] — the [`node::Proposer`] process seals one block per
+//!   [`fi_core::params::ProtocolParams::block_interval`] through
+//!   `Engine::apply_batch` and broadcasts it with bounded retransmit
+//!   ([`fi_net::Retransmitter`]); [`node::Follower`]s replay and verify
+//!   `state_root` / head hash / receipt root per height, buffer reordered
+//!   blocks, dedup retransmits, and can cold-start mid-run from the
+//!   proposer's durable snapshot plus op-log suffix;
+//! * [`client`] — a chain-watching workload driver deriving realistic
+//!   adds/confirms/proves/gets/discards from its replayed view, via the
+//!   same sweep views `fi_sim::harness` scenarios use;
+//! * [`cluster`] — assembly of all of the above into one deterministic
+//!   [`fi_net::World`].
+//!
+//! Consensus safety in one sentence: a block is nothing but an ordered op
+//! list, the engine is a deterministic function of applied ops, and PR 3/4
+//! made that function invariant across shard counts, ingest threads and
+//! both replay paths — so followers that replay the proposer's op
+//! sequence reproduce its roots bit-for-bit, network chaos and all
+//! (asserted per height by `tests/node_pipeline.rs`; DESIGN.md §11).
+
+pub mod client;
+pub mod cluster;
+pub mod mempool;
+pub mod node;
+
+pub use client::{ClientDriver, ClientReport, WorkloadConfig};
+pub use cluster::{build_cluster, genesis_engine, run_cluster, ClusterConfig, ClusterReports};
+pub use mempool::{AdmitError, Mempool, MempoolStats, Tx};
+pub use node::{
+    Follower, FollowerReport, FollowerStart, NodeMsg, Proposer, ProposerReport, ReplayMode,
+    SealedBlock,
+};

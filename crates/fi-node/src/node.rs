@@ -1,0 +1,496 @@
+//! The block-production pipeline over `fi-net`: a [`Proposer`] drains its
+//! [`Mempool`](crate::mempool) every block interval, commits the
+//! batch through `Engine::apply_batch`, and broadcasts the sealed block to
+//! [`Follower`]s, which replay it on their own engines and verify
+//! `state_root` / chain head / receipt-root equality at every height.
+//!
+//! Delivery is lossy and jittery ([`fi_net::LinkModel`]), so:
+//!
+//! * blocks go out through a bounded [`Retransmitter`] and are
+//!   acknowledged per round; followers dedup duplicates and buffer
+//!   out-of-order rounds, applying strictly in sequence;
+//! * a follower can **cold-start mid-run**: it wakes at a configured time,
+//!   requests state, and the proposer answers with its latest durable
+//!   snapshot ([`Engine::snapshot_save`] bytes), the matching
+//!   [`Checkpoint`], and the post-checkpoint op-log suffix; the joiner
+//!   rebuilds via [`Engine::snapshot_restore`] + [`Engine::replay_from`]
+//!   and then verifies every subsequent block like any other follower.
+//!
+//! The proposer also runs the checkpoint→snapshot→truncate maintenance
+//! timer: every `checkpoint_every` rounds it checkpoints (truncating the
+//! op log, keeping memory bounded) and saves a snapshot — the artifact
+//! mid-run joiners sync from.
+//!
+//! Followers replay **op by op** through `Engine::apply` by default: a
+//! verifier wants the simplest possible execution path, and PR 4
+//! guarantees `apply_batch` is bit-identical to it. [`ReplayMode::Batch`]
+//! runs the pipelined path instead; the node tests run followers in both
+//! modes side by side and assert they agree at every height (DESIGN.md
+//! §11).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use fi_core::engine::{Checkpoint, Engine};
+use fi_core::ops::{Op, OpRecord};
+use fi_crypto::Hash256;
+use fi_net::sim::SimTime;
+use fi_net::world::{Ctx, NodeIdx, Process, Retransmitter, RetryEvent};
+
+use crate::mempool::{Mempool, Tx};
+
+/// Timer tag: the proposer's per-round block production tick.
+pub const TAG_ROUND: u64 = 0;
+/// Timer tag: a cold-start follower's wake-up.
+pub const TAG_WAKE: u64 = 1;
+/// Timer tag: a joining follower re-sends its unanswered `JoinRequest`.
+pub const TAG_JOIN_RETRY: u64 = 2;
+/// First timer tag owned by a node's [`Retransmitter`]; all protocol tags
+/// stay below it.
+pub const RETX_TAG_BASE: u64 = 1 << 48;
+
+/// Retransmitter key for a block: destination node and round.
+fn block_key(to: NodeIdx, round: u64) -> u64 {
+    ((to as u64) << 32) | round
+}
+
+/// A block as broadcast on the wire: the round, the exact op sequence the
+/// proposer committed (ending in the round's `AdvanceTo` barrier), and the
+/// proposer's resulting commitments for followers to verify against.
+#[derive(Debug, Clone)]
+pub struct SealedBlock {
+    /// Production round; round `r` seals chain height `r`.
+    pub round: u64,
+    /// The committed ops in submission order (mempool selection plus the
+    /// trailing `AdvanceTo`).
+    pub ops: Vec<Op>,
+    /// `Engine::state_root()` after the batch.
+    pub state_root: Hash256,
+    /// Chain head hash after the batch.
+    pub head_hash: Hash256,
+    /// Receipt root of the block sealed this round.
+    pub receipt_root: Hash256,
+}
+
+impl SealedBlock {
+    /// Approximate wire size, for link-delay modeling.
+    pub fn wire_bytes(&self) -> u64 {
+        128 + self.ops.len() as u64 * 80
+    }
+}
+
+/// Every message of the node protocol.
+#[derive(Debug, Clone)]
+pub enum NodeMsg {
+    /// Client → proposer: submit a transaction. `key` is the client's
+    /// retransmit key, echoed in the ack.
+    SubmitTx {
+        /// Sender-chosen retransmit key.
+        key: u64,
+        /// The transaction.
+        tx: Tx,
+    },
+    /// Proposer → client: the submission was received (admitted *or*
+    /// rejected — the ack only stops the client's retransmit timer).
+    TxAck {
+        /// The submission's key.
+        key: u64,
+    },
+    /// Proposer → follower: a sealed block.
+    Block(SealedBlock),
+    /// Follower → proposer: block received (possibly a duplicate).
+    BlockAck {
+        /// The acknowledged round.
+        round: u64,
+    },
+    /// Cold-start follower → proposer: send me your state.
+    JoinRequest,
+    /// Proposer → joiner: durable snapshot bytes, the checkpoint they
+    /// commit to, the post-checkpoint op-log suffix, and the round the
+    /// suffix runs through.
+    SnapshotReply {
+        /// `Engine::snapshot_save` bytes at the checkpoint.
+        snapshot: Vec<u8>,
+        /// The checkpoint the snapshot was taken at.
+        checkpoint: Checkpoint,
+        /// Ops applied after the checkpoint, through `round`.
+        suffix: Vec<OpRecord>,
+        /// Last round covered by snapshot + suffix.
+        round: u64,
+    },
+}
+
+/// Follower execution path for sealed blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// One `Engine::apply` per op — the canonical verifier path.
+    OpByOp,
+    /// One `Engine::apply_batch` per block — must agree bit-for-bit
+    /// (asserted by the node tests; DESIGN.md §10–11).
+    Batch,
+}
+
+/// What the proposer did, readable after a run (the world owns the boxed
+/// nodes, so results surface through shared handles).
+#[derive(Debug, Default)]
+pub struct ProposerReport {
+    /// `(round, state_root, head_hash)` per produced block.
+    pub roots: Vec<(u64, Hash256, Hash256)>,
+    /// Ops committed across all rounds (mempool selections plus barriers).
+    pub ops_committed: u64,
+    /// Ops whose commit failed (still logged and replayed; their receipts
+    /// commit the failure).
+    pub ops_failed: u64,
+    /// Checkpoint→snapshot→truncate maintenance runs.
+    pub snapshots_taken: u64,
+    /// Join requests answered with a snapshot.
+    pub joins_served: u64,
+    /// Block retransmissions that exhausted their budget.
+    pub blocks_given_up: u64,
+    /// The proposer's state root after its last round.
+    pub final_state_root: Option<Hash256>,
+    /// The proposer's op log after its last round. Complete history only
+    /// when no checkpoint was ever taken (`checkpoint_every` 0 **and** no
+    /// join request — serving a joiner snapshots on demand, which
+    /// truncates); the post-checkpoint suffix otherwise (check
+    /// [`ProposerReport::snapshots_taken`]).
+    pub final_op_log: Vec<OpRecord>,
+    /// The mempool's admission/selection counters after the last round.
+    pub final_mempool: Option<crate::mempool::MempoolStats>,
+}
+
+/// The block producer: owns the consensus engine and the mempool.
+pub struct Proposer {
+    engine: Engine,
+    mempool: Mempool,
+    followers: Vec<NodeIdx>,
+    retx: Retransmitter<NodeMsg>,
+    round: u64,
+    rounds_total: u64,
+    /// Rounds between checkpoint→snapshot→truncate maintenance runs
+    /// (0 disables the timer; a join request then snapshots on demand).
+    checkpoint_every: u64,
+    /// Latest durable snapshot and its checkpoint.
+    snapshot: Option<(Vec<u8>, Checkpoint)>,
+    report: Rc<RefCell<ProposerReport>>,
+}
+
+impl Proposer {
+    /// A proposer over `engine`, broadcasting to `followers`, producing
+    /// `rounds_total` blocks, checkpointing every `checkpoint_every`
+    /// rounds. `report` receives the per-round commitments.
+    pub fn new(
+        engine: Engine,
+        mempool: Mempool,
+        followers: Vec<NodeIdx>,
+        rounds_total: u64,
+        checkpoint_every: u64,
+        report: Rc<RefCell<ProposerReport>>,
+    ) -> Self {
+        let interval = engine.params().block_interval;
+        Proposer {
+            engine,
+            mempool,
+            followers,
+            // Retry fast relative to the round length; give up only after
+            // a generous budget (a permanently lost block stalls replay).
+            retx: Retransmitter::new(interval.max(2), 24, RETX_TAG_BASE),
+            round: 0,
+            rounds_total,
+            checkpoint_every,
+            snapshot: None,
+            report,
+        }
+    }
+
+    /// The engine, for post-run inspection.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn produce_block(&mut self, ctx: &mut Ctx<'_, NodeMsg>) {
+        self.round += 1;
+        let target = self.round * self.engine.params().block_interval;
+        let (txs, _gas) = self.mempool.select_block();
+        let mut ops: Vec<Op> = txs.into_iter().map(|tx| tx.op).collect();
+        ops.push(Op::AdvanceTo { target });
+        let results = self.engine.apply_batch(ops.clone());
+        let failed = results.iter().filter(|r| r.is_err()).count() as u64;
+        let block = SealedBlock {
+            round: self.round,
+            ops,
+            state_root: self.engine.state_root(),
+            head_hash: self.engine.chain().head_hash(),
+            receipt_root: self
+                .engine
+                .chain()
+                .blocks()
+                .last()
+                .expect("round sealed a block")
+                .receipt_root,
+        };
+        {
+            let mut report = self.report.borrow_mut();
+            report.ops_committed += block.ops.len() as u64;
+            report.ops_failed += failed;
+            report
+                .roots
+                .push((self.round, block.state_root, block.head_hash));
+        }
+        let bytes = block.wire_bytes();
+        for &f in &self.followers.clone() {
+            self.retx.send(
+                ctx,
+                f,
+                block_key(f, self.round),
+                NodeMsg::Block(block.clone()),
+                bytes,
+            );
+        }
+        // Maintenance: checkpoint (truncating the op log) and save a
+        // durable snapshot for mid-run joiners.
+        if self.checkpoint_every > 0 && self.round.is_multiple_of(self.checkpoint_every) {
+            self.take_snapshot();
+        }
+        if self.round < self.rounds_total {
+            ctx.set_timer(self.engine.params().block_interval, TAG_ROUND);
+        } else {
+            let mut report = self.report.borrow_mut();
+            report.final_state_root = Some(self.engine.state_root());
+            report.final_op_log = self.engine.op_log().to_vec();
+            report.final_mempool = Some(self.mempool.stats().clone());
+        }
+    }
+
+    fn take_snapshot(&mut self) {
+        let checkpoint = self.engine.checkpoint();
+        let bytes = self.engine.snapshot_save();
+        self.snapshot = Some((bytes, checkpoint));
+        self.report.borrow_mut().snapshots_taken += 1;
+    }
+}
+
+impl Process<NodeMsg> for Proposer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NodeMsg>) {
+        if self.rounds_total > 0 {
+            ctx.set_timer(self.engine.params().block_interval, TAG_ROUND);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NodeMsg>, from: NodeIdx, msg: NodeMsg) {
+        match msg {
+            NodeMsg::SubmitTx { key, tx } => {
+                // Admission result is node-local; the ack only confirms
+                // receipt so the client stops retransmitting.
+                let _ = self.mempool.admit(tx, self.engine.ledger());
+                ctx.send(from, NodeMsg::TxAck { key }, 24);
+            }
+            NodeMsg::BlockAck { round } => {
+                self.retx.ack(block_key(from, round));
+            }
+            NodeMsg::JoinRequest => {
+                if self.snapshot.is_none() {
+                    // No maintenance snapshot yet: take one on demand.
+                    self.take_snapshot();
+                }
+                let (snapshot, checkpoint) = self.snapshot.clone().expect("snapshot present");
+                let suffix = self.engine.op_log().to_vec();
+                let reply = NodeMsg::SnapshotReply {
+                    snapshot: snapshot.clone(),
+                    checkpoint,
+                    suffix,
+                    round: self.round,
+                };
+                let bytes = snapshot.len() as u64 + 128;
+                ctx.send(from, reply, bytes);
+                self.report.borrow_mut().joins_served += 1;
+                // Future blocks flow to the joiner like to any follower.
+                if !self.followers.contains(&from) {
+                    self.followers.push(from);
+                }
+            }
+            NodeMsg::Block(_) | NodeMsg::TxAck { .. } | NodeMsg::SnapshotReply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, NodeMsg>, tag: u64) {
+        if tag == TAG_ROUND {
+            self.produce_block(ctx);
+            return;
+        }
+        if let Some(RetryEvent::Exhausted { .. }) = self.retx.handle_timer(ctx, tag) {
+            self.report.borrow_mut().blocks_given_up += 1;
+        }
+    }
+}
+
+/// A follower's verification record, readable after a run.
+#[derive(Debug, Default)]
+pub struct FollowerReport {
+    /// Rounds applied and verified against the proposer's commitments.
+    pub verified_rounds: u64,
+    /// Rounds whose state root / head hash / receipt root mismatched.
+    pub mismatched_rounds: Vec<u64>,
+    /// Duplicate block deliveries dropped (retransmits whose ack lost).
+    pub duplicates: u64,
+    /// For a cold-start joiner: the round its snapshot+suffix sync covered
+    /// (verification starts at the next round).
+    pub joined_at_round: Option<u64>,
+    /// Final engine state root after the run.
+    pub final_state_root: Option<Hash256>,
+    /// Final chain head after the run.
+    pub final_head_hash: Option<Hash256>,
+}
+
+/// How a [`Follower`] comes to life.
+pub enum FollowerStart {
+    /// Online from genesis with its own copy of the genesis engine.
+    Genesis(Box<Engine>),
+    /// Offline until `wake_at`, then syncs from the proposer's snapshot.
+    ColdJoin {
+        /// Virtual time at which the node boots and requests state.
+        wake_at: SimTime,
+    },
+}
+
+/// A replaying verifier node.
+pub struct Follower {
+    engine: Option<Engine>,
+    mode: ReplayMode,
+    proposer: NodeIdx,
+    next_round: u64,
+    buffer: BTreeMap<u64, SealedBlock>,
+    start: Option<FollowerStart>,
+    syncing: bool,
+    join_retry: SimTime,
+    report: Rc<RefCell<FollowerReport>>,
+}
+
+impl Follower {
+    /// A follower verifying against `proposer`, replaying in `mode`.
+    pub fn new(
+        start: FollowerStart,
+        mode: ReplayMode,
+        proposer: NodeIdx,
+        report: Rc<RefCell<FollowerReport>>,
+    ) -> Self {
+        Follower {
+            engine: None,
+            mode,
+            proposer,
+            next_round: 1,
+            buffer: BTreeMap::new(),
+            start: Some(start),
+            syncing: false,
+            join_retry: 20,
+            report,
+        }
+    }
+
+    /// The follower's engine (absent until a cold-start node has synced).
+    pub fn engine(&self) -> Option<&Engine> {
+        self.engine.as_ref()
+    }
+
+    fn apply_ready(&mut self) {
+        let Some(engine) = self.engine.as_mut() else {
+            return;
+        };
+        while let Some(block) = self.buffer.remove(&self.next_round) {
+            match self.mode {
+                ReplayMode::OpByOp => {
+                    for op in block.ops.iter().cloned() {
+                        // Failed ops are part of history (they burn gas and
+                        // carry failure receipts); outcomes are verified in
+                        // aggregate through the roots below.
+                        let _ = engine.apply(op);
+                    }
+                }
+                ReplayMode::Batch => {
+                    let _ = engine.apply_batch(block.ops.clone());
+                }
+            }
+            let sealed_receipt_root = engine
+                .chain()
+                .blocks()
+                .last()
+                .map(|b| b.receipt_root)
+                .unwrap_or(Hash256::ZERO);
+            let ok = engine.state_root() == block.state_root
+                && engine.chain().head_hash() == block.head_hash
+                && sealed_receipt_root == block.receipt_root;
+            let mut report = self.report.borrow_mut();
+            if ok {
+                report.verified_rounds += 1;
+            } else {
+                report.mismatched_rounds.push(block.round);
+            }
+            report.final_state_root = Some(engine.state_root());
+            report.final_head_hash = Some(engine.chain().head_hash());
+            self.next_round += 1;
+        }
+    }
+}
+
+impl Process<NodeMsg> for Follower {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NodeMsg>) {
+        match self.start.take().expect("started once") {
+            FollowerStart::Genesis(engine) => self.engine = Some(*engine),
+            FollowerStart::ColdJoin { wake_at } => {
+                ctx.set_timer(wake_at.max(1), TAG_WAKE);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NodeMsg>, from: NodeIdx, msg: NodeMsg) {
+        match msg {
+            NodeMsg::Block(block) => {
+                ctx.send(self.proposer, NodeMsg::BlockAck { round: block.round }, 24);
+                if block.round < self.next_round || self.buffer.contains_key(&block.round) {
+                    self.report.borrow_mut().duplicates += 1;
+                    return;
+                }
+                self.buffer.insert(block.round, block);
+                self.apply_ready();
+            }
+            NodeMsg::SnapshotReply {
+                snapshot,
+                checkpoint,
+                suffix,
+                round,
+            } => {
+                if self.engine.is_some() || !self.syncing {
+                    return; // duplicate reply, or not a joiner
+                }
+                let _ = from;
+                let restored =
+                    Engine::snapshot_restore(&snapshot).expect("proposer snapshot restores");
+                let engine = Engine::replay_from(&restored, &checkpoint, &suffix)
+                    .expect("suffix replays onto the snapshot");
+                self.engine = Some(engine);
+                self.syncing = false;
+                self.next_round = round + 1;
+                // Anything buffered at or below the sync point is covered
+                // by the snapshot.
+                self.buffer.retain(|&r, _| r > round);
+                self.report.borrow_mut().joined_at_round = Some(round);
+                self.apply_ready();
+            }
+            NodeMsg::SubmitTx { .. }
+            | NodeMsg::TxAck { .. }
+            | NodeMsg::BlockAck { .. }
+            | NodeMsg::JoinRequest => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, NodeMsg>, tag: u64) {
+        if (tag == TAG_WAKE || tag == TAG_JOIN_RETRY) && self.engine.is_none() {
+            // Request (or re-request) state until a snapshot lands; the
+            // request itself can be lost, so keep a plain retry timer.
+            self.syncing = true;
+            ctx.send(self.proposer, NodeMsg::JoinRequest, 24);
+            ctx.set_timer(self.join_retry, TAG_JOIN_RETRY);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! End-to-end node-pipeline tests: mempool → proposer → `apply_batch` →
+//! sealed blocks over a lossy, jittery `fi-net` world → follower replay.
+//!
+//! The acceptance bar this file carries: ≥3 followers stay bit-identical
+//! to the proposer (`state_root`, head hash and receipt root per height)
+//! across ≥200 blocks under nonzero loss and jitter, and a follower that
+//! cold-starts mid-run from `snapshot_save` bytes plus the op-log suffix
+//! converges to the same root.
+//!
+//! `FI_NODE_TEST_SEED` (CI's loss/jitter seed matrix) offsets every world
+//! seed, so each CI cell exercises a different loss/reorder pattern.
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_chain::gas::GasSchedule;
+use fi_core::engine::Engine;
+use fi_core::ops::Op;
+use fi_core::params::ProtocolParams;
+use fi_net::link::LinkModel;
+use fi_node::{genesis_engine, run_cluster, AdmitError, ClusterConfig, Mempool, ReplayMode, Tx};
+
+/// Base seed, offset by the CI matrix's `FI_NODE_TEST_SEED`.
+fn seed(base: u64) -> u64 {
+    let offset = std::env::var("FI_NODE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    base + 1_000 * offset
+}
+
+/// A lossy, jittery link fast enough that blocks land within a round or
+/// two (confirm windows stay satisfiable while reordering still happens).
+fn chaos_link(loss: f64) -> LinkModel {
+    LinkModel {
+        base_latency: 5,
+        ticks_per_byte: 0.001,
+        max_jitter: 8,
+        loss,
+    }
+}
+
+fn chaos_cluster(base_seed: u64, rounds: u64, loss: f64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::small(seed(base_seed), rounds);
+    // Generous transfer windows: the client's replica view lags the chain
+    // by network latency, so confirms land several rounds after the add.
+    cfg.params.delay_per_size = 25;
+    cfg.link = chaos_link(loss);
+    // One pipelined-replay follower among the op-by-op ones: both paths
+    // must verify the same blocks (DESIGN.md §10–11).
+    cfg.followers = vec![ReplayMode::OpByOp, ReplayMode::Batch, ReplayMode::OpByOp];
+    cfg
+}
+
+#[test]
+fn three_followers_stay_bit_identical_across_200_blocks_under_loss() {
+    let rounds = 220;
+    let cfg = chaos_cluster(0xB10C, rounds, 0.12);
+    let (world, reports) = run_cluster(&cfg);
+
+    let proposer = reports.proposer.borrow();
+    assert_eq!(
+        proposer.roots.len(),
+        rounds as usize,
+        "proposer produced every round"
+    );
+    assert!(
+        proposer.ops_committed > rounds,
+        "blocks actually carried mempool traffic: {} ops",
+        proposer.ops_committed
+    );
+    assert!(
+        world.messages_lost() > 0,
+        "the link actually dropped messages"
+    );
+
+    let final_root = proposer.final_state_root.expect("proposer finished");
+    assert_eq!(reports.followers.len(), 3);
+    for (i, report) in reports.followers.iter().enumerate() {
+        let report = report.borrow();
+        assert_eq!(
+            report.mismatched_rounds,
+            Vec::<u64>::new(),
+            "follower {i} diverged"
+        );
+        assert_eq!(
+            report.verified_rounds, rounds,
+            "follower {i} verified every height"
+        );
+        assert_eq!(
+            report.final_state_root,
+            Some(final_root),
+            "follower {i} ends on the proposer's root"
+        );
+    }
+}
+
+#[test]
+fn follower_replay_modes_agree_per_height() {
+    // Same cluster, one Batch follower vs two OpByOp: their per-height
+    // verification against the proposer transitively proves
+    // apply-vs-apply_batch equality on every sealed block.
+    let cfg = chaos_cluster(0xA11B, 60, 0.2);
+    let (_world, reports) = run_cluster(&cfg);
+    for report in &reports.followers {
+        let report = report.borrow();
+        assert_eq!(report.verified_rounds, 60);
+        assert!(report.mismatched_rounds.is_empty());
+    }
+    // Heavy loss forces retransmits; duplicates must have been dropped,
+    // not re-applied (re-application would have shown up as mismatches).
+    let dupes: u64 = reports
+        .followers
+        .iter()
+        .map(|r| r.borrow().duplicates)
+        .sum();
+    assert!(dupes > 0, "20% loss produced at least one retransmit dup");
+}
+
+#[test]
+fn cold_start_follower_converges_from_snapshot_plus_suffix() {
+    let rounds = 200;
+    let mut cfg = chaos_cluster(0x1013, rounds, 0.1);
+    cfg.cold_join_at = Some(rounds / 2 * cfg.params.block_interval);
+    let (_world, reports) = run_cluster(&cfg);
+
+    let proposer = reports.proposer.borrow();
+    assert!(
+        proposer.snapshots_taken > 0,
+        "the checkpoint→snapshot→truncate timer ran"
+    );
+    assert!(proposer.joins_served >= 1, "the joiner was served");
+
+    let joiner = reports.joiner.as_ref().expect("joiner configured");
+    let joiner = joiner.borrow();
+    let joined_at = joiner.joined_at_round.expect("joiner synced");
+    assert!(
+        joined_at >= 1 && joined_at < rounds,
+        "joined mid-run at round {joined_at}"
+    );
+    assert!(
+        joiner.verified_rounds >= rounds - joined_at - 5,
+        "joiner verified (nearly) every post-join height: {} of {}",
+        joiner.verified_rounds,
+        rounds - joined_at
+    );
+    assert_eq!(
+        joiner.mismatched_rounds,
+        Vec::<u64>::new(),
+        "joiner never diverged"
+    );
+    assert_eq!(
+        joiner.final_state_root, proposer.final_state_root,
+        "joiner converged to the proposer's final root"
+    );
+}
+
+#[test]
+fn same_seed_runs_reproduce_identical_consensus() {
+    let run = || {
+        let cfg = chaos_cluster(0xDE7, 50, 0.15);
+        let (_world, reports) = run_cluster(&cfg);
+        let proposer = reports.proposer.borrow();
+        (proposer.roots.clone(), proposer.ops_committed)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_change_history_but_not_safety() {
+    let run = |base: u64| {
+        let cfg = chaos_cluster(base, 50, 0.15);
+        let (_world, reports) = run_cluster(&cfg);
+        for report in &reports.followers {
+            assert!(report.borrow().mismatched_rounds.is_empty());
+        }
+        let p = reports.proposer.borrow();
+        p.roots.clone()
+    };
+    let a = run(0x5EED_0001);
+    let b = run(0x5EED_0002);
+    // Different loss/fee randomness produces different histories…
+    assert_ne!(a, b, "independent seeds diverge in history");
+    // …while every follower verified its own proposer above.
+}
+
+// ----------------------------------------------------------------------
+// Mempool ↔ engine edge cases (the admission-vs-commit satellite).
+// ----------------------------------------------------------------------
+
+const PROVIDER: AccountId = AccountId(50);
+const SPENDER: AccountId = AccountId(60);
+
+/// An engine + mempool pair in the parallel-ingest configuration, with a
+/// provider sector and a funded spender holding `n` live files.
+fn ingest_fixture(n: u64) -> (Engine, Mempool, Vec<fi_core::types::FileId>) {
+    let params = ProtocolParams {
+        k: 1,
+        shards: 8,
+        ingest_threads: 4,
+        ..ProtocolParams::default()
+    };
+    let mut engine = Engine::new(params.clone()).expect("valid params");
+    engine.fund(PROVIDER, TokenAmount(1_000_000_000));
+    engine.fund(SPENDER, TokenAmount(1_000_000_000));
+    let capacity = (2 * n).div_ceil(64).max(1) * 64;
+    engine.sector_register(PROVIDER, capacity).expect("sector");
+    let mut files = Vec::new();
+    for i in 0..n {
+        let file = engine
+            .file_add(
+                SPENDER,
+                1,
+                params.min_value,
+                fi_crypto::sha256(format!("edge-{i}").as_bytes()),
+            )
+            .expect("file added");
+        for (idx, s) in engine.pending_confirms(file) {
+            engine
+                .file_confirm(PROVIDER, file, idx, s)
+                .expect("confirm");
+        }
+        files.push(file);
+    }
+    engine.advance_to(engine.now() + 2);
+    assert_eq!(engine.file_ids().len() as u64, n);
+    let mempool = Mempool::new(params, GasSchedule::default());
+    (engine, mempool, files)
+}
+
+#[test]
+fn mid_block_insolvency_falls_back_like_sequential_apply() {
+    let (engine, mut mempool, files) = ingest_fixture(100);
+
+    // 100 gas-charged File_Get reads pass admission against the current
+    // balance…
+    for (nonce, &file) in files.iter().enumerate() {
+        mempool
+            .admit(
+                Tx {
+                    from: SPENDER,
+                    nonce: nonce as u64,
+                    fee: TokenAmount(1),
+                    op: Op::FileGet {
+                        caller: SPENDER,
+                        file,
+                    },
+                },
+                engine.ledger(),
+            )
+            .expect("admission against the funded balance");
+    }
+
+    // …then the account is drained on-chain before the block commits:
+    // admission was a snapshot-in-time heuristic, commit is authoritative.
+    let mut proposer_engine = engine.clone();
+    proposer_engine.burn_for_test(SPENDER, proposer_engine.ledger().balance(SPENDER));
+
+    let (txs, _gas) = mempool.select_block();
+    assert_eq!(txs.len(), 100);
+    let mut ops: Vec<Op> = txs.into_iter().map(|tx| tx.op).collect();
+    ops.push(Op::AdvanceTo {
+        target: proposer_engine.now() + proposer_engine.params().block_interval,
+    });
+
+    // The staged parallel ingest (≥64-op shard-local segment at 8 shards /
+    // 4 threads) must fall back exactly like the sequential path.
+    let mut sequential = proposer_engine.clone();
+    for op in ops.clone() {
+        let _ = sequential.apply(op);
+    }
+    let results = proposer_engine.apply_batch(ops);
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(failed, 100, "every drained read failed at commit");
+    assert_eq!(proposer_engine.state_root(), sequential.state_root());
+    assert_eq!(
+        proposer_engine.chain().head_hash(),
+        sequential.chain().head_hash()
+    );
+    assert_eq!(proposer_engine.op_log(), sequential.op_log());
+}
+
+#[test]
+fn insolvency_at_admission_rejects_what_commit_would_reject() {
+    let (mut engine, mut mempool, files) = ingest_fixture(1);
+    let file = files[0];
+    engine.burn_for_test(SPENDER, engine.ledger().balance(SPENDER));
+    // Now the same submission is refused up front.
+    let err = mempool
+        .admit(
+            Tx {
+                from: SPENDER,
+                nonce: 0,
+                fee: TokenAmount(1),
+                op: Op::FileGet {
+                    caller: SPENDER,
+                    file,
+                },
+            },
+            engine.ledger(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, AdmitError::InsufficientFunds { .. }));
+    assert_eq!(mempool.stats().rejected_funds, 1);
+}
+
+#[test]
+fn duplicate_op_rejected_in_pool_but_committed_duplicate_fails_on_chain() {
+    let (mut engine, mut mempool, _files) = ingest_fixture(1);
+    // A fresh add so there is a pending confirm to duplicate.
+    let file = engine
+        .file_add(
+            SPENDER,
+            1,
+            engine.params().min_value,
+            fi_crypto::sha256(b"dup"),
+        )
+        .expect("added");
+    let (index, sector) = engine.pending_confirms(file)[0];
+    let confirm = Op::FileConfirm {
+        caller: PROVIDER,
+        file,
+        index,
+        sector,
+    };
+    let tx = |nonce| Tx {
+        from: PROVIDER,
+        nonce,
+        fee: TokenAmount(1),
+        op: confirm.clone(),
+    };
+    mempool.admit(tx(0), engine.ledger()).expect("first admit");
+    // While queued, the identical op is a pool-level duplicate.
+    assert_eq!(
+        mempool.admit(tx(1), engine.ledger()),
+        Err(AdmitError::DuplicateOp)
+    );
+    let (txs, _) = mempool.select_block();
+    assert_eq!(txs.len(), 1);
+    assert!(engine.apply(txs[0].op.clone()).is_ok());
+    // Once committed the pool no longer knows it: the duplicate admits
+    // (under a fresh nonce — the rejected submission burned nonce 1) —
+    // and fails at commit like any stale request, burning its gas.
+    mempool.admit(tx(2), engine.ledger()).expect("re-admitted");
+    let (txs, _) = mempool.select_block();
+    let result = engine.apply(txs[0].op.clone());
+    assert!(result.is_err(), "double confirm rejected by the engine");
+    assert!(!engine.op_log().last().expect("logged").ok);
+}
+
+#[test]
+fn replaying_the_proposer_log_reproduces_the_networked_run() {
+    // The whole networked run is just an op sequence: replaying the
+    // proposer's log (genesis included; `checkpoint_every = 0` keeps it
+    // complete) on a fresh engine reproduces the final consensus state.
+    let mut cfg = chaos_cluster(0x4EB1A4, 40, 0.1);
+    cfg.checkpoint_every = 0; // keep the full log
+    let (_world, reports) = run_cluster(&cfg);
+    let proposer = reports.proposer.borrow();
+    assert_eq!(
+        proposer.snapshots_taken, 0,
+        "no checkpoint truncated the log (none timed, no joiner served)"
+    );
+    let final_root = proposer.final_state_root.expect("finished");
+    let replayed =
+        Engine::replay(cfg.params.clone(), &proposer.final_op_log).expect("params valid");
+    assert_eq!(replayed.state_root(), final_root);
+    // And an independently rebuilt genesis is the same starting point the
+    // whole cluster shared.
+    let (genesis, _) = genesis_engine(&cfg.params, &cfg.providers, cfg.client);
+    assert_eq!(
+        genesis.state_root(),
+        Engine::replay(
+            cfg.params.clone(),
+            &proposer.final_op_log[..genesis.op_log().len()]
+        )
+        .expect("params valid")
+        .state_root()
+    );
+}

@@ -25,6 +25,47 @@ use fi_core::params::ProtocolParams;
 use fi_core::types::{FileId, SectorId};
 use fi_crypto::{sha256, DetRng};
 
+/// Every `(file, index, sector)` replica transfer currently awaiting its
+/// provider's `File_Confirm`, across all live files in id order.
+///
+/// This is the read-only sweep view [`Scenario`] drives its confirm
+/// batches from; the node layer's client drivers compute the same view
+/// over their replayed follower engines to decide which confirm
+/// transactions to submit.
+pub fn pending_confirm_candidates(engine: &Engine) -> Vec<(FileId, u32, SectorId)> {
+    engine
+        .file_ids()
+        .into_iter()
+        .flat_map(|f| {
+            engine
+                .pending_confirms(f)
+                .into_iter()
+                .map(move |(i, s)| (f, i, s))
+        })
+        .collect()
+}
+
+/// Every `(file, index, sector)` replica currently held by a sector (i.e.
+/// provable this cycle), across all live files in id order.
+///
+/// The proof-sweep counterpart of [`pending_confirm_candidates`]: callers
+/// filter by provider behaviour (skip lazy/dark providers) and wrap the
+/// survivors into `File_Prove` ops.
+pub fn held_replica_candidates(engine: &Engine) -> Vec<(FileId, u32, SectorId)> {
+    engine
+        .file_ids()
+        .into_iter()
+        .flat_map(|f| {
+            let cp = engine.file(f).map(|d| d.cp).unwrap_or(0);
+            (0..cp).map(move |i| (f, i))
+        })
+        .filter_map(|(f, i)| {
+            let e = engine.alloc_entry(f, i)?;
+            Some((f, i, e.prev?))
+        })
+        .collect()
+}
+
 /// How a provider behaves over time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProviderBehavior {
@@ -127,16 +168,8 @@ impl Scenario {
         // through the pipelined ingest path — `File_Confirm` is
         // shard-local, so a big sweep stages across shards concurrently
         // while staying bit-identical to one-by-one application.
-        let confirms: Vec<Op> = self
-            .engine
-            .file_ids()
+        let confirms: Vec<Op> = pending_confirm_candidates(&self.engine)
             .into_iter()
-            .flat_map(|f| {
-                self.engine
-                    .pending_confirms(f)
-                    .into_iter()
-                    .map(move |(i, s)| (f, i, s))
-            })
             .filter_map(|(f, i, s)| {
                 let (spec, _) = self.providers.iter().find(|(_, ids)| ids.contains(&s))?;
                 if self.is_dark(spec.behavior, now) {
@@ -152,21 +185,14 @@ impl Scenario {
             .collect();
         self.engine.apply_batch(confirms);
         // Proofs — likewise one shard-local batch.
-        let held: Vec<(FileId, u32, SectorId, AccountId, ProviderBehavior)> = self
-            .engine
-            .file_ids()
-            .into_iter()
-            .flat_map(|f| {
-                let cp = self.engine.file(f).map(|d| d.cp).unwrap_or(0);
-                (0..cp).map(move |i| (f, i))
-            })
-            .filter_map(|(f, i)| {
-                let e = self.engine.alloc_entry(f, i)?;
-                let s = e.prev?;
-                let (spec, _) = self.providers.iter().find(|(_, ids)| ids.contains(&s))?;
-                Some((f, i, s, spec.account, spec.behavior))
-            })
-            .collect();
+        let held: Vec<(FileId, u32, SectorId, AccountId, ProviderBehavior)> =
+            held_replica_candidates(&self.engine)
+                .into_iter()
+                .filter_map(|(f, i, s)| {
+                    let (spec, _) = self.providers.iter().find(|(_, ids)| ids.contains(&s))?;
+                    Some((f, i, s, spec.account, spec.behavior))
+                })
+                .collect();
         let mut proofs = Vec::with_capacity(held.len());
         for (f, i, s, account, behavior) in held {
             if self.is_dark(behavior, now) {

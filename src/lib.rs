@@ -12,6 +12,7 @@
 //! | [`fi_erasure`] | GF(2^8) + Reed–Solomon erasure codes |
 //! | [`fi_ipfs`] | content-addressed store, Merkle DAG, Kademlia DHT, BitSwap |
 //! | [`fi_net`] | discrete-event network simulator |
+//! | [`fi_node`] | networked block production: mempool, proposer, follower replay |
 //! | [`fi_baselines`] | Filecoin / Storj / Sia / Arweave comparison models |
 //! | [`fi_analysis`] | Theorems 1–4 bounds, probability helpers, statistics |
 //! | [`fi_sim`] | experiment harness for every paper table & figure |
@@ -47,6 +48,7 @@ pub use fi_crypto as crypto;
 pub use fi_erasure as erasure;
 pub use fi_ipfs as ipfs;
 pub use fi_net as net;
+pub use fi_node as node;
 pub use fi_porep as porep;
 pub use fi_sim as sim;
 
