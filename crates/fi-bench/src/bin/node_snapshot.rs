@@ -1,30 +1,36 @@
 //! Writes a `BENCH_node.json` end-to-end node-pipeline snapshot: whole
-//! simulated clusters (mempool → proposer → `apply_batch` → sealed blocks
-//! over a lossy `fi-net` link → follower replay) measured wall-clock, plus
-//! mempool admission/selection throughput and follower catch-up time from
-//! a durable snapshot.
+//! simulated clusters (mempool → beacon-rotated proposers →
+//! `apply_batch` → sealed blocks over a lossy `fi-net` link →
+//! fork-choice adoption) measured wall-clock, plus mempool
+//! admission/selection throughput, follower catch-up time from a durable
+//! snapshot, and the chaos scenario's recovery latencies.
 //!
 //! Usage: `cargo run --release -p fi-bench --bin node_snapshot [out.json]`
 //!
-//! Three sections:
+//! Four sections:
 //!
-//! * **node** — one full cluster run (proposer, 3 verifying followers, a
-//!   chain-watching workload driver, 10% message loss) per
-//!   `(shards, ingest_threads)` configuration in the {1,8} × {1,4} cross.
-//!   Blocks/s and ops/s are end-to-end: they include mempool selection,
-//!   the engine commit, link simulation and every follower's replay. The
-//!   two knobs are performance-only, so all four configurations must
-//!   produce **bit-identical consensus** — same per-round state roots —
-//!   and every follower must verify every height; both are asserted, which
-//!   makes this bench the node-level instance of the DESIGN.md §9–10
-//!   invariance argument (and the reason the snapshot is CI-gated).
+//! * **node** — one full rotating-validator cluster run (3 validators on
+//!   mixed replay modes, a chain-watching workload driver, 10% message
+//!   loss + jitter) per `(shards, ingest_threads)` configuration in the
+//!   {1,8} × {1,4} cross. Blocks/s are end-to-end: mempool selection,
+//!   engine commit, link simulation and every replica's verification.
+//!   The two knobs are performance-only, so all four configurations must
+//!   produce **bit-identical consensus** — the same final chain of
+//!   `(height, block hash)` — which is asserted, making this bench the
+//!   node-level instance of the DESIGN.md §9–10 invariance argument.
 //! * **mempool** — admission throughput (100k transactions across 64
 //!   accounts into one pool) and fee-ordered, gas-bounded selection
 //!   throughput draining that pool block by block.
-//! * **catchup** — a cold-starting follower's sync cost: restore a
-//!   checkpointed engine from `snapshot_save` bytes and `replay_from` the
-//!   post-checkpoint op-log suffix; the time to a bit-identical root is
-//!   what a mid-run joiner pays before it can verify live blocks.
+//! * **catchup** — a cold-starting replica's sync cost: restore a
+//!   checkpointed engine from `snapshot_save` bytes and `replay_from`
+//!   the post-checkpoint op-log suffix to a bit-identical root.
+//! * **faults** — the §V chaos scenario (`fi_node::chaos::run_chaos`):
+//!   5 validators under 12% loss, the scheduled leader crashed every
+//!   `FI_CHAOS_CRASH_EVERY` slots, one partition/heal cycle, lazy
+//!   providers and mass sector failure/corruption/repair injections.
+//!   Records heights-to-reconvergence after every crash and after the
+//!   heal; convergence and finite recovery are asserted, so the snapshot
+//!   CI gate fails if recovery regresses into `null`s.
 
 use std::time::Instant;
 
@@ -35,11 +41,14 @@ use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
 use fi_crypto::sha256;
 use fi_net::link::LinkModel;
-use fi_node::{run_cluster, ClusterConfig, Mempool, ReplayMode, Tx, WorkloadConfig};
+use fi_node::{run_chaos, run_cluster, ClusterConfig, Mempool, Tx, WorkloadConfig};
+use fi_sim::robustness::NetworkRobustnessSpec;
 
-/// Rounds per measured cluster run (≥200: the multi-node determinism bar).
-const ROUNDS: u64 = 240;
-/// The `(shards, ingest_threads)` cross; the last entry is the gated row.
+/// Slots per measured cluster run (≥200: the multi-node determinism bar).
+const SLOTS: u64 = 240;
+/// Slots of the chaos scenario (matches the acceptance test).
+const FAULT_SLOTS: u64 = 120;
+/// The `(shards, ingest_threads)` cross; all rows must agree bit-for-bit.
 const NODE_CONFIGS: [(usize, usize); 4] = [(1, 1), (1, 4), (8, 1), (8, 4)];
 /// Transactions for the mempool throughput section.
 const MEMPOOL_TXS: u64 = 100_000;
@@ -50,10 +59,17 @@ struct NodeRun {
     shards: usize,
     threads: usize,
     wall_s: f64,
-    blocks: u64,
-    ops: u64,
-    mempool_admitted: u64,
-    roots: Vec<(u64, fi_crypto::Hash256, fi_crypto::Hash256)>,
+    height: u64,
+    txs_submitted: u64,
+    blocks_proposed: Vec<u64>,
+    chain: Vec<(u64, fi_crypto::Hash256)>,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default)
 }
 
 /// World seed: a fixed base offset by `FI_NODE_TEST_SEED` (the node-sim
@@ -61,15 +77,11 @@ struct NodeRun {
 /// cluster under a different loss/jitter/reorder pattern. The committed
 /// snapshot is generated with the variable unset (offset 0).
 fn world_seed() -> u64 {
-    let offset = std::env::var("FI_NODE_TEST_SEED")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(0);
-    0xBE9C4 + 1_000 * offset
+    0xBE9C4 + 1_000 * env_u64("FI_NODE_TEST_SEED", 0)
 }
 
 fn cluster_config(shards: usize, threads: usize) -> ClusterConfig {
-    let mut cfg = ClusterConfig::small(world_seed(), ROUNDS);
+    let mut cfg = ClusterConfig::small(world_seed(), SLOTS);
     cfg.params.shards = shards;
     cfg.params.ingest_threads = threads;
     cfg.params.delay_per_size = 25;
@@ -79,14 +91,14 @@ fn cluster_config(shards: usize, threads: usize) -> ClusterConfig {
         max_jitter: 8,
         loss: 0.1,
     };
-    cfg.followers = vec![ReplayMode::OpByOp, ReplayMode::Batch, ReplayMode::OpByOp];
     cfg.workload = WorkloadConfig {
-        add_every_rounds: 1,
+        add_every_slots: 2,
         max_files: 120,
         file_size: 4,
-        prove_every_rounds: 10,
+        prove_every_slots: 10,
         get_prob: 0.5,
         discard_prob: 0.02,
+        lazy_providers: Vec::new(),
     };
     cfg
 }
@@ -96,33 +108,34 @@ fn run_node(shards: usize, threads: usize) -> NodeRun {
     let t = Instant::now();
     let (_world, reports) = run_cluster(&cfg);
     let wall_s = t.elapsed().as_secs_f64();
-    let proposer = reports.proposer.borrow();
-    assert_eq!(
-        proposer.roots.len(),
-        ROUNDS as usize,
-        "({shards},{threads}): proposer produced every round"
-    );
-    for (i, report) in reports.followers.iter().enumerate() {
+    let reference = reports.validators[0].borrow();
+    let height = reference.final_height;
+    let chain = reference.final_chain.clone();
+    drop(reference);
+    for (i, report) in reports.validators.iter().enumerate() {
         let report = report.borrow();
-        assert!(
-            report.mismatched_rounds.is_empty(),
-            "({shards},{threads}): follower {i} diverged at {:?}",
-            report.mismatched_rounds
-        );
         assert_eq!(
-            report.verified_rounds, ROUNDS,
-            "({shards},{threads}): follower {i} verified every height"
+            report.final_chain, chain,
+            "({shards},{threads}): validator {i} diverged"
         );
     }
+    assert!(
+        height >= SLOTS - 10,
+        "({shards},{threads}): chain stalled at {height} of {SLOTS}"
+    );
     let client = reports.client.borrow();
     NodeRun {
         shards,
         threads,
         wall_s,
-        blocks: ROUNDS,
-        ops: proposer.ops_committed,
-        mempool_admitted: client.txs_submitted,
-        roots: proposer.roots.clone(),
+        height,
+        txs_submitted: client.txs_submitted,
+        blocks_proposed: reports
+            .validators
+            .iter()
+            .map(|r| r.borrow().blocks_proposed)
+            .collect(),
+        chain,
     }
 }
 
@@ -272,6 +285,59 @@ fn run_catchup() -> CatchupRun {
     }
 }
 
+struct FaultsRun {
+    spec: NetworkRobustnessSpec,
+    wall_s: f64,
+    outcome: fi_node::ChaosOutcome,
+}
+
+/// The chaos scenario, asserted converged with finite recovery — a
+/// regression here fails the bench (and therefore the CI gate) outright.
+fn run_faults() -> FaultsRun {
+    let spec = NetworkRobustnessSpec::acceptance(FAULT_SLOTS, env_u64("FI_CHAOS_CRASH_EVERY", 6));
+    let t = Instant::now();
+    let outcome = run_chaos(world_seed(), &spec);
+    let wall_s = t.elapsed().as_secs_f64();
+    assert!(outcome.converged, "chaos survivors diverged: {outcome:?}");
+    for &(node, latency) in outcome
+        .crash_recoveries
+        .iter()
+        .chain(&outcome.heal_recoveries)
+    {
+        assert!(latency.is_some(), "validator {node} never reconverged");
+    }
+    assert!(
+        outcome.injections_included >= outcome.injections_scripted,
+        "fault injections missing from the chain"
+    );
+    FaultsRun {
+        spec,
+        wall_s,
+        outcome,
+    }
+}
+
+fn recovery_json(recoveries: &[(usize, Option<u64>)]) -> String {
+    let rows: Vec<String> = recoveries
+        .iter()
+        .map(|(node, latency)| {
+            format!(
+                "{{\"validator\": {node}, \"heights\": {}}}",
+                latency.expect("asserted Some in run_faults")
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+fn max_recovery(recoveries: &[(usize, Option<u64>)]) -> u64 {
+    recoveries
+        .iter()
+        .filter_map(|(_, latency)| *latency)
+        .max()
+        .unwrap_or(0)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -285,22 +351,21 @@ fn main() {
     // must reproduce the identical block-by-block consensus history.
     for run in &runs[1..] {
         assert_eq!(
-            run.roots, runs[0].roots,
+            run.chain, runs[0].chain,
             "({}, {}) diverged from the (1,1) cluster history",
             run.shards, run.threads
         );
     }
     for run in &runs {
         println!(
-            "node shards={} threads={}: {} blocks / {} ops in {:.2}s = {:.1} blocks/s, {:.0} ops/s ({} txs submitted)",
+            "node shards={} threads={}: height {} in {:.2}s = {:.1} blocks/s ({} txs submitted, proposals {:?})",
             run.shards,
             run.threads,
-            run.blocks,
-            run.ops,
+            run.height,
             run.wall_s,
-            run.blocks as f64 / run.wall_s,
-            run.ops as f64 / run.wall_s,
-            run.mempool_admitted,
+            run.height as f64 / run.wall_s,
+            run.txs_submitted,
+            run.blocks_proposed,
         );
     }
 
@@ -325,30 +390,41 @@ fn main() {
         catchup.replay_s * 1e3,
     );
 
+    let faults = run_faults();
+    println!(
+        "faults: {} slots, crash every {} slots, {} restarts, {} fault drops; max crash recovery {} heights, max heal recovery {} heights ({:.2}s)",
+        faults.spec.slots,
+        faults.spec.crash_every,
+        faults.outcome.restarts,
+        faults.outcome.fault_drops,
+        max_recovery(&faults.outcome.crash_recoveries),
+        max_recovery(&faults.outcome.heal_recoveries),
+        faults.wall_s,
+    );
+
     let node_rows: Vec<String> = runs
         .iter()
         .map(|r| {
             format!(
-                "    {{\"shards\": {}, \"ingest_threads\": {}, \"blocks\": {}, \"ops_committed\": {}, \"wall_s\": {:.3}, \"blocks_per_sec\": {:.1}, \"ops_per_sec\": {:.0}, \"txs_submitted\": {}}}",
+                "    {{\"shards\": {}, \"ingest_threads\": {}, \"height\": {}, \"wall_s\": {:.3}, \"blocks_per_sec\": {:.1}, \"txs_submitted\": {}}}",
                 r.shards,
                 r.threads,
-                r.blocks,
-                r.ops,
+                r.height,
                 r.wall_s,
-                r.blocks as f64 / r.wall_s,
-                r.ops as f64 / r.wall_s,
-                r.mempool_admitted,
+                r.height as f64 / r.wall_s,
+                r.txs_submitted,
             )
         })
         .collect();
 
     let json = format!(
-        "{{\n  \"suite\": \"fi-node end-to-end pipeline: mempool -> proposer -> apply_batch -> fi-net broadcast -> follower replay\",\n  \
-           \"unit_note\": \"node runs: one whole simulated cluster (proposer + 3 verifying followers incl. one apply_batch replayer + workload driver, 10% loss, jittered link) per (shards, ingest_threads) config; wall-clock covers mempool selection, engine commit, link simulation and every follower's replay; all configs asserted bit-identical per round and every follower verifies every height. mempool: admission + fee-ordered gas-bounded selection on one pool. catchup: snapshot_restore + replay_from to the live root, the cold-start joiner's sync bill\",\n  \
+        "{{\n  \"suite\": \"fi-node end-to-end pipeline: mempool -> rotating proposers -> apply_batch -> fi-net broadcast -> fork-choice adoption\",\n  \
+           \"unit_note\": \"node runs: one whole simulated cluster (3 beacon-rotated validators on mixed replay modes + workload driver, 10% loss, jittered link) per (shards, ingest_threads) config; wall-clock covers mempool selection, engine commit, link simulation and every replica's verification; all configs asserted bit-identical on the final chain. mempool: admission + fee-ordered gas-bounded selection on one pool. catchup: snapshot_restore + replay_from to the live root. faults: the 5-validator chaos scenario (12% loss, leader crash every K slots, one partition/heal, lazy provider + mass FailSector/CorruptSector + ForceDiscard repair); recovery latency is heights-to-reconvergence past the frozen head\",\n  \
            \"available_parallelism\": {parallelism},\n  \
-           \"node\": {{\n    \"rounds\": {ROUNDS},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
+           \"node\": {{\n    \"slots\": {SLOTS},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
            \"mempool\": {{\"txs\": {}, \"accounts\": {MEMPOOL_ACCOUNTS}, \"admit_per_sec\": {:.0}, \"select_per_sec\": {:.0}, \"blocks_selected\": {}}},\n  \
-           \"catchup\": {{\"snapshot_bytes\": {}, \"suffix_ops\": {}, \"restore_ms\": {:.3}, \"replay_ms\": {:.3}, \"total_ms\": {:.3}}}\n}}\n",
+           \"catchup\": {{\"snapshot_bytes\": {}, \"suffix_ops\": {}, \"restore_ms\": {:.3}, \"replay_ms\": {:.3}, \"total_ms\": {:.3}}},\n  \
+           \"faults\": {{\n    \"slots\": {}, \"validators\": {}, \"loss\": {:.2}, \"crash_every\": {}, \"crash_for_slots\": {},\n    \"converged\": {}, \"final_height\": {}, \"restarts\": {}, \"fault_drops\": {}, \"messages_lost\": {},\n    \"injections_scripted\": {}, \"injections_included\": {}, \"final_files\": {},\n    \"crash_recoveries\": {}, \"heal_recoveries\": {},\n    \"crash_recovery_max_heights\": {}, \"heal_recovery_max_heights\": {}, \"wall_s\": {:.3}\n  }}\n}}\n",
         node_rows.join(",\n"),
         mempool.admitted,
         mempool.admitted as f64 / mempool.admit_s,
@@ -359,6 +435,24 @@ fn main() {
         catchup.restore_s * 1e3,
         catchup.replay_s * 1e3,
         (catchup.restore_s + catchup.replay_s) * 1e3,
+        faults.spec.slots,
+        faults.spec.validators,
+        faults.spec.loss,
+        faults.spec.crash_every,
+        faults.spec.crash_for_slots,
+        faults.outcome.converged,
+        faults.outcome.height,
+        faults.outcome.restarts,
+        faults.outcome.fault_drops,
+        faults.outcome.messages_lost,
+        faults.outcome.injections_scripted,
+        faults.outcome.injections_included,
+        faults.outcome.final_files,
+        recovery_json(&faults.outcome.crash_recoveries),
+        recovery_json(&faults.outcome.heal_recoveries),
+        max_recovery(&faults.outcome.crash_recoveries),
+        max_recovery(&faults.outcome.heal_recoveries),
+        faults.wall_s,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");

@@ -27,7 +27,8 @@
 //!
 //! ```text
 //! magic   8 bytes  b"FISNAPSH"
-//! version u16      currently 2 (1 predates the PR 5 node/mempool params)
+//! version u16      currently 3 (1 predates the PR 5 node/mempool params,
+//!                  2 predates the PR 6 tombstone-retention param)
 //! payload ...      field-by-field engine state (see encode())
 //! hash    32 bytes sha256 over magic ‖ version ‖ payload
 //! ```
@@ -55,7 +56,7 @@ use super::shard::ShardedState;
 use super::{Checkpoint, Engine, EngineStats, Task};
 
 const MAGIC: &[u8; 8] = b"FISNAPSH";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 const HASH_LEN: usize = 32;
 
 /// Typed failures of [`Engine::snapshot_restore`]. Corrupted or
@@ -297,6 +298,7 @@ fn enc_params(e: &mut Enc, p: &ProtocolParams) {
     e.usize(p.mempool_cap);
     e.u64(p.block_gas_limit);
     e.usize(p.block_ops_limit);
+    e.u64(p.tombstone_retention_blocks);
 }
 
 fn dec_params(d: &mut Dec<'_>) -> Result<ProtocolParams, SnapshotError> {
@@ -332,6 +334,7 @@ fn dec_params(d: &mut Dec<'_>) -> Result<ProtocolParams, SnapshotError> {
         mempool_cap: d.u64()? as usize,
         block_gas_limit: d.u64()?,
         block_ops_limit: d.u64()? as usize,
+        tombstone_retention_blocks: d.u64()?,
     })
 }
 

@@ -110,6 +110,13 @@ pub struct ProtocolParams {
     /// Maximum transactions selected into one produced block (the size
     /// bound complementing [`ProtocolParams::block_gas_limit`]).
     pub block_ops_limit: usize,
+    /// How many blocks a mempool rejection tombstone (a burned nonce) is
+    /// retained before the account's nonce frontier may be advanced past
+    /// it. Bounds the tombstone set over long runs and un-wedges accounts
+    /// whose lower nonces were committed via another node's pool. Like
+    /// [`ProtocolParams::mempool_cap`], node-local admission policy, not a
+    /// consensus parameter.
+    pub tombstone_retention_blocks: u64,
 }
 
 /// Largest permitted [`ProtocolParams::shards`] value.
@@ -175,6 +182,7 @@ impl Default for ProtocolParams {
             mempool_cap: 8_192,
             block_gas_limit: 1_000_000,
             block_ops_limit: 4_096,
+            tombstone_retention_blocks: 32,
         }
     }
 }
@@ -285,6 +293,11 @@ impl ProtocolParams {
         if self.block_ops_limit == 0 {
             return Err(ParamError::OutOfRange {
                 what: "block_ops_limit",
+            });
+        }
+        if self.tombstone_retention_blocks == 0 {
+            return Err(ParamError::OutOfRange {
+                what: "tombstone_retention_blocks",
             });
         }
         Ok(())
@@ -500,6 +513,13 @@ mod tests {
                 "block_ops_limit",
                 ProtocolParams {
                     block_ops_limit: 0,
+                    ..ProtocolParams::default()
+                },
+            ),
+            (
+                "tombstone_retention_blocks",
+                ProtocolParams {
+                    tombstone_retention_blocks: 0,
                     ..ProtocolParams::default()
                 },
             ),

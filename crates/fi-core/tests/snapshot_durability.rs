@@ -208,8 +208,9 @@ fn wrong_version_foreign_magic_and_trailing_bytes_are_typed() {
     drive_workload(&mut live, 47, 25);
     let bytes = live.snapshot_save();
 
-    // Bump the version past the current format (v2 — v1 predates the
-    // PR 5 node/mempool params) and re-seal with a fresh self-hash.
+    // Bump the version past the current format (v3 — v1 predates the
+    // PR 5 node/mempool params, v2 the PR 6 tombstone-retention param)
+    // and re-seal with a fresh self-hash.
     let mut wrong_version = bytes.clone();
     wrong_version[8..10].copy_from_slice(&99u16.to_be_bytes());
     let body_len = wrong_version.len() - 32;

@@ -1,4 +1,4 @@
-//! The process framework: nodes, typed messages, timers.
+//! The process framework: nodes, typed messages, timers, fault injection.
 //!
 //! A [`World`] owns a set of nodes (each a [`Process`] implementation), a
 //! shared [`LinkModel`], and the event queue. Nodes interact only through
@@ -10,6 +10,23 @@
 //! to retry. [`Retransmitter`] packages that pattern — send, arm a timer,
 //! resend on expiry up to a bound, stop on ack — so protocol actors don't
 //! each reimplement it.
+//!
+//! # Fault injection
+//!
+//! Beyond per-message loss, the world can inject structured faults, all
+//! scheduled in the same event queue and therefore deterministic:
+//!
+//! - [`World::schedule_crash`] takes a node down for a time window. While
+//!   crashed the node receives nothing and its timers die; at the end of
+//!   the window [`Process::on_restart`] runs so it can re-arm whatever it
+//!   needs. Node *state* survives — this models unavailability, not disk
+//!   loss.
+//! - [`World::schedule_link_cut`] / [`World::schedule_partition`] sever a
+//!   set of links (or everything crossing a group boundary) for a window;
+//!   cuts nest by refcount, so overlapping windows compose.
+//! - [`World::set_link_override`] replaces the shared [`LinkModel`] on one
+//!   directed link, enabling heterogeneous topologies (a lossy WAN edge in
+//!   an otherwise clean LAN). Defaults are unchanged unless overridden.
 
 use std::collections::BTreeMap;
 
@@ -25,7 +42,24 @@ pub type NodeIdx = usize;
 #[derive(Debug)]
 enum Event<M> {
     Deliver { from: NodeIdx, to: NodeIdx, msg: M },
-    Timer { node: NodeIdx, tag: u64 },
+    Timer { node: NodeIdx, tag: u64, epoch: u32 },
+    Fault(Fault),
+}
+
+/// Injected fault transitions, scheduled like any other event.
+#[derive(Debug, Clone)]
+enum Fault {
+    Crash { node: NodeIdx },
+    Restart { node: NodeIdx },
+    Cut { id: u64 },
+    Heal { id: u64 },
+}
+
+/// A scheduled link-cut: which directed pairs (or group boundary) to sever.
+#[derive(Debug, Clone)]
+enum CutSpec {
+    Pairs(Vec<(NodeIdx, NodeIdx)>),
+    Group(Vec<NodeIdx>),
 }
 
 /// A node's behaviour.
@@ -46,14 +80,24 @@ pub trait Process<M> {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) {
         let _ = (ctx, tag);
     }
+
+    /// Called when the node comes back from an injected crash window.
+    ///
+    /// Timers armed before the crash are dead by then; a process that
+    /// relies on timers must re-arm them here. State fields survive.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
 }
 
 /// Per-callback handle: scheduling and randomness for one node.
 pub struct Ctx<'a, M> {
     me: NodeIdx,
     now: SimTime,
+    epoch: u32,
     sim: &'a mut Simulator<Event<M>>,
     link: &'a LinkModel,
+    overrides: &'a BTreeMap<(NodeIdx, NodeIdx), LinkModel>,
     rng: &'a mut DetRng,
     messages_sent: &'a mut u64,
     messages_lost: &'a mut u64,
@@ -76,10 +120,13 @@ impl<M> Ctx<'_, M> {
     }
 
     /// Sends `msg` (`bytes` long on the wire) to `to`; it arrives after the
-    /// link delay, or never (lossy links).
+    /// link delay, or never (lossy links). A per-link override installed
+    /// via [`World::set_link_override`] takes precedence over the world's
+    /// shared model.
     pub fn send(&mut self, to: NodeIdx, msg: M, bytes: u64) {
         *self.messages_sent += 1;
-        match self.link.delivery_delay(self.rng, bytes) {
+        let model = self.overrides.get(&(self.me, to)).unwrap_or(self.link);
+        match model.delivery_delay(self.rng, bytes) {
             Some(delay) => {
                 let from = self.me;
                 self.sim.schedule(delay, Event::Deliver { from, to, msg });
@@ -89,9 +136,14 @@ impl<M> Ctx<'_, M> {
     }
 
     /// Arms a timer that fires on this node after `delay` ticks with `tag`.
+    ///
+    /// Timers are tied to the node's current crash epoch: if the node
+    /// crashes and restarts before expiry, the timer is dead and never
+    /// fires.
     pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
         let node = self.me;
-        self.sim.schedule(delay, Event::Timer { node, tag });
+        let epoch = self.epoch;
+        self.sim.schedule(delay, Event::Timer { node, tag, epoch });
     }
 }
 
@@ -100,10 +152,19 @@ pub struct World<M> {
     nodes: Vec<Option<Box<dyn Process<M>>>>,
     sim: Simulator<Event<M>>,
     link: LinkModel,
+    overrides: BTreeMap<(NodeIdx, NodeIdx), LinkModel>,
     rng: DetRng,
     started: bool,
     messages_sent: u64,
     messages_lost: u64,
+    // Fault state.
+    crashed: Vec<bool>,
+    epochs: Vec<u32>,
+    cut_specs: BTreeMap<u64, CutSpec>,
+    active_cuts: BTreeMap<(NodeIdx, NodeIdx), u32>,
+    next_cut_id: u64,
+    fault_drops: u64,
+    restarts: u64,
 }
 
 impl<M> std::fmt::Debug for World<M> {
@@ -112,6 +173,7 @@ impl<M> std::fmt::Debug for World<M> {
             .field("nodes", &self.nodes.len())
             .field("now", &self.sim.now())
             .field("queued", &self.sim.len())
+            .field("fault_drops", &self.fault_drops)
             .finish()
     }
 }
@@ -123,16 +185,26 @@ impl<M> World<M> {
             nodes: Vec::new(),
             sim: Simulator::new(),
             link,
+            overrides: BTreeMap::new(),
             rng: DetRng::from_seed_label(seed, "fi-net/world"),
             started: false,
             messages_sent: 0,
             messages_lost: 0,
+            crashed: Vec::new(),
+            epochs: Vec::new(),
+            cut_specs: BTreeMap::new(),
+            active_cuts: BTreeMap::new(),
+            next_cut_id: 0,
+            fault_drops: 0,
+            restarts: 0,
         }
     }
 
     /// Adds a node; returns its index.
     pub fn add(&mut self, node: impl Process<M> + 'static) -> NodeIdx {
         self.nodes.push(Some(Box::new(node)));
+        self.crashed.push(false);
+        self.epochs.push(0);
         self.nodes.len() - 1
     }
 
@@ -151,6 +223,102 @@ impl<M> World<M> {
         self.messages_lost
     }
 
+    /// Messages dropped by injected faults (crashed receiver or severed
+    /// link) rather than by the link model's own loss.
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops
+    }
+
+    /// Completed crash/restart cycles so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Whether `node` is inside an injected crash window right now.
+    pub fn is_crashed(&self, node: NodeIdx) -> bool {
+        self.crashed.get(node).copied().unwrap_or(false)
+    }
+
+    /// Replaces the link model on the directed link `from → to`.
+    ///
+    /// All other links keep the world's shared model.
+    pub fn set_link_override(&mut self, from: NodeIdx, to: NodeIdx, link: LinkModel) {
+        self.overrides.insert((from, to), link);
+    }
+
+    /// Replaces the link model in both directions between `a` and `b`.
+    pub fn set_link_between(&mut self, a: NodeIdx, b: NodeIdx, link: LinkModel) {
+        self.set_link_override(a, b, link);
+        self.set_link_override(b, a, link);
+    }
+
+    /// Crashes `node` during `[at, until)`: deliveries to it are dropped,
+    /// its timers die, and at `until` it gets [`Process::on_restart`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at >= until` or either time is already in the past.
+    pub fn schedule_crash(&mut self, node: NodeIdx, at: SimTime, until: SimTime) {
+        assert!(at < until, "crash window must be non-empty");
+        self.sim
+            .schedule_at(at, Event::Fault(Fault::Crash { node }));
+        self.sim
+            .schedule_at(until, Event::Fault(Fault::Restart { node }));
+    }
+
+    /// Severs each `(a, b)` pair in both directions during `[at, until)`.
+    /// Overlapping cuts nest: a link is live again only once every window
+    /// covering it has healed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at >= until` or either time is already in the past.
+    pub fn schedule_link_cut(&mut self, pairs: &[(NodeIdx, NodeIdx)], at: SimTime, until: SimTime) {
+        self.schedule_cut_spec(CutSpec::Pairs(pairs.to_vec()), at, until);
+    }
+
+    /// Partitions `group` from the rest of the world during `[at, until)`:
+    /// every link crossing the group boundary is severed, in both
+    /// directions. Links inside the group (and among the rest) stay up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at >= until` or either time is already in the past.
+    pub fn schedule_partition(&mut self, group: &[NodeIdx], at: SimTime, until: SimTime) {
+        self.schedule_cut_spec(CutSpec::Group(group.to_vec()), at, until);
+    }
+
+    fn schedule_cut_spec(&mut self, spec: CutSpec, at: SimTime, until: SimTime) {
+        assert!(at < until, "cut window must be non-empty");
+        let id = self.next_cut_id;
+        self.next_cut_id += 1;
+        self.cut_specs.insert(id, spec);
+        self.sim.schedule_at(at, Event::Fault(Fault::Cut { id }));
+        self.sim
+            .schedule_at(until, Event::Fault(Fault::Heal { id }));
+    }
+
+    /// Directed pairs a cut spec severs, materialised against the current
+    /// node set (all nodes are added before the run in practice, so the
+    /// cut and its heal resolve identically).
+    fn cut_pairs(&self, id: u64) -> Vec<(NodeIdx, NodeIdx)> {
+        match &self.cut_specs[&id] {
+            CutSpec::Pairs(pairs) => pairs.iter().flat_map(|&(a, b)| [(a, b), (b, a)]).collect(),
+            CutSpec::Group(group) => {
+                let mut pairs = Vec::new();
+                for a in 0..self.nodes.len() {
+                    let a_in = group.contains(&a);
+                    for b in 0..self.nodes.len() {
+                        if a != b && a_in != group.contains(&b) {
+                            pairs.push((a, b));
+                        }
+                    }
+                }
+                pairs
+            }
+        }
+    }
+
     /// Runs until the queue drains or `deadline` passes, whichever first.
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
@@ -164,11 +332,20 @@ impl<M> World<M> {
         while let Some((_, event)) = self.sim.next_before(deadline) {
             match event {
                 Event::Deliver { from, to, msg } => {
-                    self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+                    if self.is_crashed(to) || self.active_cuts.contains_key(&(from, to)) {
+                        self.fault_drops += 1;
+                    } else {
+                        self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+                    }
                 }
-                Event::Timer { node, tag } => {
-                    self.with_node(node, |n, ctx| n.on_timer(ctx, tag));
+                Event::Timer { node, tag, epoch } => {
+                    let live = !self.is_crashed(node)
+                        && self.epochs.get(node).copied().unwrap_or(0) == epoch;
+                    if live {
+                        self.with_node(node, |n, ctx| n.on_timer(ctx, tag));
+                    }
                 }
+                Event::Fault(fault) => self.apply_fault(fault),
             }
             processed += 1;
         }
@@ -176,6 +353,40 @@ impl<M> World<M> {
             self.sim.advance_clock(deadline);
         }
         processed
+    }
+
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::Crash { node } => {
+                if let Some(flag) = self.crashed.get_mut(node) {
+                    *flag = true;
+                }
+            }
+            Fault::Restart { node } => {
+                if let Some(flag) = self.crashed.get_mut(node) {
+                    *flag = false;
+                    self.epochs[node] += 1;
+                    self.restarts += 1;
+                    self.with_node(node, |n, ctx| n.on_restart(ctx));
+                }
+            }
+            Fault::Cut { id } => {
+                for pair in self.cut_pairs(id) {
+                    *self.active_cuts.entry(pair).or_insert(0) += 1;
+                }
+            }
+            Fault::Heal { id } => {
+                for pair in self.cut_pairs(id) {
+                    if let Some(count) = self.active_cuts.get_mut(&pair) {
+                        *count -= 1;
+                        if *count == 0 {
+                            self.active_cuts.remove(&pair);
+                        }
+                    }
+                }
+                self.cut_specs.remove(&id);
+            }
+        }
     }
 
     /// Borrow of node `idx` for inspection after a run.
@@ -199,8 +410,10 @@ impl<M> World<M> {
         let mut ctx = Ctx {
             me: idx,
             now: self.sim.now(),
+            epoch: self.epochs.get(idx).copied().unwrap_or(0),
             sim: &mut self.sim,
             link: &self.link,
+            overrides: &self.overrides,
             rng: &mut self.rng,
             messages_sent: &mut self.messages_sent,
             messages_lost: &mut self.messages_lost,
@@ -326,6 +539,16 @@ impl<M: Clone> Retransmitter<M> {
         Some(RetryEvent::Resent { key, attempt })
     }
 
+    /// Drops every in-flight entry without acknowledgement, returning how
+    /// many were pending. After a crash window the armed resend timers are
+    /// dead, so surviving entries would hang forever; a restarting process
+    /// calls this and lets higher-level sync recover the payloads.
+    pub fn abandon_all(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        n
+    }
+
     /// Messages still awaiting acknowledgement.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
@@ -413,6 +636,205 @@ mod tests {
         world.run_until(100_000);
         assert_eq!(world.messages_sent(), 200);
         assert!(world.messages_lost() > 50 && world.messages_lost() < 150);
+    }
+
+    /// A metronome that counts ticks and remembers restarts.
+    struct Ticker {
+        ticks: u64,
+        restarts: u64,
+        received: u64,
+    }
+
+    impl Process<u64> for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.set_timer(10, 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeIdx, _: u64) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: u64) {
+            self.ticks += 1;
+            ctx.set_timer(10, 0);
+        }
+    }
+
+    /// Sends one message to node 1 every 10 ticks.
+    struct Feeder;
+    impl Process<u64> for Feeder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.set_timer(10, 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeIdx, _: u64) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: u64) {
+            ctx.send(1, 0, 8);
+            ctx.set_timer(10, 0);
+        }
+    }
+
+    #[test]
+    fn crash_window_drops_deliveries_and_kills_timers() {
+        use std::cell::RefCell;
+        thread_local! {
+            static STATS: RefCell<(u64, u64, u64)> = const { RefCell::new((0, 0, 0)) };
+        }
+        struct Probe(Ticker);
+        impl Process<u64> for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                self.0.on_start(ctx);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeIdx, msg: u64) {
+                self.0.on_message(ctx, from, msg);
+                STATS.with(|s| s.borrow_mut().2 = self.0.received);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, tag: u64) {
+                self.0.on_timer(ctx, tag);
+                STATS.with(|s| s.borrow_mut().0 = self.0.ticks);
+            }
+            fn on_restart(&mut self, ctx: &mut Ctx<'_, u64>) {
+                self.0.restarts += 1;
+                STATS.with(|s| s.borrow_mut().1 = self.0.restarts);
+                ctx.set_timer(10, 0); // re-arm the metronome
+            }
+        }
+        STATS.with(|s| *s.borrow_mut() = (0, 0, 0));
+        let mut world = World::new(LinkModel::lan(), 5);
+        world.add(Feeder); // node 0 feeds the victim at node 1
+        world.add(Probe(Ticker {
+            ticks: 0,
+            restarts: 0,
+            received: 0,
+        }));
+        world.schedule_crash(1, 100, 200);
+        world.run_until(1_000);
+        let (ticks, restarts, received) = STATS.with(|s| *s.borrow());
+        assert_eq!(restarts, 1, "restart callback ran once");
+        // ~10 ticks before the crash, ~80 after; the 100-tick window is a
+        // hole (timers died, restart re-armed).
+        assert!((85..=92).contains(&ticks), "ticks {ticks}");
+        // ~10 feeds dropped during the crash window.
+        assert!(world.fault_drops() >= 8, "drops {}", world.fault_drops());
+        assert!(received >= 85, "received {received}");
+        assert_eq!(world.restarts(), 1);
+        assert!(!world.is_crashed(1));
+    }
+
+    #[test]
+    fn stale_timers_from_before_the_crash_never_fire() {
+        use std::cell::RefCell;
+        thread_local! {
+            static FIRED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        }
+        struct OneShot;
+        impl Process<u64> for OneShot {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                // Fires at t=500, well after the crash window [100, 200):
+                // the epoch bump at restart must invalidate it anyway.
+                ctx.set_timer(500, 7);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeIdx, _: u64) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, u64>, tag: u64) {
+                FIRED.with(|f| f.borrow_mut().push(tag));
+            }
+            fn on_restart(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.set_timer(500, 8); // the replacement, armed post-restart
+            }
+        }
+        FIRED.with(|f| f.borrow_mut().clear());
+        let mut world = World::new(LinkModel::lan(), 6);
+        world.add(OneShot);
+        world.schedule_crash(0, 100, 200);
+        world.run_until(2_000);
+        assert_eq!(
+            FIRED.with(|f| f.borrow().clone()),
+            vec![8],
+            "only the post-restart timer fires"
+        );
+    }
+
+    #[test]
+    fn partition_cuts_and_heals_deterministically() {
+        let mut world = World::new(LinkModel::lan(), 8);
+        world.add(Feeder); // node 0 feeds node 1 every 10 ticks
+        world.add(Ticker {
+            ticks: 0,
+            restarts: 0,
+            received: 0,
+        });
+        world.schedule_partition(&[0], 100, 300);
+        world.run_until(1_000);
+        // 100 feeds total; those in [100, 300) are severed (~20).
+        assert!(
+            world.fault_drops() >= 18 && world.fault_drops() <= 22,
+            "drops {}",
+            world.fault_drops()
+        );
+        // Deterministic replay.
+        let drops = world.fault_drops();
+        let mut world2 = World::new(LinkModel::lan(), 8);
+        world2.add(Feeder);
+        world2.add(Ticker {
+            ticks: 0,
+            restarts: 0,
+            received: 0,
+        });
+        world2.schedule_partition(&[0], 100, 300);
+        world2.run_until(1_000);
+        assert_eq!(world2.fault_drops(), drops);
+    }
+
+    #[test]
+    fn overlapping_link_cuts_nest_by_refcount() {
+        let mut world = World::new(LinkModel::lan(), 12);
+        world.add(Feeder);
+        world.add(Ticker {
+            ticks: 0,
+            restarts: 0,
+            received: 0,
+        });
+        // Two overlapping windows; the link is only live again at t=400.
+        world.schedule_link_cut(&[(0, 1)], 100, 300);
+        world.schedule_link_cut(&[(0, 1)], 200, 400);
+        world.run_until(1_000);
+        // ~30 of the 100 feeds fall in the union [100, 400).
+        assert!(
+            world.fault_drops() >= 28 && world.fault_drops() <= 32,
+            "drops {}",
+            world.fault_drops()
+        );
+    }
+
+    #[test]
+    fn per_link_override_only_affects_that_direction() {
+        struct Pair {
+            got: u64,
+        }
+        use std::cell::RefCell;
+        thread_local! {
+            static GOT: RefCell<[u64; 2]> = const { RefCell::new([0, 0]) };
+        }
+        impl Process<u64> for Pair {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                let peer = 1 - ctx.me();
+                for _ in 0..100 {
+                    ctx.send(peer, 0, 8);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _: NodeIdx, _: u64) {
+                self.got += 1;
+                GOT.with(|g| g.borrow_mut()[ctx.me()] = self.got);
+            }
+        }
+        GOT.with(|g| *g.borrow_mut() = [0, 0]);
+        let mut world = World::new(LinkModel::lan(), 13);
+        world.add(Pair { got: 0 });
+        world.add(Pair { got: 0 });
+        // 0 → 1 becomes a black hole; 1 → 0 stays a clean LAN link.
+        world.set_link_override(0, 1, LinkModel::lossy(1.0));
+        world.run_until(100_000);
+        let got = GOT.with(|g| *g.borrow());
+        assert_eq!(got[0], 100, "reverse direction unaffected");
+        assert_eq!(got[1], 0, "overridden direction fully lossy");
+        assert_eq!(world.messages_lost(), 100);
     }
 
     /// Sender pushing `COUNT` keyed messages through a retransmitter;
@@ -530,6 +952,98 @@ mod tests {
         // 4 attempts total: initial + 3 resends, then the exhausted timer.
         assert_eq!(world.messages_sent(), 4);
         assert_eq!(world.messages_lost(), 4);
+    }
+
+    #[test]
+    fn retransmitter_ignores_ack_arriving_after_exhaustion() {
+        // The satellite edge case: the budget runs out, *then* a straggler
+        // ack shows up. It must be ignored — no panic, and the timer tag
+        // must be cleanly reusable (no double-free of the entry).
+        use std::cell::RefCell;
+        thread_local! {
+            static LOG: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        }
+        struct LateAckSender {
+            retx: Retransmitter<RetryMsg>,
+        }
+        impl Process<RetryMsg> for LateAckSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, RetryMsg>) {
+                if ctx.me() == 0 {
+                    let msg = RetryMsg { key: 3, ack: false };
+                    self.retx.send(ctx, 1, 3, msg, 100);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, RetryMsg>, _: NodeIdx, msg: RetryMsg) {
+                // The ack arrives long after exhaustion (see link override
+                // below): it must report "not in flight" and change
+                // nothing.
+                assert!(msg.ack);
+                assert!(!self.retx.ack(msg.key), "late ack is a no-op");
+                assert_eq!(self.retx.in_flight(), 0);
+                LOG.with(|l| l.borrow_mut().push("late-ack"));
+                // The tag namespace is reusable: a fresh send under the
+                // same key works and its timer routes normally.
+                let msg = RetryMsg { key: 3, ack: false };
+                self.retx.send(ctx, 1, 3, msg, 100);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, RetryMsg>, tag: u64) {
+                match self.retx.handle_timer(ctx, tag) {
+                    Some(RetryEvent::Exhausted { key, .. }) => {
+                        assert_eq!(key, 3);
+                        LOG.with(|l| l.borrow_mut().push("exhausted"));
+                    }
+                    Some(RetryEvent::Resent { .. }) => {}
+                    // Spent timers from the exhausted entry: no-ops.
+                    None => {}
+                }
+            }
+        }
+        /// Receiver that acks the first delivery only, with a huge delay
+        /// (its reply link crawls), so exactly one straggler ack exists.
+        struct SlowAcker {
+            seen: Vec<u64>,
+        }
+        impl Process<RetryMsg> for SlowAcker {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, RetryMsg>, from: NodeIdx, msg: RetryMsg) {
+                if self.seen.contains(&msg.key) {
+                    return;
+                }
+                self.seen.push(msg.key);
+                ctx.send(
+                    from,
+                    RetryMsg {
+                        key: msg.key,
+                        ack: true,
+                    },
+                    16,
+                );
+            }
+        }
+        LOG.with(|l| l.borrow_mut().clear());
+        let mut world = World::new(LinkModel::lan(), 21);
+        world.add(LateAckSender {
+            retx: Retransmitter::new(10, 3, RETRY_TAG_BASE),
+        });
+        world.add(SlowAcker { seen: Vec::new() });
+        // Acks crawl back: base latency far beyond the full retry budget
+        // (3 attempts × 10 ticks), so exhaustion happens first.
+        world.set_link_override(
+            1,
+            0,
+            LinkModel {
+                base_latency: 500,
+                ticks_per_byte: 0.0,
+                max_jitter: 0,
+                loss: 0.0,
+            },
+        );
+        world.run_until(10_000);
+        let log = LOG.with(|l| l.borrow().clone());
+        assert_eq!(log.first(), Some(&"exhausted"), "budget ran out first");
+        assert!(
+            log.contains(&"late-ack"),
+            "straggler ack arrived and was ignored: {log:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1025 @@
+//! The block tree and deterministic fork-choice every node runs.
+//!
+//! Under proposer rotation ([`crate::schedule`]) several blocks can exist
+//! for one slot (a skipped leader's fallback raced it back online) and
+//! blocks arrive late, out of order, or never. [`ChainTracker`] turns that
+//! into a deterministic head:
+//!
+//! * **block tree** — every structurally valid block attaches under its
+//!   parent; blocks whose parent is unknown wait in a bounded orphan pool
+//!   until it arrives (the node layer fetches it);
+//! * **verify-then-prefer** — a branch is only adopted after replaying its
+//!   blocks on a clone of the engine and checking the proposer's claimed
+//!   `state_root` / head hash / receipt root; a block that fails
+//!   verification is banned, never adopted, and fork-choice recomputes
+//!   without it;
+//! * **fork-choice** — the best tip maximizes height; ties resolve at the
+//!   earliest divergence by the smallest `(rank, slot, hash)` — the
+//!   schedule's priority order — so every node picks the identical winner
+//!   regardless of arrival order;
+//! * **equivocation** — two different blocks from the same proposer for
+//!   the same slot are proof of misbehavior: the pair is recorded as
+//!   [`EquivocationEvidence`], both blocks (and every other block by the
+//!   equivocator) are discarded from fork-choice, and future blocks by
+//!   that proposer are rejected outright. The ban set is a function of
+//!   the evidence alone, so nodes that learn it in any order agree.
+//!
+//! The engine state at the head is maintained incrementally: extensions
+//! apply only the new blocks; a reorg rebuilds from the anchor engine
+//! (genesis, or the snapshot a cold joiner synced from) along the new
+//! branch — correctness over speed, exactly what a verifier wants.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use fi_core::engine::{Checkpoint, Engine};
+use fi_core::ops::Op;
+use fi_crypto::{sha256, Hash256};
+use fi_net::world::NodeIdx;
+
+use crate::schedule::ProposerSchedule;
+
+/// Buffered parent-less blocks across all branches; beyond this, new
+/// orphans are dropped (anti-entropy re-delivers them).
+const ORPHAN_CAP: usize = 1024;
+
+/// How a node replays block ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// One `Engine::apply` per op — the canonical verifier path.
+    OpByOp,
+    /// One `Engine::apply_batch` per block — must agree bit-for-bit
+    /// (PR 4's guarantee; asserted by the node tests).
+    Batch,
+}
+
+/// A block as broadcast on the wire: its slot-schedule coordinates, chain
+/// position, the exact op sequence committed, and the proposer's claimed
+/// post-state for verify-then-prefer.
+#[derive(Debug, Clone)]
+pub struct SealedBlock {
+    /// The rotation slot this block fills.
+    pub slot: u64,
+    /// The proposer's rank in the slot's schedule (0 = scheduled leader).
+    pub rank: u32,
+    /// The proposing node.
+    pub proposer: NodeIdx,
+    /// Chain height (parent height + 1).
+    pub height: u64,
+    /// Hash of the parent block (the tracker's anchor hash at height 1).
+    pub parent: Hash256,
+    /// The committed ops in order (mempool selection plus the slot's
+    /// trailing `AdvanceTo` barrier).
+    pub ops: Vec<Op>,
+    /// `Engine::state_root()` the proposer claims after the batch.
+    pub state_root: Hash256,
+    /// Engine chain head hash the proposer claims after the batch.
+    pub head_hash: Hash256,
+    /// Receipt root of the engine block this batch sealed.
+    pub receipt_root: Hash256,
+}
+
+impl SealedBlock {
+    /// The block's identity: a hash over the header and the op digests.
+    pub fn hash(&self) -> Hash256 {
+        let mut buf = Vec::with_capacity(160 + self.ops.len() * 32);
+        buf.extend_from_slice(b"fi-node/block");
+        buf.extend_from_slice(&self.slot.to_be_bytes());
+        buf.extend_from_slice(&self.rank.to_be_bytes());
+        buf.extend_from_slice(&(self.proposer as u64).to_be_bytes());
+        buf.extend_from_slice(&self.height.to_be_bytes());
+        buf.extend_from_slice(self.parent.as_ref());
+        buf.extend_from_slice(self.state_root.as_ref());
+        buf.extend_from_slice(self.head_hash.as_ref());
+        buf.extend_from_slice(self.receipt_root.as_ref());
+        for op in &self.ops {
+            buf.extend_from_slice(op.digest().as_ref());
+        }
+        sha256(&buf)
+    }
+
+    /// Approximate wire size, for link-delay modeling.
+    pub fn wire_bytes(&self) -> u64 {
+        196 + self.ops.len() as u64 * 80
+    }
+}
+
+/// Proof that a proposer sealed two different blocks for one slot.
+#[derive(Debug, Clone)]
+pub struct EquivocationEvidence {
+    /// The slot both blocks claim.
+    pub slot: u64,
+    /// The misbehaving proposer.
+    pub proposer: NodeIdx,
+    /// The block seen first (already in the tree).
+    pub first: SealedBlock,
+    /// The conflicting block.
+    pub second: SealedBlock,
+}
+
+/// Why [`ChainTracker::insert`] refused a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The proposer is not the schedule's leader for `(slot, rank)`, or
+    /// the rank is beyond the schedule's fallback depth.
+    NotScheduled,
+    /// Height or slot does not extend the parent (`height != parent+1`,
+    /// or `slot <= parent.slot`).
+    BadLineage,
+    /// The proposer was caught equivocating earlier.
+    BannedProposer,
+    /// The exact block was banned (equivocation pair member, or it failed
+    /// verification during an earlier adoption attempt).
+    BannedBlock,
+    /// The block is at or below the tracker's anchor height (stale, or
+    /// predates a cold joiner's sync point).
+    BelowAnchor,
+}
+
+/// What [`ChainTracker::insert`] did with a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Attached to the tree. `head_changed` says whether fork-choice moved
+    /// the head (here or via drained orphans); `reorged` whether the move
+    /// abandoned previously-adopted blocks.
+    Attached {
+        /// The head moved.
+        head_changed: bool,
+        /// The move rolled back previously-adopted blocks.
+        reorged: bool,
+    },
+    /// Already in the tree (duplicate delivery).
+    AlreadyKnown,
+    /// Parent unknown; buffered. The caller should fetch `missing_parent`.
+    Orphaned {
+        /// The parent hash nobody has shown us yet.
+        missing_parent: Hash256,
+    },
+    /// The block convicted its proposer of equivocation; evidence was
+    /// recorded (see [`ChainTracker::evidence`]) and the proposer's
+    /// blocks discarded.
+    Equivocation {
+        /// The slot with two conflicting blocks.
+        slot: u64,
+        /// The convicted proposer.
+        proposer: NodeIdx,
+    },
+    /// Structurally invalid; not retained.
+    Rejected(RejectReason),
+}
+
+/// The per-node block tree + fork-choice + verified head engine.
+pub struct ChainTracker {
+    schedule: ProposerSchedule,
+    mode: ReplayMode,
+    /// Engine at the anchor, kept pristine for reorg rebuilds.
+    base: Engine,
+    anchor: Hash256,
+    anchor_height: u64,
+    anchor_slot: u64,
+    blocks: HashMap<Hash256, SealedBlock>,
+    children: HashMap<Hash256, Vec<Hash256>>,
+    /// parent hash → blocks waiting for it.
+    orphans: BTreeMap<Hash256, Vec<SealedBlock>>,
+    orphan_count: usize,
+    /// `(slot, proposer)` → first block hash seen, for equivocation
+    /// detection.
+    seen: HashMap<(u64, NodeIdx), Hash256>,
+    banned_blocks: HashSet<Hash256>,
+    banned_proposers: HashSet<NodeIdx>,
+    evidence: Vec<EquivocationEvidence>,
+    /// Engine replayed through the current head.
+    engine: Engine,
+    head: Hash256,
+    head_height: u64,
+    head_slot: u64,
+    /// Op digests committed along the current head path (injection dedup
+    /// for rotating proposers).
+    committed: HashSet<Hash256>,
+    /// Verified engines at recently-applied blocks (capped LRU). Fallback
+    /// proposers routinely race the slot leader, so sibling reorgs are the
+    /// common case — restarting them from the fork point instead of the
+    /// anchor keeps adoption O(reorg depth), not O(chain length).
+    recent_engines: VecDeque<(Hash256, Engine)>,
+    reorgs: u64,
+    verify_failures: u64,
+}
+
+/// Entries kept in [`ChainTracker::recent_engines`]: deep enough for
+/// every sibling race and short skip-rule forks; deeper reorgs (a healed
+/// partition's divergence) pay the anchor rebuild once.
+const ENGINE_CACHE: usize = 8;
+
+impl ChainTracker {
+    /// A tracker rooted at `genesis` (height 0, slot 0).
+    pub fn new(genesis: Engine, schedule: ProposerSchedule, mode: ReplayMode) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(b"fi-node/genesis-anchor");
+        buf.extend_from_slice(genesis.state_root().as_ref());
+        let anchor = sha256(&buf);
+        ChainTracker::anchored(genesis, schedule, mode, anchor, 0, 0)
+    }
+
+    /// A tracker for a cold joiner: `engine` is the synced state whose
+    /// head block hashes to `head` at `height` / `slot`. Blocks at or
+    /// below the anchor are rejected — the joiner trusts its sync point.
+    pub fn from_sync(
+        engine: Engine,
+        schedule: ProposerSchedule,
+        mode: ReplayMode,
+        head: Hash256,
+        height: u64,
+        slot: u64,
+    ) -> Self {
+        ChainTracker::anchored(engine, schedule, mode, head, height, slot)
+    }
+
+    fn anchored(
+        engine: Engine,
+        schedule: ProposerSchedule,
+        mode: ReplayMode,
+        anchor: Hash256,
+        anchor_height: u64,
+        anchor_slot: u64,
+    ) -> Self {
+        ChainTracker {
+            schedule,
+            mode,
+            base: engine.clone(),
+            anchor,
+            anchor_height,
+            anchor_slot,
+            blocks: HashMap::new(),
+            children: HashMap::new(),
+            orphans: BTreeMap::new(),
+            orphan_count: 0,
+            seen: HashMap::new(),
+            banned_blocks: HashSet::new(),
+            banned_proposers: HashSet::new(),
+            evidence: Vec::new(),
+            engine,
+            head: anchor,
+            head_height: anchor_height,
+            head_slot: anchor_slot,
+            committed: HashSet::new(),
+            recent_engines: VecDeque::new(),
+            reorgs: 0,
+            verify_failures: 0,
+        }
+    }
+
+    /// The rotation schedule this tracker validates against.
+    pub fn schedule(&self) -> &ProposerSchedule {
+        &self.schedule
+    }
+
+    /// The engine replayed through the current head.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Current head block hash (the anchor hash before any block).
+    pub fn head(&self) -> Hash256 {
+        self.head
+    }
+
+    /// Current head height.
+    pub fn head_height(&self) -> u64 {
+        self.head_height
+    }
+
+    /// Slot of the current head block.
+    pub fn head_slot(&self) -> u64 {
+        self.head_slot
+    }
+
+    /// Recorded equivocation proofs, in detection order.
+    pub fn evidence(&self) -> &[EquivocationEvidence] {
+        &self.evidence
+    }
+
+    /// Proposers convicted of equivocation.
+    pub fn banned_proposers(&self) -> &HashSet<NodeIdx> {
+        &self.banned_proposers
+    }
+
+    /// Head switches that abandoned previously-adopted blocks.
+    pub fn reorgs(&self) -> u64 {
+        self.reorgs
+    }
+
+    /// Blocks banned because replay contradicted their claimed roots.
+    pub fn verify_failures(&self) -> u64 {
+        self.verify_failures
+    }
+
+    /// A block by hash, if known.
+    pub fn block(&self, hash: &Hash256) -> Option<&SealedBlock> {
+        self.blocks.get(hash)
+    }
+
+    /// `true` when `digest` is an op committed on the current head path
+    /// (used to dedup consensus-side injections across rotating
+    /// proposers).
+    pub fn op_committed(&self, digest: &Hash256) -> bool {
+        self.committed.contains(digest)
+    }
+
+    /// The current best chain above `height`, oldest first, at most
+    /// `limit` blocks — what anti-entropy pushes to a lagging peer.
+    pub fn blocks_above(&self, height: u64, limit: usize) -> Vec<SealedBlock> {
+        let mut path = Vec::new();
+        let mut at = self.head;
+        while at != self.anchor {
+            let block = &self.blocks[&at];
+            if block.height <= height {
+                break;
+            }
+            path.push(block.clone());
+            at = block.parent;
+        }
+        path.reverse();
+        path.truncate(limit);
+        path
+    }
+
+    /// `(height, hash)` of every best-chain block above the anchor,
+    /// oldest first — the canonical spine recovery-latency metrics are
+    /// computed against (no op payloads are cloned).
+    pub fn chain_ids(&self) -> Vec<(u64, Hash256)> {
+        let mut path = Vec::new();
+        let mut at = self.head;
+        while at != self.anchor {
+            let block = &self.blocks[&at];
+            path.push((block.height, at));
+            at = block.parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Best-chain block locator, newest first: the last 8 hashes densely,
+    /// then exponentially sparser back toward the anchor. A sync peer
+    /// finds the highest hash it shares ([`Self::fork_point`]) and serves
+    /// blocks from there — one round trip locates the divergence point no
+    /// matter how deep it is.
+    pub fn locator(&self) -> Vec<Hash256> {
+        let ids = self.chain_ids();
+        let mut locator = Vec::new();
+        let mut step = 1usize;
+        let mut back = 0usize;
+        while back < ids.len() {
+            locator.push(ids[ids.len() - 1 - back].1);
+            if locator.len() >= 8 {
+                step *= 2;
+            }
+            back += step;
+        }
+        if let Some(&(_, oldest)) = ids.first() {
+            if locator.last() != Some(&oldest) {
+                locator.push(oldest);
+            }
+        }
+        locator
+    }
+
+    /// Height of the highest locator entry on this node's best chain —
+    /// the serving floor for a [`Self::locator`]-carrying block request.
+    /// Falls back to the anchor height when nothing matches (serve
+    /// everything we have).
+    pub fn fork_point(&self, locator: &[Hash256]) -> u64 {
+        let mine: HashMap<Hash256, u64> = self
+            .chain_ids()
+            .into_iter()
+            .map(|(height, hash)| (hash, height))
+            .collect();
+        locator
+            .iter()
+            .filter_map(|hash| mine.get(hash).copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checkpoints the head engine (truncating its op log, keeping memory
+    /// bounded) and saves a durable snapshot — the artifact cold joiners
+    /// sync from.
+    pub fn snapshot_head(&mut self) -> (Vec<u8>, Checkpoint) {
+        let checkpoint = self.engine.checkpoint();
+        (self.engine.snapshot_save(), checkpoint)
+    }
+
+    /// Seals the node's own block for `(slot, rank)` on top of the current
+    /// head: applies `ops` to the head engine, records the resulting
+    /// roots, and adopts the block as the new head. The caller must be
+    /// the schedule's `(slot, rank)` leader and must not have sealed this
+    /// slot before (that would be equivocation).
+    pub fn seal_block(
+        &mut self,
+        slot: u64,
+        rank: u32,
+        proposer: NodeIdx,
+        ops: Vec<Op>,
+    ) -> SealedBlock {
+        debug_assert_eq!(self.schedule.leader(slot, rank as usize), Some(proposer));
+        debug_assert!(
+            !self.seen.contains_key(&(slot, proposer)),
+            "own equivocation"
+        );
+        debug_assert!(slot > self.head_slot, "slot already filled on this branch");
+        if self.head != self.anchor {
+            // Our own block may lose to a fallback sibling; keep the
+            // parent state so that reorg stays cheap.
+            let at_head = self.engine.clone();
+            self.cache_engine_at(self.head, at_head);
+        }
+        self.apply_ops(&ops);
+        let block = SealedBlock {
+            slot,
+            rank,
+            proposer,
+            height: self.head_height + 1,
+            parent: self.head,
+            ops,
+            state_root: self.engine.state_root(),
+            head_hash: self.engine.chain().head_hash(),
+            receipt_root: last_receipt_root(&self.engine),
+        };
+        let hash = block.hash();
+        self.blocks.insert(hash, block.clone());
+        self.children.entry(block.parent).or_default().push(hash);
+        self.seen.insert((slot, proposer), hash);
+        self.head = hash;
+        self.head_height = block.height;
+        self.head_slot = slot;
+        for op in &block.ops {
+            self.committed.insert(op.digest());
+        }
+        block
+    }
+
+    fn apply_ops(&mut self, ops: &[Op]) {
+        match self.mode {
+            ReplayMode::OpByOp => {
+                for op in ops {
+                    // Failed ops are part of history (they burn gas and
+                    // carry failure receipts); outcomes surface through
+                    // the roots.
+                    let _ = self.engine.apply(op.clone());
+                }
+            }
+            ReplayMode::Batch => {
+                let _ = self.engine.apply_batch(ops.to_vec());
+            }
+        }
+    }
+
+    /// Feeds one received block through validation, the tree, and
+    /// fork-choice. See [`InsertOutcome`].
+    pub fn insert(&mut self, block: SealedBlock) -> InsertOutcome {
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash) {
+            return InsertOutcome::AlreadyKnown;
+        }
+        if self.banned_blocks.contains(&hash) {
+            return InsertOutcome::Rejected(RejectReason::BannedBlock);
+        }
+        if let Some(reason) = self.structural_reject(&block) {
+            return InsertOutcome::Rejected(reason);
+        }
+        if let Some(ev) = self.equivocation_by(&block, hash) {
+            let (slot, proposer) = (ev.slot, ev.proposer);
+            self.convict(ev, hash);
+            let _ = self.recompute_head();
+            return InsertOutcome::Equivocation { slot, proposer };
+        }
+        let Some((parent_height, parent_slot)) = self.parent_info(&block.parent) else {
+            if self.orphan_count < ORPHAN_CAP {
+                let waiting = self.orphans.entry(block.parent).or_default();
+                if !waiting.iter().any(|b| b.hash() == hash) {
+                    waiting.push(block.clone());
+                    self.orphan_count += 1;
+                }
+            }
+            return InsertOutcome::Orphaned {
+                missing_parent: block.parent,
+            };
+        };
+        if block.height != parent_height + 1 || block.slot <= parent_slot {
+            return InsertOutcome::Rejected(RejectReason::BadLineage);
+        }
+        self.attach(hash, block);
+        self.drain_orphans(hash);
+        let (head_changed, reorged) = self.recompute_head();
+        InsertOutcome::Attached {
+            head_changed,
+            reorged,
+        }
+    }
+
+    fn structural_reject(&self, b: &SealedBlock) -> Option<RejectReason> {
+        if b.height <= self.anchor_height {
+            return Some(RejectReason::BelowAnchor);
+        }
+        if self.banned_proposers.contains(&b.proposer) {
+            return Some(RejectReason::BannedProposer);
+        }
+        if self.schedule.leader(b.slot, b.rank as usize) != Some(b.proposer) {
+            return Some(RejectReason::NotScheduled);
+        }
+        None
+    }
+
+    fn parent_info(&self, parent: &Hash256) -> Option<(u64, u64)> {
+        if *parent == self.anchor {
+            return Some((self.anchor_height, self.anchor_slot));
+        }
+        self.blocks.get(parent).map(|b| (b.height, b.slot))
+    }
+
+    /// Evidence if `block` conflicts with a previously-seen block for the
+    /// same `(slot, proposer)`.
+    fn equivocation_by(&self, block: &SealedBlock, hash: Hash256) -> Option<EquivocationEvidence> {
+        let first_hash = *self.seen.get(&(block.slot, block.proposer))?;
+        if first_hash == hash {
+            return None;
+        }
+        Some(EquivocationEvidence {
+            slot: block.slot,
+            proposer: block.proposer,
+            first: self.blocks[&first_hash].clone(),
+            second: block.clone(),
+        })
+    }
+
+    /// Records evidence and discards the equivocator: both conflicting
+    /// blocks, every other tree block by the proposer, and all their
+    /// future blocks. The resulting ban set depends only on the evidence
+    /// and the blocks known — not on arrival order — so converged peers
+    /// agree on the surviving chain.
+    fn convict(&mut self, ev: EquivocationEvidence, second_hash: Hash256) {
+        let proposer = ev.proposer;
+        self.banned_blocks.insert(ev.first.hash());
+        self.banned_blocks.insert(second_hash);
+        self.banned_proposers.insert(proposer);
+        let theirs: Vec<Hash256> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.proposer == proposer)
+            .map(|(&h, _)| h)
+            .collect();
+        self.banned_blocks.extend(theirs);
+        // Orphans by (or waiting under) the equivocator's blocks resolve
+        // through the ban checks when drained; drop their direct buffer.
+        let mut removed = 0;
+        for waiting in self.orphans.values_mut() {
+            let before = waiting.len();
+            waiting.retain(|b| b.proposer != proposer);
+            removed += before - waiting.len();
+        }
+        self.orphan_count -= removed;
+        self.orphans.retain(|_, v| !v.is_empty());
+        self.evidence.push(ev);
+    }
+
+    /// Remembers `engine` as the verified state at `hash` (capped; oldest
+    /// entries fall out — see [`ENGINE_CACHE`]).
+    fn cache_engine_at(&mut self, hash: Hash256, engine: Engine) {
+        if self.recent_engines.iter().any(|(h, _)| *h == hash) {
+            return;
+        }
+        if self.recent_engines.len() >= ENGINE_CACHE {
+            self.recent_engines.pop_front();
+        }
+        self.recent_engines.push_back((hash, engine));
+    }
+
+    fn attach(&mut self, hash: Hash256, block: SealedBlock) {
+        self.seen.insert((block.slot, block.proposer), hash);
+        self.children.entry(block.parent).or_default().push(hash);
+        self.blocks.insert(hash, block);
+    }
+
+    /// Attaches every orphan transitively unblocked by `parent`.
+    fn drain_orphans(&mut self, parent: Hash256) {
+        let mut queue = vec![parent];
+        while let Some(p) = queue.pop() {
+            let Some(waiting) = self.orphans.remove(&p) else {
+                continue;
+            };
+            self.orphan_count -= waiting.len();
+            let (parent_height, parent_slot) = self.parent_info(&p).expect("parent attached");
+            for block in waiting {
+                let hash = block.hash();
+                if self.blocks.contains_key(&hash) || self.banned_blocks.contains(&hash) {
+                    continue;
+                }
+                if self.structural_reject(&block).is_some() {
+                    continue;
+                }
+                if let Some(ev) = self.equivocation_by(&block, hash) {
+                    self.convict(ev, hash);
+                    continue;
+                }
+                if block.height != parent_height + 1 || block.slot <= parent_slot {
+                    continue;
+                }
+                self.attach(hash, block);
+                queue.push(hash);
+            }
+        }
+    }
+
+    /// Fork-choice: the best tip in the subtree under `node` (`height` is
+    /// `node`'s height). Maximizes tip height; ties resolve at this — the
+    /// earliest — divergence by the smallest `(rank, slot, hash)` child.
+    fn best_from(&self, node: Hash256, height: u64) -> (u64, Hash256) {
+        let mut best: Option<(u64, Hash256, (u32, u64, Hash256))> = None;
+        for &child in self.children.get(&node).into_iter().flatten() {
+            if self.banned_blocks.contains(&child) {
+                continue;
+            }
+            let cb = &self.blocks[&child];
+            let (tip_height, tip) = self.best_from(child, cb.height);
+            let key = (cb.rank, cb.slot, child);
+            let better = match &best {
+                None => true,
+                Some((bh, _, bkey)) => tip_height > *bh || (tip_height == *bh && key < *bkey),
+            };
+            if better {
+                best = Some((tip_height, tip, key));
+            }
+        }
+        match best {
+            Some((h, tip, _)) => (h, tip),
+            None => (height, node),
+        }
+    }
+
+    /// Re-runs fork-choice and, when the best tip moved, verifies and
+    /// adopts the new branch. Blocks that fail verification are banned
+    /// and fork-choice retried. Returns `(head_changed, reorged)`.
+    fn recompute_head(&mut self) -> (bool, bool) {
+        let mut changed = false;
+        let mut reorged = false;
+        loop {
+            let (_, tip) = self.best_from(self.anchor, self.anchor_height);
+            if tip == self.head {
+                return (changed, reorged);
+            }
+            match self.adopt(tip) {
+                Ok(was_reorg) => {
+                    changed = true;
+                    reorged |= was_reorg;
+                    if was_reorg {
+                        self.reorgs += 1;
+                    }
+                    return (changed, reorged);
+                }
+                Err(bad) => {
+                    self.banned_blocks.insert(bad);
+                    self.verify_failures += 1;
+                    // Loop: fork-choice without the liar's block.
+                }
+            }
+        }
+    }
+
+    /// Verifies and switches to the branch ending at `tip`. On success the
+    /// head engine, path metadata and committed-op set are updated; on
+    /// failure returns the hash of the first block whose replay
+    /// contradicted its claims (engine state is untouched).
+    fn adopt(&mut self, tip: Hash256) -> Result<bool, Hash256> {
+        // Path anchor → tip.
+        let mut path = Vec::new();
+        let mut at = tip;
+        while at != self.anchor {
+            path.push(at);
+            at = self.blocks[&at].parent;
+        }
+        path.reverse();
+        // Pure extension if the current head lies on the path (or is the
+        // anchor): replay only the suffix, on a scratch clone so a
+        // verification failure cannot corrupt the adopted head state.
+        let suffix_start = if self.head == self.anchor {
+            Some(0)
+        } else {
+            path.iter().position(|&h| h == self.head).map(|i| i + 1)
+        };
+        let (mut engine, todo, was_reorg) = match suffix_start {
+            Some(i) => {
+                if i > 0 && i < path.len() {
+                    // The head engine is about to advance past `head`;
+                    // keep its state around for sibling reorgs.
+                    let at_head = self.engine.clone();
+                    self.cache_engine_at(self.head, at_head);
+                }
+                (self.engine.clone(), &path[i..], false)
+            }
+            None => {
+                // Reorg: restart from the deepest cached ancestor on the
+                // new branch, falling back to the anchor engine.
+                let mut start = 0;
+                let mut from_cache = None;
+                for (i, h) in path.iter().enumerate().rev() {
+                    if let Some((_, cached)) = self.recent_engines.iter().find(|(ch, _)| ch == h) {
+                        start = i + 1;
+                        from_cache = Some(cached.clone());
+                        break;
+                    }
+                }
+                let engine = from_cache.unwrap_or_else(|| self.base.clone());
+                (engine, &path[start..], true)
+            }
+        };
+        for &h in todo {
+            let block = self.blocks[&h].clone();
+            match self.mode {
+                ReplayMode::OpByOp => {
+                    for op in block.ops.iter().cloned() {
+                        let _ = engine.apply(op);
+                    }
+                }
+                ReplayMode::Batch => {
+                    let _ = engine.apply_batch(block.ops.clone());
+                }
+            }
+            let ok = engine.state_root() == block.state_root
+                && engine.chain().head_hash() == block.head_hash
+                && last_receipt_root(&engine) == block.receipt_root;
+            if !ok {
+                return Err(h);
+            }
+            self.cache_engine_at(h, engine.clone());
+        }
+        self.engine = engine;
+        self.head = tip;
+        if tip == self.anchor {
+            // Everything above the anchor was banned away.
+            self.head_height = self.anchor_height;
+            self.head_slot = self.anchor_slot;
+        } else {
+            let tip_block = &self.blocks[&tip];
+            self.head_height = tip_block.height;
+            self.head_slot = tip_block.slot;
+        }
+        if was_reorg {
+            self.committed.clear();
+            for h in &path {
+                for op in &self.blocks[h].ops {
+                    self.committed.insert(op.digest());
+                }
+            }
+        } else {
+            for &h in todo {
+                for op in &self.blocks[&h].ops {
+                    self.committed.insert(op.digest());
+                }
+            }
+        }
+        Ok(was_reorg)
+    }
+}
+
+/// Receipt root of the engine's most recently sealed block.
+fn last_receipt_root(engine: &Engine) -> Hash256 {
+    engine
+        .chain()
+        .blocks()
+        .last()
+        .map(|b| b.receipt_root)
+        .unwrap_or(Hash256::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_chain::account::{AccountId, TokenAmount};
+    use fi_core::params::ProtocolParams;
+    use fi_crypto::RandomBeacon;
+
+    const VALIDATORS: [NodeIdx; 3] = [0, 1, 2];
+
+    fn genesis() -> Engine {
+        let mut engine = Engine::new(ProtocolParams::default()).expect("valid params");
+        engine.fund(AccountId(900), TokenAmount(1_000_000_000));
+        engine
+    }
+
+    fn tracker() -> ChainTracker {
+        let schedule =
+            ProposerSchedule::new(RandomBeacon::new(5), VALIDATORS.to_vec(), VALIDATORS.len());
+        ChainTracker::new(genesis(), schedule, ReplayMode::OpByOp)
+    }
+
+    /// A valid block for `(slot, rank)` extending `parent` (a hash in the
+    /// tracker, or the head) — roots computed on a scratch replay, like a
+    /// remote proposer would.
+    fn forge(tracker: &ChainTracker, slot: u64, rank: u32, ops: Vec<Op>) -> SealedBlock {
+        let proposer = tracker
+            .schedule()
+            .leader(slot, rank as usize)
+            .expect("rank");
+        let mut engine = tracker.engine().clone();
+        for op in ops.iter().cloned() {
+            let _ = engine.apply(op);
+        }
+        SealedBlock {
+            slot,
+            rank,
+            proposer,
+            height: tracker.head_height() + 1,
+            parent: tracker.head(),
+            ops,
+            state_root: engine.state_root(),
+            head_hash: engine.chain().head_hash(),
+            receipt_root: last_receipt_root(&engine),
+        }
+    }
+
+    fn advance_ops(slot: u64) -> Vec<Op> {
+        vec![Op::AdvanceTo { target: slot * 30 }]
+    }
+
+    #[test]
+    fn blocks_adopt_in_order_and_update_the_head_engine() {
+        let mut t = tracker();
+        for slot in 1..=3 {
+            let block = forge(&t, slot, 0, advance_ops(slot));
+            let hash = block.hash();
+            assert_eq!(
+                t.insert(block),
+                InsertOutcome::Attached {
+                    head_changed: true,
+                    reorged: false
+                }
+            );
+            assert_eq!(t.head(), hash);
+            assert_eq!(t.head_height(), slot);
+        }
+        assert_eq!(t.engine().now(), 90, "AdvanceTo barriers replayed");
+        assert_eq!(t.reorgs(), 0);
+    }
+
+    #[test]
+    fn orphans_wait_for_their_parent_then_attach() {
+        let mut t = tracker();
+        let b1 = forge(&t, 1, 0, advance_ops(1));
+        // Forge slot 2 on a lookahead clone so it extends b1.
+        let mut ahead = tracker();
+        ahead.insert(b1.clone());
+        let b2 = forge(&ahead, 2, 0, advance_ops(2));
+        assert_eq!(
+            t.insert(b2.clone()),
+            InsertOutcome::Orphaned {
+                missing_parent: b1.hash()
+            }
+        );
+        assert_eq!(t.head_height(), 0, "orphan alone moves nothing");
+        assert_eq!(
+            t.insert(b1),
+            InsertOutcome::Attached {
+                head_changed: true,
+                reorged: false
+            }
+        );
+        assert_eq!(t.head(), b2.hash(), "orphan drained behind its parent");
+        assert_eq!(t.head_height(), 2);
+    }
+
+    #[test]
+    fn fork_choice_prefers_the_lower_rank_whichever_arrives_first() {
+        let build = |first_rank: u32, second_rank: u32| {
+            let mut t = tracker();
+            let a = forge(&t, 1, first_rank, advance_ops(1));
+            let b = forge(&t, 1, second_rank, advance_ops(1));
+            t.insert(a);
+            t.insert(b);
+            t
+        };
+        let rank_first = build(0, 1);
+        let fallback_first = build(1, 0);
+        assert_eq!(rank_first.head(), fallback_first.head(), "same winner");
+        let head = rank_first
+            .block(&rank_first.head())
+            .expect("head block")
+            .clone();
+        assert_eq!(head.rank, 0, "schedule priority wins the tie");
+        // The node that adopted the fallback first had to reorg onto the
+        // scheduled leader's block.
+        assert_eq!(fallback_first.reorgs(), 1);
+        assert_eq!(rank_first.reorgs(), 0);
+    }
+
+    #[test]
+    fn longer_chains_beat_schedule_priority() {
+        let mut t = tracker();
+        let fallback = forge(&t, 1, 1, advance_ops(1));
+        let mut ahead = tracker();
+        ahead.insert(fallback.clone());
+        let child = forge(&ahead, 2, 0, advance_ops(2));
+        let leader_late = forge(&t, 1, 0, advance_ops(1));
+        t.insert(fallback);
+        t.insert(child.clone());
+        // The scheduled leader's lone block arrives last: height wins, the
+        // two-block fallback branch stays the head.
+        t.insert(leader_late);
+        assert_eq!(t.head(), child.hash());
+        assert_eq!(t.head_height(), 2);
+    }
+
+    #[test]
+    fn equivocation_records_evidence_and_every_node_picks_the_same_winner() {
+        // The slot-1 leader signs two different blocks; a fallback block
+        // for the same slot also exists. Whatever the arrival order, the
+        // equivocator's blocks are discarded and the fallback wins.
+        let base = tracker();
+        let a = forge(&base, 1, 0, advance_ops(1));
+        let a2 = forge(&base, 1, 0, vec![Op::AdvanceTo { target: 31 }]);
+        let b = forge(&base, 1, 1, advance_ops(1));
+        assert_ne!(a.hash(), a2.hash());
+        let proposer = a.proposer;
+
+        let orders: [[&SealedBlock; 3]; 3] = [[&a, &a2, &b], [&a2, &b, &a], [&b, &a, &a2]];
+        let mut heads = Vec::new();
+        for order in orders {
+            let mut t = tracker();
+            let mut convicted = false;
+            for block in order {
+                if let InsertOutcome::Equivocation { slot, proposer: p } = t.insert(block.clone()) {
+                    assert_eq!((slot, p), (1, proposer));
+                    convicted = true;
+                }
+            }
+            assert!(convicted, "the conflicting pair must convict");
+            assert_eq!(t.evidence().len(), 1);
+            assert!(t.banned_proposers().contains(&proposer));
+            // Future blocks by the equivocator bounce at the door.
+            let late = forge(
+                &t,
+                4,
+                t.schedule().rank_of(4, proposer).map_or(0, |r| r as u32),
+                advance_ops(4),
+            );
+            if late.proposer == proposer {
+                assert_eq!(
+                    t.insert(late),
+                    InsertOutcome::Rejected(RejectReason::BannedProposer)
+                );
+            }
+            heads.push(t.head());
+        }
+        assert!(heads.windows(2).all(|w| w[0] == w[1]), "identical winner");
+        assert_eq!(heads[0], b.hash(), "the honest fallback block survives");
+    }
+
+    #[test]
+    fn lying_roots_get_the_block_banned_not_adopted() {
+        let mut t = tracker();
+        let mut liar = forge(&t, 1, 0, advance_ops(1));
+        liar.state_root = sha256(b"not the real root");
+        let hash = liar.hash();
+        assert_eq!(
+            t.insert(liar),
+            InsertOutcome::Attached {
+                head_changed: false,
+                reorged: false
+            }
+        );
+        assert_eq!(t.head_height(), 0, "liar never adopted");
+        assert_eq!(t.verify_failures(), 1);
+        // An honest block for the same slot from the fallback proceeds.
+        let honest = forge(&t, 1, 1, advance_ops(1));
+        assert_eq!(
+            t.insert(honest.clone()),
+            InsertOutcome::Attached {
+                head_changed: true,
+                reorged: false
+            }
+        );
+        assert_eq!(t.head(), honest.hash());
+        assert_ne!(t.head(), hash);
+    }
+
+    #[test]
+    fn wrong_proposer_and_bad_lineage_rejected() {
+        let mut t = tracker();
+        let mut wrong = forge(&t, 1, 0, advance_ops(1));
+        // Claim rank 1 while keeping rank 0's proposer (they differ for
+        // any slot where order[0] != order[1], true by construction).
+        wrong.rank = 1;
+        if t.schedule().leader(1, 1) != Some(wrong.proposer) {
+            assert_eq!(
+                t.insert(wrong),
+                InsertOutcome::Rejected(RejectReason::NotScheduled)
+            );
+        }
+        let good = forge(&t, 1, 0, advance_ops(1));
+        t.insert(good);
+        // A properly-scheduled child claiming the wrong height.
+        let mut bad_height = forge(&t, 2, 0, advance_ops(2));
+        bad_height.height = 3;
+        assert_eq!(
+            t.insert(bad_height),
+            InsertOutcome::Rejected(RejectReason::BadLineage)
+        );
+    }
+}

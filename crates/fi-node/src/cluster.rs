@@ -1,31 +1,36 @@
-//! Cluster assembly: identical genesis engines, one proposer, N verifying
-//! followers, a workload driver, and (optionally) a cold-start joiner,
+//! Cluster assembly: identical genesis engines, N beacon-rotated
+//! validators, a workload driver, and (optionally) a cold-start watcher,
 //! wired into one `fi_net::World`.
 //!
 //! Every online-from-genesis node builds its own copy of the same genesis
 //! engine (funding + sector registrations applied through the typed op
-//! layer), so consensus equality across nodes is meaningful from round 1.
-//! The cold-start joiner deliberately builds nothing: it syncs from the
-//! proposer's durable snapshot mid-run.
+//! layer), so consensus equality across nodes is meaningful from slot 1.
+//! The cold-start watcher deliberately builds nothing: it syncs from a
+//! validator's on-demand snapshot mid-run.
+//!
+//! Node layout is deterministic and part of the harness contract — fault
+//! schedules in tests address nodes by it: validators occupy indices
+//! `0..N-1` (in [`ProposerSchedule`] registration order), the client
+//! driver is node `N`, and the watcher (when configured) node `N + 1`.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use fi_chain::account::{AccountId, TokenAmount};
-use fi_chain::gas::GasSchedule;
 use fi_core::engine::Engine;
+use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
 use fi_core::types::SectorId;
+use fi_crypto::RandomBeacon;
 use fi_net::link::LinkModel;
 use fi_net::sim::SimTime;
 use fi_net::world::World;
 
+use crate::chain::ReplayMode;
 use crate::client::{ClientDriver, ClientReport, WorkloadConfig};
-use crate::mempool::Mempool;
-use crate::node::{
-    Follower, FollowerReport, FollowerStart, NodeMsg, Proposer, ProposerReport, ReplayMode,
-};
+use crate::node::{ConsensusConfig, NodeMsg, NodeStart, Validator, ValidatorReport};
+use crate::schedule::ProposerSchedule;
 
 /// Everything needed to assemble one simulated cluster.
 #[derive(Debug, Clone)]
@@ -37,31 +42,50 @@ pub struct ClusterConfig {
     pub providers: Vec<(AccountId, Vec<u64>)>,
     /// The client account adding/reading/discarding files.
     pub client: AccountId,
-    /// The link model every node pair shares.
+    /// The link model every node pair shares (per-link overrides go
+    /// through [`World::set_link_between`] on the built world).
     pub link: LinkModel,
-    /// World seed (link jitter/loss draws and the workload rng).
+    /// World seed: link draws, the workload rng, **and** the proposer
+    /// beacon — one seed determines the whole run.
     pub seed: u64,
-    /// Blocks the proposer produces before going quiet.
-    pub rounds: u64,
-    /// Rounds between the proposer's checkpoint→snapshot→truncate runs.
-    pub checkpoint_every: u64,
-    /// Replay mode of each online-from-genesis follower.
-    pub followers: Vec<ReplayMode>,
-    /// When set, one extra follower cold-starts at this time and syncs
-    /// from the proposer's snapshot.
+    /// Slots the cluster produces before validators go quiet (anti-entropy
+    /// continues through the drain margin).
+    pub slots: u64,
+    /// Extra wait per fallback rank before it fills a slot the scheduled
+    /// leader left empty.
+    pub skip_timeout: SimTime,
+    /// Ticks between anti-entropy status exchanges.
+    pub sync_every: SimTime,
+    /// Fallback ranks per slot (clamped to the validator count).
+    pub max_ranks: usize,
+    /// Replay mode of each genesis validator — the vector's length is the
+    /// validator count.
+    pub validator_modes: Vec<ReplayMode>,
+    /// Keep full op logs on head engines (for replay-equivalence tests).
+    pub record_op_log: bool,
+    /// When set, a watcher node cold-starts at this time and syncs from a
+    /// validator's snapshot.
     pub cold_join_at: Option<SimTime>,
     /// Workload shape for the client driver.
     pub workload: WorkloadConfig,
+    /// Consensus-side `(due slot, op)` injections, handed to every
+    /// validator and included once by whichever node leads first (the §V
+    /// fault scripts — `FailSector`, `CorruptSector`, `ForceDiscard` —
+    /// enter the chain through these).
+    pub injections: Vec<(u64, Op)>,
 }
 
 impl ClusterConfig {
-    /// A small, fast default: 3 op-by-op followers, no joiner.
-    pub fn small(seed: u64, rounds: u64) -> Self {
+    /// A small, fast default: 3 validators on mixed replay modes, lossy
+    /// links, no watcher.
+    pub fn small(seed: u64, slots: u64) -> Self {
+        let params = ProtocolParams {
+            k: 3,
+            ..ProtocolParams::default()
+        };
+        let interval = params.block_interval;
         ClusterConfig {
-            params: ProtocolParams {
-                k: 3,
-                ..ProtocolParams::default()
-            },
+            params,
             providers: vec![
                 (AccountId(700), vec![640, 640]),
                 (AccountId(701), vec![1_280]),
@@ -70,26 +94,47 @@ impl ClusterConfig {
             client: AccountId(900),
             link: LinkModel::lossy(0.1),
             seed,
-            rounds,
-            checkpoint_every: 25,
-            followers: vec![ReplayMode::OpByOp; 3],
+            slots,
+            skip_timeout: (interval / 3).max(2),
+            sync_every: (interval / 2).max(2),
+            max_ranks: 3,
+            validator_modes: vec![ReplayMode::OpByOp, ReplayMode::Batch, ReplayMode::OpByOp],
+            record_op_log: false,
             cold_join_at: None,
             workload: WorkloadConfig::default(),
+            injections: Vec::new(),
         }
+    }
+
+    /// The deterministic proposer schedule this configuration induces.
+    pub fn schedule(&self) -> ProposerSchedule {
+        ProposerSchedule::new(
+            RandomBeacon::new(self.seed),
+            (0..self.validator_modes.len()).collect(),
+            self.max_ranks,
+        )
+    }
+
+    /// Node index of the client driver (validators fill `0..client`).
+    pub fn client_node(&self) -> usize {
+        self.validator_modes.len()
+    }
+
+    /// Node index of the cold-start watcher, when configured.
+    pub fn watcher_node(&self) -> Option<usize> {
+        self.cold_join_at.map(|_| self.validator_modes.len() + 1)
     }
 }
 
 /// Shared result handles for every node of a built cluster (the world owns
 /// the boxed processes; results surface through these).
 pub struct ClusterReports {
-    /// The proposer's per-round commitments and maintenance counters.
-    pub proposer: Rc<RefCell<ProposerReport>>,
-    /// One verification record per genesis follower, in config order.
-    pub followers: Vec<Rc<RefCell<FollowerReport>>>,
-    /// The cold-start joiner's record, when configured.
-    pub joiner: Option<Rc<RefCell<FollowerReport>>>,
+    /// One record per genesis validator, in node-index order.
+    pub validators: Vec<Rc<RefCell<ValidatorReport>>>,
     /// The workload driver's submission counters.
     pub client: Rc<RefCell<ClientReport>>,
+    /// The cold-start watcher's record, when configured.
+    pub watcher: Option<Rc<RefCell<ValidatorReport>>>,
 }
 
 /// Builds the shared genesis: every provider funded and its sectors
@@ -121,94 +166,111 @@ pub fn genesis_engine(
     (engine, sector_owner)
 }
 
-/// Assembles the world: node 0 is the proposer, nodes `1..=F` the genesis
-/// followers, node `F+1` the client driver, and (when configured) the last
-/// node the cold-start joiner. Run it with `world.run_until(...)` —
-/// [`ClusterConfig::rounds`] blocks take `rounds × block_interval` ticks
-/// plus retransmit drain.
+/// Assembles the world in the layout documented at the module top:
+/// validators `0..N-1`, client `N`, watcher `N + 1`. Schedule faults on
+/// the returned [`World`] before running it.
+///
+/// # Panics
+///
+/// Panics when `validator_modes` is empty.
 pub fn build_cluster(cfg: &ClusterConfig) -> (World<NodeMsg>, ClusterReports) {
+    assert!(
+        !cfg.validator_modes.is_empty(),
+        "a cluster needs validators"
+    );
     let mut world = World::new(cfg.link, cfg.seed);
     let (genesis, sector_owner) = genesis_engine(&cfg.params, &cfg.providers, cfg.client);
+    let schedule = cfg.schedule();
+    let consensus = ConsensusConfig {
+        block_interval: cfg.params.block_interval,
+        skip_timeout: cfg.skip_timeout.max(2),
+        sync_every: cfg.sync_every.max(2),
+        slots_total: cfg.slots,
+        record_op_log: cfg.record_op_log,
+        join_retry: 20,
+    };
 
-    let proposer_report = Rc::new(RefCell::new(ProposerReport::default()));
-    let follower_reports: Vec<Rc<RefCell<FollowerReport>>> = cfg
-        .followers
-        .iter()
-        .map(|_| Rc::new(RefCell::new(FollowerReport::default())))
+    let validator_count = cfg.validator_modes.len();
+    let client_idx = cfg.client_node();
+
+    let validator_reports: Vec<Rc<RefCell<ValidatorReport>>> = (0..validator_count)
+        .map(|_| Rc::new(RefCell::new(ValidatorReport::default())))
         .collect();
-    let client_report = Rc::new(RefCell::new(ClientReport::default()));
-
-    // Node indices are assigned in add() order; the proposer must know its
-    // followers' indices up front, so lay them out deterministically.
-    let proposer_idx = 0;
-    let follower_idxs: Vec<usize> = (1..=cfg.followers.len()).collect();
-    let client_idx = cfg.followers.len() + 1;
-
-    let mempool = Mempool::new(cfg.params.clone(), GasSchedule::default());
-    // The client driver replays blocks too: it must receive them like any
-    // follower (the joiner is added on demand via its JoinRequest).
-    let mut broadcast_to = follower_idxs.clone();
-    broadcast_to.push(client_idx);
-    let proposer = Proposer::new(
-        genesis.clone(),
-        mempool,
-        broadcast_to,
-        cfg.rounds,
-        cfg.checkpoint_every,
-        Rc::clone(&proposer_report),
-    );
-    assert_eq!(world.add(proposer), proposer_idx);
-
-    for (mode, report) in cfg.followers.iter().zip(&follower_reports) {
-        let follower = Follower::new(
-            FollowerStart::Genesis(Box::new(genesis.clone())),
+    for (me, (mode, report)) in cfg
+        .validator_modes
+        .iter()
+        .zip(&validator_reports)
+        .enumerate()
+    {
+        let peers: Vec<usize> = (0..validator_count).filter(|&p| p != me).collect();
+        // Proposals reach every other validator and the client's replica;
+        // status exchanges stay validator-to-validator.
+        let mut broadcast = peers.clone();
+        broadcast.push(client_idx);
+        let validator = Validator::new(
+            me,
+            NodeStart::Genesis(Box::new(genesis.clone())),
+            schedule.clone(),
             *mode,
-            proposer_idx,
+            consensus.clone(),
+            broadcast,
+            peers,
+            cfg.injections.clone(),
             Rc::clone(report),
         );
-        world.add(follower);
+        assert_eq!(world.add(validator), me);
     }
 
+    let client_report = Rc::new(RefCell::new(ClientReport::default()));
     let client = ClientDriver::new(
         genesis,
-        proposer_idx,
+        schedule.clone(),
         sector_owner,
         cfg.client,
         cfg.seed,
+        cfg.sync_every.max(2),
         cfg.workload.clone(),
         Rc::clone(&client_report),
     );
     assert_eq!(world.add(client), client_idx);
 
-    let joiner = cfg.cold_join_at.map(|wake_at| {
-        let report = Rc::new(RefCell::new(FollowerReport::default()));
-        let follower = Follower::new(
-            FollowerStart::ColdJoin { wake_at },
+    let watcher = cfg.cold_join_at.map(|wake_at| {
+        let report = Rc::new(RefCell::new(ValidatorReport::default()));
+        let watcher = Validator::new(
+            client_idx + 1,
+            NodeStart::ColdJoin { wake_at },
+            schedule.clone(),
             ReplayMode::OpByOp,
-            proposer_idx,
+            consensus.clone(),
+            Vec::new(),
+            (0..validator_count).collect(),
+            Vec::new(),
             Rc::clone(&report),
         );
-        world.add(follower);
+        assert_eq!(world.add(watcher), client_idx + 1);
         report
     });
 
     (
         world,
         ClusterReports {
-            proposer: proposer_report,
-            followers: follower_reports,
-            joiner,
+            validators: validator_reports,
             client: client_report,
+            watcher,
         },
     )
 }
 
-/// Runs a built cluster to completion: `rounds` of production plus a
-/// drain margin for in-flight retransmissions, returning the world for
-/// inspection.
+/// Runs a built cluster to completion: `slots` of production plus a drain
+/// margin for skip timeouts, retransmissions, and post-fault anti-entropy
+/// reconvergence, returning the world for inspection.
 pub fn run_cluster(cfg: &ClusterConfig) -> (World<NodeMsg>, ClusterReports) {
     let (mut world, reports) = build_cluster(cfg);
-    let horizon = (cfg.rounds + 50) * cfg.params.block_interval;
-    world.run_until(horizon);
+    world.run_until(cluster_horizon(cfg));
     (world, reports)
+}
+
+/// The virtual-time horizon [`run_cluster`] drains to.
+pub fn cluster_horizon(cfg: &ClusterConfig) -> SimTime {
+    (cfg.slots + 40) * cfg.params.block_interval
 }

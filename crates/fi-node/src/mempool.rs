@@ -22,8 +22,16 @@
 //! Everything is deterministic: accounts iterate in id order, ties in fee
 //! break by arrival sequence, and no wall clock is consulted — two nodes
 //! fed the same submissions in the same order build the same blocks.
+//!
+//! Under proposer rotation the pool also **follows the chain**:
+//! [`Mempool::observe_committed`] drops transactions another proposer
+//! committed and advances the account frontiers, and the rejection
+//! tombstones are bounded by [`ProtocolParams::tombstone_retention_blocks`]
+//! — after that many blocks a stalled frontier steps over the aged
+//! tombstone (or gap) instead of waiting forever for a nonce that will
+//! never arrive.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use fi_chain::account::{AccountId, Ledger, TokenAmount};
 use fi_chain::gas::{GasSchedule, Op as GasOp};
@@ -138,6 +146,15 @@ pub struct MempoolStats {
     pub rejected_consensus_only: u64,
     /// Transactions selected into blocks.
     pub selected: u64,
+    /// Queued transactions removed because a committed block already
+    /// carried their op (committed via this or another proposer).
+    pub observed_committed: u64,
+    /// Tombstones folded away because they aged past the retention window
+    /// while the frontier was stalled below them.
+    pub tombstones_expired: u64,
+    /// Frontier jumps over aged gaps (nonces never seen by this pool,
+    /// presumed committed elsewhere or lost by the client).
+    pub gaps_jumped: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -146,6 +163,10 @@ struct QueuedTx {
     arrival: u64,
     gas_bound: u64,
     cost: TokenAmount,
+    /// Pool height when admitted — lets a gapped queue age out (the
+    /// missing lower nonces were committed through another node's pool or
+    /// lost for good).
+    admitted_height: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -155,19 +176,27 @@ struct AccountQueue {
     /// Summed admission-cost estimates of the queued transactions.
     pending_cost: TokenAmount,
     txs: BTreeMap<u64, QueuedTx>,
-    /// Nonces consumed by *rejected* submissions. The submitter burned
-    /// the nonce client-side (it cannot un-send), so selection must treat
-    /// it as spent or the account's queue would gap forever behind it.
-    /// Only content rejections (duplicate, funds, capacity, non-client
-    /// op) tombstone; nonce rejections are retransmit duplicates of a
-    /// live or spent nonce and must not.
-    tombstones: std::collections::BTreeSet<u64>,
+    /// Nonces consumed by *rejected* submissions, keyed to the pool height
+    /// that burned them. The submitter burned the nonce client-side (it
+    /// cannot un-send), so selection must treat it as spent or the
+    /// account's queue would gap forever behind it. Only content
+    /// rejections (duplicate, funds, capacity, non-client op) tombstone;
+    /// nonce rejections are retransmit duplicates of a live or spent
+    /// nonce and must not. The set is bounded:
+    /// [`ProtocolParams::tombstone_retention_blocks`] blocks after birth a
+    /// tombstone stalling the frontier is folded away.
+    tombstones: BTreeMap<u64, u64>,
 }
 
 impl AccountQueue {
     /// Folds tombstones at the selection frontier into `next_nonce`.
+    ///
+    /// This is the **only** way a tombstone leaves the map — always by
+    /// advancing the frontier past it, never by forgetting it — which is
+    /// what keeps eviction from re-opening the burned-nonce gap: a nonce
+    /// once tombstoned can never become selectable again.
     fn normalize(&mut self) {
-        while self.tombstones.remove(&self.next_nonce) {
+        while self.tombstones.remove(&self.next_nonce).is_some() {
             self.next_nonce += 1;
         }
     }
@@ -181,9 +210,15 @@ pub struct Mempool {
     /// `BTreeMap`, not `HashMap`: selection iterates accounts, and the
     /// block it builds must not depend on hash order.
     accounts: BTreeMap<AccountId, AccountQueue>,
-    queued_digests: HashSet<Hash256>,
+    /// Digest → (account, nonce) of every queued transaction, so
+    /// [`Mempool::observe_committed`] can drop a tx another proposer
+    /// committed without scanning the queues.
+    queued_digests: HashMap<Hash256, (AccountId, u64)>,
     len: usize,
     arrivals: u64,
+    /// Highest chain height observed via [`Mempool::observe_committed`];
+    /// the clock tombstone retention is measured against.
+    height: u64,
     stats: MempoolStats,
 }
 
@@ -252,9 +287,10 @@ impl Mempool {
             params,
             gas,
             accounts: BTreeMap::new(),
-            queued_digests: HashSet::new(),
+            queued_digests: HashMap::new(),
             len: 0,
             arrivals: 0,
+            height: 0,
             stats: MempoolStats::default(),
         }
     }
@@ -295,9 +331,10 @@ impl Mempool {
     /// below the frontier or occupied by a live transaction are
     /// retransmit duplicates and are left alone.
     fn consume_nonce(&mut self, from: AccountId, nonce: u64) {
+        let height = self.height;
         let queue = self.accounts.entry(from).or_default();
         if nonce >= queue.next_nonce && !queue.txs.contains_key(&nonce) {
-            queue.tombstones.insert(nonce);
+            queue.tombstones.insert(nonce, height);
             queue.normalize();
         }
     }
@@ -345,7 +382,7 @@ impl Mempool {
             return Err(AdmitError::NonceOccupied { nonce: tx.nonce });
         }
         let digest = tx.op.digest();
-        if self.queued_digests.contains(&digest) {
+        if self.queued_digests.contains_key(&digest) {
             self.stats.rejected_duplicate += 1;
             self.consume_nonce(tx.from, tx.nonce);
             return Err(AdmitError::DuplicateOp);
@@ -359,18 +396,20 @@ impl Mempool {
             self.consume_nonce(tx.from, tx.nonce);
             return Err(AdmitError::InsufficientFunds { balance, required });
         }
-        let queue = self.accounts.get_mut(&tx.from).expect("entry created");
+        let (from, nonce) = (tx.from, tx.nonce);
+        let queue = self.accounts.get_mut(&from).expect("entry created");
         queue.pending_cost = required;
         queue.txs.insert(
-            tx.nonce,
+            nonce,
             QueuedTx {
                 tx,
                 arrival: self.arrivals,
                 gas_bound: bound,
                 cost,
+                admitted_height: self.height,
             },
         );
-        self.queued_digests.insert(digest);
+        self.queued_digests.insert(digest, (from, nonce));
         self.arrivals += 1;
         self.len += 1;
         self.stats.admitted += 1;
@@ -431,6 +470,106 @@ impl Mempool {
             picked.push(head.tx);
         }
         (picked, gas_used)
+    }
+
+    /// Highest chain height this pool has observed.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Rejection tombstones currently held across all accounts. Bounded:
+    /// any tombstone stalling a frontier is folded within
+    /// [`ProtocolParams::tombstone_retention_blocks`] observed blocks.
+    pub fn tombstone_count(&self) -> usize {
+        self.accounts.values().map(|q| q.tombstones.len()).sum()
+    }
+
+    /// Follows the chain: call with every adopted block's ops and height
+    /// (own proposals *and* blocks adopted from other proposers).
+    ///
+    /// Transactions whose op a committed block already carries are dropped
+    /// from the pool and their nonces folded into the frontier — without
+    /// this, a tx committed through another proposer's pool would sit here
+    /// forever, stalling the account's later nonces. Afterwards, frontiers
+    /// stalled on items older than
+    /// [`ProtocolParams::tombstone_retention_blocks`] step over the aged
+    /// gap (see `evict_expired`), which is what bounds the tombstone set.
+    pub fn observe_committed(&mut self, ops: &[Op], height: u64) {
+        self.height = self.height.max(height);
+        for op in ops {
+            let Some((from, nonce)) = self.queued_digests.remove(&op.digest()) else {
+                continue;
+            };
+            let queue = self.accounts.get_mut(&from).expect("indexed account");
+            if let Some(q) = queue.txs.remove(&nonce) {
+                queue.pending_cost = queue.pending_cost.saturating_sub(q.cost);
+                self.len -= 1;
+                self.stats.observed_committed += 1;
+            }
+            // The nonce is spent on-chain; mark it so the frontier folds
+            // past it exactly like a rejection-burned nonce.
+            if nonce >= queue.next_nonce {
+                queue.tombstones.insert(nonce, self.height);
+            }
+            queue.normalize();
+        }
+        self.evict_expired();
+    }
+
+    /// Steps stalled account frontiers over items older than
+    /// [`ProtocolParams::tombstone_retention_blocks`].
+    ///
+    /// Eviction only ever *advances* the frontier — a tombstone is folded
+    /// by jumping `next_nonce` past it, never by forgetting it while the
+    /// frontier is still below — so a burned nonce can never become
+    /// admissible again (the PR 5 gap stays closed). Jumping over nonces
+    /// this pool never saw un-wedges accounts whose lower nonces were
+    /// committed through another proposer's pool or lost by the client.
+    fn evict_expired(&mut self) {
+        let retention = self.params.tombstone_retention_blocks;
+        let height = self.height;
+        let (mut expired, mut jumped) = (0u64, 0u64);
+        for queue in self.accounts.values_mut() {
+            loop {
+                queue.normalize();
+                if queue.txs.contains_key(&queue.next_nonce) {
+                    break; // head selectable — nothing stalls
+                }
+                // The lowest item above the frontier is what the account
+                // is waiting behind: a burned tombstone or a gapped tx.
+                let tomb = queue.tombstones.iter().next().map(|(&n, &b)| (n, b, true));
+                let gapped = queue
+                    .txs
+                    .iter()
+                    .next()
+                    .map(|(&n, q)| (n, q.admitted_height, false));
+                let (nonce, born, is_tomb) = match (tomb, gapped) {
+                    (None, None) => break, // idle account
+                    (Some(t), None) => t,
+                    (None, Some(q)) => q,
+                    (Some(t), Some(q)) => {
+                        if t.0 < q.0 {
+                            t
+                        } else {
+                            q
+                        }
+                    }
+                };
+                if height.saturating_sub(born) < retention {
+                    break; // still within the retention window
+                }
+                // Aged out: the nonces in the gap below are never coming.
+                // Advance the frontier *to* the item — a tombstone then
+                // folds via normalize, a queued tx becomes selectable.
+                queue.next_nonce = nonce;
+                jumped += 1;
+                if is_tomb {
+                    expired += 1;
+                }
+            }
+        }
+        self.stats.tombstones_expired += expired;
+        self.stats.gaps_jumped += jumped;
     }
 }
 
@@ -781,6 +920,109 @@ mod tests {
         let (block, _) = pool.select_block();
         assert_eq!(block.len(), 5);
         assert_eq!(pool.len(), 15);
+    }
+
+    fn pool_with_retention(retention: u64) -> Mempool {
+        let params = ProtocolParams {
+            mempool_cap: 100,
+            block_gas_limit: 1_000_000,
+            block_ops_limit: 100,
+            tombstone_retention_blocks: retention,
+            ..ProtocolParams::default()
+        };
+        Mempool::new(params, GasSchedule::default())
+    }
+
+    #[test]
+    fn tombstone_eviction_never_reopens_the_burned_nonce_gap() {
+        let mut pool = pool_with_retention(4);
+        let ledger = rich_ledger();
+        // Queue a tx at nonce 4, then burn nonce 3 with a duplicate of its
+        // op: tombstone at 3, queued tx at 4, frontier stalled at 0 behind
+        // the never-seen nonces 0..=2.
+        pool.admit(prove_tx(A, 4, 1, 9), &ledger).unwrap();
+        assert_eq!(
+            pool.admit(prove_tx(A, 3, 1, 9), &ledger),
+            Err(AdmitError::DuplicateOp)
+        );
+        assert_eq!(pool.tombstone_count(), 1);
+        // Young: within the retention window nothing is evicted and the
+        // account contributes nothing.
+        pool.observe_committed(&[], 3);
+        assert_eq!(pool.tombstone_count(), 1);
+        let (block, _) = pool.select_block();
+        assert!(block.is_empty(), "gap still within retention");
+        // Aged: the frontier steps over the gap and the tombstone — by
+        // advancing past them, never by re-opening them.
+        pool.observe_committed(&[], 4);
+        assert_eq!(pool.tombstone_count(), 0, "stalling tombstone folded");
+        assert!(pool.stats().tombstones_expired >= 1);
+        let (block, _) = pool.select_block();
+        assert_eq!(
+            block.iter().map(|t| t.nonce).collect::<Vec<_>>(),
+            vec![4],
+            "queued tx behind the aged gap drains"
+        );
+        // The burned nonce can never come back: a fresh submission at the
+        // evicted tombstone's nonce (or anywhere in the jumped gap) is
+        // stale, not admissible.
+        assert_eq!(
+            pool.admit(prove_tx(A, 3, 1, 50), &ledger),
+            Err(AdmitError::StaleNonce {
+                expected_at_least: 5,
+                got: 3
+            })
+        );
+        assert_eq!(
+            pool.admit(prove_tx(A, 0, 1, 51), &ledger),
+            Err(AdmitError::StaleNonce {
+                expected_at_least: 5,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn observe_committed_drops_foreign_committed_txs() {
+        let mut pool = pool_with_retention(32);
+        let ledger = rich_ledger();
+        let tx0 = prove_tx(A, 0, 1, 1);
+        let tx1 = prove_tx(A, 1, 1, 2);
+        pool.admit(tx0.clone(), &ledger).unwrap();
+        pool.admit(tx1, &ledger).unwrap();
+        // Another proposer's block carries tx0's op: the pool drops it and
+        // advances the frontier so nonce 1 is immediately selectable.
+        pool.observe_committed(std::slice::from_ref(&tx0.op), 1);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.stats().observed_committed, 1);
+        assert_eq!(pool.height(), 1);
+        let (block, _) = pool.select_block();
+        assert_eq!(block.iter().map(|t| t.nonce).collect::<Vec<_>>(), vec![1]);
+        // The committed tx cannot be replayed: its digest is free again
+        // (recurring proofs re-use ops) but the nonce is spent.
+        assert_eq!(
+            pool.admit(tx0, &ledger),
+            Err(AdmitError::StaleNonce {
+                expected_at_least: 2,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn aged_gap_jump_unwedges_foreign_nonce_holes() {
+        let mut pool = pool_with_retention(4);
+        let ledger = rich_ledger();
+        // A's nonces 0 and 1 went through another validator's pool; we
+        // only ever saw nonce 2. Without eviction it would stall forever.
+        pool.admit(prove_tx(A, 2, 1, 7), &ledger).unwrap();
+        pool.observe_committed(&[], 3);
+        let (block, _) = pool.select_block();
+        assert!(block.is_empty(), "hole younger than retention");
+        pool.observe_committed(&[], 4);
+        assert!(pool.stats().gaps_jumped >= 1);
+        let (block, _) = pool.select_block();
+        assert_eq!(block.iter().map(|t| t.nonce).collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Beacon-driven proposer rotation.
+//!
+//! Every validator derives the identical proposer order for every slot
+//! from [`RandomBeacon::permutation`] over the registered validator set —
+//! no messages, no view changes: the beacon *is* the agreement (§III-F
+//! treats the beacon as given; rotation is the standard way chains turn
+//! one into a leader schedule).
+//!
+//! Position 0 of a slot's order is the scheduled leader; positions
+//! `1..max_ranks` are fallback ranks. A rank-`r` proposer only speaks
+//! after `r` skip timeouts pass without a block for the slot, so under
+//! normal operation exactly one block per slot exists, and when the leader
+//! is crashed or partitioned away the next rank takes over
+//! deterministically (the fork-choice in [`crate::chain`] prefers the
+//! lowest rank if several raced).
+
+use fi_crypto::RandomBeacon;
+use fi_net::world::NodeIdx;
+
+/// The deterministic proposer order for every slot.
+#[derive(Debug, Clone)]
+pub struct ProposerSchedule {
+    beacon: RandomBeacon,
+    validators: Vec<NodeIdx>,
+    max_ranks: usize,
+}
+
+impl ProposerSchedule {
+    /// A schedule over `validators` (the registered node set; order is
+    /// part of consensus, so every node must pass the same vector), with
+    /// up to `max_ranks` fallback ranks per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty validator set or `max_ranks == 0`.
+    pub fn new(beacon: RandomBeacon, validators: Vec<NodeIdx>, max_ranks: usize) -> Self {
+        assert!(!validators.is_empty(), "a schedule needs validators");
+        assert!(max_ranks >= 1, "at least the scheduled leader must exist");
+        let max_ranks = max_ranks.min(validators.len());
+        ProposerSchedule {
+            beacon,
+            validators,
+            max_ranks,
+        }
+    }
+
+    /// The registered validator set, in consensus order.
+    pub fn validators(&self) -> &[NodeIdx] {
+        &self.validators
+    }
+
+    /// Fallback ranks per slot (clamped to the validator count).
+    pub fn max_ranks(&self) -> usize {
+        self.max_ranks
+    }
+
+    /// The full proposer order for `slot`: index 0 is the scheduled
+    /// leader, later entries the fallback ranks.
+    pub fn order(&self, slot: u64) -> Vec<NodeIdx> {
+        self.beacon
+            .permutation(slot, "proposer", self.validators.len())
+            .into_iter()
+            .map(|i| self.validators[i])
+            .collect()
+    }
+
+    /// The validator scheduled at `rank` for `slot`, or `None` when the
+    /// rank is beyond [`ProposerSchedule::max_ranks`].
+    pub fn leader(&self, slot: u64, rank: usize) -> Option<NodeIdx> {
+        if rank >= self.max_ranks {
+            return None;
+        }
+        Some(self.order(slot)[rank])
+    }
+
+    /// `node`'s rank for `slot`, or `None` when the node is outside the
+    /// slot's first [`ProposerSchedule::max_ranks`] positions (it stays
+    /// silent for the slot).
+    pub fn rank_of(&self, slot: u64, node: NodeIdx) -> Option<usize> {
+        self.order(slot)
+            .into_iter()
+            .take(self.max_ranks)
+            .position(|v| v == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64, max_ranks: usize) -> ProposerSchedule {
+        ProposerSchedule::new(RandomBeacon::new(seed), vec![0, 1, 2, 3, 4], max_ranks)
+    }
+
+    #[test]
+    fn every_node_derives_the_same_schedule() {
+        let a = schedule(7, 3);
+        let b = schedule(7, 3);
+        for slot in 0..64 {
+            assert_eq!(a.order(slot), b.order(slot));
+        }
+    }
+
+    #[test]
+    fn rotation_covers_every_validator() {
+        let s = schedule(7, 3);
+        let leaders: std::collections::HashSet<NodeIdx> =
+            (1..=64).filter_map(|slot| s.leader(slot, 0)).collect();
+        assert_eq!(leaders.len(), 5, "every validator leads some slot");
+        // And slots differ: a fixed leader would defeat rotation.
+        assert!((2..=64).any(|slot| s.leader(slot, 0) != s.leader(1, 0)));
+    }
+
+    #[test]
+    fn ranks_are_consistent_with_leaders() {
+        let s = schedule(11, 3);
+        for slot in 1..=32 {
+            let order = s.order(slot);
+            assert_eq!(order.len(), 5, "order covers the full set");
+            for (rank, &expected) in order.iter().enumerate().take(3) {
+                let node = s.leader(slot, rank).expect("rank within max_ranks");
+                assert_eq!(expected, node);
+                assert_eq!(s.rank_of(slot, node), Some(rank));
+            }
+            assert_eq!(s.leader(slot, 3), None, "beyond max_ranks");
+            assert_eq!(s.rank_of(slot, order[4]), None, "silent this slot");
+        }
+    }
+
+    #[test]
+    fn max_ranks_clamps_to_validator_count() {
+        let s = ProposerSchedule::new(RandomBeacon::new(1), vec![0, 1], 10);
+        assert_eq!(s.max_ranks(), 2);
+    }
+}
