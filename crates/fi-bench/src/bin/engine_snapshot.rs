@@ -43,6 +43,15 @@
 //! paths and across configurations, and on ≥ 4-core hosts the 8-shard /
 //! 4-thread batch path must ingest ≥ 2x faster than the sequential loop
 //! (CI-gated; recorded only on smaller hosts).
+//!
+//! A fifth axis records the **multi-lane SHA-256** work: every sharded
+//! advance is the median of three fresh-engine runs, shard counts are
+//! asserted noise-neutral (≤ 2x median spread) on 1-core hosts, the
+//! 1-shard advance is re-run with the backend forced to the frozen scalar
+//! reference (state root asserted bit-identical; ≥ 3x speedup gated when
+//! a SIMD backend is detected), and a `hash` section captures raw
+//! `digest_many` MB/s plus lockstep Merkle authentication-path
+//! verification rates, scalar vs best detected backend.
 
 use std::time::Instant;
 
@@ -51,7 +60,8 @@ use fi_chain::tasks::{Scheduler, SchedulerKind};
 use fi_core::engine::Engine;
 use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
-use fi_crypto::sha256;
+use fi_crypto::merkle::{MerklePathBatch, MerkleProof, MerkleTree};
+use fi_crypto::sha256::{self, Backend};
 
 const PROVIDER: AccountId = AccountId(42);
 const CLIENT: AccountId = AccountId(43);
@@ -127,7 +137,7 @@ fn run_engine(n: u64, kind: SchedulerKind) -> EngineRun {
     let ops_before = engine.op_log().len();
     let t_add = Instant::now();
     for i in 0..n {
-        let root = sha256(&i.to_be_bytes());
+        let root = fi_crypto::sha256(&i.to_be_bytes());
         let file = engine
             .file_add(CLIENT, 1, min_value, root)
             .expect("file add");
@@ -235,7 +245,7 @@ fn batch_engine(n: u64, shards: usize, ingest_threads: usize) -> Engine {
             .expect("register sector");
     }
     for i in 0..n {
-        let root = sha256(&i.to_be_bytes());
+        let root = fi_crypto::sha256(&i.to_be_bytes());
         let file = engine
             .file_add(CLIENT, 1, min_value, root)
             .expect("file add");
@@ -251,27 +261,121 @@ fn batch_engine(n: u64, shards: usize, ingest_threads: usize) -> Engine {
     engine
 }
 
+/// Median of three samples — single measurements on a shared host carry
+/// ±20% noise, which is more than the shard-count differences measured
+/// below.
+fn median3(mut sample: impl FnMut() -> f64) -> f64 {
+    let mut xs: Vec<f64> = (0..3).map(|_| sample()).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[1]
+}
+
 /// One sharded-audit measurement over a [`batch_engine`]: a full-cycle
 /// `advance_to` whose single bucket holds every file's `Auto_CheckProof`.
+/// The advance is sampled three times on fresh engines (median reported),
+/// and every repetition must land on the same state root.
 fn run_sharded_audit(n: u64, shards: usize) -> ShardedRun {
     let cycle = 1_000;
-    let mut engine = batch_engine(n, shards, 1);
-
-    // The measured advance: one bucket of n CheckProofs — verify fans out
-    // across shards, commit merges back into canonical order.
-    let audited_before = engine.stats().proofs_audited;
-    let target = engine.now() + cycle;
-    let t_adv = Instant::now();
-    engine.advance_to(target);
-    let advance_s = t_adv.elapsed().as_secs_f64();
-    let proofs_audited = engine.stats().proofs_audited - audited_before;
-    assert_eq!(proofs_audited, n, "every live replica audited once");
+    let mut state_root = None;
+    let mut proofs_audited = 0u64;
+    let advance_s = median3(|| {
+        let mut engine = batch_engine(n, shards, 1);
+        // The measured advance: one bucket of n CheckProofs — verify fans
+        // out across shards, commit merges back into canonical order.
+        let audited_before = engine.stats().proofs_audited;
+        let target = engine.now() + cycle;
+        let t_adv = Instant::now();
+        engine.advance_to(target);
+        let elapsed = t_adv.elapsed().as_secs_f64();
+        proofs_audited = engine.stats().proofs_audited - audited_before;
+        assert_eq!(proofs_audited, n, "every live replica audited once");
+        let root = engine.state_root();
+        assert!(
+            state_root.is_none() || state_root == Some(root),
+            "advance_to must be deterministic across repetitions"
+        );
+        state_root = Some(root);
+        elapsed
+    });
 
     ShardedRun {
         shards,
         advance_s,
-        state_root: engine.state_root(),
+        state_root: state_root.expect("three repetitions ran"),
         proofs_audited,
+    }
+}
+
+/// Multi-lane SHA-256 microbenchmarks: bulk `digest_many` throughput and
+/// lockstep Merkle-path verification rate, frozen scalar reference vs the
+/// best detected backend. Digests are asserted identical between the two
+/// before anything is timed.
+struct HashMicro {
+    backends: Vec<&'static str>,
+    best: &'static str,
+    scalar_mb_s: f64,
+    best_mb_s: f64,
+    scalar_paths_s: f64,
+    best_paths_s: f64,
+}
+
+fn run_hash_micro() -> HashMicro {
+    const LANES: usize = 8_192;
+    const MSG_LEN: usize = 1_024;
+    const PATHS: usize = 4_096;
+    let best = sha256::active_backend();
+
+    let buf: Vec<u8> = (0..LANES * MSG_LEN).map(|i| (i % 251) as u8).collect();
+    let msgs: Vec<&[u8]> = buf.chunks(MSG_LEN).collect();
+    let mb = buf.len() as f64 / (1024.0 * 1024.0);
+    assert_eq!(
+        sha256::digest_many_with(Backend::Scalar, &msgs),
+        sha256::digest_many_with(best, &msgs),
+        "scalar and {} digests diverged",
+        best.name()
+    );
+    let mb_s = |backend: Backend| {
+        mb / median3(|| {
+            let t = Instant::now();
+            std::hint::black_box(sha256::digest_many_with(backend, &msgs));
+            t.elapsed().as_secs_f64()
+        })
+    };
+
+    let payloads: Vec<Vec<u8>> = (0..PATHS)
+        .map(|i| (i as u64).to_be_bytes().repeat(8))
+        .collect();
+    let payload_refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+    let tree = MerkleTree::from_leaves(payloads.iter());
+    let root = tree.root();
+    let proofs: Vec<MerkleProof> = (0..PATHS)
+        .map(|i| tree.prove(i).expect("leaf proven"))
+        .collect();
+    let paths_s = |backend: Backend| {
+        PATHS as f64
+            / median3(|| {
+                let t = Instant::now();
+                let leaves = fi_crypto::merkle::leaf_hash_many_with(backend, &payload_refs);
+                let mut batch = MerklePathBatch::new();
+                for (proof, leaf) in proofs.iter().zip(leaves) {
+                    batch.push(proof, leaf, root);
+                }
+                let verdicts = batch.verify_with(backend);
+                assert!(verdicts.into_iter().all(|ok| ok), "honest proofs verify");
+                t.elapsed().as_secs_f64()
+            })
+    };
+
+    HashMicro {
+        backends: sha256::available_backends()
+            .iter()
+            .map(|b| b.name())
+            .collect(),
+        best: best.name(),
+        scalar_mb_s: mb_s(Backend::Scalar),
+        best_mb_s: mb_s(best),
+        scalar_paths_s: paths_s(Backend::Scalar),
+        best_paths_s: paths_s(best),
     }
 }
 
@@ -454,6 +558,71 @@ fn main() {
         "sharded audit speedup 8v1: {sharded_speedup:.2}x (available parallelism: {parallelism})"
     );
 
+    // Shard-count neutrality on serial hosts: with the batched multi-lane
+    // verify, per-bucket overhead (slice scans, lane collection, the
+    // one-worker scope) must not make shard count matter on 1 core —
+    // medians across shard counts have to stay within 2x of each other.
+    let shard_spread = {
+        let max = sharded.iter().map(|r| r.advance_s).fold(f64::MIN, f64::max);
+        let min = sharded.iter().map(|r| r.advance_s).fold(f64::MAX, f64::min);
+        max / min
+    };
+    println!("sharded audit shard-count spread (max/min median advance): {shard_spread:.2}x");
+    if parallelism == 1 {
+        assert!(
+            shard_spread <= 2.0,
+            "shard count must be noise-neutral on a 1-core host (<= 2x spread); got {shard_spread:.2}x"
+        );
+    }
+
+    // Scalar-vs-SIMD: the same 1-shard full-cycle advance with SHA-256
+    // forced onto the frozen scalar reference. The state root must be
+    // bit-identical, and on hosts with a SIMD backend the batched verify
+    // pipeline must win >= 3x.
+    let best_backend = sha256::active_backend();
+    sha256::force_backend(Some(Backend::Scalar));
+    let scalar_run = run_sharded_audit(SHARD_N, 1);
+    sha256::force_backend(None);
+    assert_eq!(
+        scalar_run.state_root,
+        sharded[0].state_root,
+        "scalar SHA-256 backend diverged from {} at n={SHARD_N}",
+        best_backend.name()
+    );
+    let simd_speedup = scalar_run.advance_s / sharded[0].advance_s;
+    println!(
+        "sharded audit scalar-SHA advance {:.1} ms vs {} {:.1} ms = {simd_speedup:.2}x",
+        scalar_run.advance_s * 1e3,
+        best_backend.name(),
+        sharded[0].advance_s * 1e3,
+    );
+    if best_backend != Backend::Scalar {
+        assert!(
+            simd_speedup >= 3.0,
+            "batched {} audit pipeline speedup {simd_speedup:.2}x over scalar fell below the 3x acceptance bar",
+            best_backend.name()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-lane SHA-256 microbenchmarks: raw digest_many throughput and
+    // lockstep Merkle-path verification, scalar vs best detected backend.
+    // ------------------------------------------------------------------
+    let hash = run_hash_micro();
+    println!(
+        "hash micro: digest_many {:.0} MB/s (scalar) vs {:.0} MB/s ({}) = {:.2}x; \
+         merkle paths {:.0}/s (scalar) vs {:.0}/s ({}) = {:.2}x [backends: {}]",
+        hash.scalar_mb_s,
+        hash.best_mb_s,
+        hash.best,
+        hash.best_mb_s / hash.scalar_mb_s,
+        hash.scalar_paths_s,
+        hash.best_paths_s,
+        hash.best,
+        hash.best_paths_s / hash.scalar_paths_s,
+        hash.backends.join(", "),
+    );
+
     let sharded_rows: Vec<String> = sharded
         .iter()
         .map(|r| {
@@ -519,15 +688,33 @@ fn main() {
         .collect();
 
     let rows: Vec<String> = results.iter().map(ScaleResult::json).collect();
+    let backend_list = hash
+        .backends
+        .iter()
+        .map(|b| format!("\"{b}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"suite\": \"fi-core op-layer throughput: Engine::apply + advance_to, epoch wheel vs BTreeMap pending list, sharded audit pipeline, pipelined batch ingest\",\n  \
+        "{{\n  \"suite\": \"fi-core op-layer throughput: Engine::apply + advance_to, epoch wheel vs BTreeMap pending list, sharded audit pipeline, pipelined batch ingest, multi-lane SHA-256\",\n  \
            \"unit_note\": \"per-file regime: n live files, one Auto_CheckProof per timestamp across an n-tick proof cycle; advance_full_cycle = one ProofCycle advance executing every file's Auto_CheckProof (protocol work included); scheduler_churn = same task population against the bare scheduler (3 cycles, median of 3 runs) — the isolated like-for-like scheduling cost\",\n  \
            \"available_parallelism\": {parallelism},\n  \
            \"results\": [\n{}\n  ],\n  \
-           \"sharded_audit\": {{\n    \"note\": \"batch regime: 100k size-1 files, every Auto_CheckProof in one wheel bucket; advance = one full proof cycle (parallel Merkle-proof verify at audit_path_len 64 + sequential commit); state roots asserted identical across shard counts; the >=2x 8v1 bar is gated when >=4 cores are available\",\n    \"available_parallelism\": {parallelism},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
+           \"sharded_audit\": {{\n    \"note\": \"batch regime: 100k size-1 files, every Auto_CheckProof in one wheel bucket; advance = one full proof cycle (batched multi-lane Merkle verify at audit_path_len 64 + sequential commit), median of 3 fresh-engine runs per shard count; state roots asserted identical across shard counts and vs the forced-scalar run; shard count is asserted noise-neutral (<= 2x median spread) on 1-core hosts, the >=2x 8v1 bar is gated when >=4 cores are available, and the >=3x scalar-vs-SIMD bar is gated when a SIMD backend is detected\",\n    \"available_parallelism\": {parallelism},\n    \"sha_backend\": \"{}\",\n    \"shard_spread_max_over_min\": {:.2},\n    \"scalar_sha_advance_full_cycle_ms\": {:.3},\n    \"simd_speedup_vs_scalar\": {:.2},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
+           \"hash\": {{\n    \"note\": \"multi-lane SHA-256 micro: digest_many over 8192 x 1KiB messages (MB/s) and lockstep Merkle authentication-path verification over 4096 proofs against a 4096-leaf tree (paths/s), frozen scalar reference vs best detected backend, median of 3; digests asserted identical before timing\",\n    \"backends_available\": [{backend_list}],\n    \"best_backend\": \"{}\",\n    \"digest_many_scalar_mb_s\": {:.1},\n    \"digest_many_best_mb_s\": {:.1},\n    \"digest_many_speedup\": {:.2},\n    \"merkle_paths_scalar_per_sec\": {:.0},\n    \"merkle_paths_best_per_sec\": {:.0},\n    \"merkle_paths_speedup\": {:.2}\n  }},\n  \
            \"ingest\": {{\n    \"note\": \"batch ingest: 50k File_Prove ops (modeled WindowPoSt verification, audit_path_len 64) as one shard-local segment; apply = op-by-op sequential loop, apply_batch = parallel staging + sequential in-order commit; state roots and block hashes asserted identical between both paths and across all configs; the >=2x bar on the last (8-shard/4-thread) row is gated when >=4 cores are available\",\n    \"available_parallelism\": {parallelism},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
         rows.join(",\n"),
+        best_backend.name(),
+        shard_spread,
+        scalar_run.advance_s * 1e3,
+        simd_speedup,
         sharded_rows.join(",\n"),
+        hash.best,
+        hash.scalar_mb_s,
+        hash.best_mb_s,
+        hash.best_mb_s / hash.scalar_mb_s,
+        hash.scalar_paths_s,
+        hash.best_paths_s,
+        hash.best_paths_s / hash.scalar_paths_s,
         ingest_rows.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

@@ -46,7 +46,7 @@ use std::thread;
 use fi_chain::account::{AccountId, Ledger, TokenAmount};
 use fi_chain::gas::{GasSchedule, Op as GasOp};
 use fi_chain::tasks::Time;
-use fi_crypto::{keyed_hash, Hash256};
+use fi_crypto::{cached_domain, Hash256};
 
 use crate::ops::{Op, Receipt};
 use crate::params::ProtocolParams;
@@ -360,6 +360,10 @@ pub(super) fn ledger_steps_match(ledger: &Ledger, steps: &[LedgerStep]) -> bool 
     true
 }
 
+cached_domain!(fn prove_leaf_domain, "fileinsurer/prove-leaf");
+cached_domain!(fn prove_node_domain, "fileinsurer/prove-node");
+cached_domain!(pub(super) fn prove_root_domain, "fileinsurer/prove-root");
+
 /// The modeled WindowPoSt verification a `File_Prove` carries: derive the
 /// challenged leaf from the file's Merkle commitment, the replica index,
 /// the holding sector and the proof time, then walk an
@@ -373,20 +377,15 @@ fn prove_replica_digest(
     now: Time,
     path_len: u32,
 ) -> Hash256 {
-    let mut node = keyed_hash(
-        "fileinsurer/prove-leaf",
-        &[
-            merkle_root.as_bytes(),
-            &index.to_be_bytes(),
-            &sector.0.to_be_bytes(),
-            &now.to_be_bytes(),
-        ],
-    );
+    let mut node = prove_leaf_domain().hash(&[
+        merkle_root.as_bytes(),
+        &index.to_be_bytes(),
+        &sector.0.to_be_bytes(),
+        &now.to_be_bytes(),
+    ]);
+    let node_domain = prove_node_domain();
     for level in 0..path_len {
-        node = keyed_hash(
-            "fileinsurer/prove-node",
-            &[node.as_bytes(), &level.to_be_bytes()],
-        );
+        node = node_domain.hash(&[node.as_bytes(), &level.to_be_bytes()]);
     }
     node
 }
@@ -702,10 +701,8 @@ impl Engine {
             }
         }
         if let Some(digest) = effects.audit_fold {
-            self.audit_root = keyed_hash(
-                "fileinsurer/prove-root",
-                &[self.audit_root.as_bytes(), digest.as_bytes()],
-            );
+            self.audit_root =
+                prove_root_domain().hash(&[self.audit_root.as_bytes(), digest.as_bytes()]);
         }
         self.op_counter += effects.op_counter_inc;
         effects.outcome
@@ -746,7 +743,7 @@ impl Engine {
                 .chunks(chunk_len)
                 .map(|shard_ids| {
                     scope.spawn(move || {
-                        let mut staged: Vec<(usize, StagedOp)> = Vec::new();
+                        let mut staged: Vec<(usize, Hash256, StagedEffects)> = Vec::new();
                         for &s in shard_ids {
                             let mut view = ShardOverlay::new(&shards[s]);
                             for &i in &groups[s] {
@@ -759,17 +756,29 @@ impl Engine {
                                     Ok(receipt) => receipt.digest(),
                                     Err(err) => Receipt::error_digest(err),
                                 };
-                                staged.push((
+                                staged.push((i, receipt_digest, effects));
+                            }
+                        }
+                        // The canonical op digests for this worker's ops in
+                        // one multi-lane sweep — each worker batches its own
+                        // share, so the hashing is both parallel across
+                        // workers and SIMD-wide within one.
+                        let op_refs: Vec<&Op> = staged.iter().map(|&(i, ..)| &ops[i]).collect();
+                        let op_digests = Op::digest_many(&op_refs);
+                        staged
+                            .into_iter()
+                            .zip(op_digests)
+                            .map(|((i, receipt_digest, effects), op_digest)| {
+                                (
                                     i,
                                     StagedOp {
-                                        op_digest: op.digest(),
+                                        op_digest,
                                         receipt_digest,
                                         effects,
                                     },
-                                ));
-                            }
-                        }
-                        staged
+                                )
+                            })
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();

@@ -383,8 +383,17 @@ impl Engine {
     /// The same errors the corresponding request handler reports (see each
     /// [`Op`] variant's wrapper method).
     pub fn apply(&mut self, op: Op) -> Result<Receipt, EngineError> {
-        let at = self.now();
         let op_digest = op.digest();
+        self.apply_prehashed(op, op_digest)
+    }
+
+    /// [`Engine::apply`] with the op's canonical digest precomputed.
+    /// [`Engine::apply_batch`] hashes a block's barrier ops in one
+    /// multi-lane sweep ([`Op::digest_many`]) and commits each through
+    /// here; the digest MUST be `op.digest()` or the block commitment
+    /// diverges from replay.
+    fn apply_prehashed(&mut self, op: Op, op_digest: Hash256) -> Result<Receipt, EngineError> {
+        let at = self.now();
         let result = self.dispatch(&op);
         let receipt_digest = match &result {
             Ok(receipt) => receipt.digest(),
@@ -479,6 +488,14 @@ impl Engine {
     /// receipts, same block hashes, same op log (see DESIGN.md §10 and the
     /// randomized equivalence tests in `tests/batch_ingest.rs`).
     pub fn apply_batch(&mut self, ops: Vec<Op>) -> Vec<Result<Receipt, EngineError>> {
+        // Pre-stage the barrier ops' canonical digests in one multi-lane
+        // sweep; the segments' op digests are batched inside the staging
+        // workers. Consumed in submission order below.
+        let barriers: Vec<&Op> = ops
+            .iter()
+            .filter(|op| shard_local_file(op).is_none())
+            .collect();
+        let mut barrier_digests = Op::digest_many(&barriers).into_iter();
         let mut results = Vec::with_capacity(ops.len());
         let mut segment: Vec<Op> = Vec::new();
         for op in ops {
@@ -486,7 +503,10 @@ impl Engine {
                 segment.push(op);
             } else {
                 self.commit_segment(&mut segment, &mut results);
-                results.push(self.apply(op));
+                let digest = barrier_digests
+                    .next()
+                    .expect("one pre-staged digest per barrier op");
+                results.push(self.apply_prehashed(op, digest));
             }
         }
         self.commit_segment(&mut segment, &mut results);

@@ -51,7 +51,7 @@ pub(super) struct Shard {
 }
 
 impl Shard {
-    fn new(kind: SchedulerKind, granularity: Time) -> Self {
+    pub(super) fn new(kind: SchedulerKind, granularity: Time) -> Self {
         Shard {
             files: HashMap::new(),
             alloc: HashMap::new(),

@@ -35,7 +35,7 @@
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_chain::tasks::Time;
-use fi_crypto::{keyed_hash, Hash256};
+use fi_crypto::{cached_domain, Hash256};
 
 use crate::types::{FileId, SectorId};
 
@@ -174,12 +174,28 @@ impl Op {
     /// Canonical digest of the op, committed into the containing block's
     /// op batch.
     pub fn digest(&self) -> Hash256 {
-        keyed_hash(
-            "fileinsurer/op",
-            &[self.kind().as_bytes(), format!("{self:?}").as_bytes()],
-        )
+        op_domain().hash(&[self.kind().as_bytes(), format!("{self:?}").as_bytes()])
+    }
+
+    /// Canonical digests of many ops in one multi-lane sweep — bit-identical
+    /// to mapping [`Op::digest`], but the SHA-256 work runs through the
+    /// batched backend. The batch-ingest path pre-stages whole blocks of op
+    /// digests this way.
+    pub fn digest_many(ops: &[&Op]) -> Vec<Hash256> {
+        let texts: Vec<String> = ops.iter().map(|op| format!("{op:?}")).collect();
+        let lanes: Vec<[&[u8]; 2]> = ops
+            .iter()
+            .zip(&texts)
+            .map(|(op, text)| [op.kind().as_bytes(), text.as_bytes()])
+            .collect();
+        let refs: Vec<&[&[u8]]> = lanes.iter().map(|l| l.as_slice()).collect();
+        op_domain().hash_many(&refs)
     }
 }
+
+cached_domain!(fn op_domain, "fileinsurer/op");
+cached_domain!(fn receipt_domain, "fileinsurer/receipt");
+cached_domain!(fn receipt_err_domain, "fileinsurer/receipt-err");
 
 /// The typed result of a successfully applied [`Op`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -250,13 +266,13 @@ impl Receipt {
     /// Canonical digest of the receipt, folded into the block's
     /// `receipt_root`.
     pub fn digest(&self) -> Hash256 {
-        keyed_hash("fileinsurer/receipt", &[format!("{self:?}").as_bytes()])
+        receipt_domain().hash(&[format!("{self:?}").as_bytes()])
     }
 
     /// Digest recorded for a *failed* op (failed requests still burn gas
     /// and occupy the batch, so their outcome is committed too).
     pub fn error_digest(err: &crate::engine::EngineError) -> Hash256 {
-        keyed_hash("fileinsurer/receipt-err", &[format!("{err}").as_bytes()])
+        receipt_err_domain().hash(&[format!("{err}").as_bytes()])
     }
 }
 
@@ -304,6 +320,26 @@ mod tests {
         assert_eq!(a.kind(), "op.file_add");
         assert_ne!(a.digest(), b.digest(), "payload is committed");
         assert_eq!(a.digest(), a.clone().digest(), "digest is deterministic");
+    }
+
+    #[test]
+    fn digest_many_matches_per_op_digests() {
+        let ops: Vec<Op> = (0..9u64)
+            .map(|i| Op::FileProve {
+                caller: AccountId(i),
+                file: FileId(i),
+                index: i as u32,
+                sector: SectorId(i),
+            })
+            .chain(std::iter::once(Op::AdvanceTo { target: 42 }))
+            .collect();
+        let refs: Vec<&Op> = ops.iter().collect();
+        let batched = Op::digest_many(&refs);
+        assert_eq!(batched.len(), ops.len());
+        for (op, digest) in ops.iter().zip(&batched) {
+            assert_eq!(*digest, op.digest());
+        }
+        assert!(Op::digest_many(&[]).is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::sha256::Sha256;
+use crate::sha256::{self, Backend, Sha256};
 
 /// A 32-byte digest (SHA-256 output).
 ///
@@ -140,6 +140,121 @@ pub fn keyed_hash(domain: &str, parts: &[&[u8]]) -> Hash256 {
     h.finalize()
 }
 
+/// A [`keyed_hash`] domain with its prefix pre-absorbed (midstate caching).
+///
+/// Hot protocol loops hash millions of messages under a handful of fixed
+/// domain strings (`"fileinsurer/audit-node"`, ...). [`keyed_hash`] re-feeds
+/// the length-prefixed domain to a fresh hasher on every call; a
+/// `KeyedDomain` does that work once, and each [`KeyedDomain::hash`] clones
+/// the prepared midstate instead. Callers keep one in a `OnceLock` static
+/// per domain.
+///
+/// [`KeyedDomain::hash_many`] is the batched form: it hashes N independent
+/// messages of the same domain through the multi-lane SIMD backends
+/// ([`sha256::digest_many`]), one lane per message.
+///
+/// # Example
+///
+/// ```
+/// use fi_crypto::{keyed_hash, KeyedDomain};
+///
+/// let domain = KeyedDomain::new("replica");
+/// assert_eq!(
+///     domain.hash(&[b"file", b"sector-1"]),
+///     keyed_hash("replica", &[b"file", b"sector-1"]),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyedDomain {
+    /// Hasher with the length-prefixed domain already absorbed.
+    midstate: Sha256,
+    /// Serialized domain prefix (`len(domain) || domain`), re-used when
+    /// assembling batched lane messages.
+    prefix: Vec<u8>,
+}
+
+impl KeyedDomain {
+    /// Prepares the midstate for `domain`.
+    pub fn new(domain: &str) -> Self {
+        let mut prefix = Vec::with_capacity(8 + domain.len());
+        prefix.extend_from_slice(&(domain.len() as u64).to_be_bytes());
+        prefix.extend_from_slice(domain.as_bytes());
+        let mut midstate = Sha256::new();
+        midstate.update(&prefix);
+        KeyedDomain { midstate, prefix }
+    }
+
+    /// Equivalent to `keyed_hash(domain, parts)` without re-absorbing the
+    /// domain prefix.
+    pub fn hash(&self, parts: &[&[u8]]) -> Hash256 {
+        let mut h = self.midstate.clone();
+        for part in parts {
+            h.update(&(part.len() as u64).to_be_bytes());
+            h.update(part);
+        }
+        h.finalize()
+    }
+
+    /// Hashes one message per lane (`lanes[i]` is the parts list of message
+    /// `i`) through the multi-lane backend, returning one digest per lane.
+    ///
+    /// Bit-identical to calling [`KeyedDomain::hash`] per lane.
+    pub fn hash_many(&self, lanes: &[&[&[u8]]]) -> Vec<Hash256> {
+        self.hash_many_with(sha256::active_backend(), lanes)
+    }
+
+    /// [`KeyedDomain::hash_many`] with an explicit backend (differential
+    /// tests).
+    pub fn hash_many_with(&self, backend: Backend, lanes: &[&[&[u8]]]) -> Vec<Hash256> {
+        let total: usize = lanes
+            .iter()
+            .map(|parts| self.prefix.len() + parts.iter().map(|p| 8 + p.len()).sum::<usize>())
+            .sum();
+        let mut buf = Vec::with_capacity(total);
+        let mut ranges = Vec::with_capacity(lanes.len());
+        for parts in lanes {
+            let start = buf.len();
+            buf.extend_from_slice(&self.prefix);
+            for part in *parts {
+                buf.extend_from_slice(&(part.len() as u64).to_be_bytes());
+                buf.extend_from_slice(part);
+            }
+            ranges.push(start..buf.len());
+        }
+        let messages: Vec<&[u8]> = ranges.iter().map(|r| &buf[r.clone()]).collect();
+        sha256::digest_many_with(backend, &messages)
+    }
+}
+
+/// Defines a zero-argument function returning a process-wide cached
+/// [`KeyedDomain`] for a fixed domain string.
+///
+/// Hot protocol loops keep one prepared midstate per domain; this macro is
+/// the one-liner for that pattern (a `OnceLock` static behind an accessor).
+///
+/// # Example
+///
+/// ```
+/// use fi_crypto::{cached_domain, keyed_hash};
+///
+/// cached_domain!(fn replica_domain, "replica");
+/// assert_eq!(
+///     replica_domain().hash(&[b"file"]),
+///     keyed_hash("replica", &[b"file"]),
+/// );
+/// ```
+#[macro_export]
+macro_rules! cached_domain {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident, $domain:expr) => {
+        $(#[$meta])*
+        $vis fn $name() -> &'static $crate::KeyedDomain {
+            static CELL: ::std::sync::OnceLock<$crate::KeyedDomain> =
+                ::std::sync::OnceLock::new();
+            CELL.get_or_init(|| $crate::KeyedDomain::new($domain))
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +298,43 @@ mod tests {
         let mut c = [0u8; 32];
         c[1] = 0x01;
         assert_eq!(a.xor_leading_zeros(&Hash256::from_bytes(c)), 15);
+    }
+
+    #[test]
+    fn keyed_domain_matches_naive_path() {
+        // Midstate caching must be invisible: same digests as keyed_hash.
+        for domain in ["fileinsurer/audit-task", "x", &"long".repeat(40)] {
+            let cached = KeyedDomain::new(domain);
+            let cases: &[&[&[u8]]] = &[&[], &[b"a"], &[b"file", b"sector-1"], &[&[0u8; 100]]];
+            for parts in cases {
+                assert_eq!(cached.hash(parts), keyed_hash(domain, parts), "{domain}");
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_domain_hash_many_differential() {
+        let domain = KeyedDomain::new("fileinsurer/audit-node");
+        let payloads: Vec<(Vec<u8>, Vec<u8>)> = (0..23u8)
+            .map(|i| (vec![i; 32], vec![i ^ 0x5A; 1 + i as usize]))
+            .collect();
+        let lanes_owned: Vec<[&[u8]; 2]> = payloads
+            .iter()
+            .map(|(a, b)| [a.as_slice(), b.as_slice()])
+            .collect();
+        let lanes: Vec<&[&[u8]]> = lanes_owned.iter().map(|l| l.as_slice()).collect();
+        for &backend in sha256::available_backends() {
+            let got = domain.hash_many_with(backend, &lanes);
+            for (i, lane) in lanes.iter().enumerate() {
+                assert_eq!(
+                    got[i],
+                    keyed_hash("fileinsurer/audit-node", lane),
+                    "backend {} lane {i}",
+                    backend.name()
+                );
+            }
+        }
+        assert!(domain.hash_many(&[]).is_empty());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod rng;
 pub mod sha256;
 
 pub use beacon::RandomBeacon;
-pub use hash::{keyed_hash, Hash256};
-pub use merkle::{MerkleProof, MerkleTree};
+pub use hash::{keyed_hash, Hash256, KeyedDomain};
+pub use merkle::{MerklePathBatch, MerkleProof, MerkleTree};
 pub use rng::{DetRng, DetRngState};
 pub use sha256::sha256;

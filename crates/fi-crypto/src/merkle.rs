@@ -10,7 +10,7 @@
 //! not duplicated, so the tree is well-defined for any leaf count ≥ 1.
 
 use crate::hash::Hash256;
-use crate::sha256::Sha256;
+use crate::sha256::{self, Backend, Sha256};
 
 /// Hashes a leaf with domain separation.
 pub fn leaf_hash(data: &[u8]) -> Hash256 {
@@ -27,6 +27,48 @@ pub fn node_hash(left: &Hash256, right: &Hash256) -> Hash256 {
     h.update(left.as_ref());
     h.update(right.as_ref());
     h.finalize()
+}
+
+/// [`leaf_hash`] for a batch of payloads, one SIMD lane per leaf.
+pub fn leaf_hash_many(payloads: &[&[u8]]) -> Vec<Hash256> {
+    leaf_hash_many_with(sha256::active_backend(), payloads)
+}
+
+/// [`leaf_hash_many`] with an explicit backend (differential tests).
+pub fn leaf_hash_many_with(backend: Backend, payloads: &[&[u8]]) -> Vec<Hash256> {
+    let total: usize = payloads.iter().map(|p| 1 + p.len()).sum();
+    let mut buf = Vec::with_capacity(total);
+    let mut ranges = Vec::with_capacity(payloads.len());
+    for payload in payloads {
+        let start = buf.len();
+        buf.push(0x00);
+        buf.extend_from_slice(payload);
+        ranges.push(start..buf.len());
+    }
+    let messages: Vec<&[u8]> = ranges.iter().map(|r| &buf[r.clone()]).collect();
+    sha256::digest_many_with(backend, &messages)
+}
+
+/// [`node_hash`] for a batch of sibling pairs, one SIMD lane per pair.
+///
+/// This is the workhorse of batched tree construction and of
+/// [`MerklePathBatch`]: each lane's message is a fixed 65 bytes
+/// (`0x01 || left || right`), so every lane stays live for both compression
+/// rounds — the ideal shape for the 8-wide kernel.
+pub fn node_hash_many(pairs: &[(Hash256, Hash256)]) -> Vec<Hash256> {
+    node_hash_many_with(sha256::active_backend(), pairs)
+}
+
+/// [`node_hash_many`] with an explicit backend (differential tests).
+pub fn node_hash_many_with(backend: Backend, pairs: &[(Hash256, Hash256)]) -> Vec<Hash256> {
+    let mut buf = Vec::with_capacity(pairs.len() * 65);
+    for (left, right) in pairs {
+        buf.push(0x01);
+        buf.extend_from_slice(left.as_ref());
+        buf.extend_from_slice(right.as_ref());
+    }
+    let messages: Vec<&[u8]> = buf.chunks_exact(65).collect();
+    sha256::digest_many_with(backend, &messages)
 }
 
 /// A Merkle tree over a sequence of byte-string leaves.
@@ -63,8 +105,9 @@ impl MerkleTree {
         I: IntoIterator<Item = T>,
         T: AsRef<[u8]>,
     {
-        let leaf_hashes: Vec<Hash256> = leaves.into_iter().map(|l| leaf_hash(l.as_ref())).collect();
-        Self::from_leaf_hashes(leaf_hashes)
+        let collected: Vec<T> = leaves.into_iter().collect();
+        let refs: Vec<&[u8]> = collected.iter().map(|l| l.as_ref()).collect();
+        Self::from_leaf_hashes(leaf_hash_many(&refs))
     }
 
     /// Builds a tree over a contiguous buffer, one leaf per `chunk_len`
@@ -98,13 +141,23 @@ impl MerkleTree {
     /// a multiple of `shard_len`.
     pub fn shard_roots(flat: &[u8], shard_len: usize, chunk_len: usize) -> Vec<Hash256> {
         assert!(shard_len > 0, "shard length must be positive");
+        assert!(chunk_len > 0, "chunk length must be positive");
         assert_eq!(
             flat.len() % shard_len,
             0,
             "flat buffer must divide into shards"
         );
-        flat.chunks_exact(shard_len)
-            .map(|shard| Self::from_flat_chunks(shard, chunk_len).root())
+        // Hash every shard's leaves in ONE multi-lane batch (cross-shard
+        // lanes are independent), then fold each shard's subtree.
+        let refs: Vec<&[u8]> = flat
+            .chunks_exact(shard_len)
+            .flat_map(|shard| shard.chunks(chunk_len))
+            .collect();
+        let all_hashes = leaf_hash_many(&refs);
+        let leaves_per_shard = shard_len.div_ceil(chunk_len);
+        all_hashes
+            .chunks(leaves_per_shard)
+            .map(|hashes| Self::from_leaf_hashes(hashes.to_vec()).root())
             .collect()
     }
 
@@ -118,15 +171,14 @@ impl MerkleTree {
         let mut levels = vec![leaf_hashes];
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            let mut i = 0;
-            while i + 1 < prev.len() {
-                next.push(node_hash(&prev[i], &prev[i + 1]));
-                i += 2;
-            }
-            if i < prev.len() {
+            // Every sibling pair of a level is independent: hash the whole
+            // level as one multi-lane batch.
+            let pairs: Vec<(Hash256, Hash256)> =
+                prev.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+            let mut next = node_hash_many(&pairs);
+            if prev.len() % 2 == 1 {
                 // Odd node promoted unchanged.
-                next.push(prev[i]);
+                next.push(*prev.last().unwrap());
             }
             levels.push(next);
         }
@@ -224,6 +276,118 @@ impl MerkleProof {
     }
 }
 
+/// Verifies many independent Merkle authentication paths in lockstep.
+///
+/// A single path walk is inherently sequential (each node hash feeds the
+/// next), so it cannot be SIMD'd internally — but *across* paths every walk
+/// at the same depth is independent. The batch advances all lanes one level
+/// at a time, hashing each level's `(left, right)` pairs through
+/// [`node_hash_many`]; lanes whose (shorter) proofs are exhausted drop out
+/// of later rounds. Results are bit-identical to
+/// [`MerkleProof::verify_leaf_hash`] per lane.
+///
+/// # Example
+///
+/// ```
+/// use fi_crypto::merkle::{leaf_hash, MerklePathBatch, MerkleTree};
+///
+/// let chunks: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 8]).collect();
+/// let tree = MerkleTree::from_leaves(chunks.iter());
+/// let proofs: Vec<_> = (0..20).map(|i| tree.prove(i).unwrap()).collect();
+///
+/// let mut batch = MerklePathBatch::new();
+/// for (i, proof) in proofs.iter().enumerate() {
+///     batch.push(proof, leaf_hash(&chunks[i]), tree.root());
+/// }
+/// assert!(batch.verify().iter().all(|&ok| ok));
+/// ```
+#[derive(Debug, Default)]
+pub struct MerklePathBatch<'a> {
+    lanes: Vec<BatchLane<'a>>,
+}
+
+#[derive(Debug)]
+struct BatchLane<'a> {
+    steps: &'a [ProofStep],
+    acc: Hash256,
+    root: Hash256,
+}
+
+impl<'a> MerklePathBatch<'a> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        MerklePathBatch { lanes: Vec::new() }
+    }
+
+    /// Number of queued lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` when no lane has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Queues one authentication path: `proof` applied to the (already
+    /// hashed) `leaf`, to be checked against `root`.
+    pub fn push(&mut self, proof: &'a MerkleProof, leaf: Hash256, root: Hash256) {
+        self.lanes.push(BatchLane {
+            steps: &proof.steps,
+            acc: leaf,
+            root,
+        });
+    }
+
+    /// Walks all lanes in lockstep and returns one verdict per lane, in
+    /// push order.
+    pub fn verify(self) -> Vec<bool> {
+        self.verify_with(sha256::active_backend())
+    }
+
+    /// [`MerklePathBatch::verify`] with an explicit backend (differential
+    /// tests).
+    pub fn verify_with(self, backend: Backend) -> Vec<bool> {
+        let mut lanes = self.lanes;
+        let depth = lanes.iter().map(|l| l.steps.len()).max().unwrap_or(0);
+        let mut pairs: Vec<(Hash256, Hash256)> = Vec::with_capacity(lanes.len());
+        let mut active: Vec<usize> = Vec::with_capacity(lanes.len());
+        for level in 0..depth {
+            pairs.clear();
+            active.clear();
+            for (i, lane) in lanes.iter().enumerate() {
+                if let Some(step) = lane.steps.get(level) {
+                    active.push(i);
+                    pairs.push(if step.sibling_on_left {
+                        (step.sibling, lane.acc)
+                    } else {
+                        (lane.acc, step.sibling)
+                    });
+                }
+            }
+            let hashed = node_hash_many_with(backend, &pairs);
+            for (k, &i) in active.iter().enumerate() {
+                lanes[i].acc = hashed[k];
+            }
+        }
+        lanes.iter().map(|l| l.acc == l.root).collect()
+    }
+
+    /// Convenience for the common "verify these payloads against these
+    /// proofs" shape: leaf-hashes all payloads in one batch, then verifies
+    /// all paths in lockstep. Equivalent to calling [`MerkleProof::verify`]
+    /// per item.
+    pub fn verify_payloads(items: &[(&MerkleProof, &[u8], Hash256)]) -> Vec<bool> {
+        let payload_refs: Vec<&[u8]> = items.iter().map(|(_, payload, _)| *payload).collect();
+        let leaves = leaf_hash_many(&payload_refs);
+        let mut batch = MerklePathBatch::new();
+        for ((proof, _, root), leaf) in items.iter().zip(leaves) {
+            batch.push(proof, leaf, *root);
+        }
+        batch.verify()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +469,72 @@ mod tests {
                 "chunk={chunk}"
             );
         }
+    }
+
+    #[test]
+    fn batched_hashers_match_scalar() {
+        let payloads: Vec<Vec<u8>> = (0..19usize).map(|i| vec![i as u8; i * 7]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let pairs: Vec<(Hash256, Hash256)> = (0..19u8)
+            .map(|i| (leaf_hash(&[i]), leaf_hash(&[i, i])))
+            .collect();
+        for &backend in crate::sha256::available_backends() {
+            let leaves = leaf_hash_many_with(backend, &refs);
+            for (i, p) in refs.iter().enumerate() {
+                assert_eq!(leaves[i], leaf_hash(p), "backend {}", backend.name());
+            }
+            let nodes = node_hash_many_with(backend, &pairs);
+            for (i, (l, r)) in pairs.iter().enumerate() {
+                assert_eq!(nodes[i], node_hash(l, r), "backend {}", backend.name());
+            }
+        }
+        assert!(leaf_hash_many(&[]).is_empty());
+        assert!(node_hash_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn path_batch_matches_scalar_verification() {
+        // Mixed tree sizes => unequal proof depths => short lanes drop out
+        // mid-walk. Every backend must agree with per-proof verification.
+        let trees: Vec<(MerkleTree, Vec<Vec<u8>>)> = [1usize, 2, 5, 9, 33]
+            .iter()
+            .map(|&n| {
+                let data = chunks(n);
+                (MerkleTree::from_leaves(data.iter()), data)
+            })
+            .collect();
+        let mut items: Vec<(MerkleProof, Vec<u8>, Hash256)> = Vec::new();
+        for (tree, data) in &trees {
+            for (i, payload) in data.iter().enumerate() {
+                items.push((tree.prove(i).unwrap(), payload.clone(), tree.root()));
+            }
+            // One deliberately corrupted lane per tree.
+            items.push((tree.prove(0).unwrap(), b"tampered".to_vec(), tree.root()));
+        }
+        let expected: Vec<bool> = items
+            .iter()
+            .map(|(proof, payload, root)| proof.verify(root, payload))
+            .collect();
+        assert!(expected.iter().any(|&ok| ok));
+        assert!(expected.iter().any(|&ok| !ok));
+        for &backend in crate::sha256::available_backends() {
+            let mut batch = MerklePathBatch::new();
+            for (proof, payload, root) in &items {
+                batch.push(proof, leaf_hash(payload), *root);
+            }
+            assert_eq!(
+                batch.verify_with(backend),
+                expected,
+                "backend {}",
+                backend.name()
+            );
+        }
+        let borrowed: Vec<(&MerkleProof, &[u8], Hash256)> = items
+            .iter()
+            .map(|(proof, payload, root)| (proof, payload.as_slice(), *root))
+            .collect();
+        assert_eq!(MerklePathBatch::verify_payloads(&borrowed), expected);
+        assert!(MerklePathBatch::new().verify().is_empty());
     }
 
     #[test]

@@ -3,11 +3,29 @@
 //! The FileInsurer protocol needs a collision-resistant hash for file Merkle
 //! roots, content identifiers, replica commitments, and the random beacon.
 //! The allowed dependency set contains no hash crate, so this module
-//! implements SHA-256 from scratch. It is a straightforward, portable
-//! implementation; test vectors from FIPS 180-4 and NIST CAVP are checked in
-//! the unit tests below.
+//! implements SHA-256 from scratch. Test vectors from FIPS 180-4 and NIST
+//! CAVP are checked in the unit tests below, against every backend the host
+//! supports.
+//!
+//! Two interfaces are exposed:
+//!
+//! * the streaming [`Sha256`] hasher (and one-shot [`sha256`]) for single
+//!   messages — accelerated transparently by SHA-NI when available, and
+//! * the multi-lane [`digest_many`]/[`compress_many`] entry points, which
+//!   hash batches of *independent* messages in lockstep so the 8-wide AVX2
+//!   kernel (or back-to-back SHA-NI) can be applied. The audit pipeline
+//!   feeds 100k+ independent Merkle path walks per bucket through this.
+//!
+//! Backend selection is runtime-dispatched ([`active_backend`]): x86 SHA-NI
+//! when detected, else the 8-wide AVX2 kernel, else portable scalar code.
+//! The scalar implementation is the frozen differential-test reference and
+//! `FI_FORCE_SCALAR_SHA=1` pins it.
 
 use crate::hash::Hash256;
+
+mod simd;
+
+pub use simd::{active_backend, available_backends, force_backend, select_backend, Backend};
 
 /// Initial hash values: first 32 bits of the fractional parts of the square
 /// roots of the first 8 primes.
@@ -147,18 +165,17 @@ impl Sha256 {
             input = &input[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                simd::compress_blocks(&mut self.state, &block);
                 self.buf_len = 0;
             }
         }
 
-        // Whole blocks straight from the input.
-        while input.len() >= 64 {
-            let (block, rest) = input.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            input = rest;
+        // Whole blocks straight from the input, in one multi-block call so
+        // the SHA-NI backend keeps its state in registers across blocks.
+        let whole = input.len() - input.len() % 64;
+        if whole > 0 {
+            simd::compress_blocks(&mut self.state, &input[..whole]);
+            input = &input[whole..];
         }
 
         // Stash the tail.
@@ -172,80 +189,31 @@ impl Sha256 {
     pub fn finalize(mut self) -> Hash256 {
         let bit_len = self.len_bytes.wrapping_mul(8);
         // Padding: 0x80, zeros, then 64-bit big-endian bit length.
-        self.update_padding(&[0x80]);
-        while self.buf_len != 56 {
-            self.update_padding(&[0x00]);
+        let mut block = [0u8; 64];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        block[self.buf_len] = 0x80;
+        if self.buf_len < 56 {
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+            simd::compress_blocks(&mut self.state, &block);
+        } else {
+            // No room for the length after the 0x80 marker: one extra block.
+            simd::compress_blocks(&mut self.state, &block);
+            let mut last = [0u8; 64];
+            last[56..].copy_from_slice(&bit_len.to_be_bytes());
+            simd::compress_blocks(&mut self.state, &last);
         }
-        self.update_padding(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buf_len, 0);
 
-        let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        Hash256::from_bytes(out)
+        Hash256::from_bytes(state_to_bytes(&self.state))
     }
+}
 
-    /// `update` without advancing the message length counter (used only for
-    /// the padding bytes, which are not part of the message).
-    fn update_padding(&mut self, data: &[u8]) {
-        for &byte in data {
-            self.buf[self.buf_len] = byte;
-            self.buf_len += 1;
-            if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
-                self.buf_len = 0;
-            }
-        }
+/// Serializes a SHA-256 state as the big-endian digest bytes.
+fn state_to_bytes(state: &[u32; 8]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
     }
-
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
-    }
+    out
 }
 
 /// One-shot SHA-256 of `data`.
@@ -261,6 +229,128 @@ pub fn sha256(data: &[u8]) -> Hash256 {
     let mut h = Sha256::new();
     h.update(data);
     h.finalize()
+}
+
+/// The FIPS 180-4 initial hash state, exposed for [`compress_many`] callers
+/// and benchmarks that drive the compression function directly.
+pub const INITIAL_STATE: [u32; 8] = H0;
+
+/// Runs the SHA-256 compression function on `blocks[i]` into `states[i]`
+/// for every lane, using the active backend.
+///
+/// This is the raw multi-lane primitive: no padding or finalization is
+/// applied. Most callers want [`digest_many`] instead.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn compress_many(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    simd::compress_many_impl(simd::active_backend(), states, blocks);
+}
+
+/// [`compress_many`] with an explicit backend (differential tests).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `backend` is unavailable here.
+pub fn compress_many_with(backend: Backend, states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    simd::compress_many_impl(backend, states, blocks);
+}
+
+/// Hashes a batch of independent messages in lockstep, one SIMD lane per
+/// message, and returns one digest per message (same order).
+///
+/// Equivalent to `messages.iter().map(|m| sha256(m)).collect()` but batched:
+/// lane `i`'s `b`-th block is fed to the multi-lane compression backend
+/// alongside every other lane's `b`-th block. Messages may have unequal
+/// lengths; lanes that run out of blocks simply drop out of later rounds.
+///
+/// ```
+/// use fi_crypto::sha256::{digest_many, sha256};
+///
+/// let msgs: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 3 + i as usize * 31]).collect();
+/// let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+/// let batch = digest_many(&refs);
+/// for (m, d) in msgs.iter().zip(&batch) {
+///     assert_eq!(*d, sha256(m));
+/// }
+/// ```
+pub fn digest_many(messages: &[&[u8]]) -> Vec<Hash256> {
+    digest_many_with(simd::active_backend(), messages)
+}
+
+/// [`digest_many`] with an explicit backend (differential tests).
+///
+/// # Panics
+///
+/// Panics if `backend` is not available on this host.
+pub fn digest_many_with(backend: Backend, messages: &[&[u8]]) -> Vec<Hash256> {
+    let n = messages.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Padded block count per lane: message + 0x80 marker + 64-bit length.
+    let nblocks: Vec<usize> = messages
+        .iter()
+        .map(|m| (m.len() + 9).div_ceil(64))
+        .collect();
+    let max_blocks = *nblocks.iter().max().unwrap();
+    let mut states = vec![H0; n];
+    let mut blocks: Vec<[u8; 64]> = Vec::with_capacity(n);
+
+    if nblocks.iter().all(|&b| b == max_blocks) {
+        // Uniform-length fast path (the audit pipeline's shape): every lane
+        // is live in every round, no gather/scatter needed.
+        for round in 0..max_blocks {
+            blocks.clear();
+            blocks.extend(messages.iter().map(|m| round_block(m, round, max_blocks)));
+            simd::compress_many_impl(backend, &mut states, &blocks);
+        }
+    } else {
+        let mut gathered: Vec<[u32; 8]> = Vec::with_capacity(n);
+        let mut active: Vec<usize> = Vec::with_capacity(n);
+        for round in 0..max_blocks {
+            blocks.clear();
+            gathered.clear();
+            active.clear();
+            for (i, m) in messages.iter().enumerate() {
+                if nblocks[i] > round {
+                    active.push(i);
+                    gathered.push(states[i]);
+                    blocks.push(round_block(m, round, nblocks[i]));
+                }
+            }
+            simd::compress_many_impl(backend, &mut gathered, &blocks);
+            for (k, &i) in active.iter().enumerate() {
+                states[i] = gathered[k];
+            }
+        }
+    }
+
+    states
+        .iter()
+        .map(|s| Hash256::from_bytes(state_to_bytes(s)))
+        .collect()
+}
+
+/// Block `round` of the padded form of `msg`, given its total padded block
+/// count. Full data blocks are copied verbatim; the tail block(s) get the
+/// 0x80 marker and (in the final block) the big-endian bit length.
+fn round_block(msg: &[u8], round: usize, nblocks: usize) -> [u8; 64] {
+    let start = round * 64;
+    if start + 64 <= msg.len() {
+        return msg[start..start + 64].try_into().unwrap();
+    }
+    let mut block = [0u8; 64];
+    if start <= msg.len() {
+        let take = msg.len() - start;
+        block[..take].copy_from_slice(&msg[start..]);
+        block[take] = 0x80;
+    }
+    if round == nblocks - 1 {
+        block[56..].copy_from_slice(&(msg.len() as u64).wrapping_mul(8).to_be_bytes());
+    }
+    block
 }
 
 #[cfg(test)]
@@ -328,5 +418,153 @@ mod tests {
         for len in 0..=130 {
             assert!(seen.insert(sha256(&data[..len])), "collision at len {len}");
         }
+    }
+
+    /// Deterministic pseudo-random bytes for differential tests (no rand
+    /// crate; splitmix64 over a seed).
+    fn prng_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        while out.len() < len {
+            let mut z = x;
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            out.extend_from_slice(&z.to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    /// NIST CAVP vectors through every backend the host supports, with
+    /// enough lanes (9) that the AVX2 kernel's 8-wide body *and* its scalar
+    /// tail both run.
+    #[test]
+    fn cavp_vectors_every_backend() {
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+            ),
+        ];
+        for &backend in available_backends() {
+            for (input, expect) in cases {
+                let lanes: Vec<&[u8]> = vec![input; 9];
+                for (lane, digest) in digest_many_with(backend, &lanes).iter().enumerate() {
+                    assert_eq!(
+                        digest.to_hex(),
+                        *expect,
+                        "backend {} lane {lane} input {input:?}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Randomized differential test: every backend must agree with the
+    /// streaming scalar-reference hasher for odd lane counts, unequal
+    /// lengths, and padding-boundary tails.
+    #[test]
+    fn digest_many_differential() {
+        let lane_counts = [1usize, 3, 7, 8, 9, 17, 33];
+        let tricky_lens = [0usize, 1, 55, 56, 63, 64, 65, 119, 127, 128, 200];
+        for &backend in available_backends() {
+            for (case, &lanes) in lane_counts.iter().enumerate() {
+                let msgs: Vec<Vec<u8>> = (0..lanes)
+                    .map(|i| {
+                        let len = tricky_lens[(i + case) % tricky_lens.len()] + 13 * case;
+                        prng_bytes((case * 1000 + i) as u64, len)
+                    })
+                    .collect();
+                let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+                let got = digest_many_with(backend, &refs);
+                for (i, m) in msgs.iter().enumerate() {
+                    assert_eq!(
+                        got[i],
+                        sha256(m),
+                        "backend {} lanes {lanes} lane {i} len {}",
+                        backend.name(),
+                        m.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Raw compression-function differential: random states and blocks
+    /// through every backend vs the scalar reference.
+    #[test]
+    fn compress_many_differential() {
+        for &backend in available_backends() {
+            for lanes in [1usize, 5, 8, 16, 19] {
+                let mut states: Vec<[u32; 8]> = (0..lanes)
+                    .map(|i| {
+                        let b = prng_bytes(7000 + i as u64, 32);
+                        std::array::from_fn(|j| {
+                            u32::from_le_bytes(b[4 * j..4 * j + 4].try_into().unwrap())
+                        })
+                    })
+                    .collect();
+                let blocks: Vec<[u8; 64]> = (0..lanes)
+                    .map(|i| prng_bytes(9000 + i as u64, 64).try_into().unwrap())
+                    .collect();
+                let mut expect = states.clone();
+                compress_many_with(Backend::Scalar, &mut expect, &blocks);
+                compress_many_with(backend, &mut states, &blocks);
+                assert_eq!(states, expect, "backend {} lanes {lanes}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn select_backend_rules() {
+        use Backend::*;
+        // Priority order with everything available.
+        assert_eq!(select_backend(&[Scalar, Avx2, ShaNi], false), ShaNi);
+        assert_eq!(select_backend(&[Scalar, ShaNi, Avx2], false), ShaNi);
+        assert_eq!(select_backend(&[Scalar, Avx2], false), Avx2);
+        assert_eq!(select_backend(&[Scalar], false), Scalar);
+        // FI_FORCE_SCALAR_SHA pins the portable fallback regardless.
+        assert_eq!(select_backend(&[Scalar, Avx2, ShaNi], true), Scalar);
+        assert_eq!(select_backend(&[Scalar], true), Scalar);
+    }
+
+    #[test]
+    fn available_backends_always_has_scalar() {
+        assert!(available_backends().contains(&Backend::Scalar));
+        // The active backend must be one of the available ones.
+        assert!(available_backends().contains(&active_backend()));
+    }
+
+    /// The global override redirects `active_backend`. Safe to run alongside
+    /// other tests: all backends produce identical digests, so concurrent
+    /// tests observing the temporary override still pass.
+    #[test]
+    fn force_backend_overrides_selection() {
+        force_backend(Some(Backend::Scalar));
+        assert_eq!(active_backend(), Backend::Scalar);
+        force_backend(None);
+        assert!(available_backends().contains(&active_backend()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one message block per state lane")]
+    fn compress_many_length_mismatch_panics() {
+        let mut states = vec![INITIAL_STATE; 2];
+        compress_many(&mut states, &[[0u8; 64]]);
     }
 }

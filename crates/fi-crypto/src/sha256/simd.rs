@@ -1,0 +1,444 @@
+//! Runtime-dispatched SHA-256 compression backends.
+//!
+//! Three implementations of the FIPS 180-4 compression function live here:
+//!
+//! * [`compress_scalar`] — the portable reference, byte-for-byte the code the
+//!   crate shipped with before SIMD support. It is *frozen*: every other
+//!   backend is differentially tested against it, and it is always available.
+//! * `compress_blocks_shani` — x86 SHA-NI instructions
+//!   (`sha256rnds2`/`sha256msg1`/`sha256msg2`). Fastest for a *single*
+//!   stream; also the fastest batch backend on hosts that have it, by
+//!   running each lane back-to-back.
+//! * `compress8_avx2` — an 8-wide AVX2 kernel that transposes eight
+//!   independent message blocks into one-word-per-lane vectors and runs the
+//!   64 rounds in SPMD style. Only useful for *batches*; a single stream
+//!   gains nothing because the round recurrence is sequential.
+//!
+//! Backend choice follows the PR 1 GF(256) pattern: detect once with
+//! `is_x86_feature_detected!`, prefer `ShaNi > Avx2 > Scalar`, and honour the
+//! `FI_FORCE_SCALAR_SHA=1` environment override so CI can pin the portable
+//! fallback. All backends produce bit-identical digests — this is a hard
+//! protocol invariant (`state_root`/`audit_root` must not depend on the
+//! host's CPU).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use super::K;
+
+/// A SHA-256 compression implementation selected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable FIPS 180-4 reference implementation.
+    Scalar,
+    /// 8-wide AVX2 transposed-schedule kernel (batches only).
+    Avx2,
+    /// x86 SHA extensions (`sha256rnds2` et al.).
+    ShaNi,
+}
+
+impl Backend {
+    /// Stable lowercase name, used in bench snapshots and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::ShaNi => "sha-ni",
+        }
+    }
+}
+
+/// Backends usable on this host, detected once: `Scalar` always, plus
+/// `Avx2`/`ShaNi` when the CPU reports the features.
+pub fn available_backends() -> &'static [Backend] {
+    static AVAILABLE: OnceLock<Vec<Backend>> = OnceLock::new();
+    AVAILABLE.get_or_init(detect_available)
+}
+
+fn detect_available() -> Vec<Backend> {
+    let mut found = vec![Backend::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            found.push(Backend::Avx2);
+        }
+        if std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("sse2")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+        {
+            found.push(Backend::ShaNi);
+        }
+    }
+    found
+}
+
+/// Pure selection rule: the fastest available backend (`ShaNi > Avx2 >
+/// Scalar`), unless `force_scalar` pins the portable fallback.
+///
+/// Split out from [`active_backend`] so the env-override logic is unit
+/// testable without mutating process state.
+pub fn select_backend(available: &[Backend], force_scalar: bool) -> Backend {
+    if force_scalar {
+        return Backend::Scalar;
+    }
+    if available.contains(&Backend::ShaNi) {
+        Backend::ShaNi
+    } else if available.contains(&Backend::Avx2) {
+        Backend::Avx2
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// `0` = no override; otherwise `Backend` discriminant + 1.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The backend used by the dispatching entry points.
+///
+/// Resolution order: a [`force_backend`] override if set, otherwise the
+/// cached result of [`select_backend`] over the detected features and the
+/// `FI_FORCE_SCALAR_SHA=1` environment variable (read once).
+pub fn active_backend() -> Backend {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => return Backend::Scalar,
+        2 => return Backend::Avx2,
+        3 => return Backend::ShaNi,
+        _ => {}
+    }
+    static DEFAULT: OnceLock<Backend> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let force_scalar = std::env::var("FI_FORCE_SCALAR_SHA").is_ok_and(|v| v == "1");
+        select_backend(available_backends(), force_scalar)
+    })
+}
+
+/// Overrides [`active_backend`] process-wide (`None` clears the override).
+///
+/// Intended for single-threaded benchmarks that compare backends in one
+/// process. Tests should prefer the explicit `*_with` entry points instead:
+/// this override is global, so concurrently running tests would observe each
+/// other's choice.
+///
+/// # Panics
+///
+/// Panics if `backend` is not in [`available_backends`] — forcing an
+/// undetected SIMD backend would execute illegal instructions.
+pub fn force_backend(backend: Option<Backend>) {
+    if let Some(b) = backend {
+        assert!(
+            available_backends().contains(&b),
+            "SHA-256 backend {} is not available on this host",
+            b.name()
+        );
+    }
+    let code = match backend {
+        None => 0,
+        Some(Backend::Scalar) => 1,
+        Some(Backend::Avx2) => 2,
+        Some(Backend::ShaNi) => 3,
+    };
+    FORCED.store(code, Ordering::Relaxed);
+}
+
+/// Portable FIPS 180-4 compression function (the frozen reference).
+pub(crate) fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Compresses every whole 64-byte block of `data` into `state`, single
+/// stream, using the active backend. `data.len()` must be a multiple of 64.
+///
+/// The AVX2 backend has no single-stream advantage (the round recurrence is
+/// sequential), so it falls back to scalar here; only SHA-NI accelerates
+/// this path.
+pub(crate) fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % 64, 0);
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::ShaNi => {
+            // SAFETY: `active_backend` only yields ShaNi when the sha/sse2/
+            // ssse3/sse4.1 features were detected (or a forced override
+            // passed the same availability assertion).
+            unsafe { compress_blocks_shani(state, data) }
+        }
+        _ => {
+            for block in data.chunks_exact(64) {
+                compress_scalar(state, block.try_into().unwrap());
+            }
+        }
+    }
+}
+
+/// Compresses `blocks[i]` into `states[i]` for every lane, using `backend`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, or if a SIMD `backend` is named on
+/// a host that does not support it.
+pub(crate) fn compress_many_impl(backend: Backend, states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    assert_eq!(
+        states.len(),
+        blocks.len(),
+        "one message block per state lane"
+    );
+    match backend {
+        Backend::Scalar => {
+            for (state, block) in states.iter_mut().zip(blocks) {
+                compress_scalar(state, block);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::ShaNi => {
+            assert!(
+                available_backends().contains(&Backend::ShaNi),
+                "SHA-NI not available on this host"
+            );
+            for (state, block) in states.iter_mut().zip(blocks) {
+                // SAFETY: availability asserted above.
+                unsafe { compress_blocks_shani(state, block.as_slice()) }
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            assert!(
+                available_backends().contains(&Backend::Avx2),
+                "AVX2 not available on this host"
+            );
+            let mut state_chunks = states.chunks_exact_mut(8);
+            let block_chunks = blocks.chunks_exact(8);
+            let tail_blocks = block_chunks.remainder();
+            for (state8, block8) in (&mut state_chunks).zip(block_chunks) {
+                // SAFETY: availability asserted above; both chunks are
+                // exactly 8 lanes.
+                unsafe { compress8_avx2(state8, block8) }
+            }
+            for (state, block) in state_chunks.into_remainder().iter_mut().zip(tail_blocks) {
+                compress_scalar(state, block);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => {
+            for (state, block) in states.iter_mut().zip(blocks) {
+                compress_scalar(state, block);
+            }
+        }
+    }
+}
+
+/// SHA-NI compression over all whole blocks of `data` (single stream).
+///
+/// Follows the canonical Intel sequence: state is kept in the permuted
+/// ABEF/CDGH layout the `sha256rnds2` instruction expects, with the
+/// un-permute applied once on store.
+///
+/// # Safety
+///
+/// Caller must ensure the `sha`, `sse2`, `ssse3`, and `sse4.1` features are
+/// available, and that `data.len()` is a multiple of 64.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+unsafe fn compress_blocks_shani(state: &mut [u32; 8], data: &[u8]) {
+    use std::arch::x86_64::*;
+
+    debug_assert_eq!(data.len() % 64, 0);
+
+    // Byte shuffle turning each 32-bit little-endian lane into big-endian.
+    let be_mask = _mm_set_epi64x(
+        0x0c0d_0e0f_0809_0a0bu64 as i64,
+        0x0405_0607_0001_0203u64 as i64,
+    );
+
+    // Load ABCD|EFGH and permute into the ABEF|CDGH register layout.
+    let tmp = _mm_shuffle_epi32(_mm_loadu_si128(state.as_ptr().cast()), 0xB1); // CDAB
+    let mut state1 = _mm_shuffle_epi32(_mm_loadu_si128(state.as_ptr().add(4).cast()), 0x1B); // EFGH
+    let mut state0 = _mm_alignr_epi8(tmp, state1, 8); // ABEF
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0); // CDGH
+
+    for block in data.chunks_exact(64) {
+        let abef_save = state0;
+        let cdgh_save = state1;
+
+        // Message schedule ring: m[g % 4] holds w[4g .. 4g+4].
+        let mut m = [
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), be_mask),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), be_mask),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), be_mask),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), be_mask),
+        ];
+
+        for g in 0..16usize {
+            if g >= 4 {
+                // w[4g..] = msg2(msg1(w[4g-16..], w[4g-12..]) + alignr(...), w[4g-4..])
+                let w_prev = m[(g + 3) % 4];
+                let shifted = _mm_alignr_epi8(w_prev, m[(g + 2) % 4], 4);
+                m[g % 4] = _mm_sha256msg2_epu32(
+                    _mm_add_epi32(_mm_sha256msg1_epu32(m[g % 4], m[(g + 1) % 4]), shifted),
+                    w_prev,
+                );
+            }
+            let k = _mm_loadu_si128(K.as_ptr().add(4 * g).cast());
+            let msg = _mm_add_epi32(m[g % 4], k);
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+        }
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+    }
+
+    // Un-permute ABEF|CDGH back to ABCD|EFGH and store.
+    let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+    state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+    state1 = _mm_alignr_epi8(state1, tmp, 8); // ABEF
+    _mm_storeu_si128(state.as_mut_ptr().cast(), state0);
+    _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), state1);
+}
+
+/// 8-wide AVX2 compression: lane `l` of every vector holds stream `l`.
+///
+/// The eight message blocks are transposed so each round operates on one
+/// 8×u32 vector per state variable; rotations are emulated with
+/// shift-shift-or (AVX2 has no vprold).
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and both slices have exactly 8
+/// elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn compress8_avx2(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    use std::arch::x86_64::*;
+
+    debug_assert_eq!(states.len(), 8);
+    debug_assert_eq!(blocks.len(), 8);
+
+    macro_rules! rotr {
+        ($x:expr, $n:literal) => {
+            _mm256_or_si256(_mm256_srli_epi32($x, $n), _mm256_slli_epi32($x, 32 - $n))
+        };
+    }
+    macro_rules! xor3 {
+        ($a:expr, $b:expr, $c:expr) => {
+            _mm256_xor_si256(_mm256_xor_si256($a, $b), $c)
+        };
+    }
+    macro_rules! add {
+        ($a:expr, $b:expr) => { _mm256_add_epi32($a, $b) };
+        ($a:expr, $b:expr $(, $rest:expr)+) => { add!(_mm256_add_epi32($a, $b) $(, $rest)+) };
+    }
+
+    // Transpose state and message words into one-row-per-word form so the
+    // vector loads below are contiguous.
+    let mut tstate = [[0u32; 8]; 8];
+    for (lane, state) in states.iter().enumerate() {
+        for (word, &value) in state.iter().enumerate() {
+            tstate[word][lane] = value;
+        }
+    }
+    let mut tw = [[0u32; 8]; 16];
+    for (lane, block) in blocks.iter().enumerate() {
+        for (word, chunk) in block.chunks_exact(4).enumerate() {
+            tw[word][lane] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+
+    let mut w = [_mm256_setzero_si256(); 16];
+    for (vec, row) in w.iter_mut().zip(tw.iter()) {
+        *vec = _mm256_loadu_si256(row.as_ptr().cast());
+    }
+    let mut a = _mm256_loadu_si256(tstate[0].as_ptr().cast());
+    let mut b = _mm256_loadu_si256(tstate[1].as_ptr().cast());
+    let mut c = _mm256_loadu_si256(tstate[2].as_ptr().cast());
+    let mut d = _mm256_loadu_si256(tstate[3].as_ptr().cast());
+    let mut e = _mm256_loadu_si256(tstate[4].as_ptr().cast());
+    let mut f = _mm256_loadu_si256(tstate[5].as_ptr().cast());
+    let mut g = _mm256_loadu_si256(tstate[6].as_ptr().cast());
+    let mut h = _mm256_loadu_si256(tstate[7].as_ptr().cast());
+
+    for t in 0..64 {
+        let wt = if t < 16 {
+            w[t]
+        } else {
+            let w15 = w[(t + 1) & 15];
+            let w2 = w[(t + 14) & 15];
+            let s0 = xor3!(rotr!(w15, 7), rotr!(w15, 18), _mm256_srli_epi32(w15, 3));
+            let s1 = xor3!(rotr!(w2, 17), rotr!(w2, 19), _mm256_srli_epi32(w2, 10));
+            let next = add!(w[t & 15], s0, w[(t + 9) & 15], s1);
+            w[t & 15] = next;
+            next
+        };
+        let s1 = xor3!(rotr!(e, 6), rotr!(e, 11), rotr!(e, 25));
+        let ch = _mm256_xor_si256(g, _mm256_and_si256(e, _mm256_xor_si256(f, g)));
+        let t1 = add!(h, s1, ch, _mm256_set1_epi32(K[t] as i32), wt);
+        let s0 = xor3!(rotr!(a, 2), rotr!(a, 13), rotr!(a, 22));
+        let maj = _mm256_or_si256(
+            _mm256_and_si256(a, b),
+            _mm256_and_si256(c, _mm256_or_si256(a, b)),
+        );
+        let t2 = _mm256_add_epi32(s0, maj);
+        h = g;
+        g = f;
+        f = e;
+        e = _mm256_add_epi32(d, t1);
+        d = c;
+        c = b;
+        b = a;
+        a = _mm256_add_epi32(t1, t2);
+    }
+
+    // Feed-forward add and scatter back to the row-major lanes.
+    let finals = [a, b, c, d, e, f, g, h];
+    for (word, vec) in finals.iter().enumerate() {
+        let sum = _mm256_add_epi32(*vec, _mm256_loadu_si256(tstate[word].as_ptr().cast()));
+        let mut out = [0u32; 8];
+        _mm256_storeu_si256(out.as_mut_ptr().cast(), sum);
+        for (lane, value) in out.iter().enumerate() {
+            states[lane][word] = *value;
+        }
+    }
+}

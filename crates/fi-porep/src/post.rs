@@ -11,7 +11,7 @@
 //! as [`winning_post_eligible`] for completeness since the paper notes
 //! *"WinningPoSt can be easily achieved"* (§IV).
 
-use fi_crypto::merkle::MerkleProof;
+use fi_crypto::merkle::{MerklePathBatch, MerkleProof};
 use fi_crypto::rng::DetRng;
 use fi_crypto::{keyed_hash, Hash256};
 
@@ -78,15 +78,30 @@ impl WindowPost {
 
     /// Verifies the response against the on-chain commitment and the
     /// expected challenge set (verifier side).
+    ///
+    /// The challenges' inclusion paths are independent, so they verify as
+    /// lockstep SIMD lanes ([`MerklePathBatch`]) rather than one Merkle
+    /// walk at a time.
     pub fn verify(&self, comm_r: &Hash256, challenges: &[usize]) -> bool {
         if self.responses.len() != challenges.len() {
             return false;
         }
-        self.responses.iter().zip(challenges).all(|(resp, &want)| {
-            resp.index == want
-                && resp.proof.leaf_index() == want
-                && resp.proof.verify(comm_r, &resp.chunk)
-        })
+        let indices_ok = self
+            .responses
+            .iter()
+            .zip(challenges)
+            .all(|(resp, &want)| resp.index == want && resp.proof.leaf_index() == want);
+        if !indices_ok {
+            return false;
+        }
+        let items: Vec<(&MerkleProof, &[u8], Hash256)> = self
+            .responses
+            .iter()
+            .map(|resp| (&resp.proof, resp.chunk.as_slice(), *comm_r))
+            .collect();
+        MerklePathBatch::verify_payloads(&items)
+            .into_iter()
+            .all(|ok| ok)
     }
 
     /// The individual challenge responses.
