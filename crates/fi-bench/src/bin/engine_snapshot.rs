@@ -27,13 +27,15 @@
 //! whose `Auto_CheckProof`s land in one wheel bucket (the batch regime a
 //! real chain sees — many ops per block), advanced through a full proof
 //! cycle at 1, 4 and 8 shards. The verify phase (modeled Merkle storage
-//! proof checks) fans out across shards with scoped threads; the commit
-//! phase is sequential either way. All three engines must agree on the
-//! state root — the 100k-file instance of the sharding equivalence tests —
-//! and on hosts with ≥ 4 cores the 8-shard engine must complete the
-//! full-cycle `advance_to` ≥ 2x faster than the 1-shard engine (the CI
-//! acceptance bar; on smaller hosts the number is recorded but not gated,
-//! since a 1-core box has no parallelism to win).
+//! proof checks) fans out across the persistent worker pool; the commit
+//! phase runs through the batched per-shard write path (planned fast
+//! applies plus deferred cntdown flushes) whenever the bucket crosses the
+//! threshold. All engines must agree on the state *and audit* roots — the
+//! 100k-file instance of the sharding equivalence tests — and on hosts
+//! with ≥ 4 cores the 8-shard engine must complete the full-cycle
+//! `advance_to` ≥ 4x faster than the 1-shard engine (the CI acceptance
+//! bar; on smaller hosts the number is recorded but not gated, since a
+//! 1-core box has no parallelism to win).
 //!
 //! A fourth section measures the **pipelined batch ingest**: 50k
 //! `File_Prove` ops (each a modeled WindowPoSt verification) fed through
@@ -41,7 +43,7 @@
 //! call, at every `(shards, ingest_threads)` configuration in
 //! `INGEST_CONFIGS`. State roots and block hashes must agree between both
 //! paths and across configurations, and on ≥ 4-core hosts the 8-shard /
-//! 4-thread batch path must ingest ≥ 2x faster than the sequential loop
+//! 4-thread batch path must ingest ≥ 4x faster than the sequential loop
 //! (CI-gated; recorded only on smaller hosts).
 //!
 //! A fifth axis records the **multi-lane SHA-256** work: every sharded
@@ -52,6 +54,14 @@
 //! a SIMD backend is detected), and a `hash` section captures raw
 //! `digest_many` MB/s plus lockstep Merkle authentication-path
 //! verification rates, scalar vs best detected backend.
+//!
+//! A sixth (`parallel`) section records the end-to-end parallel engine:
+//! the same 100k-file one-bucket full-cycle advance at `(1 shard, 1
+//! thread)` vs `(8 shards, 4 threads)`, with the per-phase wall-clock
+//! breakdown ([`Engine::phase_times`]: stage / commit / verify / fold)
+//! and the `audit_commit_batches` strategy counter for each cell. State
+//! and audit roots are asserted bit-identical, and on ≥ 4-core hosts the
+//! 8x4 cell must clear a ≥ 4x full-cycle speedup over 1x1.
 
 use std::time::Instant;
 
@@ -203,10 +213,17 @@ fn run_scheduler_churn(n: u64, kind: SchedulerKind, cycles: u64) -> f64 {
 /// files whose `Auto_CheckProof`s share a single wheel bucket.
 struct ShardedRun {
     shards: usize,
+    threads: usize,
     /// Seconds for the measured one-bucket proof-cycle advance.
     advance_s: f64,
     state_root: fi_crypto::Hash256,
+    audit_root: fi_crypto::Hash256,
     proofs_audited: u64,
+    /// Per-phase wall-clock breakdown of the last sampled advance.
+    phase: fi_core::engine::PhaseTimes,
+    /// Batched-commit buckets during one sampled advance (> 0 exactly
+    /// when the engine is sharded — the bucket is far past threshold).
+    audit_commit_batches: u64,
 }
 
 /// Builds the batch regime: `n` size-1 files all added (and confirmed) at
@@ -274,35 +291,53 @@ fn median3(mut sample: impl FnMut() -> f64) -> f64 {
 /// `advance_to` whose single bucket holds every file's `Auto_CheckProof`.
 /// The advance is sampled three times on fresh engines (median reported),
 /// and every repetition must land on the same state root.
-fn run_sharded_audit(n: u64, shards: usize) -> ShardedRun {
+fn run_sharded_audit(n: u64, shards: usize, threads: usize) -> ShardedRun {
     let cycle = 1_000;
     let mut state_root = None;
+    let mut audit_root = None;
     let mut proofs_audited = 0u64;
+    let mut phase = fi_core::engine::PhaseTimes::default();
+    let mut audit_commit_batches = 0u64;
     let advance_s = median3(|| {
-        let mut engine = batch_engine(n, shards, 1);
+        let mut engine = batch_engine(n, shards, threads);
         // The measured advance: one bucket of n CheckProofs — verify fans
-        // out across shards, commit merges back into canonical order.
+        // out across the pool, commit merges back into canonical order
+        // (through the batched per-shard write path when sharded).
         let audited_before = engine.stats().proofs_audited;
+        let batches_before = engine.stats().audit_commit_batches;
+        engine.reset_phase_times();
         let target = engine.now() + cycle;
         let t_adv = Instant::now();
         engine.advance_to(target);
         let elapsed = t_adv.elapsed().as_secs_f64();
         proofs_audited = engine.stats().proofs_audited - audited_before;
         assert_eq!(proofs_audited, n, "every live replica audited once");
+        phase = engine.phase_times();
+        audit_commit_batches = engine.stats().audit_commit_batches - batches_before;
+        assert_eq!(
+            audit_commit_batches > 0,
+            shards > 1,
+            "the batched commit path engages exactly on sharded engines"
+        );
         let root = engine.state_root();
         assert!(
             state_root.is_none() || state_root == Some(root),
             "advance_to must be deterministic across repetitions"
         );
         state_root = Some(root);
+        audit_root = Some(engine.audit_root());
         elapsed
     });
 
     ShardedRun {
         shards,
+        threads,
         advance_s,
         state_root: state_root.expect("three repetitions ran"),
+        audit_root: audit_root.expect("three repetitions ran"),
         proofs_audited,
+        phase,
+        audit_commit_batches,
     }
 }
 
@@ -536,12 +571,17 @@ fn main() {
         .unwrap_or(1);
     let sharded: Vec<ShardedRun> = SHARD_COUNTS
         .iter()
-        .map(|&s| run_sharded_audit(SHARD_N, s))
+        .map(|&s| run_sharded_audit(SHARD_N, s, 1))
         .collect();
     for run in &sharded[1..] {
         assert_eq!(
             run.state_root, sharded[0].state_root,
             "{}-shard engine diverged from the 1-shard engine at n={SHARD_N}",
+            run.shards
+        );
+        assert_eq!(
+            run.audit_root, sharded[0].audit_root,
+            "{}-shard audit root diverged from the 1-shard engine at n={SHARD_N}",
             run.shards
         );
     }
@@ -581,7 +621,7 @@ fn main() {
     // pipeline must win >= 3x.
     let best_backend = sha256::active_backend();
     sha256::force_backend(Some(Backend::Scalar));
-    let scalar_run = run_sharded_audit(SHARD_N, 1);
+    let scalar_run = run_sharded_audit(SHARD_N, 1, 1);
     sha256::force_backend(None);
     assert_eq!(
         scalar_run.state_root,
@@ -603,6 +643,39 @@ fn main() {
             best_backend.name()
         );
     }
+
+    // ------------------------------------------------------------------
+    // End-to-end parallel engine: the full-cycle advance at the widest
+    // configuration (8 shards, 4 ingest threads — verify fan-out, batched
+    // audit commit, per-shard write flushes all engaged) against the
+    // sequential 1x1 cell, with the per-phase breakdown for both.
+    // ------------------------------------------------------------------
+    let parallel_run = run_sharded_audit(SHARD_N, SHARD_COUNTS[2], 4);
+    assert_eq!(
+        parallel_run.state_root, sharded[0].state_root,
+        "8-shard/4-thread engine diverged from the 1x1 engine at n={SHARD_N}"
+    );
+    assert_eq!(
+        parallel_run.audit_root, sharded[0].audit_root,
+        "8-shard/4-thread audit root diverged from the 1x1 engine at n={SHARD_N}"
+    );
+    let parallel_speedup = sharded[0].advance_s / parallel_run.advance_s;
+    let parallel_cells = [&sharded[0], &parallel_run];
+    for run in parallel_cells {
+        println!(
+            "parallel n={SHARD_N}: shards={} threads={} advance {:.1} ms \
+             (verify {:.1} ms, fold {:.1} ms, {} commit batches)",
+            run.shards,
+            run.threads,
+            run.advance_s * 1e3,
+            run.phase.verify_s * 1e3,
+            run.phase.fold_s * 1e3,
+            run.audit_commit_batches,
+        );
+    }
+    println!(
+        "parallel full-cycle speedup 8x4 vs 1x1: {parallel_speedup:.2}x (available parallelism: {parallelism})"
+    );
 
     // ------------------------------------------------------------------
     // Multi-lane SHA-256 microbenchmarks: raw digest_many throughput and
@@ -632,6 +705,22 @@ fn main() {
                 r.advance_s * 1e3,
                 r.proofs_audited,
                 sharded[0].advance_s / r.advance_s
+            )
+        })
+        .collect();
+
+    let parallel_rows: Vec<String> = parallel_cells
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"shards\": {}, \"ingest_threads\": {}, \"advance_full_cycle_ms\": {:.3}, \
+                 \"phase_verify_ms\": {:.3}, \"phase_fold_ms\": {:.3}, \"audit_commit_batches\": {}}}",
+                r.shards,
+                r.threads,
+                r.advance_s * 1e3,
+                r.phase.verify_s * 1e3,
+                r.phase.fold_s * 1e3,
+                r.audit_commit_batches,
             )
         })
         .collect();
@@ -699,9 +788,10 @@ fn main() {
            \"unit_note\": \"per-file regime: n live files, one Auto_CheckProof per timestamp across an n-tick proof cycle; advance_full_cycle = one ProofCycle advance executing every file's Auto_CheckProof (protocol work included); scheduler_churn = same task population against the bare scheduler (3 cycles, median of 3 runs) — the isolated like-for-like scheduling cost\",\n  \
            \"available_parallelism\": {parallelism},\n  \
            \"results\": [\n{}\n  ],\n  \
-           \"sharded_audit\": {{\n    \"note\": \"batch regime: 100k size-1 files, every Auto_CheckProof in one wheel bucket; advance = one full proof cycle (batched multi-lane Merkle verify at audit_path_len 64 + sequential commit), median of 3 fresh-engine runs per shard count; state roots asserted identical across shard counts and vs the forced-scalar run; shard count is asserted noise-neutral (<= 2x median spread) on 1-core hosts, the >=2x 8v1 bar is gated when >=4 cores are available, and the >=3x scalar-vs-SIMD bar is gated when a SIMD backend is detected\",\n    \"available_parallelism\": {parallelism},\n    \"sha_backend\": \"{}\",\n    \"shard_spread_max_over_min\": {:.2},\n    \"scalar_sha_advance_full_cycle_ms\": {:.3},\n    \"simd_speedup_vs_scalar\": {:.2},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
+           \"sharded_audit\": {{\n    \"note\": \"batch regime: 100k size-1 files, every Auto_CheckProof in one wheel bucket; advance = one full proof cycle (batched multi-lane Merkle verify at audit_path_len 64 + batched per-shard audit commit when sharded), median of 3 fresh-engine runs per shard count; state and audit roots asserted identical across shard counts and vs the forced-scalar run; shard count is asserted noise-neutral (<= 2x median spread) on 1-core hosts, the >=4x 8v1 bar is gated when >=4 cores are available, and the >=3x scalar-vs-SIMD bar is gated when a SIMD backend is detected\",\n    \"available_parallelism\": {parallelism},\n    \"sha_backend\": \"{}\",\n    \"shard_spread_max_over_min\": {:.2},\n    \"scalar_sha_advance_full_cycle_ms\": {:.3},\n    \"simd_speedup_vs_scalar\": {:.2},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
            \"hash\": {{\n    \"note\": \"multi-lane SHA-256 micro: digest_many over 8192 x 1KiB messages (MB/s) and lockstep Merkle authentication-path verification over 4096 proofs against a 4096-leaf tree (paths/s), frozen scalar reference vs best detected backend, median of 3; digests asserted identical before timing\",\n    \"backends_available\": [{backend_list}],\n    \"best_backend\": \"{}\",\n    \"digest_many_scalar_mb_s\": {:.1},\n    \"digest_many_best_mb_s\": {:.1},\n    \"digest_many_speedup\": {:.2},\n    \"merkle_paths_scalar_per_sec\": {:.0},\n    \"merkle_paths_best_per_sec\": {:.0},\n    \"merkle_paths_speedup\": {:.2}\n  }},\n  \
-           \"ingest\": {{\n    \"note\": \"batch ingest: 50k File_Prove ops (modeled WindowPoSt verification, audit_path_len 64) as one shard-local segment; apply = op-by-op sequential loop, apply_batch = parallel staging + sequential in-order commit; state roots and block hashes asserted identical between both paths and across all configs; the >=2x bar on the last (8-shard/4-thread) row is gated when >=4 cores are available\",\n    \"available_parallelism\": {parallelism},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
+           \"ingest\": {{\n    \"note\": \"batch ingest: 50k File_Prove ops (modeled WindowPoSt verification, audit_path_len 64) as one shard-local segment; apply = op-by-op sequential loop, apply_batch = parallel staging + sequential in-order commit; state roots and block hashes asserted identical between both paths and across all configs; the >=4x bar on the last (8-shard/4-thread) row is gated when >=4 cores are available\",\n    \"available_parallelism\": {parallelism},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
+           \"parallel\": {{\n    \"note\": \"end-to-end parallel engine: the 100k-file one-bucket full-cycle advance at (1 shard, 1 ingest thread) vs (8 shards, 4 ingest threads) on the persistent worker pool — verify fan-out plus batched per-shard audit commit; phase_* are Engine::phase_times wall-clock ms for one sampled advance; state and audit roots asserted bit-identical between the cells; the >=4x speedup bar is gated when >=4 cores are available\",\n    \"available_parallelism\": {parallelism},\n    \"speedup_8x4_vs_1x1\": {parallel_speedup:.2},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
         rows.join(",\n"),
         best_backend.name(),
         shard_spread,
@@ -715,7 +805,8 @@ fn main() {
         hash.scalar_paths_s,
         hash.best_paths_s,
         hash.best_paths_s / hash.scalar_paths_s,
-        ingest_rows.join(",\n")
+        ingest_rows.join(",\n"),
+        parallel_rows.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");
@@ -732,35 +823,54 @@ fn main() {
     );
 
     // Acceptance bar: the 8-shard engine must finish the full-cycle
-    // advance >= 2x faster than the 1-shard engine at 100k files. The
-    // verify fan-out needs real cores to win, so the bar applies where CI
-    // runs (>= 4 cores); elsewhere the measurement is recorded above.
+    // advance >= 4x faster than the 1-shard engine at 100k files (the bar
+    // tightened from 2x once the audit commit fold joined the verify
+    // fan-out on the worker pool). Parallelism needs real cores to win,
+    // so the bar applies where CI runs (>= 4 cores); elsewhere the
+    // measurement is recorded above.
     if parallelism >= 4 {
         assert!(
-            sharded_speedup >= 2.0,
-            "sharded audit speedup {sharded_speedup:.2}x at 8 shards fell below the 2x acceptance bar"
+            sharded_speedup >= 4.0,
+            "sharded audit speedup {sharded_speedup:.2}x at 8 shards fell below the 4x acceptance bar"
         );
     } else {
         println!(
-            "note: {parallelism} core(s) available — the >=2x sharded-audit bar is gated on >=4-core hosts (CI)"
+            "note: {parallelism} core(s) available — the >=4x sharded-audit bar is gated on >=4-core hosts (CI)"
         );
     }
 
     // Acceptance bar: pipelined batch ingest at 8 shards / 4 ingest
-    // threads must beat the op-by-op apply loop >= 2x on the same batch.
-    // Like the audit bar, it needs real cores; elsewhere the measurement
-    // is recorded above (available_parallelism makes 1-core runs
-    // self-explanatory).
+    // threads must beat the op-by-op apply loop >= 4x on the same batch
+    // (tightened from 2x with the persistent pool replacing per-segment
+    // thread spawns). Like the audit bar, it needs real cores; elsewhere
+    // the measurement is recorded above (available_parallelism makes
+    // 1-core runs self-explanatory).
     if parallelism >= 4 {
         assert!(
-            ingest_speedup >= 2.0,
-            "batch ingest speedup {ingest_speedup:.2}x at {} shards/{} threads fell below the 2x acceptance bar",
+            ingest_speedup >= 4.0,
+            "batch ingest speedup {ingest_speedup:.2}x at {} shards/{} threads fell below the 4x acceptance bar",
             gated.shards,
             gated.threads
         );
     } else {
         println!(
-            "note: {parallelism} core(s) available — the >=2x batch-ingest bar is gated on >=4-core hosts (CI)"
+            "note: {parallelism} core(s) available — the >=4x batch-ingest bar is gated on >=4-core hosts (CI)"
+        );
+    }
+
+    // Acceptance bar: the fully parallel cell (8 shards, 4 ingest
+    // threads, verify fan-out + batched audit commit) must complete the
+    // full-cycle advance >= 4x faster than the sequential 1x1 cell on
+    // >= 4-core hosts; on smaller hosts the cells are still asserted
+    // bit-identical above and the numbers recorded.
+    if parallelism >= 4 {
+        assert!(
+            parallel_speedup >= 4.0,
+            "parallel full-cycle speedup {parallel_speedup:.2}x at 8 shards/4 threads fell below the 4x acceptance bar"
+        );
+    } else {
+        println!(
+            "note: {parallelism} core(s) available — the >=4x parallel full-cycle bar is gated on >=4-core hosts (CI)"
         );
     }
 }

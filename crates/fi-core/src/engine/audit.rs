@@ -13,11 +13,28 @@
 //! on record for a popped bucket — a modeled Merkle path walk per audited
 //! replica, the simulated WindowPoSt verification cost. It reads only the
 //! task's shard (files + alloc rows) and the parameters, so a bucket's
-//! slices verify concurrently across shards with scoped threads. The
-//! **commit** phase (the `auto_*` handlers below) then runs sequentially in
-//! canonical `(time, schedule-seq)` order, folding each audit digest into
-//! the engine's `audit_root` before applying rent, punishments and
-//! refreshes — bit-identical to a 1-shard engine.
+//! slices verify concurrently on the engine's persistent worker pool. The
+//! **commit** phase (the `auto_*` handlers below) then runs in canonical
+//! `(time, schedule-seq)` order, folding each audit digest into the
+//! engine's `audit_root` before applying rent, punishments and refreshes —
+//! bit-identical to a 1-shard engine.
+//!
+//! On large multi-shard buckets the commit phase itself is parallelized
+//! ([`Engine::commit_bucket_batched`]): a read-only **plan** phase fans
+//! the `Auto_CheckProof` tasks across the pool, classifying each as a
+//! *fast* plan (the steady-state rent-charge/punish/reschedule path, with
+//! every consulted sector recorded) or a *sequential* fallback
+//! (discards, confiscations, losses, refresh draws — anything touching
+//! rng or cross-shard money). The serial walk then applies fast plans
+//! directly when their footprints are disjoint from everything mutated
+//! earlier in the bucket — `read_sectors ∩ mutated_sectors = ∅`, the
+//! file untouched, and the owner's balance re-checked exactly — and
+//! re-executes everything else through the frozen sequential reference.
+//! Per-shard `cntdown` write batches are deferred and flushed through the
+//! pool (before any sequential fallback, and at bucket end), so the
+//! file-table writes of a mostly-fast bucket land concurrently. The
+//! differential tests in `tests/parallel_commit.rs` pin both strategies
+//! to bit-identical `state_root`/`audit_root`/event streams.
 //!
 //! Inside one slice, [`verify_slice`] batches the work: every audited
 //! replica becomes a *lane*, and all lanes walk their authentication paths
@@ -29,18 +46,20 @@
 //! [`keyed_hash`]; small slices use it directly and the differential test
 //! pins the batched pipeline against it bit for bit.
 
-use std::thread;
+use std::collections::{HashMap, HashSet};
 
-use fi_chain::account::TokenAmount;
+use fi_chain::account::{AccountId, Ledger, TokenAmount};
 use fi_chain::tasks::Time;
 use fi_crypto::{cached_domain, keyed_hash, DetRng, Hash256};
 
+use crate::params::ProtocolParams;
 use crate::types::{
-    AllocState, FileId, FileState, ProtocolEvent, RemovalReason, SectorId, SectorState,
+    AllocState, FileId, FileState, ProtocolEvent, RemovalReason, Sector, SectorId, SectorState,
 };
 
-use super::shard::{Shard, ShardSlice};
-use super::{Engine, Task, COMPENSATION_POOL, DEPOSIT_ESCROW, RENT_POOL, TRAFFIC_ESCROW};
+use super::pool::JobBatch;
+use super::shard::{Shard, ShardSlice, ShardedState};
+use super::{tuning, Engine, Task, COMPENSATION_POOL, DEPOSIT_ESCROW, RENT_POOL, TRAFFIC_ESCROW};
 
 /// The read-only verdict of auditing one `Auto_CheckProof` task: a
 /// commitment over every verified replica proof, later folded into the
@@ -54,11 +73,6 @@ pub(super) struct ProofAudit {
     pub(super) replicas_checked: u64,
 }
 
-/// Buckets with fewer `Auto_CheckProof` tasks than this verify inline:
-/// spawning a thread per shard costs more than walking a handful of Merkle
-/// paths. The outcome is identical either way — the verify phase is pure.
-const PARALLEL_VERIFY_THRESHOLD: usize = 64;
-
 impl Engine {
     // ------------------------------------------------------------------
     // Verify phase (read-only, parallel across shards)
@@ -67,7 +81,7 @@ impl Engine {
     /// Audits every `Auto_CheckProof` task in a popped bucket, one verdict
     /// slot per popped task (non-audit tasks get `None`). Each shard's
     /// slice touches only that shard's state, so large buckets fan out
-    /// across shards with `std::thread::scope`.
+    /// across the persistent worker pool.
     pub(super) fn verify_bucket(
         &self,
         slices: &[ShardSlice],
@@ -89,41 +103,277 @@ impl Engine {
                 })
                 .sum()
         };
-        if shards.len() > 1 && audit_tasks() >= PARALLEL_VERIFY_THRESHOLD {
-            // Shards are chunked over at most `available_parallelism`
-            // workers — a 256-shard engine on a 4-core host gets 4 threads
-            // of 64 shards each, not 256 one-audit threads. Chunks are
-            // contiguous and rejoined in order, so the output is the same
-            // per-shard Vec the inline path produces.
+        if shards.len() > 1 && audit_tasks() >= tuning::parallel_verify_threshold() {
+            // Shards are chunked over at most the pool's worker count — a
+            // 256-shard engine on a 4-core host gets 4 jobs of 64 shards
+            // each, not 256 one-audit jobs. Chunks are contiguous and
+            // rejoined in order, so the output is the same per-shard Vec
+            // the inline path produces.
             let pairs: Vec<(&Shard, &ShardSlice)> = shards.iter().zip(slices.iter()).collect();
-            let workers = thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-                .clamp(1, pairs.len());
+            let pool = self.pool();
+            let workers = pool.workers().clamp(1, pairs.len());
             let chunk_len = pairs.len().div_ceil(workers);
-            thread::scope(|scope| {
-                let handles: Vec<_> = pairs
-                    .chunks(chunk_len)
-                    .map(|group| {
-                        scope.spawn(move || {
-                            group
-                                .iter()
-                                .map(|(shard, slice)| verify_slice(shard, slice, now, path_len))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("audit verify worker panicked"))
-                    .collect()
-            })
+            let chunks: Vec<&[(&Shard, &ShardSlice)]> = pairs.chunks(chunk_len).collect();
+            let mut chunk_out: Vec<Vec<Vec<Option<ProofAudit>>>> =
+                chunks.iter().map(|_| Vec::new()).collect();
+            let jobs: JobBatch<'_> = chunks
+                .into_iter()
+                .zip(chunk_out.iter_mut())
+                .map(|(group, slot)| {
+                    Box::new(move || {
+                        *slot = group
+                            .iter()
+                            .map(|(shard, slice)| verify_slice(shard, slice, now, path_len))
+                            .collect();
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+            chunk_out.into_iter().flatten().collect()
         } else {
             shards
                 .iter()
                 .zip(slices.iter())
                 .map(|(shard, slice)| verify_slice(shard, slice, now, path_len))
                 .collect()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched commit phase (plan in parallel, apply validated)
+    // ------------------------------------------------------------------
+
+    /// Commits a merged, canonically ordered bucket through the batched
+    /// strategy: a read-only plan phase fans the `Auto_CheckProof` tasks
+    /// across the worker pool, then a serial walk applies each task in
+    /// the exact `(time, schedule-seq)` order the sequential fold uses —
+    /// via its fast plan when still valid, via [`Engine::execute`]
+    /// otherwise. Bit-identical to folding the same bucket sequentially:
+    /// fast plans draw no rng, log the same events in the same order, and
+    /// fall back whenever anything they read was mutated earlier in the
+    /// bucket.
+    ///
+    /// The disjointness rule guarding a fast apply:
+    ///
+    /// * `read_sectors ∩ mutated_sectors = ∅` — every sector the plan
+    ///   consulted (each entry's holder, for the punish/confiscate
+    ///   decisions) is untouched by earlier punishments, confiscations and
+    ///   fallback footprints;
+    /// * the plan's file is not in `mutated_files` — no earlier fallback
+    ///   ran a task of the same file (`Auto_CheckRefresh` mutates entry
+    ///   states, `last` stamps and `cntdown` of its file);
+    /// * the owner's balance still covers the cycle cost — re-checked
+    ///   exactly at apply time, so cross-file money movement (same owner,
+    ///   rent distribution, compensation) can never smuggle a stale
+    ///   insolvency decision through.
+    ///
+    /// Corrupted-sector cascades (`void_sector_content`) are covered by
+    /// the first rule: a victim file's plan recorded the corrupted holder
+    /// in `read_sectors`, and the confiscating task's footprint put that
+    /// sector into `mutated_sectors`. The remaining cascade mutations
+    /// (reverting an in-flight move whose *target* died) touch only
+    /// `next`/state fields the plan's decisions don't depend on.
+    ///
+    /// Fast applies defer their `cntdown` decrements into per-shard write
+    /// batches, flushed through the pool before any sequential fallback
+    /// (which must see the sequential file table) and at bucket end.
+    pub(super) fn commit_bucket_batched(
+        &mut self,
+        now: Time,
+        batch: Vec<(Time, u64, Task, Option<ProofAudit>)>,
+    ) {
+        let plans = self.plan_bucket(now, &batch);
+        let shard_count = self.shards.shards.len();
+        let mut pending: Vec<Vec<(FileId, i64)>> = vec![Vec::new(); shard_count];
+        let mut mutated_sectors: HashSet<SectorId> = HashSet::new();
+        let mut mutated_files: HashSet<FileId> = HashSet::new();
+        for ((_, _, task, audit), plan) in batch.into_iter().zip(plans) {
+            let fast = plan
+                .as_ref()
+                .is_some_and(|p| self.plan_valid(p, &mutated_sectors, &mutated_files));
+            if fast {
+                let plan = plan.expect("checked above");
+                self.apply_check_proof_plan(now, plan, audit, &mut mutated_sectors, &mut pending);
+            } else {
+                self.flush_cntdown_writes(&mut pending);
+                note_fallback_footprint(
+                    &self.shards,
+                    &task,
+                    &mut mutated_sectors,
+                    &mut mutated_files,
+                );
+                self.execute(task, audit);
+            }
+        }
+        self.flush_cntdown_writes(&mut pending);
+    }
+
+    /// The read-only plan phase: one [`CheckProofPlan`] per
+    /// `Auto_CheckProof` task (other tasks get `None`), computed across
+    /// the worker pool. Each plan touches only its file's shard, the
+    /// sector table, the ledger and the parameters — all immutable here.
+    fn plan_bucket(
+        &self,
+        now: Time,
+        batch: &[(Time, u64, Task, Option<ProofAudit>)],
+    ) -> Vec<Option<CheckProofPlan>> {
+        let mut plans: Vec<Option<CheckProofPlan>> = batch.iter().map(|_| None).collect();
+        let audits: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, _, task, _))| matches!(task, Task::CheckProof(_)).then_some(i))
+            .collect();
+        if audits.is_empty() {
+            return plans;
+        }
+        let pool = self.pool();
+        let workers = pool.workers().clamp(1, audits.len());
+        let chunk_len = audits.len().div_ceil(workers);
+        let shards = &self.shards;
+        let sectors = &self.sectors;
+        let ledger = &self.ledger;
+        let params = &self.params;
+
+        let chunks: Vec<&[usize]> = audits.chunks(chunk_len).collect();
+        let mut chunk_out: Vec<Vec<(usize, CheckProofPlan)>> =
+            chunks.iter().map(|_| Vec::new()).collect();
+        let jobs: JobBatch<'_> = chunks
+            .into_iter()
+            .zip(chunk_out.iter_mut())
+            .map(|(idxs, slot)| {
+                Box::new(move || {
+                    *slot = idxs
+                        .iter()
+                        .map(|&i| {
+                            let Task::CheckProof(f) = batch[i].2 else {
+                                unreachable!("filtered to CheckProof above")
+                            };
+                            let plan =
+                                plan_check_proof(shards.shard(f), sectors, ledger, params, f, now);
+                            (i, plan)
+                        })
+                        .collect();
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        for chunk in chunk_out {
+            for (i, plan) in chunk {
+                plans[i] = Some(plan);
+            }
+        }
+        plans
+    }
+
+    /// Whether a plan's assumptions still hold at its turn in the serial
+    /// walk (the disjointness rule; see [`Engine::commit_bucket_batched`]).
+    fn plan_valid(
+        &self,
+        plan: &CheckProofPlan,
+        mutated_sectors: &HashSet<SectorId>,
+        mutated_files: &HashSet<FileId>,
+    ) -> bool {
+        if mutated_files.contains(&plan.file) {
+            return false;
+        }
+        if plan
+            .read_sectors
+            .iter()
+            .any(|s| mutated_sectors.contains(s))
+        {
+            return false;
+        }
+        match &plan.kind {
+            PlanKind::MissingFile => true,
+            PlanKind::Fast { owner, cost, .. } => self.ledger.balance(*owner) >= *cost,
+            PlanKind::Sequential => false,
+        }
+    }
+
+    /// Applies one validated fast plan — the exact effect sequence of
+    /// [`Engine::auto_check_proof`] on its steady-state path, with the
+    /// `cntdown` write deferred into its shard's batch.
+    fn apply_check_proof_plan(
+        &mut self,
+        now: Time,
+        plan: CheckProofPlan,
+        audit: Option<ProofAudit>,
+        mutated_sectors: &mut HashSet<SectorId>,
+        pending: &mut [Vec<(FileId, i64)>],
+    ) {
+        let file = plan.file;
+        if let Some(a) = &audit {
+            self.audit_root = keyed_hash(
+                "fileinsurer/audit-root",
+                &[self.audit_root.as_bytes(), a.digest.as_bytes()],
+            );
+            self.shards.shard_mut(file).stats.proofs_audited += a.replicas_checked;
+        }
+        match plan.kind {
+            PlanKind::MissingFile => {}
+            PlanKind::Fast {
+                owner,
+                rent,
+                gas,
+                punish,
+                new_cntdown,
+                ..
+            } => {
+                self.ledger
+                    .transfer(owner, RENT_POOL, rent)
+                    .expect("balance re-checked by plan_valid");
+                self.ledger.burn(owner, gas).expect("balance re-checked");
+                for holder in punish {
+                    self.punish(holder);
+                    mutated_sectors.insert(holder);
+                }
+                self.schedule_task(now + self.params.proof_cycle, Task::CheckProof(file));
+                pending[self.shards.shard_of(file)].push((file, new_cntdown));
+            }
+            PlanKind::Sequential => unreachable!("plan_valid rejects Sequential"),
+        }
+        // `execute`'s per-task increment.
+        self.op_counter += 1;
+    }
+
+    /// Flushes the deferred per-shard `cntdown` write batches — through
+    /// the pool when large enough to pay for the dispatch (each job owns
+    /// one shard's file table, so the writes are disjoint by
+    /// construction), inline otherwise.
+    fn flush_cntdown_writes(&mut self, pending: &mut [Vec<(FileId, i64)>]) {
+        let total: usize = pending.iter().map(Vec::len).sum();
+        if total == 0 {
+            return;
+        }
+        if total >= tuning::parallel_audit_commit_threshold() {
+            let pool = self.pool();
+            let mut jobs: JobBatch<'_> = Vec::new();
+            for (shard, writes) in self.shards.shards.iter_mut().zip(pending.iter_mut()) {
+                if writes.is_empty() {
+                    continue;
+                }
+                let writes = std::mem::take(writes);
+                jobs.push(Box::new(move || {
+                    for (file, cntdown) in writes {
+                        shard
+                            .files
+                            .get_mut(&file)
+                            .expect("deferred cntdown write targets a live file")
+                            .cntdown = cntdown;
+                    }
+                }));
+            }
+            pool.run(jobs);
+        } else {
+            for (idx, writes) in pending.iter_mut().enumerate() {
+                for (file, cntdown) in std::mem::take(writes) {
+                    self.shards.shards[idx]
+                        .files
+                        .get_mut(&file)
+                        .expect("deferred cntdown write targets a live file")
+                        .cntdown = cntdown;
+                }
+            }
         }
     }
 
@@ -571,28 +821,171 @@ impl Engine {
     }
 }
 
+/// The read-only classification of one `Auto_CheckProof` task, computed
+/// in parallel by [`Engine::plan_bucket`] and applied (or discarded) by
+/// the serial walk in [`Engine::commit_bucket_batched`].
+struct CheckProofPlan {
+    file: FileId,
+    kind: PlanKind,
+    /// Every sector whose state the plan consulted (each non-corrupted
+    /// entry's holder): the plan is invalid once any of them is mutated
+    /// earlier in the bucket.
+    read_sectors: Vec<SectorId>,
+}
+
+enum PlanKind {
+    /// No descriptor: the commit is a no-op beyond the audit fold.
+    MissingFile,
+    /// The steady-state path — charge rent + prepaid gas, punish the
+    /// recorded late holders in entry order, reschedule, decrement
+    /// `cntdown` (still positive, so no refresh draw). Draws no rng.
+    Fast {
+        owner: AccountId,
+        /// Full cycle cost, re-checked against the live balance at apply.
+        cost: TokenAmount,
+        rent: TokenAmount,
+        gas: TokenAmount,
+        /// Holders past `proof_due`, in entry order (duplicates kept:
+        /// sequential punishment recomputes on the reduced deposit).
+        punish: Vec<SectorId>,
+        new_cntdown: i64,
+    },
+    /// Anything else — insolvency discard, deadline confiscation, full
+    /// loss, refresh draw, non-Normal file state — re-executes through
+    /// the frozen sequential reference.
+    Sequential,
+}
+
+/// Mirrors the read path of [`Engine::auto_check_proof`] without mutating
+/// anything, recording every consulted sector. Pure in the engine state
+/// it is handed, so a bucket's plans compute concurrently.
+fn plan_check_proof(
+    shard: &Shard,
+    sectors: &HashMap<SectorId, Sector>,
+    ledger: &Ledger,
+    params: &ProtocolParams,
+    file: FileId,
+    now: Time,
+) -> CheckProofPlan {
+    let mut read_sectors: Vec<SectorId> = Vec::new();
+    let Some(desc) = shard.files.get(&file) else {
+        return CheckProofPlan {
+            file,
+            kind: PlanKind::MissingFile,
+            read_sectors,
+        };
+    };
+    let sequential = |read_sectors| CheckProofPlan {
+        file,
+        kind: PlanKind::Sequential,
+        read_sectors,
+    };
+    if desc.state != FileState::Normal {
+        return sequential(read_sectors);
+    }
+    let cost = params.cycle_cost(desc.size, desc.cp);
+    if ledger.balance(desc.owner) < cost {
+        // Insolvency discard: removal and refunds go sequential.
+        return sequential(read_sectors);
+    }
+    let rent = TokenAmount(params.unit_rent.0 * desc.size as u128 * desc.cp as u128);
+    let gas = cost - rent;
+
+    let mut punish: Vec<SectorId> = Vec::new();
+    for i in 0..desc.cp {
+        let Some(e) = shard.alloc.get(&(file, i)) else {
+            continue;
+        };
+        if e.state == AllocState::Corrupted {
+            continue;
+        }
+        let Some(holder) = e.prev else { continue };
+        read_sectors.push(holder);
+        let holder_corrupted = sectors
+            .get(&holder)
+            .map(|s| s.state == SectorState::Corrupted)
+            .unwrap_or(true);
+        if holder_corrupted {
+            continue;
+        }
+        let last = e.last.unwrap_or(0);
+        if now >= last + params.proof_deadline {
+            // Confiscation cascades through void_sector_content.
+            return sequential(read_sectors);
+        } else if now >= last + params.proof_due {
+            punish.push(holder);
+        }
+    }
+
+    let all_corrupted = (0..desc.cp)
+        .all(|i| shard.alloc.get(&(file, i)).map(|e| e.state) == Some(AllocState::Corrupted));
+    if all_corrupted {
+        // Compensation + removal go sequential.
+        return sequential(read_sectors);
+    }
+    let new_cntdown = desc.cntdown - 1;
+    if new_cntdown <= 0 {
+        // The refresh draw consumes rng; keep the whole task sequential.
+        return sequential(read_sectors);
+    }
+    CheckProofPlan {
+        file,
+        kind: PlanKind::Fast {
+            owner: desc.owner,
+            cost,
+            rent,
+            gas,
+            punish,
+            new_cntdown,
+        },
+        read_sectors,
+    }
+}
+
+/// Records what a sequential fallback may mutate, *before* it runs: its
+/// file (entry states, `last` stamps, `cntdown`, possibly removal) and
+/// every sector its entries reference (punishments, confiscations and
+/// their `void_sector_content` cascades, replica releases, drained-sector
+/// removal all start from an entry's `prev`/`next`). `DistributeRent`
+/// moves pool money to sector owners only — fast plans re-check the one
+/// balance they depend on exactly, so it needs no footprint.
+fn note_fallback_footprint(
+    shards: &ShardedState,
+    task: &Task,
+    mutated_sectors: &mut HashSet<SectorId>,
+    mutated_files: &mut HashSet<FileId>,
+) {
+    let file = match task {
+        Task::CheckAlloc(f) | Task::CheckProof(f) | Task::CheckRefresh(f, _) => *f,
+        Task::DistributeRent => return,
+    };
+    mutated_files.insert(file);
+    let shard = shards.shard(file);
+    if let Some(desc) = shard.files.get(&file) {
+        for i in 0..desc.cp {
+            if let Some(e) = shard.alloc.get(&(file, i)) {
+                if let Some(s) = e.prev {
+                    mutated_sectors.insert(s);
+                }
+                if let Some(s) = e.next {
+                    mutated_sectors.insert(s);
+                }
+            }
+        }
+    }
+}
+
 cached_domain!(fn audit_task_domain, "fileinsurer/audit-task");
 cached_domain!(fn audit_leaf_domain, "fileinsurer/audit-leaf");
 cached_domain!(fn audit_node_domain, "fileinsurer/audit-node");
 cached_domain!(fn audit_fold_domain, "fileinsurer/audit-fold");
 
-/// Slices with fewer `Auto_CheckProof` tasks than this verify through the
-/// per-task reference path ([`verify_check_proof`]): assembling lane
-/// buffers costs more than a couple of Merkle walks.
-const BATCH_VERIFY_THRESHOLD: usize = 4;
-
-/// Lane-tile size for the batched path walk. Each level re-materialises
-/// ~100 bytes of message buffer per lane, so tiling bounds the working set
-/// (a few hundred KiB) and keeps it cache-resident regardless of how many
-/// replicas a slice audits.
-const LANE_TILE: usize = 4096;
-
 /// Verifies the storage proofs on record for every `Auto_CheckProof` task
 /// in one shard's slice. Pure and shard-local: it reads the shard's file
 /// descriptors and allocation rows, nothing else.
 ///
-/// Slices with at least [`BATCH_VERIFY_THRESHOLD`] audit tasks run the
-/// batched pipeline: per-replica path walks become lockstep SIMD hash
+/// Slices with at least [`tuning::batch_verify_threshold`] audit tasks run
+/// the batched pipeline: per-replica path walks become lockstep SIMD hash
 /// lanes, bit-identical to calling [`verify_check_proof`] per task.
 fn verify_slice(
     shard: &Shard,
@@ -609,7 +1002,7 @@ fn verify_slice(
         })
         .collect();
     let mut out: Vec<Option<ProofAudit>> = vec![None; slice.len()];
-    if tasks.len() < BATCH_VERIFY_THRESHOLD {
+    if tasks.len() < tuning::batch_verify_threshold() {
         for &(slot, file) in &tasks {
             out[slot] = Some(verify_check_proof(shard, file, now, path_len));
         }
@@ -652,7 +1045,7 @@ fn verify_slice(
     // Each lane's chain is sequential, but the lanes are independent, so
     // every level is one multi-lane sweep across the whole tile.
     let mut nodes: Vec<Hash256> = Vec::with_capacity(lanes.len());
-    for tile in lanes.chunks(LANE_TILE) {
+    for tile in lanes.chunks(tuning::lane_tile()) {
         let leaf_lanes: Vec<[&[u8]; 4]> = tile
             .iter()
             .map(|(_, root, i_be, last_be)| {

@@ -41,7 +41,6 @@
 //! canonical op/receipt digests — all happen in the parallel phase.
 
 use std::collections::HashMap;
-use std::thread;
 
 use fi_chain::account::{AccountId, Ledger, TokenAmount};
 use fi_chain::gas::{GasSchedule, Op as GasOp};
@@ -55,13 +54,10 @@ use crate::types::{
     SectorState,
 };
 
+use super::lifecycle::FileAddPrestage;
+use super::pool::JobBatch;
 use super::shard::Shard;
 use super::{Engine, EngineError, TRAFFIC_ESCROW};
-
-/// Segments with fewer shard-local ops than this commit through the plain
-/// sequential path: spawning staging workers costs more than a handful of
-/// map lookups and Merkle walks. The outcome is identical either way.
-pub(super) const PARALLEL_INGEST_THRESHOLD: usize = 64;
 
 /// The file a shard-local op targets, or `None` for barrier ops. This is
 /// the batch classifier: ops with a target stage concurrently on the
@@ -710,11 +706,21 @@ impl Engine {
 
     /// Stages a segment of shard-local ops concurrently: ops are grouped by
     /// target shard, shard groups are chunked over up to
-    /// [`ProtocolParams::ingest_threads`] scoped workers, and each worker
-    /// executes its shards' ops in submission order against a
+    /// [`ProtocolParams::ingest_threads`] persistent pool workers, and each
+    /// worker executes its shards' ops in submission order against a
     /// [`ShardOverlay`]. Pure with respect to the engine — all effects are
     /// returned, none applied.
-    pub(super) fn stage_segment(&self, ops: &[Op]) -> Vec<StagedOp> {
+    ///
+    /// The `File_Add` ops among `upcoming_barriers` (the barrier run that
+    /// ends this segment) have their pure halves pre-staged in the same
+    /// pool run — fee/validation/erasure-geometry work overlaps the shard
+    /// workers, and only the sampler/rng draws remain for the serialized
+    /// barrier commit. Returns one prestage slot per barrier op.
+    pub(super) fn stage_segment(
+        &self,
+        ops: &[Op],
+        upcoming_barriers: &[Op],
+    ) -> (Vec<StagedOp>, Vec<Option<FileAddPrestage>>) {
         let shard_count = self.shards.shards.len();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
         for (i, op) in ops.iter().enumerate() {
@@ -737,59 +743,81 @@ impl Engine {
         let groups = &groups;
         let ctx = &ctx;
 
-        let mut out: Vec<Option<StagedOp>> = ops.iter().map(|_| None).collect();
-        thread::scope(|scope| {
-            let handles: Vec<_> = occupied
-                .chunks(chunk_len)
-                .map(|shard_ids| {
-                    scope.spawn(move || {
-                        let mut staged: Vec<(usize, Hash256, StagedEffects)> = Vec::new();
-                        for &s in shard_ids {
-                            let mut view = ShardOverlay::new(&shards[s]);
-                            for &i in &groups[s] {
-                                let op = &ops[i];
-                                let effects = stage_shard_local(op, ctx, &view);
-                                for write in &effects.writes {
-                                    view.note_write(write);
-                                }
-                                let receipt_digest = match &effects.outcome {
-                                    Ok(receipt) => receipt.digest(),
-                                    Err(err) => Receipt::error_digest(err),
-                                };
-                                staged.push((i, receipt_digest, effects));
-                            }
+        let chunks: Vec<&[usize]> = occupied.chunks(chunk_len).collect();
+        let mut chunk_out: Vec<Vec<(usize, StagedOp)>> =
+            chunks.iter().map(|_| Vec::new()).collect();
+        let mut prestages: Vec<Option<FileAddPrestage>> =
+            upcoming_barriers.iter().map(|_| None).collect();
+
+        let pool = self.pool();
+        let mut jobs: JobBatch<'_> = Vec::with_capacity(chunks.len() + 1);
+        for (shard_ids, slot) in chunks.into_iter().zip(chunk_out.iter_mut()) {
+            jobs.push(Box::new(move || {
+                let mut staged: Vec<(usize, Hash256, StagedEffects)> = Vec::new();
+                for &s in shard_ids {
+                    let mut view = ShardOverlay::new(&shards[s]);
+                    for &i in &groups[s] {
+                        let op = &ops[i];
+                        let effects = stage_shard_local(op, ctx, &view);
+                        for write in &effects.writes {
+                            view.note_write(write);
                         }
-                        // The canonical op digests for this worker's ops in
-                        // one multi-lane sweep — each worker batches its own
-                        // share, so the hashing is both parallel across
-                        // workers and SIMD-wide within one.
-                        let op_refs: Vec<&Op> = staged.iter().map(|&(i, ..)| &ops[i]).collect();
-                        let op_digests = Op::digest_many(&op_refs);
-                        staged
-                            .into_iter()
-                            .zip(op_digests)
-                            .map(|((i, receipt_digest, effects), op_digest)| {
-                                (
-                                    i,
-                                    StagedOp {
-                                        op_digest,
-                                        receipt_digest,
-                                        effects,
-                                    },
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, staged) in handle.join().expect("ingest staging worker panicked") {
-                    out[i] = Some(staged);
+                        let receipt_digest = match &effects.outcome {
+                            Ok(receipt) => receipt.digest(),
+                            Err(err) => Receipt::error_digest(err),
+                        };
+                        staged.push((i, receipt_digest, effects));
+                    }
                 }
+                // The canonical op digests for this worker's ops in
+                // one multi-lane sweep — each worker batches its own
+                // share, so the hashing is both parallel across
+                // workers and SIMD-wide within one.
+                let op_refs: Vec<&Op> = staged.iter().map(|&(i, ..)| &ops[i]).collect();
+                let op_digests = Op::digest_many(&op_refs);
+                *slot = staged
+                    .into_iter()
+                    .zip(op_digests)
+                    .map(|((i, receipt_digest, effects), op_digest)| {
+                        (
+                            i,
+                            StagedOp {
+                                op_digest,
+                                receipt_digest,
+                                effects,
+                            },
+                        )
+                    })
+                    .collect();
+            }));
+        }
+        if upcoming_barriers
+            .iter()
+            .any(|op| matches!(op, Op::FileAdd { .. }))
+        {
+            let params = &self.params;
+            let gas = &self.gas;
+            let slots = &mut prestages;
+            jobs.push(Box::new(move || {
+                for (op, out) in upcoming_barriers.iter().zip(slots.iter_mut()) {
+                    if let Op::FileAdd { size, value, .. } = op {
+                        *out = Some(FileAddPrestage::compute(params, gas, *size, *value));
+                    }
+                }
+            }));
+        }
+        pool.run(jobs);
+
+        let mut out: Vec<Option<StagedOp>> = ops.iter().map(|_| None).collect();
+        for chunk in chunk_out {
+            for (i, staged) in chunk {
+                out[i] = Some(staged);
             }
-        });
-        out.into_iter()
+        }
+        let staged = out
+            .into_iter()
             .map(|staged| staged.expect("every segment op staged exactly once"))
-            .collect()
+            .collect();
+        (staged, prestages)
     }
 }

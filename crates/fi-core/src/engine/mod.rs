@@ -30,13 +30,15 @@
 //! ([`fi_chain::tasks::TaskWheel`]) when [`Engine::advance_to`] moves time
 //! past their deadline. Each due bucket runs in two phases: a read-only
 //! **verify** phase (the modeled Merkle storage-proof checks of
-//! `Auto_CheckProof`, fanned out across shards with scoped threads —
-//! audits are independent per (file, replica), the heart of the paper's
-//! scalability claim) and a sequential **commit** phase that merges the
+//! `Auto_CheckProof`, fanned out across the persistent worker pool in
+//! `pool` — audits are independent per (file, replica), the heart of the
+//! paper's scalability claim) and a **commit** phase that merges the
 //! per-shard slices back into global `(time, schedule-seq)` order and
-//! applies rent, punishments and refreshes. The merge key is
+//! applies rent, punishments and refreshes — batched through per-shard
+//! write plans on large multi-shard buckets, sequentially otherwise, with
+//! bit-identical results either way. The merge key is
 //! shard-count-invariant, so consensus state is bit-identical whether the
-//! engine runs 1 shard or 8 (see DESIGN.md §9).
+//! engine runs 1 shard or 8 (see DESIGN.md §9 and §14).
 //!
 //! Money flows exactly as §IV-A/§IV-B prescribe:
 //!
@@ -56,10 +58,14 @@ mod alloc;
 mod audit;
 mod batch;
 mod lifecycle;
+mod pool;
 mod shard;
 mod snapshot;
+pub mod tuning;
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
 
 use fi_chain::account::{AccountId, Ledger, TokenAmount};
 use fi_chain::block::{BlockChain, ChainEvent};
@@ -75,7 +81,9 @@ use crate::segment::SegmentedFile;
 use crate::types::{AllocEntry, FileDescriptor, FileId, ProtocolEvent, Sector, SectorId};
 
 use self::audit::ProofAudit;
-use self::batch::{ledger_steps_match, shard_local_file, PARALLEL_INGEST_THRESHOLD};
+use self::batch::{ledger_steps_match, shard_local_file};
+use self::lifecycle::FileAddPrestage;
+use self::pool::{PoolHandle, WorkerPool};
 use self::shard::ShardedState;
 
 pub use self::snapshot::SnapshotError;
@@ -199,6 +207,20 @@ pub struct EngineStats {
     /// Replica storage proofs cryptographically checked by
     /// `Auto_CheckProof`'s read-only verify phase.
     pub proofs_audited: u64,
+    /// Ingest segments staged through the parallel pipeline
+    /// (`Engine::apply_batch`). Execution-strategy counter, not a
+    /// consensus one — see [`EngineStats::consensus`].
+    pub batches_staged_parallel: u64,
+    /// Staged ingest segments in which at least one op's ledger
+    /// assumptions failed commit-time revalidation and re-executed
+    /// sequentially. Makes the fallback path observable instead of
+    /// silent. Execution-strategy counter — see
+    /// [`EngineStats::consensus`].
+    pub batches_fell_back_sequential: u64,
+    /// Due audit buckets committed through the parallel per-shard
+    /// write-batch path instead of the sequential fold.
+    /// Execution-strategy counter — see [`EngineStats::consensus`].
+    pub audit_commit_batches: u64,
 }
 
 impl EngineStats {
@@ -223,6 +245,9 @@ impl EngineStats {
             compensation_paid,
             compensation_shortfall,
             proofs_audited,
+            batches_staged_parallel,
+            batches_fell_back_sequential,
+            audit_commit_batches,
         } = other;
         self.add_collisions += add_collisions;
         self.refresh_collisions += refresh_collisions;
@@ -236,7 +261,48 @@ impl EngineStats {
         self.compensation_paid += *compensation_paid;
         self.compensation_shortfall += *compensation_shortfall;
         self.proofs_audited += proofs_audited;
+        self.batches_staged_parallel += batches_staged_parallel;
+        self.batches_fell_back_sequential += batches_fell_back_sequential;
+        self.audit_commit_batches += audit_commit_batches;
     }
+
+    /// This stats object with the execution-strategy counters zeroed,
+    /// leaving only the consensus-observable counters.
+    ///
+    /// The strategy counters (`batches_staged_parallel`,
+    /// `batches_fell_back_sequential`, `audit_commit_batches`) record
+    /// *which code path* ran, and legitimately differ across
+    /// `(shards, ingest_threads)` configurations and between op-by-op
+    /// `apply` and `apply_batch` — while the state they produce is
+    /// bit-identical. Differential tests comparing engines across
+    /// configurations compare `a.stats().consensus()`, not raw stats.
+    pub fn consensus(&self) -> EngineStats {
+        EngineStats {
+            batches_staged_parallel: 0,
+            batches_fell_back_sequential: 0,
+            audit_commit_batches: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Cumulative wall-clock seconds the engine spent in its four measured
+/// parallel-path phases, accumulated across calls. Observability only:
+/// never part of consensus state, snapshots, or replay (a restored or
+/// replayed engine starts from zero).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Batch-ingest staging: concurrent shard-overlay execution plus the
+    /// barrier `File_Add` prestaging riding in the same pool run.
+    pub stage_s: f64,
+    /// Batch-ingest commit: in-order ledger revalidation and effect
+    /// application (including sequential fallbacks).
+    pub commit_s: f64,
+    /// Audit verify: the read-only storage-proof checks of a due bucket.
+    pub verify_s: f64,
+    /// Audit commit: the canonical-order fold plus rent/punishment/
+    /// reschedule application and per-shard write-batch flushes.
+    pub fold_s: f64,
 }
 
 /// The FileInsurer consensus engine.
@@ -314,6 +380,14 @@ pub struct Engine {
     audit_root: Hash256,
     op_log: Vec<OpRecord>,
     last_checkpoint: Option<Checkpoint>,
+    /// Lazily spawned persistent worker pool backing every parallel phase
+    /// (ingest staging, audit verify fan-out, audit write-batch flushes).
+    /// Shared across engine clones; never part of consensus state or
+    /// snapshots.
+    pool: PoolHandle,
+    /// Per-phase wall-time accumulators ([`Engine::phase_times`]).
+    /// Observability only.
+    phase: PhaseTimes,
 }
 
 /// A compact commitment to engine state at a block height, taken by
@@ -362,6 +436,8 @@ impl Engine {
             audit_root: Hash256::ZERO,
             op_log: Vec::new(),
             last_checkpoint: None,
+            pool: PoolHandle::new(),
+            phase: PhaseTimes::default(),
             params,
         };
         let period = engine.rent_period();
@@ -384,17 +460,25 @@ impl Engine {
     /// [`Op`] variant's wrapper method).
     pub fn apply(&mut self, op: Op) -> Result<Receipt, EngineError> {
         let op_digest = op.digest();
-        self.apply_prehashed(op, op_digest)
+        self.apply_prehashed(op, op_digest, None)
     }
 
     /// [`Engine::apply`] with the op's canonical digest precomputed.
     /// [`Engine::apply_batch`] hashes a block's barrier ops in one
     /// multi-lane sweep ([`Op::digest_many`]) and commits each through
     /// here; the digest MUST be `op.digest()` or the block commitment
-    /// diverges from replay.
-    fn apply_prehashed(&mut self, op: Op, op_digest: Hash256) -> Result<Receipt, EngineError> {
+    /// diverges from replay. `prestage` optionally carries a `File_Add`'s
+    /// precomputed pure half (validation, fees, geometry) — the pipelined
+    /// batch path computes it concurrently with segment staging; `None`
+    /// computes it inline through the identical pure function.
+    fn apply_prehashed(
+        &mut self,
+        op: Op,
+        op_digest: Hash256,
+        prestage: Option<FileAddPrestage>,
+    ) -> Result<Receipt, EngineError> {
         let at = self.now();
-        let result = self.dispatch(&op);
+        let result = self.dispatch(&op, prestage);
         let receipt_digest = match &result {
             Ok(receipt) => receipt.digest(),
             Err(err) => Receipt::error_digest(err),
@@ -410,7 +494,11 @@ impl Engine {
         result
     }
 
-    fn dispatch(&mut self, op: &Op) -> Result<Receipt, EngineError> {
+    fn dispatch(
+        &mut self,
+        op: &Op,
+        prestage: Option<FileAddPrestage>,
+    ) -> Result<Receipt, EngineError> {
         match op {
             Op::SectorRegister { owner, capacity } => self
                 .sector_register_op(*owner, *capacity)
@@ -423,9 +511,16 @@ impl Engine {
                 size,
                 value,
                 merkle_root,
-            } => self
-                .file_add_op(*client, *size, *value, *merkle_root)
-                .map(|(file, cp)| Receipt::FileAdded { file, cp }),
+            } => {
+                // One pure function computes the prestage on both paths:
+                // pipelined batches hand it in, sequential dispatch
+                // computes it here — bit-identical by construction.
+                let pre = prestage.unwrap_or_else(|| {
+                    FileAddPrestage::compute(&self.params, &self.gas, *size, *value)
+                });
+                self.file_add_op(*client, *size, *value, *merkle_root, pre)
+                    .map(|(file, cp)| Receipt::FileAdded { file, cp })
+            }
             // The five shard-local ops share one staged executor with the
             // batch-ingest path (`engine/batch.rs`): sequential dispatch is
             // staging against live state plus an immediate commit.
@@ -490,26 +585,43 @@ impl Engine {
     pub fn apply_batch(&mut self, ops: Vec<Op>) -> Vec<Result<Receipt, EngineError>> {
         // Pre-stage the barrier ops' canonical digests in one multi-lane
         // sweep; the segments' op digests are batched inside the staging
-        // workers. Consumed in submission order below.
+        // workers, and the barriers' `File_Add` prestages ride along in the
+        // same pool runs. Consumed in submission order below.
         let barriers: Vec<&Op> = ops
             .iter()
             .filter(|op| shard_local_file(op).is_none())
             .collect();
         let mut barrier_digests = Op::digest_many(&barriers).into_iter();
         let mut results = Vec::with_capacity(ops.len());
-        let mut segment: Vec<Op> = Vec::new();
-        for op in ops {
-            if shard_local_file(&op).is_some() {
-                segment.push(op);
-            } else {
-                self.commit_segment(&mut segment, &mut results);
+        let mut i = 0;
+        while i < ops.len() {
+            // A (possibly empty) run of shard-local ops …
+            let seg_start = i;
+            while i < ops.len() && shard_local_file(&ops[i]).is_some() {
+                i += 1;
+            }
+            let seg_end = i;
+            // … followed by the (possibly empty) barrier run that ends it.
+            let bar_start = i;
+            while i < ops.len() && shard_local_file(&ops[i]).is_none() {
+                i += 1;
+            }
+            let bar_end = i;
+            // Staging the segment also prestages the upcoming barriers'
+            // `File_Add` pure halves, concurrently with the shard workers.
+            let mut prestages = self.commit_segment(
+                &ops[seg_start..seg_end],
+                &ops[bar_start..bar_end],
+                &mut results,
+            );
+            for (k, op) in ops[bar_start..bar_end].iter().enumerate() {
                 let digest = barrier_digests
                     .next()
                     .expect("one pre-staged digest per barrier op");
-                results.push(self.apply_prehashed(op, digest));
+                let pre = prestages.get_mut(k).and_then(Option::take);
+                results.push(self.apply_prehashed(op.clone(), digest, pre));
             }
         }
-        self.commit_segment(&mut segment, &mut results);
         results
     }
 
@@ -518,28 +630,40 @@ impl Engine {
     /// Ops whose staged ledger assumptions no longer hold — or that target
     /// a shard already invalidated this segment — re-execute sequentially,
     /// which preserves bit-identical semantics in every interleaving.
+    ///
+    /// Returns the prestaged pure halves of the `File_Add` ops among
+    /// `upcoming_barriers` (computed inside the staging pool run, i.e.
+    /// concurrently with the shard workers), one slot per barrier op;
+    /// empty when the segment committed sequentially — the dispatcher then
+    /// computes each prestage inline through the same pure function.
     fn commit_segment(
         &mut self,
-        segment: &mut Vec<Op>,
+        segment: &[Op],
+        upcoming_barriers: &[Op],
         results: &mut Vec<Result<Receipt, EngineError>>,
-    ) {
-        let ops = std::mem::take(segment);
-        if ops.is_empty() {
-            return;
+    ) -> Vec<Option<FileAddPrestage>> {
+        if segment.is_empty() && upcoming_barriers.is_empty() {
+            return Vec::new();
         }
-        if ops.len() < PARALLEL_INGEST_THRESHOLD
+        if segment.len() < tuning::parallel_ingest_threshold()
             || self.params.ingest_threads <= 1
             || self.shards.shards.len() <= 1
         {
-            for op in ops {
-                results.push(self.apply(op));
+            for op in segment {
+                results.push(self.apply(op.clone()));
             }
-            return;
+            return Vec::new();
         }
-        let staged = self.stage_segment(&ops);
+        let stage_start = Instant::now();
+        let (staged, prestages) = self.stage_segment(segment, upcoming_barriers);
+        self.phase.stage_s += stage_start.elapsed().as_secs_f64();
+        self.stats_global.batches_staged_parallel += 1;
+
+        let commit_start = Instant::now();
         let mut dirty = vec![false; self.shards.shards.len()];
-        for (op, staged_op) in ops.into_iter().zip(staged) {
-            let file = shard_local_file(&op).expect("segment holds shard-local ops");
+        let mut fell_back = false;
+        for (op, staged_op) in segment.iter().zip(staged) {
+            let file = shard_local_file(op).expect("segment holds shard-local ops");
             let shard_idx = self.shards.shard_of(file);
             if !dirty[shard_idx] && ledger_steps_match(&self.ledger, &staged_op.effects.ledger) {
                 let at = self.now();
@@ -549,7 +673,7 @@ impl Engine {
                 self.op_log.push(OpRecord {
                     seq: self.ops_applied,
                     at,
-                    op,
+                    op: op.clone(),
                     ok: outcome.is_ok(),
                 });
                 self.ops_applied += 1;
@@ -559,9 +683,15 @@ impl Engine {
                 // staging assumed; its overlay (and every later staged op
                 // on this shard) is stale. Fall back to sequential apply.
                 dirty[shard_idx] = true;
-                results.push(self.apply(op));
+                fell_back = true;
+                results.push(self.apply(op.clone()));
             }
         }
+        if fell_back {
+            self.stats_global.batches_fell_back_sequential += 1;
+        }
+        self.phase.commit_s += commit_start.elapsed().as_secs_f64();
+        prestages
     }
 
     /// The op log: every applied op in order, successes and failures alike.
@@ -760,6 +890,14 @@ impl Engine {
     /// and the `engine_snapshot` bench. Checkpoint truncation is likewise
     /// invisible: the root commits to the monotonic ops-applied counter,
     /// not the op log's length.
+    /// The audit-root commitment: the canonical-order fold of every
+    /// `Auto_CheckProof` verification digest (also folded into
+    /// [`Engine::state_root`]). Identical across shard counts, ingest
+    /// widths and commit strategies.
+    pub fn audit_root(&self) -> Hash256 {
+        self.audit_root
+    }
+
     pub fn state_root(&self) -> Hash256 {
         keyed_hash(
             "fileinsurer/state",
@@ -824,19 +962,28 @@ impl Engine {
     ///
     /// 1. **verify** — the read-only `Auto_CheckProof` storage-proof
     ///    checks, computed per shard over its popped slice (each touches
-    ///    only that shard's files/alloc rows), fanned out with scoped
-    ///    threads when the bucket is large enough to pay for them;
+    ///    only that shard's files/alloc rows), fanned out across the
+    ///    persistent worker pool when the bucket is large enough to pay
+    ///    for the dispatch;
     /// 2. **commit** — the per-shard slices merged back into global
     ///    `(time, schedule-seq)` order — exactly the order a single
-    ///    unsharded wheel pops — and applied sequentially: audit digests
-    ///    fold into `audit_root`, then punishments, rent, refreshes and
-    ///    reschedules run as in the unsharded engine.
+    ///    unsharded wheel pops — and applied in that order: large buckets
+    ///    on multi-shard engines go through the batched commit path
+    ///    (per-shard write batches planned on the pool, applied with
+    ///    validated fast paths; see `audit.rs`), everything else through
+    ///    the sequential reference fold. Audit digests fold into
+    ///    `audit_root`, then punishments, rent, refreshes and reschedules
+    ///    run as in the unsharded engine.
     ///
-    /// Both phases are deterministic and shard-count-invariant, so the
-    /// resulting state is bit-identical for any `ProtocolParams::shards`.
+    /// Both phases are deterministic and shard-count-invariant (the
+    /// commit-strategy gate reads only consensus state, never the host's
+    /// core count), so the resulting state is bit-identical for any
+    /// `ProtocolParams::shards` and either commit strategy.
     fn run_due_bucket(&mut self, now: Time) {
         let slices = self.shards.pop_due(now);
+        let verify_start = Instant::now();
         let audits = self.verify_bucket(&slices, now);
+        self.phase.verify_s += verify_start.elapsed().as_secs_f64();
 
         let mut batch: Vec<(Time, u64, Task, Option<ProofAudit>)> = Vec::new();
         for (slice, shard_audits) in slices.into_iter().zip(audits) {
@@ -845,9 +992,22 @@ impl Engine {
             }
         }
         batch.sort_by_key(|&(time, seq, _, _)| (time, seq));
-        for (_, _, task, audit) in batch {
-            self.execute(task, audit);
+
+        let fold_start = Instant::now();
+        let check_proofs = batch
+            .iter()
+            .filter(|(_, _, task, _)| matches!(task, Task::CheckProof(_)))
+            .count();
+        if self.shards.shards.len() > 1 && check_proofs >= tuning::parallel_audit_commit_threshold()
+        {
+            self.commit_bucket_batched(now, batch);
+            self.stats_global.audit_commit_batches += 1;
+        } else {
+            for (_, _, task, audit) in batch {
+                self.execute(task, audit);
+            }
         }
+        self.phase.fold_s += fold_start.elapsed().as_secs_f64();
     }
 
     fn execute(&mut self, task: Task, audit: Option<ProofAudit>) {
@@ -863,6 +1023,29 @@ impl Engine {
     // ------------------------------------------------------------------
     // Shared internals
     // ------------------------------------------------------------------
+
+    /// The engine's persistent worker pool, spawned on first use and
+    /// shared across engine clones. Sized to the larger of the host's
+    /// available parallelism and the configured ingest width, so neither
+    /// the staging nor the audit fan-out ever starves for workers.
+    pub(super) fn pool(&self) -> Arc<WorkerPool> {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.pool.get(cores.max(self.params.ingest_threads))
+    }
+
+    /// Cumulative wall-time spent in each engine phase since construction
+    /// (or the last [`Engine::reset_phase_times`]). Observability only:
+    /// not consensus state, not snapshotted, not compared by replay.
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.phase
+    }
+
+    /// Zeroes the per-phase wall-time accumulators.
+    pub fn reset_phase_times(&mut self) {
+        self.phase = PhaseTimes::default();
+    }
 
     /// Schedules an `Auto_*` task on its shard's wheel, tagging it with
     /// the global schedule sequence number that later reconstructs the

@@ -56,7 +56,7 @@ use super::shard::ShardedState;
 use super::{Checkpoint, Engine, EngineStats, Task};
 
 const MAGIC: &[u8; 8] = b"FISNAPSH";
-const VERSION: u16 = 3;
+const VERSION: u16 = 4;
 const HASH_LEN: usize = 32;
 
 /// Typed failures of [`Engine::snapshot_restore`]. Corrupted or
@@ -351,6 +351,9 @@ fn enc_stats(e: &mut Enc, s: &EngineStats) {
     e.u128(s.compensation_paid.0);
     e.u128(s.compensation_shortfall.0);
     e.u64(s.proofs_audited);
+    e.u64(s.batches_staged_parallel);
+    e.u64(s.batches_fell_back_sequential);
+    e.u64(s.audit_commit_batches);
 }
 
 fn dec_stats(d: &mut Dec<'_>) -> Result<EngineStats, SnapshotError> {
@@ -367,6 +370,9 @@ fn dec_stats(d: &mut Dec<'_>) -> Result<EngineStats, SnapshotError> {
         compensation_paid: TokenAmount(d.u128()?),
         compensation_shortfall: TokenAmount(d.u128()?),
         proofs_audited: d.u64()?,
+        batches_staged_parallel: d.u64()?,
+        batches_fell_back_sequential: d.u64()?,
+        audit_commit_batches: d.u64()?,
     })
 }
 
@@ -981,6 +987,8 @@ impl Engine {
             audit_root,
             op_log: Vec::new(),
             last_checkpoint,
+            pool: super::pool::PoolHandle::new(),
+            phase: super::PhaseTimes::default(),
         })
     }
 }

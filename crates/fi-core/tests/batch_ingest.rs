@@ -107,16 +107,33 @@ fn build_batch(engine: &Engine, seed: u64) -> Vec<Op> {
             file: f,
         });
     }
-    // A barrier in the middle: new funds plus a fresh file add.
+    // A barrier run in the middle: new funds plus fresh file adds —
+    // including an oversized one that must fail validation and a zero-size
+    // one — exercising the pre-staged pure half of `File_Add` (success and
+    // both error shapes) against its inline sequential twin.
     ops.push(Op::Fund {
         account: CLIENT,
         amount: TokenAmount(1_000_000),
     });
+    for j in 0..4u64 {
+        ops.push(Op::FileAdd {
+            client: CLIENT,
+            size: 1 + j % 2,
+            value: engine.params().min_value,
+            merkle_root: sha256(&(seed ^ j).to_be_bytes()),
+        });
+    }
     ops.push(Op::FileAdd {
         client: CLIENT,
-        size: 1,
+        size: engine.params().size_limit + 1,
         value: engine.params().min_value,
-        merkle_root: sha256(&seed.to_be_bytes()),
+        merkle_root: sha256(b"too-big"),
+    });
+    ops.push(Op::FileAdd {
+        client: CLIENT,
+        size: 0,
+        value: engine.params().min_value,
+        merkle_root: sha256(b"empty"),
     });
     // Post-barrier shard-local run: more gets and a few discards.
     for _ in 0..70 {
@@ -147,7 +164,13 @@ fn assert_bit_identical(a: &Engine, b: &Engine, what: &str) {
         b.chain().head_hash(),
         "{what}: heads"
     );
-    assert_eq!(a.stats(), b.stats(), "{what}: stats");
+    // Strategy counters (how the work was executed) legitimately differ
+    // across configurations; everything consensus must not.
+    assert_eq!(
+        a.stats().consensus(),
+        b.stats().consensus(),
+        "{what}: stats"
+    );
     assert_eq!(a.op_log(), b.op_log(), "{what}: op logs");
     assert_eq!(
         a.ledger().total_supply(),
@@ -189,6 +212,17 @@ fn apply_batch_is_bit_identical_to_sequential_apply() {
                 &batched,
                 &format!("seed {seed}, {shards} shards / {threads} threads"),
             );
+            // The strategy counters tell the truth about which path ran:
+            // parallel staging engages exactly on multi-shard multi-thread
+            // configurations (the first segment is 240+ proves, far past
+            // the threshold), and never on the degenerate ones.
+            let parallel_capable = shards > 1 && threads > 1;
+            assert_eq!(
+                batched.stats().batches_staged_parallel > 0,
+                parallel_capable,
+                "seed {seed}: staging strategy at {shards} shards / {threads} threads"
+            );
+            assert_eq!(reference.stats().batches_staged_parallel, 0);
         }
     }
 }
@@ -269,6 +303,10 @@ fn mid_batch_insolvency_falls_back_identically() {
             batched.ledger().balance(PAUPER),
             TokenAmount(0),
             "the pauper account drained exactly"
+        );
+        assert!(
+            batched.stats().batches_fell_back_sequential > 0,
+            "the insolvency flip must be visible in the fallback counter"
         );
     }
 }

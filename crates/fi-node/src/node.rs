@@ -239,6 +239,19 @@ pub struct ValidatorReport {
     pub final_files: u64,
     /// Receipt root of the final sealed engine block.
     pub final_receipt_root: Option<Hash256>,
+    /// Ingest segments the head engine staged through the parallel
+    /// pipeline. Execution-strategy counter: replaying followers may
+    /// report different values than the proposer without any consensus
+    /// divergence (see `EngineStats::consensus`).
+    pub batches_staged_parallel: u64,
+    /// Staged ingest segments whose ledger assumptions failed
+    /// commit-time revalidation and re-executed sequentially on the
+    /// head engine. Execution-strategy counter.
+    pub batches_fell_back_sequential: u64,
+    /// Due audit buckets the head engine committed through the batched
+    /// per-shard write path instead of the sequential fold.
+    /// Execution-strategy counter.
+    pub audit_commit_batches: u64,
     /// Full op log of the head engine (only when
     /// [`ConsensusConfig::record_op_log`]).
     pub final_op_log: Vec<OpRecord>,
@@ -465,6 +478,10 @@ impl Validator {
             .blocks()
             .last()
             .map(|b| b.receipt_root);
+        let stats = tracker.engine().stats();
+        report.batches_staged_parallel = stats.batches_staged_parallel;
+        report.batches_fell_back_sequential = stats.batches_fell_back_sequential;
+        report.audit_commit_batches = stats.audit_commit_batches;
         if self.cfg.record_op_log {
             report.final_op_log = tracker.engine().op_log().to_vec();
         }

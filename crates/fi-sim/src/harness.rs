@@ -365,7 +365,13 @@ mod tests {
             replayed.chain().head_hash(),
             scenario.engine.chain().head_hash()
         );
-        assert_eq!(replayed.stats(), scenario.engine.stats());
+        // Replay re-executes op by op, so execution-strategy counters
+        // (batch staging) may differ from the batched original; consensus
+        // counters must not.
+        assert_eq!(
+            replayed.stats().consensus(),
+            scenario.engine.stats().consensus()
+        );
     }
 
     /// A full scenario — lazy and failing providers, punishments,
@@ -408,7 +414,7 @@ mod tests {
             let sharded = run(shards);
             assert_eq!(one.state_root(), sharded.state_root());
             assert_eq!(one.chain().head_hash(), sharded.chain().head_hash());
-            assert_eq!(one.stats(), sharded.stats());
+            assert_eq!(one.stats().consensus(), sharded.stats().consensus());
             assert_eq!(one.file_ids(), sharded.file_ids());
         }
     }
