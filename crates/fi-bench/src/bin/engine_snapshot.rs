@@ -62,12 +62,21 @@
 //! and the `audit_commit_batches` strategy counter for each cell. State
 //! and audit roots are asserted bit-identical, and on ≥ 4-core hosts the
 //! 8x4 cell must clear a ≥ 4x full-cycle speedup over 1x1.
+//!
+//! A seventh (`store`) section measures the content-addressed state
+//! commitment (DESIGN.md §15): a 100k-file fill with the five HAMT state
+//! trees on the in-memory versus the append-only disk blockstore, plus
+//! both snapshot transports — the full `FISNAPSH` save/restore and the
+//! incremental `FIDELTA1` delta cut against a base 1k files back. State
+//! roots are asserted bit-identical across backends and after both
+//! round-trips, and the delta must be strictly smaller than the full
+//! snapshot it replaces.
 
 use std::time::Instant;
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_chain::tasks::{Scheduler, SchedulerKind};
-use fi_core::engine::Engine;
+use fi_core::engine::{Engine, StateView};
 use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
 use fi_crypto::merkle::{MerklePathBatch, MerkleProof, MerkleTree};
@@ -487,6 +496,142 @@ fn run_ingest(n: u64, shards: usize, threads: usize) -> IngestRun {
     }
 }
 
+/// One blockstore-backend measurement (DESIGN.md §15): fill `STORE_N`
+/// files with the state commitment on the given backend, then measure the
+/// snapshot transports — the full `FISNAPSH` save/restore and the
+/// `FIDELTA1` delta against a base `STORE_DELTA_GAP` files back.
+struct StoreRun {
+    backend: &'static str,
+    fill_s: f64,
+    commit_s: f64,
+    full_bytes: usize,
+    full_save_s: f64,
+    full_restore_s: f64,
+    delta_bytes: usize,
+    delta_save_s: f64,
+    delta_restore_s: f64,
+    state_root: fi_crypto::Hash256,
+}
+
+/// Live files in the blockstore fill (the delta base).
+const STORE_N: u64 = 100_000;
+/// Files added on top of the base before the delta is cut.
+const STORE_DELTA_GAP: u64 = 1_000;
+
+fn run_store(disk: bool) -> StoreRun {
+    use fi_store::{Blockstore, DiskBlockstore, MemoryBlockstore};
+
+    let scratch = std::env::temp_dir().join(format!(
+        "fi-bench-store-{}-{}.log",
+        std::process::id(),
+        if disk { "disk" } else { "memory" }
+    ));
+    let (backend, store): (&'static str, std::sync::Arc<dyn Blockstore>) = if disk {
+        let _ = std::fs::remove_file(&scratch);
+        (
+            "disk",
+            std::sync::Arc::new(DiskBlockstore::open(&scratch).expect("open disk store")),
+        )
+    } else {
+        ("memory", std::sync::Arc::new(MemoryBlockstore::new()))
+    };
+
+    let cycle = 1_000;
+    let params = ProtocolParams {
+        k: 1,
+        proof_cycle: cycle,
+        proof_due: 2 * cycle,
+        proof_deadline: 4 * cycle,
+        avg_refresh: 1_000_000.0,
+        delay_per_size: 1,
+        ..ProtocolParams::default()
+    };
+    let min_value = params.min_value;
+    let mut engine = Engine::new_with_store(params, store).expect("valid parameters");
+    engine.fund(PROVIDER, TokenAmount(u128::MAX / 4));
+    engine.fund(CLIENT, TokenAmount(u128::MAX / 4));
+    let total = STORE_N + STORE_DELTA_GAP;
+    let per_sector = (2 * total / SECTORS).div_ceil(64).max(1) * 64;
+    for _ in 0..SECTORS {
+        engine
+            .sector_register(PROVIDER, per_sector)
+            .expect("register sector");
+    }
+    let fill = |engine: &mut Engine, ids: std::ops::Range<u64>| {
+        for i in ids {
+            let root = fi_crypto::sha256(&i.to_be_bytes());
+            let file = engine
+                .file_add(CLIENT, 1, min_value, root)
+                .expect("file add");
+            for (index, sector) in engine.pending_confirms(file) {
+                engine
+                    .file_confirm(PROVIDER, file, index, sector)
+                    .expect("confirm");
+            }
+        }
+    };
+    let t_fill = Instant::now();
+    fill(&mut engine, 0..STORE_N);
+    engine.advance_to(engine.now() + 2);
+    let fill_s = t_fill.elapsed().as_secs_f64();
+
+    // The commitment flush: drain every dirty key into the five HAMTs and
+    // fold the root (this is where the backend's write path is paid).
+    let t_commit = Instant::now();
+    let base_roots = engine.state_roots();
+    let commit_s = t_commit.elapsed().as_secs_f64();
+    let full_base = engine.snapshot_save();
+
+    // A small change on top of the base, then both transports. (No
+    // proof-cycle advance: that touches every cntdown and would dirty the
+    // whole files tree — deltas measure the incremental regime.)
+    fill(&mut engine, STORE_N..total);
+    engine.advance_to(engine.now() + 2);
+
+    let t_delta = Instant::now();
+    let delta = engine.snapshot_delta(&base_roots).expect("delta save");
+    let delta_save_s = t_delta.elapsed().as_secs_f64();
+
+    let t_full = Instant::now();
+    let full = engine.snapshot_save();
+    let full_save_s = t_full.elapsed().as_secs_f64();
+
+    let t_restore = Instant::now();
+    let via_full = Engine::snapshot_restore(&full).expect("full restore");
+    let full_restore_s = t_restore.elapsed().as_secs_f64();
+
+    let base = Engine::snapshot_restore(&full_base).expect("base restore");
+    let t_delta_restore = Instant::now();
+    let via_delta = Engine::snapshot_restore_delta(&delta, &base).expect("delta restore");
+    let delta_restore_s = t_delta_restore.elapsed().as_secs_f64();
+
+    let state_root = engine.state_root();
+    assert_eq!(via_full.state_root(), state_root, "full round-trip root");
+    assert_eq!(via_delta.state_root(), state_root, "delta round-trip root");
+    assert!(
+        delta.len() < full.len(),
+        "{backend}: delta ({}) must undercut the full snapshot ({})",
+        delta.len(),
+        full.len()
+    );
+    if disk {
+        let _ = std::fs::remove_file(&scratch);
+    }
+
+    StoreRun {
+        backend,
+        fill_s,
+        commit_s,
+        full_bytes: full.len(),
+        full_save_s,
+        full_restore_s,
+        delta_bytes: delta.len(),
+        delta_save_s,
+        delta_restore_s,
+        state_root,
+    }
+}
+
 struct ScaleResult {
     n: u64,
     wheel: EngineRun,
@@ -696,6 +841,55 @@ fn main() {
         hash.backends.join(", "),
     );
 
+    // ------------------------------------------------------------------
+    // Blockstore backends: the 100k-file fill and both snapshot
+    // transports on the in-memory and append-only disk stores
+    // (DESIGN.md §15). Roots must be backend-identical — the blockstore
+    // is deployment configuration, not consensus input.
+    // ------------------------------------------------------------------
+    let store_runs = [run_store(false), run_store(true)];
+    assert_eq!(
+        store_runs[0].state_root, store_runs[1].state_root,
+        "state root must not depend on the blockstore backend"
+    );
+    for r in &store_runs {
+        println!(
+            "store {}: fill {:.0} ms, commit {:.0} ms, full {:.1} KiB (save {:.1} ms, restore {:.1} ms), \
+             delta {:.1} KiB (save {:.1} ms, restore {:.1} ms)",
+            r.backend,
+            r.fill_s * 1e3,
+            r.commit_s * 1e3,
+            r.full_bytes as f64 / 1024.0,
+            r.full_save_s * 1e3,
+            r.full_restore_s * 1e3,
+            r.delta_bytes as f64 / 1024.0,
+            r.delta_save_s * 1e3,
+            r.delta_restore_s * 1e3,
+        );
+    }
+
+    let store_rows: Vec<String> = store_runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"backend\": \"{}\", \"live_files\": {STORE_N}, \"delta_gap_files\": {STORE_DELTA_GAP}, \
+                 \"fill_ms\": {:.3}, \"commit_ms\": {:.3}, \"full_snapshot_bytes\": {}, \"full_save_ms\": {:.3}, \
+                 \"full_restore_ms\": {:.3}, \"delta_bytes\": {}, \"delta_save_ms\": {:.3}, \
+                 \"delta_restore_ms\": {:.3}, \"delta_over_full_bytes\": {:.4}}}",
+                r.backend,
+                r.fill_s * 1e3,
+                r.commit_s * 1e3,
+                r.full_bytes,
+                r.full_save_s * 1e3,
+                r.full_restore_s * 1e3,
+                r.delta_bytes,
+                r.delta_save_s * 1e3,
+                r.delta_restore_s * 1e3,
+                r.delta_bytes as f64 / r.full_bytes as f64,
+            )
+        })
+        .collect();
+
     let sharded_rows: Vec<String> = sharded
         .iter()
         .map(|r| {
@@ -791,7 +985,8 @@ fn main() {
            \"sharded_audit\": {{\n    \"note\": \"batch regime: 100k size-1 files, every Auto_CheckProof in one wheel bucket; advance = one full proof cycle (batched multi-lane Merkle verify at audit_path_len 64 + batched per-shard audit commit when sharded), median of 3 fresh-engine runs per shard count; state and audit roots asserted identical across shard counts and vs the forced-scalar run; shard count is asserted noise-neutral (<= 2x median spread) on 1-core hosts, the >=4x 8v1 bar is gated when >=4 cores are available, and the >=3x scalar-vs-SIMD bar is gated when a SIMD backend is detected\",\n    \"available_parallelism\": {parallelism},\n    \"sha_backend\": \"{}\",\n    \"shard_spread_max_over_min\": {:.2},\n    \"scalar_sha_advance_full_cycle_ms\": {:.3},\n    \"simd_speedup_vs_scalar\": {:.2},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
            \"hash\": {{\n    \"note\": \"multi-lane SHA-256 micro: digest_many over 8192 x 1KiB messages (MB/s) and lockstep Merkle authentication-path verification over 4096 proofs against a 4096-leaf tree (paths/s), frozen scalar reference vs best detected backend, median of 3; digests asserted identical before timing\",\n    \"backends_available\": [{backend_list}],\n    \"best_backend\": \"{}\",\n    \"digest_many_scalar_mb_s\": {:.1},\n    \"digest_many_best_mb_s\": {:.1},\n    \"digest_many_speedup\": {:.2},\n    \"merkle_paths_scalar_per_sec\": {:.0},\n    \"merkle_paths_best_per_sec\": {:.0},\n    \"merkle_paths_speedup\": {:.2}\n  }},\n  \
            \"ingest\": {{\n    \"note\": \"batch ingest: 50k File_Prove ops (modeled WindowPoSt verification, audit_path_len 64) as one shard-local segment; apply = op-by-op sequential loop, apply_batch = parallel staging + sequential in-order commit; state roots and block hashes asserted identical between both paths and across all configs; the >=4x bar on the last (8-shard/4-thread) row is gated when >=4 cores are available\",\n    \"available_parallelism\": {parallelism},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
-           \"parallel\": {{\n    \"note\": \"end-to-end parallel engine: the 100k-file one-bucket full-cycle advance at (1 shard, 1 ingest thread) vs (8 shards, 4 ingest threads) on the persistent worker pool — verify fan-out plus batched per-shard audit commit; phase_* are Engine::phase_times wall-clock ms for one sampled advance; state and audit roots asserted bit-identical between the cells; the >=4x speedup bar is gated when >=4 cores are available\",\n    \"available_parallelism\": {parallelism},\n    \"speedup_8x4_vs_1x1\": {parallel_speedup:.2},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
+           \"parallel\": {{\n    \"note\": \"end-to-end parallel engine: the 100k-file one-bucket full-cycle advance at (1 shard, 1 ingest thread) vs (8 shards, 4 ingest threads) on the persistent worker pool — verify fan-out plus batched per-shard audit commit; phase_* are Engine::phase_times wall-clock ms for one sampled advance; state and audit roots asserted bit-identical between the cells; the >=4x speedup bar is gated when >=4 cores are available\",\n    \"available_parallelism\": {parallelism},\n    \"speedup_8x4_vs_1x1\": {parallel_speedup:.2},\n    \"runs\": [\n{}\n    ]\n  }},\n  \
+           \"store\": {{\n    \"note\": \"content-addressed state commitment (DESIGN.md \\u00a715): 100k size-1 files filled with the five HAMT state trees on each blockstore backend; commit = the state_roots() flush that drains every dirty key and folds the root; full = FISNAPSH save/restore, delta = FIDELTA1 against a base 1k files back (only the trie nodes on changed paths ship); state roots asserted bit-identical across backends and after both round-trips, and the delta asserted strictly smaller than the full snapshot\",\n    \"roots_identical\": true,\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
         rows.join(",\n"),
         best_backend.name(),
         shard_spread,
@@ -806,7 +1001,8 @@ fn main() {
         hash.best_paths_s,
         hash.best_paths_s / hash.scalar_paths_s,
         ingest_rows.join(",\n"),
-        parallel_rows.join(",\n")
+        parallel_rows.join(",\n"),
+        store_rows.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");

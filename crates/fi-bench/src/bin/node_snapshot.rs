@@ -36,7 +36,7 @@ use std::time::Instant;
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_chain::gas::GasSchedule;
-use fi_core::engine::Engine;
+use fi_core::engine::{Engine, StateView};
 use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
 use fi_crypto::sha256;

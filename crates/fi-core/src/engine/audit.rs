@@ -46,7 +46,7 @@
 //! [`keyed_hash`]; small slices use it directly and the differential test
 //! pins the batched pipeline against it bit for bit.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use fi_chain::account::{AccountId, Ledger, TokenAmount};
 use fi_chain::tasks::Time;
@@ -59,6 +59,7 @@ use crate::types::{
 
 use super::pool::JobBatch;
 use super::shard::{Shard, ShardSlice, ShardedState};
+use super::statemap::TrackedMap;
 use super::{tuning, Engine, Task, COMPENSATION_POOL, DEPOSIT_ESCROW, RENT_POOL, TRAFFIC_ESCROW};
 
 /// The read-only verdict of auditing one `Auto_CheckProof` task: a
@@ -861,7 +862,7 @@ enum PlanKind {
 /// it is handed, so a bucket's plans compute concurrently.
 fn plan_check_proof(
     shard: &Shard,
-    sectors: &HashMap<SectorId, Sector>,
+    sectors: &TrackedMap<SectorId, Sector>,
     ledger: &Ledger,
     params: &ProtocolParams,
     file: FileId,

@@ -57,6 +57,7 @@ use crate::types::{
 use super::lifecycle::FileAddPrestage;
 use super::pool::JobBatch;
 use super::shard::Shard;
+use super::statemap::TrackedMap;
 use super::{Engine, EngineError, TRAFFIC_ESCROW};
 
 /// The file a shard-local op targets, or `None` for barrier ops. This is
@@ -193,7 +194,7 @@ pub(super) struct StagedOp {
 pub(super) struct OpCtx<'a> {
     pub(super) params: &'a ProtocolParams,
     pub(super) gas: &'a GasSchedule,
-    pub(super) sectors: &'a HashMap<SectorId, Sector>,
+    pub(super) sectors: &'a TrackedMap<SectorId, Sector>,
     pub(super) ledger: &'a Ledger,
     pub(super) now: Time,
 }

@@ -61,32 +61,38 @@ mod lifecycle;
 mod pool;
 mod shard;
 mod snapshot;
+mod statemap;
 pub mod tuning;
+mod view;
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use fi_chain::account::{AccountId, Ledger, TokenAmount};
 use fi_chain::block::{BlockChain, ChainEvent};
 use fi_chain::gas::{GasSchedule, Op as GasOp};
 use fi_chain::tasks::Time;
-use fi_crypto::{keyed_hash, DetRng, Hash256};
+use fi_crypto::{DetRng, Hash256};
+use fi_store::{Blockstore, DiskBlockstore, MemoryBlockstore};
 
 use crate::drep::CrAccounting;
 use crate::ops::{Op, OpRecord, Receipt};
 use crate::params::{ParamError, ProtocolParams};
 use crate::sampler::WeightedSampler;
 use crate::segment::SegmentedFile;
-use crate::types::{AllocEntry, FileDescriptor, FileId, ProtocolEvent, Sector, SectorId};
+use crate::types::{FileId, ProtocolEvent, Sector, SectorId};
 
 use self::audit::ProofAudit;
 use self::batch::{ledger_steps_match, shard_local_file};
 use self::lifecycle::FileAddPrestage;
 use self::pool::{PoolHandle, WorkerPool};
 use self::shard::ShardedState;
+use self::statemap::{CommitCell, TrackedMap};
 
 pub use self::snapshot::SnapshotError;
+pub use self::statemap::{StateHeader, StateRoots};
+pub use self::view::{PinnedState, StateProof, StateView};
 
 /// Deposit escrow: holds pledged sector deposits.
 pub const DEPOSIT_ESCROW: AccountId = AccountId(1);
@@ -310,7 +316,7 @@ pub struct PhaseTimes {
 /// # Example
 ///
 /// ```
-/// use fi_core::engine::Engine;
+/// use fi_core::engine::{Engine, StateView};
 /// use fi_core::params::ProtocolParams;
 /// use fi_chain::account::{AccountId, TokenAmount};
 ///
@@ -351,8 +357,8 @@ pub struct Engine {
     /// The per-file core, partitioned by `FileId % shards`: descriptors,
     /// allocation rows, discard reasons, task wheels, per-shard stats.
     shards: ShardedState,
-    sectors: HashMap<SectorId, Sector>,
-    cr: HashMap<SectorId, CrAccounting>,
+    sectors: TrackedMap<SectorId, Sector>,
+    cr: TrackedMap<SectorId, CrAccounting>,
     /// `(file, index)` pairs touching each sector (as holder or as
     /// reservation target). Kept consistent with the shards' alloc tables.
     sector_replicas: HashMap<SectorId, BTreeSet<(FileId, u32)>>,
@@ -388,6 +394,14 @@ pub struct Engine {
     /// Per-phase wall-time accumulators ([`Engine::phase_times`]).
     /// Observability only.
     phase: PhaseTimes,
+    /// The content-addressed blockstore backing the state commitment.
+    /// Shared across engine clones (content addressing makes sharing
+    /// harmless: blocks are immutable and keyed by their own hash), and
+    /// *never* part of consensus: any backend yields the same roots.
+    store: Arc<dyn Blockstore>,
+    /// The five state HAMTs ([`statemap::StateMaps`]), synced from the
+    /// tracked maps' dirty keys on every [`Engine::state_root`].
+    commit: CommitCell,
 }
 
 /// A compact commitment to engine state at a block height, taken by
@@ -407,12 +421,32 @@ pub struct Checkpoint {
 }
 
 impl Engine {
-    /// Creates an engine with validated parameters at time 0.
+    /// Creates an engine with validated parameters at time 0, on the
+    /// default blockstore: in-memory, unless the `FI_TEST_STORE=disk`
+    /// environment variable selects the process-shared disk backend (the
+    /// CI store axis — the backend is deployment configuration, never
+    /// consensus; see [`Engine::new_with_store`]).
     ///
     /// # Errors
     ///
     /// Returns the first violated parameter constraint.
     pub fn new(params: ProtocolParams) -> Result<Self, ParamError> {
+        Engine::new_with_store(params, default_store())
+    }
+
+    /// [`Engine::new`] on an explicit [`Blockstore`]. The backend choice
+    /// is invisible to consensus — an engine on a disk store produces
+    /// bit-identical roots, receipts and block hashes to one on a memory
+    /// store (asserted by the `(store × shards × threads)` differential
+    /// matrix in `tests/state_commitment.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated parameter constraint.
+    pub fn new_with_store(
+        params: ProtocolParams,
+        store: Arc<dyn Blockstore>,
+    ) -> Result<Self, ParamError> {
         params.validate()?;
         let chain = BlockChain::new(params.seed, params.block_interval);
         let rng = chain.beacon().rng_at(0, "fileinsurer/engine");
@@ -421,8 +455,8 @@ impl Engine {
             ledger: Ledger::new(),
             gas: GasSchedule::default(),
             shards: ShardedState::new(params.shards, params.scheduler, params.block_interval),
-            sectors: HashMap::new(),
-            cr: HashMap::new(),
+            sectors: TrackedMap::new(),
+            cr: TrackedMap::new(),
             sector_replicas: HashMap::new(),
             sampler: WeightedSampler::new(),
             rng,
@@ -438,11 +472,20 @@ impl Engine {
             last_checkpoint: None,
             pool: PoolHandle::new(),
             phase: PhaseTimes::default(),
+            store,
+            commit: CommitCell::new(),
             params,
         };
         let period = engine.rent_period();
         engine.schedule_task(period, Task::DistributeRent);
         Ok(engine)
+    }
+
+    /// The content-addressed blockstore backing the state commitment.
+    /// Shared by every clone of this engine; a [`PinnedState`] reading one
+    /// of this engine's historical roots borrows the same store.
+    pub fn store(&self) -> &Arc<dyn Blockstore> {
+        &self.store
     }
 
     // ------------------------------------------------------------------
@@ -829,50 +872,19 @@ impl Engine {
         self.shards.shards.len()
     }
 
-    /// A file descriptor, if the file is live.
-    pub fn file(&self, id: FileId) -> Option<&FileDescriptor> {
-        self.shards.file(id)
-    }
-
-    /// A sector, if registered and not removed.
-    pub fn sector(&self, id: SectorId) -> Option<&Sector> {
-        self.sectors.get(&id)
-    }
-
-    /// DRep accounting for a sector.
-    pub fn cr_accounting(&self, id: SectorId) -> Option<&CrAccounting> {
-        self.cr.get(&id)
-    }
-
-    /// An allocation entry.
-    pub fn alloc_entry(&self, file: FileId, index: u32) -> Option<&AllocEntry> {
-        self.shards.entry(file, index)
-    }
-
-    /// Live files (ids).
-    pub fn file_ids(&self) -> Vec<FileId> {
-        self.shards.file_ids()
-    }
+    // State reads — file / sector / alloc_entry / cr_accounting /
+    // file_ids / sector_ids / events — live on the [`StateView`] impl,
+    // the one read surface shared with the root-pinned historical reader.
 
     /// Scheduled `Auto_*` tasks across all shard wheels.
     pub fn pending_task_count(&self) -> usize {
         self.shards.pending_len()
     }
 
-    /// Live sectors (ids).
-    pub fn sector_ids(&self) -> Vec<SectorId> {
-        let mut ids: Vec<_> = self.sectors.keys().copied().collect();
-        ids.sort_unstable();
-        ids
-    }
-
-    /// Protocol events logged so far (in order).
-    pub fn events(&self) -> &[ProtocolEvent] {
-        &self.events
-    }
-
-    /// Removes and returns the logged events.
-    pub fn drain_events(&mut self) -> Vec<ProtocolEvent> {
+    /// Removes and returns the logged protocol events, leaving the log
+    /// empty — the single consuming counterpart of the non-destructive
+    /// [`StateView::events`] read.
+    pub fn take_events(&mut self) -> Vec<ProtocolEvent> {
         std::mem::take(&mut self.events)
     }
 
@@ -881,15 +893,6 @@ impl Engine {
         self.sectors.values().map(|s| s.deposit).sum()
     }
 
-    /// A commitment over the engine state, folded into sealed blocks.
-    ///
-    /// Every input is shard-count-invariant (the audit root is folded in
-    /// canonical commit order; op and task counters follow global apply
-    /// order), so engines differing only in `ProtocolParams::shards`
-    /// produce identical roots — asserted at scale by the sharding tests
-    /// and the `engine_snapshot` bench. Checkpoint truncation is likewise
-    /// invisible: the root commits to the monotonic ops-applied counter,
-    /// not the op log's length.
     /// The audit-root commitment: the canonical-order fold of every
     /// `Auto_CheckProof` verification digest (also folded into
     /// [`Engine::state_root`]). Identical across shard counts, ingest
@@ -898,20 +901,129 @@ impl Engine {
         self.audit_root
     }
 
+    /// A Merkle commitment over the engine state, folded into sealed
+    /// blocks: the scalar [`StateHeader`] fields plus the fold of the five
+    /// state-map HAMT roots (files, alloc rows, discard reasons, sectors,
+    /// DRep accounting) — a root you can prove membership against
+    /// ([`Engine::prove_file`]) and read historical state through
+    /// ([`Engine::pin_state`]).
+    ///
+    /// Every input is shard-count-invariant: the maps are committed at
+    /// engine level (never per shard), their HAMT layout is canonical
+    /// (history-independent), the audit root is folded in canonical commit
+    /// order, and the counters follow global apply order. So engines
+    /// differing only in `ProtocolParams::shards`, ingest width or store
+    /// backend produce identical roots — asserted by the
+    /// `(store × shards × threads)` differential matrix. Checkpoint
+    /// truncation is likewise invisible: the root commits to the monotonic
+    /// ops-applied counter, not the op log's length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backing blockstore fails to persist HAMT nodes (disk
+    /// I/O failure): the engine cannot continue consensus without its
+    /// commitment.
     pub fn state_root(&self) -> Hash256 {
-        keyed_hash(
-            "fileinsurer/state",
-            &[
-                &self.chain.now().to_be_bytes(),
-                &(self.shards.files_len() as u64).to_be_bytes(),
-                &(self.sectors.len() as u64).to_be_bytes(),
-                &self.ledger.total_supply().0.to_be_bytes(),
-                &self.op_counter.to_be_bytes(),
-                &self.ops_applied.to_be_bytes(),
-                &self.task_seq.to_be_bytes(),
-                self.audit_root.as_bytes(),
-            ],
+        statemap::fold_state_root(
+            &self.state_header(),
+            statemap::fold_maps_root(&self.sync_commitment()),
         )
+    }
+
+    /// The scalar fields [`Engine::state_root`] commits to alongside the
+    /// map commitment (what a [`StateProof`] carries).
+    pub fn state_header(&self) -> StateHeader {
+        StateHeader {
+            now: self.chain.now(),
+            files_len: self.shards.files_len() as u64,
+            sectors_len: self.sectors.len() as u64,
+            total_supply: self.ledger.total_supply().0,
+            op_counter: self.op_counter,
+            ops_applied: self.ops_applied,
+            task_seq: self.task_seq,
+            audit_root: self.audit_root,
+        }
+    }
+
+    /// The current per-map HAMT roots plus the resulting
+    /// [`Engine::state_root`] — the base identity for
+    /// [`Engine::snapshot_delta`] and the pin for [`PinnedState`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Engine::state_root`]: on backing-store failure.
+    pub fn state_roots(&self) -> StateRoots {
+        let map_roots = self.sync_commitment();
+        let state_root =
+            statemap::fold_state_root(&self.state_header(), statemap::fold_maps_root(&map_roots));
+        StateRoots {
+            state_root,
+            files: map_roots[0],
+            alloc: map_roots[1],
+            discard: map_roots[2],
+            sectors: map_roots[3],
+            cr: map_roots[4],
+        }
+    }
+
+    /// Drains every tracked map's dirty keys into the five state HAMTs,
+    /// flushes them into the blockstore, and returns the map roots in
+    /// canonical fold order. Keys are applied in drain order — the HAMT
+    /// layout is history-independent, so any order yields the same roots.
+    fn sync_commitment(&self) -> [Hash256; 5] {
+        let store = self.store.as_ref();
+        let mut maps = self.commit.lock();
+        let ok = "state store write";
+        for shard in &self.shards.shards {
+            for id in shard.files.take_dirty() {
+                let key = statemap::key_file(id);
+                match shard.files.get(&id) {
+                    Some(f) => maps
+                        .files
+                        .set(store, &key, &statemap::enc_file(f))
+                        .expect(ok),
+                    None => drop(maps.files.delete(store, &key).expect(ok)),
+                }
+            }
+            for (file, index) in shard.alloc.take_dirty() {
+                let key = statemap::key_alloc(file, index);
+                match shard.alloc.get(&(file, index)) {
+                    Some(e) => maps
+                        .alloc
+                        .set(store, &key, &statemap::enc_alloc_entry(e))
+                        .expect(ok),
+                    None => drop(maps.alloc.delete(store, &key).expect(ok)),
+                }
+            }
+            for id in shard.discard_reasons.take_dirty() {
+                let key = statemap::key_file(id);
+                match shard.discard_reasons.get(&id) {
+                    Some(r) => maps
+                        .discard
+                        .set(store, &key, &statemap::enc_reason(*r))
+                        .expect(ok),
+                    None => drop(maps.discard.delete(store, &key).expect(ok)),
+                }
+            }
+        }
+        for id in self.sectors.take_dirty() {
+            let key = statemap::key_sector(id);
+            match self.sectors.get(&id) {
+                Some(s) => maps
+                    .sectors
+                    .set(store, &key, &statemap::enc_sector(s))
+                    .expect(ok),
+                None => drop(maps.sectors.delete(store, &key).expect(ok)),
+            }
+        }
+        for id in self.cr.take_dirty() {
+            let key = statemap::key_sector(id);
+            match self.cr.get(&id) {
+                Some(acct) => maps.cr.set(store, &key, &statemap::enc_cr(acct)).expect(ok),
+                None => drop(maps.cr.delete(store, &key).expect(ok)),
+            }
+        }
+        maps.flush(store).expect("state store flush")
     }
 
     /// Replaces the gas fee schedule (e.g. [`GasSchedule::free`] for
@@ -1080,4 +1192,25 @@ impl Engine {
             .burn(account, fee)
             .map_err(|_| EngineError::InsufficientFunds)
     }
+}
+
+/// The blockstore [`Engine::new`] uses: in-memory, unless
+/// `FI_TEST_STORE=disk` selects one process-shared disk log in the temp
+/// directory (the CI store axis; content addressing makes sharing one log
+/// across every engine in the process harmless). Unusable values — or a
+/// disk log that fails to open — fall back to memory, mirroring how
+/// `FI_TEST_SHARDS` treats bad input.
+fn default_store() -> Arc<dyn Blockstore> {
+    static DISK: OnceLock<Option<Arc<DiskBlockstore>>> = OnceLock::new();
+    let want_disk = std::env::var("FI_TEST_STORE").is_ok_and(|v| v.trim() == "disk");
+    if want_disk {
+        let shared = DISK.get_or_init(|| {
+            let path = std::env::temp_dir().join(format!("fi-state-{}.log", std::process::id()));
+            DiskBlockstore::open(path).ok().map(Arc::new)
+        });
+        if let Some(store) = shared {
+            return Arc::clone(store) as Arc<dyn Blockstore>;
+        }
+    }
+    Arc::new(MemoryBlockstore::new())
 }

@@ -17,12 +17,11 @@
 //! (`engine/batch.rs`) borrow them immutably in parallel (`Shard` is
 //! `Sync`).
 
-use std::collections::HashMap;
-
 use fi_chain::tasks::{Scheduler, SchedulerKind, Time};
 
 use crate::types::{AllocEntry, FileDescriptor, FileId, RemovalReason};
 
+use super::statemap::TrackedMap;
 use super::{EngineStats, Task};
 
 /// A task tagged with its global schedule sequence number. The tag is
@@ -37,12 +36,13 @@ pub(super) type ShardSlice = Vec<(Time, SeqTask)>;
 /// Per-file engine state for one file-id stride.
 #[derive(Debug, Clone)]
 pub(super) struct Shard {
-    /// Live file descriptors owned by this shard.
-    pub(super) files: HashMap<FileId, FileDescriptor>,
+    /// Live file descriptors owned by this shard. Dirty-tracked: the keys
+    /// touched since the last state-root sync feed the files HAMT.
+    pub(super) files: TrackedMap<FileId, FileDescriptor>,
     /// Allocation table rows `(file, replica index)` for this shard's files.
-    pub(super) alloc: HashMap<(FileId, u32), AllocEntry>,
+    pub(super) alloc: TrackedMap<(FileId, u32), AllocEntry>,
     /// Pending removal reasons for this shard's files.
-    pub(super) discard_reasons: HashMap<FileId, RemovalReason>,
+    pub(super) discard_reasons: TrackedMap<FileId, RemovalReason>,
     /// This shard's `Auto_*` task wheel.
     pub(super) pending: Scheduler<SeqTask>,
     /// This shard's slice of the engine counters (merged by
@@ -53,9 +53,9 @@ pub(super) struct Shard {
 impl Shard {
     pub(super) fn new(kind: SchedulerKind, granularity: Time) -> Self {
         Shard {
-            files: HashMap::new(),
-            alloc: HashMap::new(),
-            discard_reasons: HashMap::new(),
+            files: TrackedMap::new(),
+            alloc: TrackedMap::new(),
+            discard_reasons: TrackedMap::new(),
             pending: Scheduler::new(kind, granularity),
             stats: EngineStats::default(),
         }

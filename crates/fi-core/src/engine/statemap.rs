@@ -1,0 +1,653 @@
+//! The bridge between the engine's in-memory hot-path state and its
+//! content-addressed Merkle commitment (DESIGN.md §15).
+//!
+//! Three pieces:
+//!
+//! * [`TrackedMap`] — a `HashMap` wrapper that records which keys were
+//!   touched by mutation. The engine's request handlers and audit tasks
+//!   keep their O(1) map accesses (including the parallel per-shard
+//!   `cntdown` write batches, which mutate disjoint `&mut Shard`s
+//!   concurrently — dirty marking from `&mut self` is lock-free); the
+//!   dirty sets are drained only when a commitment is needed.
+//! * leaf codecs — deterministic big-endian encodings of the five
+//!   consensus-visible value types (file descriptors, alloc rows,
+//!   discard reasons, sectors, DRep accounting), the byte language of
+//!   the HAMT leaves and of [`StateProof`](super::StateProof) payloads.
+//! * [`StateMaps`] / [`CommitCell`] — the five engine-level HAMTs (one
+//!   per logical map, *not* per shard: a per-shard trie forest would bake
+//!   the shard count into the root) behind a mutex, so
+//!   [`Engine::state_root`](super::Engine::state_root) can sync dirty
+//!   keys and flush from `&self`.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::ops::Index;
+use std::sync::Mutex;
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_chain::tasks::Time;
+use fi_crypto::{keyed_hash, Hash256};
+use fi_store::{Blockstore, Hamt, StoreError};
+
+use crate::drep::CrAccounting;
+use crate::types::{
+    AllocEntry, AllocState, FileDescriptor, FileId, FileState, RemovalReason, Sector, SectorId,
+    SectorState,
+};
+
+// ----------------------------------------------------------------------
+// TrackedMap
+// ----------------------------------------------------------------------
+
+/// A `HashMap` that remembers which keys mutation has touched since the
+/// last [`TrackedMap::take_dirty`].
+///
+/// The method set is deliberately the minimal one the engine uses — in
+/// particular there is no `values_mut`/`iter_mut`, which could mutate
+/// entries without marking them dirty. `get_mut` conservatively marks the
+/// key dirty whether or not the caller writes through the reference.
+///
+/// The dirty set lives behind a `Mutex` only so it can be *drained* from
+/// `&self` (the state-root path); every marking happens through
+/// `&mut self` via the lock-free `Mutex::get_mut`, so the hot path never
+/// contends — which is also what keeps the parallel audit phases safe:
+/// jobs own disjoint `&mut Shard`s and never touch a shared lock.
+#[derive(Debug, Default)]
+pub(super) struct TrackedMap<K, V> {
+    map: HashMap<K, V>,
+    dirty: Mutex<HashSet<K>>,
+}
+
+impl<K: Eq + Hash + Copy, V> TrackedMap<K, V> {
+    pub(super) fn new() -> Self {
+        TrackedMap {
+            map: HashMap::new(),
+            dirty: Mutex::new(HashSet::new()),
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, key: K) {
+        self.dirty.get_mut().expect("dirty set lock").insert(key);
+    }
+
+    #[inline]
+    pub(super) fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    #[inline]
+    pub(super) fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if self.map.contains_key(key) {
+            self.mark(*key);
+        }
+        self.map.get_mut(key)
+    }
+
+    pub(super) fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.mark(key);
+        self.map.insert(key, value)
+    }
+
+    pub(super) fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = self.map.remove(key);
+        if removed.is_some() {
+            self.mark(*key);
+        }
+        removed
+    }
+
+    #[inline]
+    pub(super) fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    #[inline]
+    pub(super) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(super) fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
+    pub(super) fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values()
+    }
+
+    pub(super) fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter()
+    }
+
+    /// Drains the dirty-key set (callable from `&self`; the state-root
+    /// sync is the only consumer).
+    pub(super) fn take_dirty(&self) -> Vec<K> {
+        self.dirty.lock().expect("dirty set lock").drain().collect()
+    }
+}
+
+impl<K: Eq + Hash + Copy, V> Index<&K> for TrackedMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        &self.map[key]
+    }
+}
+
+impl<K: Eq + Hash + Copy + Clone, V: Clone> Clone for TrackedMap<K, V> {
+    fn clone(&self) -> Self {
+        TrackedMap {
+            map: self.map.clone(),
+            dirty: Mutex::new(self.dirty.lock().expect("dirty set lock").clone()),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Leaf codecs
+// ----------------------------------------------------------------------
+//
+// Deterministic big-endian encodings, field order mirroring the FISNAPSH
+// sections so the two serializations stay trivially cross-checkable.
+// Decoders are defensive: HAMT leaves read from a store (or carried in a
+// proof) are untrusted bytes.
+
+/// A bounds-checked reader over untrusted leaf bytes.
+struct Leaf<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Leaf<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Leaf { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(StoreError::Corrupt("truncated state leaf"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4B")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+
+    fn u128(&mut self) -> Result<u128, StoreError> {
+        Ok(u128::from_be_bytes(self.take(16)?.try_into().expect("16B")))
+    }
+
+    fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+
+    fn hash(&mut self) -> Result<Hash256, StoreError> {
+        Ok(Hash256::from_bytes(self.take(32)?.try_into().expect("32B")))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, StoreError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(StoreError::Corrupt("option tag in state leaf")),
+        }
+    }
+
+    fn finish(&self) -> Result<(), StoreError> {
+        if self.pos != self.bytes.len() {
+            return Err(StoreError::Corrupt("trailing bytes in state leaf"));
+        }
+        Ok(())
+    }
+}
+
+fn push_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_be_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+/// HAMT key of a file-keyed map entry.
+pub(super) fn key_file(id: FileId) -> [u8; 8] {
+    id.0.to_be_bytes()
+}
+
+/// HAMT key of an allocation row.
+pub(super) fn key_alloc(file: FileId, index: u32) -> [u8; 12] {
+    let mut k = [0u8; 12];
+    k[..8].copy_from_slice(&file.0.to_be_bytes());
+    k[8..].copy_from_slice(&index.to_be_bytes());
+    k
+}
+
+/// HAMT key of a sector-keyed map entry.
+pub(super) fn key_sector(id: SectorId) -> [u8; 8] {
+    id.0.to_be_bytes()
+}
+
+pub(super) fn enc_file(f: &FileDescriptor) -> Vec<u8> {
+    let mut out = Vec::with_capacity(85);
+    out.extend_from_slice(&f.id.0.to_be_bytes());
+    out.extend_from_slice(&f.owner.0.to_be_bytes());
+    out.extend_from_slice(&f.size.to_be_bytes());
+    out.extend_from_slice(&f.value.0.to_be_bytes());
+    out.extend_from_slice(f.merkle_root.as_bytes());
+    out.extend_from_slice(&f.cp.to_be_bytes());
+    out.extend_from_slice(&f.cntdown.to_be_bytes());
+    out.push(match f.state {
+        FileState::Allocating => 0,
+        FileState::Normal => 1,
+        FileState::Discarded => 2,
+    });
+    out
+}
+
+pub(super) fn dec_file(bytes: &[u8]) -> Result<FileDescriptor, StoreError> {
+    let mut l = Leaf::new(bytes);
+    let desc = FileDescriptor {
+        id: FileId(l.u64()?),
+        owner: AccountId(l.u64()?),
+        size: l.u64()?,
+        value: TokenAmount(l.u128()?),
+        merkle_root: l.hash()?,
+        cp: l.u32()?,
+        cntdown: l.i64()?,
+        state: match l.u8()? {
+            0 => FileState::Allocating,
+            1 => FileState::Normal,
+            2 => FileState::Discarded,
+            _ => return Err(StoreError::Corrupt("file state tag in state leaf")),
+        },
+    };
+    l.finish()?;
+    Ok(desc)
+}
+
+pub(super) fn enc_alloc_entry(e: &AllocEntry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28);
+    push_opt_u64(&mut out, e.prev.map(|s| s.0));
+    push_opt_u64(&mut out, e.next.map(|s| s.0));
+    push_opt_u64(&mut out, e.last);
+    out.push(match e.state {
+        AllocState::Alloc => 0,
+        AllocState::Confirm => 1,
+        AllocState::Normal => 2,
+        AllocState::Corrupted => 3,
+    });
+    out
+}
+
+pub(super) fn dec_alloc_entry(bytes: &[u8]) -> Result<AllocEntry, StoreError> {
+    let mut l = Leaf::new(bytes);
+    let entry = AllocEntry {
+        prev: l.opt_u64()?.map(SectorId),
+        next: l.opt_u64()?.map(SectorId),
+        last: l.opt_u64()?,
+        state: match l.u8()? {
+            0 => AllocState::Alloc,
+            1 => AllocState::Confirm,
+            2 => AllocState::Normal,
+            3 => AllocState::Corrupted,
+            _ => return Err(StoreError::Corrupt("alloc state tag in state leaf")),
+        },
+    };
+    l.finish()?;
+    Ok(entry)
+}
+
+pub(super) fn enc_reason(r: RemovalReason) -> Vec<u8> {
+    vec![match r {
+        RemovalReason::ClientDiscard => 0,
+        RemovalReason::InsufficientFunds => 1,
+        RemovalReason::UploadFailed => 2,
+        RemovalReason::Lost => 3,
+    }]
+}
+
+pub(super) fn dec_reason(bytes: &[u8]) -> Result<RemovalReason, StoreError> {
+    let mut l = Leaf::new(bytes);
+    let reason = match l.u8()? {
+        0 => RemovalReason::ClientDiscard,
+        1 => RemovalReason::InsufficientFunds,
+        2 => RemovalReason::UploadFailed,
+        3 => RemovalReason::Lost,
+        _ => return Err(StoreError::Corrupt("removal reason tag in state leaf")),
+    };
+    l.finish()?;
+    Ok(reason)
+}
+
+pub(super) fn enc_sector(s: &Sector) -> Vec<u8> {
+    let mut out = Vec::with_capacity(54);
+    out.extend_from_slice(&s.id.0.to_be_bytes());
+    out.extend_from_slice(&s.owner.0.to_be_bytes());
+    out.extend_from_slice(&s.capacity.to_be_bytes());
+    out.extend_from_slice(&s.free_cap.to_be_bytes());
+    out.push(match s.state {
+        SectorState::Normal => 0,
+        SectorState::Disabled => 1,
+        SectorState::Corrupted => 2,
+    });
+    out.extend_from_slice(&s.deposit.0.to_be_bytes());
+    out.extend_from_slice(&s.replica_count.to_be_bytes());
+    out.push(s.physically_failed as u8);
+    out
+}
+
+pub(super) fn dec_sector(bytes: &[u8]) -> Result<Sector, StoreError> {
+    let mut l = Leaf::new(bytes);
+    let id = SectorId(l.u64()?);
+    let sector = Sector {
+        id,
+        owner: AccountId(l.u64()?),
+        capacity: l.u64()?,
+        free_cap: l.u64()?,
+        state: match l.u8()? {
+            0 => SectorState::Normal,
+            1 => SectorState::Disabled,
+            2 => SectorState::Corrupted,
+            _ => return Err(StoreError::Corrupt("sector state tag in state leaf")),
+        },
+        deposit: TokenAmount(l.u128()?),
+        replica_count: l.u32()?,
+        physically_failed: match l.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(StoreError::Corrupt("bool tag in state leaf")),
+        },
+    };
+    l.finish()?;
+    Ok(sector)
+}
+
+pub(super) fn enc_cr(acct: &CrAccounting) -> Vec<u8> {
+    let (capacity, cr_size, file_bytes, regenerated, discarded) = acct.snapshot_parts();
+    let mut out = Vec::with_capacity(40);
+    for v in [capacity, cr_size, file_bytes, regenerated, discarded] {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+pub(super) fn dec_cr(bytes: &[u8]) -> Result<CrAccounting, StoreError> {
+    let mut l = Leaf::new(bytes);
+    let parts = (l.u64()?, l.u64()?, l.u64()?, l.u64()?, l.u64()?);
+    l.finish()?;
+    CrAccounting::from_parts(parts).map_err(StoreError::Corrupt)
+}
+
+// ----------------------------------------------------------------------
+// The commitment maps
+// ----------------------------------------------------------------------
+
+/// The scalar fields [`Engine::state_root`](super::Engine::state_root)
+/// commits to alongside the map commitment — everything a
+/// [`StateProof`](super::StateProof) must carry to let a verifier
+/// recompute the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateHeader {
+    /// Consensus time.
+    pub now: Time,
+    /// Live file count.
+    pub files_len: u64,
+    /// Live sector count.
+    pub sectors_len: u64,
+    /// Total token supply.
+    pub total_supply: u128,
+    /// Internal event/task counter.
+    pub op_counter: u64,
+    /// Ops applied since genesis.
+    pub ops_applied: u64,
+    /// Global task schedule sequence.
+    pub task_seq: u64,
+    /// The audit-digest fold.
+    pub audit_root: Hash256,
+}
+
+/// The five per-map HAMT roots the state commitment folds over, plus the
+/// resulting `state_root` — the base-version identity a delta snapshot
+/// records and a [`PinnedState`](super::PinnedState) reads through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateRoots {
+    /// `state_root()` at the moment the roots were taken.
+    pub state_root: Hash256,
+    /// File descriptors (`FileId → FileDescriptor`).
+    pub files: Hash256,
+    /// Allocation rows (`(FileId, index) → AllocEntry`).
+    pub alloc: Hash256,
+    /// Pending discard reasons (`FileId → RemovalReason`).
+    pub discard: Hash256,
+    /// Sectors (`SectorId → Sector`).
+    pub sectors: Hash256,
+    /// DRep accounting (`SectorId → CrAccounting`).
+    pub cr: Hash256,
+}
+
+impl StateRoots {
+    /// The map roots in canonical fold order.
+    pub fn map_roots(&self) -> [Hash256; 5] {
+        [self.files, self.alloc, self.discard, self.sectors, self.cr]
+    }
+}
+
+/// Folds the five map roots into the single map commitment.
+pub(super) fn fold_maps_root(roots: &[Hash256; 5]) -> Hash256 {
+    keyed_hash(
+        "fileinsurer/state-maps",
+        &[
+            roots[0].as_bytes(),
+            roots[1].as_bytes(),
+            roots[2].as_bytes(),
+            roots[3].as_bytes(),
+            roots[4].as_bytes(),
+        ],
+    )
+}
+
+/// Folds the scalar header and the map commitment into `state_root` —
+/// the one function both the live engine and proof verifiers use.
+pub(super) fn fold_state_root(header: &StateHeader, maps_root: Hash256) -> Hash256 {
+    keyed_hash(
+        "fileinsurer/state",
+        &[
+            &header.now.to_be_bytes(),
+            &header.files_len.to_be_bytes(),
+            &header.sectors_len.to_be_bytes(),
+            &header.total_supply.to_be_bytes(),
+            &header.op_counter.to_be_bytes(),
+            &header.ops_applied.to_be_bytes(),
+            &header.task_seq.to_be_bytes(),
+            header.audit_root.as_bytes(),
+            maps_root.as_bytes(),
+        ],
+    )
+}
+
+/// The five engine-level HAMTs. Engine-level, not per-shard, on purpose:
+/// per-shard tries would make the commitment a function of
+/// `ProtocolParams::shards`, breaking the shard-count invariance of
+/// `state_root` (DESIGN.md §15).
+#[derive(Debug, Clone, Default)]
+pub(super) struct StateMaps {
+    pub(super) files: Hamt,
+    pub(super) alloc: Hamt,
+    pub(super) discard: Hamt,
+    pub(super) sectors: Hamt,
+    pub(super) cr: Hamt,
+}
+
+impl StateMaps {
+    /// Flushes all five maps and returns their roots in fold order.
+    pub(super) fn flush(&mut self, store: &dyn Blockstore) -> Result<[Hash256; 5], StoreError> {
+        Ok([
+            self.files.flush(store)?,
+            self.alloc.flush(store)?,
+            self.discard.flush(store)?,
+            self.sectors.flush(store)?,
+            self.cr.flush(store)?,
+        ])
+    }
+}
+
+/// [`StateMaps`] behind a mutex, so the commitment can be synced and
+/// flushed from `&Engine` (the state root is read in contexts that only
+/// hold a shared borrow). Never contended: the engine is externally
+/// synchronized for mutation, and parallel phases never touch the cell.
+#[derive(Debug, Default)]
+pub(super) struct CommitCell(Mutex<StateMaps>);
+
+impl CommitCell {
+    pub(super) fn new() -> Self {
+        CommitCell::default()
+    }
+
+    pub(super) fn lock(&self) -> std::sync::MutexGuard<'_, StateMaps> {
+        self.0.lock().expect("state commitment lock")
+    }
+}
+
+impl Clone for CommitCell {
+    fn clone(&self) -> Self {
+        CommitCell(Mutex::new(self.lock().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracked_map_marks_mutations() {
+        let mut m: TrackedMap<u64, String> = TrackedMap::new();
+        assert!(m.take_dirty().is_empty());
+        m.insert(1, "a".into());
+        m.insert(2, "b".into());
+        let mut d = m.take_dirty();
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 2]);
+        assert!(m.take_dirty().is_empty(), "drained");
+
+        // Reads don't mark.
+        assert_eq!(m.get(&1).map(String::as_str), Some("a"));
+        assert!(m.contains_key(&2));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&1], "a");
+        assert!(m.take_dirty().is_empty());
+
+        // get_mut marks (even without a write), remove marks only hits.
+        m.get_mut(&1).unwrap().push('x');
+        assert!(m.get_mut(&99).is_none());
+        m.remove(&2);
+        m.remove(&98);
+        let mut d = m.take_dirty();
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 2]);
+
+        // Clones carry their own dirty set.
+        m.insert(5, "e".into());
+        let clone = m.clone();
+        assert_eq!(clone.take_dirty(), vec![5]);
+        assert_eq!(m.take_dirty(), vec![5]);
+    }
+
+    #[test]
+    fn leaf_codecs_roundtrip_and_reject_damage() {
+        let desc = FileDescriptor {
+            id: FileId(7),
+            owner: AccountId(42),
+            size: 1234,
+            value: TokenAmount(5_000_000),
+            merkle_root: fi_crypto::sha256(b"content"),
+            cp: 5,
+            cntdown: -3,
+            state: FileState::Normal,
+        };
+        let bytes = enc_file(&desc);
+        let back = dec_file(&bytes).unwrap();
+        assert_eq!(format!("{desc:?}"), format!("{back:?}"));
+        assert!(dec_file(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(dec_file(&extra).is_err());
+        let mut bad_tag = bytes.clone();
+        *bad_tag.last_mut().unwrap() = 9;
+        assert!(dec_file(&bad_tag).is_err());
+
+        let entry = AllocEntry {
+            prev: Some(SectorId(3)),
+            next: None,
+            last: Some(99),
+            state: AllocState::Confirm,
+        };
+        let bytes = enc_alloc_entry(&entry);
+        let back = dec_alloc_entry(&bytes).unwrap();
+        assert_eq!(format!("{entry:?}"), format!("{back:?}"));
+        assert!(dec_alloc_entry(&bytes[..2]).is_err());
+
+        for reason in [
+            RemovalReason::ClientDiscard,
+            RemovalReason::InsufficientFunds,
+            RemovalReason::UploadFailed,
+            RemovalReason::Lost,
+        ] {
+            assert_eq!(dec_reason(&enc_reason(reason)).unwrap(), reason);
+        }
+        assert!(dec_reason(&[7]).is_err());
+        assert!(dec_reason(&[]).is_err());
+
+        let sector = Sector {
+            id: SectorId(11),
+            owner: AccountId(9),
+            capacity: 640,
+            free_cap: 320,
+            state: SectorState::Disabled,
+            deposit: TokenAmount(77),
+            replica_count: 4,
+            physically_failed: true,
+        };
+        let bytes = enc_sector(&sector);
+        let back = dec_sector(&bytes).unwrap();
+        assert_eq!(format!("{sector:?}"), format!("{back:?}"));
+        let mut bad_bool = bytes.clone();
+        *bad_bool.last_mut().unwrap() = 2;
+        assert!(dec_sector(&bad_bool).is_err());
+
+        let cr = CrAccounting::from_parts((100, 10, 40, 3, 5)).unwrap();
+        let bytes = enc_cr(&cr);
+        assert_eq!(
+            dec_cr(&bytes).unwrap().snapshot_parts(),
+            cr.snapshot_parts()
+        );
+        // Constructor invariants are enforced on decode too.
+        let bad = enc_cr(&cr)
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i < 8 { 0 } else { b })
+            .collect::<Vec<_>>();
+        assert!(dec_cr(&bad).is_err(), "cr_size > capacity rejected");
+    }
+
+    #[test]
+    fn key_encodings_are_disjoint_and_ordered() {
+        assert_eq!(key_file(FileId(0x0102)), 0x0102u64.to_be_bytes());
+        let k = key_alloc(FileId(1), 2);
+        assert_eq!(&k[..8], &1u64.to_be_bytes());
+        assert_eq!(&k[8..], &2u32.to_be_bytes());
+        assert_eq!(key_sector(SectorId(5)), 5u64.to_be_bytes());
+    }
+}

@@ -4,7 +4,7 @@
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_crypto::sha256;
 
-use crate::engine::{Engine, EngineError, COMPENSATION_POOL, DEPOSIT_ESCROW};
+use crate::engine::{Engine, EngineError, StateView, COMPENSATION_POOL, DEPOSIT_ESCROW};
 use crate::params::ProtocolParams;
 use crate::types::{AllocState, FileState, ProtocolEvent, RemovalReason, SectorState};
 use crate::{FileId, SectorId};

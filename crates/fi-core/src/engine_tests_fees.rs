@@ -5,7 +5,7 @@ use fi_chain::account::{AccountId, TokenAmount};
 use fi_chain::gas::GasSchedule;
 use fi_crypto::sha256;
 
-use crate::engine::{Engine, EngineError, RENT_POOL, TRAFFIC_ESCROW};
+use crate::engine::{Engine, EngineError, StateView, RENT_POOL, TRAFFIC_ESCROW};
 use crate::params::ProtocolParams;
 use crate::types::ProtocolEvent;
 use crate::FileId;

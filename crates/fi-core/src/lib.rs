@@ -27,7 +27,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use fi_core::engine::Engine;
+//! use fi_core::engine::{Engine, StateView};
 //! use fi_core::params::ProtocolParams;
 //! use fi_chain::account::{AccountId, TokenAmount};
 //! use fi_crypto::sha256;
@@ -58,6 +58,7 @@
 
 pub mod drep;
 pub mod engine;
+pub mod error;
 pub mod ops;
 pub mod params;
 pub mod reputation;
@@ -71,7 +72,8 @@ mod engine_tests;
 #[cfg(test)]
 mod engine_tests_fees;
 
-pub use engine::{Engine, EngineError, EngineStats};
+pub use engine::{Engine, EngineError, EngineStats, PinnedState, StateProof, StateView};
+pub use error::Error;
 pub use ops::{Op, OpRecord, Receipt};
 pub use params::{ParamError, ProtocolParams};
 pub use sampler::WeightedSampler;

@@ -156,6 +156,7 @@ impl SubnetRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StateView;
     use fi_crypto::sha256;
 
     fn router() -> SubnetRouter {

@@ -39,7 +39,7 @@ pub enum SectorState {
 }
 
 /// A registered sector (Fig. 1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sector {
     /// The provider who owns the sector.
     pub owner: AccountId,
@@ -79,7 +79,7 @@ pub enum FileState {
 }
 
 /// A file descriptor (Fig. 1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileDescriptor {
     /// Unique id.
     pub id: FileId,
@@ -115,7 +115,7 @@ pub enum AllocState {
 
 /// One entry of the allocation table: the placement of replica `index` of a
 /// file (Fig. 1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocEntry {
     /// Sector currently storing the replica (`prev`).
     pub prev: Option<SectorId>,

@@ -7,7 +7,7 @@
 //! wall-clock time may differ (measured by `engine_snapshot`).
 
 use fi_chain::account::{AccountId, TokenAmount};
-use fi_core::engine::Engine;
+use fi_core::engine::{Engine, StateView};
 use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
 use fi_crypto::{sha256, DetRng};

@@ -5,7 +5,7 @@
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_chain::tasks::SchedulerKind;
-use fi_core::engine::Engine;
+use fi_core::engine::{Engine, StateView};
 use fi_core::params::ProtocolParams;
 use fi_core::types::SectorState;
 use fi_crypto::{sha256, DetRng};

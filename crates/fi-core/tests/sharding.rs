@@ -11,7 +11,7 @@
 //! test-friendly scale.
 
 use fi_chain::account::{AccountId, TokenAmount};
-use fi_core::engine::{Engine, EngineError, EngineStats};
+use fi_core::engine::{Engine, EngineError, EngineStats, StateView};
 use fi_core::params::ProtocolParams;
 use fi_core::types::SectorState;
 use fi_crypto::{sha256, DetRng};

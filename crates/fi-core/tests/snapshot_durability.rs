@@ -7,7 +7,7 @@
 //! keep-a-live-clone pattern with bytes on disk.
 
 use fi_chain::account::{AccountId, TokenAmount};
-use fi_core::engine::{Engine, SnapshotError};
+use fi_core::engine::{Engine, SnapshotError, StateView};
 use fi_core::params::ProtocolParams;
 use fi_core::types::SectorState;
 use fi_crypto::{sha256, DetRng};

@@ -1,0 +1,365 @@
+//! The content-addressed state commitment, end to end (DESIGN.md §15):
+//!
+//! * **Consensus rule** — `state_root()` is bit-identical across every
+//!   `(store backend × shards × ingest threads)` combination: the
+//!   blockstore is deployment configuration, sharding partitions only
+//!   per-file state, and ingest width only schedules work.
+//! * **Pinned reads** — [`Engine::pin_state`] keeps a historical version
+//!   readable through [`StateView`] after the live engine moves on.
+//! * **Incremental snapshots** — `base + snapshot_delta == full restore`,
+//!   byte-deterministic, with typed rejection of tampered deltas.
+//! * **Light-client proofs** — [`Engine::prove_file`] verifies against
+//!   the bare `state_root` and rejects every tampering mode.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::{Engine, PinnedState, StateView};
+use fi_core::params::ProtocolParams;
+use fi_core::types::SectorState;
+use fi_core::Error;
+use fi_crypto::{sha256, DetRng};
+use fi_store::{Blockstore, DiskBlockstore, MemoryBlockstore, StoreError};
+
+const CLIENT: AccountId = AccountId(900);
+const PROVIDERS: [AccountId; 3] = [AccountId(700), AccountId(701), AccountId(702)];
+
+fn params(shards: usize, ingest_threads: usize) -> ProtocolParams {
+    ProtocolParams {
+        k: 3,
+        delay_per_size: 6,
+        avg_refresh: 6.0,
+        shards,
+        ingest_threads,
+        ..ProtocolParams::default()
+    }
+}
+
+/// A unique scratch path for a disk store (no tempfile dependency).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fi-state-commitment-{}-{tag}-{n}.log",
+        std::process::id()
+    ))
+}
+
+/// Deletes the scratch file when the test is done with it.
+struct DropFile(std::path::PathBuf);
+impl Drop for DropFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// The same seeded workload as the sharding differential suite: every
+/// stochastic choice comes from the caller's rng, so engines differing
+/// only in configuration receive byte-identical op sequences.
+fn drive(engine: &mut Engine, seed: u64, steps: u64) {
+    let mut rng = DetRng::from_seed_label(seed, "state-commitment");
+    engine.fund(CLIENT, TokenAmount(500_000_000));
+    for p in PROVIDERS {
+        engine.fund(p, TokenAmount(1_000_000_000_000));
+        for _ in 0..2 {
+            engine
+                .sector_register(p, 640 * (1 + rng.below(3)))
+                .expect("registration");
+        }
+    }
+    for step in 0..steps {
+        match rng.below(10) {
+            0..=3 => {
+                let size = 1 + rng.below(40);
+                let root = sha256(&(seed ^ step).to_be_bytes());
+                let _ = engine.file_add(CLIENT, size, engine.params().min_value, root);
+            }
+            4..=6 => {
+                engine.honest_providers_act();
+            }
+            7 => {
+                let ids = engine.file_ids();
+                if !ids.is_empty() {
+                    let f = ids[(rng.below(ids.len() as u64)) as usize];
+                    let _ = engine.file_discard(CLIENT, f);
+                }
+            }
+            8 => {
+                let ids = engine.sector_ids();
+                if !ids.is_empty() {
+                    let s = ids[(rng.below(ids.len() as u64)) as usize];
+                    if engine.sector(s).map(|x| x.state) == Some(SectorState::Normal) {
+                        engine.corrupt_sector_now(s);
+                    }
+                }
+            }
+            _ => engine.advance_to(engine.now() + 10 + rng.below(150)),
+        }
+    }
+    engine.honest_providers_act();
+    engine.advance_to(engine.now() + engine.params().proof_cycle * 2);
+}
+
+/// The consensus rule: identical roots at every point of the
+/// `(store backend × shards × ingest threads)` matrix.
+#[test]
+fn state_root_invariant_across_store_shards_threads() {
+    let mut reference = None;
+    for disk in [false, true] {
+        for shards in [1usize, 4] {
+            for threads in [1usize, 2] {
+                let (store, _guard): (Arc<dyn Blockstore>, Option<DropFile>) = if disk {
+                    let path = scratch(&format!("matrix-{shards}-{threads}"));
+                    (
+                        Arc::new(DiskBlockstore::open(&path).expect("disk store")),
+                        Some(DropFile(path)),
+                    )
+                } else {
+                    (Arc::new(MemoryBlockstore::new()), None)
+                };
+                let mut engine =
+                    Engine::new_with_store(params(shards, threads), store).expect("params");
+                drive(&mut engine, 42, 160);
+                let cell = (engine.state_root(), engine.chain().head_hash());
+                match &reference {
+                    None => reference = Some(cell),
+                    Some(want) => assert_eq!(
+                        want, &cell,
+                        "consensus diverged at disk={disk} shards={shards} threads={threads}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Pinned views freeze a version: reads through the pin keep answering
+/// from the pinned roots while the live engine mutates past them, and a
+/// fresh pin tracks the live state again.
+#[test]
+fn pinned_state_reads_a_frozen_version() {
+    let mut engine = Engine::new(params(4, 1)).expect("params");
+    drive(&mut engine, 7, 120);
+
+    let pin = engine.pin_state();
+    let files_then = engine.file_ids();
+    let sectors_then = engine.sector_ids();
+    assert_eq!(pin.file_ids(), files_then, "pin sees the live file set");
+    assert_eq!(pin.sector_ids(), sectors_then);
+    for &f in &files_then {
+        assert_eq!(pin.file(f), engine.file(f), "descriptor mismatch at {f}");
+        // Allocation rows for every configured replica index.
+        let cp = engine.file(f).expect("live file").cp;
+        for i in 0..cp {
+            assert_eq!(pin.alloc_entry(f, i), engine.alloc_entry(f, i));
+        }
+    }
+    for &s in &sectors_then {
+        assert_eq!(pin.sector(s), engine.sector(s));
+        assert_eq!(pin.cr_accounting(s), engine.cr_accounting(s));
+    }
+    assert!(pin.events().is_empty(), "pins never expose live events");
+
+    // Move the live engine on; the pin must not move with it.
+    let root_then = pin.roots().state_root;
+    drive(&mut engine, 8, 60);
+    assert_ne!(engine.state_root(), root_then, "workload changed state");
+    assert_eq!(pin.file_ids(), files_then, "pin is frozen at its version");
+    assert_eq!(
+        engine.pin_state().file_ids(),
+        engine.file_ids(),
+        "a new pin tracks the new version"
+    );
+
+    // A pin over an empty store can't resolve its roots: typed error on
+    // the try_* surface, graceful default through the trait.
+    let stale = PinnedState::new(Arc::new(MemoryBlockstore::new()), *pin.roots());
+    assert!(matches!(
+        stale.try_file_ids(),
+        Err(Error::Store(StoreError::NotFound(_)))
+    ));
+    assert_eq!(stale.file_ids(), Vec::new());
+}
+
+/// The incremental-snapshot contract: restoring `base + delta` equals
+/// restoring a full snapshot of the new state, bit for bit — and both
+/// ends of the transport are deterministic.
+#[test]
+fn delta_snapshot_round_trips_against_a_base() {
+    // A map-heavy base: hundreds of confirmed files, so the five state
+    // trees dominate the snapshot (the scenario deltas target).
+    let mut engine = Engine::new(params(4, 2)).expect("params");
+    engine.fund(CLIENT, TokenAmount(u128::MAX / 4));
+    engine.fund(PROVIDERS[0], TokenAmount(u128::MAX / 4));
+    for _ in 0..6 {
+        engine
+            .sector_register(PROVIDERS[0], 64_000)
+            .expect("register");
+    }
+    let fill = |engine: &mut Engine, ids: std::ops::Range<u64>| {
+        for i in ids {
+            let root = sha256(&i.to_be_bytes());
+            let f = engine
+                .file_add(CLIENT, 1, engine.params().min_value, root)
+                .expect("add");
+            for (idx, s) in engine.pending_confirms(f) {
+                engine
+                    .file_confirm(PROVIDERS[0], f, idx, s)
+                    .expect("confirm");
+            }
+        }
+    };
+    fill(&mut engine, 0..300);
+    engine.advance_to(engine.now() + engine.params().proof_cycle);
+    engine.honest_providers_act();
+    let full_base = engine.snapshot_save();
+    let base_roots = engine.state_roots();
+
+    // A small targeted change on top of that base. (No proof-cycle
+    // advance: that would touch every descriptor's cntdown and dirty the
+    // whole files tree.)
+    fill(&mut engine, 1_000..1_003);
+    engine.honest_providers_act();
+    assert_ne!(engine.state_root(), base_roots.state_root);
+
+    let delta = engine.snapshot_delta(&base_roots).expect("delta");
+    let delta_again = engine.snapshot_delta(&base_roots).expect("delta");
+    assert_eq!(delta, delta_again, "delta encoding is deterministic");
+    let full_new = engine.snapshot_save();
+
+    // The delta must actually be incremental: only the trie nodes on the
+    // changed paths ship, not the whole state.
+    assert!(
+        delta.len() < full_new.len(),
+        "delta ({}) not smaller than full ({})",
+        delta.len(),
+        full_new.len()
+    );
+
+    let base = Engine::snapshot_restore(&full_base).expect("base restore");
+    assert_eq!(base.state_root(), base_roots.state_root);
+    let via_delta = Engine::snapshot_restore_delta(&delta, &base).expect("delta restore");
+    let via_full = Engine::snapshot_restore(&full_new).expect("full restore");
+
+    assert_eq!(via_delta.state_root(), engine.state_root());
+    assert_eq!(via_delta.state_root(), via_full.state_root());
+    assert_eq!(via_delta.chain().head_hash(), via_full.chain().head_hash());
+    assert_eq!(via_delta.file_ids(), via_full.file_ids());
+    assert_eq!(via_delta.sector_ids(), via_full.sector_ids());
+    assert_eq!(
+        via_delta.ledger().total_supply(),
+        via_full.ledger().total_supply()
+    );
+
+    // Both reconstructions stay in consensus under further load.
+    let (mut a, mut b) = (via_delta, via_full);
+    drive(&mut a, 23, 40);
+    drive(&mut b, 23, 40);
+    assert_eq!(a.state_root(), b.state_root(), "divergence after restore");
+    assert_eq!(a.chain().head_hash(), b.chain().head_hash());
+}
+
+/// Tampered or misapplied deltas fail with typed errors, never a panic
+/// and never a silently wrong engine.
+#[test]
+fn delta_snapshot_rejects_tampering_and_wrong_bases() {
+    let mut engine = Engine::new(params(2, 1)).expect("params");
+    drive(&mut engine, 31, 80);
+    let full_base = engine.snapshot_save();
+    let base_roots = engine.state_roots();
+    drive(&mut engine, 32, 40);
+    let delta = engine.snapshot_delta(&base_roots).expect("delta");
+
+    let base = Engine::snapshot_restore(&full_base).expect("base restore");
+
+    // Applying the delta to the wrong base is caught by the recorded
+    // base root before anything is decoded.
+    let mut wrong_base = Engine::new(params(2, 1)).expect("params");
+    drive(&mut wrong_base, 99, 40);
+    assert!(matches!(
+        Engine::snapshot_restore_delta(&delta, &wrong_base),
+        Err(Error::Snapshot(_))
+    ));
+
+    // Truncation and bit flips anywhere in the envelope are rejected.
+    assert!(Engine::snapshot_restore_delta(&delta[..delta.len() - 40], &base).is_err());
+    for pos in (0..delta.len()).step_by(delta.len() / 37 + 1) {
+        let mut bad = delta.clone();
+        bad[pos] ^= 0x40;
+        assert!(
+            Engine::snapshot_restore_delta(&bad, &base).is_err(),
+            "bit flip at {pos} must not restore"
+        );
+    }
+
+    // The unmodified delta still applies after all that.
+    let restored = Engine::snapshot_restore_delta(&delta, &base).expect("delta restore");
+    assert_eq!(restored.state_root(), engine.state_root());
+}
+
+/// Light-client proofs: a file descriptor verifies offline against the
+/// bare `state_root`; every tampering mode is rejected.
+#[test]
+fn state_proofs_verify_and_reject_tampering() {
+    let mut engine = Engine::new(params(4, 1)).expect("params");
+    drive(&mut engine, 51, 120);
+    let root = engine.state_root();
+    let files = engine.file_ids();
+    assert!(!files.is_empty(), "workload must leave live files");
+
+    for &f in &files {
+        let proof = engine.prove_file(f).expect("prove");
+        let desc = proof.verify(root).expect("verify");
+        assert_eq!(desc.id, f);
+        assert_eq!(Some(desc), engine.file(f), "proven descriptor is live");
+    }
+
+    // Absent files are not provable.
+    let absent = fi_core::types::FileId(u64::MAX);
+    assert!(matches!(
+        engine.prove_file(absent),
+        Err(Error::Engine(fi_core::EngineError::UnknownFile(_)))
+    ));
+
+    let proof = engine.prove_file(files[0]).expect("prove");
+
+    // Wrong trusted root.
+    assert!(proof.verify(sha256(b"not the root")).is_err());
+
+    // Header tampering: every scalar is committed.
+    let mut bad = proof.clone();
+    bad.header.total_supply ^= 1;
+    assert!(bad.verify(root).is_err());
+    let mut bad = proof.clone();
+    bad.header.audit_root = sha256(b"forged audit root");
+    assert!(bad.verify(root).is_err());
+
+    // Map-root tampering (swap the files root for the sectors root).
+    let mut bad = proof.clone();
+    bad.map_roots.swap(0, 3);
+    assert!(bad.verify(root).is_err());
+
+    // Claiming a different file id fails even with an honest path.
+    let mut bad = proof.clone();
+    bad.file = fi_core::types::FileId(files[0].0 + 1_000_000);
+    assert!(bad.verify(root).is_err());
+
+    // Path tampering: truncation, padding, bit flips in every node.
+    let mut bad = proof.clone();
+    bad.path.pop();
+    assert!(bad.verify(root).is_err() || bad.path.is_empty());
+    let mut bad = proof.clone();
+    bad.path.push(vec![0u8; 4]);
+    assert!(bad.verify(root).is_err());
+    for node in 0..proof.path.len() {
+        for pos in (0..proof.path[node].len()).step_by(11) {
+            let mut bad = proof.clone();
+            bad.path[node][pos] ^= 0x01;
+            assert!(
+                bad.verify(root).is_err(),
+                "flip in path node {node} byte {pos} must not verify"
+            );
+        }
+    }
+}

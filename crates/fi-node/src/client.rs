@@ -27,7 +27,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use fi_chain::account::{AccountId, TokenAmount};
-use fi_core::engine::Engine;
+use fi_core::engine::{Engine, StateView};
 use fi_core::ops::Op;
 use fi_core::types::SectorId;
 use fi_crypto::{sha256, DetRng, Hash256};

@@ -36,7 +36,7 @@ use std::collections::HashSet;
 use std::rc::Rc;
 
 use fi_chain::gas::GasSchedule;
-use fi_core::engine::{Checkpoint, Engine};
+use fi_core::engine::{Checkpoint, Engine, StateView};
 use fi_core::ops::{Op, OpRecord};
 use fi_crypto::Hash256;
 use fi_net::sim::SimTime;

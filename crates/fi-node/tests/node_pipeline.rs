@@ -16,7 +16,7 @@
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_chain::gas::GasSchedule;
-use fi_core::engine::Engine;
+use fi_core::engine::{Engine, StateView};
 use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
 use fi_net::link::LinkModel;

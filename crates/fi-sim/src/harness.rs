@@ -19,7 +19,7 @@
 //! (asserted below), so scenarios can drive any shard configuration.
 
 use fi_chain::account::{AccountId, TokenAmount};
-use fi_core::engine::Engine;
+use fi_core::engine::{Engine, StateView};
 use fi_core::ops::Op;
 use fi_core::params::ProtocolParams;
 use fi_core::types::{FileId, SectorId};

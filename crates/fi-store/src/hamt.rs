@@ -1,0 +1,1069 @@
+//! A copy-on-write hash-array-mapped trie persisted as content-addressed
+//! blockstore nodes — the persistent `bytes → bytes` map behind the
+//! engine's state commitment (DESIGN.md §15).
+//!
+//! # Shape
+//!
+//! Keys are routed by their SHA-256 hash, consumed 5 bits per level
+//! ([`FANOUT`] = 32 slots per node, up to [`MAX_DEPTH`] levels). Each
+//! occupied slot holds either a **bucket** of up to [`BUCKET_SIZE`]
+//! key-value pairs (sorted by key bytes) or a link to a **child** node.
+//! A slot becomes a child exactly when more than [`BUCKET_SIZE`] keys
+//! share its hash prefix, and collapses back into a bucket as soon as
+//! deletions bring the subtree to [`BUCKET_SIZE`] or fewer pairs.
+//!
+//! # Canonical form
+//!
+//! Those two rules make the trie **history-independent**: the structure —
+//! and therefore the root hash — is a pure function of the key-value set,
+//! not of the insert/delete order that produced it. Two engines that
+//! mutate their maps in different orders (different shard counts,
+//! different ingest interleavings) still converge on bit-identical roots.
+//! The property tests in this module shuffle and interleave mutation
+//! orders to pin this down.
+//!
+//! # Copy-on-write
+//!
+//! In-memory nodes are held behind [`Arc`]s; cloning a [`Hamt`] is O(1)
+//! and mutation copies only the path being written
+//! ([`Arc::make_mut`]). [`Hamt::flush`] writes the dirty nodes into a
+//! [`Blockstore`] and returns the root hash; nodes reached through an
+//! unflushed map stay purely in memory, so read traffic never touches
+//! the store until a commitment is actually needed.
+//!
+//! # Defensive decoding
+//!
+//! Node bytes loaded from a store are untrusted: truncation, bit flips,
+//! unsorted buckets and over-deep paths (the only way a malicious store
+//! can express a link cycle, since honest links are hashes of the child's
+//! bytes) all surface as typed [`StoreError`]s, never a panic or an
+//! unbounded traversal.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use fi_crypto::{sha256, Hash256};
+
+use crate::blockstore::{block_hash, Blockstore, StoreError};
+
+/// Slots per node: 5 bits of key hash per level.
+pub const FANOUT: u32 = 32;
+/// Maximum key-value pairs a leaf bucket holds before splitting into a
+/// child node (except at [`MAX_DEPTH`], where buckets absorb full-hash
+/// collisions unbounded).
+pub const BUCKET_SIZE: usize = 3;
+/// Deepest level: 51 five-bit steps consume 255 of the 256 hash bits.
+/// Any traversal past this is structurally impossible for honest data,
+/// so it is reported as corruption (a cycle-forming store would
+/// otherwise loop forever).
+pub const MAX_DEPTH: usize = 51;
+
+/// The 5-bit slot index for `depth` steps into the key hash.
+fn nibble(hash: &Hash256, depth: usize) -> u32 {
+    let bit = depth * 5;
+    let byte = bit / 8;
+    let shift = bit % 8;
+    let bytes = hash.as_bytes();
+    let lo = bytes[byte] as u32;
+    let hi = if byte + 1 < 32 {
+        bytes[byte + 1] as u32
+    } else {
+        0
+    };
+    ((lo >> shift) | (hi << (8 - shift))) & (FANOUT - 1)
+}
+
+/// A key-value pair as stored in a leaf bucket.
+type Kv = (Vec<u8>, Vec<u8>);
+
+/// A link to a child node: resident and modified since the last flush
+/// (`Dirty`), resident with its stored hash known (`Clean`), or not yet
+/// loaded (`Stored`).
+#[derive(Debug, Clone)]
+enum Link {
+    Dirty(Arc<Node>),
+    Clean(Arc<Node>, Hash256),
+    Stored(Hash256),
+}
+
+/// One occupied slot: a sorted leaf bucket or a child link.
+#[derive(Debug, Clone)]
+enum Slot {
+    Bucket(Vec<Kv>),
+    Child(Link),
+}
+
+/// A trie node: a 32-bit occupancy bitmap plus one [`Slot`] per set bit,
+/// in ascending bit order.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    bitmap: u32,
+    slots: Vec<Slot>,
+}
+
+impl Node {
+    /// Position of slot `nib` within `slots`, if occupied.
+    fn slot_index(&self, nib: u32) -> Option<usize> {
+        if self.bitmap & (1 << nib) == 0 {
+            return None;
+        }
+        Some((self.bitmap & ((1u32 << nib) - 1)).count_ones() as usize)
+    }
+
+    /// Where slot `nib` would be inserted.
+    fn insert_index(&self, nib: u32) -> usize {
+        (self.bitmap & ((1u32 << nib) - 1)).count_ones() as usize
+    }
+
+    fn insert_slot(&mut self, nib: u32, slot: Slot) {
+        let idx = self.insert_index(nib);
+        self.bitmap |= 1 << nib;
+        self.slots.insert(idx, slot);
+    }
+
+    fn remove_slot(&mut self, nib: u32) {
+        if let Some(idx) = self.slot_index(nib) {
+            self.bitmap &= !(1 << nib);
+            self.slots.remove(idx);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Canonical node encoding
+// ----------------------------------------------------------------------
+
+const TAG_BUCKET: u8 = 0;
+const TAG_CHILD: u8 = 1;
+
+/// Serializes a node whose child links all carry known hashes
+/// (`Clean`/`Stored` — i.e. after its children were flushed).
+fn encode_node(node: &Node) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&node.bitmap.to_be_bytes());
+    for slot in &node.slots {
+        match slot {
+            Slot::Bucket(kvs) => {
+                out.push(TAG_BUCKET);
+                out.extend_from_slice(&(kvs.len() as u32).to_be_bytes());
+                for (k, v) in kvs {
+                    out.extend_from_slice(&(k.len() as u32).to_be_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                    out.extend_from_slice(v);
+                }
+            }
+            Slot::Child(link) => {
+                let hash = match link {
+                    Link::Clean(_, h) | Link::Stored(h) => h,
+                    Link::Dirty(_) => unreachable!("encode_node called before children flushed"),
+                };
+                out.push(TAG_CHILD);
+                out.extend_from_slice(hash.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Parses untrusted node bytes, validating every structural invariant the
+/// encoder maintains. Child links come back as [`Link::Stored`].
+fn decode_node(bytes: &[u8]) -> Result<Node, StoreError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+        if *pos + n > bytes.len() {
+            return Err(StoreError::Corrupt("truncated node bytes"));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let bitmap = u32::from_be_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+    let mut slots = Vec::with_capacity(bitmap.count_ones() as usize);
+    for _ in 0..bitmap.count_ones() {
+        match take(&mut pos, 1)?[0] {
+            TAG_BUCKET => {
+                let count = u32::from_be_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+                if count == 0 {
+                    return Err(StoreError::Corrupt("empty bucket slot"));
+                }
+                if count as usize > bytes.len() {
+                    return Err(StoreError::Corrupt("bucket count exceeds node bytes"));
+                }
+                let mut kvs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let klen = u32::from_be_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+                    let k = take(&mut pos, klen as usize)?.to_vec();
+                    let vlen = u32::from_be_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+                    let v = take(&mut pos, vlen as usize)?.to_vec();
+                    if let Some((prev, _)) = kvs.last() {
+                        if *prev >= k {
+                            return Err(StoreError::Corrupt("bucket keys out of order"));
+                        }
+                    }
+                    kvs.push((k, v));
+                }
+                slots.push(Slot::Bucket(kvs));
+            }
+            TAG_CHILD => {
+                let hash = Hash256::from_bytes(take(&mut pos, 32)?.try_into().expect("32 bytes"));
+                slots.push(Slot::Child(Link::Stored(hash)));
+            }
+            _ => return Err(StoreError::Corrupt("unknown slot tag")),
+        }
+    }
+    if pos != bytes.len() {
+        return Err(StoreError::Corrupt("trailing bytes after node"));
+    }
+    Ok(Node { bitmap, slots })
+}
+
+/// Loads the node behind a link for reading.
+fn link_node(link: &Link, store: &dyn Blockstore) -> Result<Arc<Node>, StoreError> {
+    match link {
+        Link::Dirty(n) | Link::Clean(n, _) => Ok(Arc::clone(n)),
+        Link::Stored(h) => {
+            let bytes = store.get(h)?.ok_or(StoreError::NotFound(*h))?;
+            Ok(Arc::new(decode_node(&bytes)?))
+        }
+    }
+}
+
+/// Loads the node behind a link for writing: the link becomes `Dirty`
+/// and the caller gets exclusive access to a private copy.
+fn link_node_mut<'a>(
+    link: &'a mut Link,
+    store: &dyn Blockstore,
+) -> Result<&'a mut Node, StoreError> {
+    if let Link::Stored(h) = link {
+        let bytes = store.get(h)?.ok_or(StoreError::NotFound(*h))?;
+        *link = Link::Dirty(Arc::new(decode_node(&bytes)?));
+    } else if let Link::Clean(n, _) = link {
+        *link = Link::Dirty(Arc::clone(n));
+    }
+    match link {
+        Link::Dirty(n) => Ok(Arc::make_mut(n)),
+        _ => unreachable!("link normalized to Dirty above"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Core operations
+// ----------------------------------------------------------------------
+
+fn node_get(
+    node: &Node,
+    store: &dyn Blockstore,
+    hash: &Hash256,
+    depth: usize,
+    key: &[u8],
+) -> Result<Option<Vec<u8>>, StoreError> {
+    if depth >= MAX_DEPTH {
+        return Err(StoreError::Corrupt("trie deeper than the key hash"));
+    }
+    let nib = nibble(hash, depth);
+    match node.slot_index(nib).map(|i| &node.slots[i]) {
+        None => Ok(None),
+        Some(Slot::Bucket(kvs)) => Ok(kvs
+            .iter()
+            .find(|(k, _)| k.as_slice() == key)
+            .map(|(_, v)| v.clone())),
+        Some(Slot::Child(link)) => {
+            let child = link_node(link, store)?;
+            node_get(&child, store, hash, depth + 1, key)
+        }
+    }
+}
+
+fn node_set(
+    node: &mut Node,
+    store: &dyn Blockstore,
+    hash: &Hash256,
+    depth: usize,
+    key: &[u8],
+    value: &[u8],
+) -> Result<(), StoreError> {
+    if depth >= MAX_DEPTH {
+        return Err(StoreError::Corrupt("trie deeper than the key hash"));
+    }
+    let nib = nibble(hash, depth);
+    let Some(idx) = node.slot_index(nib) else {
+        node.insert_slot(nib, Slot::Bucket(vec![(key.to_vec(), value.to_vec())]));
+        return Ok(());
+    };
+    match &mut node.slots[idx] {
+        Slot::Bucket(kvs) => {
+            match kvs.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Ok(i) => kvs[i].1 = value.to_vec(),
+                Err(i) => {
+                    // The deepest level absorbs full-hash collisions in an
+                    // unbounded bucket: there are no path bits left to
+                    // split on.
+                    if kvs.len() < BUCKET_SIZE || depth + 1 >= MAX_DEPTH {
+                        kvs.insert(i, (key.to_vec(), value.to_vec()));
+                    } else {
+                        // Overflow: push the bucket one level down. The
+                        // re-inserted pairs may collide again on the next
+                        // 5 bits — recursion splits as deep as needed.
+                        let mut spill = std::mem::take(kvs);
+                        spill.push((key.to_vec(), value.to_vec()));
+                        let mut child = Node::default();
+                        for (k, v) in &spill {
+                            let kh = sha256(k);
+                            node_set(&mut child, store, &kh, depth + 1, k, v)?;
+                        }
+                        node.slots[idx] = Slot::Child(Link::Dirty(Arc::new(child)));
+                    }
+                }
+            }
+            Ok(())
+        }
+        Slot::Child(link) => {
+            let child = link_node_mut(link, store)?;
+            node_set(child, store, hash, depth + 1, key, value)
+        }
+    }
+}
+
+/// If `node` holds nothing but at most [`BUCKET_SIZE`] pairs in leaf
+/// buckets (no child links), returns them merged and sorted — the parent
+/// replaces the child link with a single bucket, restoring the canonical
+/// "a child exists only above `BUCKET_SIZE` pairs" invariant.
+fn collapse_kvs(node: &Node) -> Option<Vec<Kv>> {
+    let mut total = 0usize;
+    for slot in &node.slots {
+        match slot {
+            Slot::Child(_) => return None, // subtree holds > BUCKET_SIZE pairs
+            Slot::Bucket(kvs) => total += kvs.len(),
+        }
+    }
+    if total > BUCKET_SIZE {
+        return None;
+    }
+    let mut merged: Vec<Kv> = node
+        .slots
+        .iter()
+        .flat_map(|s| match s {
+            Slot::Bucket(kvs) => kvs.clone(),
+            Slot::Child(_) => unreachable!("checked above"),
+        })
+        .collect();
+    merged.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+    Some(merged)
+}
+
+fn node_delete(
+    node: &mut Node,
+    store: &dyn Blockstore,
+    hash: &Hash256,
+    depth: usize,
+    key: &[u8],
+) -> Result<bool, StoreError> {
+    if depth >= MAX_DEPTH {
+        return Err(StoreError::Corrupt("trie deeper than the key hash"));
+    }
+    let nib = nibble(hash, depth);
+    let Some(idx) = node.slot_index(nib) else {
+        return Ok(false);
+    };
+    match &mut node.slots[idx] {
+        Slot::Bucket(kvs) => {
+            let Ok(i) = kvs.binary_search_by(|(k, _)| k.as_slice().cmp(key)) else {
+                return Ok(false);
+            };
+            kvs.remove(i);
+            if kvs.is_empty() {
+                node.remove_slot(nib);
+            }
+            Ok(true)
+        }
+        Slot::Child(link) => {
+            let child = link_node_mut(link, store)?;
+            if !node_delete(child, store, hash, depth + 1, key)? {
+                return Ok(false);
+            }
+            if let Some(kvs) = collapse_kvs(child) {
+                node.slots[idx] = Slot::Bucket(kvs);
+            }
+            Ok(true)
+        }
+    }
+}
+
+fn flush_link(link: &mut Link, store: &dyn Blockstore) -> Result<Hash256, StoreError> {
+    match link {
+        Link::Stored(h) => Ok(*h),
+        Link::Clean(_, h) => Ok(*h),
+        Link::Dirty(arc) => {
+            let node = Arc::make_mut(arc);
+            for slot in &mut node.slots {
+                if let Slot::Child(child) = slot {
+                    flush_link(child, store)?;
+                }
+            }
+            let bytes = encode_node(node);
+            let hash = store.put(&bytes)?;
+            let resident = Arc::clone(arc);
+            *link = Link::Clean(resident, hash);
+            Ok(hash)
+        }
+    }
+}
+
+fn walk_link(
+    link: &Link,
+    store: &dyn Blockstore,
+    depth: usize,
+    f: &mut dyn FnMut(&[u8], &[u8]),
+) -> Result<(), StoreError> {
+    if depth >= MAX_DEPTH {
+        return Err(StoreError::Corrupt("trie deeper than the key hash"));
+    }
+    let node = link_node(link, store)?;
+    for slot in &node.slots {
+        match slot {
+            Slot::Bucket(kvs) => {
+                for (k, v) in kvs {
+                    f(k, v);
+                }
+            }
+            Slot::Child(child) => walk_link(child, store, depth + 1, f)?,
+        }
+    }
+    Ok(())
+}
+
+/// Collects every node hash reachable from `root` into `out`.
+fn reachable_hashes(
+    store: &dyn Blockstore,
+    root: Hash256,
+    depth: usize,
+    out: &mut HashSet<Hash256>,
+) -> Result<(), StoreError> {
+    if depth >= MAX_DEPTH {
+        return Err(StoreError::Corrupt("trie deeper than the key hash"));
+    }
+    if !out.insert(root) {
+        return Ok(());
+    }
+    let bytes = store.get(&root)?.ok_or(StoreError::NotFound(root))?;
+    let node = decode_node(&bytes)?;
+    for slot in &node.slots {
+        if let Slot::Child(Link::Stored(h)) = slot {
+            reachable_hashes(store, *h, depth + 1, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_new_nodes(
+    store: &dyn Blockstore,
+    root: Hash256,
+    depth: usize,
+    base: &HashSet<Hash256>,
+    seen: &mut HashSet<Hash256>,
+    out: &mut Vec<(Hash256, Vec<u8>)>,
+) -> Result<(), StoreError> {
+    if depth >= MAX_DEPTH {
+        return Err(StoreError::Corrupt("trie deeper than the key hash"));
+    }
+    // A node already in the base is shared along with its whole subtree:
+    // content addressing means identical hash ⇒ identical reachable set.
+    if base.contains(&root) || !seen.insert(root) {
+        return Ok(());
+    }
+    let bytes = store.get(&root)?.ok_or(StoreError::NotFound(root))?;
+    let node = decode_node(&bytes)?;
+    out.push((root, bytes.to_vec()));
+    for slot in &node.slots {
+        if let Slot::Child(Link::Stored(h)) = slot {
+            collect_new_nodes(store, *h, depth + 1, base, seen, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// A copy-on-write persistent map from byte keys to byte values, stored
+/// as content-addressed trie nodes (see the [crate docs](crate)).
+///
+/// Cloning is O(1) (shared [`Arc`] structure); the clones diverge
+/// copy-on-write. An unflushed map lives purely in memory; [`Hamt::flush`]
+/// persists it and returns the root hash that [`Hamt::load`] (or any of
+/// the root-addressed associated functions) can pick back up.
+#[derive(Debug, Clone)]
+pub struct Hamt {
+    root: Link,
+}
+
+impl Default for Hamt {
+    fn default() -> Self {
+        Hamt::new()
+    }
+}
+
+impl Hamt {
+    /// An empty map (not yet flushed anywhere).
+    pub fn new() -> Self {
+        Hamt {
+            root: Link::Dirty(Arc::new(Node::default())),
+        }
+    }
+
+    /// A map pinned to a previously flushed `root`. Nodes load lazily on
+    /// first touch; a root the store does not hold surfaces as
+    /// [`StoreError::NotFound`] at access time.
+    pub fn load(root: Hash256) -> Self {
+        Hamt {
+            root: Link::Stored(root),
+        }
+    }
+
+    /// The root hash, if the map is flushed (`None` while dirty).
+    pub fn root_hash(&self) -> Option<Hash256> {
+        match &self.root {
+            Link::Clean(_, h) | Link::Stored(h) => Some(*h),
+            Link::Dirty(_) => None,
+        }
+    }
+
+    /// The value stored under `key`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Store failures and corrupt node bytes ([`StoreError`]).
+    pub fn get(&self, store: &dyn Blockstore, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let hash = sha256(key);
+        let node = link_node(&self.root, store)?;
+        node_get(&node, store, &hash, 0, key)
+    }
+
+    /// Inserts or replaces `key → value`.
+    ///
+    /// # Errors
+    ///
+    /// Store failures and corrupt node bytes ([`StoreError`]).
+    pub fn set(
+        &mut self,
+        store: &dyn Blockstore,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), StoreError> {
+        let hash = sha256(key);
+        let node = link_node_mut(&mut self.root, store)?;
+        node_set(node, store, &hash, 0, key, value)
+    }
+
+    /// Removes `key`, reporting whether it was present.
+    ///
+    /// # Errors
+    ///
+    /// Store failures and corrupt node bytes ([`StoreError`]).
+    pub fn delete(&mut self, store: &dyn Blockstore, key: &[u8]) -> Result<bool, StoreError> {
+        let hash = sha256(key);
+        let node = link_node_mut(&mut self.root, store)?;
+        let removed = node_delete(node, store, &hash, 0, key)?;
+        // The root is exempt from the collapse rule (it legitimately holds
+        // few pairs), so nothing more to do here.
+        Ok(removed)
+    }
+
+    /// Writes every dirty node into `store` and returns the root hash —
+    /// the cryptographic commitment to the full map contents.
+    ///
+    /// # Errors
+    ///
+    /// Store failures ([`StoreError::Io`]).
+    pub fn flush(&mut self, store: &dyn Blockstore) -> Result<Hash256, StoreError> {
+        flush_link(&mut self.root, store)
+    }
+
+    /// Visits every key-value pair (in hash-path order, not key order).
+    ///
+    /// # Errors
+    ///
+    /// Store failures and corrupt node bytes ([`StoreError`]).
+    pub fn walk(
+        &self,
+        store: &dyn Blockstore,
+        f: &mut dyn FnMut(&[u8], &[u8]),
+    ) -> Result<(), StoreError> {
+        walk_link(&self.root, store, 0, f)
+    }
+
+    /// The nodes reachable from `new_root` but not from `base_root` — an
+    /// incremental snapshot's payload: a reader holding every node of
+    /// `base_root` needs exactly these `(hash, bytes)` blocks to read
+    /// `new_root` in full. Both roots must be flushed into `store`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] when either tree is incomplete in
+    /// `store`; corrupt node bytes as [`StoreError::Corrupt`].
+    pub fn diff_new_nodes(
+        store: &dyn Blockstore,
+        new_root: Hash256,
+        base_root: Hash256,
+    ) -> Result<Vec<(Hash256, Vec<u8>)>, StoreError> {
+        let mut base = HashSet::new();
+        reachable_hashes(store, base_root, 0, &mut base)?;
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        collect_new_nodes(store, new_root, 0, &base, &mut seen, &mut out)?;
+        Ok(out)
+    }
+
+    /// An inclusion proof for `key` against the flushed `root`: the node
+    /// bytes along the path from the root to the leaf bucket holding the
+    /// key. `Ok(None)` when the key is absent (absence is not proven).
+    ///
+    /// # Errors
+    ///
+    /// Store failures and corrupt node bytes ([`StoreError`]).
+    pub fn prove(
+        store: &dyn Blockstore,
+        root: Hash256,
+        key: &[u8],
+    ) -> Result<Option<Vec<Vec<u8>>>, StoreError> {
+        let hash = sha256(key);
+        let mut nodes = Vec::new();
+        let mut current = root;
+        for depth in 0..MAX_DEPTH {
+            let bytes = store.get(&current)?.ok_or(StoreError::NotFound(current))?;
+            let node = decode_node(&bytes)?;
+            nodes.push(bytes.to_vec());
+            let nib = nibble(&hash, depth);
+            match node.slot_index(nib).map(|i| &node.slots[i]) {
+                None => return Ok(None),
+                Some(Slot::Bucket(kvs)) => {
+                    if kvs.iter().any(|(k, _)| k.as_slice() == key) {
+                        return Ok(Some(nodes));
+                    }
+                    return Ok(None);
+                }
+                Some(Slot::Child(Link::Stored(h))) => current = *h,
+                Some(Slot::Child(_)) => unreachable!("decode_node yields Stored links"),
+            }
+        }
+        Err(StoreError::Corrupt("trie deeper than the key hash"))
+    }
+
+    /// Verifies a [`Hamt::prove`] path against `root` and returns the
+    /// proven value. Rejects — with a typed [`StoreError::Proof`] — any
+    /// tampering: a broken hash chain, malformed node bytes, a path that
+    /// is truncated, over-long, or does not contain the key.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Proof`] on any verification failure,
+    /// [`StoreError::Corrupt`] on undecodable node bytes.
+    pub fn verify_proof(
+        root: Hash256,
+        key: &[u8],
+        nodes: &[Vec<u8>],
+    ) -> Result<Vec<u8>, StoreError> {
+        if nodes.is_empty() {
+            return Err(StoreError::Proof("empty proof path"));
+        }
+        if nodes.len() > MAX_DEPTH {
+            return Err(StoreError::Proof("proof path too deep"));
+        }
+        let hash = sha256(key);
+        let mut want = root;
+        for (depth, bytes) in nodes.iter().enumerate() {
+            if block_hash(bytes) != want {
+                return Err(StoreError::Proof("node hash breaks the commitment chain"));
+            }
+            let node = decode_node(bytes)?;
+            let nib = nibble(&hash, depth);
+            match node.slot_index(nib).map(|i| &node.slots[i]) {
+                None => return Err(StoreError::Proof("path reaches an empty slot")),
+                Some(Slot::Bucket(kvs)) => {
+                    if depth + 1 != nodes.len() {
+                        return Err(StoreError::Proof("extra nodes after the leaf"));
+                    }
+                    return kvs
+                        .iter()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v.clone())
+                        .ok_or(StoreError::Proof("key absent from the leaf bucket"));
+                }
+                Some(Slot::Child(Link::Stored(h))) => want = *h,
+                Some(Slot::Child(_)) => unreachable!("decode_node yields Stored links"),
+            }
+        }
+        Err(StoreError::Proof("proof path ends at a child link"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockstore::MemoryBlockstore;
+
+    fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
+        (
+            format!("key-{i}").into_bytes(),
+            format!("value-{i}-{}", i * 31).into_bytes(),
+        )
+    }
+
+    #[test]
+    fn set_get_delete_roundtrip() {
+        let store = MemoryBlockstore::new();
+        let mut map = Hamt::new();
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            map.set(&store, &k, &v).unwrap();
+        }
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            assert_eq!(map.get(&store, &k).unwrap(), Some(v));
+        }
+        assert_eq!(map.get(&store, b"missing").unwrap(), None);
+        for i in (0..500).step_by(2) {
+            let (k, _) = kv(i);
+            assert!(map.delete(&store, &k).unwrap());
+            assert!(!map.delete(&store, &k).unwrap());
+        }
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            let expect = if i % 2 == 0 { None } else { Some(v) };
+            assert_eq!(map.get(&store, &k).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn roots_are_history_independent() {
+        let store = MemoryBlockstore::new();
+        let n = 300u64;
+
+        // Ascending insertion.
+        let mut a = Hamt::new();
+        for i in 0..n {
+            let (k, v) = kv(i);
+            a.set(&store, &k, &v).unwrap();
+        }
+        // Descending insertion with interleaved flushes (persisted and
+        // in-memory paths must agree).
+        let mut b = Hamt::new();
+        for i in (0..n).rev() {
+            let (k, v) = kv(i);
+            b.set(&store, &k, &v).unwrap();
+            if i % 37 == 0 {
+                b.flush(&store).unwrap();
+            }
+        }
+        // Overshoot-and-delete: insert 2n, remove the top n, overwrite a
+        // few values with garbage and then restore them.
+        let mut c = Hamt::new();
+        for i in 0..2 * n {
+            let (k, v) = kv(i);
+            c.set(&store, &k, &v).unwrap();
+        }
+        for i in n..2 * n {
+            let (k, _) = kv(i);
+            assert!(c.delete(&store, &k).unwrap());
+        }
+        for i in (0..n).step_by(7) {
+            let (k, _) = kv(i);
+            c.set(&store, &k, b"garbage").unwrap();
+        }
+        for i in (0..n).step_by(7) {
+            let (k, v) = kv(i);
+            c.set(&store, &k, &v).unwrap();
+        }
+
+        let ra = a.flush(&store).unwrap();
+        let rb = b.flush(&store).unwrap();
+        let rc = c.flush(&store).unwrap();
+        assert_eq!(ra, rb, "insertion order changed the root");
+        assert_eq!(ra, rc, "delete/overwrite history changed the root");
+
+        // And emptying the map from different orders agrees too.
+        for i in 0..n {
+            let (k, _) = kv(i);
+            assert!(a.delete(&store, &k).unwrap());
+        }
+        for i in (0..n).rev() {
+            let (k, _) = kv(i);
+            assert!(b.delete(&store, &k).unwrap());
+        }
+        assert_eq!(a.flush(&store).unwrap(), Hamt::new().flush(&store).unwrap());
+        assert_eq!(b.flush(&store).unwrap(), Hamt::new().flush(&store).unwrap());
+    }
+
+    #[test]
+    fn load_walk_matches_contents() {
+        let store = MemoryBlockstore::new();
+        let mut map = Hamt::new();
+        for i in 0..200 {
+            let (k, v) = kv(i);
+            map.set(&store, &k, &v).unwrap();
+        }
+        let root = map.flush(&store).unwrap();
+
+        let loaded = Hamt::load(root);
+        let mut walked = Vec::new();
+        loaded
+            .walk(&store, &mut |k, v| walked.push((k.to_vec(), v.to_vec())))
+            .unwrap();
+        walked.sort();
+        let mut expect: Vec<_> = (0..200).map(kv).collect();
+        expect.sort();
+        assert_eq!(walked, expect);
+        for i in 0..200 {
+            let (k, v) = kv(i);
+            assert_eq!(loaded.get(&store, &k).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn clones_diverge_copy_on_write() {
+        let store = MemoryBlockstore::new();
+        let mut map = Hamt::new();
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            map.set(&store, &k, &v).unwrap();
+        }
+        let snapshot = map.clone();
+        map.set(&store, b"key-0", b"mutated").unwrap();
+        assert_eq!(
+            map.get(&store, b"key-0").unwrap(),
+            Some(b"mutated".to_vec())
+        );
+        assert_eq!(snapshot.get(&store, b"key-0").unwrap(), Some(kv(0).1));
+    }
+
+    #[test]
+    fn diff_nodes_are_sufficient_and_minimal() {
+        let store = MemoryBlockstore::new();
+        let mut map = Hamt::new();
+        for i in 0..4_000 {
+            let (k, v) = kv(i);
+            map.set(&store, &k, &v).unwrap();
+        }
+        let base_root = map.flush(&store).unwrap();
+        for i in 4_000..4_020 {
+            let (k, v) = kv(i);
+            map.set(&store, &k, &v).unwrap();
+        }
+        map.delete(&store, b"key-3").unwrap();
+        let new_root = map.flush(&store).unwrap();
+
+        let delta = Hamt::diff_new_nodes(&store, new_root, base_root).unwrap();
+        // Minimality: far fewer nodes than the whole tree.
+        let mut whole = HashSet::new();
+        reachable_hashes(&store, new_root, 0, &mut whole).unwrap();
+        assert!(delta.len() < whole.len() / 2, "delta not incremental");
+
+        // Sufficiency: base nodes + delta nodes alone reconstruct the map.
+        let fresh = MemoryBlockstore::new();
+        let mut base_hashes = HashSet::new();
+        reachable_hashes(&store, base_root, 0, &mut base_hashes).unwrap();
+        for h in &base_hashes {
+            fresh.put(&store.get(h).unwrap().unwrap()).unwrap();
+        }
+        for (_, bytes) in &delta {
+            fresh.put(bytes).unwrap();
+        }
+        let rebuilt = Hamt::load(new_root);
+        let mut count = 0usize;
+        rebuilt.walk(&fresh, &mut |_, _| count += 1).unwrap();
+        assert_eq!(count, 4_019);
+        assert_eq!(
+            rebuilt.get(&fresh, b"key-4001").unwrap(),
+            Some(kv(4_001).1),
+            "new key readable from base+delta"
+        );
+    }
+
+    #[test]
+    fn proofs_verify_and_reject_tampering() {
+        let store = MemoryBlockstore::new();
+        let mut map = Hamt::new();
+        for i in 0..300 {
+            let (k, v) = kv(i);
+            map.set(&store, &k, &v).unwrap();
+        }
+        let root = map.flush(&store).unwrap();
+
+        for i in (0..300).step_by(17) {
+            let (k, v) = kv(i);
+            let proof = Hamt::prove(&store, root, &k).unwrap().expect("key present");
+            assert_eq!(Hamt::verify_proof(root, &k, &proof).unwrap(), v);
+        }
+        assert!(Hamt::prove(&store, root, b"missing").unwrap().is_none());
+
+        let (k, _) = kv(42);
+        let proof = Hamt::prove(&store, root, &k).unwrap().unwrap();
+
+        // Wrong root.
+        let bad_root = sha256(b"not the root");
+        assert!(matches!(
+            Hamt::verify_proof(bad_root, &k, &proof),
+            Err(StoreError::Proof(_))
+        ));
+        // Wrong key for an honest path.
+        assert!(matches!(
+            Hamt::verify_proof(root, b"other-key", &proof),
+            Err(StoreError::Proof(_))
+        ));
+        // Truncated path.
+        if proof.len() > 1 {
+            assert!(matches!(
+                Hamt::verify_proof(root, &k, &proof[..proof.len() - 1]),
+                Err(StoreError::Proof(_))
+            ));
+        }
+        // Extra trailing node.
+        let mut padded = proof.clone();
+        padded.push(proof[0].clone());
+        assert!(matches!(
+            Hamt::verify_proof(root, &k, &padded),
+            Err(StoreError::Proof(_))
+        ));
+        // Empty path.
+        assert!(matches!(
+            Hamt::verify_proof(root, &k, &[]),
+            Err(StoreError::Proof(_))
+        ));
+        // Every single-bit flip in every node must be rejected (hash
+        // chain break or decode failure — never a wrong value accepted).
+        for ni in 0..proof.len() {
+            for byte in (0..proof[ni].len()).step_by(7) {
+                let mut tampered = proof.clone();
+                tampered[ni][byte] ^= 0x40;
+                match Hamt::verify_proof(root, &k, &tampered) {
+                    Err(StoreError::Proof(_)) | Err(StoreError::Corrupt(_)) => {}
+                    other => panic!("tampered proof accepted: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_node_bytes_yield_typed_errors() {
+        let store = MemoryBlockstore::new();
+        let mut map = Hamt::new();
+        for i in 0..200 {
+            let (k, v) = kv(i);
+            map.set(&store, &k, &v).unwrap();
+        }
+        let root = map.flush(&store).unwrap();
+        let root_bytes = store.get(&root).unwrap().unwrap();
+
+        // Truncations at every length must decode to a typed error (or,
+        // for prefixes that happen to parse, still never panic).
+        for cut in 0..root_bytes.len() {
+            let hash = store.put(&root_bytes[..cut]).unwrap();
+            let _ = Hamt::load(hash).get(&store, b"key-1");
+        }
+        // Bit flips across the root node: traversal must return Err or a
+        // wrong-but-typed answer, never panic. Flips that corrupt
+        // structure must be Corrupt/NotFound.
+        for byte in 0..root_bytes.len() {
+            let mut flipped = root_bytes.to_vec();
+            flipped[byte] ^= 0x01;
+            let hash = store.put(&flipped).unwrap();
+            let _ = Hamt::load(hash).get(&store, b"key-1");
+            let _ = Hamt::load(hash).walk(&store, &mut |_, _| {});
+        }
+        // A hand-built unsorted bucket is rejected.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_be_bytes()); // bitmap: slot 0
+        bad.push(TAG_BUCKET);
+        bad.extend_from_slice(&2u32.to_be_bytes());
+        for key in [b"zz", b"aa"] {
+            bad.extend_from_slice(&2u32.to_be_bytes());
+            bad.extend_from_slice(key);
+            bad.extend_from_slice(&1u32.to_be_bytes());
+            bad.push(b'v');
+        }
+        assert_eq!(
+            decode_node(&bad).unwrap_err(),
+            StoreError::Corrupt("bucket keys out of order")
+        );
+        // An empty bucket is rejected.
+        let mut empty = Vec::new();
+        empty.extend_from_slice(&1u32.to_be_bytes());
+        empty.push(TAG_BUCKET);
+        empty.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(
+            decode_node(&empty).unwrap_err(),
+            StoreError::Corrupt("empty bucket slot")
+        );
+    }
+
+    /// A malicious store that returns attacker-chosen bytes for any hash —
+    /// the only way to express a link cycle, since honest stores derive
+    /// the key from the bytes.
+    #[derive(Debug)]
+    struct EvilStore {
+        bytes: Vec<u8>,
+    }
+
+    impl Blockstore for EvilStore {
+        fn get(&self, _hash: &Hash256) -> Result<Option<Arc<[u8]>>, StoreError> {
+            Ok(Some(self.bytes.clone().into()))
+        }
+
+        fn put(&self, bytes: &[u8]) -> Result<Hash256, StoreError> {
+            Ok(block_hash(bytes))
+        }
+    }
+
+    #[test]
+    fn cycle_forming_store_hits_the_depth_cap() {
+        // A node all of whose 32 slots link to "itself" (the evil store
+        // returns the same bytes for every hash), so every key path
+        // descends forever.
+        let mut node = Vec::new();
+        node.extend_from_slice(&u32::MAX.to_be_bytes());
+        for _ in 0..FANOUT {
+            node.push(TAG_CHILD);
+            node.extend_from_slice(&[0u8; 32]);
+        }
+        let store = EvilStore { bytes: node };
+        let root = sha256(b"whatever");
+        assert_eq!(
+            Hamt::load(root).get(&store, b"key").unwrap_err(),
+            StoreError::Corrupt("trie deeper than the key hash")
+        );
+        assert_eq!(
+            Hamt::load(root).walk(&store, &mut |_, _| {}).unwrap_err(),
+            StoreError::Corrupt("trie deeper than the key hash")
+        );
+        let mut out = HashSet::new();
+        // reachable_hashes dedups by hash, so the self-link terminates via
+        // the seen-set rather than the depth cap — either way, no loop.
+        reachable_hashes(&store, root, 0, &mut out).unwrap();
+    }
+
+    #[test]
+    fn deep_collision_chains_split_and_collapse() {
+        // Keys engineered to share leading hash nibbles are hard to mine
+        // for sha256; instead exercise the split/collapse machinery by
+        // inserting enough keys that multi-level nodes necessarily form,
+        // then deleting back down and checking canonical equality.
+        let store = MemoryBlockstore::new();
+        let mut grown = Hamt::new();
+        for i in 0..5_000 {
+            let (k, v) = kv(i);
+            grown.set(&store, &k, &v).unwrap();
+        }
+        for i in 100..5_000 {
+            let (k, _) = kv(i);
+            assert!(grown.delete(&store, &k).unwrap());
+        }
+        let mut direct = Hamt::new();
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            direct.set(&store, &k, &v).unwrap();
+        }
+        assert_eq!(
+            grown.flush(&store).unwrap(),
+            direct.flush(&store).unwrap(),
+            "grow-then-shrink must collapse back to the direct structure"
+        );
+    }
+}

@@ -56,7 +56,7 @@ pub use fi_sim as sim;
 pub mod prelude {
     pub use fi_chain::account::{AccountId, Ledger, TokenAmount};
     pub use fi_chain::tasks::Time;
-    pub use fi_core::engine::Engine;
+    pub use fi_core::engine::{Engine, PinnedState, StateProof, StateView};
     pub use fi_core::params::ProtocolParams;
     pub use fi_core::types::{FileId, ProtocolEvent, RemovalReason, SectorId, SectorState};
     pub use fi_crypto::{sha256, DetRng, Hash256};

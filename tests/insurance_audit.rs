@@ -3,7 +3,7 @@
 //! Theorem 4 at engine granularity).
 
 use fi_chain::account::{AccountId, TokenAmount};
-use fi_core::engine::{Engine, COMPENSATION_POOL, DEPOSIT_ESCROW};
+use fi_core::engine::{Engine, StateView, COMPENSATION_POOL, DEPOSIT_ESCROW};
 use fi_core::params::ProtocolParams;
 use fi_crypto::{sha256, DetRng};
 

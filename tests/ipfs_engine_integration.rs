@@ -7,7 +7,7 @@
 //! agree.
 
 use fi_chain::account::{AccountId, TokenAmount};
-use fi_core::engine::Engine;
+use fi_core::engine::{Engine, StateView};
 use fi_core::params::ProtocolParams;
 use fi_crypto::sha256;
 use fi_ipfs::bitswap::fetch_dag;

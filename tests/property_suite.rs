@@ -7,6 +7,7 @@
 //! (the failing seed is in the assertion message).
 
 use fi_chain::account::{AccountId, Ledger, TokenAmount};
+use fi_core::engine::StateView;
 use fi_core::params::ProtocolParams;
 use fi_core::sampler::WeightedSampler;
 use fi_core::segment::{reassemble_file, segment_file};

@@ -3,6 +3,7 @@
 //! assertions.
 
 use fi_chain::account::{AccountId, TokenAmount};
+use fi_core::engine::StateView;
 use fi_core::params::ProtocolParams;
 use fi_core::types::{ProtocolEvent, RemovalReason, SectorState};
 use fi_sim::harness::{ProviderBehavior, ProviderSpec, Scenario};

@@ -4,6 +4,7 @@
 
 use fi_chain::account::{AccountId, TokenAmount};
 use fi_core::engine::Engine;
+use fi_core::engine::StateView;
 use fi_core::params::ProtocolParams;
 use fi_core::FileId;
 use fi_crypto::{sha256, DetRng};
